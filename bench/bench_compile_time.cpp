@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section 5.4, compile time: the paper reports 8 s for the 54 Mbps
+ * transmitter (same as Sora's C++) and 15 s for the receiver (vs 26 s
+ * for Sora), with the Ziria-to-C vectorization phase finishing in 2-4 s
+ * thanks to local pruning.
+ *
+ * Our compiler front end targets closure trees rather than C, so wall
+ * times are milliseconds; what carries over is the per-phase breakdown
+ * and the RX-heavier-than-TX shape.
+ */
+#include "bench_util.h"
+
+using namespace ziria;
+using namespace ziria::wifi;
+using namespace zbench;
+
+namespace {
+
+void
+report(const char* name, const CompPtr& c)
+{
+    CompileReport rep;
+    Stopwatch sw;
+    auto p = compilePipeline(c, CompilerOptions::forLevel(OptLevel::All),
+                             &rep);
+    double total = sw.elapsedSec();
+    (void)p;
+    printf("%-10s %8.1f %10.1f %8.1f %8.1f %8.1f | %7ld cands, "
+           "chose %d-in/%d-out, %d LUTs\n",
+           name, total * 1e3, rep.frontendSec * 1e3,
+           rep.vectorizeSec * 1e3, rep.optimizeSec * 1e3,
+           rep.buildSec * 1e3, rep.vect.generated, rep.vect.chosenIn,
+           rep.vect.chosenOut, rep.build.lutsBuilt);
+}
+
+} // namespace
+
+int
+main()
+{
+    printf("Compile time of the full WiFi pipelines (ms)\n");
+    rule(' ', 0);
+    printf("%-10s %8s %10s %8s %8s %8s\n", "pipeline", "total",
+           "frontend", "vect", "opt", "build");
+    rule();
+    report("TX6", wifiTxDataComp(Rate::R6));
+    report("TX54", wifiTxDataComp(Rate::R54));
+    report("RX6", wifiRxDataComp(Rate::R6, 1500));
+    report("RX54", wifiRxDataComp(Rate::R54, 1500));
+    report("RX full", wifiReceiverComp());
+    report("TX frame", wifiTxFrameComp(Rate::R54, 1000));
+    rule();
+    printf("=> paper: TX54 8 s (= Sora C++), RX54 15 s (vs Sora 26 s); "
+           "vectorization\n   completes in 2-4 s due to local pruning.  "
+           "Shape to compare: the RX\n   pipelines cost more to compile "
+           "than TX, and vectorization dominates.\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Micro-benchmarks of the execution substrate (google-benchmark): the
+ * per-element cost of the closure VM, LUT application, map dispatch and
+ * the tick/proc node machinery.  These are the constants behind the
+ * Figure 4/5 results.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dsp/fft.h"
+#include "dsp/viterbi.h"
+#include "wifi/blocks_tx.h"
+
+using namespace ziria;
+using namespace zbench;
+using namespace zb;
+
+namespace {
+
+void
+BM_ExprAddChain(benchmark::State& state)
+{
+    FrameLayout layout;
+    ExprCompiler ec(layout);
+    VarRef x = freshVar("x", Type::int32());
+    ExprPtr e = var(x);
+    for (int i = 0; i < state.range(0); ++i)
+        e = e + 1;
+    EvalInt f = ec.compileInt(e);
+    Frame fr(layout.frameSize());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f(fr));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExprAddChain)->Arg(1)->Arg(8)->Arg(64);
+
+void
+BM_ScramblerElement(benchmark::State& state)
+{
+    auto p = compilePipeline(wifi::scramblerBlock(),
+                             CompilerOptions::forLevel(OptLevel::None));
+    auto input = randomBits(4096, 2);
+    for (auto _ : state) {
+        CyclicSource src(input, 1, 4096);
+        NullSink sink;
+        p->run(src, sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ScramblerElement);
+
+void
+BM_ScramblerElementOptimized(benchmark::State& state)
+{
+    auto p = compilePipeline(wifi::scramblerBlock(),
+                             CompilerOptions::forLevel(OptLevel::All));
+    auto input = randomBits(4096, 2);
+    size_t w = std::max<size_t>(p->inWidth(), 1);
+    for (auto _ : state) {
+        CyclicSource src(input, w, 4096 / w);
+        NullSink sink;
+        p->run(src, sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ScramblerElementOptimized);
+
+void
+BM_MapDispatch(benchmark::State& state)
+{
+    VarRef x = freshVar("x", Type::int32());
+    FunRef f = fun("id1", {x}, {}, var(x) + 1);
+    auto p = compilePipeline(mapc(f),
+                             CompilerOptions::forLevel(OptLevel::None));
+    std::vector<uint8_t> input(4096 * 4, 7);
+    for (auto _ : state) {
+        CyclicSource src(input, 4, 4096);
+        NullSink sink;
+        p->run(src, sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_MapDispatch);
+
+void
+BM_PipeDepth(benchmark::State& state)
+{
+    CompPtr c = nullptr;
+    for (int i = 0; i < state.range(0); ++i) {
+        VarRef x = freshVar("x", Type::int32());
+        CompPtr t = repeatc(seqc({bindc(x, take(Type::int32())),
+                                  just(emit(var(x)))}));
+        c = c ? pipe(std::move(c), std::move(t)) : std::move(t);
+    }
+    auto p = compilePipeline(c, CompilerOptions::forLevel(OptLevel::None));
+    std::vector<uint8_t> input(1024 * 4, 3);
+    for (auto _ : state) {
+        CyclicSource src(input, 4, 1024);
+        NullSink sink;
+        p->run(src, sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PipeDepth)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_FftSymbol(benchmark::State& state)
+{
+    dsp::Fft plan(64);
+    Rng rng(3);
+    std::vector<Complex16> in(64), out(64);
+    for (auto& v : in) {
+        v.re = static_cast<int16_t>(rng.below(4000)) - 2000;
+        v.im = static_cast<int16_t>(rng.below(4000)) - 2000;
+    }
+    for (auto _ : state) {
+        plan.forward(in.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FftSymbol);
+
+void
+BM_ViterbiPair(benchmark::State& state)
+{
+    dsp::ViterbiDecoder dec;
+    Rng rng(4);
+    std::vector<uint8_t> out;
+    out.reserve(1 << 16);
+    for (auto _ : state) {
+        dec.inputPair(rng.bit(), rng.bit(), out);
+        if (out.size() > 60000)
+            out.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ViterbiPair);
+
+} // namespace
+
+BENCHMARK_MAIN();

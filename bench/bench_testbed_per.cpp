@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Section 5.4 testbed experiment, simulated: the paper transmits 10,000
+ * uniquely numbered packets per rate over the air at the four lowest
+ * rates (6-18 Mbps) and observes ~2% packet loss — on par with
+ * commercial WiFi cards.
+ *
+ * Our substitute: TX frame -> channel simulator (AWGN + random phase +
+ * timing offset + gain) -> full Ziria receiver with synchronization.
+ * The SNR is set so the link operates near its error floor; packets are
+ * numbered so losses are identified exactly, as in the paper.
+ */
+#include "bench_util.h"
+
+#include "channel/channel.h"
+#include "sora/sora.h"
+
+using namespace ziria;
+using namespace ziria::wifi;
+using namespace zbench;
+
+namespace {
+
+struct PerResult
+{
+    int sent = 0;
+    int received = 0;
+    int crcFail = 0;
+    int notDetected = 0;
+};
+
+PerResult
+runPer(Rate rate, int packets, double snr_db, uint64_t seed)
+{
+    PerResult res;
+    auto rx = compilePipeline(wifiReceiverComp(),
+                              CompilerOptions::forLevel(OptLevel::All));
+    Rng rng(seed);
+    for (int id = 0; id < packets; ++id) {
+        std::vector<uint8_t> payload(60);
+        payload[0] = static_cast<uint8_t>(id);
+        payload[1] = static_cast<uint8_t>(id >> 8);
+        for (size_t i = 2; i < payload.size(); ++i)
+            payload[i] = static_cast<uint8_t>(rng.next());
+
+        auto tx = sora::txFrame(payload, rate);
+        channel::ChannelConfig cfg;
+        cfg.snrDb = snr_db;
+        cfg.delaySamples = 120 + static_cast<int>(rng.below(80));
+        cfg.trailSamples = 40;
+        cfg.phaseRad = 2.0 * M_PI * rng.uniform();
+        cfg.gain = 0.7 + 0.6 * rng.uniform();
+        cfg.seed = rng.next();
+        auto samples = channel::applyChannel(tx, cfg);
+
+        std::vector<uint8_t> in(samples.size() * 4);
+        std::memcpy(in.data(), samples.data(), in.size());
+        ++res.sent;
+        RunStats st;
+        std::vector<uint8_t> bits;
+        try {
+            MemSource src(in, rx->inWidth());
+            VecSink sink(rx->outWidth());
+            st = rx->run(src, sink);
+            bits = sink.data();
+        } catch (const FatalError&) {
+            ++res.notDetected;
+            continue;
+        }
+        if (!st.halted) {
+            ++res.notDetected;
+            continue;
+        }
+        int32_t ok = 0;
+        if (st.ctrl.size() == 4)
+            std::memcpy(&ok, st.ctrl.data(), 4);
+        if (!ok) {
+            ++res.crcFail;
+            continue;
+        }
+        // Verify the packet id survived.
+        auto bytes = bitsToBytes(bits);
+        if (bytes.size() >= 2 &&
+            bytes[0] == static_cast<uint8_t>(id) &&
+            bytes[1] == static_cast<uint8_t>(id >> 8)) {
+            ++res.received;
+        } else {
+            ++res.crcFail;
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // 10,000 packets x 4 rates as in the paper takes a while on the VM;
+    // default to a few hundred per rate (pass a count to override).
+    int packets = argc > 1 ? std::atoi(argv[1]) : 250;
+
+    printf("Simulated testbed: packet error rate at the four lowest "
+           "rates\n");
+    printf("(%d packets/rate, unique ids, AWGN + phase + timing + gain "
+           "channel)\n", packets);
+    rule();
+    printf("%-10s %8s %10s %10s %10s %10s %8s\n", "rate", "SNR dB",
+           "sent", "received", "crc fail", "missed", "PER");
+    struct Point
+    {
+        Rate rate;
+        double snr;
+    };
+    // SNRs placed near each rate's error floor so losses occur but the
+    // link works — the regime of the paper's over-the-air runs.
+    const Point points[] = {{Rate::R6, 4.3},
+                            {Rate::R9, 6.4},
+                            {Rate::R12, 8.3},
+                            {Rate::R18, 11.0}};
+    for (const auto& pt : points) {
+        PerResult r = runPer(pt.rate, packets, pt.snr, 1234);
+        double per = 100.0 * (r.sent - r.received) / std::max(r.sent, 1);
+        printf("%-10s %8.1f %10d %10d %10d %10d %7.2f%%\n",
+               (std::to_string(rateInfo(pt.rate).mbps) + "Mbps").c_str(),
+               pt.snr, r.sent, r.received, r.crcFail, r.notDetected, per);
+    }
+    printf("=> paper: ~2%% of 10,000 packets lost over the air at "
+           "6-18 Mbps,\n   on par with commercial WiFi card loss rates.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark harnesses.
+ *
+ * Each bench binary regenerates the rows/series of one table or figure of
+ * the paper.  Absolute numbers differ from the paper's (our backend is a
+ * closure-tree VM, theirs compiled C on a 2012 Xeon); the *shape* — who
+ * wins, by what factor, where crossovers fall — is what the harnesses
+ * report, alongside the paper's own values where useful.
+ */
+#ifndef ZIRIA_BENCH_BENCH_UTIL_H
+#define ZIRIA_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/timing.h"
+#include "wifi/rx.h"
+#include "wifi/tx.h"
+#include "zir/compiler.h"
+
+namespace zbench {
+
+using namespace ziria;
+
+/** Deterministic random bits (one byte per bit). */
+inline std::vector<uint8_t>
+randomBits(size_t n, uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out)
+        b = rng.bit();
+    return out;
+}
+
+/** Deterministic random complex16 samples as raw bytes. */
+inline std::vector<uint8_t>
+randomSamples(size_t n, uint64_t seed = 1, int amp = 1200)
+{
+    Rng rng(seed);
+    std::vector<Complex16> xs(n);
+    for (auto& x : xs) {
+        x.re = static_cast<int16_t>(rng.below(2 * amp)) - amp;
+        x.im = static_cast<int16_t>(rng.below(2 * amp)) - amp;
+    }
+    std::vector<uint8_t> out(n * 4);
+    std::memcpy(out.data(), xs.data(), out.size());
+    return out;
+}
+
+/**
+ * Run a compiled pipeline over @p total_in input elements fed cyclically
+ * from @p input, discarding output.
+ * @return seconds elapsed.
+ */
+inline double
+timePipeline(Pipeline& p, const std::vector<uint8_t>& input,
+             uint64_t total_in)
+{
+    CyclicSource src(input, p.inWidth(), total_in);
+    NullSink sink;
+    Stopwatch sw;
+    p.run(src, sink);
+    return sw.elapsedSec();
+}
+
+/**
+ * Throughput of a computation at an optimization level, in input
+ * elements/second.  @p input must be a whole number of input elements at
+ * every optimization level (use generous multiples of 288).
+ */
+inline double
+elemsPerSec(const CompPtr& comp, OptLevel level,
+            const std::vector<uint8_t>& input, size_t elem_bytes,
+            uint64_t total_elems)
+{
+    auto p = compilePipeline(comp, CompilerOptions::forLevel(level));
+    // Feed in units of the pipeline's (possibly vectorized) input width.
+    size_t w = std::max<size_t>(p->inWidth(), 1);
+    uint64_t chunks = total_elems * elem_bytes / w;
+    double sec = timePipeline(*p, input, chunks);
+    double consumed =
+        static_cast<double>(chunks) * static_cast<double>(w) /
+        static_cast<double>(elem_bytes);
+    return consumed / sec;
+}
+
+/** printf a separator line. */
+inline void
+rule(char ch = '-', int n = 72)
+{
+    for (int i = 0; i < n; ++i)
+        std::putchar(ch);
+    std::putchar('\n');
+}
+
+} // namespace zbench
+
+#endif // ZIRIA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The paper's Figure 3 walked through on a live program: the 802.11
+ * scrambler is written once at bit granularity; the compiler vectorizes
+ * it to 8-bit groups, auto-maps the group into a kernel, and replaces
+ * the kernel with a 2^15-entry lookup table (8 input bits + 7 state
+ * bits).  This example prints each stage and the resulting speedup.
+ */
+#include <cstdio>
+
+#include "support/rng.h"
+#include "support/timing.h"
+#include "wifi/blocks_tx.h"
+#include "zast/printer.h"
+#include "zir/compiler.h"
+#include "zopt/passes.h"
+#include "zcheck/check.h"
+#include "zvect/vectorize.h"
+
+using namespace ziria;
+using namespace wifi;
+
+namespace {
+
+std::vector<uint8_t>
+randomBits(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out)
+        b = rng.bit();
+    return out;
+}
+
+double
+bitsPerSec(Pipeline& p, const std::vector<uint8_t>& input, uint64_t total)
+{
+    size_t w = std::max<size_t>(p.inWidth(), 1);
+    CyclicSource src(input, w, total / w);
+    NullSink sink;
+    Stopwatch sw;
+    RunStats st = p.run(src, sink);
+    return static_cast<double>(st.consumed * w) / sw.elapsedSec();
+}
+
+} // namespace
+
+int
+main()
+{
+    printf("== 1. The scrambler as written (bit granularity) ==\n");
+    CompPtr original = scramblerBlock();
+    checkComp(original);
+    printf("%s\n", showComp(original).c_str());
+
+    printf("== 2. After vectorization (8-bit groups) ==\n");
+    CompilerOptions vopt = CompilerOptions::forLevel(OptLevel::Vectorize);
+    vopt.vect.maxScale = 8;
+    vopt.autoMap = false;
+    CompPtr vect = optimizeComp(scramblerBlock(), vopt);
+    printf("%s\n", showComp(vect).c_str());
+
+    printf("== 3. After auto-mapping (the kernel the LUT pass sees) ==\n");
+    vopt.autoMap = true;
+    CompPtr mapped = optimizeComp(scramblerBlock(), vopt);
+    printf("%.2000s...\n", showComp(mapped).c_str());
+
+    printf("\n== 4. LUT generation and the combined speedup ==\n");
+    auto input = randomBits(1 << 14, 9);
+    const uint64_t total = 1 << 22;
+
+    auto base = compilePipeline(scramblerBlock(),
+                                CompilerOptions::forLevel(OptLevel::None));
+    double b0 = bitsPerSec(*base, input, total / 8);
+
+    CompilerOptions all = CompilerOptions::forLevel(OptLevel::All);
+    all.vect.maxScale = 8;
+    CompileReport rep;
+    auto optd = compilePipeline(scramblerBlock(), all, &rep);
+    double b1 = bitsPerSec(*optd, input, total);
+
+    printf("LUTs built: %d (%zu KiB; key = 8 input bits + 7 state "
+           "bits)\n", rep.build.lutsBuilt, rep.build.lutBytes / 1024);
+    printf("unoptimized: %8.2f Mbit/s\n", b0 / 1e6);
+    printf("vect+map+LUT: %7.2f Mbit/s\n", b1 / 1e6);
+    printf("speedup: %.1fx (the paper's TX bit-level blocks reach "
+           "100-1000x\nover their unoptimized form through the same "
+           "chain)\n", b1 / b0);
+    return 0;
+}

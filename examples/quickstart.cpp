@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: build, compile and run a small Ziria pipeline.
+ *
+ * The program is the paper's introductory pattern — a reconfiguring
+ * `seq`: a header computer reads one control value from the stream and
+ * uses it to configure the payload transformer:
+ *
+ *     seq { k <- take            -- "header": a scale factor
+ *         ; repeat { x <- take; emit (x * k) } }
+ */
+#include <cstdio>
+#include <vector>
+
+#include "zast/builder.h"
+#include "zir/compiler.h"
+
+using namespace ziria;
+using namespace zb;
+
+int
+main()
+{
+    // 1. Build the computation with the typed builder API.
+    VarRef k = freshVar("k", Type::int32());
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr program = seqc(
+        {bindc(k, take(Type::int32())),
+         just(repeatc(seqc({bindc(x, take(Type::int32())),
+                            just(emit(var(x) * var(k)))})))});
+
+    // 2. Compile it.  OptLevel::All enables vectorization, auto-mapping
+    //    and LUT generation; the report shows what the compiler did.
+    CompileReport report;
+    auto pipeline = compilePipeline(
+        program, CompilerOptions::forLevel(OptLevel::All), &report);
+    printf("compiled: %s in %.2f ms (%ld vectorization candidates, "
+           "in-width %d)\n",
+           report.signature.show().c_str(), report.totalSec() * 1e3,
+           report.vect.generated, report.vect.chosenIn);
+
+    // 3. Run it over a buffer: the first int is the control value.
+    std::vector<int32_t> input{3, 10, 20, 30, 40};
+    std::vector<uint8_t> bytes(input.size() * 4);
+    std::memcpy(bytes.data(), input.data(), bytes.size());
+
+    RunStats stats;
+    auto outBytes = pipeline->runBytes(bytes, &stats);
+    std::vector<int32_t> output(outBytes.size() / 4);
+    std::memcpy(output.data(), outBytes.data(), outBytes.size());
+
+    printf("consumed %llu ints, emitted:",
+           static_cast<unsigned long long>(stats.consumed));
+    for (int32_t v : output)
+        printf(" %d", v);
+    printf("\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * End-to-end WiFi loopback: a Ziria-compiled 802.11a/g transmitter frame,
+ * a simulated wireless channel, and the full Ziria receiver of the
+ * paper's Listing 1 (detection, channel estimation, PLCP decode,
+ * rate-dispatched payload decode, CRC check).
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "channel/channel.h"
+#include "wifi/rx.h"
+#include "wifi/tx.h"
+#include "zir/compiler.h"
+
+using namespace ziria;
+using namespace wifi;
+
+int
+main()
+{
+    const Rate rate = Rate::R12;
+    const char* message = "Hello from a Ziria-compiled 802.11a/g PHY!";
+    std::vector<uint8_t> payload(message, message + std::strlen(message));
+
+    // Transmit: payload bits in, complex16 samples out.
+    auto tx = compilePipeline(
+        wifiTxFrameComp(rate, static_cast<int>(payload.size())),
+        CompilerOptions::forLevel(OptLevel::All));
+    auto txOut = tx->runBytes(bytesToBits(payload));
+    std::vector<Complex16> samples(txOut.size() / 4);
+    std::memcpy(samples.data(), txOut.data(), txOut.size());
+    printf("TX: %zu payload bytes -> %zu samples at %d Mbps\n",
+           payload.size(), samples.size(), rateInfo(rate).mbps);
+
+    // The air: AWGN, phase rotation, unknown start time, gain.
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 18.0;
+    cfg.delaySamples = 333;
+    cfg.trailSamples = 50;
+    cfg.phaseRad = 1.1;
+    cfg.gain = 0.75;
+    cfg.seed = 2026;
+    auto rxSamples = channel::applyChannel(samples, cfg);
+    printf("channel: SNR %.1f dB, %d samples of leading noise\n",
+           cfg.snrDb, cfg.delaySamples);
+
+    // Receive: samples in, decoded PSDU bits out, CRC flag as the
+    // pipeline's control value.
+    auto rx = compilePipeline(wifiReceiverComp(),
+                              CompilerOptions::forLevel(OptLevel::All));
+    std::vector<uint8_t> in(rxSamples.size() * 4);
+    std::memcpy(in.data(), rxSamples.data(), in.size());
+    RunStats st;
+    auto bits = rx->runBytes(in, &st);
+    if (!st.halted) {
+        printf("RX: no packet detected\n");
+        return 1;
+    }
+    int32_t crcOk = 0;
+    std::memcpy(&crcOk, st.ctrl.data(), 4);
+    auto bytes = bitsToBytes(bits);
+    std::string decoded(bytes.begin(),
+                        bytes.begin() +
+                            static_cast<long>(std::min(payload.size(),
+                                                       bytes.size())));
+    printf("RX: CRC %s, decoded \"%s\"\n", crcOk ? "OK" : "FAILED",
+           decoded.c_str());
+    return crcOk ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Capture the full test suite and every benchmark harness into the
+# canonical output files referenced by EXPERIMENTS.md.
+cd "$(dirname "$0")/.." || exit 1
+ctest --test-dir build 2>&1 | tee test_output.txt
+{
+    for b in build/bench/*; do
+        if [ -f "$b" ] && [ -x "$b" ]; then
+            echo "===== $b ====="
+            "$b"
+        fi
+    done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,84 @@
+#include "channel/channel.h"
+
+#include <cmath>
+#include <complex>
+
+namespace ziria {
+namespace channel {
+
+double
+meanPower(const std::vector<Complex16>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto& x : xs) {
+        acc += static_cast<double>(x.re) * x.re +
+               static_cast<double>(x.im) * x.im;
+    }
+    return acc / static_cast<double>(xs.size());
+}
+
+std::vector<Complex16>
+applyChannel(const std::vector<Complex16>& tx, const ChannelConfig& cfg)
+{
+    Rng rng(cfg.seed);
+
+    // Multipath taps: h[0] = 1, h[k] = decay^k with a random phase.
+    std::vector<std::complex<double>> taps;
+    taps.emplace_back(1.0, 0.0);
+    for (int k = 1; k < cfg.multipathTaps; ++k) {
+        double amp = std::pow(cfg.tapDecay, k);
+        double ph = 2.0 * M_PI * rng.uniform();
+        taps.emplace_back(amp * std::cos(ph), amp * std::sin(ph));
+    }
+
+    // Noise level derived from the *faded* signal power.
+    std::vector<std::complex<double>> faded(tx.size());
+    for (size_t i = 0; i < tx.size(); ++i) {
+        std::complex<double> acc{0.0, 0.0};
+        for (size_t k = 0; k < taps.size() && k <= i; ++k) {
+            acc += taps[k] *
+                   std::complex<double>(tx[i - k].re, tx[i - k].im);
+        }
+        faded[i] = acc * cfg.gain;
+    }
+    double sigPower = 0.0;
+    for (const auto& s : faded)
+        sigPower += std::norm(s);
+    sigPower /= static_cast<double>(std::max<size_t>(faded.size(), 1));
+    double noisePower = sigPower / std::pow(10.0, cfg.snrDb / 10.0);
+    double noiseSigma = std::sqrt(noisePower / 2.0);
+
+    auto emitSample = [&](std::vector<Complex16>& out,
+                          std::complex<double> s, size_t idx) {
+        double ang = cfg.cfoRadPerSample * static_cast<double>(idx) +
+                     cfg.phaseRad;
+        std::complex<double> rot(std::cos(ang), std::sin(ang));
+        std::complex<double> v = s * rot;
+        v += std::complex<double>(noiseSigma * rng.gaussian(),
+                                  noiseSigma * rng.gaussian());
+        auto sat = [](double x) -> int16_t {
+            if (x > 32767.0)
+                return 32767;
+            if (x < -32768.0)
+                return -32768;
+            return static_cast<int16_t>(std::lround(x));
+        };
+        out.push_back(Complex16{sat(v.real()), sat(v.imag())});
+    };
+
+    std::vector<Complex16> out;
+    out.reserve(tx.size() + cfg.delaySamples + cfg.trailSamples);
+    size_t idx = 0;
+    for (int i = 0; i < cfg.delaySamples; ++i)
+        emitSample(out, {0.0, 0.0}, idx++);
+    for (size_t i = 0; i < faded.size(); ++i)
+        emitSample(out, faded[i], idx++);
+    for (int i = 0; i < cfg.trailSamples; ++i)
+        emitSample(out, {0.0, 0.0}, idx++);
+    return out;
+}
+
+} // namespace channel
+} // namespace ziria

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Wireless channel simulator — the substitute for the paper's live Sora
+ * radio testbed (§5.4).
+ *
+ * Models the impairments that drive the paper's end-to-end experiment:
+ * additive white Gaussian noise at a configurable SNR, a multipath FIR
+ * (exponentially decaying taps), carrier-frequency offset, a constant
+ * phase, an integer timing offset (leading noise samples), and flat gain.
+ * The receive chain then has to do everything the over-the-air experiment
+ * required: packet detection, timing sync, channel estimation and
+ * equalization, and Viterbi decoding under noise.
+ */
+#ifndef ZIRIA_CHANNEL_CHANNEL_H
+#define ZIRIA_CHANNEL_CHANNEL_H
+
+#include <vector>
+
+#include "support/rng.h"
+#include "ztype/value.h"
+
+namespace ziria {
+namespace channel {
+
+/** Channel configuration. */
+struct ChannelConfig
+{
+    double snrDb = 30.0;        ///< SNR relative to the signal's power
+    int delaySamples = 0;       ///< leading noise-only samples
+    int trailSamples = 0;       ///< trailing noise-only samples
+    double cfoRadPerSample = 0; ///< carrier frequency offset
+    double phaseRad = 0;        ///< constant phase rotation
+    double gain = 1.0;          ///< flat amplitude gain
+    int multipathTaps = 1;      ///< 1 = flat channel
+    double tapDecay = 0.5;      ///< amplitude ratio between taps
+    uint64_t seed = 1;
+};
+
+/** Apply the channel to a sample stream. */
+std::vector<Complex16> applyChannel(const std::vector<Complex16>& tx,
+                                    const ChannelConfig& cfg);
+
+/** Measure the mean power (re^2+im^2) of a sample stream. */
+double meanPower(const std::vector<Complex16>& xs);
+
+} // namespace channel
+} // namespace ziria
+
+#endif // ZIRIA_CHANNEL_CHANNEL_H

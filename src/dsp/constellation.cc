@@ -1,0 +1,103 @@
+#include "dsp/constellation.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/panic.h"
+
+namespace ziria {
+namespace dsp {
+
+namespace {
+
+/** Gray-coded amplitude per axis-bit pattern (index = bits, LSB-first). */
+const std::vector<int> kAxis1{-1, 1};
+const std::vector<int> kAxis2{-3, -1, 3, 1};
+const std::vector<int> kAxis3{-7, -5, -1, -3, 7, 5, 1, 3};
+
+double
+kmod(Modulation m)
+{
+    switch (m) {
+      case Modulation::Bpsk: return 1.0;
+      case Modulation::Qpsk: return std::sqrt(2.0);
+      case Modulation::Qam16: return std::sqrt(10.0);
+      default: return std::sqrt(42.0);
+    }
+}
+
+int
+axisBits(Modulation m)
+{
+    return bitsPerSymbol(m) / 2;
+}
+
+int16_t
+scaled(Modulation m, int level)
+{
+    return static_cast<int16_t>(
+        std::lround(level * constellationScale / kmod(m)));
+}
+
+} // namespace
+
+const std::vector<int>&
+axisLevels(Modulation m)
+{
+    switch (m) {
+      case Modulation::Bpsk:
+      case Modulation::Qpsk:
+        return kAxis1;
+      case Modulation::Qam16:
+        return kAxis2;
+      default:
+        return kAxis3;
+    }
+}
+
+Complex16
+mapBits(Modulation m, uint32_t bits)
+{
+    if (m == Modulation::Bpsk)
+        return Complex16{scaled(m, kAxis1[bits & 1]), 0};
+    const std::vector<int>& axis = axisLevels(m);
+    int nb = axisBits(m);
+    uint32_t iBits = bits & ((1u << nb) - 1);
+    uint32_t qBits = (bits >> nb) & ((1u << nb) - 1);
+    return Complex16{scaled(m, axis[iBits]), scaled(m, axis[qBits])};
+}
+
+namespace {
+
+uint32_t
+sliceAxis(Modulation m, int16_t v)
+{
+    const std::vector<int>& axis = axisLevels(m);
+    uint32_t best = 0;
+    long bestDist = std::numeric_limits<long>::max();
+    for (size_t i = 0; i < axis.size(); ++i) {
+        long ref = scaled(m, axis[i]);
+        long d = std::labs(static_cast<long>(v) - ref);
+        if (d < bestDist) {
+            bestDist = d;
+            best = static_cast<uint32_t>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+uint32_t
+demapPoint(Modulation m, Complex16 p)
+{
+    if (m == Modulation::Bpsk)
+        return p.re >= 0 ? 1u : 0u;
+    int nb = axisBits(m);
+    uint32_t i = sliceAxis(m, p.re);
+    uint32_t q = sliceAxis(m, p.im);
+    return i | (q << nb);
+}
+
+} // namespace dsp
+} // namespace ziria

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * 802.11a constellations: gray-coded BPSK/QPSK/16-QAM/64-QAM mapping
+ * with the standard K_MOD normalization, scaled to fixed point, and the
+ * matching hard demappers.
+ */
+#ifndef ZIRIA_DSP_CONSTELLATION_H
+#define ZIRIA_DSP_CONSTELLATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ztype/value.h"
+
+namespace ziria {
+namespace dsp {
+
+/** Modulations of 802.11a. */
+enum class Modulation { Bpsk, Qpsk, Qam16, Qam64 };
+
+/** Coded bits carried per subcarrier. */
+inline int
+bitsPerSymbol(Modulation m)
+{
+    switch (m) {
+      case Modulation::Bpsk: return 1;
+      case Modulation::Qpsk: return 2;
+      case Modulation::Qam16: return 4;
+      default: return 6;
+    }
+}
+
+/**
+ * Fixed-point amplitude of a fully-normalized constellation point.  All
+ * modulations have (approximately) this RMS power per subcarrier, so the
+ * equalizer can be modulation-agnostic.
+ */
+constexpr int constellationScale = 600;
+
+/** Map `bitsPerSymbol(m)` bits (LSB-first) to a constellation point. */
+Complex16 mapBits(Modulation m, uint32_t bits);
+
+/** Hard-demap a received point to `bitsPerSymbol(m)` bits (LSB-first). */
+uint32_t demapPoint(Modulation m, Complex16 p);
+
+/** Per-axis gray-level table used by map/demap (exposed for tests). */
+const std::vector<int>& axisLevels(Modulation m);
+
+} // namespace dsp
+} // namespace ziria
+
+#endif // ZIRIA_DSP_CONSTELLATION_H

@@ -1,0 +1,47 @@
+#include "dsp/crc.h"
+
+namespace ziria {
+namespace dsp {
+
+std::vector<uint8_t>
+Crc32::fcsBits() const
+{
+    // The FCS is transmitted MSB-first of the ones-complemented register
+    // in the reflected representation; with our bitwise-reflected
+    // algorithm that is simply value() LSB-first.
+    std::vector<uint8_t> out(32);
+    uint32_t v = value();
+    for (int i = 0; i < 32; ++i)
+        out[i] = static_cast<uint8_t>((v >> i) & 1);
+    return out;
+}
+
+uint32_t
+Crc32::ofBits(const std::vector<uint8_t>& bits)
+{
+    Crc32 c;
+    for (uint8_t b : bits)
+        c.inputBit(b);
+    return c.value();
+}
+
+void
+Crc24::inputBit(uint8_t bit)
+{
+    uint32_t fb = ((crc_ >> 23) ^ static_cast<uint32_t>(bit & 1)) & 1u;
+    crc_ = (crc_ << 1) & 0xFFFFFFu;
+    if (fb)
+        crc_ ^= 0x864CFBu;
+}
+
+uint32_t
+Crc24::ofBits(const std::vector<uint8_t>& bits)
+{
+    Crc24 c;
+    for (uint8_t b : bits)
+        c.inputBit(b);
+    return c.value();
+}
+
+} // namespace dsp
+} // namespace ziria

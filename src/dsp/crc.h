@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CRC-32 (the 802.11 FCS) and CRC-24 over bit streams.
+ *
+ * 802.11 serializes frames LSB-first; these CRCs operate directly on a
+ * bit stream in transmission order, matching how the Ziria WiFi pipeline
+ * appends and checks the FCS.
+ */
+#ifndef ZIRIA_DSP_CRC_H
+#define ZIRIA_DSP_CRC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ziria {
+namespace dsp {
+
+/** Streaming CRC-32 (poly 0x04C11DB7, init/final 0xFFFFFFFF). */
+class Crc32
+{
+  public:
+    void reset() { crc_ = 0xFFFFFFFFu; }
+
+    /** Feed one bit (transmission order). */
+    void
+    inputBit(uint8_t bit)
+    {
+        uint32_t fb = (crc_ ^ static_cast<uint32_t>(bit & 1)) & 1u;
+        crc_ >>= 1;
+        if (fb)
+            crc_ ^= 0xEDB88320u;  // reflected 0x04C11DB7
+    }
+
+    /** Final CRC value. */
+    uint32_t value() const { return crc_ ^ 0xFFFFFFFFu; }
+
+    /** The 32 FCS bits in transmission order. */
+    std::vector<uint8_t> fcsBits() const;
+
+    /** CRC over a full bit vector. */
+    static uint32_t ofBits(const std::vector<uint8_t>& bits);
+
+  private:
+    uint32_t crc_ = 0xFFFFFFFFu;
+};
+
+/** Streaming CRC-24 (poly 0x864CFB, init 0). */
+class Crc24
+{
+  public:
+    void reset() { crc_ = 0; }
+
+    void inputBit(uint8_t bit);
+
+    uint32_t value() const { return crc_ & 0xFFFFFFu; }
+
+    static uint32_t ofBits(const std::vector<uint8_t>& bits);
+
+  private:
+    uint32_t crc_ = 0;
+};
+
+} // namespace dsp
+} // namespace ziria
+
+#endif // ZIRIA_DSP_CRC_H

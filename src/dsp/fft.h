@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-point radix-2 FFT/IFFT on 16-bit I/Q samples.
+ *
+ * This is part of the "basic signal processing library" the paper ships
+ * with Ziria (its FFT/IFFT/Viterbi kernels are native blocks borrowed from
+ * Sora; ours are written from scratch).  Twiddles are Q15; butterflies
+ * accumulate in 32 bits.
+ *
+ * Scaling convention: `forward` divides by N (one >>1 per stage), so a
+ * WiFi receiver recovers constellation points at their transmitted
+ * amplitude; `inverse` applies no scaling, so inverse(forward(x)) == x up
+ * to rounding and a transmitter feeds constellation points scaled such
+ * that the time-domain sum stays within int16.
+ */
+#ifndef ZIRIA_DSP_FFT_H
+#define ZIRIA_DSP_FFT_H
+
+#include <vector>
+
+#include "ztype/value.h"
+
+namespace ziria {
+namespace dsp {
+
+/** Precomputed plan for a power-of-two FFT. */
+class Fft
+{
+  public:
+    explicit Fft(int n);
+
+    int size() const { return n_; }
+
+    /** DFT scaled by 1/N.  @p in and @p out must not alias. */
+    void forward(const Complex16* in, Complex16* out) const;
+
+    /** Unscaled inverse DFT.  @p in and @p out must not alias. */
+    void inverse(const Complex16* in, Complex16* out) const;
+
+  private:
+    void run(const Complex16* in, Complex16* out, bool inverse,
+             bool scale) const;
+
+    int n_;
+    int log2n_;
+    std::vector<Complex16> twiddle_;   ///< e^{-2pi i k/N}, Q15
+    std::vector<int> bitrev_;
+};
+
+/** Reference double-precision DFT (for tests). */
+void dftReference(const std::vector<std::complex<double>>& in,
+                  std::vector<std::complex<double>>& out, bool inverse);
+
+} // namespace dsp
+} // namespace ziria
+
+#endif // ZIRIA_DSP_FFT_H

@@ -1,0 +1,130 @@
+#include "dsp/viterbi.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+#include "support/panic.h"
+
+namespace ziria {
+namespace dsp {
+
+namespace {
+
+constexpr uint32_t kInfMetric = 1u << 29;
+
+inline int
+nextState(int s, int u)
+{
+    return (s >> 1) | (u << 5);
+}
+
+} // namespace
+
+ViterbiDecoder::ViterbiDecoder(int traceback, int block)
+    : tb_(traceback), block_(block)
+{
+    ZIRIA_ASSERT(traceback > 0 && block > 0);
+    for (int s = 0; s < convStates; ++s) {
+        for (int u = 0; u < 2; ++u) {
+            uint32_t window = (static_cast<uint32_t>(u) << 6) |
+                              static_cast<uint32_t>(s);
+            expected_[s][u][0] =
+                static_cast<uint8_t>(parity32(window & convG0));
+            expected_[s][u][1] =
+                static_cast<uint8_t>(parity32(window & convG1));
+            expIdx_[s][u] = static_cast<uint8_t>(
+                expected_[s][u][0] | (expected_[s][u][1] << 1));
+        }
+    }
+    reset();
+}
+
+void
+ViterbiDecoder::reset()
+{
+    metric_.assign(convStates, kInfMetric);
+    metricNext_.assign(convStates, kInfMetric);
+    metric_[0] = 0;  // the encoder starts zeroed
+    decisions_.clear();
+}
+
+void
+ViterbiDecoder::inputPair(uint8_t a, uint8_t b, std::vector<uint8_t>& out)
+{
+    std::fill(metricNext_.begin(), metricNext_.end(), kInfMetric);
+    uint64_t decisionWord = 0;
+
+    // Branch metric by packed expected outputs (erasures cost nothing).
+    uint32_t costTab[4];
+    for (int e = 0; e < 4; ++e) {
+        uint32_t c = 0;
+        if (a != 2 && a != (e & 1))
+            ++c;
+        if (b != 2 && b != (e >> 1))
+            ++c;
+        costTab[e] = c;
+    }
+
+    for (int s = 0; s < convStates; ++s) {
+        uint32_t m = metric_[s];
+        if (m >= kInfMetric)
+            continue;
+        for (int u = 0; u < 2; ++u) {
+            uint32_t cost = m + costTab[expIdx_[s][u]];
+            int ns = nextState(s, u);
+            if (cost < metricNext_[ns]) {
+                metricNext_[ns] = cost;
+                // Decision: the dropped oldest bit of the predecessor.
+                if (s & 1)
+                    decisionWord |= (uint64_t{1} << ns);
+                else
+                    decisionWord &= ~(uint64_t{1} << ns);
+            }
+        }
+    }
+    metric_.swap(metricNext_);
+    decisions_.push_back(decisionWord);
+
+    // Normalize metrics occasionally so they never overflow.
+    uint32_t minM = *std::min_element(metric_.begin(), metric_.end());
+    if (minM > (1u << 20)) {
+        for (auto& m : metric_)
+            m -= minM;
+    }
+
+    if (static_cast<int>(decisions_.size()) >= tb_ + block_)
+        traceback(block_, out);
+}
+
+void
+ViterbiDecoder::traceback(int emit_count, std::vector<uint8_t>& out)
+{
+    // Start from the best current state and walk the whole history.
+    int best = 0;
+    for (int s = 1; s < convStates; ++s) {
+        if (metric_[s] < metric_[best])
+            best = s;
+    }
+    const int steps = static_cast<int>(decisions_.size());
+    std::vector<uint8_t> bits(steps);
+    int state = best;
+    for (int t = steps - 1; t >= 0; --t) {
+        bits[t] = static_cast<uint8_t>(state >> 5);  // the input at time t
+        int dropped = (decisions_[t] >> state) & 1;
+        state = ((state << 1) & 0x3f) | dropped;
+    }
+    // Release the oldest emit_count bits.
+    emit_count = std::min(emit_count, steps);
+    out.insert(out.end(), bits.begin(), bits.begin() + emit_count);
+    decisions_.erase(decisions_.begin(), decisions_.begin() + emit_count);
+}
+
+void
+ViterbiDecoder::flush(std::vector<uint8_t>& out)
+{
+    if (!decisions_.empty())
+        traceback(static_cast<int>(decisions_.size()), out);
+}
+
+} // namespace dsp
+} // namespace ziria

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Streaming Viterbi decoder for the 802.11a K=7 convolutional code.
+ *
+ * Hard decisions with erasure support (value 2 contributes no branch
+ * metric — how punctured positions are handled).  The decoder emits
+ * decoded bits in blocks once its path memory exceeds the traceback
+ * depth, matching the streaming behaviour the paper relies on (the
+ * Viterbi block's output granularity is data dependent, which is why it
+ * cannot be auto-vectorized and uses annotations instead).
+ */
+#ifndef ZIRIA_DSP_VITERBI_H
+#define ZIRIA_DSP_VITERBI_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/conv_code.h"
+
+namespace ziria {
+namespace dsp {
+
+/** Hard-decision Viterbi decoder with erasures. */
+class ViterbiDecoder
+{
+  public:
+    /**
+     * @param traceback path-memory depth before bits are released
+     * @param block     bits released per traceback
+     */
+    explicit ViterbiDecoder(int traceback = 128, int block = 64);
+
+    void reset();
+
+    /**
+     * Consume one coded-bit pair on the rate-1/2 lattice (values 0, 1 or
+     * 2 = erasure); decoded bits may be appended to @p out.
+     */
+    void inputPair(uint8_t a, uint8_t b, std::vector<uint8_t>& out);
+
+    /** Decode all remaining path memory (end of packet). */
+    void flush(std::vector<uint8_t>& out);
+
+  private:
+    void traceback(int emit_count, std::vector<uint8_t>& out);
+
+    int tb_;
+    int block_;
+    std::vector<uint32_t> metric_;
+    std::vector<uint32_t> metricNext_;
+    std::vector<uint64_t> decisions_;  ///< one 64-bit word per step
+    /** Precomputed expected (A,B) outputs for (state, input). */
+    uint8_t expected_[convStates][2][2];
+    /** Packed expected index (A | B<<1) per (state, input). */
+    uint8_t expIdx_[convStates][2];
+};
+
+} // namespace dsp
+} // namespace ziria
+
+#endif // ZIRIA_DSP_VITERBI_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hand-written C++ WiFi TX/RX — the role of the paper's Sora baseline.
+ *
+ * Direct buffer-to-buffer implementations using precomputed tables
+ * (scrambler sequence, interleaver index tables, constellation slicing),
+ * sharing the DSP substrate with the Ziria pipelines.  Figure 6 compares
+ * the Ziria-compiled pipelines against these.
+ */
+#ifndef ZIRIA_SORA_SORA_H
+#define ZIRIA_SORA_SORA_H
+
+#include <vector>
+
+#include "wifi/params.h"
+
+namespace ziria {
+namespace sora {
+
+/**
+ * Payload data path: DATA-field bits -> time-domain samples (one call,
+ * no streaming machinery).  Pilot polarity starts at p_1 (matching the
+ * Ziria payload-only pipeline).
+ */
+std::vector<Complex16> txDataSamples(const std::vector<uint8_t>& data_bits,
+                                     wifi::Rate rate);
+
+/** Full frame: preamble + SIGNAL + DATA. */
+std::vector<Complex16> txFrame(const std::vector<uint8_t>& payload,
+                               wifi::Rate rate);
+
+/**
+ * Symbol-aligned payload decode (inverse of txDataSamples): samples ->
+ * DATA-field bits.
+ */
+std::vector<uint8_t> rxDataBits(const std::vector<Complex16>& samples,
+                                wifi::Rate rate, int psdu_len);
+
+/** Full-receiver result. */
+struct RxResult
+{
+    bool detected = false;
+    bool headerValid = false;
+    bool crcOk = false;
+    wifi::SignalInfo sig;
+    std::vector<uint8_t> psduBytes;  ///< payload + FCS when decoded
+};
+
+/** Full receiver with synchronization and channel estimation. */
+RxResult rxFrame(const std::vector<Complex16>& samples);
+
+} // namespace sora
+} // namespace ziria
+
+#endif // ZIRIA_SORA_SORA_H

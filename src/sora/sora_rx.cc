@@ -1,0 +1,266 @@
+#include "sora/sora.h"
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/crc.h"
+#include "dsp/fft.h"
+#include "dsp/viterbi.h"
+#include "support/panic.h"
+#include "wifi/tx.h"
+
+namespace ziria {
+namespace sora {
+
+using namespace wifi;
+
+namespace {
+
+const dsp::Fft&
+fft64()
+{
+    static dsp::Fft plan(fftSize);
+    return plan;
+}
+
+/** Demap + deinterleave one OFDM symbol of equalized points. */
+void
+demapSymbol(const Complex16* points, const RateInfo& ri,
+            std::vector<uint8_t>& coded)
+{
+    const int nb = dsp::bitsPerSymbol(ri.modulation);
+    std::vector<uint8_t> il(static_cast<size_t>(ri.ncbps));
+    for (int i = 0; i < numDataCarriers; ++i) {
+        uint32_t v = dsp::demapPoint(ri.modulation, points[i]);
+        for (int k = 0; k < nb; ++k)
+            il[static_cast<size_t>(i * nb + k)] =
+                static_cast<uint8_t>((v >> k) & 1);
+    }
+    const std::vector<int> tab = interleaverTable(ri.rate);
+    size_t base = coded.size();
+    coded.resize(base + static_cast<size_t>(ri.ncbps));
+    for (int k = 0; k < ri.ncbps; ++k)
+        coded[base + static_cast<size_t>(k)] =
+            il[static_cast<size_t>(tab[static_cast<size_t>(k)])];
+}
+
+/** Viterbi-decode a whole coded stream at the given rate. */
+std::vector<uint8_t>
+decodeBits(const std::vector<uint8_t>& coded, dsp::CodingRate rate,
+           long out_bits)
+{
+    dsp::Depuncturer dep(rate);
+    std::vector<uint8_t> lattice;
+    lattice.reserve(coded.size() * 2);
+    for (uint8_t b : coded)
+        dep.input(b, lattice);
+    dsp::ViterbiDecoder dec;
+    std::vector<uint8_t> out;
+    for (size_t i = 0; i + 1 < lattice.size() &&
+         static_cast<long>(i / 2) < out_bits; i += 2)
+        dec.inputPair(lattice[i], lattice[i + 1], out);
+    dec.flush(out);
+    if (static_cast<long>(out.size()) > out_bits)
+        out.resize(static_cast<size_t>(out_bits));
+    return out;
+}
+
+void
+descrambleInPlace(std::vector<uint8_t>& bits)
+{
+    static const std::vector<uint8_t> seq = scramblerSequence(127);
+    for (size_t i = 0; i < bits.size(); ++i)
+        bits[i] = (bits[i] ^ seq[i % 127]) & 1;
+}
+
+/** Per-symbol pilot phase correction. */
+void
+pilotCorrect(Complex16* bins, int symbol_idx)
+{
+    double pol = pilotPolarity(symbol_idx) ? 1.0 : -1.0;
+    std::complex<double> acc{0.0, 0.0};
+    for (int j = 0; j < numPilots; ++j) {
+        const Complex16& y = bins[pilotBins()[j]];
+        acc += std::complex<double>(y.re, y.im) *
+               (pol * pilotValues()[j]);
+    }
+    double theta = std::arg(acc);
+    std::complex<double> rot(std::cos(-theta), std::sin(-theta));
+    for (int k = 0; k < fftSize; ++k) {
+        std::complex<double> v(bins[k].re, bins[k].im);
+        v *= rot;
+        bins[k].re = static_cast<int16_t>(std::lround(
+            std::clamp(v.real(), -32768.0, 32767.0)));
+        bins[k].im = static_cast<int16_t>(std::lround(
+            std::clamp(v.imag(), -32768.0, 32767.0)));
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+rxDataBits(const std::vector<Complex16>& samples, Rate rate, int psdu_len)
+{
+    const RateInfo& ri = rateInfo(rate);
+    const long totalBits = dataFieldBits(rate, psdu_len);
+    std::vector<uint8_t> coded;
+    for (size_t pos = 0; pos + symLen <= samples.size();
+         pos += symLen) {
+        Complex16 bins[fftSize];
+        fft64().forward(samples.data() + pos + cpLen, bins);
+        Complex16 points[numDataCarriers];
+        for (int i = 0; i < numDataCarriers; ++i)
+            points[i] = bins[dataCarrierBin(i)];
+        demapSymbol(points, ri, coded);
+    }
+    std::vector<uint8_t> bits = decodeBits(coded, ri.coding, totalBits);
+    descrambleInPlace(bits);
+    return bits;
+}
+
+RxResult
+rxFrame(const std::vector<Complex16>& samples)
+{
+    RxResult res;
+    const auto& lts = ltsSymbol();
+
+    // Locate the second LTS symbol by sliding correlation.
+    double ltsEnergy = 1e-9;
+    for (const auto& l : lts)
+        ltsEnergy += static_cast<double>(l.re) * l.re +
+                     static_cast<double>(l.im) * l.im;
+
+    long peak1 = -1;
+    double bestRatio = 0.0;
+    int sincePeak = 0;
+    for (size_t n = 63; n < samples.size(); ++n) {
+        std::complex<double> c{0.0, 0.0};
+        double e = 1e-9;
+        for (int t = 0; t < fftSize; ++t) {
+            const Complex16& r = samples[n - 63 + t];
+            std::complex<double> rv(r.re, r.im);
+            std::complex<double> lv(lts[static_cast<size_t>(t)].re,
+                                    lts[static_cast<size_t>(t)].im);
+            c += rv * std::conj(lv);
+            e += std::norm(rv);
+        }
+        double ratio = std::norm(c) / (e * ltsEnergy);
+        if (ratio > 0.5 && ratio >= bestRatio) {
+            bestRatio = ratio;
+            peak1 = static_cast<long>(n);
+            sincePeak = 0;
+        } else if (bestRatio > 0.0 && ++sincePeak >= 3) {
+            break;
+        }
+    }
+    if (peak1 < 0)
+        return res;
+    res.detected = true;
+
+    const long lts1Start = peak1 - 63;
+    const long lts2Start = lts1Start + fftSize;
+    const long dataStart = lts2Start + fftSize;
+    if (static_cast<size_t>(dataStart + symLen) > samples.size())
+        return res;
+
+    // Channel estimate from the averaged LTS symbols.
+    Complex16 avg[fftSize];
+    for (int t = 0; t < fftSize; ++t) {
+        int32_t re = (samples[lts1Start + t].re +
+                      samples[lts2Start + t].re) / 2;
+        int32_t im = (samples[lts1Start + t].im +
+                      samples[lts2Start + t].im) / 2;
+        avg[t] = Complex16{static_cast<int16_t>(re),
+                           static_cast<int16_t>(im)};
+    }
+    Complex16 hbins[fftSize];
+    fft64().forward(avg, hbins);
+    Complex16 ref[fftSize];
+    fft64().forward(lts.data(), ref);
+    const auto& L = ltsFreq();
+    double refAmp = 0.0;
+    int cnt = 0;
+    for (int k = 0; k < fftSize; ++k) {
+        if (L[static_cast<size_t>(k)]) {
+            refAmp += std::hypot(static_cast<double>(ref[k].re),
+                                 static_cast<double>(ref[k].im));
+            ++cnt;
+        }
+    }
+    refAmp /= cnt;
+    std::complex<double> inv[fftSize];
+    for (int k = 0; k < fftSize; ++k) {
+        inv[k] = {0.0, 0.0};
+        if (!L[static_cast<size_t>(k)])
+            continue;
+        std::complex<double> h(hbins[k].re, hbins[k].im);
+        h *= L[static_cast<size_t>(k)];
+        double m2 = std::norm(h);
+        if (m2 < 1.0)
+            continue;
+        inv[k] = std::conj(h) * (refAmp / m2);
+    }
+
+    auto equalizeSymbol = [&](long pos, int pilotIdx, Complex16* points) {
+        Complex16 bins[fftSize];
+        fft64().forward(samples.data() + pos + cpLen, bins);
+        Complex16 eq[fftSize];
+        for (int k = 0; k < fftSize; ++k) {
+            std::complex<double> v(bins[k].re, bins[k].im);
+            v *= inv[k];
+            eq[k].re = static_cast<int16_t>(std::lround(
+                std::clamp(v.real(), -32768.0, 32767.0)));
+            eq[k].im = static_cast<int16_t>(std::lround(
+                std::clamp(v.imag(), -32768.0, 32767.0)));
+        }
+        pilotCorrect(eq, pilotIdx);
+        for (int i = 0; i < numDataCarriers; ++i)
+            points[i] = eq[dataCarrierBin(i)];
+    };
+
+    // SIGNAL symbol.
+    Complex16 points[numDataCarriers];
+    equalizeSymbol(dataStart, 0, points);
+    std::vector<uint8_t> sigCoded;
+    demapSymbol(points, rateInfo(Rate::R6), sigCoded);
+    std::vector<uint8_t> sigBits =
+        decodeBits(sigCoded, dsp::CodingRate::Half, 24);
+    res.sig = parseSignal(sigBits);
+    res.headerValid = res.sig.valid;
+    if (!res.headerValid)
+        return res;
+
+    // DATA symbols.
+    const RateInfo& ri = rateInfo(res.sig.rate);
+    const int nsym = dataSymbols(res.sig.rate, res.sig.length);
+    const long totalBits = dataFieldBits(res.sig.rate, res.sig.length);
+    std::vector<uint8_t> coded;
+    for (int s = 0; s < nsym; ++s) {
+        long pos = dataStart + symLen * (1 + s);
+        if (static_cast<size_t>(pos + symLen) > samples.size())
+            return res;
+        equalizeSymbol(pos, 1 + s, points);
+        demapSymbol(points, ri, coded);
+    }
+    std::vector<uint8_t> bits = decodeBits(coded, ri.coding, totalBits);
+    descrambleInPlace(bits);
+
+    // SERVICE(16) + PSDU; CRC over the payload must match the FCS.
+    const size_t psduBits = static_cast<size_t>(res.sig.length) * 8;
+    if (bits.size() < 16 + psduBits)
+        return res;
+    std::vector<uint8_t> psdu(bits.begin() + 16,
+                              bits.begin() + 16 +
+                                  static_cast<long>(psduBits));
+    std::vector<uint8_t> payloadBits(psdu.begin(), psdu.end() - 32);
+    dsp::Crc32 crc;
+    for (uint8_t b : payloadBits)
+        crc.inputBit(b);
+    std::vector<uint8_t> fcs = crc.fcsBits();
+    res.crcOk = std::equal(fcs.begin(), fcs.end(), psdu.end() - 32);
+    res.psduBytes = bitsToBytes(psdu);
+    return res;
+}
+
+} // namespace sora
+} // namespace ziria

@@ -1,0 +1,120 @@
+#include "sora/sora.h"
+
+#include "dsp/conv_code.h"
+#include "dsp/crc.h"
+#include "dsp/fft.h"
+#include "support/panic.h"
+#include "wifi/tx.h"
+
+namespace ziria {
+namespace sora {
+
+using namespace wifi;
+
+namespace {
+
+const dsp::Fft&
+fft64()
+{
+    static dsp::Fft plan(fftSize);
+    return plan;
+}
+
+/** XOR with the precomputed scrambler sequence (all-ones seed). */
+void
+scrambleInPlace(std::vector<uint8_t>& bits)
+{
+    static const std::vector<uint8_t> seq = scramblerSequence(127);
+    for (size_t i = 0; i < bits.size(); ++i)
+        bits[i] = (bits[i] ^ seq[i % 127]) & 1;
+}
+
+/** Build one OFDM symbol (pilots + data) and emit 80 samples. */
+void
+ofdmSymbol(const Complex16* points, int pilot_idx,
+           std::vector<Complex16>& out)
+{
+    Complex16 bins[fftSize] = {};
+    for (int i = 0; i < numDataCarriers; ++i)
+        bins[dataCarrierBin(i)] = points[i];
+    int pol = pilotPolarity(pilot_idx) ? 1 : -1;
+    for (int j = 0; j < numPilots; ++j) {
+        int v = pol * pilotValues()[j] * dsp::constellationScale;
+        bins[pilotBins()[j]] =
+            Complex16{static_cast<int16_t>(v), 0};
+    }
+    Complex16 time[fftSize];
+    fft64().inverse(bins, time);
+    out.insert(out.end(), time + fftSize - cpLen, time + fftSize);
+    out.insert(out.end(), time, time + fftSize);
+}
+
+/** Encode + interleave + map the bits of whole OFDM symbols. */
+void
+modulateBits(const std::vector<uint8_t>& scrambled, const RateInfo& ri,
+             int first_pilot_idx, std::vector<Complex16>& out)
+{
+    dsp::ConvEncoder enc(ri.coding);
+    std::vector<uint8_t> coded;
+    coded.reserve(scrambled.size() * 2);
+    for (uint8_t b : scrambled)
+        enc.encodeBit(b, coded);
+    ZIRIA_ASSERT(coded.size() % static_cast<size_t>(ri.ncbps) == 0,
+                 "coded bits must fill whole symbols");
+
+    const std::vector<int> inv = deinterleaverTable(ri.rate);
+    const int nb = dsp::bitsPerSymbol(ri.modulation);
+    std::vector<uint8_t> il(static_cast<size_t>(ri.ncbps));
+    int pilotIdx = first_pilot_idx;
+    for (size_t s = 0; s < coded.size() / ri.ncbps; ++s) {
+        const uint8_t* sym = coded.data() + s * ri.ncbps;
+        for (int j = 0; j < ri.ncbps; ++j)
+            il[static_cast<size_t>(j)] = sym[inv[static_cast<size_t>(j)]];
+        Complex16 points[numDataCarriers];
+        for (int i = 0; i < numDataCarriers; ++i) {
+            uint32_t v = 0;
+            for (int k = 0; k < nb; ++k)
+                v |= static_cast<uint32_t>(il[i * nb + k] & 1) << k;
+            points[i] = dsp::mapBits(ri.modulation, v);
+        }
+        ofdmSymbol(points, pilotIdx++, out);
+    }
+}
+
+} // namespace
+
+std::vector<Complex16>
+txDataSamples(const std::vector<uint8_t>& data_bits, Rate rate)
+{
+    const RateInfo& ri = rateInfo(rate);
+    std::vector<uint8_t> scrambled = data_bits;
+    scrambleInPlace(scrambled);
+    std::vector<Complex16> out;
+    out.reserve(data_bits.size() / ri.ndbps * symLen + symLen);
+    modulateBits(scrambled, ri, 1, out);
+    return out;
+}
+
+std::vector<Complex16>
+txFrame(const std::vector<uint8_t>& payload, Rate rate)
+{
+    std::vector<Complex16> out;
+    const auto& sts = stsSamples();
+    const auto& lts = ltsSamples();
+    out.insert(out.end(), sts.begin(), sts.end());
+    out.insert(out.end(), lts.begin(), lts.end());
+
+    // SIGNAL: 24 header bits, BPSK rate-1/2, not scrambled, pilot p_0.
+    const int psdu = psduLen(static_cast<int>(payload.size()));
+    std::vector<uint8_t> sig = signalBits(rate, psdu);
+    modulateBits(sig, rateInfo(Rate::R6), 0, out);
+
+    // DATA: SERVICE + PSDU + tail/pad, scrambled, pilots from p_1.
+    std::vector<uint8_t> data = assembleDataBits(payload, rate);
+    scrambleInPlace(data);
+    modulateBits(data, rateInfo(rate), 1, out);
+    return out;
+}
+
+} // namespace sora
+} // namespace ziria

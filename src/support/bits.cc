@@ -1,0 +1,51 @@
+#include "support/bits.h"
+
+namespace ziria {
+
+void
+packBits(const uint8_t* src, size_t n, uint8_t* dst)
+{
+    for (size_t i = 0; i < n; ++i) {
+        size_t byte = i >> 3;
+        int off = static_cast<int>(i & 7);
+        if (off == 0)
+            dst[byte] = 0;
+        dst[byte] = static_cast<uint8_t>(dst[byte] | ((src[i] & 1) << off));
+    }
+}
+
+void
+unpackBits(const uint8_t* src, size_t n, uint8_t* dst)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = (src[i >> 3] >> (i & 7)) & 1;
+}
+
+std::vector<uint8_t>
+packBits(const std::vector<uint8_t>& bits)
+{
+    std::vector<uint8_t> out((bits.size() + 7) / 8, 0);
+    if (!bits.empty())
+        packBits(bits.data(), bits.size(), out.data());
+    return out;
+}
+
+std::vector<uint8_t>
+unpackBits(const std::vector<uint8_t>& bytes, size_t nbits)
+{
+    std::vector<uint8_t> out(nbits, 0);
+    if (nbits)
+        unpackBits(bytes.data(), nbits, out.data());
+    return out;
+}
+
+uint32_t
+reverseBits(uint32_t x, int n)
+{
+    uint32_t r = 0;
+    for (int i = 0; i < n; ++i)
+        r |= ((x >> i) & 1u) << (n - 1 - i);
+    return r;
+}
+
+} // namespace ziria

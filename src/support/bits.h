@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bit-packing helpers.
+ *
+ * The expression VM stores Ziria `bit` values unpacked (one byte per bit,
+ * value 0 or 1).  Lookup-table generation and the hand-written Sora-style
+ * baseline need packed representations; these helpers convert between the
+ * two and provide small bit utilities (parity, reversal) used by the DSP
+ * substrate.
+ */
+#ifndef ZIRIA_SUPPORT_BITS_H
+#define ZIRIA_SUPPORT_BITS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ziria {
+
+/** Pack @p n unpacked bits (one byte each, LSB-first) into @p dst bytes. */
+void packBits(const uint8_t* src, size_t n, uint8_t* dst);
+
+/** Unpack @p n bits from packed @p src into one byte per bit in @p dst. */
+void unpackBits(const uint8_t* src, size_t n, uint8_t* dst);
+
+/** Pack a vector of unpacked bits into a packed byte vector. */
+std::vector<uint8_t> packBits(const std::vector<uint8_t>& bits);
+
+/** Unpack @p nbits bits of a packed byte vector into unpacked bytes. */
+std::vector<uint8_t> unpackBits(const std::vector<uint8_t>& bytes,
+                                size_t nbits);
+
+/** Parity (XOR of all bits) of a 32-bit word. */
+inline uint32_t
+parity32(uint32_t x)
+{
+    return static_cast<uint32_t>(__builtin_parity(x));
+}
+
+/** Number of set bits in a 64-bit word. */
+inline int
+popcount64(uint64_t x)
+{
+    return __builtin_popcountll(x);
+}
+
+/** Reverse the low @p n bits of @p x. */
+uint32_t reverseBits(uint32_t x, int n);
+
+/**
+ * Append @p nbits bits of @p value (LSB-first) into a bit cursor over a
+ * byte buffer.  Used when assembling LUT keys from mixed-width fields.
+ */
+class BitWriter
+{
+  public:
+    explicit BitWriter(uint8_t* buf) : buf_(buf) {}
+
+    void
+    put(uint64_t value, int nbits)
+    {
+        for (int i = 0; i < nbits; ++i) {
+            size_t byte = pos_ >> 3;
+            int off = static_cast<int>(pos_ & 7);
+            uint8_t bit = static_cast<uint8_t>((value >> i) & 1);
+            if (off == 0)
+                buf_[byte] = 0;
+            buf_[byte] = static_cast<uint8_t>(buf_[byte] | (bit << off));
+            ++pos_;
+        }
+    }
+
+    size_t bitsWritten() const { return pos_; }
+
+  private:
+    uint8_t* buf_;
+    size_t pos_ = 0;
+};
+
+/** Read bits LSB-first from a byte buffer. */
+class BitReader
+{
+  public:
+    explicit BitReader(const uint8_t* buf) : buf_(buf) {}
+
+    uint64_t
+    get(int nbits)
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < nbits; ++i) {
+            size_t byte = pos_ >> 3;
+            int off = static_cast<int>(pos_ & 7);
+            v |= static_cast<uint64_t>((buf_[byte] >> off) & 1) << i;
+            ++pos_;
+        }
+        return v;
+    }
+
+  private:
+    const uint8_t* buf_;
+    size_t pos_ = 0;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_SUPPORT_BITS_H

@@ -1,0 +1,17 @@
+#include "support/panic.h"
+
+namespace ziria {
+
+void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    throw PanicError(msg);
+}
+
+} // namespace ziria

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Error-reporting primitives for the Ziria reproduction.
+ *
+ * Following gem5's convention, `panic` is for internal invariant violations
+ * (bugs in this library) and `fatal` is for user errors (ill-typed programs,
+ * bad configuration).  Both throw exceptions rather than aborting so that
+ * tests can assert on failure behaviour.
+ */
+#ifndef ZIRIA_SUPPORT_PANIC_H
+#define ZIRIA_SUPPORT_PANIC_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ziria {
+
+/** Exception carrying a user-level error (bad program, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Exception carrying an internal invariant violation (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+/** Throw a FatalError with the given message. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Throw a PanicError with the given message. */
+[[noreturn]] void panic(const std::string& msg);
+
+namespace detail {
+
+inline void
+streamInto(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream& os, const T& head, const Rest&... rest)
+{
+    os << head;
+    streamInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from stream-able pieces and throw a FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatalf(const Args&... args)
+{
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    fatal(os.str());
+}
+
+/** Build a message from stream-able pieces and throw a PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panicf(const Args&... args)
+{
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    panic(os.str());
+}
+
+/** Assert an internal invariant; panics with the condition text on failure. */
+#define ZIRIA_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::ziria::panicf("assertion failed: ", #cond, " ", __FILE__,    \
+                            ":", __LINE__, " ", ##__VA_ARGS__);            \
+        }                                                                   \
+    } while (0)
+
+} // namespace ziria
+
+#endif // ZIRIA_SUPPORT_PANIC_H

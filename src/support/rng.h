@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A single small xoshiro-style generator is used across tests, workload
+ * generators and the channel simulator so that every experiment is
+ * reproducible from a seed.
+ */
+#ifndef ZIRIA_SUPPORT_RNG_H
+#define ZIRIA_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace ziria {
+
+/** xorshift128+ generator with Box-Muller Gaussian sampling. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit word. */
+    uint64_t next();
+
+    /** Uniform integer in [0, n). */
+    uint64_t below(uint64_t n);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Standard normal sample (Box-Muller). */
+    double gaussian();
+
+    /** Random bit (0/1). */
+    uint8_t bit() { return static_cast<uint8_t>(next() & 1); }
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_SUPPORT_RNG_H

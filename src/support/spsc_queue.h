@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer byte-element ring buffer.
+ *
+ * This is the interthread queue inserted by the `|>>>|` combinator
+ * (Section 2.6 of the paper: pipeline parallelization introduces interthread
+ * queues between components placed on different cores).  Elements are
+ * fixed-width byte records; the queue supports batched push/pop, close
+ * (end-of-stream from the producer) and cancel (early termination requested
+ * by the consumer, e.g. when a downstream computer halts).
+ */
+#ifndef ZIRIA_SUPPORT_SPSC_QUEUE_H
+#define ZIRIA_SUPPORT_SPSC_QUEUE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace ziria {
+
+/**
+ * Bounded SPSC queue of fixed-width elements.
+ *
+ * Implemented with a mutex + condition variables.  On the single-core
+ * evaluation host a lock-free spin design would burn the producer's whole
+ * timeslice, so blocking waits are the right trade-off; the interface is
+ * the same either way.
+ */
+class SpscQueue
+{
+  public:
+    /**
+     * @param elem_width Bytes per element (must be > 0).
+     * @param capacity   Elements the ring can hold.
+     */
+    SpscQueue(size_t elem_width, size_t capacity)
+        : width_(elem_width), cap_(capacity), buf_(elem_width * capacity)
+    {
+    }
+
+    size_t elemWidth() const { return width_; }
+
+    /**
+     * Push one element; blocks while full.
+     * @return false if the queue was cancelled (element dropped).
+     */
+    bool
+    push(const uint8_t* elem)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        notFull_.wait(lk, [&] { return size_ < cap_ || cancelled_; });
+        if (cancelled_)
+            return false;
+        std::memcpy(&buf_[(head_ % cap_) * width_], elem, width_);
+        ++head_;
+        ++size_;
+        lk.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Pop one element; blocks while empty and not closed.
+     * @return false on end-of-stream (closed and drained, or cancelled).
+     */
+    bool
+    pop(uint8_t* elem)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        notEmpty_.wait(lk, [&] {
+            return size_ > 0 || closed_ || cancelled_;
+        });
+        if (cancelled_ || size_ == 0)
+            return false;
+        std::memcpy(elem, &buf_[(tail_ % cap_) * width_], width_);
+        ++tail_;
+        --size_;
+        lk.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Producer signals end-of-stream. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+    }
+
+    /** Consumer requests early termination; unblocks the producer. */
+    void
+    cancel()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            cancelled_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    bool
+    cancelled() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return cancelled_;
+    }
+
+  private:
+    const size_t width_;
+    const size_t cap_;
+    std::vector<uint8_t> buf_;
+    mutable std::mutex mu_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+    size_t size_ = 0;
+    bool closed_ = false;
+    bool cancelled_ = false;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_SUPPORT_SPSC_QUEUE_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Monotonic timing helpers for the benchmark harnesses.
+ */
+#ifndef ZIRIA_SUPPORT_TIMING_H
+#define ZIRIA_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace ziria {
+
+/** Nanoseconds from the steady clock. */
+inline uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Simple stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(nowNs()) {}
+
+    void reset() { start_ = nowNs(); }
+
+    uint64_t elapsedNs() const { return nowNs() - start_; }
+
+    double elapsedSec() const { return elapsedNs() * 1e-9; }
+
+  private:
+    uint64_t start_;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_SUPPORT_TIMING_H

@@ -1,0 +1,257 @@
+#include "wifi/blocks_tx.h"
+
+#include "support/panic.h"
+#include "wifi/native_blocks.h"
+#include "zexpr/natives.h"
+
+namespace ziria {
+namespace wifi {
+
+using namespace zb;
+
+CompPtr
+scramblerBlock()
+{
+    VarRef st = freshVar("scrmbl_st", Type::array(Type::bit(), 7));
+    VarRef x = freshVar("x", Type::bit());
+    VarRef tmp = freshVar("tmp", Type::bit());
+    return letvar(
+        st, bitArrayLit({1, 1, 1, 1, 1, 1, 1}),
+        repeatc(seqc(
+            {bindc(x, take(Type::bit())),
+             just(doS({sDecl(tmp, idx(var(st), 3) ^ idx(var(st), 0)),
+                       assign(slice(var(st), 0, 6), slice(var(st), 1, 6)),
+                       assign(idx(var(st), 6), var(tmp))})),
+             just(emit(var(x) ^ var(tmp)))})));
+}
+
+namespace {
+
+/**
+ * One encoder step: binds a fresh input bit, computes the two coded
+ * outputs into @p a / @p b, and shifts the state.  The state array holds
+ * u(t-1)..u(t-6) in s[0..5].
+ */
+void
+encoderStep(std::vector<SeqComp::Item>& items, const VarRef& st,
+            const VarRef& a, const VarRef& b)
+{
+    VarRef x = freshVar("x", Type::bit());
+    items.push_back(bindc(x, take(Type::bit())));
+    // A = u + u(t-2) + u(t-3) + u(t-5) + u(t-6)   (g0 = 133 octal)
+    // B = u + u(t-1) + u(t-2) + u(t-3) + u(t-6)   (g1 = 171 octal)
+    items.push_back(just(doS(
+        {assign(var(a), var(x) ^ idx(var(st), 1) ^ idx(var(st), 2) ^
+                            idx(var(st), 4) ^ idx(var(st), 5)),
+         assign(var(b), var(x) ^ idx(var(st), 0) ^ idx(var(st), 1) ^
+                            idx(var(st), 2) ^ idx(var(st), 5)),
+         assign(slice(var(st), 1, 5), slice(var(st), 0, 5)),
+         assign(idx(var(st), 0), var(x))})));
+}
+
+} // namespace
+
+CompPtr
+encoderBlock(dsp::CodingRate rate)
+{
+    VarRef st = freshVar("enc_st", Type::array(Type::bit(), 6));
+    VarRef a = freshVar("ca", Type::bit());
+    VarRef b = freshVar("cb", Type::bit());
+    std::vector<SeqComp::Item> items;
+    switch (rate) {
+      case dsp::CodingRate::Half:
+        // 1 in -> A B
+        encoderStep(items, st, a, b);
+        items.push_back(just(emit(var(a))));
+        items.push_back(just(emit(var(b))));
+        break;
+      case dsp::CodingRate::TwoThirds: {
+        // 2 in -> A1 B1 A2  (B2 stolen)
+        encoderStep(items, st, a, b);
+        items.push_back(just(emit(var(a))));
+        items.push_back(just(emit(var(b))));
+        encoderStep(items, st, a, b);
+        items.push_back(just(emit(var(a))));
+        break;
+      }
+      case dsp::CodingRate::ThreeQuarters: {
+        // 3 in -> A1 B1 A2 B3  (B2, A3 stolen)
+        encoderStep(items, st, a, b);
+        items.push_back(just(emit(var(a))));
+        items.push_back(just(emit(var(b))));
+        encoderStep(items, st, a, b);
+        items.push_back(just(emit(var(a))));
+        encoderStep(items, st, a, b);
+        items.push_back(just(emit(var(b))));
+        break;
+      }
+    }
+    // The per-bit temporaries live inside the repeat body, so they are
+    // per-iteration scratch (kept out of auto-LUT keys); the shift
+    // register persists outside.
+    return letvar(st, nullptr,
+                  repeatc(letvar(a, nullptr,
+                                 letvar(b, nullptr,
+                                        seqc(std::move(items))))));
+}
+
+namespace {
+
+int
+ncbpsOf(dsp::Modulation m)
+{
+    return numDataCarriers * dsp::bitsPerSymbol(m);
+}
+
+Rate
+rateForModulation(dsp::Modulation m)
+{
+    switch (m) {
+      case dsp::Modulation::Bpsk: return Rate::R6;
+      case dsp::Modulation::Qpsk: return Rate::R12;
+      case dsp::Modulation::Qam16: return Rate::R24;
+      default: return Rate::R54;
+    }
+}
+
+CompPtr
+permuteBlock(dsp::Modulation m, const std::vector<int>& out_to_in)
+{
+    const int n = ncbpsOf(m);
+    ZIRIA_ASSERT(static_cast<int>(out_to_in.size()) == n);
+    VarRef a = freshVar("ib", Type::array(Type::bit(), n));
+    std::vector<ExprPtr> outs;
+    outs.reserve(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j)
+        outs.push_back(idx(var(a), out_to_in[static_cast<size_t>(j)]));
+    return repeatc(seqc({bindc(a, takes(Type::bit(), n)),
+                         just(emits(arrayLit(std::move(outs))))}));
+}
+
+} // namespace
+
+CompPtr
+interleaverBlock(dsp::Modulation m)
+{
+    // interleaved[j] = coded[inverse_table[j]]
+    return permuteBlock(m, deinterleaverTable(rateForModulation(m)));
+}
+
+CompPtr
+deinterleaverBlock(dsp::Modulation m)
+{
+    // coded[k] = interleaved[table[k]]
+    return permuteBlock(m, interleaverTable(rateForModulation(m)));
+}
+
+CompPtr
+modulatorBlock(dsp::Modulation m)
+{
+    const int nb = dsp::bitsPerSymbol(m);
+    // Constellation table indexed by the packed bits.
+    std::vector<Value> points;
+    for (uint32_t v = 0; v < (1u << nb); ++v) {
+        Complex16 p = dsp::mapBits(m, v);
+        points.push_back(Value::c16(p.re, p.im));
+    }
+    ExprPtr table = cVal(Value::arrayOf(Type::complex16(), points));
+
+    VarRef bits = freshVar("mb", Type::array(Type::bit(), nb));
+    ExprPtr index = cast(Type::int32(), idx(var(bits), 0));
+    for (int i = 1; i < nb; ++i) {
+        index = index + mkBin(BinOp::Mul, cInt(1 << i),
+                              cast(Type::int32(), idx(var(bits), i)));
+    }
+    return repeatc(seqc({bindc(bits, takes(Type::bit(), nb)),
+                         just(emit(idx(table, index)))}));
+}
+
+CompPtr
+mapOfdmBlock(const VarRef& pilotIdx)
+{
+    // Constant tables.
+    std::vector<Value> binVals;
+    for (int i = 0; i < numDataCarriers; ++i)
+        binVals.push_back(Value::i32(dataCarrierBin(i)));
+    ExprPtr binTable = cVal(Value::arrayOf(Type::int32(), binVals));
+
+    std::vector<uint8_t> polBits;
+    for (int i = 0; i < 127; ++i)
+        polBits.push_back(pilotPolarity(i));
+    ExprPtr polTable = cVal(Value::bitArray(polBits));
+
+    VarRef x = freshVar("pts", Type::array(Type::complex16(),
+                                           numDataCarriers));
+    VarRef sym = freshVar("sym", symbolArrayType());
+    VarRef i = freshVar("i", Type::int32());
+    VarRef pol = freshVar("pol", Type::bit());
+
+    StmtList stmts;
+    stmts.push_back(assign(var(sym), cVal(Value::zeroOf(sym->type))));
+    stmts.push_back(sFor(i, cInt(0), cInt(numDataCarriers),
+                         {assign(idx(var(sym), idx(binTable, var(i))),
+                                 idx(var(x), var(i)))}));
+    stmts.push_back(sDecl(pol, idx(polTable, var(pilotIdx) % 127)));
+    const int16_t amp =
+        static_cast<int16_t>(dsp::constellationScale);
+    for (int j = 0; j < numPilots; ++j) {
+        int16_t v = static_cast<int16_t>(amp * pilotValues()[j]);
+        stmts.push_back(assign(
+            idx(var(sym), cInt(pilotBins()[j])),
+            cond(var(pol) == cBit(1), cC16(v, 0),
+                 cC16(static_cast<int16_t>(-v), 0))));
+    }
+    stmts.push_back(assign(var(pilotIdx), var(pilotIdx) + 1));
+
+    return repeatc(seqc(
+        {bindc(x, takes(Type::complex16(), numDataCarriers)),
+         just(doS(std::move(stmts))), just(emit(var(sym)))}));
+}
+
+CompPtr
+cpInsertBlock()
+{
+    VarRef sym = freshVar("tsym", symbolArrayType());
+    return repeatc(seqc({bindc(sym, take(sym->type)),
+                         just(emits(slice(var(sym), fftSize - cpLen,
+                                          cpLen))),
+                         just(emits(var(sym)))}));
+}
+
+CompPtr
+crcAppendBlock(ExprPtr payload_bytes)
+{
+    VarRef crc = freshVar("crc", Type::int64());
+    VarRef x = freshVar("x", Type::bit());
+    VarRef fb = freshVar("fb", Type::int64());
+    VarRef i = freshVar("i", Type::int32());
+
+    // times (8 * bytes): pass the bit through the CRC register.
+    CompPtr pass = timesc(
+        mkBin(BinOp::Mul, cInt(8), std::move(payload_bytes)),
+        seqc({bindc(x, take(Type::bit())),
+              just(doS({sDecl(fb, (var(crc) ^
+                                   cast(Type::int64(), var(x))) &
+                                      1),
+                        assign(var(crc), var(crc) >> 1),
+                        sIf(var(fb) == 1,
+                            {assign(var(crc),
+                                    var(crc) ^ cI64(0xEDB88320ll))})})),
+              just(emit(var(x)))}));
+
+    // Emit the 32 FCS bits (ones-complement, LSB-first).
+    CompPtr fcs = seqc(
+        {just(doS({assign(var(crc),
+                          var(crc) ^ cI64(0xFFFFFFFFll))})),
+         just(timesc(cInt(32), i,
+                     emit(cast(Type::bit(),
+                               (var(crc) >>
+                                cast(Type::int64(), var(i))) &
+                                   1))))});
+
+    return letvar(crc, cI64(0xFFFFFFFFll),
+                  seqc({just(std::move(pass)), just(std::move(fcs))}));
+}
+
+} // namespace wifi
+} // namespace ziria

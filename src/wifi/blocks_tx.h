@@ -1,0 +1,57 @@
+/**
+ * @file
+ * WiFi transmitter blocks written in the DSL (via the builder frontend),
+ * mirroring the paper's TX block list (Figure 5b): scramble,
+ * encoding 12/23/34, interleaving per modulation, modulating per
+ * modulation, map_ofdm, ifft (native) and cyclic-prefix insertion.
+ *
+ * Every factory returns a fresh computation (fresh state variables), so
+ * blocks can be instantiated several times in one pipeline — e.g. the
+ * SIGNAL chain and the payload chain each get their own encoder.
+ */
+#ifndef ZIRIA_WIFI_BLOCKS_TX_H
+#define ZIRIA_WIFI_BLOCKS_TX_H
+
+#include "wifi/params.h"
+#include "zast/builder.h"
+
+namespace ziria {
+namespace wifi {
+
+/** The 802.11 scrambler (x^7 + x^4 + 1), all-ones seed; self-inverse. */
+CompPtr scramblerBlock();
+
+/** Convolutional encoder at the given coding rate (1 -> 2/1.5/1.33). */
+CompPtr encoderBlock(dsp::CodingRate rate);
+
+/** Block interleaver for the given modulation (one OFDM symbol). */
+CompPtr interleaverBlock(dsp::Modulation m);
+
+/** Deinterleaver (inverse permutation). */
+CompPtr deinterleaverBlock(dsp::Modulation m);
+
+/** Constellation mapper: nbpsc bits -> one complex16 point. */
+CompPtr modulatorBlock(dsp::Modulation m);
+
+/**
+ * OFDM symbol assembly: 48 data points -> one arr[64] of bins with
+ * pilots inserted.  @p pilotIdx is the shared pilot-polarity counter
+ * (declared with letvar by the caller and shared with other symbol
+ * producers in the same frame).
+ */
+CompPtr mapOfdmBlock(const VarRef& pilotIdx);
+
+/** Cyclic-prefix insertion: arr[64] samples -> 80 scalar samples. */
+CompPtr cpInsertBlock();
+
+/**
+ * CRC-32 pass-through: forwards 8*payloadBytes bits while accumulating
+ * the FCS, then emits the 32 FCS bits (the paper's `crc24(len)` block,
+ * with the 802.11 CRC-32).
+ */
+CompPtr crcAppendBlock(ExprPtr payload_bytes);
+
+} // namespace wifi
+} // namespace ziria
+
+#endif // ZIRIA_WIFI_BLOCKS_TX_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Native stream blocks used by the WiFi pipelines.
+ *
+ * Mirrors the paper's split: FFT/IFFT and Viterbi are native library
+ * kernels ("these blocks are standard and are reused across all modern
+ * physical layers"); we additionally implement the synchronization-heavy
+ * CCA and LTS blocks and pilot tracking natively, since they mix sliding
+ * correlations with data-dependent control.
+ */
+#ifndef ZIRIA_WIFI_NATIVE_BLOCKS_H
+#define ZIRIA_WIFI_NATIVE_BLOCKS_H
+
+#include <memory>
+
+#include "zast/comp.h"
+#include "wifi/params.h"
+
+namespace ziria {
+namespace wifi {
+
+/** arr[64] complex16 (one OFDM symbol worth of bins/samples). */
+TypePtr symbolArrayType();
+
+/** Detection result of clear-channel assessment. */
+TypePtr detInfoType();
+
+/** 64-point forward FFT: arr[64] c16 -> arr[64] c16. */
+std::shared_ptr<const NativeBlockSpec> specFft();
+
+/** 64-point inverse FFT: arr[64] c16 -> arr[64] c16. */
+std::shared_ptr<const NativeBlockSpec> specIfft();
+
+/**
+ * Viterbi decoder with depuncturing: bit -> bit transformer.  Arguments:
+ * coding (kCod12/23/34) and the total number of data bits to decode (the
+ * decoder flushes its path memory when the trellis is complete).
+ */
+std::shared_ptr<const NativeBlockSpec> specViterbi();
+
+/**
+ * Clear-channel assessment: consumes samples until the delay-16
+ * autocorrelation of the short training sequence is detected; returns a
+ * DetInfo control value.
+ */
+std::shared_ptr<const NativeBlockSpec> specCca();
+
+/**
+ * Long-training-symbol synchronization and channel estimation: consumes
+ * samples through the end of the second LTS symbol (leaving the stream
+ * aligned on the SIGNAL symbol boundary) and returns the Q12 inverse
+ * channel as arr[64] complex16.
+ */
+std::shared_ptr<const NativeBlockSpec> specLts();
+
+/**
+ * Pilot-based residual phase tracking: arr[64] -> arr[64] per-symbol
+ * derotation using the four pilot subcarriers.
+ */
+std::shared_ptr<const NativeBlockSpec> specPilotTrack();
+
+/**
+ * SIGNAL-field decoder: consumes the 48 deinterleaved coded bits of the
+ * SIGNAL symbol, Viterbi-decodes them and returns a HeaderInfo control
+ * value (modulation, coding, PSDU length, parity validity).
+ */
+std::shared_ptr<const NativeBlockSpec> specSignalDecode();
+
+/**
+ * Register the WiFi native blocks with the surface-syntax parser under
+ * the paper's names (FFT, IFFT, Viterbi, CCA, LTS, PilotTrack,
+ * SignalDecode).
+ */
+void registerWifiNatives();
+
+} // namespace wifi
+} // namespace ziria
+
+#endif // ZIRIA_WIFI_NATIVE_BLOCKS_H

@@ -1,0 +1,370 @@
+#include "wifi/params.h"
+
+#include <cmath>
+#include <complex>
+
+#include "support/panic.h"
+
+namespace ziria {
+namespace wifi {
+
+const std::vector<Rate>&
+allRates()
+{
+    static const std::vector<Rate> rates{Rate::R6,  Rate::R9,  Rate::R12,
+                                         Rate::R18, Rate::R24, Rate::R36,
+                                         Rate::R48, Rate::R54};
+    return rates;
+}
+
+const RateInfo&
+rateInfo(Rate r)
+{
+    using dsp::CodingRate;
+    using dsp::Modulation;
+    static const RateInfo table[numRates] = {
+        {Rate::R6, 6, Modulation::Bpsk, CodingRate::Half, 1, 48, 24, 0xB},
+        {Rate::R9, 9, Modulation::Bpsk, CodingRate::ThreeQuarters, 1, 48,
+         36, 0xF},
+        {Rate::R12, 12, Modulation::Qpsk, CodingRate::Half, 2, 96, 48,
+         0xA},
+        {Rate::R18, 18, Modulation::Qpsk, CodingRate::ThreeQuarters, 2, 96,
+         72, 0xE},
+        {Rate::R24, 24, Modulation::Qam16, CodingRate::Half, 4, 192, 96,
+         0x9},
+        {Rate::R36, 36, Modulation::Qam16, CodingRate::ThreeQuarters, 4,
+         192, 144, 0xD},
+        {Rate::R48, 48, Modulation::Qam64, CodingRate::TwoThirds, 6, 288,
+         192, 0x8},
+        {Rate::R54, 54, Modulation::Qam64, CodingRate::ThreeQuarters, 6,
+         288, 216, 0xC},
+    };
+    return table[static_cast<int>(r)];
+}
+
+std::optional<Rate>
+rateFromSignalBits(uint8_t bits)
+{
+    for (Rate r : allRates()) {
+        if (rateInfo(r).signalRateBits == bits)
+            return r;
+    }
+    return std::nullopt;
+}
+
+int
+dataCarrierBin(int i)
+{
+    static const std::vector<int> bins = [] {
+        std::vector<int> out;
+        for (int k = -26; k <= 26; ++k) {
+            if (k == 0 || k == 7 || k == -7 || k == 21 || k == -21)
+                continue;
+            out.push_back(k < 0 ? fftSize + k : k);
+        }
+        return out;
+    }();
+    ZIRIA_ASSERT(i >= 0 && i < numDataCarriers);
+    return bins[static_cast<size_t>(i)];
+}
+
+const int*
+pilotBins()
+{
+    static const int bins[numPilots] = {fftSize - 21, fftSize - 7, 7, 21};
+    return bins;
+}
+
+const int*
+pilotValues()
+{
+    static const int vals[numPilots] = {1, 1, 1, -1};
+    return vals;
+}
+
+uint8_t
+pilotPolarity(int symbolIndex)
+{
+    // p_{0..126} of 802.11a 17.3.5.9 (1 = +1, 0 = -1).
+    static const uint8_t p[127] = {
+        1, 1, 1, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 1,
+        0, 0, 1, 1, 0, 1, 1, 0, 1, 1, 1, 1, 1, 1, 0, 1,
+        1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 1, 0, 0, 0, 1,
+        0, 1, 0, 0, 1, 0, 0, 1, 1, 1, 1, 1, 0, 0, 1, 1,
+        0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0,
+        0, 1, 0, 0, 1, 0, 1, 1, 1, 1, 0, 1, 0, 1, 0, 1,
+        0, 0, 0, 0, 0, 1, 0, 1, 1, 0, 1, 0, 1, 1, 1, 0,
+        0, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0};
+    return p[symbolIndex % 127];
+}
+
+std::vector<int>
+interleaverTable(Rate r)
+{
+    const RateInfo& ri = rateInfo(r);
+    const int ncbps = ri.ncbps;
+    const int s = std::max(ri.nbpsc / 2, 1);
+    std::vector<int> table(static_cast<size_t>(ncbps));
+    for (int k = 0; k < ncbps; ++k) {
+        int i = (ncbps / 16) * (k % 16) + k / 16;
+        int j = s * (i / s) + (i + ncbps - (16 * i) / ncbps) % s;
+        table[static_cast<size_t>(k)] = j;
+    }
+    return table;
+}
+
+std::vector<int>
+deinterleaverTable(Rate r)
+{
+    std::vector<int> fwd = interleaverTable(r);
+    std::vector<int> inv(fwd.size());
+    for (size_t k = 0; k < fwd.size(); ++k)
+        inv[static_cast<size_t>(fwd[k])] = static_cast<int>(k);
+    return inv;
+}
+
+std::vector<uint8_t>
+scramblerSequence(int nbits)
+{
+    std::vector<uint8_t> out(static_cast<size_t>(nbits));
+    uint8_t s[7] = {1, 1, 1, 1, 1, 1, 1};
+    for (int i = 0; i < nbits; ++i) {
+        uint8_t tmp = s[3] ^ s[0];
+        for (int j = 0; j < 6; ++j)
+            s[j] = s[j + 1];
+        s[6] = tmp;
+        out[static_cast<size_t>(i)] = tmp;
+    }
+    return out;
+}
+
+int
+dataFieldBits(Rate r, int psduLen)
+{
+    return dataSymbols(r, psduLen) * rateInfo(r).ndbps;
+}
+
+int
+dataSymbols(Rate r, int psduLen)
+{
+    int nd = 16 + 8 * psduLen + 6;
+    int ndbps = rateInfo(r).ndbps;
+    return (nd + ndbps - 1) / ndbps;
+}
+
+std::vector<uint8_t>
+signalBits(Rate r, int psduLen)
+{
+    std::vector<uint8_t> bits(24, 0);
+    uint8_t rb = rateInfo(r).signalRateBits;
+    for (int i = 0; i < 4; ++i)
+        bits[static_cast<size_t>(i)] = (rb >> i) & 1;
+    // bit 4 reserved = 0; bits 5..16: LENGTH, LSB first.
+    for (int i = 0; i < 12; ++i)
+        bits[static_cast<size_t>(5 + i)] =
+            static_cast<uint8_t>((psduLen >> i) & 1);
+    uint8_t parity = 0;
+    for (int i = 0; i <= 16; ++i)
+        parity ^= bits[static_cast<size_t>(i)];
+    bits[17] = parity;
+    return bits;  // bits 18..23: tail zeros
+}
+
+SignalInfo
+parseSignal(const std::vector<uint8_t>& bits)
+{
+    SignalInfo out;
+    if (bits.size() < 24)
+        return out;
+    uint8_t parity = 0;
+    for (int i = 0; i <= 16; ++i)
+        parity ^= bits[static_cast<size_t>(i)] & 1;
+    if (parity != (bits[17] & 1))
+        return out;
+    uint8_t rb = 0;
+    for (int i = 0; i < 4; ++i)
+        rb |= static_cast<uint8_t>((bits[static_cast<size_t>(i)] & 1)
+                                   << i);
+    auto rate = rateFromSignalBits(rb);
+    if (!rate)
+        return out;
+    int len = 0;
+    for (int i = 0; i < 12; ++i)
+        len |= (bits[static_cast<size_t>(5 + i)] & 1) << i;
+    out.rate = *rate;
+    out.length = len;
+    out.valid = len > 0;
+    return out;
+}
+
+int32_t
+modCode(dsp::Modulation m)
+{
+    switch (m) {
+      case dsp::Modulation::Bpsk: return kModBpsk;
+      case dsp::Modulation::Qpsk: return kModQpsk;
+      case dsp::Modulation::Qam16: return kModQam16;
+      default: return kModQam64;
+    }
+}
+
+int32_t
+codCode(dsp::CodingRate c)
+{
+    switch (c) {
+      case dsp::CodingRate::Half: return kCod12;
+      case dsp::CodingRate::TwoThirds: return kCod23;
+      default: return kCod34;
+    }
+}
+
+dsp::Modulation
+modFromCode(int32_t code)
+{
+    switch (code) {
+      case kModBpsk: return dsp::Modulation::Bpsk;
+      case kModQpsk: return dsp::Modulation::Qpsk;
+      case kModQam16: return dsp::Modulation::Qam16;
+      default: return dsp::Modulation::Qam64;
+    }
+}
+
+dsp::CodingRate
+codFromCode(int32_t code)
+{
+    switch (code) {
+      case kCod12: return dsp::CodingRate::Half;
+      case kCod23: return dsp::CodingRate::TwoThirds;
+      default: return dsp::CodingRate::ThreeQuarters;
+    }
+}
+
+TypePtr
+headerInfoType()
+{
+    static TypePtr t = Type::strct(
+        "HeaderInfo", {{"modulation", Type::int32()},
+                       {"coding", Type::int32()},
+                       {"len", Type::int32()},
+                       {"valid", Type::int32()}});
+    return t;
+}
+
+// ------------------------------------------------------------ preamble
+
+namespace {
+
+/** Unscaled 64-point inverse DFT of per-bin values. */
+std::vector<std::complex<double>>
+idft64(const std::vector<std::complex<double>>& bins)
+{
+    std::vector<std::complex<double>> out(fftSize);
+    for (int n = 0; n < fftSize; ++n) {
+        std::complex<double> acc{0.0, 0.0};
+        for (int k = 0; k < fftSize; ++k) {
+            double ang = 2.0 * M_PI * k * n / fftSize;
+            acc += bins[static_cast<size_t>(k)] *
+                   std::complex<double>(std::cos(ang), std::sin(ang));
+        }
+        out[static_cast<size_t>(n)] = acc;
+    }
+    return out;
+}
+
+std::vector<Complex16>
+quantize(const std::vector<std::complex<double>>& xs, double peak)
+{
+    double maxAbs = 1e-9;
+    for (const auto& x : xs)
+        maxAbs = std::max(maxAbs, std::max(std::fabs(x.real()),
+                                           std::fabs(x.imag())));
+    double scale = peak / maxAbs;
+    std::vector<Complex16> out(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        out[i].re = static_cast<int16_t>(std::lround(xs[i].real() * scale));
+        out[i].im = static_cast<int16_t>(std::lround(xs[i].imag() * scale));
+    }
+    return out;
+}
+
+int
+binOfK(int k)
+{
+    return k < 0 ? fftSize + k : k;
+}
+
+} // namespace
+
+const std::vector<int>&
+ltsFreq()
+{
+    static const std::vector<int> bins = [] {
+        // L_{-26..26} of 802.11a 17.3.3.
+        static const int L[53] = {
+            1, 1,  -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1,
+            1, -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  0,  1,
+            -1, -1, 1, 1,  -1, 1,  -1, 1,  -1, -1, -1, -1, -1, 1,
+            1, -1, -1, 1,  -1, 1,  -1, 1,  1,  1,  1};
+        std::vector<int> out(fftSize, 0);
+        for (int k = -26; k <= 26; ++k)
+            out[static_cast<size_t>(binOfK(k))] = L[k + 26];
+        return out;
+    }();
+    return bins;
+}
+
+const std::vector<Complex16>&
+ltsSymbol()
+{
+    static const std::vector<Complex16> sym = [] {
+        std::vector<std::complex<double>> bins(fftSize, {0.0, 0.0});
+        const auto& L = ltsFreq();
+        for (int k = 0; k < fftSize; ++k)
+            bins[static_cast<size_t>(k)] = {
+                static_cast<double>(L[static_cast<size_t>(k)]), 0.0};
+        return quantize(idft64(bins), 9000.0);
+    }();
+    return sym;
+}
+
+const std::vector<Complex16>&
+ltsSamples()
+{
+    static const std::vector<Complex16> samples = [] {
+        const auto& sym = ltsSymbol();
+        std::vector<Complex16> out;
+        out.reserve(160);
+        // 32-sample guard = tail of the symbol, then two full symbols.
+        out.insert(out.end(), sym.end() - 32, sym.end());
+        out.insert(out.end(), sym.begin(), sym.end());
+        out.insert(out.end(), sym.begin(), sym.end());
+        return out;
+    }();
+    return samples;
+}
+
+const std::vector<Complex16>&
+stsSamples()
+{
+    static const std::vector<Complex16> samples = [] {
+        // S_k nonzero at multiples of 4; signs per 17.3.3.
+        std::vector<std::complex<double>> bins(fftSize, {0.0, 0.0});
+        const int ks[12] = {-24, -20, -16, -12, -8, -4, 4, 8, 12, 16,
+                            20, 24};
+        const int sg[12] = {1, -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1};
+        for (int i = 0; i < 12; ++i) {
+            double v = sg[i] * std::sqrt(13.0 / 6.0);
+            bins[static_cast<size_t>(binOfK(ks[i]))] = {v, v};
+        }
+        std::vector<std::complex<double>> sym = idft64(bins);
+        std::vector<std::complex<double>> rep;
+        rep.reserve(160);
+        for (int i = 0; i < 160; ++i)
+            rep.push_back(sym[static_cast<size_t>(i % fftSize)]);
+        return quantize(rep, 9000.0);
+    }();
+    return samples;
+}
+
+} // namespace wifi
+} // namespace ziria

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * 802.11a/g PHY parameters: the eight rates with their modulation/coding
+ * tables, OFDM constants, subcarrier maps, interleaver permutations, the
+ * SIGNAL-field encoding, and preamble sequences.
+ */
+#ifndef ZIRIA_WIFI_PARAMS_H
+#define ZIRIA_WIFI_PARAMS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dsp/constellation.h"
+#include "dsp/conv_code.h"
+#include "ztype/type.h"
+#include "ztype/value.h"
+
+namespace ziria {
+namespace wifi {
+
+/** The eight 802.11a data rates. */
+enum class Rate { R6, R9, R12, R18, R24, R36, R48, R54 };
+
+constexpr int numRates = 8;
+
+/** All rates in ascending order. */
+const std::vector<Rate>& allRates();
+
+/** Per-rate PHY parameters (Table 78 of 802.11a-1999). */
+struct RateInfo
+{
+    Rate rate;
+    int mbps;                   ///< data rate in Mb/s
+    dsp::Modulation modulation;
+    dsp::CodingRate coding;
+    int nbpsc;   ///< coded bits per subcarrier
+    int ncbps;   ///< coded bits per OFDM symbol
+    int ndbps;   ///< data bits per OFDM symbol
+    uint8_t signalRateBits;  ///< RATE field, transmit order b0..b3 in bit0..3
+};
+
+const RateInfo& rateInfo(Rate r);
+
+/** Rate from the SIGNAL RATE bits; nullopt if invalid. */
+std::optional<Rate> rateFromSignalBits(uint8_t bits);
+
+// ---------------------------------------------------------------- OFDM
+
+constexpr int fftSize = 64;
+constexpr int cpLen = 16;
+constexpr int symLen = fftSize + cpLen;  ///< 80 samples per OFDM symbol
+constexpr int numDataCarriers = 48;
+constexpr int numPilots = 4;
+
+/** FFT bin index of data subcarrier position i (0..47). */
+int dataCarrierBin(int i);
+
+/** FFT bin indices of the pilots (k = -21, -7, 7, 21). */
+const int* pilotBins();
+
+/** Pilot polarity sequence p_{0..126} (cyclic). */
+uint8_t pilotPolarity(int symbolIndex);
+
+/** Pilot base values (+1,+1,+1,-1 on bins -21,-7,7,21). */
+const int* pilotValues();
+
+// ---------------------------------------------------------- interleaver
+
+/**
+ * Interleaver table for a rate: entry k is the post-interleaving index of
+ * coded bit k within one OFDM symbol (NCBPS entries).
+ */
+std::vector<int> interleaverTable(Rate r);
+
+/** Inverse permutation. */
+std::vector<int> deinterleaverTable(Rate r);
+
+// ------------------------------------------------------------- scrambler
+
+/** The 127-bit scrambler sequence for the all-ones seed. */
+std::vector<uint8_t> scramblerSequence(int nbits);
+
+// ---------------------------------------------------------------- SIGNAL
+
+/** Number of DATA-field bits (SERVICE + PSDU + tail, padded). */
+int dataFieldBits(Rate r, int psduLen);
+
+/** Number of DATA OFDM symbols. */
+int dataSymbols(Rate r, int psduLen);
+
+/** Build the 24 SIGNAL bits for (rate, length). */
+std::vector<uint8_t> signalBits(Rate r, int psduLen);
+
+/** Decoded SIGNAL contents. */
+struct SignalInfo
+{
+    Rate rate = Rate::R6;
+    int length = 0;
+    bool valid = false;
+};
+
+/** Parse 24 decoded SIGNAL bits (rate, length, parity). */
+SignalInfo parseSignal(const std::vector<uint8_t>& bits);
+
+// ---------------------------------------------------------- HeaderInfo
+
+/** Modulation/coding codes used in the HeaderInfo struct (DSL side). */
+constexpr int32_t kModBpsk = 0;
+constexpr int32_t kModQpsk = 1;
+constexpr int32_t kModQam16 = 2;
+constexpr int32_t kModQam64 = 3;
+constexpr int32_t kCod12 = 0;
+constexpr int32_t kCod23 = 1;
+constexpr int32_t kCod34 = 2;
+
+int32_t modCode(dsp::Modulation m);
+int32_t codCode(dsp::CodingRate c);
+dsp::Modulation modFromCode(int32_t code);
+dsp::CodingRate codFromCode(int32_t code);
+
+/** The shared `struct HeaderInfo` type of the DSL pipelines. */
+TypePtr headerInfoType();
+
+// ---------------------------------------------------------- preamble
+
+/** 160-sample short training sequence (10 x 16). */
+const std::vector<Complex16>& stsSamples();
+
+/** 160-sample long training sequence (32 GI + 2 x 64). */
+const std::vector<Complex16>& ltsSamples();
+
+/** One 64-sample LTS symbol (time domain). */
+const std::vector<Complex16>& ltsSymbol();
+
+/** Frequency-domain LTS values per bin (-1/0/+1). */
+const std::vector<int>& ltsFreq();
+
+} // namespace wifi
+} // namespace ziria
+
+#endif // ZIRIA_WIFI_PARAMS_H

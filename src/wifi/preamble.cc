@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Host-side frame assembly helpers shared by the TX pipelines, the Sora
+ * baseline and the tests.
+ */
+#include "wifi/tx.h"
+
+#include "dsp/crc.h"
+#include "support/panic.h"
+
+namespace ziria {
+namespace wifi {
+
+std::vector<uint8_t>
+assembleDataBits(const std::vector<uint8_t>& payload, Rate rate)
+{
+    const int psdu = psduLen(static_cast<int>(payload.size()));
+    std::vector<uint8_t> bits;
+    bits.reserve(static_cast<size_t>(dataFieldBits(rate, psdu)));
+
+    // SERVICE: 16 zero bits.
+    bits.insert(bits.end(), 16, 0);
+
+    // PSDU: payload + CRC-32 FCS.
+    std::vector<uint8_t> payloadBits = bytesToBits(payload);
+    bits.insert(bits.end(), payloadBits.begin(), payloadBits.end());
+    dsp::Crc32 crc;
+    for (uint8_t b : payloadBits)
+        crc.inputBit(b);
+    std::vector<uint8_t> fcs = crc.fcsBits();
+    bits.insert(bits.end(), fcs.begin(), fcs.end());
+
+    // Tail + pad to a whole number of OFDM symbols.
+    const size_t total =
+        static_cast<size_t>(dataFieldBits(rate, psdu));
+    ZIRIA_ASSERT(bits.size() <= total);
+    bits.insert(bits.end(), total - bits.size(), 0);
+    return bits;
+}
+
+} // namespace wifi
+} // namespace ziria

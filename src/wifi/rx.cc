@@ -1,0 +1,112 @@
+#include "wifi/rx.h"
+
+#include "support/panic.h"
+#include "wifi/tx.h"
+
+namespace ziria {
+namespace wifi {
+
+using namespace zb;
+
+CompPtr
+decodePlcpComp()
+{
+    return pipe(pipe(demapperBlock(dsp::Modulation::Bpsk),
+                     deinterleaverBlock(dsp::Modulation::Bpsk)),
+                native(specSignalDecode()));
+}
+
+CompPtr
+decodeComp(const VarRef& h)
+{
+    ExprPtr mod = field(var(h), "modulation");
+
+    auto branchFor = [](dsp::Modulation m) {
+        return pipe(demapperBlock(m), deinterleaverBlock(m));
+    };
+    CompPtr dispatch = ifc(
+        mod == cInt(kModBpsk), branchFor(dsp::Modulation::Bpsk),
+        ifc(field(var(h), "modulation") == cInt(kModQpsk),
+            branchFor(dsp::Modulation::Qpsk),
+            ifc(field(var(h), "modulation") == cInt(kModQam16),
+                branchFor(dsp::Modulation::Qam16),
+                branchFor(dsp::Modulation::Qam64))));
+
+    CompPtr viterbi = native(
+        specViterbi(),
+        {field(var(h), "coding"),
+         call(totalBitsFun(),
+              {field(var(h), "modulation"), field(var(h), "coding"),
+               field(var(h), "len")})});
+
+    return pipe(pipe(pipe(demapLimitBlock(), std::move(dispatch)),
+                     std::move(viterbi)),
+                scramblerBlock());  // the scrambler is self-inverse
+}
+
+namespace {
+
+CompPtr
+receiveBitsComp()
+{
+    VarRef h = freshVar("h", headerInfoType());
+    CompPtr body = pipe(decodeComp(h), checkCrcBlock(h));
+    return seqc({bindc(h, decodePlcpComp()), just(std::move(body))});
+}
+
+} // namespace
+
+CompPtr
+wifiReceiverComp(bool oversampled)
+{
+    VarRef det = freshVar("det", detInfoType());
+    VarRef params = freshVar("params", symbolArrayType());
+
+    CompPtr detectSts = pipe(removeDcBlock(), native(specCca()));
+
+    CompPtr demod = pipe(
+        pipe(pipe(pipe(pipe(dataSymbolBlock(), native(specFft())),
+                       equalizerBlock(params)),
+                  native(specPilotTrack())),
+             getDataBlock()),
+        receiveBitsComp());
+
+    CompPtr rx = seqc({bindc(det, std::move(detectSts)),
+                       bindc(params, native(specLts())),
+                       just(std::move(demod))});
+    if (oversampled)
+        rx = pipe(downSampleBlock(), std::move(rx));
+    return rx;
+}
+
+CompPtr
+wifiReceiverLoopComp(bool oversampled)
+{
+    VarRef st = freshVar("crc_ok", Type::int32());
+    return repeatc(seqc({bindc(st, wifiReceiverComp(oversampled)),
+                         just(ret(cUnit()))}));
+}
+
+CompPtr
+wifiRxDataComp(Rate rate, int psdu_len, bool threaded)
+{
+    const RateInfo& ri = rateInfo(rate);
+    CompPtr front = pipe(
+        pipe(pipe(pipe(pipe(dataSymbolBlock(), native(specFft())),
+                       getDataBlock()),
+                  demapLimitBlock()),
+             demapperBlock(ri.modulation)),
+        deinterleaverBlock(ri.modulation));
+
+    CompPtr back = pipe(
+        native(specViterbi(),
+               {cInt(codCode(ri.coding)),
+                cInt(dataFieldBits(rate, psdu_len))}),
+        scramblerBlock());
+
+    return threaded ? ppipe(std::move(front), std::move(back))
+                    : pipe(std::move(front), std::move(back));
+}
+
+} // namespace wifi
+} // namespace ziria

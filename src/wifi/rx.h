@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Full WiFi 802.11a/g receiver pipelines (Listing 1 of the paper).
+ */
+#ifndef ZIRIA_WIFI_RX_H
+#define ZIRIA_WIFI_RX_H
+
+#include "wifi/blocks_rx.h"
+
+namespace ziria {
+namespace wifi {
+
+/**
+ * Rate-locked payload decoding chain (the throughput workload of
+ * Figure 6a): DataSymbol >>> FFT >>> (identity equalizer) >>> GetData
+ * >>> DemapLimit >>> Demap >>> Deinterleave >>> Viterbi >>> descrambler.
+ * Input: symbol-aligned c16 samples of DATA symbols; output: data bits.
+ * With @p threaded, Viterbi and the descrambler run on their own thread
+ * (the paper's RX |>>>| split).
+ */
+CompPtr wifiRxDataComp(Rate rate, int psdu_len, bool threaded = false);
+
+/**
+ * The full receiver of Listing 1: channel detection (removeDC >>> CCA),
+ * channel estimation (LTS), OFDM demodulation, PLCP header decoding and
+ * rate-dispatched payload decoding with CRC check.  A computer: halts
+ * after one packet, control value 1 when the FCS checked out.  Input:
+ * c16 samples at 20 Msps; output: the decoded PSDU bits.
+ * @param oversampled prepend the 2:1 DownSample block (40 Msps input).
+ */
+CompPtr wifiReceiverComp(bool oversampled = false);
+
+/** `repeat`-wrapped receiver: decodes packet after packet. */
+CompPtr wifiReceiverLoopComp(bool oversampled = false);
+
+/** The paper's Decode(h): rate dispatch from a bound HeaderInfo. */
+CompPtr decodeComp(const VarRef& h);
+
+/** DecodePLCP(): demap/deinterleave the SIGNAL symbol, return header. */
+CompPtr decodePlcpComp();
+
+} // namespace wifi
+} // namespace ziria
+
+#endif // ZIRIA_WIFI_RX_H

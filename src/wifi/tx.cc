@@ -1,0 +1,121 @@
+#include "wifi/tx.h"
+
+#include "support/panic.h"
+#include "wifi/native_blocks.h"
+
+namespace ziria {
+namespace wifi {
+
+using namespace zb;
+
+namespace {
+
+Value
+samplesValue(const std::vector<Complex16>& xs)
+{
+    std::vector<Value> vals;
+    vals.reserve(xs.size());
+    for (const auto& x : xs)
+        vals.push_back(Value::c16(x.re, x.im));
+    return Value::arrayOf(Type::complex16(), vals);
+}
+
+/** The OFDM back end: 48 points -> 80 samples per symbol. */
+CompPtr
+ofdmChain(const VarRef& pilotIdx)
+{
+    return pipe(pipe(mapOfdmBlock(pilotIdx), native(specIfft())),
+                cpInsertBlock());
+}
+
+/** Bit-level half of the payload chain for a rate. */
+CompPtr
+bitChain(Rate rate)
+{
+    const RateInfo& ri = rateInfo(rate);
+    return pipe(pipe(pipe(scramblerBlock(), encoderBlock(ri.coding)),
+                     interleaverBlock(ri.modulation)),
+                modulatorBlock(ri.modulation));
+}
+
+} // namespace
+
+CompPtr
+wifiTxDataComp(Rate rate, bool threaded)
+{
+    VarRef pilotIdx = freshVar("pilot_idx", Type::int32());
+    CompPtr ofdm = letvar(pilotIdx, cInt(1), ofdmChain(pilotIdx));
+    CompPtr bits = bitChain(rate);
+    return threaded ? ppipe(std::move(bits), std::move(ofdm))
+                    : pipe(std::move(bits), std::move(ofdm));
+}
+
+CompPtr
+wifiTxFrameComp(Rate rate, int payload_bytes)
+{
+    const int psdu = psduLen(payload_bytes);
+    const RateInfo& ri = rateInfo(rate);
+    VarRef pilotIdx = freshVar("pilot_idx", Type::int32());
+
+    // SIGNAL chain: 24 header bits, BPSK rate-1/2, one OFDM symbol.
+    CompPtr signalSrc =
+        emits(cVal(Value::bitArray(signalBits(rate, psdu))));
+    CompPtr signalChain = pipe(
+        pipe(pipe(pipe(std::move(signalSrc),
+                       encoderBlock(dsp::CodingRate::Half)),
+                  interleaverBlock(dsp::Modulation::Bpsk)),
+             modulatorBlock(dsp::Modulation::Bpsk)),
+        ofdmChain(pilotIdx));
+
+    // DATA source: SERVICE zeros + payload (from the input stream) with
+    // the FCS appended in-stream + tail/pad zeros.
+    int tailPad = dataFieldBits(rate, psdu) - 16 - 8 * psdu;
+    ZIRIA_ASSERT(tailPad >= 6);
+    CompPtr dataSrc = seqc(
+        {just(emits(cVal(Value::bitArray(
+             std::vector<uint8_t>(16, 0))))),
+         just(crcAppendBlock(cInt(payload_bytes))),
+         just(emits(cVal(Value::bitArray(
+             std::vector<uint8_t>(static_cast<size_t>(tailPad), 0)))))});
+
+    CompPtr dataChain = pipe(
+        pipe(pipe(pipe(pipe(std::move(dataSrc), scramblerBlock()),
+                       encoderBlock(ri.coding)),
+                  interleaverBlock(ri.modulation)),
+             modulatorBlock(ri.modulation)),
+        ofdmChain(pilotIdx));
+
+    return letvar(
+        pilotIdx, cInt(0),  // SIGNAL uses p_0, data symbols continue
+        seqc({just(emits(cVal(samplesValue(stsSamples())))),
+              just(emits(cVal(samplesValue(ltsSamples())))),
+              just(std::move(signalChain)), just(std::move(dataChain))}));
+}
+
+std::vector<uint8_t>
+bytesToBits(const std::vector<uint8_t>& bytes)
+{
+    std::vector<uint8_t> bits;
+    bits.reserve(bytes.size() * 8);
+    for (uint8_t b : bytes) {
+        for (int i = 0; i < 8; ++i)
+            bits.push_back((b >> i) & 1);
+    }
+    return bits;
+}
+
+std::vector<uint8_t>
+bitsToBytes(const std::vector<uint8_t>& bits)
+{
+    std::vector<uint8_t> bytes(bits.size() / 8, 0);
+    for (size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        uint8_t b = 0;
+        for (int j = 0; j < 8; ++j)
+            b = static_cast<uint8_t>(b | ((bits[i + j] & 1) << j));
+        bytes[i / 8] = b;
+    }
+    return bytes;
+}
+
+} // namespace wifi
+} // namespace ziria

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Full WiFi 802.11a/g transmitter pipelines assembled from the DSL
+ * blocks, plus host-side frame helpers.
+ */
+#ifndef ZIRIA_WIFI_TX_H
+#define ZIRIA_WIFI_TX_H
+
+#include "wifi/blocks_tx.h"
+
+namespace ziria {
+namespace wifi {
+
+/**
+ * Payload-only TX data path (the throughput workload of Figure 6b):
+ * scramble >>> encode >>> interleave >>> modulate >>> map_ofdm >>> IFFT
+ * >>> cyclic prefix.  Input: DATA-field bits; output: c16 samples.
+ * With @p threaded, the bit-level half and the OFDM half run on separate
+ * threads (the paper's |>>>| placement).
+ */
+CompPtr wifiTxDataComp(Rate rate, bool threaded = false);
+
+/**
+ * Full frame transmitter: preamble (STS+LTS), SIGNAL symbol, then the
+ * payload chain.  Input: payload bits *without* FCS (the pipeline's CRC
+ * block appends it); output: c16 samples.
+ * @param payload_bytes MAC payload size; PSDU length = payload_bytes+4.
+ */
+CompPtr wifiTxFrameComp(Rate rate, int payload_bytes);
+
+/** PSDU length (payload + FCS) for a payload size. */
+inline int
+psduLen(int payload_bytes)
+{
+    return payload_bytes + 4;
+}
+
+/** Bits of a byte vector, LSB-first per byte (802.11 serialization). */
+std::vector<uint8_t> bytesToBits(const std::vector<uint8_t>& bytes);
+
+/** Inverse of bytesToBits (partial trailing byte dropped). */
+std::vector<uint8_t> bitsToBytes(const std::vector<uint8_t>& bits);
+
+/**
+ * Assemble the DATA-field bit stream for the payload-only TX pipeline:
+ * SERVICE (16 zero bits) + payload + FCS + tail + pad, exactly
+ * dataFieldBits(rate, psdu) bits.
+ */
+std::vector<uint8_t> assembleDataBits(const std::vector<uint8_t>& payload,
+                                      Rate rate);
+
+/**
+ * Host-side reference transmitter used to cross-check the DSL pipeline:
+ * produces the same sample stream as wifiTxFrameComp.
+ */
+std::vector<Complex16> referenceTxFrame(const std::vector<uint8_t>& payload,
+                                        Rate rate);
+
+} // namespace wifi
+} // namespace ziria
+
+#endif // ZIRIA_WIFI_TX_H

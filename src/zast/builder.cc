@@ -1,0 +1,598 @@
+#include "zast/builder.h"
+
+#include "support/panic.h"
+
+namespace ziria {
+namespace zb {
+
+namespace {
+
+[[noreturn]] void
+typeError(const std::string& what, const TypePtr& a, const TypePtr& b)
+{
+    fatalf("type error: ", what, " (", a ? a->show() : "_", " vs ",
+           b ? b->show() : "_", ")");
+}
+
+void
+requireSame(const char* what, const ExprPtr& a, const ExprPtr& b)
+{
+    if (!typeEq(a->type(), b->type()))
+        typeError(what, a->type(), b->type());
+}
+
+bool
+isOrdInt(const TypePtr& t)
+{
+    // Integral types on which arithmetic is defined (bit/bool excluded).
+    switch (t->kind()) {
+      case TypeKind::Int8:
+      case TypeKind::Int16:
+      case TypeKind::Int32:
+      case TypeKind::Int64:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+ExprPtr
+cVal(Value v)
+{
+    return std::make_shared<ConstExpr>(std::move(v));
+}
+
+ExprPtr cInt(int32_t v) { return cVal(Value::i32(v)); }
+ExprPtr cI8(int8_t v) { return cVal(Value::i8(v)); }
+ExprPtr cI16(int16_t v) { return cVal(Value::i16(v)); }
+ExprPtr cI64(int64_t v) { return cVal(Value::i64(v)); }
+ExprPtr cBit(int b) { return cVal(Value::bit(static_cast<uint8_t>(b))); }
+ExprPtr cBool(bool b) { return cVal(Value::boolean(b)); }
+ExprPtr cDouble(double v) { return cVal(Value::real(v)); }
+ExprPtr cC16(int16_t re, int16_t im) { return cVal(Value::c16(re, im)); }
+ExprPtr cUnit() { return cVal(Value::unit()); }
+
+ExprPtr
+lit(const TypePtr& type, int64_t v)
+{
+    if (type->isIntegral())
+        return cVal(Value::intOf(type, v));
+    if (type->isDouble())
+        return cDouble(static_cast<double>(v));
+    fatalf("lit: not a numeric type: ", type->show());
+}
+
+ExprPtr
+var(const VarRef& v)
+{
+    ZIRIA_ASSERT(v != nullptr);
+    return std::make_shared<VarExpr>(v);
+}
+
+ExprPtr
+mkBin(BinOp op, ExprPtr a, ExprPtr b)
+{
+    const TypePtr& ta = a->type();
+    const TypePtr& tb = b->type();
+    switch (op) {
+      case BinOp::Add:
+      case BinOp::Sub:
+        requireSame("operands of +/-", a, b);
+        if (!(isOrdInt(ta) || ta->isDouble() || ta->isComplex()))
+            fatalf("+/- not defined on ", ta->show());
+        return std::make_shared<BinExpr>(ta, op, std::move(a), std::move(b));
+      case BinOp::Mul:
+        requireSame("operands of *", a, b);
+        if (!(isOrdInt(ta) || ta->isDouble() || ta->isComplex()))
+            fatalf("* not defined on ", ta->show());
+        return std::make_shared<BinExpr>(ta, op, std::move(a), std::move(b));
+      case BinOp::Div:
+        requireSame("operands of /", a, b);
+        if (!(isOrdInt(ta) || ta->isDouble()))
+            fatalf("/ not defined on ", ta->show());
+        return std::make_shared<BinExpr>(ta, op, std::move(a), std::move(b));
+      case BinOp::Rem:
+        requireSame("operands of %", a, b);
+        if (!isOrdInt(ta))
+            fatalf("% not defined on ", ta->show());
+        return std::make_shared<BinExpr>(ta, op, std::move(a), std::move(b));
+      case BinOp::Shl:
+      case BinOp::Shr:
+        if (!(isOrdInt(ta) || ta->isComplex()))
+            fatalf("shift not defined on ", ta->show());
+        if (!tb->isIntegral())
+            fatalf("shift amount must be integral, got ", tb->show());
+        return std::make_shared<BinExpr>(ta, op, std::move(a), std::move(b));
+      case BinOp::BAnd:
+      case BinOp::BOr:
+      case BinOp::BXor:
+        requireSame("operands of bitwise op", a, b);
+        if (!ta->isIntegral())
+            fatalf("bitwise op not defined on ", ta->show());
+        return std::make_shared<BinExpr>(ta, op, std::move(a), std::move(b));
+      case BinOp::Eq:
+      case BinOp::Ne:
+        requireSame("operands of ==/!=", a, b);
+        if (!ta->isScalar())
+            fatalf("==/!= defined on scalars only, got ", ta->show());
+        return std::make_shared<BinExpr>(Type::boolean(), op, std::move(a),
+                                         std::move(b));
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        requireSame("operands of comparison", a, b);
+        if (!(ta->isIntegral() || ta->isDouble()))
+            fatalf("ordering not defined on ", ta->show());
+        return std::make_shared<BinExpr>(Type::boolean(), op, std::move(a),
+                                         std::move(b));
+      case BinOp::LAnd:
+      case BinOp::LOr:
+        if (!ta->isBool() || !tb->isBool())
+            fatalf("&&/|| require bool operands");
+        return std::make_shared<BinExpr>(Type::boolean(), op, std::move(a),
+                                         std::move(b));
+    }
+    panic("mkBin: bad op");
+}
+
+ExprPtr
+mkUn(UnOp op, ExprPtr a)
+{
+    const TypePtr& t = a->type();
+    switch (op) {
+      case UnOp::Neg:
+        if (!(isOrdInt(t) || t->isDouble() || t->isComplex()))
+            fatalf("unary - not defined on ", t->show());
+        return std::make_shared<UnExpr>(t, op, std::move(a));
+      case UnOp::BNot:
+        if (!t->isIntegral())
+            fatalf("~ not defined on ", t->show());
+        return std::make_shared<UnExpr>(t, op, std::move(a));
+      case UnOp::LNot:
+        if (!t->isBool())
+            fatalf("not requires bool");
+        return std::make_shared<UnExpr>(t, op, std::move(a));
+    }
+    panic("mkUn: bad op");
+}
+
+ExprPtr
+cast(const TypePtr& to, ExprPtr e)
+{
+    const TypePtr& from = e->type();
+    if (typeEq(from, to))
+        return e;
+    bool ok = (from->isIntegral() && to->isIntegral()) ||
+              (from->isIntegral() && to->isDouble()) ||
+              (from->isDouble() && to->isIntegral()) ||
+              (from->isComplex() && to->isComplex());
+    if (!ok)
+        fatalf("invalid cast from ", from->show(), " to ", to->show());
+    return std::make_shared<CastExpr>(to, std::move(e));
+}
+
+ExprPtr
+idx(ExprPtr arr, ExprPtr i)
+{
+    if (!arr->type()->isArray())
+        fatalf("indexing a non-array: ", arr->type()->show());
+    if (!i->type()->isIntegral())
+        fatalf("array index must be integral");
+    TypePtr et = arr->type()->elem();
+    return std::make_shared<IndexExpr>(std::move(et), std::move(arr),
+                                       std::move(i));
+}
+
+ExprPtr
+idx(ExprPtr arr, int i)
+{
+    return idx(std::move(arr), cInt(i));
+}
+
+ExprPtr
+slice(ExprPtr arr, ExprPtr base, int len)
+{
+    if (!arr->type()->isArray())
+        fatalf("slicing a non-array: ", arr->type()->show());
+    if (len <= 0 || len > arr->type()->len())
+        fatalf("slice length out of range");
+    TypePtr st = Type::array(arr->type()->elem(), len);
+    return std::make_shared<SliceExpr>(std::move(st), std::move(arr),
+                                       std::move(base), len);
+}
+
+ExprPtr
+slice(ExprPtr arr, int base, int len)
+{
+    return slice(std::move(arr), cInt(base), len);
+}
+
+ExprPtr
+field(ExprPtr rec, const std::string& name)
+{
+    if (!rec->type()->isStruct())
+        fatalf("field access on non-struct: ", rec->type()->show());
+    TypePtr ft = rec->type()->fieldType(name);
+    return std::make_shared<FieldExpr>(std::move(ft), std::move(rec), name);
+}
+
+ExprPtr
+call(const FunRef& f, std::vector<ExprPtr> args)
+{
+    if (args.size() != f->params.size())
+        fatalf("call of ", f->name, ": expected ", f->params.size(),
+               " args, got ", args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (!typeEq(args[i]->type(), f->params[i]->type))
+            fatalf("call of ", f->name, ": arg ", i, " has type ",
+                   args[i]->type()->show(), ", expected ",
+                   f->params[i]->type->show());
+        if (f->paramByRef(i) && !isLValue(args[i]))
+            fatalf("call of ", f->name, ": by-ref arg ", i,
+                   " must be an lvalue");
+    }
+    return std::make_shared<CallExpr>(f->retType, f, std::move(args));
+}
+
+ExprPtr
+arrayLit(std::vector<ExprPtr> elems)
+{
+    ZIRIA_ASSERT(!elems.empty(), "empty array literal");
+    TypePtr et = elems[0]->type();
+    for (const auto& e : elems) {
+        if (!typeEq(e->type(), et))
+            fatalf("array literal with mixed element types");
+    }
+    TypePtr at = Type::array(et, static_cast<int>(elems.size()));
+    return std::make_shared<ArrayLitExpr>(std::move(at), std::move(elems));
+}
+
+ExprPtr
+bitArrayLit(const std::vector<uint8_t>& bits)
+{
+    return cVal(Value::bitArray(bits));
+}
+
+ExprPtr
+structLit(const TypePtr& type, std::vector<ExprPtr> field_exprs)
+{
+    if (!type->isStruct())
+        fatalf("structLit: not a struct type");
+    const auto& fields = type->fields();
+    if (field_exprs.size() != fields.size())
+        fatalf("structLit: wrong number of fields for ", type->show());
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (!typeEq(field_exprs[i]->type(), fields[i].second))
+            fatalf("structLit: field ", fields[i].first, " has type ",
+                   field_exprs[i]->type()->show(), ", expected ",
+                   fields[i].second->show());
+    }
+    return std::make_shared<StructLitExpr>(type, std::move(field_exprs));
+}
+
+ExprPtr
+cond(ExprPtr c, ExprPtr t, ExprPtr e)
+{
+    if (!c->type()->isBool())
+        fatalf("conditional guard must be bool");
+    requireSame("branches of conditional", t, e);
+    TypePtr ty = t->type();
+    return std::make_shared<CondExpr>(std::move(ty), std::move(c),
+                                      std::move(t), std::move(e));
+}
+
+ExprPtr
+lnot(ExprPtr e)
+{
+    return mkUn(UnOp::LNot, std::move(e));
+}
+
+ExprPtr
+neg(ExprPtr e)
+{
+    return mkUn(UnOp::Neg, std::move(e));
+}
+
+StmtPtr
+assign(ExprPtr lhs, ExprPtr rhs)
+{
+    if (!isLValue(lhs))
+        fatal("assignment target is not an lvalue");
+    if (!typeEq(lhs->type(), rhs->type()))
+        typeError("assignment", lhs->type(), rhs->type());
+    return std::make_shared<AssignStmt>(std::move(lhs), std::move(rhs));
+}
+
+StmtPtr
+sIf(ExprPtr cond, StmtList then_s, StmtList else_s)
+{
+    if (!cond->type()->isBool())
+        fatal("if condition must be bool");
+    return std::make_shared<IfStmt>(std::move(cond), std::move(then_s),
+                                    std::move(else_s));
+}
+
+StmtPtr
+sFor(const VarRef& iv, ExprPtr lo, ExprPtr hi, StmtList body)
+{
+    if (!iv->type->isIntegral())
+        fatal("for induction variable must be integral");
+    if (!typeEq(lo->type(), iv->type) || !typeEq(hi->type(), iv->type))
+        fatal("for bounds must match the induction variable type");
+    return std::make_shared<ForStmt>(iv, std::move(lo), std::move(hi),
+                                     std::move(body));
+}
+
+StmtPtr
+sWhile(ExprPtr cond, StmtList body)
+{
+    if (!cond->type()->isBool())
+        fatal("while condition must be bool");
+    return std::make_shared<WhileStmt>(std::move(cond), std::move(body));
+}
+
+StmtPtr
+sDecl(const VarRef& v, ExprPtr init)
+{
+    if (init && !typeEq(init->type(), v->type))
+        typeError("variable initializer", v->type, init->type());
+    return std::make_shared<VarDeclStmt>(v, std::move(init));
+}
+
+StmtPtr
+sEval(ExprPtr e)
+{
+    return std::make_shared<EvalStmt>(std::move(e));
+}
+
+FunRef
+fun(std::string name, std::vector<VarRef> params, StmtList body, ExprPtr ret)
+{
+    ZIRIA_ASSERT(ret != nullptr);
+    TypePtr rt = ret->type();
+    return makeFun(std::move(name), std::move(params), std::move(body),
+                   std::move(ret), std::move(rt));
+}
+
+FunRef
+proc(std::string name, std::vector<VarRef> params, StmtList body)
+{
+    return makeFun(std::move(name), std::move(params), std::move(body),
+                   nullptr, Type::unit());
+}
+
+CompPtr
+take(const TypePtr& t)
+{
+    return std::make_shared<TakeComp>(t);
+}
+
+CompPtr
+takes(const TypePtr& elem, int n)
+{
+    ZIRIA_ASSERT(n > 0);
+    return std::make_shared<TakeManyComp>(elem, n);
+}
+
+CompPtr
+emit(ExprPtr e)
+{
+    return std::make_shared<EmitComp>(std::move(e));
+}
+
+CompPtr
+emits(ExprPtr arr)
+{
+    if (!arr->type()->isArray())
+        fatalf("emits requires an array expression, got ",
+               arr->type()->show());
+    return std::make_shared<EmitsComp>(std::move(arr));
+}
+
+CompPtr
+ret(ExprPtr e)
+{
+    return std::make_shared<ReturnComp>(StmtList{}, std::move(e));
+}
+
+CompPtr
+doS(StmtList stmts)
+{
+    return std::make_shared<ReturnComp>(std::move(stmts), nullptr);
+}
+
+CompPtr
+doRet(StmtList stmts, ExprPtr e)
+{
+    return std::make_shared<ReturnComp>(std::move(stmts), std::move(e));
+}
+
+SeqComp::Item
+bindc(const VarRef& v, CompPtr c)
+{
+    return SeqComp::Item{v, std::move(c)};
+}
+
+SeqComp::Item
+just(CompPtr c)
+{
+    return SeqComp::Item{nullptr, std::move(c)};
+}
+
+CompPtr
+seqc(std::vector<SeqComp::Item> items)
+{
+    ZIRIA_ASSERT(!items.empty(), "empty seq");
+    if (items.size() == 1 && !items[0].bind)
+        return items[0].comp;
+    return std::make_shared<SeqComp>(std::move(items));
+}
+
+CompPtr
+pipe(CompPtr a, CompPtr b)
+{
+    return std::make_shared<PipeComp>(std::move(a), std::move(b), false);
+}
+
+CompPtr
+ppipe(CompPtr a, CompPtr b)
+{
+    return std::make_shared<PipeComp>(std::move(a), std::move(b), true);
+}
+
+CompPtr
+ifc(ExprPtr cond, CompPtr t, CompPtr e)
+{
+    if (!cond->type()->isBool())
+        fatal("if condition must be bool");
+    return std::make_shared<IfComp>(std::move(cond), std::move(t),
+                                    std::move(e));
+}
+
+CompPtr
+repeatc(CompPtr body, std::optional<VectHint> hint)
+{
+    return std::make_shared<RepeatComp>(std::move(body), hint);
+}
+
+CompPtr
+timesc(ExprPtr n, CompPtr body)
+{
+    return std::make_shared<TimesComp>(std::move(n), nullptr,
+                                       std::move(body));
+}
+
+CompPtr
+timesc(ExprPtr n, const VarRef& iv, CompPtr body)
+{
+    if (!typeEq(n->type(), iv->type))
+        fatal("times: count type must match induction variable");
+    return std::make_shared<TimesComp>(std::move(n), iv, std::move(body));
+}
+
+CompPtr
+whilec(ExprPtr cond, CompPtr body)
+{
+    if (!cond->type()->isBool())
+        fatal("while condition must be bool");
+    return std::make_shared<WhileComp>(std::move(cond), std::move(body));
+}
+
+CompPtr
+mapc(const FunRef& f)
+{
+    if (f->params.size() != 1)
+        fatalf("map requires a unary function, got ", f->name);
+    return std::make_shared<MapComp>(f);
+}
+
+CompPtr
+filterc(const FunRef& p)
+{
+    if (p->params.size() != 1 || !p->retType->isBool())
+        fatalf("filter requires a unary predicate, got ", p->name);
+    return std::make_shared<FilterComp>(p);
+}
+
+CompPtr
+letvar(const VarRef& v, ExprPtr init, CompPtr body)
+{
+    if (init && !typeEq(init->type(), v->type))
+        typeError("letvar initializer", v->type, init->type());
+    return std::make_shared<LetVarComp>(v, std::move(init),
+                                        std::move(body));
+}
+
+CompPtr
+native(std::shared_ptr<const NativeBlockSpec> spec,
+       std::vector<ExprPtr> args)
+{
+    ZIRIA_ASSERT(spec != nullptr);
+    return std::make_shared<NativeComp>(std::move(spec), std::move(args));
+}
+
+CompPtr
+callcomp(const CompFunRef& f, std::vector<ExprPtr> args)
+{
+    if (args.size() != f->params.size())
+        fatalf("call of comp ", f->name, ": wrong arity");
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (!typeEq(args[i]->type(), f->params[i]->type))
+            fatalf("call of comp ", f->name, ": arg ", i, " type mismatch");
+    }
+    return std::make_shared<CallCompComp>(f, std::move(args));
+}
+
+} // namespace zb
+
+#define ZIRIA_BINOP(sym, op)                                                \
+    ExprPtr operator sym(ExprPtr a, ExprPtr b)                              \
+    {                                                                       \
+        return zb::mkBin(BinOp::op, std::move(a), std::move(b));            \
+    }
+
+ZIRIA_BINOP(+, Add)
+ZIRIA_BINOP(-, Sub)
+ZIRIA_BINOP(*, Mul)
+ZIRIA_BINOP(/, Div)
+ZIRIA_BINOP(%, Rem)
+ZIRIA_BINOP(<<, Shl)
+ZIRIA_BINOP(>>, Shr)
+ZIRIA_BINOP(&, BAnd)
+ZIRIA_BINOP(|, BOr)
+ZIRIA_BINOP(^, BXor)
+ZIRIA_BINOP(==, Eq)
+ZIRIA_BINOP(!=, Ne)
+ZIRIA_BINOP(<, Lt)
+ZIRIA_BINOP(<=, Le)
+ZIRIA_BINOP(>, Gt)
+ZIRIA_BINOP(>=, Ge)
+ZIRIA_BINOP(&&, LAnd)
+ZIRIA_BINOP(||, LOr)
+
+#undef ZIRIA_BINOP
+
+#define ZIRIA_BINOP_LIT(sym, op, rhstype)                                   \
+    ExprPtr operator sym(ExprPtr a, rhstype b)                              \
+    {                                                                       \
+        ExprPtr blit = zb::lit(a->type(), static_cast<int64_t>(b));         \
+        return zb::mkBin(BinOp::op, std::move(a), std::move(blit));         \
+    }
+
+ZIRIA_BINOP_LIT(+, Add, int64_t)
+ZIRIA_BINOP_LIT(-, Sub, int64_t)
+ZIRIA_BINOP_LIT(*, Mul, int64_t)
+ZIRIA_BINOP_LIT(%, Rem, int64_t)
+ZIRIA_BINOP_LIT(&, BAnd, int64_t)
+ZIRIA_BINOP_LIT(^, BXor, int64_t)
+ZIRIA_BINOP_LIT(==, Eq, int64_t)
+ZIRIA_BINOP_LIT(!=, Ne, int64_t)
+ZIRIA_BINOP_LIT(<, Lt, int64_t)
+ZIRIA_BINOP_LIT(<=, Le, int64_t)
+ZIRIA_BINOP_LIT(>, Gt, int64_t)
+ZIRIA_BINOP_LIT(>=, Ge, int64_t)
+
+#undef ZIRIA_BINOP_LIT
+
+ExprPtr
+operator<<(ExprPtr a, int b)
+{
+    return zb::mkBin(BinOp::Shl, std::move(a), zb::cInt(b));
+}
+
+ExprPtr
+operator>>(ExprPtr a, int b)
+{
+    return zb::mkBin(BinOp::Shr, std::move(a), zb::cInt(b));
+}
+
+CompPtr
+operator>>(CompPtr a, CompPtr b)
+{
+    return zb::pipe(std::move(a), std::move(b));
+}
+
+} // namespace ziria

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Typed construction API for Ziria programs.
+ *
+ * This is the embedded frontend: every constructor checks the expression
+ * typing rules and computes result types, so an AST built through this API
+ * is expression-well-typed by construction (stream-level typing is checked
+ * separately by zcheck).  The parser in zparse also builds through this
+ * API, giving both frontends a single type-checking path.
+ *
+ * Operator overloads on ExprPtr (`a + b`, `x ^ y`, `arr[i]`) make embedded
+ * block definitions read close to the paper's Ziria sources.
+ */
+#ifndef ZIRIA_ZAST_BUILDER_H
+#define ZIRIA_ZAST_BUILDER_H
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "zast/comp.h"
+#include "zast/expr.h"
+
+namespace ziria {
+namespace zb {
+
+// --- literals ----------------------------------------------------------
+
+ExprPtr cVal(Value v);
+ExprPtr cInt(int32_t v);
+ExprPtr cI8(int8_t v);
+ExprPtr cI16(int16_t v);
+ExprPtr cI64(int64_t v);
+ExprPtr cBit(int b);
+ExprPtr cBool(bool b);
+ExprPtr cDouble(double v);
+ExprPtr cC16(int16_t re, int16_t im);
+ExprPtr cUnit();
+
+/** Integer literal of an arbitrary integral type. */
+ExprPtr lit(const TypePtr& type, int64_t v);
+
+// --- expressions --------------------------------------------------------
+
+ExprPtr var(const VarRef& v);
+ExprPtr mkBin(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr mkUn(UnOp op, ExprPtr a);
+ExprPtr cast(const TypePtr& to, ExprPtr e);
+ExprPtr idx(ExprPtr arr, ExprPtr i);
+ExprPtr idx(ExprPtr arr, int i);
+ExprPtr slice(ExprPtr arr, ExprPtr base, int len);
+ExprPtr slice(ExprPtr arr, int base, int len);
+ExprPtr field(ExprPtr rec, const std::string& name);
+ExprPtr call(const FunRef& f, std::vector<ExprPtr> args);
+ExprPtr arrayLit(std::vector<ExprPtr> elems);
+ExprPtr bitArrayLit(const std::vector<uint8_t>& bits);
+ExprPtr structLit(const TypePtr& type, std::vector<ExprPtr> field_exprs);
+ExprPtr cond(ExprPtr c, ExprPtr t, ExprPtr e);
+ExprPtr lnot(ExprPtr e);
+ExprPtr neg(ExprPtr e);
+
+// --- statements ---------------------------------------------------------
+
+StmtPtr assign(ExprPtr lhs, ExprPtr rhs);
+StmtPtr sIf(ExprPtr cond, StmtList then_s, StmtList else_s = {});
+StmtPtr sFor(const VarRef& iv, ExprPtr lo, ExprPtr hi, StmtList body);
+StmtPtr sWhile(ExprPtr cond, StmtList body);
+StmtPtr sDecl(const VarRef& v, ExprPtr init = nullptr);
+StmtPtr sEval(ExprPtr e);
+
+// --- functions ----------------------------------------------------------
+
+/** Define an expression function with a return value. */
+FunRef fun(std::string name, std::vector<VarRef> params, StmtList body,
+           ExprPtr ret);
+
+/** Define a unit-returning (procedure) expression function. */
+FunRef proc(std::string name, std::vector<VarRef> params, StmtList body);
+
+// --- computations -------------------------------------------------------
+
+CompPtr take(const TypePtr& t);
+CompPtr takes(const TypePtr& elem, int n);
+CompPtr emit(ExprPtr e);
+CompPtr emits(ExprPtr arr);
+CompPtr ret(ExprPtr e);
+CompPtr doS(StmtList stmts);
+CompPtr doRet(StmtList stmts, ExprPtr e);
+
+SeqComp::Item bindc(const VarRef& v, CompPtr c);
+SeqComp::Item just(CompPtr c);
+CompPtr seqc(std::vector<SeqComp::Item> items);
+
+CompPtr pipe(CompPtr a, CompPtr b);
+CompPtr ppipe(CompPtr a, CompPtr b);  ///< |>>>| (threaded)
+CompPtr ifc(ExprPtr cond, CompPtr t, CompPtr e = nullptr);
+CompPtr repeatc(CompPtr body, std::optional<VectHint> hint = std::nullopt);
+CompPtr timesc(ExprPtr n, CompPtr body);
+CompPtr timesc(ExprPtr n, const VarRef& iv, CompPtr body);
+CompPtr whilec(ExprPtr cond, CompPtr body);
+CompPtr mapc(const FunRef& f);
+CompPtr filterc(const FunRef& p);
+CompPtr letvar(const VarRef& v, ExprPtr init, CompPtr body);
+CompPtr native(std::shared_ptr<const NativeBlockSpec> spec,
+               std::vector<ExprPtr> args = {});
+CompPtr callcomp(const CompFunRef& f, std::vector<ExprPtr> args = {});
+
+} // namespace zb
+
+// --- operator overloads (in namespace ziria so ExprPtr finds them) ------
+
+ExprPtr operator+(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a, ExprPtr b);
+ExprPtr operator*(ExprPtr a, ExprPtr b);
+ExprPtr operator/(ExprPtr a, ExprPtr b);
+ExprPtr operator%(ExprPtr a, ExprPtr b);
+ExprPtr operator<<(ExprPtr a, ExprPtr b);
+ExprPtr operator>>(ExprPtr a, ExprPtr b);
+ExprPtr operator&(ExprPtr a, ExprPtr b);
+ExprPtr operator|(ExprPtr a, ExprPtr b);
+ExprPtr operator^(ExprPtr a, ExprPtr b);
+ExprPtr operator==(ExprPtr a, ExprPtr b);
+ExprPtr operator!=(ExprPtr a, ExprPtr b);
+ExprPtr operator<(ExprPtr a, ExprPtr b);
+ExprPtr operator<=(ExprPtr a, ExprPtr b);
+ExprPtr operator>(ExprPtr a, ExprPtr b);
+ExprPtr operator>=(ExprPtr a, ExprPtr b);
+ExprPtr operator&&(ExprPtr a, ExprPtr b);
+ExprPtr operator||(ExprPtr a, ExprPtr b);
+
+// Mixed literal forms: the int is coerced to the expression's type.
+ExprPtr operator+(ExprPtr a, int64_t b);
+ExprPtr operator-(ExprPtr a, int64_t b);
+ExprPtr operator*(ExprPtr a, int64_t b);
+ExprPtr operator%(ExprPtr a, int64_t b);
+ExprPtr operator<<(ExprPtr a, int b);
+ExprPtr operator>>(ExprPtr a, int b);
+ExprPtr operator&(ExprPtr a, int64_t b);
+ExprPtr operator^(ExprPtr a, int64_t b);
+ExprPtr operator==(ExprPtr a, int64_t b);
+ExprPtr operator!=(ExprPtr a, int64_t b);
+ExprPtr operator<(ExprPtr a, int64_t b);
+ExprPtr operator<=(ExprPtr a, int64_t b);
+ExprPtr operator>(ExprPtr a, int64_t b);
+ExprPtr operator>=(ExprPtr a, int64_t b);
+
+/** Data-path composition `a >>> b` in the embedded frontend. */
+CompPtr operator>>(CompPtr a, CompPtr b);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZAST_BUILDER_H

@@ -1,0 +1,331 @@
+#include "zast/comp.h"
+
+#include <unordered_map>
+
+#include "support/panic.h"
+
+namespace ziria {
+
+const std::vector<uint8_t>&
+NativeKernel::ctrl() const
+{
+    static const std::vector<uint8_t> empty;
+    return empty;
+}
+
+namespace {
+
+/**
+ * Capture-avoiding substitution + bound-variable freshening over
+ * expressions, statements and computations.
+ */
+class Cloner
+{
+  public:
+    void
+    addSubst(const VarRef& from, ExprPtr to)
+    {
+        subst_[from.get()] = std::move(to);
+    }
+
+    VarRef
+    freshen(const VarRef& v)
+    {
+        if (!v)
+            return v;
+        VarRef nv = freshVar(v->name, v->type, v->isMutable);
+        nv->scratch = v->scratch;
+        subst_[v.get()] = std::make_shared<VarExpr>(nv);
+        return nv;
+    }
+
+    ExprPtr
+    expr(const ExprPtr& e)
+    {
+        if (!e)
+            return e;
+        switch (e->kind()) {
+          case ExprKind::Const:
+            return e;
+          case ExprKind::Var: {
+            const auto& v = static_cast<const VarExpr&>(*e).var();
+            auto it = subst_.find(v.get());
+            return it == subst_.end() ? e : it->second;
+          }
+          case ExprKind::Bin: {
+            const auto& b = static_cast<const BinExpr&>(*e);
+            return std::make_shared<BinExpr>(b.type(), b.op(), expr(b.lhs()),
+                                             expr(b.rhs()));
+          }
+          case ExprKind::Un: {
+            const auto& u = static_cast<const UnExpr&>(*e);
+            return std::make_shared<UnExpr>(u.type(), u.op(), expr(u.sub()));
+          }
+          case ExprKind::Cast: {
+            const auto& c = static_cast<const CastExpr&>(*e);
+            return std::make_shared<CastExpr>(c.type(), expr(c.sub()));
+          }
+          case ExprKind::Index: {
+            const auto& i = static_cast<const IndexExpr&>(*e);
+            return std::make_shared<IndexExpr>(i.type(), expr(i.arr()),
+                                               expr(i.idx()));
+          }
+          case ExprKind::Slice: {
+            const auto& s = static_cast<const SliceExpr&>(*e);
+            return std::make_shared<SliceExpr>(s.type(), expr(s.arr()),
+                                               expr(s.base()), s.sliceLen());
+          }
+          case ExprKind::Field: {
+            const auto& f = static_cast<const FieldExpr&>(*e);
+            return std::make_shared<FieldExpr>(f.type(), expr(f.rec()),
+                                               f.field());
+          }
+          case ExprKind::Call: {
+            const auto& c = static_cast<const CallExpr&>(*e);
+            std::vector<ExprPtr> args;
+            args.reserve(c.args().size());
+            for (const auto& a : c.args())
+                args.push_back(expr(a));
+            return std::make_shared<CallExpr>(c.type(), c.fun(),
+                                              std::move(args));
+          }
+          case ExprKind::ArrayLit: {
+            const auto& a = static_cast<const ArrayLitExpr&>(*e);
+            std::vector<ExprPtr> elems;
+            elems.reserve(a.elems().size());
+            for (const auto& el : a.elems())
+                elems.push_back(expr(el));
+            return std::make_shared<ArrayLitExpr>(a.type(),
+                                                  std::move(elems));
+          }
+          case ExprKind::StructLit: {
+            const auto& sl = static_cast<const StructLitExpr&>(*e);
+            std::vector<ExprPtr> fields;
+            fields.reserve(sl.fieldExprs().size());
+            for (const auto& f : sl.fieldExprs())
+                fields.push_back(expr(f));
+            return std::make_shared<StructLitExpr>(sl.type(),
+                                                   std::move(fields));
+          }
+          case ExprKind::Cond: {
+            const auto& c = static_cast<const CondExpr&>(*e);
+            return std::make_shared<CondExpr>(c.type(), expr(c.cond()),
+                                              expr(c.thenE()),
+                                              expr(c.elseE()));
+          }
+        }
+        panic("cloneComp: unknown expr kind");
+    }
+
+    StmtList
+    stmts(const StmtList& in)
+    {
+        StmtList out;
+        out.reserve(in.size());
+        for (const auto& s : in)
+            out.push_back(stmt(s));
+        return out;
+    }
+
+    StmtPtr
+    stmt(const StmtPtr& s)
+    {
+        switch (s->kind()) {
+          case StmtKind::Assign: {
+            const auto& a = static_cast<const AssignStmt&>(*s);
+            ExprPtr lhs = expr(a.lhs());
+            ZIRIA_ASSERT(isLValue(lhs),
+                         "substitution produced a non-lvalue target");
+            return std::make_shared<AssignStmt>(std::move(lhs),
+                                                expr(a.rhs()));
+          }
+          case StmtKind::If: {
+            const auto& i = static_cast<const IfStmt&>(*s);
+            ExprPtr c = expr(i.cond());
+            return std::make_shared<IfStmt>(std::move(c),
+                                            stmts(i.thenStmts()),
+                                            stmts(i.elseStmts()));
+          }
+          case StmtKind::For: {
+            const auto& f = static_cast<const ForStmt&>(*s);
+            ExprPtr lo = expr(f.lo());
+            ExprPtr hi = expr(f.hi());
+            VarRef iv = freshen(f.inductionVar());
+            return std::make_shared<ForStmt>(std::move(iv), std::move(lo),
+                                             std::move(hi),
+                                             stmts(f.body()));
+          }
+          case StmtKind::While: {
+            const auto& w = static_cast<const WhileStmt&>(*s);
+            return std::make_shared<WhileStmt>(expr(w.cond()),
+                                               stmts(w.body()));
+          }
+          case StmtKind::VarDecl: {
+            const auto& d = static_cast<const VarDeclStmt&>(*s);
+            ExprPtr init = expr(d.init());
+            VarRef v = freshen(d.var());
+            return std::make_shared<VarDeclStmt>(std::move(v),
+                                                 std::move(init));
+          }
+          case StmtKind::Eval:
+            return std::make_shared<EvalStmt>(
+                expr(static_cast<const EvalStmt&>(*s).expr()));
+        }
+        panic("cloneComp: unknown stmt kind");
+    }
+
+    /**
+     * Clone a kernel function so the current substitution applies inside
+     * its body (map kernels may capture variables bound outside).
+     */
+    FunRef
+    fun(const FunRef& f)
+    {
+        if (f->isNative())
+            return f;
+        auto nf = std::make_shared<FunDef>();
+        nf->name = f->name;
+        nf->byRef = f->byRef;
+        nf->retType = f->retType;
+        nf->noLut = f->noLut;
+        for (const auto& p : f->params)
+            nf->params.push_back(freshen(p));
+        nf->body = stmts(f->body);
+        nf->ret = expr(f->ret);
+        return nf;
+    }
+
+    CompPtr
+    comp(const CompPtr& c)
+    {
+        switch (c->kind()) {
+          case CompKind::Take:
+            return std::make_shared<TakeComp>(
+                static_cast<const TakeComp&>(*c).valType());
+          case CompKind::TakeMany: {
+            const auto& t = static_cast<const TakeManyComp&>(*c);
+            return std::make_shared<TakeManyComp>(t.elemType(), t.count());
+          }
+          case CompKind::Emit:
+            return std::make_shared<EmitComp>(
+                expr(static_cast<const EmitComp&>(*c).expr()));
+          case CompKind::Emits:
+            return std::make_shared<EmitsComp>(
+                expr(static_cast<const EmitsComp&>(*c).expr()));
+          case CompKind::Return: {
+            const auto& r = static_cast<const ReturnComp&>(*c);
+            return std::make_shared<ReturnComp>(stmts(r.stmts()),
+                                                expr(r.ret()));
+          }
+          case CompKind::Seq: {
+            const auto& s = static_cast<const SeqComp&>(*c);
+            std::vector<SeqComp::Item> items;
+            items.reserve(s.items().size());
+            for (const auto& it : s.items()) {
+                CompPtr body = comp(it.comp);
+                VarRef bind = freshen(it.bind);
+                items.push_back({std::move(bind), std::move(body)});
+            }
+            return std::make_shared<SeqComp>(std::move(items));
+          }
+          case CompKind::Pipe: {
+            const auto& p = static_cast<const PipeComp&>(*c);
+            CompPtr l = comp(p.left());
+            CompPtr r = comp(p.right());
+            return std::make_shared<PipeComp>(std::move(l), std::move(r),
+                                              p.threaded());
+          }
+          case CompKind::If: {
+            const auto& i = static_cast<const IfComp&>(*c);
+            ExprPtr cond = expr(i.cond());
+            CompPtr t = comp(i.thenC());
+            CompPtr e = i.elseC() ? comp(i.elseC()) : nullptr;
+            return std::make_shared<IfComp>(std::move(cond), std::move(t),
+                                            std::move(e));
+          }
+          case CompKind::Repeat: {
+            const auto& r = static_cast<const RepeatComp&>(*c);
+            return std::make_shared<RepeatComp>(comp(r.body()), r.hint());
+          }
+          case CompKind::Times: {
+            const auto& t = static_cast<const TimesComp&>(*c);
+            ExprPtr count = expr(t.count());
+            VarRef iv = freshen(t.inductionVar());
+            return std::make_shared<TimesComp>(std::move(count),
+                                               std::move(iv),
+                                               comp(t.body()));
+          }
+          case CompKind::While: {
+            const auto& w = static_cast<const WhileComp&>(*c);
+            return std::make_shared<WhileComp>(expr(w.cond()),
+                                               comp(w.body()));
+          }
+          case CompKind::Map:
+            return std::make_shared<MapComp>(
+                fun(static_cast<const MapComp&>(*c).fun()));
+          case CompKind::Filter:
+            return std::make_shared<FilterComp>(
+                fun(static_cast<const FilterComp&>(*c).pred()));
+          case CompKind::LetVar: {
+            const auto& l = static_cast<const LetVarComp&>(*c);
+            ExprPtr init = expr(l.init());
+            VarRef v = freshen(l.var());
+            return std::make_shared<LetVarComp>(std::move(v),
+                                                std::move(init),
+                                                comp(l.body()));
+          }
+          case CompKind::Native: {
+            const auto& n = static_cast<const NativeComp&>(*c);
+            std::vector<ExprPtr> args;
+            args.reserve(n.args().size());
+            for (const auto& a : n.args())
+                args.push_back(expr(a));
+            return std::make_shared<NativeComp>(n.spec(), std::move(args));
+          }
+          case CompKind::CallComp: {
+            const auto& cc = static_cast<const CallCompComp&>(*c);
+            std::vector<ExprPtr> args;
+            args.reserve(cc.args().size());
+            for (const auto& a : cc.args())
+                args.push_back(expr(a));
+            return std::make_shared<CallCompComp>(cc.fun(), std::move(args));
+          }
+        }
+        panic("cloneComp: unknown comp kind");
+    }
+
+  private:
+    std::unordered_map<const VarSym*, ExprPtr> subst_;
+};
+
+} // namespace
+
+CompPtr
+cloneComp(const CompPtr& c, std::vector<std::pair<VarRef, ExprPtr>> subst)
+{
+    Cloner cl;
+    for (auto& [from, to] : subst)
+        cl.addSubst(from, std::move(to));
+    return cl.comp(c);
+}
+
+InlinedFun
+inlineFun(const FunRef& f, const std::vector<ExprPtr>& substArgs)
+{
+    ZIRIA_ASSERT(!f->isNative(), "cannot inline a native function");
+    Cloner cl;
+    InlinedFun out;
+    out.params.resize(f->params.size());
+    for (size_t i = 0; i < f->params.size(); ++i) {
+        if (i < substArgs.size() && substArgs[i]) {
+            cl.addSubst(f->params[i], substArgs[i]);
+        } else {
+            out.params[i] = cl.freshen(f->params[i]);
+        }
+    }
+    out.body = cl.stmts(f->body);
+    out.ret = cl.expr(f->ret);
+    return out;
+}
+
+} // namespace ziria

@@ -1,0 +1,278 @@
+#include "zast/expr.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "support/panic.h"
+
+namespace ziria {
+
+namespace {
+
+std::atomic<int> nextUid{1};
+
+} // namespace
+
+VarRef
+freshVar(std::string name, TypePtr type, bool is_mutable)
+{
+    auto v = std::make_shared<VarSym>();
+    v->name = std::move(name);
+    v->type = std::move(type);
+    v->isMutable = is_mutable;
+    v->uid = nextUid.fetch_add(1);
+    return v;
+}
+
+const char*
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+      case BinOp::Mul: return "*";
+      case BinOp::Div: return "/";
+      case BinOp::Rem: return "%";
+      case BinOp::Shl: return "<<";
+      case BinOp::Shr: return ">>";
+      case BinOp::BAnd: return "&";
+      case BinOp::BOr: return "|";
+      case BinOp::BXor: return "^";
+      case BinOp::Eq: return "==";
+      case BinOp::Ne: return "!=";
+      case BinOp::Lt: return "<";
+      case BinOp::Le: return "<=";
+      case BinOp::Gt: return ">";
+      case BinOp::Ge: return ">=";
+      case BinOp::LAnd: return "&&";
+      case BinOp::LOr: return "||";
+    }
+    return "?";
+}
+
+const char*
+unOpName(UnOp op)
+{
+    switch (op) {
+      case UnOp::Neg: return "-";
+      case UnOp::BNot: return "~";
+      case UnOp::LNot: return "not";
+    }
+    return "?";
+}
+
+FunRef
+makeFun(std::string name, std::vector<VarRef> params, StmtList body,
+        ExprPtr ret, TypePtr ret_type)
+{
+    auto f = std::make_shared<FunDef>();
+    f->name = std::move(name);
+    f->params = std::move(params);
+    f->body = std::move(body);
+    f->ret = std::move(ret);
+    f->retType = std::move(ret_type);
+    if (f->ret)
+        ZIRIA_ASSERT(typeEq(f->ret->type(), f->retType),
+                     "function return expression type mismatch");
+    return f;
+}
+
+FunRef
+makeNativeFun(std::string name, std::vector<VarRef> params, TypePtr ret_type,
+              NativeFn fn)
+{
+    auto f = std::make_shared<FunDef>();
+    f->name = std::move(name);
+    f->params = std::move(params);
+    f->retType = std::move(ret_type);
+    f->native = std::move(fn);
+    return f;
+}
+
+namespace {
+
+class FreeVarCollector
+{
+  public:
+    explicit FreeVarCollector(std::vector<VarRef>& out) : out_(out) {}
+
+    void
+    bind(const VarRef& v)
+    {
+        bound_.insert(v.get());
+    }
+
+    void
+    visitExpr(const ExprPtr& e)
+    {
+        if (!e)
+            return;
+        switch (e->kind()) {
+          case ExprKind::Const:
+            return;
+          case ExprKind::Var: {
+            const auto& v = static_cast<const VarExpr&>(*e).var();
+            if (!bound_.count(v.get()) && !seen_.count(v.get())) {
+                seen_.insert(v.get());
+                out_.push_back(v);
+            }
+            return;
+          }
+          case ExprKind::Bin: {
+            const auto& b = static_cast<const BinExpr&>(*e);
+            visitExpr(b.lhs());
+            visitExpr(b.rhs());
+            return;
+          }
+          case ExprKind::Un:
+            visitExpr(static_cast<const UnExpr&>(*e).sub());
+            return;
+          case ExprKind::Cast:
+            visitExpr(static_cast<const CastExpr&>(*e).sub());
+            return;
+          case ExprKind::Index: {
+            const auto& i = static_cast<const IndexExpr&>(*e);
+            visitExpr(i.arr());
+            visitExpr(i.idx());
+            return;
+          }
+          case ExprKind::Slice: {
+            const auto& s = static_cast<const SliceExpr&>(*e);
+            visitExpr(s.arr());
+            visitExpr(s.base());
+            return;
+          }
+          case ExprKind::Field:
+            visitExpr(static_cast<const FieldExpr&>(*e).rec());
+            return;
+          case ExprKind::Call: {
+            const auto& c = static_cast<const CallExpr&>(*e);
+            for (const auto& a : c.args())
+                visitExpr(a);
+            // A function body may reference captured state variables; those
+            // are free at the call site too (they live in the same frame).
+            if (!c.fun()->isNative()) {
+                FreeVarCollector inner(out_);
+                inner.seen_ = seen_;
+                inner.bound_ = bound_;
+                for (const auto& p : c.fun()->params)
+                    inner.bound_.insert(p.get());
+                inner.visitStmts(c.fun()->body);
+                inner.visitExpr(c.fun()->ret);
+                seen_ = inner.seen_;
+            }
+            return;
+          }
+          case ExprKind::ArrayLit: {
+            for (const auto& el :
+                 static_cast<const ArrayLitExpr&>(*e).elems())
+                visitExpr(el);
+            return;
+          }
+          case ExprKind::StructLit: {
+            for (const auto& f :
+                 static_cast<const StructLitExpr&>(*e).fieldExprs())
+                visitExpr(f);
+            return;
+          }
+          case ExprKind::Cond: {
+            const auto& c = static_cast<const CondExpr&>(*e);
+            visitExpr(c.cond());
+            visitExpr(c.thenE());
+            visitExpr(c.elseE());
+            return;
+          }
+        }
+    }
+
+    void
+    visitStmts(const StmtList& stmts)
+    {
+        for (const auto& s : stmts)
+            visitStmt(s);
+    }
+
+    void
+    visitStmt(const StmtPtr& s)
+    {
+        switch (s->kind()) {
+          case StmtKind::Assign: {
+            const auto& a = static_cast<const AssignStmt&>(*s);
+            visitExpr(a.lhs());
+            visitExpr(a.rhs());
+            return;
+          }
+          case StmtKind::If: {
+            const auto& i = static_cast<const IfStmt&>(*s);
+            visitExpr(i.cond());
+            visitStmts(i.thenStmts());
+            visitStmts(i.elseStmts());
+            return;
+          }
+          case StmtKind::For: {
+            const auto& f = static_cast<const ForStmt&>(*s);
+            visitExpr(f.lo());
+            visitExpr(f.hi());
+            bind(f.inductionVar());
+            visitStmts(f.body());
+            return;
+          }
+          case StmtKind::While: {
+            const auto& w = static_cast<const WhileStmt&>(*s);
+            visitExpr(w.cond());
+            visitStmts(w.body());
+            return;
+          }
+          case StmtKind::VarDecl: {
+            const auto& d = static_cast<const VarDeclStmt&>(*s);
+            visitExpr(d.init());
+            bind(d.var());
+            return;
+          }
+          case StmtKind::Eval:
+            visitExpr(static_cast<const EvalStmt&>(*s).expr());
+            return;
+        }
+    }
+
+  private:
+    std::vector<VarRef>& out_;
+    std::unordered_set<const VarSym*> bound_;
+    std::unordered_set<const VarSym*> seen_;
+};
+
+} // namespace
+
+void
+freeVarsExpr(const ExprPtr& e, std::vector<VarRef>& out)
+{
+    FreeVarCollector c(out);
+    c.visitExpr(e);
+}
+
+void
+freeVarsStmts(const StmtList& stmts, std::vector<VarRef>& out)
+{
+    FreeVarCollector c(out);
+    c.visitStmts(stmts);
+}
+
+bool
+isLValue(const ExprPtr& e)
+{
+    switch (e->kind()) {
+      case ExprKind::Var:
+        return static_cast<const VarExpr&>(*e).var()->isMutable;
+      case ExprKind::Index:
+        return isLValue(static_cast<const IndexExpr&>(*e).arr());
+      case ExprKind::Slice:
+        return isLValue(static_cast<const SliceExpr&>(*e).arr());
+      case ExprKind::Field:
+        return isLValue(static_cast<const FieldExpr&>(*e).rec());
+      default:
+        return false;
+    }
+}
+
+} // namespace ziria

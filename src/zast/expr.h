@@ -1,0 +1,498 @@
+/**
+ * @file
+ * The Ziria expression language AST (the paper's "imperative fragment").
+ *
+ * Expressions compute with bits, integers, complex fixed-point values,
+ * doubles, arrays and structs.  Statements are the usual imperative forms
+ * (assignment, if, for, while); per the paper, statements are just
+ * expressions returning unit, which we model with a separate Stmt class for
+ * clarity.
+ *
+ * All expressions are typed at construction time (the builder in builder.h
+ * is the only constructor path and enforces the typing rules), so every
+ * later phase can rely on `Expr::type()`.
+ */
+#ifndef ZIRIA_ZAST_EXPR_H
+#define ZIRIA_ZAST_EXPR_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ztype/type.h"
+#include "ztype/value.h"
+
+namespace ziria {
+
+/**
+ * A program variable.  Identity is by VarSym object (not by name); the
+ * frame-layout pass assigns each VarSym a byte offset.
+ */
+struct VarSym
+{
+    std::string name;
+    TypePtr type;
+    bool isMutable = true;
+    int uid = 0;  ///< unique id, assigned at creation (for printing)
+    /**
+     * True for per-iteration staging variables introduced by the
+     * vectorizer: always fully written before being read within one
+     * iteration, so auto-map may demote them to kernel locals (keeping
+     * them out of auto-LUT keys).
+     */
+    bool scratch = false;
+};
+
+using VarRef = std::shared_ptr<VarSym>;
+
+/** Create a fresh variable symbol. */
+VarRef freshVar(std::string name, TypePtr type, bool is_mutable = true);
+
+/** Binary operators of the expression language. */
+enum class BinOp {
+    Add, Sub, Mul, Div, Rem,
+    Shl, Shr,
+    BAnd, BOr, BXor,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LAnd, LOr,
+};
+
+/** Unary operators. */
+enum class UnOp { Neg, BNot, LNot };
+
+const char* binOpName(BinOp op);
+const char* unOpName(UnOp op);
+
+enum class ExprKind {
+    Const,     ///< literal value
+    Var,       ///< variable reference
+    Bin,       ///< binary operator
+    Un,        ///< unary operator
+    Cast,      ///< numeric conversion
+    Index,     ///< arr[i]
+    Slice,     ///< arr[i, n] (static length n)
+    Field,     ///< record.field
+    Call,      ///< expression-function call
+    ArrayLit,  ///< {e1, ..., en}
+    StructLit, ///< S{f1 = e1, ...}
+    Cond,      ///< if e then e1 else e2 (expression form)
+};
+
+struct FunDef;
+using FunRef = std::shared_ptr<const FunDef>;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** Base class for expressions; nodes are immutable after construction. */
+class Expr
+{
+  public:
+    virtual ~Expr() = default;
+
+    ExprKind kind() const { return kind_; }
+    const TypePtr& type() const { return type_; }
+
+  protected:
+    Expr(ExprKind kind, TypePtr type) : kind_(kind), type_(std::move(type)) {}
+
+  private:
+    ExprKind kind_;
+    TypePtr type_;
+};
+
+/** Literal constant. */
+class ConstExpr : public Expr
+{
+  public:
+    explicit ConstExpr(Value v) : Expr(ExprKind::Const, v.type()),
+                                  value_(std::move(v)) {}
+
+    const Value& value() const { return value_; }
+
+  private:
+    Value value_;
+};
+
+/** Variable reference. */
+class VarExpr : public Expr
+{
+  public:
+    explicit VarExpr(VarRef v) : Expr(ExprKind::Var, v->type),
+                                 var_(std::move(v)) {}
+
+    const VarRef& var() const { return var_; }
+
+  private:
+    VarRef var_;
+};
+
+/** Binary operation. */
+class BinExpr : public Expr
+{
+  public:
+    BinExpr(TypePtr type, BinOp op, ExprPtr lhs, ExprPtr rhs)
+        : Expr(ExprKind::Bin, std::move(type)), op_(op),
+          lhs_(std::move(lhs)), rhs_(std::move(rhs))
+    {
+    }
+
+    BinOp op() const { return op_; }
+    const ExprPtr& lhs() const { return lhs_; }
+    const ExprPtr& rhs() const { return rhs_; }
+
+  private:
+    BinOp op_;
+    ExprPtr lhs_;
+    ExprPtr rhs_;
+};
+
+/** Unary operation. */
+class UnExpr : public Expr
+{
+  public:
+    UnExpr(TypePtr type, UnOp op, ExprPtr sub)
+        : Expr(ExprKind::Un, std::move(type)), op_(op), sub_(std::move(sub))
+    {
+    }
+
+    UnOp op() const { return op_; }
+    const ExprPtr& sub() const { return sub_; }
+
+  private:
+    UnOp op_;
+    ExprPtr sub_;
+};
+
+/** Numeric conversion; the node's type is the target type. */
+class CastExpr : public Expr
+{
+  public:
+    CastExpr(TypePtr to, ExprPtr sub)
+        : Expr(ExprKind::Cast, std::move(to)), sub_(std::move(sub))
+    {
+    }
+
+    const ExprPtr& sub() const { return sub_; }
+
+  private:
+    ExprPtr sub_;
+};
+
+/** Array indexing `arr[i]`. */
+class IndexExpr : public Expr
+{
+  public:
+    IndexExpr(TypePtr type, ExprPtr arr, ExprPtr idx)
+        : Expr(ExprKind::Index, std::move(type)), arr_(std::move(arr)),
+          idx_(std::move(idx))
+    {
+    }
+
+    const ExprPtr& arr() const { return arr_; }
+    const ExprPtr& idx() const { return idx_; }
+
+  private:
+    ExprPtr arr_;
+    ExprPtr idx_;
+};
+
+/** Array slice `arr[base, len]` with a static length. */
+class SliceExpr : public Expr
+{
+  public:
+    SliceExpr(TypePtr type, ExprPtr arr, ExprPtr base, int len)
+        : Expr(ExprKind::Slice, std::move(type)), arr_(std::move(arr)),
+          base_(std::move(base)), len_(len)
+    {
+    }
+
+    const ExprPtr& arr() const { return arr_; }
+    const ExprPtr& base() const { return base_; }
+    int sliceLen() const { return len_; }
+
+  private:
+    ExprPtr arr_;
+    ExprPtr base_;
+    int len_;
+};
+
+/** Struct field projection. */
+class FieldExpr : public Expr
+{
+  public:
+    FieldExpr(TypePtr type, ExprPtr rec, std::string field)
+        : Expr(ExprKind::Field, std::move(type)), rec_(std::move(rec)),
+          field_(std::move(field))
+    {
+    }
+
+    const ExprPtr& rec() const { return rec_; }
+    const std::string& field() const { return field_; }
+
+  private:
+    ExprPtr rec_;
+    std::string field_;
+};
+
+/** Call to an expression-level function (user-defined or native). */
+class CallExpr : public Expr
+{
+  public:
+    CallExpr(TypePtr type, FunRef fun, std::vector<ExprPtr> args)
+        : Expr(ExprKind::Call, std::move(type)), fun_(std::move(fun)),
+          args_(std::move(args))
+    {
+    }
+
+    const FunRef& fun() const { return fun_; }
+    const std::vector<ExprPtr>& args() const { return args_; }
+
+  private:
+    FunRef fun_;
+    std::vector<ExprPtr> args_;
+};
+
+/** Array literal. */
+class ArrayLitExpr : public Expr
+{
+  public:
+    ArrayLitExpr(TypePtr type, std::vector<ExprPtr> elems)
+        : Expr(ExprKind::ArrayLit, std::move(type)), elems_(std::move(elems))
+    {
+    }
+
+    const std::vector<ExprPtr>& elems() const { return elems_; }
+
+  private:
+    std::vector<ExprPtr> elems_;
+};
+
+/** Struct literal; field expressions in declaration order. */
+class StructLitExpr : public Expr
+{
+  public:
+    StructLitExpr(TypePtr type, std::vector<ExprPtr> fields)
+        : Expr(ExprKind::StructLit, std::move(type)),
+          fields_(std::move(fields))
+    {
+    }
+
+    const std::vector<ExprPtr>& fieldExprs() const { return fields_; }
+
+  private:
+    std::vector<ExprPtr> fields_;
+};
+
+/** Conditional expression. */
+class CondExpr : public Expr
+{
+  public:
+    CondExpr(TypePtr type, ExprPtr cond, ExprPtr thenE, ExprPtr elseE)
+        : Expr(ExprKind::Cond, std::move(type)), cond_(std::move(cond)),
+          then_(std::move(thenE)), else_(std::move(elseE))
+    {
+    }
+
+    const ExprPtr& cond() const { return cond_; }
+    const ExprPtr& thenE() const { return then_; }
+    const ExprPtr& elseE() const { return else_; }
+
+  private:
+    ExprPtr cond_;
+    ExprPtr then_;
+    ExprPtr else_;
+};
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+enum class StmtKind { Assign, If, For, While, VarDecl, Eval };
+
+class Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/** Base class for statements. */
+class Stmt
+{
+  public:
+    virtual ~Stmt() = default;
+
+    StmtKind kind() const { return kind_; }
+
+  protected:
+    explicit Stmt(StmtKind kind) : kind_(kind) {}
+
+  private:
+    StmtKind kind_;
+};
+
+/** Assignment; lhs restricted to Var / Index / Slice / Field chains. */
+class AssignStmt : public Stmt
+{
+  public:
+    AssignStmt(ExprPtr lhs, ExprPtr rhs)
+        : Stmt(StmtKind::Assign), lhs_(std::move(lhs)), rhs_(std::move(rhs))
+    {
+    }
+
+    const ExprPtr& lhs() const { return lhs_; }
+    const ExprPtr& rhs() const { return rhs_; }
+
+  private:
+    ExprPtr lhs_;
+    ExprPtr rhs_;
+};
+
+/** Conditional statement. */
+class IfStmt : public Stmt
+{
+  public:
+    IfStmt(ExprPtr cond, StmtList thenS, StmtList elseS)
+        : Stmt(StmtKind::If), cond_(std::move(cond)),
+          then_(std::move(thenS)), else_(std::move(elseS))
+    {
+    }
+
+    const ExprPtr& cond() const { return cond_; }
+    const StmtList& thenStmts() const { return then_; }
+    const StmtList& elseStmts() const { return else_; }
+
+  private:
+    ExprPtr cond_;
+    StmtList then_;
+    StmtList else_;
+};
+
+/** `for iv in [lo, hi) { body }`. */
+class ForStmt : public Stmt
+{
+  public:
+    ForStmt(VarRef iv, ExprPtr lo, ExprPtr hi, StmtList body)
+        : Stmt(StmtKind::For), iv_(std::move(iv)), lo_(std::move(lo)),
+          hi_(std::move(hi)), body_(std::move(body))
+    {
+    }
+
+    const VarRef& inductionVar() const { return iv_; }
+    const ExprPtr& lo() const { return lo_; }
+    const ExprPtr& hi() const { return hi_; }
+    const StmtList& body() const { return body_; }
+
+  private:
+    VarRef iv_;
+    ExprPtr lo_;
+    ExprPtr hi_;
+    StmtList body_;
+};
+
+/** `while e { body }`. */
+class WhileStmt : public Stmt
+{
+  public:
+    WhileStmt(ExprPtr cond, StmtList body)
+        : Stmt(StmtKind::While), cond_(std::move(cond)),
+          body_(std::move(body))
+    {
+    }
+
+    const ExprPtr& cond() const { return cond_; }
+    const StmtList& body() const { return body_; }
+
+  private:
+    ExprPtr cond_;
+    StmtList body_;
+};
+
+/** Local variable declaration with optional initializer. */
+class VarDeclStmt : public Stmt
+{
+  public:
+    VarDeclStmt(VarRef var, ExprPtr init)
+        : Stmt(StmtKind::VarDecl), var_(std::move(var)),
+          init_(std::move(init))
+    {
+    }
+
+    const VarRef& var() const { return var_; }
+    const ExprPtr& init() const { return init_; }
+
+  private:
+    VarRef var_;
+    ExprPtr init_;  // may be null
+};
+
+/** Evaluate an expression for its side effects (e.g. a call). */
+class EvalStmt : public Stmt
+{
+  public:
+    explicit EvalStmt(ExprPtr e) : Stmt(StmtKind::Eval), expr_(std::move(e))
+    {
+    }
+
+    const ExprPtr& expr() const { return expr_; }
+
+  private:
+    ExprPtr expr_;
+};
+
+// ---------------------------------------------------------------------
+// Functions
+// ---------------------------------------------------------------------
+
+/**
+ * Signature of a native expression function: argument byte pointers in
+ * parameter order, return bytes written to @p ret.
+ */
+using NativeFn =
+    std::function<void(const uint8_t* const* args, uint8_t* ret)>;
+
+/**
+ * An expression-level function.  Either a Ziria-defined body (statements +
+ * optional return expression) or a native binding.  Parameters are passed
+ * by value except array/struct parameters, which are passed by reference
+ * when `byRef` is set for that position (needed for in-place kernels).
+ */
+struct FunDef
+{
+    std::string name;
+    std::vector<VarRef> params;
+    std::vector<bool> byRef;  ///< per-parameter; empty = all by value
+    StmtList body;
+    ExprPtr ret;              ///< null for unit-returning functions
+    TypePtr retType;
+    NativeFn native;          ///< set for native functions (body empty)
+    bool noLut = false;       ///< annotation: never LUT this function
+
+    bool isNative() const { return static_cast<bool>(native); }
+
+    bool
+    paramByRef(size_t i) const
+    {
+        return i < byRef.size() && byRef[i];
+    }
+};
+
+/** Make a Ziria-defined function. */
+FunRef makeFun(std::string name, std::vector<VarRef> params, StmtList body,
+               ExprPtr ret, TypePtr ret_type);
+
+/** Make a native function. */
+FunRef makeNativeFun(std::string name, std::vector<VarRef> params,
+                     TypePtr ret_type, NativeFn fn);
+
+/** Collect the free variables of an expression (excluding fun params). */
+void freeVarsExpr(const ExprPtr& e, std::vector<VarRef>& out);
+
+/** Collect free variables of a statement list. */
+void freeVarsStmts(const StmtList& stmts, std::vector<VarRef>& out);
+
+/** True if the expression is a valid assignment target. */
+bool isLValue(const ExprPtr& e);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZAST_EXPR_H

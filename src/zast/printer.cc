@@ -1,0 +1,346 @@
+#include "zast/printer.h"
+
+#include <sstream>
+
+#include "support/panic.h"
+
+namespace ziria {
+
+namespace {
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<size_t>(indent), ' ');
+}
+
+std::string
+varName(const VarRef& v)
+{
+    std::ostringstream os;
+    os << v->name << "_" << v->uid;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+showExpr(const ExprPtr& e)
+{
+    if (!e)
+        return "<null>";
+    std::ostringstream os;
+    switch (e->kind()) {
+      case ExprKind::Const:
+        os << static_cast<const ConstExpr&>(*e).value().show();
+        break;
+      case ExprKind::Var:
+        os << varName(static_cast<const VarExpr&>(*e).var());
+        break;
+      case ExprKind::Bin: {
+        const auto& b = static_cast<const BinExpr&>(*e);
+        os << "(" << showExpr(b.lhs()) << " " << binOpName(b.op()) << " "
+           << showExpr(b.rhs()) << ")";
+        break;
+      }
+      case ExprKind::Un: {
+        const auto& u = static_cast<const UnExpr&>(*e);
+        os << "(" << unOpName(u.op()) << showExpr(u.sub()) << ")";
+        break;
+      }
+      case ExprKind::Cast: {
+        const auto& c = static_cast<const CastExpr&>(*e);
+        os << c.type()->show() << "(" << showExpr(c.sub()) << ")";
+        break;
+      }
+      case ExprKind::Index: {
+        const auto& i = static_cast<const IndexExpr&>(*e);
+        os << showExpr(i.arr()) << "[" << showExpr(i.idx()) << "]";
+        break;
+      }
+      case ExprKind::Slice: {
+        const auto& s = static_cast<const SliceExpr&>(*e);
+        os << showExpr(s.arr()) << "[" << showExpr(s.base()) << ", "
+           << s.sliceLen() << "]";
+        break;
+      }
+      case ExprKind::Field: {
+        const auto& f = static_cast<const FieldExpr&>(*e);
+        os << showExpr(f.rec()) << "." << f.field();
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(*e);
+        os << c.fun()->name << "(";
+        bool first = true;
+        for (const auto& a : c.args()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << showExpr(a);
+        }
+        os << ")";
+        break;
+      }
+      case ExprKind::ArrayLit: {
+        const auto& a = static_cast<const ArrayLitExpr&>(*e);
+        os << "{";
+        bool first = true;
+        for (const auto& el : a.elems()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << showExpr(el);
+        }
+        os << "}";
+        break;
+      }
+      case ExprKind::StructLit: {
+        const auto& sl = static_cast<const StructLitExpr&>(*e);
+        os << sl.type()->structName() << "{";
+        const auto& fields = sl.type()->fields();
+        for (size_t i = 0; i < fields.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << fields[i].first << " = " << showExpr(sl.fieldExprs()[i]);
+        }
+        os << "}";
+        break;
+      }
+      case ExprKind::Cond: {
+        const auto& c = static_cast<const CondExpr&>(*e);
+        os << "(if " << showExpr(c.cond()) << " then " << showExpr(c.thenE())
+           << " else " << showExpr(c.elseE()) << ")";
+        break;
+      }
+    }
+    return os.str();
+}
+
+namespace {
+
+void
+printStmt(std::ostringstream& os, const StmtPtr& s, int indent)
+{
+    switch (s->kind()) {
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        os << pad(indent) << showExpr(a.lhs()) << " := " << showExpr(a.rhs())
+           << ";\n";
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        os << pad(indent) << "if " << showExpr(i.cond()) << " {\n";
+        for (const auto& t : i.thenStmts())
+            printStmt(os, t, indent + 2);
+        if (!i.elseStmts().empty()) {
+            os << pad(indent) << "} else {\n";
+            for (const auto& t : i.elseStmts())
+                printStmt(os, t, indent + 2);
+        }
+        os << pad(indent) << "}\n";
+        return;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(*s);
+        os << pad(indent) << "for " << varName(f.inductionVar()) << " in ["
+           << showExpr(f.lo()) << ", " << showExpr(f.hi()) << ") {\n";
+        for (const auto& t : f.body())
+            printStmt(os, t, indent + 2);
+        os << pad(indent) << "}\n";
+        return;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(*s);
+        os << pad(indent) << "while " << showExpr(w.cond()) << " {\n";
+        for (const auto& t : w.body())
+            printStmt(os, t, indent + 2);
+        os << pad(indent) << "}\n";
+        return;
+      }
+      case StmtKind::VarDecl: {
+        const auto& d = static_cast<const VarDeclStmt&>(*s);
+        os << pad(indent) << "var " << varName(d.var()) << " : "
+           << d.var()->type->show();
+        if (d.init())
+            os << " := " << showExpr(d.init());
+        os << ";\n";
+        return;
+      }
+      case StmtKind::Eval:
+        os << pad(indent)
+           << showExpr(static_cast<const EvalStmt&>(*s).expr()) << ";\n";
+        return;
+    }
+}
+
+} // namespace
+
+std::string
+showStmts(const StmtList& stmts, int indent)
+{
+    std::ostringstream os;
+    for (const auto& s : stmts)
+        printStmt(os, s, indent);
+    return os.str();
+}
+
+std::string
+showComp(const CompPtr& c, int indent)
+{
+    std::ostringstream os;
+    std::string p = pad(indent);
+    switch (c->kind()) {
+      case CompKind::Take:
+        os << p << "take : " <<
+            static_cast<const TakeComp&>(*c).valType()->show() << "\n";
+        break;
+      case CompKind::TakeMany: {
+        const auto& t = static_cast<const TakeManyComp&>(*c);
+        os << p << "takes " << t.count() << " : " << t.elemType()->show()
+           << "\n";
+        break;
+      }
+      case CompKind::Emit:
+        os << p << "emit "
+           << showExpr(static_cast<const EmitComp&>(*c).expr()) << "\n";
+        break;
+      case CompKind::Emits:
+        os << p << "emits "
+           << showExpr(static_cast<const EmitsComp&>(*c).expr()) << "\n";
+        break;
+      case CompKind::Return: {
+        const auto& r = static_cast<const ReturnComp&>(*c);
+        if (r.stmts().empty() && r.ret()) {
+            os << p << "return " << showExpr(r.ret()) << "\n";
+        } else {
+            os << p << "do {\n" << showStmts(r.stmts(), indent + 2);
+            if (r.ret())
+                os << pad(indent + 2) << "return " << showExpr(r.ret())
+                   << "\n";
+            os << p << "}\n";
+        }
+        break;
+      }
+      case CompKind::Seq: {
+        const auto& s = static_cast<const SeqComp&>(*c);
+        os << p << "seq {\n";
+        for (const auto& it : s.items()) {
+            if (it.bind)
+                os << pad(indent + 2) << varName(it.bind) << " <-\n";
+            os << showComp(it.comp, indent + 2);
+        }
+        os << p << "}\n";
+        break;
+      }
+      case CompKind::Pipe: {
+        const auto& pc = static_cast<const PipeComp&>(*c);
+        os << showComp(pc.left(), indent);
+        os << p << (pc.threaded() ? "|>>>|" : ">>>") << "\n";
+        os << showComp(pc.right(), indent);
+        break;
+      }
+      case CompKind::If: {
+        const auto& i = static_cast<const IfComp&>(*c);
+        os << p << "if " << showExpr(i.cond()) << " then {\n"
+           << showComp(i.thenC(), indent + 2);
+        if (i.elseC())
+            os << p << "} else {\n" << showComp(i.elseC(), indent + 2);
+        os << p << "}\n";
+        break;
+      }
+      case CompKind::Repeat: {
+        const auto& r = static_cast<const RepeatComp&>(*c);
+        os << p << "repeat";
+        if (r.hint())
+            os << " <= [" << r.hint()->in << ", " << r.hint()->out << "]";
+        os << " {\n" << showComp(r.body(), indent + 2) << p << "}\n";
+        break;
+      }
+      case CompKind::Times: {
+        const auto& t = static_cast<const TimesComp&>(*c);
+        os << p << "times " << showExpr(t.count());
+        if (t.inductionVar())
+            os << " as " << varName(t.inductionVar());
+        os << " {\n" << showComp(t.body(), indent + 2) << p << "}\n";
+        break;
+      }
+      case CompKind::While: {
+        const auto& w = static_cast<const WhileComp&>(*c);
+        os << p << "while " << showExpr(w.cond()) << " {\n"
+           << showComp(w.body(), indent + 2) << p << "}\n";
+        break;
+      }
+      case CompKind::Map: {
+        const FunRef& f = static_cast<const MapComp&>(*c).fun();
+        os << p << "map " << f->name << "\n";
+        std::string body = showFun(f);
+        std::istringstream is(body);
+        std::string line;
+        while (std::getline(is, line))
+            os << pad(indent + 2) << line << "\n";
+        break;
+      }
+      case CompKind::Filter:
+        os << p << "filter "
+           << static_cast<const FilterComp&>(*c).pred()->name << "\n";
+        break;
+      case CompKind::LetVar: {
+        const auto& l = static_cast<const LetVarComp&>(*c);
+        os << p << "var " << varName(l.var()) << " : "
+           << l.var()->type->show();
+        if (l.init())
+            os << " := " << showExpr(l.init());
+        os << " in\n" << showComp(l.body(), indent);
+        break;
+      }
+      case CompKind::Native: {
+        const auto& n = static_cast<const NativeComp&>(*c);
+        os << p << "native " << n.spec()->name << "(";
+        for (size_t i = 0; i < n.args().size(); ++i) {
+            if (i)
+                os << ", ";
+            os << showExpr(n.args()[i]);
+        }
+        os << ")\n";
+        break;
+      }
+      case CompKind::CallComp: {
+        const auto& cc = static_cast<const CallCompComp&>(*c);
+        os << p << cc.fun()->name << "(";
+        for (size_t i = 0; i < cc.args().size(); ++i) {
+            if (i)
+                os << ", ";
+            os << showExpr(cc.args()[i]);
+        }
+        os << ")\n";
+        break;
+      }
+    }
+    return os.str();
+}
+
+std::string
+showFun(const FunRef& f)
+{
+    std::ostringstream os;
+    os << "fun " << f->name << "(";
+    for (size_t i = 0; i < f->params.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << varName(f->params[i]) << " : " << f->params[i]->type->show();
+    }
+    os << ") : " << f->retType->show();
+    if (f->isNative()) {
+        os << " = <native>\n";
+        return os.str();
+    }
+    os << " {\n" << showStmts(f->body, 2);
+    if (f->ret)
+        os << "  return " << showExpr(f->ret) << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace ziria

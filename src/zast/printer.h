@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Pretty printer for Ziria ASTs, producing surface-like syntax.
+ *
+ * Used for debugging, golden tests and the compiler's `--dump` stages
+ * (e.g. inspecting what the vectorizer produced, as in Figure 3 of the
+ * paper).
+ */
+#ifndef ZIRIA_ZAST_PRINTER_H
+#define ZIRIA_ZAST_PRINTER_H
+
+#include <string>
+
+#include "zast/comp.h"
+#include "zast/expr.h"
+
+namespace ziria {
+
+/** Render an expression. */
+std::string showExpr(const ExprPtr& e);
+
+/** Render a statement list at the given indent. */
+std::string showStmts(const StmtList& stmts, int indent = 0);
+
+/** Render a computation at the given indent. */
+std::string showComp(const CompPtr& c, int indent = 0);
+
+/** Render a function definition. */
+std::string showFun(const FunRef& f);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZAST_PRINTER_H

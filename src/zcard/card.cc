@@ -1,0 +1,76 @@
+#include "zcard/card.h"
+
+#include "support/panic.h"
+
+namespace ziria {
+
+std::optional<int64_t>
+constIntOf(const ExprPtr& e)
+{
+    if (e->kind() == ExprKind::Const && e->type()->isIntegral())
+        return static_cast<const ConstExpr&>(*e).value().asInt();
+    return std::nullopt;
+}
+
+std::optional<Card>
+cardOf(const CompPtr& c)
+{
+    switch (c->kind()) {
+      case CompKind::Take:
+        return Card{1, 0};
+      case CompKind::TakeMany:
+        return Card{static_cast<const TakeManyComp&>(*c).count(), 0};
+      case CompKind::Emit:
+        return Card{0, 1};
+      case CompKind::Emits:
+        return Card{0, static_cast<const EmitsComp&>(*c)
+                           .expr()->type()->len()};
+      case CompKind::Return:
+        return Card{0, 0};
+      case CompKind::Seq: {
+        Card total{0, 0};
+        for (const auto& it : static_cast<const SeqComp&>(*c).items()) {
+            auto k = cardOf(it.comp);
+            if (!k)
+                return std::nullopt;
+            total.takes += k->takes;
+            total.emits += k->emits;
+        }
+        return total;
+      }
+      case CompKind::If: {
+        const auto& i = static_cast<const IfComp&>(*c);
+        auto t = cardOf(i.thenC());
+        if (!t)
+            return std::nullopt;
+        if (!i.elseC())
+            return (t->takes == 0 && t->emits == 0) ? t : std::nullopt;
+        auto e = cardOf(i.elseC());
+        if (!e || !(*t == *e))
+            return std::nullopt;
+        return t;
+      }
+      case CompKind::Times: {
+        const auto& t = static_cast<const TimesComp&>(*c);
+        auto n = constIntOf(t.count());
+        auto k = cardOf(t.body());
+        if (!n || !k)
+            return std::nullopt;
+        return Card{k->takes * *n, k->emits * *n};
+      }
+      case CompKind::LetVar:
+        return cardOf(static_cast<const LetVarComp&>(*c).body());
+      case CompKind::While:
+      case CompKind::Native:
+      case CompKind::Pipe:
+      case CompKind::CallComp:
+        return std::nullopt;
+      case CompKind::Repeat:
+      case CompKind::Map:
+      case CompKind::Filter:
+        return std::nullopt;  // transformers have no completion cardinality
+    }
+    panic("cardOf: unknown comp kind");
+}
+
+} // namespace ziria

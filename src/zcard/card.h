@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Cardinality analysis (paper §3.1).
+ *
+ * Infers, for each stream computer, the number of values it takes from its
+ * input and emits on its output before returning.  Transformers built as
+ * `repeat c` report the per-iteration cardinality of c.  Computations with
+ * data-dependent I/O counts (while loops, natives, branches that disagree)
+ * report "dynamic" (nullopt); the vectorizer then relies on the
+ * programmer's `repeat <= [i,o]` annotation, as in the paper.
+ */
+#ifndef ZIRIA_ZCARD_CARD_H
+#define ZIRIA_ZCARD_CARD_H
+
+#include <optional>
+
+#include "zast/comp.h"
+
+namespace ziria {
+
+/** Static take/emit counts of a computer; nullopt when data-dependent. */
+std::optional<Card> cardOf(const CompPtr& c);
+
+/** Constant value of an integral expression, if statically known. */
+std::optional<int64_t> constIntOf(const ExprPtr& e);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZCARD_CARD_H

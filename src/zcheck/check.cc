@@ -1,0 +1,581 @@
+#include "zcheck/check.h"
+
+#include <unordered_set>
+
+#include "support/panic.h"
+#include "zast/printer.h"
+
+namespace ziria {
+
+namespace {
+
+/** Unify two stream element types; null means unconstrained. */
+TypePtr
+unifyStream(const TypePtr& a, const TypePtr& b, const char* what)
+{
+    if (!a)
+        return b;
+    if (!b)
+        return a;
+    if (!typeEq(a, b))
+        fatalf("stream type mismatch in ", what, ": ", a->show(), " vs ",
+               b->show());
+    return a;
+}
+
+// -------------------------------------------------------------------
+// Free-variable access analysis
+// -------------------------------------------------------------------
+
+class AccessCollector
+{
+  public:
+    explicit AccessCollector(
+        std::unordered_map<const VarSym*, VarAccess>& out)
+        : out_(out)
+    {
+    }
+
+    void
+    bind(const VarRef& v)
+    {
+        if (v)
+            bound_.insert(v.get());
+    }
+
+    void
+    read(const VarRef& v)
+    {
+        if (!bound_.count(v.get()))
+            out_[v.get()].read = true;
+    }
+
+    void
+    write(const VarRef& v)
+    {
+        if (!bound_.count(v.get()))
+            out_[v.get()].write = true;
+    }
+
+    void
+    expr(const ExprPtr& e)
+    {
+        if (!e)
+            return;
+        switch (e->kind()) {
+          case ExprKind::Const:
+            return;
+          case ExprKind::Var:
+            read(static_cast<const VarExpr&>(*e).var());
+            return;
+          case ExprKind::Bin: {
+            const auto& b = static_cast<const BinExpr&>(*e);
+            expr(b.lhs());
+            expr(b.rhs());
+            return;
+          }
+          case ExprKind::Un:
+            expr(static_cast<const UnExpr&>(*e).sub());
+            return;
+          case ExprKind::Cast:
+            expr(static_cast<const CastExpr&>(*e).sub());
+            return;
+          case ExprKind::Index: {
+            const auto& i = static_cast<const IndexExpr&>(*e);
+            expr(i.arr());
+            expr(i.idx());
+            return;
+          }
+          case ExprKind::Slice: {
+            const auto& s = static_cast<const SliceExpr&>(*e);
+            expr(s.arr());
+            expr(s.base());
+            return;
+          }
+          case ExprKind::Field:
+            expr(static_cast<const FieldExpr&>(*e).rec());
+            return;
+          case ExprKind::Call: {
+            const auto& c = static_cast<const CallExpr&>(*e);
+            const FunRef& f = c.fun();
+            for (size_t i = 0; i < c.args().size(); ++i) {
+                expr(c.args()[i]);
+                if (f->paramByRef(i))
+                    lvalueWrite(c.args()[i]);
+            }
+            if (!f->isNative() && visitedFuns_.insert(f.get()).second) {
+                auto saved = bound_;
+                for (const auto& p : f->params)
+                    bind(p);
+                stmts(f->body);
+                expr(f->ret);
+                bound_ = std::move(saved);
+            }
+            return;
+          }
+          case ExprKind::ArrayLit:
+            for (const auto& el :
+                 static_cast<const ArrayLitExpr&>(*e).elems())
+                expr(el);
+            return;
+          case ExprKind::StructLit:
+            for (const auto& f :
+                 static_cast<const StructLitExpr&>(*e).fieldExprs())
+                expr(f);
+            return;
+          case ExprKind::Cond: {
+            const auto& c = static_cast<const CondExpr&>(*e);
+            expr(c.cond());
+            expr(c.thenE());
+            expr(c.elseE());
+            return;
+          }
+        }
+    }
+
+    /** Mark the root variable of an lvalue chain as written. */
+    void
+    lvalueWrite(const ExprPtr& e)
+    {
+        switch (e->kind()) {
+          case ExprKind::Var:
+            write(static_cast<const VarExpr&>(*e).var());
+            return;
+          case ExprKind::Index: {
+            const auto& i = static_cast<const IndexExpr&>(*e);
+            expr(i.idx());
+            lvalueWrite(i.arr());
+            return;
+          }
+          case ExprKind::Slice: {
+            const auto& s = static_cast<const SliceExpr&>(*e);
+            expr(s.base());
+            lvalueWrite(s.arr());
+            return;
+          }
+          case ExprKind::Field:
+            lvalueWrite(static_cast<const FieldExpr&>(*e).rec());
+            return;
+          default:
+            fatal("assignment target is not an lvalue");
+        }
+    }
+
+    void
+    stmts(const StmtList& list)
+    {
+        for (const auto& s : list)
+            stmt(s);
+    }
+
+    void
+    stmt(const StmtPtr& s)
+    {
+        switch (s->kind()) {
+          case StmtKind::Assign: {
+            const auto& a = static_cast<const AssignStmt&>(*s);
+            expr(a.rhs());
+            lvalueWrite(a.lhs());
+            return;
+          }
+          case StmtKind::If: {
+            const auto& i = static_cast<const IfStmt&>(*s);
+            expr(i.cond());
+            stmts(i.thenStmts());
+            stmts(i.elseStmts());
+            return;
+          }
+          case StmtKind::For: {
+            const auto& f = static_cast<const ForStmt&>(*s);
+            expr(f.lo());
+            expr(f.hi());
+            auto saved = bound_;
+            bind(f.inductionVar());
+            stmts(f.body());
+            bound_ = std::move(saved);
+            return;
+          }
+          case StmtKind::While: {
+            const auto& w = static_cast<const WhileStmt&>(*s);
+            expr(w.cond());
+            stmts(w.body());
+            return;
+          }
+          case StmtKind::VarDecl: {
+            const auto& d = static_cast<const VarDeclStmt&>(*s);
+            expr(d.init());
+            bind(d.var());
+            return;
+          }
+          case StmtKind::Eval:
+            expr(static_cast<const EvalStmt&>(*s).expr());
+            return;
+        }
+    }
+
+    void
+    comp(const CompPtr& c)
+    {
+        switch (c->kind()) {
+          case CompKind::Take:
+          case CompKind::TakeMany:
+            return;
+          case CompKind::Emit:
+            expr(static_cast<const EmitComp&>(*c).expr());
+            return;
+          case CompKind::Emits:
+            expr(static_cast<const EmitsComp&>(*c).expr());
+            return;
+          case CompKind::Return: {
+            const auto& r = static_cast<const ReturnComp&>(*c);
+            stmts(r.stmts());
+            expr(r.ret());
+            return;
+          }
+          case CompKind::Seq: {
+            const auto& s = static_cast<const SeqComp&>(*c);
+            auto saved = bound_;
+            for (const auto& it : s.items()) {
+                comp(it.comp);
+                bind(it.bind);
+            }
+            bound_ = std::move(saved);
+            return;
+          }
+          case CompKind::Pipe: {
+            const auto& p = static_cast<const PipeComp&>(*c);
+            comp(p.left());
+            comp(p.right());
+            return;
+          }
+          case CompKind::If: {
+            const auto& i = static_cast<const IfComp&>(*c);
+            expr(i.cond());
+            comp(i.thenC());
+            if (i.elseC())
+                comp(i.elseC());
+            return;
+          }
+          case CompKind::Repeat:
+            comp(static_cast<const RepeatComp&>(*c).body());
+            return;
+          case CompKind::Times: {
+            const auto& t = static_cast<const TimesComp&>(*c);
+            expr(t.count());
+            auto saved = bound_;
+            bind(t.inductionVar());
+            comp(t.body());
+            bound_ = std::move(saved);
+            return;
+          }
+          case CompKind::While: {
+            const auto& w = static_cast<const WhileComp&>(*c);
+            expr(w.cond());
+            comp(w.body());
+            return;
+          }
+          case CompKind::Map:
+          case CompKind::Filter: {
+            const FunRef& f = c->kind() == CompKind::Map
+                ? static_cast<const MapComp&>(*c).fun()
+                : static_cast<const FilterComp&>(*c).pred();
+            if (!f->isNative() && visitedFuns_.insert(f.get()).second) {
+                auto saved = bound_;
+                for (const auto& p : f->params)
+                    bind(p);
+                stmts(f->body);
+                expr(f->ret);
+                bound_ = std::move(saved);
+            }
+            return;
+          }
+          case CompKind::LetVar: {
+            const auto& l = static_cast<const LetVarComp&>(*c);
+            expr(l.init());
+            auto saved = bound_;
+            bind(l.var());
+            comp(l.body());
+            bound_ = std::move(saved);
+            return;
+          }
+          case CompKind::Native:
+            for (const auto& a :
+                 static_cast<const NativeComp&>(*c).args())
+                expr(a);
+            return;
+          case CompKind::CallComp:
+            for (const auto& a :
+                 static_cast<const CallCompComp&>(*c).args())
+                expr(a);
+            return;
+        }
+    }
+
+  private:
+    std::unordered_map<const VarSym*, VarAccess>& out_;
+    std::unordered_set<const VarSym*> bound_;
+    std::unordered_set<const FunDef*> visitedFuns_;
+};
+
+// -------------------------------------------------------------------
+// Checker
+// -------------------------------------------------------------------
+
+class Checker
+{
+  public:
+    CompType
+    check(const CompPtr& c)
+    {
+        if (!visited_.insert(c.get()).second)
+            panicf("computation node aliased in tree (each factory call "
+                   "must build fresh nodes)");
+        CompType t = infer(c);
+        c->ctypeMut() = t;
+        return t;
+    }
+
+    /** Push resolved in/out types down into the annotations. */
+    void
+    propagate(const CompPtr& c, const TypePtr& in, const TypePtr& out)
+    {
+        CompType& t = c->ctypeMut();
+        t.in = unifyStream(t.in, in, "propagate");
+        t.out = unifyStream(t.out, out, "propagate");
+        switch (c->kind()) {
+          case CompKind::Seq: {
+            for (const auto& it :
+                 static_cast<const SeqComp&>(*c).items())
+                propagate(it.comp, t.in, t.out);
+            return;
+          }
+          case CompKind::Pipe: {
+            const auto& p = static_cast<const PipeComp&>(*c);
+            TypePtr mid = unifyStream(p.left()->ctype().out,
+                                      p.right()->ctype().in, ">>>");
+            propagate(p.left(), t.in, mid);
+            propagate(p.right(), mid, t.out);
+            return;
+          }
+          case CompKind::If: {
+            const auto& i = static_cast<const IfComp&>(*c);
+            propagate(i.thenC(), t.in, t.out);
+            if (i.elseC())
+                propagate(i.elseC(), t.in, t.out);
+            return;
+          }
+          case CompKind::Repeat:
+            propagate(static_cast<const RepeatComp&>(*c).body(), t.in,
+                      t.out);
+            return;
+          case CompKind::Times:
+            propagate(static_cast<const TimesComp&>(*c).body(), t.in,
+                      t.out);
+            return;
+          case CompKind::While:
+            propagate(static_cast<const WhileComp&>(*c).body(), t.in,
+                      t.out);
+            return;
+          case CompKind::LetVar:
+            propagate(static_cast<const LetVarComp&>(*c).body(), t.in,
+                      t.out);
+            return;
+          default:
+            return;
+        }
+    }
+
+  private:
+    CompType
+    infer(const CompPtr& c)
+    {
+        switch (c->kind()) {
+          case CompKind::Take: {
+            const auto& t = static_cast<const TakeComp&>(*c);
+            return CompType{true, t.valType(), t.valType(), nullptr};
+          }
+          case CompKind::TakeMany: {
+            const auto& t = static_cast<const TakeManyComp&>(*c);
+            return CompType{true, Type::array(t.elemType(), t.count()),
+                            t.elemType(), nullptr};
+          }
+          case CompKind::Emit: {
+            const auto& e = static_cast<const EmitComp&>(*c);
+            return CompType{true, Type::unit(), nullptr, e.expr()->type()};
+          }
+          case CompKind::Emits: {
+            const auto& e = static_cast<const EmitsComp&>(*c);
+            return CompType{true, Type::unit(), nullptr,
+                            e.expr()->type()->elem()};
+          }
+          case CompKind::Return: {
+            const auto& r = static_cast<const ReturnComp&>(*c);
+            TypePtr ctrl = r.ret() ? r.ret()->type() : Type::unit();
+            return CompType{true, ctrl, nullptr, nullptr};
+          }
+          case CompKind::Seq: {
+            const auto& s = static_cast<const SeqComp&>(*c);
+            ZIRIA_ASSERT(!s.items().empty());
+            TypePtr in, out;
+            CompType last;
+            for (size_t i = 0; i < s.items().size(); ++i) {
+                const auto& it = s.items()[i];
+                CompType t = check(it.comp);
+                bool isLast = (i + 1 == s.items().size());
+                if (!isLast && !t.isComputer)
+                    fatalf("seq: non-final component must be a computer\n",
+                           showComp(it.comp));
+                if (it.bind) {
+                    if (!t.isComputer)
+                        fatal("seq: cannot bind a transformer");
+                    if (!typeEq(it.bind->type, t.ctrl))
+                        fatalf("seq: binder ", it.bind->name, " : ",
+                               it.bind->type->show(),
+                               " does not match control type ",
+                               t.ctrl ? t.ctrl->show() : "?");
+                }
+                in = unifyStream(in, t.in, "seq");
+                out = unifyStream(out, t.out, "seq");
+                last = t;
+            }
+            return CompType{last.isComputer, last.ctrl, in, out};
+          }
+          case CompKind::Pipe: {
+            const auto& p = static_cast<const PipeComp&>(*c);
+            CompType lt = check(p.left());
+            CompType rt = check(p.right());
+            if (lt.isComputer && rt.isComputer)
+                fatal(">>>: at most one side may be a computer");
+            unifyStream(lt.out, rt.in, ">>>");
+            checkRace(p);
+            bool isC = lt.isComputer || rt.isComputer;
+            TypePtr ctrl = lt.isComputer ? lt.ctrl
+                                         : (rt.isComputer ? rt.ctrl
+                                                          : nullptr);
+            return CompType{isC, ctrl, lt.in, rt.out};
+          }
+          case CompKind::If: {
+            const auto& i = static_cast<const IfComp&>(*c);
+            if (!i.cond()->type()->isBool())
+                fatal("if: condition must be bool");
+            CompType tt = check(i.thenC());
+            if (!i.elseC()) {
+                if (!tt.isComputer || !tt.ctrl->isUnit())
+                    fatal("if without else: branch must return unit");
+                return tt;
+            }
+            CompType et = check(i.elseC());
+            if (tt.isComputer != et.isComputer)
+                fatal("if: branches disagree on computer/transformer");
+            if (tt.isComputer && !typeEq(tt.ctrl, et.ctrl))
+                fatalf("if: branch control types differ: ",
+                       tt.ctrl->show(), " vs ", et.ctrl->show());
+            TypePtr in = unifyStream(tt.in, et.in, "if");
+            TypePtr out = unifyStream(tt.out, et.out, "if");
+            return CompType{tt.isComputer, tt.ctrl, in, out};
+          }
+          case CompKind::Repeat: {
+            const auto& r = static_cast<const RepeatComp&>(*c);
+            CompType bt = check(r.body());
+            if (!bt.isComputer || !bt.ctrl->isUnit())
+                fatal("repeat: body must be a computer returning unit");
+            return CompType{false, nullptr, bt.in, bt.out};
+          }
+          case CompKind::Times: {
+            const auto& t = static_cast<const TimesComp&>(*c);
+            if (!t.count()->type()->isIntegral())
+                fatal("times: count must be integral");
+            CompType bt = check(t.body());
+            if (!bt.isComputer)
+                fatal("times: body must be a computer");
+            return CompType{true, Type::unit(), bt.in, bt.out};
+          }
+          case CompKind::While: {
+            const auto& w = static_cast<const WhileComp&>(*c);
+            CompType bt = check(w.body());
+            if (!bt.isComputer)
+                fatal("while: body must be a computer");
+            return CompType{true, Type::unit(), bt.in, bt.out};
+          }
+          case CompKind::Map: {
+            const auto& m = static_cast<const MapComp&>(*c);
+            const FunRef& f = m.fun();
+            ZIRIA_ASSERT(f->params.size() == 1);
+            return CompType{false, nullptr, f->params[0]->type,
+                            f->retType};
+          }
+          case CompKind::Filter: {
+            const auto& fc = static_cast<const FilterComp&>(*c);
+            const FunRef& p = fc.pred();
+            return CompType{false, nullptr, p->params[0]->type,
+                            p->params[0]->type};
+          }
+          case CompKind::LetVar: {
+            const auto& l = static_cast<const LetVarComp&>(*c);
+            return check(l.body());
+          }
+          case CompKind::Native:
+            return static_cast<const NativeComp&>(*c).spec()->ctype;
+          case CompKind::CallComp:
+            fatalf("unresolved computation call ",
+                   static_cast<const CallCompComp&>(*c).fun()->name,
+                   " (run elaboration before checking)");
+        }
+        panic("checkComp: unknown comp kind");
+    }
+
+    /**
+     * The Section 2.3 race rule: in c1 >>> c2, only one side may have
+     * read-write access to a shared mutable variable.
+     */
+    void
+    checkRace(const PipeComp& p)
+    {
+        auto la = freeVarAccessComp(p.left());
+        auto ra = freeVarAccessComp(p.right());
+        for (const auto& [v, acc] : la) {
+            auto it = ra.find(v);
+            if (it == ra.end())
+                continue;
+            if (acc.write || it->second.write)
+                fatalf(">>>: shared variable accessed on both sides with a "
+                       "write (race rule violation)");
+        }
+    }
+
+    std::unordered_set<const Comp*> visited_;
+};
+
+} // namespace
+
+std::unordered_map<const VarSym*, VarAccess>
+freeVarAccessComp(const CompPtr& c)
+{
+    std::unordered_map<const VarSym*, VarAccess> out;
+    AccessCollector ac(out);
+    ac.comp(c);
+    return out;
+}
+
+std::unordered_map<const VarSym*, VarAccess>
+freeVarAccessFun(const FunRef& f)
+{
+    std::unordered_map<const VarSym*, VarAccess> out;
+    AccessCollector ac(out);
+    for (const auto& p : f->params)
+        ac.bind(p);
+    ac.stmts(f->body);
+    ac.expr(f->ret);
+    return out;
+}
+
+CompType
+checkComp(const CompPtr& root)
+{
+    Checker ck;
+    CompType t = ck.check(root);
+    ck.propagate(root, t.in, t.out);
+    return root->ctype();
+}
+
+} // namespace ziria

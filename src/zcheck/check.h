@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Stream-level type checker: the typing rules of Section 2 of the paper.
+ *
+ * Expression-level typing is enforced at construction by the builder;
+ * this pass checks the computation layer:
+ *
+ *  - `seq { x <- c1; c2 }`: every non-final item is a computer, binder
+ *    types match control-value types, all items share stream types;
+ *  - `c1 >>> c2`: at most one side is a computer, the intermediate stream
+ *    type unifies, and the race-freedom rule holds (only one side may have
+ *    read-write access to shared mutable state);
+ *  - `repeat c`: c is a computer with unit control;
+ *  - primitives get the types from the table at the end of Section 2.5.
+ *
+ * On success every Comp node's `ctype()` is filled in with resolved stream
+ * types (propagated from context where the node itself is polymorphic).
+ */
+#ifndef ZIRIA_ZCHECK_CHECK_H
+#define ZIRIA_ZCHECK_CHECK_H
+
+#include <unordered_map>
+
+#include "zast/comp.h"
+
+namespace ziria {
+
+/** Read/write access summary for a free variable. */
+struct VarAccess
+{
+    bool read = false;
+    bool write = false;
+};
+
+/**
+ * Collect the free mutable variables of a computation together with
+ * read/write access (descending into called expression functions).
+ */
+std::unordered_map<const VarSym*, VarAccess>
+freeVarAccessComp(const CompPtr& c);
+
+/**
+ * Collect the free mutable variables of an expression function (its
+ * captured state), with read/write access.  Parameters and locals are
+ * excluded.
+ */
+std::unordered_map<const VarSym*, VarAccess>
+freeVarAccessFun(const FunRef& f);
+
+/**
+ * Type-check a computation and annotate every node with its resolved
+ * stream signature.  Throws FatalError on ill-typed programs and
+ * PanicError if the tree shares nodes (each Comp must appear once).
+ *
+ * @return the root's resolved signature.
+ */
+CompType checkComp(const CompPtr& root);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZCHECK_CHECK_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The execution-node interface: the paper's tick/proc model (§2.6).
+ *
+ * Every compiled computation becomes a re-entrant state machine.  The
+ * paper's `tick` ("do you have output / do you need input / did you halt")
+ * maps to `advance()` returning Yield / NeedInput / Done, and `proc`
+ * (consume a pushed value) maps to `supply()`.  A pipe advances its right
+ * child first — pipelines are drained from the right, so no variable-sized
+ * queues are needed between `>>>` components and values are pushed as soon
+ * as they become available (low latency), exactly as in the paper.
+ *
+ * Contract:
+ *  - `start()` is called before any other method and again on re-init
+ *    (that is how `repeat` re-initializes its body);
+ *  - `advance()` in the need-input state is idempotent until `supply()`
+ *    provides one element (the pointer must stay valid until the next
+ *    `advance()` returns);
+ *  - after Done, `advance()` is not called again until `start()`.
+ */
+#ifndef ZIRIA_ZEXEC_NODE_H
+#define ZIRIA_ZEXEC_NODE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "zexpr/frame.h"
+
+namespace ziria {
+
+/** Result of one scheduling step. */
+enum class Status : uint8_t {
+    Yield,      ///< one output element available via out()
+    NeedInput,  ///< must supply() one input element to make progress
+    Done,       ///< (computers only) halted; control value via ctrl()
+};
+
+/** Base class for execution nodes. */
+class ExecNode
+{
+  public:
+    virtual ~ExecNode() = default;
+
+    /** (Re)initialize node state. */
+    virtual void start(Frame& f) = 0;
+
+    /** Make progress. */
+    virtual Status advance(Frame& f) = 0;
+
+    /** Provide one input element of inWidth() bytes. */
+    virtual void supply(Frame& f, const uint8_t* in) = 0;
+
+    /** Pointer to the last yielded output element (outWidth() bytes). */
+    virtual const uint8_t* out() const = 0;
+
+    /** Pointer to the control value after Done (ctrlWidth() bytes). */
+    virtual const uint8_t* ctrl() const { return nullptr; }
+
+    size_t inWidth() const { return inWidth_; }
+    size_t outWidth() const { return outWidth_; }
+    size_t ctrlWidth() const { return ctrlWidth_; }
+
+    void setInWidth(size_t w) { inWidth_ = w; }
+    void setOutWidth(size_t w) { outWidth_ = w; }
+    void setCtrlWidth(size_t w) { ctrlWidth_ = w; }
+
+  protected:
+    size_t inWidth_ = 0;
+    size_t outWidth_ = 0;
+    size_t ctrlWidth_ = 0;
+};
+
+using NodePtr = std::unique_ptr<ExecNode>;
+
+} // namespace ziria
+
+#endif // ZIRIA_ZEXEC_NODE_H

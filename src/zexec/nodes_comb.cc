@@ -1,0 +1,326 @@
+#include "zexec/nodes.h"
+
+#include "support/panic.h"
+#include "ztype/value.h"
+
+namespace ziria {
+
+// ----------------------------------------------------------------- Seq
+
+SeqNode::SeqNode(std::vector<Item> items) : items_(std::move(items))
+{
+    ZIRIA_ASSERT(!items_.empty());
+}
+
+void
+SeqNode::start(Frame& f)
+{
+    idx_ = 0;
+    done_ = false;
+    items_[0].node->start(f);
+}
+
+Status
+SeqNode::advance(Frame& f)
+{
+    while (true) {
+        Item& it = items_[idx_];
+        Status s = it.node->advance(f);
+        if (s == Status::Yield || s == Status::NeedInput)
+            return s;
+        // The active computer halted: bind its control value and switch
+        // to the next component (the "switchtable" of §2.6).
+        if (it.bindOff >= 0) {
+            std::memcpy(f.at(static_cast<size_t>(it.bindOff)),
+                        it.node->ctrl(), it.bindWidth);
+        }
+        if (idx_ + 1 == items_.size()) {
+            done_ = true;
+            return Status::Done;
+        }
+        ++idx_;
+        items_[idx_].node->start(f);
+    }
+}
+
+void
+SeqNode::supply(Frame& f, const uint8_t* in)
+{
+    items_[idx_].node->supply(f, in);
+}
+
+const uint8_t*
+SeqNode::out() const
+{
+    return items_[idx_].node->out();
+}
+
+const uint8_t*
+SeqNode::ctrl() const
+{
+    ZIRIA_ASSERT(done_);
+    return items_.back().node->ctrl();
+}
+
+// ---------------------------------------------------------------- Pipe
+
+PipeNode::PipeNode(NodePtr left, NodePtr right)
+    : left_(std::move(left)), right_(std::move(right))
+{
+    inWidth_ = left_->inWidth();
+    outWidth_ = right_->outWidth();
+    ctrlWidth_ = std::max(left_->ctrlWidth(), right_->ctrlWidth());
+}
+
+void
+PipeNode::start(Frame& f)
+{
+    left_->start(f);
+    right_->start(f);
+    ctrlSrc_ = nullptr;
+}
+
+Status
+PipeNode::advance(Frame& f)
+{
+    while (true) {
+        // Drain from the right (§2.6): the pipe's tick is c2's tick.
+        Status sr = right_->advance(f);
+        if (sr == Status::Yield)
+            return Status::Yield;
+        if (sr == Status::Done) {
+            ctrlSrc_ = right_->ctrl();
+            ctrlWidth_ = right_->ctrlWidth();
+            return Status::Done;
+        }
+        // The right side needs one element: run the left side for it.
+        while (true) {
+            Status sl = left_->advance(f);
+            if (sl == Status::Yield) {
+                right_->supply(f, left_->out());
+                break;
+            }
+            if (sl == Status::Done) {
+                ctrlSrc_ = left_->ctrl();
+                ctrlWidth_ = left_->ctrlWidth();
+                return Status::Done;
+            }
+            return Status::NeedInput;
+        }
+    }
+}
+
+void
+PipeNode::supply(Frame& f, const uint8_t* in)
+{
+    left_->supply(f, in);
+}
+
+// ------------------------------------------------------------------ If
+
+IfNode::IfNode(EvalInt cond, NodePtr then_n, NodePtr else_n)
+    : cond_(std::move(cond)), then_(std::move(then_n)),
+      else_(std::move(else_n))
+{
+    inWidth_ = std::max(then_->inWidth(),
+                        else_ ? else_->inWidth() : size_t{0});
+    outWidth_ = std::max(then_->outWidth(),
+                         else_ ? else_->outWidth() : size_t{0});
+    ctrlWidth_ = then_->ctrlWidth();
+}
+
+void
+IfNode::start(Frame& f)
+{
+    chosen_ = cond_(f) ? then_.get() : (else_ ? else_.get() : nullptr);
+    if (chosen_)
+        chosen_->start(f);
+}
+
+Status
+IfNode::advance(Frame& f)
+{
+    if (!chosen_)
+        return Status::Done;  // `if` without else on false: unit return
+    return chosen_->advance(f);
+}
+
+void
+IfNode::supply(Frame& f, const uint8_t* in)
+{
+    ZIRIA_ASSERT(chosen_ != nullptr);
+    chosen_->supply(f, in);
+}
+
+// -------------------------------------------------------------- Repeat
+
+namespace {
+
+/// Iterations a repeat body may complete without any I/O before we flag a
+/// livelock (a body that neither takes nor emits would spin forever).
+constexpr uint64_t repeatSpinLimit = 1u << 20;
+
+} // namespace
+
+RepeatNode::RepeatNode(NodePtr body) : body_(std::move(body))
+{
+    inWidth_ = body_->inWidth();
+    outWidth_ = body_->outWidth();
+}
+
+void
+RepeatNode::start(Frame& f)
+{
+    body_->start(f);
+    spins_ = 0;
+}
+
+Status
+RepeatNode::advance(Frame& f)
+{
+    while (true) {
+        Status s = body_->advance(f);
+        if (s == Status::Yield || s == Status::NeedInput) {
+            spins_ = 0;
+            return s;
+        }
+        // Body halted: re-initialize and continue (repeat semantics).
+        if (++spins_ > repeatSpinLimit)
+            fatal("repeat: body completed 2^20 times without taking or "
+                  "emitting (livelock)");
+        body_->start(f);
+    }
+}
+
+void
+RepeatNode::supply(Frame& f, const uint8_t* in)
+{
+    body_->supply(f, in);
+}
+
+// --------------------------------------------------------------- Times
+
+TimesNode::TimesNode(EvalInt count, long iv_off, TypeKind iv_kind,
+                     NodePtr body)
+    : count_(std::move(count)), ivOff_(iv_off), ivKind_(iv_kind),
+      body_(std::move(body))
+{
+    inWidth_ = body_->inWidth();
+    outWidth_ = body_->outWidth();
+    ctrlWidth_ = 0;
+}
+
+void
+TimesNode::start(Frame& f)
+{
+    n_ = count_(f);
+    i_ = 0;
+    if (ivOff_ >= 0)
+        writeIntRaw(ivKind_, f.at(static_cast<size_t>(ivOff_)), 0);
+    if (n_ > 0)
+        body_->start(f);
+}
+
+Status
+TimesNode::advance(Frame& f)
+{
+    while (true) {
+        if (i_ >= n_)
+            return Status::Done;
+        Status s = body_->advance(f);
+        if (s != Status::Done)
+            return s;
+        ++i_;
+        if (i_ >= n_)
+            return Status::Done;
+        if (ivOff_ >= 0)
+            writeIntRaw(ivKind_, f.at(static_cast<size_t>(ivOff_)), i_);
+        body_->start(f);
+    }
+}
+
+void
+TimesNode::supply(Frame& f, const uint8_t* in)
+{
+    body_->supply(f, in);
+}
+
+// --------------------------------------------------------------- While
+
+WhileNode::WhileNode(EvalInt cond, NodePtr body)
+    : cond_(std::move(cond)), body_(std::move(body))
+{
+    inWidth_ = body_->inWidth();
+    outWidth_ = body_->outWidth();
+    ctrlWidth_ = 0;
+}
+
+void
+WhileNode::start(Frame&)
+{
+    running_ = false;
+    finished_ = false;
+}
+
+Status
+WhileNode::advance(Frame& f)
+{
+    while (true) {
+        if (finished_)
+            return Status::Done;
+        if (!running_) {
+            if (!cond_(f)) {
+                finished_ = true;
+                return Status::Done;
+            }
+            body_->start(f);
+            running_ = true;
+        }
+        Status s = body_->advance(f);
+        if (s != Status::Done)
+            return s;
+        running_ = false;  // re-check the guard
+    }
+}
+
+void
+WhileNode::supply(Frame& f, const uint8_t* in)
+{
+    body_->supply(f, in);
+}
+
+// -------------------------------------------------------------- LetVar
+
+LetVarNode::LetVarNode(size_t off, size_t width, EvalInto init,
+                       NodePtr body)
+    : off_(off), width_(width), init_(std::move(init)),
+      body_(std::move(body))
+{
+    inWidth_ = body_->inWidth();
+    outWidth_ = body_->outWidth();
+    ctrlWidth_ = body_->ctrlWidth();
+}
+
+void
+LetVarNode::start(Frame& f)
+{
+    if (init_)
+        init_(f, f.at(off_));
+    else
+        std::memset(f.at(off_), 0, width_);
+    body_->start(f);
+}
+
+Status
+LetVarNode::advance(Frame& f)
+{
+    return body_->advance(f);
+}
+
+void
+LetVarNode::supply(Frame& f, const uint8_t* in)
+{
+    body_->supply(f, in);
+}
+
+} // namespace ziria

@@ -1,0 +1,365 @@
+#include "zexec/nodes.h"
+
+#include "support/panic.h"
+
+namespace ziria {
+
+// ---------------------------------------------------------------- Take
+
+TakeNode::TakeNode(size_t width)
+{
+    inWidth_ = width;
+    ctrlWidth_ = width;
+    ctrlBuf_.resize(width);
+}
+
+void
+TakeNode::start(Frame&)
+{
+    pending_ = false;
+}
+
+Status
+TakeNode::advance(Frame&)
+{
+    return pending_ ? Status::Done : Status::NeedInput;
+}
+
+void
+TakeNode::supply(Frame&, const uint8_t* in)
+{
+    std::memcpy(ctrlBuf_.data(), in, inWidth_);
+    pending_ = true;
+}
+
+// ------------------------------------------------------------ TakeMany
+
+TakeManyNode::TakeManyNode(size_t elem_width, size_t n) : n_(n)
+{
+    inWidth_ = elem_width;
+    ctrlWidth_ = elem_width * n;
+    ctrlBuf_.resize(ctrlWidth_);
+}
+
+void
+TakeManyNode::start(Frame&)
+{
+    have_ = 0;
+}
+
+Status
+TakeManyNode::advance(Frame&)
+{
+    return have_ >= n_ ? Status::Done : Status::NeedInput;
+}
+
+void
+TakeManyNode::supply(Frame&, const uint8_t* in)
+{
+    ZIRIA_ASSERT(have_ < n_);
+    std::memcpy(ctrlBuf_.data() + have_ * inWidth_, in, inWidth_);
+    ++have_;
+}
+
+// ---------------------------------------------------------------- Emit
+
+EmitNode::EmitNode(EvalInto expr, size_t width) : expr_(std::move(expr))
+{
+    outWidth_ = width;
+    outBuf_.resize(width);
+}
+
+void
+EmitNode::start(Frame&)
+{
+    emitted_ = false;
+}
+
+Status
+EmitNode::advance(Frame& f)
+{
+    if (emitted_)
+        return Status::Done;
+    expr_(f, outBuf_.data());
+    emitted_ = true;
+    return Status::Yield;
+}
+
+void
+EmitNode::supply(Frame&, const uint8_t*)
+{
+    panic("EmitNode::supply: emit never requests input");
+}
+
+// --------------------------------------------------------------- Emits
+
+EmitsNode::EmitsNode(EvalInto arr_expr, size_t elem_width, size_t len)
+    : arrExpr_(std::move(arr_expr)), len_(len)
+{
+    outWidth_ = elem_width;
+    arrBuf_.resize(elem_width * len);
+}
+
+void
+EmitsNode::start(Frame&)
+{
+    next_ = 0;
+    evaluated_ = false;
+}
+
+Status
+EmitsNode::advance(Frame& f)
+{
+    if (!evaluated_) {
+        arrExpr_(f, arrBuf_.data());
+        evaluated_ = true;
+    }
+    if (next_ >= len_)
+        return Status::Done;
+    ++next_;
+    return Status::Yield;
+}
+
+void
+EmitsNode::supply(Frame&, const uint8_t*)
+{
+    panic("EmitsNode::supply: emits never requests input");
+}
+
+// -------------------------------------------------------------- Return
+
+ReturnNode::ReturnNode(Action body, EvalInto ret, size_t ctrl_width)
+    : body_(std::move(body)), ret_(std::move(ret))
+{
+    ctrlWidth_ = ctrl_width;
+    ctrlBuf_.resize(ctrl_width);
+}
+
+void
+ReturnNode::start(Frame&)
+{
+}
+
+Status
+ReturnNode::advance(Frame& f)
+{
+    if (body_)
+        body_(f);
+    if (ret_)
+        ret_(f, ctrlBuf_.data());
+    return Status::Done;
+}
+
+void
+ReturnNode::supply(Frame&, const uint8_t*)
+{
+    panic("ReturnNode::supply: do/return never requests input");
+}
+
+// ----------------------------------------------------------------- Map
+
+MapNode::MapNode(CompiledKernel kernel, std::shared_ptr<CompiledLut> lut,
+                 size_t in_width, size_t out_width)
+{
+    stage_.kernel = std::move(kernel);
+    stage_.lut = std::move(lut);
+    stage_.inW = in_width;
+    stage_.outW = out_width;
+    inWidth_ = in_width;
+    outWidth_ = out_width;
+    outBuf_.resize(out_width);
+    ZIRIA_ASSERT(stage_.kernel.paramOffsets.size() == 1,
+                 "map kernel must be unary");
+    ZIRIA_ASSERT(stage_.kernel.paramWidths[0] == in_width);
+}
+
+void
+MapNode::start(Frame&)
+{
+    pending_ = false;
+}
+
+Status
+MapNode::advance(Frame& f)
+{
+    if (!pending_)
+        return Status::NeedInput;
+    if (stage_.lut) {
+        stage_.lut->apply(f, outBuf_.data());
+    } else {
+        stage_.kernel.body(f);
+        if (stage_.kernel.retInto)
+            stage_.kernel.retInto(f, outBuf_.data());
+    }
+    pending_ = false;
+    return Status::Yield;
+}
+
+void
+MapNode::supply(Frame& f, const uint8_t* in)
+{
+    std::memcpy(f.at(stage_.kernel.paramOffsets[0]), in, inWidth_);
+    pending_ = true;
+}
+
+// ------------------------------------------------------------ MapChain
+
+MapChainNode::MapChainNode(std::vector<MapStage> stages)
+    : stages_(std::move(stages))
+{
+    ZIRIA_ASSERT(stages_.size() >= 2);
+    inWidth_ = stages_.front().inW;
+    outWidth_ = stages_.back().outW;
+    outBuf_.resize(outWidth_);
+    for (size_t i = 0; i + 1 < stages_.size(); ++i)
+        ZIRIA_ASSERT(stages_[i].outW == stages_[i + 1].inW,
+                     "map chain stage width mismatch");
+}
+
+void
+MapChainNode::start(Frame&)
+{
+    pending_ = false;
+}
+
+Status
+MapChainNode::advance(Frame& f)
+{
+    if (!pending_)
+        return Status::NeedInput;
+    // Run stage i and deliver its output straight into stage i+1's
+    // parameter slot; the last stage writes the node's output buffer.
+    for (size_t i = 0; i < stages_.size(); ++i) {
+        MapStage& st = stages_[i];
+        uint8_t* dst = i + 1 < stages_.size()
+            ? f.at(stages_[i + 1].kernel.paramOffsets[0])
+            : outBuf_.data();
+        if (st.lut) {
+            st.lut->apply(f, dst);
+        } else {
+            st.kernel.body(f);
+            if (st.kernel.retInto)
+                st.kernel.retInto(f, dst);
+        }
+    }
+    pending_ = false;
+    return Status::Yield;
+}
+
+void
+MapChainNode::supply(Frame& f, const uint8_t* in)
+{
+    std::memcpy(f.at(stages_.front().kernel.paramOffsets[0]), in,
+                inWidth_);
+    pending_ = true;
+}
+
+// -------------------------------------------------------------- Filter
+
+FilterNode::FilterNode(CompiledKernel pred, size_t width)
+    : pred_(std::move(pred))
+{
+    inWidth_ = width;
+    outWidth_ = width;
+    outBuf_.resize(width);
+    ZIRIA_ASSERT(pred_.paramOffsets.size() == 1);
+}
+
+void
+FilterNode::start(Frame&)
+{
+    pending_ = false;
+}
+
+Status
+FilterNode::advance(Frame& f)
+{
+    if (!pending_)
+        return Status::NeedInput;
+    pending_ = false;
+    uint8_t keep = 0;
+    pred_.body(f);
+    pred_.retInto(f, &keep);
+    if (!keep)
+        return Status::NeedInput;
+    std::memcpy(outBuf_.data(), f.at(pred_.paramOffsets[0]), inWidth_);
+    return Status::Yield;
+}
+
+void
+FilterNode::supply(Frame& f, const uint8_t* in)
+{
+    std::memcpy(f.at(pred_.paramOffsets[0]), in, inWidth_);
+    pending_ = true;
+}
+
+// -------------------------------------------------------------- Native
+
+class NativeNode::RingEmitter : public Emitter
+{
+  public:
+    RingEmitter(std::vector<uint8_t>& ring, size_t width)
+        : ring_(ring), width_(width)
+    {
+    }
+
+    void
+    emit(const uint8_t* elem) override
+    {
+        ring_.insert(ring_.end(), elem, elem + width_);
+    }
+
+  private:
+    std::vector<uint8_t>& ring_;
+    size_t width_;
+};
+
+NativeNode::NativeNode(Factory factory, size_t in_width, size_t out_width,
+                       size_t ctrl_width, bool is_computer)
+    : factory_(std::move(factory)), isComputer_(is_computer)
+{
+    inWidth_ = in_width;
+    outWidth_ = out_width;
+    ctrlWidth_ = ctrl_width;
+    outBuf_.resize(out_width);
+}
+
+void
+NativeNode::start(Frame& f)
+{
+    kernel_ = factory_(f);
+    ring_.clear();
+    ringHead_ = 0;
+    finished_ = false;
+}
+
+Status
+NativeNode::advance(Frame&)
+{
+    if (ringHead_ < ring_.size()) {
+        std::memcpy(outBuf_.data(), ring_.data() + ringHead_, outWidth_);
+        ringHead_ += outWidth_;
+        if (ringHead_ >= ring_.size()) {
+            ring_.clear();
+            ringHead_ = 0;
+        }
+        return Status::Yield;
+    }
+    if (finished_)
+        return Status::Done;
+    return Status::NeedInput;
+}
+
+void
+NativeNode::supply(Frame&, const uint8_t* in)
+{
+    RingEmitter em(ring_, outWidth_);
+    if (kernel_->consume(in, em)) {
+        ZIRIA_ASSERT(isComputer_, "transformer kernel claimed completion");
+        ZIRIA_ASSERT(kernel_->ctrl().size() == ctrlWidth_,
+                     "native control value width mismatch");
+        finished_ = true;
+    }
+}
+
+} // namespace ziria

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Pipeline driver: builds execution nodes from a checked computation AST
+ * and runs them against input sources and output sinks.
+ */
+#ifndef ZIRIA_ZEXEC_PIPELINE_H
+#define ZIRIA_ZEXEC_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "zast/comp.h"
+#include "zexec/node.h"
+#include "zexpr/compile_expr.h"
+#include "zexpr/lut.h"
+
+namespace ziria {
+
+/** Pull-style input: elements of a fixed byte width. */
+class InputSource
+{
+  public:
+    virtual ~InputSource() = default;
+
+    /** Pointer to the next element, or null at end of stream. */
+    virtual const uint8_t* next() = 0;
+};
+
+/** Reads elements out of a flat byte buffer (not owned). */
+class MemSource : public InputSource
+{
+  public:
+    MemSource(const uint8_t* data, size_t bytes, size_t elem_width)
+        : data_(data), bytes_(bytes), width_(elem_width)
+    {
+    }
+
+    explicit MemSource(const std::vector<uint8_t>& buf, size_t elem_width)
+        : MemSource(buf.data(), buf.size(), elem_width)
+    {
+    }
+
+    const uint8_t*
+    next() override
+    {
+        if (width_ == 0 || pos_ + width_ > bytes_)
+            return nullptr;
+        const uint8_t* p = data_ + pos_;
+        pos_ += width_;
+        return p;
+    }
+
+    void rewind() { pos_ = 0; }
+
+  private:
+    const uint8_t* data_;
+    size_t bytes_;
+    size_t width_;
+    size_t pos_ = 0;
+};
+
+/** Cycles through a buffer a given number of times (benchmark feeding). */
+class CyclicSource : public InputSource
+{
+  public:
+    CyclicSource(const std::vector<uint8_t>& buf, size_t elem_width,
+                 uint64_t total_elems)
+        : buf_(buf), width_(elem_width), remaining_(total_elems)
+    {
+    }
+
+    const uint8_t*
+    next() override
+    {
+        if (remaining_ == 0)
+            return nullptr;
+        --remaining_;
+        if (pos_ + width_ > buf_.size())
+            pos_ = 0;
+        const uint8_t* p = buf_.data() + pos_;
+        pos_ += width_;
+        return p;
+    }
+
+  private:
+    const std::vector<uint8_t>& buf_;
+    size_t width_;
+    uint64_t remaining_;
+    size_t pos_ = 0;
+};
+
+/** Push-style output sink. */
+class OutputSink
+{
+  public:
+    virtual ~OutputSink() = default;
+
+    virtual void put(const uint8_t* elem) = 0;
+};
+
+/** Appends output elements to a byte vector. */
+class VecSink : public OutputSink
+{
+  public:
+    explicit VecSink(size_t elem_width) : width_(elem_width) {}
+
+    void
+    put(const uint8_t* elem) override
+    {
+        data_.insert(data_.end(), elem, elem + width_);
+    }
+
+    const std::vector<uint8_t>& data() const { return data_; }
+    size_t elems() const { return width_ ? data_.size() / width_ : 0; }
+
+  private:
+    size_t width_;
+    std::vector<uint8_t> data_;
+};
+
+/** Discards output (benchmarking; matches the paper's methodology). */
+class NullSink : public OutputSink
+{
+  public:
+    void put(const uint8_t*) override { ++count_; }
+
+    uint64_t count() const { return count_; }
+
+  private:
+    uint64_t count_ = 0;
+};
+
+/** Outcome of one pipeline run. */
+struct RunStats
+{
+    uint64_t consumed = 0;       ///< input elements taken
+    uint64_t emitted = 0;        ///< output elements produced
+    bool halted = false;         ///< a computer returned
+    std::vector<uint8_t> ctrl;   ///< its control value bytes
+};
+
+// ---------------------------------------------------------------------
+// Node construction
+// ---------------------------------------------------------------------
+
+/** Options controlling node-level optimizations. */
+struct BuildOptions
+{
+    bool autoLut = false;   ///< replace eligible map kernels with LUTs
+    LutLimits lutLimits;
+};
+
+/** Statistics collected while building (reported by the compiler). */
+struct BuildStats
+{
+    int nodes = 0;
+    int mapNodes = 0;
+    int lutsBuilt = 0;
+    size_t lutBytes = 0;
+};
+
+/**
+ * Build the execution-node tree for a checked computation.  The comp must
+ * be elaborated (no CallComp) and type-checked (ctype() resolved).
+ */
+NodePtr buildNode(const CompPtr& c, ExprCompiler& ec,
+                  const BuildOptions& opt, BuildStats* stats);
+
+// ---------------------------------------------------------------------
+// Single-threaded driver
+// ---------------------------------------------------------------------
+
+/** A runnable single-threaded pipeline instance. */
+class Pipeline
+{
+  public:
+    Pipeline(NodePtr root, size_t frame_size, size_t in_width,
+             size_t out_width)
+        : root_(std::move(root)), frame_(frame_size), inWidth_(in_width),
+          outWidth_(out_width)
+    {
+    }
+
+    size_t inWidth() const { return inWidth_; }
+    size_t outWidth() const { return outWidth_; }
+    Frame& frame() { return frame_; }
+    ExecNode& root() { return *root_; }
+
+    /**
+     * Run until the computation halts or the source is exhausted.
+     * @param max_out stop after this many outputs (0 = unlimited).
+     */
+    RunStats run(InputSource& src, OutputSink& sink, uint64_t max_out = 0);
+
+    /** Convenience: feed a byte buffer, collect output bytes. */
+    std::vector<uint8_t> runBytes(const std::vector<uint8_t>& input,
+                                  RunStats* stats = nullptr);
+
+  private:
+    NodePtr root_;
+    Frame frame_;
+    size_t inWidth_;
+    size_t outWidth_;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_ZEXEC_PIPELINE_H

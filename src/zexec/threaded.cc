@@ -1,0 +1,135 @@
+#include "zexec/threaded.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/panic.h"
+#include "support/spsc_queue.h"
+
+namespace ziria {
+
+namespace {
+
+/** Result of running one stage. */
+struct StageResult
+{
+    uint64_t consumed = 0;
+    uint64_t emitted = 0;
+    bool halted = false;
+    std::vector<uint8_t> ctrl;
+    std::exception_ptr error;
+};
+
+/**
+ * Drive one stage: pull input from @p inq (or @p src for stage 0), push
+ * output to @p outq (or @p sink for the last stage).
+ */
+void
+runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
+         SpscQueue* outq, OutputSink* sink, StageResult& res)
+{
+    std::vector<uint8_t> inBuf(std::max<size_t>(node.inWidth(), 1));
+    try {
+        node.start(frame);
+        while (true) {
+            Status s = node.advance(frame);
+            if (s == Status::Yield) {
+                if (outq) {
+                    if (!outq->push(node.out()))
+                        break;  // downstream cancelled
+                } else {
+                    sink->put(node.out());
+                }
+                ++res.emitted;
+            } else if (s == Status::NeedInput) {
+                if (inq) {
+                    if (!inq->pop(inBuf.data()))
+                        break;  // upstream finished
+                    node.supply(frame, inBuf.data());
+                } else {
+                    const uint8_t* p = src->next();
+                    if (!p)
+                        break;
+                    node.supply(frame, p);
+                }
+                ++res.consumed;
+            } else {
+                res.halted = true;
+                const uint8_t* cp = node.ctrl();
+                if (cp && node.ctrlWidth())
+                    res.ctrl.assign(cp, cp + node.ctrlWidth());
+                break;
+            }
+        }
+    } catch (...) {
+        res.error = std::current_exception();
+    }
+    if (outq)
+        outq->close();
+    // A halted (or failed) stage stops upstream producers.
+    if ((res.halted || res.error) && inq)
+        inq->cancel();
+}
+
+} // namespace
+
+ThreadedPipeline::ThreadedPipeline(std::vector<NodePtr> stages,
+                                   size_t frame_size, size_t in_width,
+                                   size_t out_width, size_t queue_cap)
+    : stages_(std::move(stages)), frame_(frame_size), inWidth_(in_width),
+      outWidth_(out_width), queueCap_(queue_cap)
+{
+    ZIRIA_ASSERT(!stages_.empty());
+}
+
+RunStats
+ThreadedPipeline::run(InputSource& src, OutputSink& sink)
+{
+    const size_t n = stages_.size();
+    std::vector<std::unique_ptr<SpscQueue>> queues;
+    for (size_t i = 0; i + 1 < n; ++i) {
+        size_t w = std::max<size_t>(stages_[i]->outWidth(), 1);
+        queues.push_back(std::make_unique<SpscQueue>(w, queueCap_));
+    }
+
+    std::vector<StageResult> results(n);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i + 1 < n; ++i) {
+        SpscQueue* inq = i == 0 ? nullptr : queues[i - 1].get();
+        InputSource* s = i == 0 ? &src : nullptr;
+        threads.emplace_back(runStage, std::ref(*stages_[i]),
+                             std::ref(frame_), inq, s, queues[i].get(),
+                             nullptr, std::ref(results[i]));
+    }
+
+    // The last stage runs on the calling thread.
+    runStage(*stages_[n - 1], frame_, n > 1 ? queues[n - 2].get() : nullptr,
+             n > 1 ? nullptr : &src, nullptr, &sink, results[n - 1]);
+
+    // If the final stage stopped early, make sure producers unblock.
+    for (auto& q : queues)
+        q->cancel();
+    for (auto& t : threads)
+        t.join();
+
+    for (auto& r : results) {
+        if (r.error)
+            std::rethrow_exception(r.error);
+    }
+
+    RunStats st;
+    st.consumed = results.front().consumed;
+    st.emitted = results.back().emitted;
+    for (const auto& r : results) {
+        if (r.halted) {
+            st.halted = true;
+            st.ctrl = r.ctrl;
+            break;
+        }
+    }
+    return st;
+}
+
+} // namespace ziria

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-core pipeline execution: the `|>>>|` combinator (paper §2.6,
+ * "Pipeline parallelization").
+ *
+ * A program whose top level is `c1 |>>>| c2 |>>>| ... |>>>| cn` is split
+ * into stages connected by bounded SPSC queues; every stage runs its own
+ * intrathread tick/proc machine.  As in the paper, pipeline-parallelizing
+ * arbitrary interior uses of `>>>` is out of scope: only top-level
+ * partitions are executed on separate threads (the compiler driver treats
+ * interior `|>>>|` as plain `>>>`).
+ *
+ * The stages share one Frame; the §2.3 race rule (checked by zcheck)
+ * guarantees no mutable variable is written on one side and accessed on
+ * the other.
+ */
+#ifndef ZIRIA_ZEXEC_THREADED_H
+#define ZIRIA_ZEXEC_THREADED_H
+
+#include <memory>
+#include <vector>
+
+#include "zexec/pipeline.h"
+
+namespace ziria {
+
+/** A pipeline whose stages run on separate threads. */
+class ThreadedPipeline
+{
+  public:
+    /**
+     * @param stages     per-stage node trees, upstream first
+     * @param frame_size shared frame size
+     * @param queue_cap  elements per interthread queue
+     */
+    ThreadedPipeline(std::vector<NodePtr> stages, size_t frame_size,
+                     size_t in_width, size_t out_width,
+                     size_t queue_cap = 4096);
+
+    size_t inWidth() const { return inWidth_; }
+    size_t outWidth() const { return outWidth_; }
+    Frame& frame() { return frame_; }
+
+    /**
+     * Run to completion.  Stage 0 reads @p src on its own thread; the
+     * last stage runs on the calling thread and writes @p sink.
+     */
+    RunStats run(InputSource& src, OutputSink& sink);
+
+  private:
+    std::vector<NodePtr> stages_;
+    Frame frame_;
+    size_t inWidth_;
+    size_t outWidth_;
+    size_t queueCap_;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_ZEXEC_THREADED_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lookup-table generation (the paper's automatic LUT optimization, §4).
+ *
+ * A LUT-able kernel is a pure function of a small number of semantic bits:
+ * its input parameter plus the state variables it reads.  We enumerate all
+ * key values, run the compiled kernel once per key at compile time, and
+ * record the outputs (return value plus state updates).  At run time the
+ * kernel body is replaced by: pack key -> table lookup -> unpack outputs.
+ *
+ * Bit arrays pack one bit per element (the VM stores them unpacked, one
+ * byte per bit), so e.g. the vectorized WiFi scrambler — 8 input bits and
+ * 7 state bits — keys a 2^15-entry table, exactly the paper's Figure 3.
+ */
+#ifndef ZIRIA_ZEXPR_LUT_H
+#define ZIRIA_ZEXPR_LUT_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "zexpr/compile_expr.h"
+#include "ztype/type.h"
+
+namespace ziria {
+
+/** A frame-resident field participating in a LUT key or output. */
+struct LutSlot
+{
+    size_t frameOff = 0;
+    TypePtr type;
+    long bits = 0;  ///< semantic bit width of the field
+};
+
+/** Size/placement plan for a LUT. */
+struct LutPlan
+{
+    std::vector<LutSlot> keySlots;  ///< read from the frame to form the key
+    std::vector<LutSlot> outSlots;  ///< state updates written back
+    TypePtr retType;                ///< null when the kernel returns unit
+    int keyBits = 0;
+    size_t entryBytes = 0;          ///< packed bytes per table entry
+};
+
+/** Policy limits for LUT generation. */
+struct LutLimits
+{
+    int maxKeyBits = 20;        ///< at most 2^20 = 1Mi entries
+    size_t maxTableBytes = 1u << 25;  ///< 32 MiB
+    int minKeyBits = 2;         ///< don't LUT trivially small kernels
+};
+
+/**
+ * Check the limits and compute the entry layout.
+ * @return nullopt if any field is not LUT-able (e.g. doubles) or the
+ *         table would exceed the limits.
+ */
+std::optional<LutPlan> planLut(std::vector<LutSlot> key_slots,
+                               std::vector<LutSlot> out_slots,
+                               TypePtr ret_type,
+                               const LutLimits& limits = LutLimits{});
+
+/** A materialized lookup table replacing a kernel body. */
+class CompiledLut
+{
+  public:
+    /**
+     * Build by exhaustive evaluation: for every key, the key fields are
+     * written into a scratch frame, @p body runs, and the outputs are
+     * recorded.  @p retInto may be null for unit-returning kernels.
+     */
+    CompiledLut(LutPlan plan, const Action& body, const EvalInto& retInto,
+                size_t frame_size);
+
+    /**
+     * Apply: reads key fields from @p f, writes state updates back into
+     * @p f and the return value (if any) to @p retDst.
+     */
+    void apply(Frame& f, uint8_t* retDst) const;
+
+    int keyBits() const { return plan_.keyBits; }
+    size_t tableBytes() const { return table_.size(); }
+    size_t entries() const { return size_t{1} << plan_.keyBits; }
+
+  private:
+    /** Flatten bit-shaped fields into per-bit frame offsets (fast path). */
+    void buildFastPaths();
+
+    LutPlan plan_;
+    std::vector<uint8_t> table_;
+    bool fast_ = false;
+    std::vector<uint32_t> keyBitOff_;  ///< frame offset of each key bit
+    /** (frame offset, bit position within the entry's state area). */
+    std::vector<std::pair<uint32_t, uint32_t>> outBits_;
+    size_t retBytes_ = 0;
+};
+
+/** Pack a flat value of @p type (VM layout) into a bit writer. */
+void packValueBits(const TypePtr& type, const uint8_t* src,
+                   class BitWriter& bw);
+
+/** Unpack bits into a flat value of @p type (VM layout). */
+void unpackValueBits(const TypePtr& type, class BitReader& br, uint8_t* dst);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZEXPR_LUT_H

@@ -1,0 +1,148 @@
+#include "zir/compiler.h"
+
+#include "support/panic.h"
+#include "support/timing.h"
+#include "zcheck/check.h"
+
+namespace ziria {
+
+CompilerOptions
+CompilerOptions::forLevel(OptLevel level)
+{
+    CompilerOptions opt;
+    switch (level) {
+      case OptLevel::None:
+        opt.fold = false;
+        opt.vectorize = false;
+        opt.autoMap = false;
+        opt.fuse = false;
+        opt.autoLut = false;
+        break;
+      case OptLevel::Vectorize:
+        opt.autoLut = false;
+        opt.fuse = false;
+        opt.vect.lutBonus = 0;
+        break;
+      case OptLevel::All:
+        break;
+    }
+    return opt;
+}
+
+CompPtr
+optimizeComp(const CompPtr& program, const CompilerOptions& opt,
+             CompileReport* report)
+{
+    Stopwatch sw;
+    CompPtr c = elaborateComp(program);
+    if (opt.fold)
+        c = foldComp(c);
+    checkComp(c);
+    if (report)
+        report->frontendSec = sw.elapsedSec();
+
+    if (opt.vectorize) {
+        sw.reset();
+        c = vectorizeComp(c, opt.vect, report ? &report->vect : nullptr);
+        checkComp(c);
+        if (report)
+            report->vectorizeSec = sw.elapsedSec();
+    }
+
+    sw.reset();
+    MapStats ms;
+    if (opt.autoMap)
+        c = autoMapComp(c, &ms);
+    if (opt.fuse)
+        c = fuseMaps(c, &ms);
+    checkComp(c);
+    if (report) {
+        report->maps = ms;
+        report->optimizeSec = sw.elapsedSec();
+        report->signature = c->ctype();
+    }
+    return c;
+}
+
+namespace {
+
+/** Split the top-level `|>>>|` chain into per-thread partitions. */
+void
+splitStages(const CompPtr& c, std::vector<CompPtr>& out)
+{
+    if (c->kind() == CompKind::Pipe) {
+        const auto& p = static_cast<const PipeComp&>(*c);
+        if (p.threaded()) {
+            splitStages(p.left(), out);
+            splitStages(p.right(), out);
+            return;
+        }
+    }
+    out.push_back(c);
+}
+
+} // namespace
+
+std::unique_ptr<Pipeline>
+compilePipeline(const CompPtr& program, const CompilerOptions& opt,
+                CompileReport* report)
+{
+    CompPtr c = optimizeComp(program, opt, report);
+
+    Stopwatch sw;
+    FrameLayout layout;
+    ExprCompiler ec(layout);
+    BuildOptions bo;
+    bo.autoLut = opt.autoLut;
+    bo.lutLimits = opt.lut;
+    BuildStats bs;
+    NodePtr root = buildNode(c, ec, bo, &bs);
+    size_t inW = root->inWidth();
+    size_t outW = root->outWidth();
+    auto p = std::make_unique<Pipeline>(std::move(root),
+                                        layout.frameSize(), inW, outW);
+    if (report) {
+        report->build = bs;
+        report->buildSec = sw.elapsedSec();
+        report->frameBytes = layout.frameSize();
+    }
+    return p;
+}
+
+std::unique_ptr<ThreadedPipeline>
+compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
+                        CompileReport* report)
+{
+    CompPtr c = optimizeComp(program, opt, report);
+
+    Stopwatch sw;
+    std::vector<CompPtr> parts;
+    splitStages(c, parts);
+
+    FrameLayout layout;
+    ExprCompiler ec(layout);
+    BuildOptions bo;
+    bo.autoLut = opt.autoLut;
+    bo.lutLimits = opt.lut;
+    BuildStats bs;
+    std::vector<NodePtr> stages;
+    stages.reserve(parts.size());
+    for (const auto& part : parts)
+        stages.push_back(buildNode(part, ec, bo, &bs));
+
+    size_t inW = stages.front()->inWidth();
+    size_t outW = stages.back()->outWidth();
+    // Stage boundary widths must agree (checked stream types guarantee
+    // it); queue widths are derived per boundary inside ThreadedPipeline.
+    auto p = std::make_unique<ThreadedPipeline>(std::move(stages),
+                                                layout.frameSize(), inW,
+                                                outW, opt.queueCapacity);
+    if (report) {
+        report->build = bs;
+        report->buildSec = sw.elapsedSec();
+        report->frameBytes = layout.frameSize();
+    }
+    return p;
+}
+
+} // namespace ziria

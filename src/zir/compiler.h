@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Ziria compiler driver: one call from a computation AST to a
+ * runnable pipeline.
+ *
+ * Pass order (mirroring the paper's pipeline):
+ *   elaborate -> fold/partial-evaluate -> type-check -> vectorize ->
+ *   re-check -> auto-map -> map fusion -> re-check -> node build
+ *   (with auto-LUT at map sites).
+ *
+ * Optimization levels used throughout the evaluation:
+ *   None      — straight execution of the source AST (the paper's
+ *               "no optimizations" baseline);
+ *   Vectorize — vectorization plus the control-flow cleanups it rides on
+ *               (folding, auto-map) — the green bars of Figure 5;
+ *   All       — everything including LUT generation and map fusion — the
+ *               yellow bars.
+ */
+#ifndef ZIRIA_ZIR_COMPILER_H
+#define ZIRIA_ZIR_COMPILER_H
+
+#include <memory>
+#include <string>
+
+#include "zast/comp.h"
+#include "zexec/pipeline.h"
+#include "zexec/threaded.h"
+#include "zvect/vectorize.h"
+#include "zopt/passes.h"
+
+namespace ziria {
+
+/** Preset optimization levels used by the benchmarks. */
+enum class OptLevel { None, Vectorize, All };
+
+/** Full compiler configuration. */
+struct CompilerOptions
+{
+    bool fold = true;
+    bool vectorize = true;
+    bool autoMap = true;
+    bool fuse = true;
+    bool autoLut = true;
+    VectConfig vect;
+    LutLimits lut;
+    size_t queueCapacity = 4096;
+
+    static CompilerOptions forLevel(OptLevel level);
+};
+
+/** Timings and statistics from one compilation. */
+struct CompileReport
+{
+    VectStats vect;
+    MapStats maps;
+    BuildStats build;
+    double frontendSec = 0;  ///< elaborate + fold + check
+    double vectorizeSec = 0;
+    double optimizeSec = 0;  ///< auto-map + fusion + re-check
+    double buildSec = 0;     ///< node build incl. LUT table generation
+    size_t frameBytes = 0;
+    CompType signature;
+
+    double
+    totalSec() const
+    {
+        return frontendSec + vectorizeSec + optimizeSec + buildSec;
+    }
+};
+
+/**
+ * Compile to a single-threaded pipeline (interior `|>>>|` markers are
+ * executed as plain `>>>`).
+ */
+std::unique_ptr<Pipeline> compilePipeline(const CompPtr& program,
+                                          const CompilerOptions& opt,
+                                          CompileReport* report = nullptr);
+
+/**
+ * Compile to a multi-threaded pipeline: the program is split at its
+ * top-level `|>>>|` combinators (one thread per partition), matching the
+ * paper's supported form of pipeline parallelism.  A program without
+ * top-level `|>>>|` yields a single stage.
+ */
+std::unique_ptr<ThreadedPipeline>
+compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
+                        CompileReport* report = nullptr);
+
+/** Run the AST-level passes only (for tests and dumps). */
+CompPtr optimizeComp(const CompPtr& program, const CompilerOptions& opt,
+                     CompileReport* report = nullptr);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZIR_COMPILER_H

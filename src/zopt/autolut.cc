@@ -1,0 +1,46 @@
+#include "zopt/autolut.h"
+
+#include "zcheck/check.h"
+
+namespace ziria {
+
+std::shared_ptr<CompiledLut>
+tryBuildMapLut(const FunRef& f, const CompiledKernel& kernel,
+               ExprCompiler& ec, const LutLimits& limits)
+{
+    if (f->noLut || f->isNative())
+        return nullptr;
+    if (f->params.size() != 1)
+        return nullptr;
+
+    // Key = input parameter + every captured variable the kernel reads.
+    // Outputs = return value + every captured variable it writes.
+    std::vector<LutSlot> keySlots;
+    keySlots.push_back(LutSlot{kernel.paramOffsets[0],
+                               f->params[0]->type, 0});
+
+    std::vector<LutSlot> outSlots;
+    for (const auto& [var, acc] : freeVarAccessFun(f)) {
+        // The captured variable must have a frame slot by now (the kernel
+        // compilation touched it).
+        if (!ec.layout().has(var))
+            return nullptr;
+        size_t off = ec.layout().offsetOf(var);
+        // Find a shared_ptr-free handle: LutSlot only needs offset+type.
+        if (acc.read)
+            keySlots.push_back(LutSlot{off, var->type, 0});
+        if (acc.write)
+            outSlots.push_back(LutSlot{off, var->type, 0});
+    }
+
+    auto plan = planLut(std::move(keySlots), std::move(outSlots),
+                        f->retType, limits);
+    if (!plan)
+        return nullptr;
+
+    return std::make_shared<CompiledLut>(std::move(*plan), kernel.body,
+                                         kernel.retInto,
+                                         ec.layout().frameSize());
+}
+
+} // namespace ziria

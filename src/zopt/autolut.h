@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The auto-LUT pass (paper §4, "Lookup table generation").
+ *
+ * Detects map kernels that are amenable to a LUT implementation — pure
+ * functions of a small number of semantic bits (the input element plus any
+ * captured state the kernel reads) — and builds the table by exhaustive
+ * evaluation of the compiled kernel.  State writes are captured in the
+ * table entries, so stateful kernels like the WiFi scrambler LUT exactly
+ * as in the paper's Figure 3 (8 input bits + 7 state bits -> 2^15
+ * entries).
+ */
+#ifndef ZIRIA_ZOPT_AUTOLUT_H
+#define ZIRIA_ZOPT_AUTOLUT_H
+
+#include <memory>
+
+#include "zexpr/compile_expr.h"
+#include "zexpr/lut.h"
+
+namespace ziria {
+
+/**
+ * Try to replace a compiled map kernel with a lookup table.
+ *
+ * @param f       the map function (analyzed for captured state)
+ * @param kernel  its compiled form (parameter slots already allocated)
+ * @param ec      the compiler (provides the frame layout)
+ * @param limits  key/table size policy
+ * @return the table, or null when the kernel is not LUT-able (key too
+ *         wide, doubles involved, or the function is annotated noLut).
+ */
+std::shared_ptr<CompiledLut> tryBuildMapLut(const FunRef& f,
+                                            const CompiledKernel& kernel,
+                                            ExprCompiler& ec,
+                                            const LutLimits& limits);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZOPT_AUTOLUT_H

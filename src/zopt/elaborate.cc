@@ -1,0 +1,91 @@
+#include "zopt/passes.h"
+
+#include "support/panic.h"
+#include "zast/builder.h"
+
+namespace ziria {
+
+namespace {
+
+CompPtr
+elab(const CompPtr& c)
+{
+    switch (c->kind()) {
+      case CompKind::CallComp: {
+        const auto& cc = static_cast<const CallCompComp&>(*c);
+        const CompFunRef& f = cc.fun();
+        std::vector<std::pair<VarRef, ExprPtr>> subst;
+        std::vector<std::pair<VarRef, ExprPtr>> lets;
+        for (size_t i = 0; i < cc.args().size(); ++i) {
+            const ExprPtr& arg = cc.args()[i];
+            if (arg->kind() == ExprKind::Const ||
+                arg->kind() == ExprKind::Var) {
+                subst.emplace_back(f->params[i], arg);
+            } else {
+                // Bind the argument once so it is not re-evaluated at
+                // every use of the parameter.
+                VarRef v = freshVar(f->params[i]->name,
+                                    f->params[i]->type);
+                subst.emplace_back(f->params[i], zb::var(v));
+                lets.emplace_back(v, arg);
+            }
+        }
+        CompPtr body = cloneComp(f->body, std::move(subst));
+        body = elab(body);
+        for (auto it = lets.rbegin(); it != lets.rend(); ++it)
+            body = zb::letvar(it->first, it->second, std::move(body));
+        return body;
+      }
+      case CompKind::Seq: {
+        const auto& s = static_cast<const SeqComp&>(*c);
+        std::vector<SeqComp::Item> items;
+        for (const auto& it : s.items())
+            items.push_back(SeqComp::Item{it.bind, elab(it.comp)});
+        return std::make_shared<SeqComp>(std::move(items));
+      }
+      case CompKind::Pipe: {
+        const auto& p = static_cast<const PipeComp&>(*c);
+        CompPtr l = elab(p.left());
+        CompPtr r = elab(p.right());
+        return std::make_shared<PipeComp>(std::move(l), std::move(r),
+                                          p.threaded());
+      }
+      case CompKind::If: {
+        const auto& i = static_cast<const IfComp&>(*c);
+        CompPtr t = elab(i.thenC());
+        CompPtr e = i.elseC() ? elab(i.elseC()) : nullptr;
+        return std::make_shared<IfComp>(i.cond(), std::move(t),
+                                        std::move(e));
+      }
+      case CompKind::Repeat: {
+        const auto& r = static_cast<const RepeatComp&>(*c);
+        return std::make_shared<RepeatComp>(elab(r.body()), r.hint());
+      }
+      case CompKind::Times: {
+        const auto& t = static_cast<const TimesComp&>(*c);
+        return std::make_shared<TimesComp>(t.count(), t.inductionVar(),
+                                           elab(t.body()));
+      }
+      case CompKind::While: {
+        const auto& w = static_cast<const WhileComp&>(*c);
+        return std::make_shared<WhileComp>(w.cond(), elab(w.body()));
+      }
+      case CompKind::LetVar: {
+        const auto& l = static_cast<const LetVarComp&>(*c);
+        return std::make_shared<LetVarComp>(l.var(), l.init(),
+                                            elab(l.body()));
+      }
+      default:
+        return c;
+    }
+}
+
+} // namespace
+
+CompPtr
+elaborateComp(const CompPtr& c)
+{
+    return elab(c);
+}
+
+} // namespace ziria

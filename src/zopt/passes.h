@@ -1,0 +1,48 @@
+/**
+ * @file
+ * AST-to-AST optimization passes (paper §4).
+ *
+ *  - elaboration: inlines computation-function calls (parser frontend);
+ *  - constant folding / partial evaluation over expressions;
+ *  - auto-mapping: turns `repeat { x <- take; do ...; emit e }` into
+ *    `map f` — the static-scheduling optimization that removes tick/proc
+ *    administration from the data path;
+ *  - map fusion: `map f >>> map g` becomes `map (g . f)`, so long map
+ *    chains execute as one call per element.
+ */
+#ifndef ZIRIA_ZOPT_PASSES_H
+#define ZIRIA_ZOPT_PASSES_H
+
+#include "zast/comp.h"
+
+namespace ziria {
+
+/** Inline all computation-function calls.  Returns a fresh tree. */
+CompPtr elaborateComp(const CompPtr& c);
+
+/** Constant-fold an expression (returns the same node when unchanged). */
+ExprPtr foldExpr(const ExprPtr& e);
+
+/** Constant-fold every expression inside a computation (fresh tree). */
+CompPtr foldComp(const CompPtr& c);
+
+/** Statistics from the auto-map / fusion passes. */
+struct MapStats
+{
+    int autoMapped = 0;
+    int fused = 0;
+};
+
+/**
+ * Auto-mapping (must run on a checked tree: uses ctype).  Returns a
+ * fresh tree in which eligible repeats are `map f` nodes; scratch
+ * variables of the vectorizer become kernel locals.
+ */
+CompPtr autoMapComp(const CompPtr& c, MapStats* stats = nullptr);
+
+/** Fuse adjacent maps across `>>>`.  Returns a fresh tree. */
+CompPtr fuseMaps(const CompPtr& c, MapStats* stats = nullptr);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZOPT_PASSES_H

@@ -1,0 +1,255 @@
+#include "zparse/lexer.h"
+
+#include <cctype>
+
+#include "support/panic.h"
+
+namespace ziria {
+
+std::vector<Token>
+lex(const std::string& src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    int col = 1;
+
+    auto peek = [&](size_t k = 0) -> char {
+        return i + k < src.size() ? src[i + k] : '\0';
+    };
+    auto advance = [&]() {
+        if (peek() == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        ++i;
+    };
+    auto push = [&](Tok k, int n) {
+        Token t;
+        t.kind = k;
+        t.line = line;
+        t.col = col;
+        for (int j = 0; j < n; ++j)
+            advance();
+        out.push_back(t);
+    };
+
+    while (i < src.size()) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+            continue;
+        }
+        if (c == '-' && peek(1) == '-') {
+            while (i < src.size() && peek() != '\n')
+                advance();
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            Token t;
+            t.kind = Tok::Ident;
+            t.line = line;
+            t.col = col;
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                t.text.push_back(peek());
+                advance();
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            Token t;
+            t.line = line;
+            t.col = col;
+            std::string num;
+            bool isHex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+            if (isHex) {
+                advance();
+                advance();
+                while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+                    num.push_back(peek());
+                    advance();
+                }
+                t.kind = Tok::Int;
+                t.intVal = static_cast<int64_t>(
+                    std::stoull(num, nullptr, 16));
+                out.push_back(std::move(t));
+                continue;
+            }
+            bool isDouble = false;
+            while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                num.push_back(peek());
+                advance();
+            }
+            if (peek() == '.' &&
+                std::isdigit(static_cast<unsigned char>(peek(1)))) {
+                isDouble = true;
+                num.push_back('.');
+                advance();
+                while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                    num.push_back(peek());
+                    advance();
+                }
+            }
+            if (isDouble) {
+                t.kind = Tok::Double;
+                t.dblVal = std::stod(num);
+            } else {
+                t.kind = Tok::Int;
+                t.intVal = std::stoll(num);
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == '\'' && (peek(1) == '0' || peek(1) == '1')) {
+            Token t;
+            t.kind = Tok::BitLit;
+            t.intVal = peek(1) - '0';
+            t.line = line;
+            t.col = col;
+            advance();
+            advance();
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // multi-char operators, longest first
+        if (c == '|' && peek(1) == '>' && peek(2) == '>' &&
+            peek(3) == '>' && peek(4) == '|') {
+            push(Tok::PPipe, 5);
+            continue;
+        }
+        if (c == '>' && peek(1) == '>' && peek(2) == '>') {
+            push(Tok::Pipe, 3);
+            continue;
+        }
+        if (c == '<' && peek(1) == '-') {
+            push(Tok::Arrow, 2);
+            continue;
+        }
+        if (c == ':' && peek(1) == '=') {
+            push(Tok::Bind, 2);
+            continue;
+        }
+        if (c == '<' && peek(1) == '<') {
+            push(Tok::Shl, 2);
+            continue;
+        }
+        if (c == '>' && peek(1) == '>') {
+            push(Tok::Shr, 2);
+            continue;
+        }
+        if (c == '=' && peek(1) == '=') {
+            push(Tok::EqEq, 2);
+            continue;
+        }
+        if (c == '!' && peek(1) == '=') {
+            push(Tok::NotEq, 2);
+            continue;
+        }
+        if (c == '<' && peek(1) == '=') {
+            push(Tok::Le, 2);
+            continue;
+        }
+        if (c == '>' && peek(1) == '=') {
+            push(Tok::Ge, 2);
+            continue;
+        }
+        if (c == '&' && peek(1) == '&') {
+            push(Tok::AndAnd, 2);
+            continue;
+        }
+        if (c == '|' && peek(1) == '|') {
+            push(Tok::OrOr, 2);
+            continue;
+        }
+        switch (c) {
+          case '(': push(Tok::LParen, 1); continue;
+          case ')': push(Tok::RParen, 1); continue;
+          case '{': push(Tok::LBrace, 1); continue;
+          case '}': push(Tok::RBrace, 1); continue;
+          case '[': push(Tok::LBracket, 1); continue;
+          case ']': push(Tok::RBracket, 1); continue;
+          case ',': push(Tok::Comma, 1); continue;
+          case ';': push(Tok::Semi, 1); continue;
+          case ':': push(Tok::Colon, 1); continue;
+          case '.': push(Tok::Dot, 1); continue;
+          case '+': push(Tok::Plus, 1); continue;
+          case '-': push(Tok::Minus, 1); continue;
+          case '*': push(Tok::Star, 1); continue;
+          case '/': push(Tok::Slash, 1); continue;
+          case '%': push(Tok::Percent, 1); continue;
+          case '&': push(Tok::Amp, 1); continue;
+          case '|': push(Tok::Bar, 1); continue;
+          case '^': push(Tok::Caret, 1); continue;
+          case '~': push(Tok::Tilde, 1); continue;
+          case '<': push(Tok::Lt, 1); continue;
+          case '>': push(Tok::Gt, 1); continue;
+          case '!': push(Tok::Bang, 1); continue;
+          case '=': push(Tok::Eq, 1); continue;
+          default:
+            fatalf("lex error at line ", line, ", col ", col,
+                   ": unexpected character '", std::string(1, c), "'");
+        }
+    }
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    end.col = col;
+    out.push_back(end);
+    return out;
+}
+
+std::string
+tokName(const Token& t)
+{
+    switch (t.kind) {
+      case Tok::End: return "<end of input>";
+      case Tok::Ident: return "identifier '" + t.text + "'";
+      case Tok::Int: return "integer literal";
+      case Tok::Double: return "floating literal";
+      case Tok::BitLit: return "bit literal";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Colon: return "':'";
+      case Tok::Dot: return "'.'";
+      case Tok::Arrow: return "'<-'";
+      case Tok::Bind: return "':='";
+      case Tok::Pipe: return "'>>>'";
+      case Tok::PPipe: return "'|>>>|'";
+      case Tok::VectLe: return "'<='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Amp: return "'&'";
+      case Tok::Bar: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::EqEq: return "'=='";
+      case Tok::NotEq: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Gt: return "'>'";
+      case Tok::Le: return "'<='";
+      case Tok::Ge: return "'>='";
+      case Tok::AndAnd: return "'&&'";
+      case Tok::OrOr: return "'||'";
+      case Tok::Bang: return "'!'";
+      case Tok::Eq: return "'='";
+    }
+    return "?";
+}
+
+} // namespace ziria

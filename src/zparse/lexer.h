@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lexer for the Ziria surface syntax (the notation of the paper's
+ * listings: `let comp`, `seq { x <- take; ... }`, `>>>`, `repeat`,
+ * `'0`/`'1` bit literals, `:=` assignment).
+ */
+#ifndef ZIRIA_ZPARSE_LEXER_H
+#define ZIRIA_ZPARSE_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ziria {
+
+enum class Tok {
+    End,
+    Ident,
+    Int,       ///< integer literal
+    Double,    ///< floating literal
+    BitLit,    ///< '0 or '1
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Colon, Dot,
+    // operators
+    Arrow,       ///< <-
+    Bind,        ///< :=
+    Pipe,        ///< >>>
+    PPipe,       ///< |>>>|
+    VectLe,      ///< <=   (also comparison; disambiguated by context)
+    Plus, Minus, Star, Slash, Percent,
+    Shl, Shr, Amp, Bar, Caret, Tilde,
+    EqEq, NotEq, Lt, Gt, Le, Ge, AndAnd, OrOr, Bang,
+    Eq,          ///< =
+};
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;   ///< identifier text
+    int64_t intVal = 0;
+    double dblVal = 0;
+    int line = 1;
+    int col = 1;
+};
+
+/**
+ * Tokenize a whole source buffer.  Comments run `--` to end of line.
+ * Throws FatalError on illegal characters.
+ */
+std::vector<Token> lex(const std::string& src);
+
+/** Human-readable token name (for error messages). */
+std::string tokName(const Token& t);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZPARSE_LEXER_H

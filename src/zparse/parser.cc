@@ -1,0 +1,894 @@
+#include "zparse/parser.h"
+
+#include <functional>
+
+#include "support/panic.h"
+#include "zast/builder.h"
+#include "zexpr/natives.h"
+#include "zparse/lexer.h"
+
+namespace ziria {
+
+std::unordered_map<std::string, std::shared_ptr<const NativeBlockSpec>>&
+nativeBlockRegistry()
+{
+    static std::unordered_map<std::string,
+                              std::shared_ptr<const NativeBlockSpec>> reg;
+    return reg;
+}
+
+void
+registerNativeBlock(const std::string& name,
+                    std::shared_ptr<const NativeBlockSpec> spec)
+{
+    nativeBlockRegistry()[name] = std::move(spec);
+}
+
+namespace {
+
+using namespace zb;
+
+/** Expression wrapper tracking adaptable integer literals. */
+struct PExpr
+{
+    ExprPtr e;
+    bool litInt = false;  ///< plain int literal: adapts to peer type
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& src) : toks_(lex(src)) {}
+
+    ParsedProgram
+    program()
+    {
+        while (!at(Tok::End))
+            decl();
+        return std::move(prog_);
+    }
+
+    CompPtr
+    singleComp()
+    {
+        while (at(Tok::Ident) &&
+               (cur().text == "struct" || cur().text == "fun" ||
+                (cur().text == "let" && peekIs(1, "comp"))))
+            decl();
+        CompPtr c = comp();
+        expect(Tok::End);
+        return c;
+    }
+
+  private:
+    // ------------------------------------------------------- plumbing
+    const Token& cur() const { return toks_[pos_]; }
+    const Token& la(size_t k) const
+    {
+        return toks_[std::min(pos_ + k, toks_.size() - 1)];
+    }
+    bool at(Tok k) const { return cur().kind == k; }
+    bool
+    atKw(const char* kw) const
+    {
+        return at(Tok::Ident) && cur().text == kw;
+    }
+    bool
+    peekIs(size_t k, const char* kw) const
+    {
+        return la(k).kind == Tok::Ident && la(k).text == kw;
+    }
+    void bump() { ++pos_; }
+
+    [[noreturn]] void
+    fail(const std::string& what)
+    {
+        fatalf("parse error at line ", cur().line, ", col ", cur().col,
+               ": ", what, " (found ", tokName(cur()), ")");
+    }
+
+    void
+    expect(Tok k)
+    {
+        if (!at(k)) {
+            Token want;
+            want.kind = k;
+            fail("expected " + tokName(want));
+        }
+        bump();
+    }
+
+    std::string
+    expectIdent()
+    {
+        if (!at(Tok::Ident))
+            fail("expected identifier");
+        std::string s = cur().text;
+        bump();
+        return s;
+    }
+
+    void
+    expectKw(const char* kw)
+    {
+        if (!atKw(kw))
+            fail(std::string("expected '") + kw + "'");
+        bump();
+    }
+
+    // --------------------------------------------------------- scopes
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    VarRef
+    declare(const std::string& name, TypePtr type)
+    {
+        VarRef v = freshVar(name, std::move(type));
+        scopes_.back()[name] = v;
+        return v;
+    }
+
+    VarRef
+    lookupVar(const std::string& name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return f->second;
+        }
+        return nullptr;
+    }
+
+    // ---------------------------------------------------------- types
+    bool
+    atType() const
+    {
+        if (!at(Tok::Ident))
+            return false;
+        const std::string& s = cur().text;
+        return s == "bit" || s == "bool" || s == "int" || s == "int8" ||
+               s == "int16" || s == "int64" || s == "double" ||
+               s == "complex16" || s == "complex32" || s == "arr" ||
+               prog_.structs.count(s);
+    }
+
+    TypePtr
+    type()
+    {
+        std::string s = expectIdent();
+        if (s == "bit")
+            return Type::bit();
+        if (s == "bool")
+            return Type::boolean();
+        if (s == "int" || s == "int32")
+            return Type::int32();
+        if (s == "int8")
+            return Type::int8();
+        if (s == "int16")
+            return Type::int16();
+        if (s == "int64")
+            return Type::int64();
+        if (s == "double")
+            return Type::real();
+        if (s == "complex16")
+            return Type::complex16();
+        if (s == "complex32")
+            return Type::complex32();
+        if (s == "arr") {
+            expect(Tok::LBracket);
+            if (!at(Tok::Int))
+                fail("expected array length");
+            int n = static_cast<int>(cur().intVal);
+            bump();
+            expect(Tok::RBracket);
+            return Type::array(type(), n);
+        }
+        auto it = prog_.structs.find(s);
+        if (it != prog_.structs.end())
+            return it->second;
+        fatalf("parse error at line ", cur().line, ": unknown type '", s,
+               "'");
+    }
+
+    // ---------------------------------------------------------- decls
+    void
+    decl()
+    {
+        if (atKw("struct")) {
+            bump();
+            std::string name = expectIdent();
+            expect(Tok::LBrace);
+            std::vector<std::pair<std::string, TypePtr>> fields;
+            while (!at(Tok::RBrace)) {
+                std::string f = expectIdent();
+                expect(Tok::Colon);
+                fields.emplace_back(f, type());
+                expect(Tok::Semi);
+            }
+            expect(Tok::RBrace);
+            prog_.structs[name] = Type::strct(name, std::move(fields));
+            return;
+        }
+        if (atKw("fun")) {
+            bump();
+            std::string name = expectIdent();
+            pushScope();
+            std::vector<VarRef> params = paramList();
+            TypePtr retType;
+            if (at(Tok::Colon)) {
+                bump();
+                retType = type();
+            }
+            expect(Tok::LBrace);
+            StmtList body = stmts();
+            ExprPtr retE;
+            if (atKw("return")) {
+                bump();
+                retE = expr().e;
+                expect(Tok::Semi);
+            }
+            expect(Tok::RBrace);
+            popScope();
+            if (retE && retType && !typeEq(retE->type(), retType))
+                fail("function return type mismatch");
+            prog_.funs[name] = retE
+                ? fun(name, std::move(params), std::move(body), retE)
+                : proc(name, std::move(params), std::move(body));
+            return;
+        }
+        if (atKw("let")) {
+            bump();
+            expectKw("comp");
+            std::string name = expectIdent();
+            pushScope();
+            std::vector<VarRef> params;
+            if (at(Tok::LParen))
+                params = paramList();
+            expect(Tok::Eq);
+            CompPtr body = comp();
+            popScope();
+            auto def = std::make_shared<CompFunDef>();
+            def->name = name;
+            def->params = std::move(params);
+            def->body = std::move(body);
+            prog_.comps[name] = def;
+            return;
+        }
+        fail("expected a declaration (struct / fun / let comp)");
+    }
+
+    std::vector<VarRef>
+    paramList()
+    {
+        expect(Tok::LParen);
+        std::vector<VarRef> params;
+        while (!at(Tok::RParen)) {
+            if (!params.empty())
+                expect(Tok::Comma);
+            std::string n = expectIdent();
+            expect(Tok::Colon);
+            params.push_back(declare(n, type()));
+        }
+        expect(Tok::RParen);
+        return params;
+    }
+
+    // ---------------------------------------------------------- comps
+    CompPtr
+    comp()
+    {
+        CompPtr c = pcomp();
+        while (at(Tok::Pipe) || at(Tok::PPipe)) {
+            bool threaded = at(Tok::PPipe);
+            bump();
+            CompPtr rhs = pcomp();
+            c = threaded ? ppipe(std::move(c), std::move(rhs))
+                         : pipe(std::move(c), std::move(rhs));
+        }
+        return c;
+    }
+
+    CompPtr
+    pcomp()
+    {
+        if (at(Tok::LParen)) {
+            bump();
+            CompPtr c = comp();
+            expect(Tok::RParen);
+            return c;
+        }
+        if (atKw("seq"))
+            return seqComp();
+        if (atKw("repeat")) {
+            bump();
+            std::optional<VectHint> hint;
+            if (at(Tok::Le)) {
+                bump();
+                expect(Tok::LBracket);
+                int i = static_cast<int>(cur().intVal);
+                expect(Tok::Int);
+                expect(Tok::Comma);
+                int o = static_cast<int>(cur().intVal);
+                expect(Tok::Int);
+                expect(Tok::RBracket);
+                hint = VectHint{i, o};
+            }
+            expect(Tok::LBrace);
+            CompPtr body = comp();
+            expect(Tok::RBrace);
+            return repeatc(std::move(body), hint);
+        }
+        if (atKw("times")) {
+            bump();
+            ExprPtr n = expr().e;
+            expect(Tok::LBrace);
+            CompPtr body = comp();
+            expect(Tok::RBrace);
+            return timesc(std::move(n), std::move(body));
+        }
+        if (atKw("while")) {
+            bump();
+            ExprPtr c = expr().e;
+            expect(Tok::LBrace);
+            CompPtr body = comp();
+            expect(Tok::RBrace);
+            return whilec(std::move(c), std::move(body));
+        }
+        if (atKw("map")) {
+            bump();
+            return mapc(lookupFun(expectIdent()));
+        }
+        if (atKw("filter")) {
+            bump();
+            return filterc(lookupFun(expectIdent()));
+        }
+        if (atKw("do")) {
+            bump();
+            expect(Tok::LBrace);
+            pushScope();
+            StmtList body = stmts();
+            popScope();
+            expect(Tok::RBrace);
+            return doS(std::move(body));
+        }
+        if (atKw("return")) {
+            bump();
+            return ret(expr().e);
+        }
+        if (atKw("emit")) {
+            bump();
+            return emit(expr().e);
+        }
+        if (atKw("emits")) {
+            bump();
+            return emits(expr().e);
+        }
+        if (atKw("take")) {
+            bump();
+            expect(Tok::Colon);
+            return take(type());
+        }
+        if (atKw("takes")) {
+            bump();
+            if (!at(Tok::Int))
+                fail("expected count after takes");
+            int n = static_cast<int>(cur().intVal);
+            bump();
+            expect(Tok::Colon);
+            return takes(type(), n);
+        }
+        if (atKw("var")) {
+            bump();
+            std::string n = expectIdent();
+            expect(Tok::Colon);
+            TypePtr t = type();
+            ExprPtr init;
+            if (at(Tok::Bind)) {
+                bump();
+                PExpr pe = expr();
+                init = coerceTo(pe, t);
+            }
+            VarRef v = declare(n, t);
+            expectKw("in");
+            CompPtr body = comp();
+            return letvar(v, std::move(init), std::move(body));
+        }
+        if (atKw("if")) {
+            bump();
+            ExprPtr c = expr().e;
+            expectKw("then");
+            CompPtr t = pcomp();
+            CompPtr e;
+            if (atKw("else")) {
+                bump();
+                e = pcomp();
+            }
+            return ifc(std::move(c), std::move(t), std::move(e));
+        }
+        // native stream block
+        if (at(Tok::Ident) &&
+            nativeBlockRegistry().count(cur().text)) {
+            auto spec = nativeBlockRegistry()[expectIdent()];
+            std::vector<ExprPtr> args;
+            if (at(Tok::LParen)) {
+                bump();
+                while (!at(Tok::RParen)) {
+                    if (!args.empty())
+                        expect(Tok::Comma);
+                    args.push_back(expr().e);
+                }
+                expect(Tok::RParen);
+            }
+            return native(std::move(spec), std::move(args));
+        }
+        // computation call
+        if (at(Tok::Ident)) {
+            std::string name = cur().text;
+            auto it = prog_.comps.find(name);
+            if (it != prog_.comps.end()) {
+                bump();
+                std::vector<ExprPtr> args;
+                if (at(Tok::LParen)) {
+                    bump();
+                    while (!at(Tok::RParen)) {
+                        if (!args.empty())
+                            expect(Tok::Comma);
+                        PExpr a = expr();
+                        size_t k = args.size();
+                        if (k < it->second->params.size())
+                            args.push_back(coerceTo(
+                                a, it->second->params[k]->type));
+                        else
+                            args.push_back(a.e);
+                    }
+                    expect(Tok::RParen);
+                }
+                return callcomp(it->second, std::move(args));
+            }
+            fail("unknown computation '" + name + "'");
+        }
+        fail("expected a computation");
+    }
+
+    CompPtr
+    seqComp()
+    {
+        expectKw("seq");
+        expect(Tok::LBrace);
+        pushScope();
+        std::vector<SeqComp::Item> items;
+        while (!at(Tok::RBrace)) {
+            if (!items.empty())
+                expect(Tok::Semi);
+            if (at(Tok::RBrace))
+                break;  // allow trailing ';'
+            // Binder form: (x : t) <- comp
+            if (at(Tok::LParen) && la(1).kind == Tok::Ident &&
+                la(2).kind == Tok::Colon) {
+                bump();
+                std::string n = expectIdent();
+                expect(Tok::Colon);
+                TypePtr t = type();
+                expect(Tok::RParen);
+                expect(Tok::Arrow);
+                CompPtr c = comp();
+                items.push_back(bindc(declare(n, t), std::move(c)));
+                continue;
+            }
+            items.push_back(just(comp()));
+        }
+        popScope();
+        expect(Tok::RBrace);
+        return seqc(std::move(items));
+    }
+
+    // ----------------------------------------------------- statements
+    StmtList
+    stmts()
+    {
+        StmtList out;
+        while (!at(Tok::RBrace) && !atKw("return"))
+            out.push_back(stmt());
+        return out;
+    }
+
+    StmtPtr
+    stmt()
+    {
+        if (atKw("var")) {
+            bump();
+            std::string n = expectIdent();
+            expect(Tok::Colon);
+            TypePtr t = type();
+            ExprPtr init;
+            if (at(Tok::Bind)) {
+                bump();
+                PExpr pe = expr();
+                init = coerceTo(pe, t);
+            }
+            expect(Tok::Semi);
+            return sDecl(declare(n, t), std::move(init));
+        }
+        if (atKw("for")) {
+            bump();
+            std::string n = expectIdent();
+            expectKw("in");
+            expect(Tok::LBracket);
+            PExpr lo = expr();
+            expect(Tok::Comma);
+            PExpr hi = expr();
+            expect(Tok::RBracket);
+            pushScope();
+            VarRef iv = declare(n, Type::int32());
+            expect(Tok::LBrace);
+            StmtList body = stmts();
+            expect(Tok::RBrace);
+            popScope();
+            return sFor(iv, coerceTo(lo, Type::int32()),
+                        coerceTo(hi, Type::int32()), std::move(body));
+        }
+        if (atKw("while")) {
+            bump();
+            ExprPtr c = expr().e;
+            expect(Tok::LBrace);
+            pushScope();
+            StmtList body = stmts();
+            popScope();
+            expect(Tok::RBrace);
+            return sWhile(std::move(c), std::move(body));
+        }
+        if (atKw("if")) {
+            bump();
+            ExprPtr c = expr().e;
+            expect(Tok::LBrace);
+            pushScope();
+            StmtList thenS = stmts();
+            popScope();
+            expect(Tok::RBrace);
+            StmtList elseS;
+            if (atKw("else")) {
+                bump();
+                expect(Tok::LBrace);
+                pushScope();
+                elseS = stmts();
+                popScope();
+                expect(Tok::RBrace);
+            }
+            return sIf(std::move(c), std::move(thenS), std::move(elseS));
+        }
+        // assignment or expression statement
+        PExpr lhs = expr();
+        if (at(Tok::Bind)) {
+            bump();
+            PExpr rhs = expr();
+            expect(Tok::Semi);
+            return assign(lhs.e, coerceTo(rhs, lhs.e->type()));
+        }
+        expect(Tok::Semi);
+        return sEval(lhs.e);
+    }
+
+    // ---------------------------------------------------- expressions
+    FunRef
+    lookupFun(const std::string& name)
+    {
+        auto it = prog_.funs.find(name);
+        if (it != prog_.funs.end())
+            return it->second;
+        if (FunRef nf = natives::lookup(name))
+            return nf;
+        fatalf("parse error at line ", cur().line, ": unknown function '",
+               name, "'");
+    }
+
+    /** Adapt an integer literal to @p t; otherwise return as-is. */
+    ExprPtr
+    coerceTo(const PExpr& pe, const TypePtr& t)
+    {
+        if (pe.litInt && t->isIntegral() && !typeEq(pe.e->type(), t)) {
+            int64_t v =
+                static_cast<const ConstExpr&>(*pe.e).value().asInt();
+            return lit(t, v);
+        }
+        if (pe.litInt && t->isDouble()) {
+            int64_t v =
+                static_cast<const ConstExpr&>(*pe.e).value().asInt();
+            return cDouble(static_cast<double>(v));
+        }
+        return pe.e;
+    }
+
+    /** Harmonize literal operands before building a binop. */
+    void
+    harmonize(PExpr& a, PExpr& b)
+    {
+        if (a.litInt && !b.litInt)
+            a = PExpr{coerceTo(a, b.e->type()), false};
+        else if (b.litInt && !a.litInt)
+            b = PExpr{coerceTo(b, a.e->type()), false};
+    }
+
+    PExpr
+    expr()
+    {
+        return orExpr();
+    }
+
+    PExpr
+    binChain(const std::function<PExpr()>& sub,
+             const std::vector<std::pair<Tok, BinOp>>& ops)
+    {
+        PExpr a = sub();
+        while (true) {
+            bool matched = false;
+            for (const auto& [tk, op] : ops) {
+                if (at(tk)) {
+                    bump();
+                    PExpr b = sub();
+                    harmonize(a, b);
+                    a = PExpr{mkBin(op, a.e, b.e), false};
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                return a;
+        }
+    }
+
+    PExpr
+    orExpr()
+    {
+        return binChain([this] { return andExpr(); },
+                        {{Tok::OrOr, BinOp::LOr}});
+    }
+    PExpr
+    andExpr()
+    {
+        return binChain([this] { return cmpExpr(); },
+                        {{Tok::AndAnd, BinOp::LAnd}});
+    }
+    PExpr
+    cmpExpr()
+    {
+        return binChain([this] { return bitOrExpr(); },
+                        {{Tok::EqEq, BinOp::Eq},
+                         {Tok::NotEq, BinOp::Ne},
+                         {Tok::Lt, BinOp::Lt},
+                         {Tok::Le, BinOp::Le},
+                         {Tok::Gt, BinOp::Gt},
+                         {Tok::Ge, BinOp::Ge}});
+    }
+    PExpr
+    bitOrExpr()
+    {
+        return binChain([this] { return bitXorExpr(); },
+                        {{Tok::Bar, BinOp::BOr}});
+    }
+    PExpr
+    bitXorExpr()
+    {
+        return binChain([this] { return bitAndExpr(); },
+                        {{Tok::Caret, BinOp::BXor}});
+    }
+    PExpr
+    bitAndExpr()
+    {
+        return binChain([this] { return shiftExpr(); },
+                        {{Tok::Amp, BinOp::BAnd}});
+    }
+    PExpr
+    shiftExpr()
+    {
+        // Shift amounts keep their own type.
+        PExpr a = addExpr();
+        while (at(Tok::Shl) || at(Tok::Shr)) {
+            BinOp op = at(Tok::Shl) ? BinOp::Shl : BinOp::Shr;
+            bump();
+            PExpr b = addExpr();
+            a = PExpr{mkBin(op, a.e, b.e), false};
+        }
+        return a;
+    }
+    PExpr
+    addExpr()
+    {
+        return binChain([this] { return mulExpr(); },
+                        {{Tok::Plus, BinOp::Add},
+                         {Tok::Minus, BinOp::Sub}});
+    }
+    PExpr
+    mulExpr()
+    {
+        return binChain([this] { return unaryExpr(); },
+                        {{Tok::Star, BinOp::Mul},
+                         {Tok::Slash, BinOp::Div},
+                         {Tok::Percent, BinOp::Rem}});
+    }
+
+    PExpr
+    unaryExpr()
+    {
+        if (at(Tok::Minus)) {
+            bump();
+            PExpr a = unaryExpr();
+            if (a.litInt) {
+                int64_t v =
+                    static_cast<const ConstExpr&>(*a.e).value().asInt();
+                return PExpr{cInt(static_cast<int32_t>(-v)), true};
+            }
+            return PExpr{neg(a.e), false};
+        }
+        if (at(Tok::Tilde)) {
+            bump();
+            return PExpr{mkUn(UnOp::BNot, unaryExpr().e), false};
+        }
+        if (at(Tok::Bang) || atKw("not")) {
+            bump();
+            return PExpr{lnot(unaryExpr().e), false};
+        }
+        return postfixExpr();
+    }
+
+    PExpr
+    postfixExpr()
+    {
+        PExpr a = primaryExpr();
+        while (true) {
+            if (at(Tok::LBracket)) {
+                bump();
+                PExpr i = expr();
+                if (at(Tok::Comma)) {
+                    bump();
+                    if (!at(Tok::Int))
+                        fail("slice length must be a constant");
+                    int n = static_cast<int>(cur().intVal);
+                    bump();
+                    expect(Tok::RBracket);
+                    a = PExpr{slice(a.e, coerceTo(i, Type::int32()), n),
+                              false};
+                } else {
+                    expect(Tok::RBracket);
+                    a = PExpr{idx(a.e, coerceTo(i, Type::int32())),
+                              false};
+                }
+                continue;
+            }
+            if (at(Tok::Dot)) {
+                bump();
+                a = PExpr{field(a.e, expectIdent()), false};
+                continue;
+            }
+            return a;
+        }
+    }
+
+    PExpr
+    primaryExpr()
+    {
+        if (at(Tok::Int)) {
+            int64_t v = cur().intVal;
+            bump();
+            if (v >= INT32_MIN && v <= INT32_MAX)
+                return PExpr{cInt(static_cast<int32_t>(v)), true};
+            return PExpr{cI64(v), false};
+        }
+        if (at(Tok::Double)) {
+            double v = cur().dblVal;
+            bump();
+            return PExpr{cDouble(v), false};
+        }
+        if (at(Tok::BitLit)) {
+            int v = static_cast<int>(cur().intVal);
+            bump();
+            return PExpr{cBit(v), false};
+        }
+        if (atKw("true")) {
+            bump();
+            return PExpr{cBool(true), false};
+        }
+        if (atKw("false")) {
+            bump();
+            return PExpr{cBool(false), false};
+        }
+        if (atKw("if")) {
+            bump();
+            ExprPtr c = expr().e;
+            expectKw("then");
+            PExpr t = expr();
+            expectKw("else");
+            PExpr e = expr();
+            harmonize(t, e);
+            return PExpr{cond(std::move(c), t.e, e.e), false};
+        }
+        if (at(Tok::LBrace)) {
+            bump();
+            std::vector<PExpr> elems;
+            while (!at(Tok::RBrace)) {
+                if (!elems.empty())
+                    expect(Tok::Comma);
+                elems.push_back(expr());
+            }
+            expect(Tok::RBrace);
+            if (elems.empty())
+                fail("empty array literal");
+            // Harmonize literal elements against the first typed one.
+            TypePtr et;
+            for (const auto& pe : elems) {
+                if (!pe.litInt) {
+                    et = pe.e->type();
+                    break;
+                }
+            }
+            std::vector<ExprPtr> out;
+            for (const auto& pe : elems)
+                out.push_back(et ? coerceTo(pe, et) : pe.e);
+            return PExpr{arrayLit(std::move(out)), false};
+        }
+        if (at(Tok::LParen)) {
+            bump();
+            PExpr a = expr();
+            expect(Tok::RParen);
+            return a;
+        }
+        if (atType() &&
+            !(at(Tok::Ident) && lookupVar(cur().text) != nullptr)) {
+            // cast: type(expr)
+            TypePtr t = type();
+            expect(Tok::LParen);
+            PExpr a = expr();
+            expect(Tok::RParen);
+            if (a.litInt)
+                return PExpr{coerceTo(a, t), false};
+            return PExpr{cast(t, a.e), false};
+        }
+        if (at(Tok::Ident)) {
+            std::string name = expectIdent();
+            if (at(Tok::LParen)) {
+                FunRef f = lookupFun(name);
+                bump();
+                std::vector<ExprPtr> args;
+                while (!at(Tok::RParen)) {
+                    if (!args.empty())
+                        expect(Tok::Comma);
+                    PExpr a = expr();
+                    size_t k = args.size();
+                    if (k < f->params.size())
+                        args.push_back(coerceTo(a, f->params[k]->type));
+                    else
+                        args.push_back(a.e);
+                }
+                expect(Tok::RParen);
+                return PExpr{call(f, std::move(args)), false};
+            }
+            VarRef v = lookupVar(name);
+            if (!v)
+                fail("unknown variable '" + name + "'");
+            return PExpr{var(v), false};
+        }
+        fail("expected an expression");
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    ParsedProgram prog_;
+    std::vector<std::unordered_map<std::string, VarRef>> scopes_{1};
+};
+
+} // namespace
+
+ParsedProgram
+parseProgram(const std::string& src)
+{
+    Parser p(src);
+    return p.program();
+}
+
+CompPtr
+parseComp(const std::string& src)
+{
+    Parser p(src);
+    return p.singleComp();
+}
+
+} // namespace ziria

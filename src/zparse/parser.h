@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Parser for the Ziria surface syntax, producing the same typed AST as
+ * the embedded builder (all construction goes through zast/builder, so
+ * the two frontends share one type-checking path).
+ *
+ * Supported grammar (the notation of the paper's listings):
+ *
+ *   program  := decl*
+ *   decl     := "struct" ID "{" (ID ":" type ";")* "}"
+ *             | "fun" ID "(" params ")" [":" type] "{" stmts
+ *                   ["return" expr ";"] "}"
+ *             | "let" "comp" ID "(" [params] ")" "=" comp
+ *   type     := bit | bool | int | int8 | int16 | int64 | double
+ *             | complex16 | complex32 | "arr" "[" INT "]" type | ID
+ *   comp     := pcomp ((">>>" | "|>>>|") pcomp)*
+ *   pcomp    := "seq" "{" item (";" item)* "}"
+ *             | "repeat" ["<=" "[" INT "," INT "]"] "{" comp "}"
+ *             | "times" expr "{" comp "}"
+ *             | "while" expr "{" comp "}"
+ *             | "map" ID | "filter" ID
+ *             | "do" "{" stmts "}" | "return" expr
+ *             | "emit" expr | "emits" expr
+ *             | "take" ":" type | "takes" INT ":" type
+ *             | "var" ID ":" type [":=" expr] "in" comp
+ *             | "if" expr "then" pcomp ["else" pcomp]
+ *             | ID [ "(" args ")" ]          -- computation call
+ *             | "(" comp ")"
+ *   item     := "(" ID ":" type ")" "<-" comp | comp
+ *   stmts    := (stmt)*
+ *   stmt     := lvalue ":=" expr ";"
+ *             | "var" ID ":" type [":=" expr] ";"
+ *             | "for" ID "in" "[" expr "," expr "]" "{" stmts "}"
+ *             | "while" expr "{" stmts "}"
+ *             | "if" expr "{" stmts "}" ["else" "{" stmts "}"]
+ *             | expr ";"
+ *
+ * Expressions have C-like precedence; `type(expr)` casts; `'0`/`'1` are
+ * bit literals; `{e1, ..., en}` is an array literal; native functions
+ * (sin, cmul16, creal, ...) resolve automatically.  Integer literals
+ * adapt to the type of the other operand.
+ */
+#ifndef ZIRIA_ZPARSE_PARSER_H
+#define ZIRIA_ZPARSE_PARSER_H
+
+#include <unordered_map>
+
+#include "zast/comp.h"
+
+namespace ziria {
+
+/** Everything a source file declares. */
+struct ParsedProgram
+{
+    std::unordered_map<std::string, CompFunRef> comps;
+    std::unordered_map<std::string, FunRef> funs;
+    std::unordered_map<std::string, TypePtr> structs;
+};
+
+/**
+ * Register a native stream block under a surface-syntax name, so
+ * sources can write e.g. `FFT()` or `Viterbi(cod, n)`.  Registration is
+ * global (the paper's primitives are a fixed library).
+ */
+void registerNativeBlock(const std::string& name,
+                         std::shared_ptr<const NativeBlockSpec> spec);
+
+/** Parse a whole program of declarations. */
+ParsedProgram parseProgram(const std::string& src);
+
+/**
+ * Parse a single computation expression (declarations may precede it).
+ * The result still contains CallComp nodes; run elaborateComp (the
+ * compiler driver does) before checking.
+ */
+CompPtr parseComp(const std::string& src);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZPARSE_PARSER_H

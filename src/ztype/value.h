@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Boxed runtime values.
+ *
+ * The execution engine moves raw bytes; `Value` is the boxed form used for
+ * literals in the AST, control values surfaced to the host, and tests.  A
+ * Value is a type plus the flat byte record described in type.h.
+ */
+#ifndef ZIRIA_ZTYPE_VALUE_H
+#define ZIRIA_ZTYPE_VALUE_H
+
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ztype/type.h"
+
+namespace ziria {
+
+/** Fixed-point complex sample, 16-bit I/Q (the Sora wire format). */
+struct Complex16
+{
+    int16_t re = 0;
+    int16_t im = 0;
+
+    bool operator==(const Complex16&) const = default;
+};
+
+/** Fixed-point complex sample, 32-bit I/Q. */
+struct Complex32
+{
+    int32_t re = 0;
+    int32_t im = 0;
+
+    bool operator==(const Complex32&) const = default;
+};
+
+static_assert(sizeof(Complex16) == 4);
+static_assert(sizeof(Complex32) == 8);
+
+/** A typed, boxed Ziria value. */
+class Value
+{
+  public:
+    Value() : type_(Type::unit()) {}
+
+    Value(TypePtr type, std::vector<uint8_t> bytes)
+        : type_(std::move(type)), bytes_(std::move(bytes))
+    {
+    }
+
+    /** Zero-initialized value of @p type. */
+    static Value zeroOf(TypePtr type);
+
+    // Scalar constructors.
+    static Value unit();
+    static Value bit(uint8_t b);
+    static Value boolean(bool b);
+    static Value i8(int8_t v);
+    static Value i16(int16_t v);
+    static Value i32(int32_t v);
+    static Value i64(int64_t v);
+    static Value real(double v);
+    static Value c16(int16_t re, int16_t im);
+    static Value c32(int32_t re, int32_t im);
+
+    /** Integer value of the given integral type. */
+    static Value intOf(const TypePtr& type, int64_t v);
+
+    /** Array of values (all of the same type). */
+    static Value arrayOf(const TypePtr& elem, const std::vector<Value>& xs);
+
+    /** Array of bits from 0/1 bytes. */
+    static Value bitArray(const std::vector<uint8_t>& bits);
+
+    const TypePtr& type() const { return type_; }
+    const std::vector<uint8_t>& bytes() const { return bytes_; }
+    uint8_t* data() { return bytes_.data(); }
+    const uint8_t* data() const { return bytes_.data(); }
+    size_t size() const { return bytes_.size(); }
+
+    /** Read back an integral scalar (sign-extended). */
+    int64_t asInt() const;
+
+    /** Read back a double. */
+    double asDouble() const;
+
+    /** Read back a complex16. */
+    Complex16 asC16() const;
+
+    /** Read a struct field as a boxed value. */
+    Value field(const std::string& name) const;
+
+    /** Read array element @p i as a boxed value. */
+    Value at(int i) const;
+
+    /** Human-readable rendering. */
+    std::string show() const;
+
+    bool
+    operator==(const Value& other) const
+    {
+        return typeEq(type_, other.type_) && bytes_ == other.bytes_;
+    }
+
+  private:
+    TypePtr type_;
+    std::vector<uint8_t> bytes_;
+};
+
+/** Read an integral scalar of kind @p k from raw bytes (sign-extended). */
+int64_t readIntRaw(TypeKind k, const uint8_t* p);
+
+/** Write an integral scalar of kind @p k to raw bytes (truncating). */
+void writeIntRaw(TypeKind k, uint8_t* p, int64_t v);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZTYPE_VALUE_H

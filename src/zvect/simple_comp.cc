@@ -1,0 +1,383 @@
+#include "zvect/simple_comp.h"
+
+#include "support/panic.h"
+#include "zast/builder.h"
+#include "zcard/card.h"
+
+namespace ziria {
+
+namespace {
+
+/** Walks a computer, producing straight-line steps; fails on dynamic
+ *  stream-relative control flow. */
+class Normalizer
+{
+  public:
+    explicit Normalizer(int max_steps) : maxSteps_(max_steps) {}
+
+    bool
+    walk(const CompPtr& c, SimpleComp& out, bool isLast)
+    {
+        if (static_cast<int>(out.steps.size()) > maxSteps_)
+            return false;
+        switch (c->kind()) {
+          case CompKind::Take: {
+            // A bare take (result dropped).
+            SimpleStep st;
+            st.kind = SimpleStep::Kind::TakeBind;
+            st.takeType = static_cast<const TakeComp&>(*c).valType();
+            out.steps.push_back(std::move(st));
+            ++out.takes;
+            return true;
+          }
+          case CompKind::TakeMany:
+            return walkTakeMany(static_cast<const TakeManyComp&>(*c),
+                                nullptr, out);
+          case CompKind::Emit: {
+            SimpleStep st;
+            st.kind = SimpleStep::Kind::Emit;
+            st.expr = static_cast<const EmitComp&>(*c).expr();
+            out.steps.push_back(std::move(st));
+            ++out.emits;
+            return true;
+          }
+          case CompKind::Emits: {
+            // Evaluate the array once into a scratch var, then emit
+            // element-wise.
+            const auto& e = static_cast<const EmitsComp&>(*c);
+            const TypePtr& at = e.expr()->type();
+            VarRef tmp = freshVar("vemits", at);
+            tmp->scratch = true;
+            SimpleStep init;
+            init.kind = SimpleStep::Kind::Do;
+            init.stmts.push_back(zb::assign(zb::var(tmp), e.expr()));
+            out.steps.push_back(std::move(init));
+            for (int i = 0; i < at->len(); ++i) {
+                SimpleStep st;
+                st.kind = SimpleStep::Kind::Emit;
+                st.expr = zb::idx(zb::var(tmp), i);
+                out.steps.push_back(std::move(st));
+                ++out.emits;
+            }
+            return checkBudget(out);
+          }
+          case CompKind::Return: {
+            const auto& r = static_cast<const ReturnComp&>(*c);
+            if (!r.stmts().empty()) {
+                SimpleStep st;
+                st.kind = SimpleStep::Kind::Do;
+                st.stmts = r.stmts();
+                out.steps.push_back(std::move(st));
+            }
+            if (isLast) {
+                out.retExpr = r.ret();
+            } else if (r.ret() && r.ret()->kind() == ExprKind::Call) {
+                // Preserve effects of a discarded call.
+                SimpleStep st;
+                st.kind = SimpleStep::Kind::Do;
+                st.stmts.push_back(zb::sEval(r.ret()));
+                out.steps.push_back(std::move(st));
+            }
+            return true;
+          }
+          case CompKind::Seq: {
+            const auto& s = static_cast<const SeqComp&>(*c);
+            for (size_t i = 0; i < s.items().size(); ++i) {
+                const auto& it = s.items()[i];
+                bool last = isLast && (i + 1 == s.items().size());
+                if (it.bind) {
+                    if (!walkBound(it.comp, it.bind, out))
+                        return false;
+                } else if (!walk(it.comp, out, last)) {
+                    return false;
+                }
+            }
+            return true;
+          }
+          case CompKind::If: {
+            // Branches may not perform stream I/O (dynamic cardinality).
+            const auto& i = static_cast<const IfComp&>(*c);
+            auto tCard = cardOf(i.thenC());
+            if (!tCard || tCard->takes || tCard->emits)
+                return false;
+            if (i.elseC()) {
+                auto eCard = cardOf(i.elseC());
+                if (!eCard || eCard->takes || eCard->emits)
+                    return false;
+            }
+            StmtList thenS, elseS;
+            if (!flattenPure(i.thenC(), thenS))
+                return false;
+            if (i.elseC() && !flattenPure(i.elseC(), elseS))
+                return false;
+            SimpleStep st;
+            st.kind = SimpleStep::Kind::Do;
+            st.stmts.push_back(zb::sIf(i.cond(), std::move(thenS),
+                                       std::move(elseS)));
+            out.steps.push_back(std::move(st));
+            return true;
+          }
+          case CompKind::Times: {
+            const auto& t = static_cast<const TimesComp&>(*c);
+            auto n = constIntOf(t.count());
+            if (!n || *n < 0)
+                return false;
+            auto bodyCard = cardOf(t.body());
+            if (!bodyCard)
+                return false;
+            if (bodyCard->takes == 0 && bodyCard->emits == 0) {
+                // No stream I/O inside: keep the loop as imperative code.
+                StmtList body;
+                if (!flattenPure(t.body(), body))
+                    return false;
+                VarRef iv = t.inductionVar()
+                    ? t.inductionVar()
+                    : freshVar("i", Type::int32());
+                SimpleStep st;
+                st.kind = SimpleStep::Kind::Do;
+                st.stmts.push_back(zb::sFor(iv, zb::lit(iv->type, 0),
+                                            zb::lit(iv->type, *n),
+                                            std::move(body)));
+                out.steps.push_back(std::move(st));
+                return true;
+            }
+            // Unroll, binding the induction variable per copy.
+            for (int64_t k = 0; k < *n; ++k) {
+                if (t.inductionVar()) {
+                    SimpleStep st;
+                    st.kind = SimpleStep::Kind::Do;
+                    st.stmts.push_back(
+                        zb::assign(zb::var(t.inductionVar()),
+                                   zb::lit(t.inductionVar()->type, k)));
+                    out.steps.push_back(std::move(st));
+                }
+                if (!walk(t.body(), out, false))
+                    return false;
+                if (!checkBudget(out))
+                    return false;
+            }
+            return true;
+          }
+          case CompKind::LetVar: {
+            const auto& l = static_cast<const LetVarComp&>(*c);
+            l.var()->scratch = true;  // re-initialized every iteration
+            SimpleStep st;
+            st.kind = SimpleStep::Kind::Do;
+            ExprPtr init = l.init()
+                ? l.init()
+                : zb::cVal(Value::zeroOf(l.var()->type));
+            st.stmts.push_back(zb::assign(zb::var(l.var()), init));
+            out.steps.push_back(std::move(st));
+            return walk(l.body(), out, isLast);
+          }
+          default:
+            return false;  // pipes, repeats, natives, while: not simple
+        }
+    }
+
+  private:
+    bool
+    checkBudget(const SimpleComp& out) const
+    {
+        return static_cast<int>(out.steps.size()) <= maxSteps_;
+    }
+
+    /** Normalize `bind <- comp` items. */
+    bool
+    walkBound(const CompPtr& c, const VarRef& bind, SimpleComp& out)
+    {
+        switch (c->kind()) {
+          case CompKind::Take: {
+            SimpleStep st;
+            st.kind = SimpleStep::Kind::TakeBind;
+            st.bind = bind;
+            bind->scratch = true;  // always written before use per copy
+            st.takeType = static_cast<const TakeComp&>(*c).valType();
+            out.steps.push_back(std::move(st));
+            ++out.takes;
+            return true;
+          }
+          case CompKind::TakeMany:
+            return walkTakeMany(static_cast<const TakeManyComp&>(*c), bind,
+                                out);
+          case CompKind::Return: {
+            const auto& r = static_cast<const ReturnComp&>(*c);
+            bind->scratch = true;  // assigned at the bind point
+            SimpleStep st;
+            st.kind = SimpleStep::Kind::Do;
+            st.stmts = r.stmts();
+            if (r.ret())
+                st.stmts.push_back(zb::assign(zb::var(bind), r.ret()));
+            out.steps.push_back(std::move(st));
+            return true;
+          }
+          default:
+            // Binding the control value of takes/emits-performing
+            // sub-computers is beyond straight-line form.
+            return false;
+        }
+    }
+
+    bool
+    walkTakeMany(const TakeManyComp& t, const VarRef& bind, SimpleComp& out)
+    {
+        if (bind)
+            bind->scratch = true;  // fully re-assigned every iteration
+        for (int i = 0; i < t.count(); ++i) {
+            SimpleStep st;
+            st.kind = SimpleStep::Kind::TakeBind;
+            if (bind)
+                st.intoLhs = zb::idx(zb::var(bind), i);
+            st.takeType = t.elemType();
+            out.steps.push_back(std::move(st));
+            ++out.takes;
+        }
+        return checkBudget(out);
+    }
+
+    /** Flatten a computer with zero stream I/O into plain statements. */
+    bool
+    flattenPure(const CompPtr& c, StmtList& out)
+    {
+        SimpleComp sc;
+        if (!walk(c, sc, false))
+            return false;
+        ZIRIA_ASSERT(sc.takes == 0 && sc.emits == 0);
+        for (auto& st : sc.steps) {
+            ZIRIA_ASSERT(st.kind == SimpleStep::Kind::Do);
+            for (auto& s : st.stmts)
+                out.push_back(std::move(s));
+        }
+        return true;
+    }
+
+    int maxSteps_;
+};
+
+} // namespace
+
+std::optional<SimpleComp>
+normalizeComp(const CompPtr& c, int max_steps)
+{
+    SimpleComp out;
+    Normalizer n(max_steps);
+    if (!n.walk(c, out, true))
+        return std::nullopt;
+    return out;
+}
+
+CompPtr
+rewriteVectorized(const SimpleComp& sc, const TypePtr& in_elem,
+                  const TypePtr& out_elem, int unroll, int din, int dout)
+{
+    ZIRIA_ASSERT(unroll >= 1);
+    const long totalTakes = sc.takes * unroll;
+    const long totalEmits = sc.emits * unroll;
+    ZIRIA_ASSERT(din >= 1 && dout >= 1);
+    ZIRIA_ASSERT(totalTakes % din == 0 || totalTakes == 0);
+    ZIRIA_ASSERT(totalEmits % dout == 0 || totalEmits == 0);
+
+    // Staging buffers.  Width-1 sides stay scalar (no buffer needed for
+    // input; output still goes through the staging var only when dout>1).
+    VarRef vin, vout;
+    if (totalTakes > 0 && din > 1) {
+        vin = freshVar("vect_xa", Type::array(in_elem, din));
+        vin->scratch = true;
+    }
+    if (totalEmits > 0 && dout > 1) {
+        vout = freshVar("vect_ya", Type::array(out_elem, dout));
+        vout->scratch = true;
+    }
+
+    std::vector<SeqComp::Item> items;
+    StmtList pending;  // accumulate Do code between stream operations
+
+    auto flushPending = [&]() {
+        if (!pending.empty()) {
+            items.push_back(zb::just(zb::doS(std::move(pending))));
+            pending.clear();
+        }
+    };
+
+    long tc = 0;  // take counter
+    long ec = 0;  // emit counter
+    for (int u = 0; u < unroll; ++u) {
+        for (const auto& st : sc.steps) {
+            switch (st.kind) {
+              case SimpleStep::Kind::TakeBind: {
+                if (din == 1) {
+                    // Scalar take: bind directly if requested.
+                    flushPending();
+                    if (st.intoLhs) {
+                        VarRef tmp = freshVar("vt", st.takeType);
+                        tmp->scratch = true;
+                        items.push_back(
+                            zb::bindc(tmp, zb::take(st.takeType)));
+                        pending.push_back(
+                            zb::assign(st.intoLhs, zb::var(tmp)));
+                    } else if (st.bind) {
+                        items.push_back(
+                            zb::bindc(st.bind, zb::take(st.takeType)));
+                    } else {
+                        items.push_back(zb::just(zb::take(st.takeType)));
+                    }
+                } else {
+                    if (tc % din == 0) {
+                        flushPending();
+                        items.push_back(
+                            zb::bindc(vin, zb::take(vin->type)));
+                    }
+                    if (st.intoLhs) {
+                        pending.push_back(zb::assign(
+                            st.intoLhs,
+                            zb::idx(zb::var(vin),
+                                    static_cast<int>(tc % din))));
+                    } else if (st.bind) {
+                        // The bind is now an ordinary assignment that
+                        // always precedes its uses: per-iteration scratch
+                        // (keeps it out of auto-LUT keys).
+                        st.bind->scratch = true;
+                        pending.push_back(zb::assign(
+                            zb::var(st.bind),
+                            zb::idx(zb::var(vin),
+                                    static_cast<int>(tc % din))));
+                    }
+                }
+                ++tc;
+                break;
+              }
+              case SimpleStep::Kind::Emit: {
+                if (dout == 1) {
+                    flushPending();
+                    items.push_back(zb::just(zb::emit(st.expr)));
+                } else {
+                    pending.push_back(zb::assign(
+                        zb::idx(zb::var(vout), static_cast<int>(ec % dout)),
+                        st.expr));
+                    if (ec % dout == dout - 1) {
+                        flushPending();
+                        items.push_back(zb::just(zb::emit(zb::var(vout))));
+                    }
+                }
+                ++ec;
+                break;
+              }
+              case SimpleStep::Kind::Do:
+                for (const auto& s : st.stmts)
+                    pending.push_back(s);
+                break;
+            }
+        }
+    }
+    if (sc.retExpr) {
+        flushPending();
+        items.push_back(zb::just(zb::ret(sc.retExpr)));
+    } else {
+        flushPending();
+    }
+    if (items.empty())
+        items.push_back(zb::just(zb::ret(zb::cUnit())));
+    return zb::seqc(std::move(items));
+}
+
+} // namespace ziria

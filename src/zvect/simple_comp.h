@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Straight-line normalization of computers and the vectorized rewrite.
+ *
+ * The vectorizer (§3) rewrites components to take/emit arrays.  To do
+ * that mechanically we first normalize a computer body into a straight
+ * line of three step kinds — TakeBind, Emit, Do — unrolling `times` loops
+ * with static bounds and hoisting `var` scopes into explicit
+ * initialization statements.  A normalized body can then be re-assembled
+ * for any (unroll, din, dout) choice: takes are grouped into array takes,
+ * emits are staged into an output buffer that is flushed as array emits.
+ *
+ * Variables introduced by the rewrite (input/output staging buffers) and
+ * per-iteration locals are marked `scratch`; the auto-map pass may turn
+ * them into kernel locals, which keeps them out of auto-LUT keys.
+ */
+#ifndef ZIRIA_ZVECT_SIMPLE_COMP_H
+#define ZIRIA_ZVECT_SIMPLE_COMP_H
+
+#include <optional>
+
+#include "zast/comp.h"
+
+namespace ziria {
+
+/** One normalized step. */
+struct SimpleStep
+{
+    enum class Kind { TakeBind, Emit, Do };
+
+    Kind kind;
+    VarRef bind;    ///< TakeBind: scalar target (null = value dropped)
+    ExprPtr intoLhs;   ///< TakeBind: lvalue target (e.g. arr[i]); wins
+    TypePtr takeType;  ///< TakeBind: element type
+    ExprPtr expr;   ///< Emit: the emitted value
+    StmtList stmts; ///< Do
+};
+
+/** A computer body flattened to straight-line form. */
+struct SimpleComp
+{
+    std::vector<SimpleStep> steps;
+    ExprPtr retExpr;  ///< control value (null = unit)
+    long takes = 0;
+    long emits = 0;
+};
+
+/**
+ * Flatten a computer into straight-line form.
+ * @param max_steps unrolling budget; exceeded or dynamic control flow
+ *        relative to the stream returns nullopt.
+ */
+std::optional<SimpleComp> normalizeComp(const CompPtr& c, int max_steps);
+
+/**
+ * Build the vectorized computation for a normalized body (§3.2).
+ *
+ * The body is repeated @p unroll times; each group of @p din consecutive
+ * takes becomes one `take : arr[din]`, and each group of @p dout
+ * consecutive emits is staged into a buffer emitted as `arr[dout]`.
+ * Requires din | unroll*takes and dout | unroll*emits.  A width of 1
+ * keeps that side scalar; sides with zero cardinality are untouched.
+ *
+ * @param in_elem  original input element type (null if takes == 0)
+ * @param out_elem original output element type (null if emits == 0)
+ */
+CompPtr rewriteVectorized(const SimpleComp& sc, const TypePtr& in_elem,
+                          const TypePtr& out_elem, int unroll, int din,
+                          int dout);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZVECT_SIMPLE_COMP_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The vectorization transformation (paper §3).
+ *
+ * Top-down, feasible vectorization sets are computed per component from
+ * cardinality analysis and pipeline placement:
+ *
+ *  - computers only down-vectorize (array widths divide the take/emit
+ *    cardinalities), so a reconfiguring `seq` never over-consumes;
+ *  - a transformer with a computer downstream may up-vectorize to
+ *    (d*ain, d*k*aout) — never increasing output rate per input;
+ *  - a transformer with a computer upstream may up-vectorize to
+ *    (d*k*ain, d*aout) — never decreasing it;
+ *  - with computers on both sides only matched scaling (d*ain, d*aout)
+ *    is safe; with none, input and output scale independently.
+ *
+ * Bottom-up, feasible sets compose across `>>>` and `seq` (Figure 2) with
+ * local pruning: per (din, dout) only the candidate with the highest
+ * utility survives, where utility is the sum of a concave function f over
+ * all intermediate widths — f(d) = log d by default, following the
+ * Kelly-style framework the paper adapts; f(d) = d (sum) and a max-min
+ * surrogate are available for the ablation study.
+ *
+ * Candidates are built lazily: the AST of a vectorized component is only
+ * materialized for the finally selected candidate.
+ */
+#ifndef ZIRIA_ZVECT_VECTORIZE_H
+#define ZIRIA_ZVECT_VECTORIZE_H
+
+#include <cstdint>
+
+#include "zast/comp.h"
+
+namespace ziria {
+
+/** Utility function choices (§3.3 discussion). */
+enum class VectUtility {
+    Log,     ///< f(d) = log2 d — balances throughput and bottlenecks
+    Sum,     ///< f(d) = d — maximizes total width (can keep bottlenecks)
+    MaxMin,  ///< f(d) = -d^-4 — approximately maximizes the minimum width
+};
+
+/** Vectorizer configuration. */
+struct VectConfig
+{
+    int maxWidth = 288;     ///< largest array width considered (elements)
+    int maxWidthBytes = 512;  ///< largest array width in bytes
+    int maxSteps = 4096;    ///< straight-line unrolling budget per body
+    int maxScale = 64;      ///< largest multiplier d (and d*k) considered
+    VectUtility utility = VectUtility::Log;
+    /**
+     * Utility bonus for candidates whose kernels are LUT-able (small
+     * semantic key); 0 disables LUT awareness.  This is what makes the
+     * joint width optimization land on e.g. the scrambler's classic
+     * 8-in/8-out grouping (Figure 3) inside a full pipeline.
+     */
+    double lutBonus = 12.0;
+    int lutKeyBits = 20;  ///< key budget assumed by the bonus
+    bool prune = true;      ///< local pruning (off only for the ablation)
+    long candidateCap = 2000000;  ///< abort threshold without pruning
+};
+
+/** Vectorizer statistics (compile-time experiments). */
+struct VectStats
+{
+    long generated = 0;  ///< candidates generated across all components
+    long kept = 0;       ///< candidates alive after local pruning
+    bool capped = false; ///< candidate cap hit (no-pruning explosion)
+    int chosenIn = 0;    ///< selected top-level input width
+    int chosenOut = 0;   ///< selected top-level output width
+};
+
+/**
+ * Vectorize a checked computation.  Returns a freshly built AST (the
+ * input is not modified); the result must be re-checked before use.
+ */
+CompPtr vectorizeComp(const CompPtr& root, const VectConfig& cfg,
+                      VectStats* stats = nullptr);
+
+} // namespace ziria
+
+#endif // ZIRIA_ZVECT_VECTORIZE_H

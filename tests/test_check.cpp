@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the stream-level type checker (Section 2 typing rules)
+ * and the builder's expression typing.
+ */
+#include <gtest/gtest.h>
+
+#include "support/panic.h"
+#include "zast/builder.h"
+#include "zast/printer.h"
+#include "zcheck/check.h"
+#include "zopt/passes.h"
+
+namespace ziria {
+namespace {
+
+using namespace zb;
+
+TEST(Check, TakeIsComputerWithMatchingCtrl)
+{
+    CompPtr c = take(Type::int32());
+    CompType t = checkComp(c);
+    EXPECT_TRUE(t.isComputer);
+    EXPECT_TRUE(typeEq(t.ctrl, Type::int32()));
+    EXPECT_TRUE(typeEq(t.in, Type::int32()));
+    EXPECT_EQ(t.out, nullptr);
+}
+
+TEST(Check, EmitIsComputerWithUnitCtrl)
+{
+    CompPtr c = emit(cInt(1));
+    CompType t = checkComp(c);
+    EXPECT_TRUE(t.isComputer);
+    EXPECT_TRUE(t.ctrl->isUnit());
+    EXPECT_TRUE(typeEq(t.out, Type::int32()));
+}
+
+TEST(Check, RepeatOfUnitComputerIsTransformer)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr c = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit(var(x)))}));
+    CompType t = checkComp(c);
+    EXPECT_FALSE(t.isComputer);
+    EXPECT_TRUE(typeEq(t.in, Type::int32()));
+    EXPECT_TRUE(typeEq(t.out, Type::int32()));
+}
+
+TEST(Check, RepeatOfNonUnitComputerRejected)
+{
+    CompPtr c = repeatc(ret(cInt(5)));
+    EXPECT_THROW(checkComp(c), FatalError);
+}
+
+TEST(Check, SeqRequiresComputerPrefix)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr t = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit(var(x)))}));
+    CompPtr c = seqc({just(std::move(t)), just(emit(cInt(1)))});
+    EXPECT_THROW(checkComp(c), FatalError);
+}
+
+TEST(Check, SeqBinderTypeMustMatchCtrl)
+{
+    VarRef h = freshVar("h", Type::int16());  // wrong: take returns int32
+    CompPtr c = seqc({bindc(h, take(Type::int32())),
+                      just(emit(var(h)))});
+    EXPECT_THROW(checkComp(c), FatalError);
+}
+
+TEST(Check, SeqUnifiesStreamTypesAcrossItems)
+{
+    // First item emits int32, second emits int16: must be rejected.
+    CompPtr c = seqc({just(emit(cInt(1))), just(emit(cI16(2)))});
+    EXPECT_THROW(checkComp(c), FatalError);
+}
+
+TEST(Check, PipeTypeMismatchRejected)
+{
+    VarRef x = freshVar("x", Type::int32());
+    VarRef y = freshVar("y", Type::int16());
+    CompPtr a = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit(var(x)))}));
+    CompPtr b = repeatc(seqc({bindc(y, take(Type::int16())),
+                              just(emit(var(y)))}));
+    EXPECT_THROW(checkComp(pipe(std::move(a), std::move(b))), FatalError);
+}
+
+TEST(Check, PipeOfTwoComputersRejected)
+{
+    CompPtr c = pipe(take(Type::int32()), emit(cInt(1)));
+    EXPECT_THROW(checkComp(c), FatalError);
+}
+
+TEST(Check, PipeComputerTransformerGivesComputer)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr t = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit(var(x)))}));
+    VarRef a = freshVar("a", Type::int32());
+    CompPtr c1 = seqc({bindc(a, take(Type::int32())),
+                       just(ret(var(a)))});
+    CompType t1 = checkComp(pipe(std::move(t), std::move(c1)));
+    EXPECT_TRUE(t1.isComputer);
+    EXPECT_TRUE(typeEq(t1.ctrl, Type::int32()));
+}
+
+TEST(Check, RaceRuleRejectsSharedWrites)
+{
+    // Both sides of >>> write the same free variable.
+    VarRef s = freshVar("s", Type::int32());
+    VarRef x = freshVar("x", Type::int32());
+    VarRef y = freshVar("y", Type::int32());
+    CompPtr l = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(doS({assign(var(s), var(x))})),
+                              just(emit(var(x)))}));
+    CompPtr r = repeatc(seqc({bindc(y, take(Type::int32())),
+                              just(doS({assign(var(s), var(y))})),
+                              just(emit(var(y)))}));
+    CompPtr c = letvar(s, cInt(0), pipe(std::move(l), std::move(r)));
+    EXPECT_THROW(checkComp(c), FatalError);
+}
+
+TEST(Check, RaceRuleAllowsSharedReads)
+{
+    VarRef s = freshVar("s", Type::int32());
+    VarRef x = freshVar("x", Type::int32());
+    VarRef y = freshVar("y", Type::int32());
+    CompPtr l = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit(var(x) + var(s)))}));
+    CompPtr r = repeatc(seqc({bindc(y, take(Type::int32())),
+                              just(emit(var(y) * var(s)))}));
+    CompPtr c = letvar(s, cInt(3), pipe(std::move(l), std::move(r)));
+    EXPECT_NO_THROW(checkComp(c));
+}
+
+TEST(Check, IfBranchesMustAgree)
+{
+    CompPtr c = ifc(cBool(true), emit(cInt(1)), emit(cI16(1)));
+    EXPECT_THROW(checkComp(c), FatalError);
+}
+
+TEST(Check, AliasedNodesPanic)
+{
+    CompPtr shared = emit(cInt(1));
+    CompPtr c = seqc({just(shared), just(shared)});
+    EXPECT_THROW(checkComp(c), PanicError);
+}
+
+TEST(Check, MapTypesFromFunction)
+{
+    VarRef x = freshVar("x", Type::int16());
+    FunRef f = fun("widen", {x}, {}, cast(Type::int32(), var(x)));
+    CompType t = checkComp(mapc(f));
+    EXPECT_FALSE(t.isComputer);
+    EXPECT_TRUE(typeEq(t.in, Type::int16()));
+    EXPECT_TRUE(typeEq(t.out, Type::int32()));
+}
+
+TEST(Builder, ExpressionTypeErrors)
+{
+    EXPECT_THROW(cInt(1) + cI16(2), FatalError);       // mixed widths
+    EXPECT_THROW(cBool(true) + cBool(false), FatalError);
+    EXPECT_THROW(cDouble(1.0) % cDouble(2.0), FatalError);
+    EXPECT_THROW(idx(cInt(5), 0), FatalError);         // index non-array
+    EXPECT_THROW(cast(Type::complex16(), cInt(1)), FatalError);
+    EXPECT_THROW(assign(cInt(1) + cInt(2), cInt(3)), FatalError);
+}
+
+TEST(Builder, SliceBoundsChecked)
+{
+    VarRef a = freshVar("a", Type::array(Type::bit(), 7));
+    EXPECT_NO_THROW(slice(var(a), 0, 7));
+    EXPECT_THROW(slice(var(a), 0, 8), FatalError);
+}
+
+TEST(Printer, RendersWiFiStyleComposition)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr c = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit(var(x) + 1))}));
+    std::string s = showComp(c);
+    EXPECT_NE(s.find("repeat"), std::string::npos);
+    EXPECT_NE(s.find("take"), std::string::npos);
+    EXPECT_NE(s.find("emit"), std::string::npos);
+}
+
+TEST(Elaborate, InlinesCompFunctionCalls)
+{
+    // let comp double(k : int) = repeat { x <- take; emit (x*k) }
+    VarRef k = freshVar("k", Type::int32(), false);
+    VarRef x = freshVar("x", Type::int32());
+    auto fn = std::make_shared<CompFunDef>();
+    fn->name = "scale";
+    fn->params = {k};
+    fn->body = repeatc(seqc({bindc(x, take(Type::int32())),
+                             just(emit(var(x) * var(k)))}));
+    CompPtr call1 = callcomp(fn, {cInt(2) + cInt(1)});
+    CompPtr program = elaborateComp(call1);
+    CompType t = checkComp(program);
+    EXPECT_FALSE(t.isComputer);
+}
+
+} // namespace
+} // namespace ziria

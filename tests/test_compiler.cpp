@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Compiler-driver tests: optimization presets, pass reports, constant
+ * folding across the computation layer, elaboration state isolation,
+ * pretty-printer sanity, and the forced-vectorization annotation.
+ */
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "zast/builder.h"
+#include "zast/printer.h"
+#include "zcheck/check.h"
+#include "zir/compiler.h"
+#include "zopt/passes.h"
+
+namespace ziria {
+namespace {
+
+using namespace zb;
+
+TEST(Presets, LevelsToggleTheRightPasses)
+{
+    auto none = CompilerOptions::forLevel(OptLevel::None);
+    EXPECT_FALSE(none.vectorize);
+    EXPECT_FALSE(none.autoLut);
+    auto vect = CompilerOptions::forLevel(OptLevel::Vectorize);
+    EXPECT_TRUE(vect.vectorize);
+    EXPECT_FALSE(vect.autoLut);
+    EXPECT_EQ(vect.vect.lutBonus, 0);
+    auto all = CompilerOptions::forLevel(OptLevel::All);
+    EXPECT_TRUE(all.vectorize);
+    EXPECT_TRUE(all.autoLut);
+    EXPECT_GT(all.vect.lutBonus, 0);
+}
+
+TEST(Report, PhasesAndSignatureFilled)
+{
+    VarRef x = freshVar("x", Type::bit());
+    CompPtr c = repeatc(seqc({bindc(x, take(Type::bit())),
+                              just(emit(var(x) ^ cBit(1)))}));
+    CompileReport rep;
+    auto p = compilePipeline(c, CompilerOptions::forLevel(OptLevel::All),
+                             &rep);
+    (void)p;
+    EXPECT_FALSE(rep.signature.isComputer);
+    EXPECT_GT(rep.vect.generated, 0);
+    EXPECT_GT(rep.build.nodes, 0);
+    EXPECT_GE(rep.totalSec(), 0.0);
+    EXPECT_GT(rep.frameBytes, 0u);
+}
+
+TEST(FoldComp, ConstIfSelectsBranchStatically)
+{
+    CompPtr c = ifc(cBool(true) && cBool(true), emit(cInt(1)),
+                    emit(cInt(2)));
+    CompPtr folded = foldComp(c);
+    EXPECT_EQ(folded->kind(), CompKind::Emit);
+}
+
+TEST(FoldComp, DeadStatementBranchesDropped)
+{
+    VarRef y = freshVar("y", Type::int32());
+    StmtList body{sIf(cBool(false), {assign(var(y), cInt(1))},
+                      {assign(var(y), cInt(2))})};
+    CompPtr c = letvar(y, cInt(0),
+                       seqc({just(doS(std::move(body))),
+                             just(emit(var(y)))}));
+    auto p = compilePipeline(c, CompilerOptions::forLevel(OptLevel::All));
+    auto out = p->runBytes({});
+    int32_t v;
+    std::memcpy(&v, out.data(), 4);
+    EXPECT_EQ(v, 2);
+}
+
+TEST(Elaborate, TwoInstancesOfStatefulCompAreIsolated)
+{
+    // let comp counter() = var n := 0 in repeat { take; n++; emit n }
+    auto def = std::make_shared<CompFunDef>();
+    {
+        VarRef n = freshVar("n", Type::int32());
+        VarRef x = freshVar("x", Type::int32());
+        def->name = "counter";
+        def->body = letvar(
+            n, cInt(0),
+            repeatc(seqc({bindc(x, take(Type::int32())),
+                          just(doS({assign(var(n), var(n) + 1)})),
+                          just(emit(var(n)))})));
+    }
+    // counter() >>> counter(): the second must count its own stream.
+    CompPtr program = pipe(callcomp(def), callcomp(def));
+    auto p = compilePipeline(program,
+                             CompilerOptions::forLevel(OptLevel::None));
+    std::vector<int32_t> in{100, 100, 100};
+    std::vector<uint8_t> bytes(12);
+    std::memcpy(bytes.data(), in.data(), 12);
+    auto out = p->runBytes(bytes);
+    std::vector<int32_t> got(3);
+    std::memcpy(got.data(), out.data(), 12);
+    // Each instance counts independently: second sees 1,2,3 as input and
+    // emits its own count 1,2,3.
+    EXPECT_EQ(got, (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(ForcedVectorization, HintWrapsDynamicBodies)
+{
+    // A dynamic-cardinality pass-through with a forced [8, 8] hint keeps
+    // its behaviour and reports the forced width.
+    auto mk = [](bool hinted) {
+        VarRef n = freshVar("n", Type::int32());
+        VarRef x = freshVar("x", Type::bit());
+        CompPtr body = seqc(
+            {just(doS({assign(var(n), cInt(0))})),
+             just(whilec(var(n) < 4,
+                         seqc({bindc(x, take(Type::bit())),
+                               just(emit(var(x))),
+                               just(doS({assign(var(n),
+                                                var(n) + 1)}))})))});
+        std::optional<VectHint> h;
+        if (hinted)
+            h = VectHint{8, 8};
+        return letvar(n, cInt(0), repeatc(std::move(body), h));
+    };
+    Rng rng(3);
+    std::vector<uint8_t> bits(256);
+    for (auto& b : bits)
+        b = rng.bit();
+    auto expect = compilePipeline(
+        mk(false), CompilerOptions::forLevel(OptLevel::None))
+        ->runBytes(bits);
+    CompileReport rep;
+    auto p = compilePipeline(mk(true),
+                             CompilerOptions::forLevel(OptLevel::Vectorize),
+                             &rep);
+    EXPECT_EQ(rep.vect.chosenIn, 8);
+    EXPECT_EQ(p->runBytes(bits), expect);
+}
+
+TEST(Printer, StableAcrossCloning)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr c = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit((var(x) + 1) * 2))}));
+    CompPtr clone = cloneComp(c);
+    auto normalize = [](std::string s) {
+        for (size_t i = 0; i < s.size(); ++i) {
+            if (s[i] == '_') {
+                size_t j = i + 1;
+                while (j < s.size() && std::isdigit(
+                                           static_cast<unsigned char>(
+                                               s[j])))
+                    ++j;
+                s.erase(i + 1, j - i - 1);
+            }
+        }
+        return s;
+    };
+    EXPECT_EQ(normalize(showComp(c)), normalize(showComp(clone)));
+}
+
+TEST(Printer, ShowsStructsAndCalls)
+{
+    TypePtr h = Type::strct("H", {{"a", Type::int32()}});
+    VarRef v = freshVar("h", h);
+    std::string s = showExpr(field(var(v), "a"));
+    EXPECT_NE(s.find(".a"), std::string::npos);
+}
+
+TEST(Frame, LayoutPinsSymbols)
+{
+    // A symbol that dies after registration must keep its slot unique:
+    // allocate a slot, drop the handle, allocate many new vars, and
+    // confirm no offset is ever reused.
+    FrameLayout layout;
+    std::vector<size_t> offs;
+    for (int i = 0; i < 200; ++i) {
+        VarRef v = freshVar("t", Type::int32());
+        offs.push_back(layout.add(v));
+        // v dies here; its heap address may be recycled by the allocator
+    }
+    std::sort(offs.begin(), offs.end());
+    EXPECT_TRUE(std::adjacent_find(offs.begin(), offs.end()) ==
+                offs.end());
+    EXPECT_EQ(layout.frameSize(), 200u * 4u);
+}
+
+TEST(MapChain, CoalescedChainMatchesPipes)
+{
+    // A chain of stateful maps must behave identically whether executed
+    // through pipes or coalesced into one MapChainNode.
+    auto mkChain = [] {
+        CompPtr c = nullptr;
+        for (int i = 0; i < 5; ++i) {
+            VarRef s = freshVar("s", Type::int32());
+            VarRef x = freshVar("x", Type::int32());
+            FunRef f = fun("acc" + std::to_string(i), {x},
+                           {assign(var(s), var(s) + var(x))},
+                           var(x) ^ var(s));
+            CompPtr m = mapc(f);
+            c = c ? pipe(std::move(c), std::move(m)) : std::move(m);
+        }
+        return c;
+    };
+    Rng rng(17);
+    std::vector<int32_t> in(2000);
+    for (auto& v : in)
+        v = static_cast<int32_t>(rng.next());
+    std::vector<uint8_t> bytes(in.size() * 4);
+    std::memcpy(bytes.data(), in.data(), bytes.size());
+
+    // Reference: evaluate the chain semantics directly.
+    std::vector<int32_t> state(5, 0);
+    std::vector<int32_t> expect;
+    for (int32_t v : in) {
+        int32_t cur = v;
+        for (int k = 0; k < 5; ++k) {
+            state[static_cast<size_t>(k)] += cur;
+            cur = cur ^ state[static_cast<size_t>(k)];
+        }
+        expect.push_back(cur);
+    }
+    auto p = compilePipeline(mkChain(),
+                             CompilerOptions::forLevel(OptLevel::None));
+    auto out = p->runBytes(bytes);
+    std::vector<int32_t> got(out.size() / 4);
+    std::memcpy(got.data(), out.data(), out.size());
+    EXPECT_EQ(got, expect);
+}
+
+TEST(Pipeline, RunStatsAccounting)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr c = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit(var(x))),
+                              just(emit(var(x)))}));
+    auto p = compilePipeline(c, CompilerOptions::forLevel(OptLevel::None));
+    std::vector<int32_t> in{1, 2, 3, 4, 5};
+    std::vector<uint8_t> bytes(20);
+    std::memcpy(bytes.data(), in.data(), 20);
+    RunStats st;
+    p->runBytes(bytes, &st);
+    EXPECT_EQ(st.consumed, 5u);
+    EXPECT_EQ(st.emitted, 10u);
+    EXPECT_FALSE(st.halted);
+}
+
+} // namespace
+} // namespace ziria

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit + property tests for the DSP substrate: FFT/IFFT, the K=7
+ * convolutional code with puncturing, the Viterbi decoder, CRCs,
+ * constellations, and the channel simulator.
+ */
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "channel/channel.h"
+#include "dsp/constellation.h"
+#include "dsp/conv_code.h"
+#include "dsp/crc.h"
+#include "dsp/fft.h"
+#include "dsp/viterbi.h"
+#include "support/rng.h"
+
+namespace ziria {
+namespace {
+
+using dsp::CodingRate;
+using dsp::Modulation;
+
+TEST(Fft, MatchesReferenceDft)
+{
+    Rng rng(11);
+    dsp::Fft plan(64);
+    std::vector<Complex16> in(64);
+    std::vector<std::complex<double>> dIn(64);
+    for (int i = 0; i < 64; ++i) {
+        in[i].re = static_cast<int16_t>(rng.below(4000)) - 2000;
+        in[i].im = static_cast<int16_t>(rng.below(4000)) - 2000;
+        dIn[i] = {static_cast<double>(in[i].re),
+                  static_cast<double>(in[i].im)};
+    }
+    std::vector<Complex16> out(64);
+    plan.forward(in.data(), out.data());
+    std::vector<std::complex<double>> ref;
+    dsp::dftReference(dIn, ref, false);
+    for (int k = 0; k < 64; ++k) {
+        EXPECT_NEAR(out[k].re, ref[k].real(), 8.0) << "bin " << k;
+        EXPECT_NEAR(out[k].im, ref[k].imag(), 8.0) << "bin " << k;
+    }
+}
+
+TEST(Fft, InverseOfForwardIsIdentity)
+{
+    Rng rng(12);
+    dsp::Fft plan(64);
+    std::vector<Complex16> in(64), mid(64), back(64);
+    for (auto& x : in) {
+        x.re = static_cast<int16_t>(rng.below(8000)) - 4000;
+        x.im = static_cast<int16_t>(rng.below(8000)) - 4000;
+    }
+    plan.forward(in.data(), mid.data());
+    plan.inverse(mid.data(), back.data());
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_NEAR(back[i].re, in[i].re, 96) << i;
+        EXPECT_NEAR(back[i].im, in[i].im, 96) << i;
+    }
+}
+
+class FftSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FftSizes, RoundTripAtSize)
+{
+    const int n = GetParam();
+    Rng rng(static_cast<uint64_t>(n));
+    dsp::Fft plan(n);
+    std::vector<Complex16> in(n), mid(n), back(n);
+    for (auto& x : in) {
+        x.re = static_cast<int16_t>(rng.below(2000)) - 1000;
+        x.im = static_cast<int16_t>(rng.below(2000)) - 1000;
+    }
+    plan.forward(in.data(), mid.data());
+    plan.inverse(mid.data(), back.data());
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(back[i].re, in[i].re, n) << i;
+        EXPECT_NEAR(back[i].im, in[i].im, n) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwo, FftSizes,
+                         ::testing::Values(8, 16, 32, 64, 128, 256));
+
+TEST(ConvCode, KnownRateHalfOutput)
+{
+    // All-zero input keeps the encoder at state 0 -> all-zero output.
+    dsp::ConvEncoder enc(CodingRate::Half);
+    auto out = enc.encode(std::vector<uint8_t>(8, 0));
+    EXPECT_EQ(out, std::vector<uint8_t>(16, 0));
+}
+
+TEST(ConvCode, ImpulseResponseMatchesGenerators)
+{
+    // A single 1 produces the generator taps over the next 7 pairs.
+    dsp::ConvEncoder enc(CodingRate::Half);
+    std::vector<uint8_t> in(7, 0);
+    in[0] = 1;
+    auto out = enc.encode(in);
+    // A-outputs: g0 = 133 octal = 1011011b read from delay 0..6.
+    std::vector<uint8_t> a, b;
+    for (size_t i = 0; i < out.size(); i += 2) {
+        a.push_back(out[i]);
+        b.push_back(out[i + 1]);
+    }
+    EXPECT_EQ(a, (std::vector<uint8_t>{1, 0, 1, 1, 0, 1, 1}));
+    EXPECT_EQ(b, (std::vector<uint8_t>{1, 1, 1, 1, 0, 0, 1}));
+}
+
+TEST(ConvCode, PuncturedRates)
+{
+    Rng rng(5);
+    std::vector<uint8_t> in(24);
+    for (auto& b : in)
+        b = rng.bit();
+    dsp::ConvEncoder e23(CodingRate::TwoThirds);
+    EXPECT_EQ(e23.encode(in).size(), in.size() * 3 / 2);
+    dsp::ConvEncoder e34(CodingRate::ThreeQuarters);
+    EXPECT_EQ(e34.encode(in).size(), in.size() * 4 / 3);
+}
+
+class ViterbiRoundTrip
+    : public ::testing::TestWithParam<std::tuple<CodingRate, int>>
+{
+};
+
+TEST_P(ViterbiRoundTrip, DecodesCleanStream)
+{
+    auto [rate, seed] = GetParam();
+    Rng rng(static_cast<uint64_t>(seed));
+    std::vector<uint8_t> data(360);
+    for (auto& b : data)
+        b = rng.bit();
+
+    dsp::ConvEncoder enc(rate);
+    std::vector<uint8_t> coded = enc.encode(data);
+
+    dsp::Depuncturer dep(rate);
+    std::vector<uint8_t> lattice;
+    for (uint8_t b : coded)
+        dep.input(b, lattice);
+    ASSERT_EQ(lattice.size(), data.size() * 2);
+
+    dsp::ViterbiDecoder dec;
+    std::vector<uint8_t> out;
+    for (size_t i = 0; i + 1 < lattice.size(); i += 2)
+        dec.inputPair(lattice[i], lattice[i + 1], out);
+    dec.flush(out);
+    ASSERT_EQ(out.size(), data.size());
+    EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, ViterbiRoundTrip,
+    ::testing::Combine(::testing::Values(CodingRate::Half,
+                                         CodingRate::TwoThirds,
+                                         CodingRate::ThreeQuarters),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Viterbi, CorrectsBitErrorsAtRateHalf)
+{
+    Rng rng(9);
+    std::vector<uint8_t> data(400);
+    for (auto& b : data)
+        b = rng.bit();
+    dsp::ConvEncoder enc(CodingRate::Half);
+    std::vector<uint8_t> coded = enc.encode(data);
+    // Flip ~2% of coded bits, spread out.
+    for (size_t i = 10; i < coded.size(); i += 53)
+        coded[i] ^= 1;
+    dsp::ViterbiDecoder dec;
+    std::vector<uint8_t> out;
+    for (size_t i = 0; i + 1 < coded.size(); i += 2)
+        dec.inputPair(coded[i], coded[i + 1], out);
+    dec.flush(out);
+    ASSERT_EQ(out.size(), data.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(Crc32, KnownVector)
+{
+    // CRC-32 of ASCII "123456789" = 0xCBF43926.
+    std::vector<uint8_t> bits;
+    const char* s = "123456789";
+    for (int i = 0; i < 9; ++i) {
+        for (int j = 0; j < 8; ++j)
+            bits.push_back((s[i] >> j) & 1);
+    }
+    EXPECT_EQ(dsp::Crc32::ofBits(bits), 0xCBF43926u);
+}
+
+TEST(Crc32, DetectsSingleBitErrors)
+{
+    Rng rng(3);
+    std::vector<uint8_t> bits(256);
+    for (auto& b : bits)
+        b = rng.bit();
+    uint32_t good = dsp::Crc32::ofBits(bits);
+    for (size_t i = 0; i < bits.size(); i += 37) {
+        bits[i] ^= 1;
+        EXPECT_NE(dsp::Crc32::ofBits(bits), good);
+        bits[i] ^= 1;
+    }
+}
+
+TEST(Crc24, Streaming)
+{
+    std::vector<uint8_t> bits(48, 1);
+    uint32_t v = dsp::Crc24::ofBits(bits);
+    EXPECT_LE(v, 0xFFFFFFu);
+    bits[5] ^= 1;
+    EXPECT_NE(dsp::Crc24::ofBits(bits), v);
+}
+
+class ConstellationRoundTrip : public ::testing::TestWithParam<Modulation>
+{
+};
+
+TEST_P(ConstellationRoundTrip, MapDemapIdentity)
+{
+    Modulation m = GetParam();
+    const int nb = dsp::bitsPerSymbol(m);
+    for (uint32_t v = 0; v < (1u << nb); ++v) {
+        Complex16 p = dsp::mapBits(m, v);
+        EXPECT_EQ(dsp::demapPoint(m, p), v) << "bits " << v;
+    }
+}
+
+TEST_P(ConstellationRoundTrip, ToleratesSmallNoise)
+{
+    Modulation m = GetParam();
+    const int nb = dsp::bitsPerSymbol(m);
+    // Half the minimum distance between axis levels.
+    int margin = m == Modulation::Qam64 ? 40 : 80;
+    Rng rng(7);
+    for (uint32_t v = 0; v < (1u << nb); ++v) {
+        Complex16 p = dsp::mapBits(m, v);
+        Complex16 noisy{
+            static_cast<int16_t>(p.re + static_cast<int>(
+                                            rng.below(margin)) -
+                                 margin / 2),
+            static_cast<int16_t>(p.im + static_cast<int>(
+                                            rng.below(margin)) -
+                                 margin / 2)};
+        EXPECT_EQ(dsp::demapPoint(m, noisy), v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ConstellationRoundTrip,
+                         ::testing::Values(Modulation::Bpsk,
+                                           Modulation::Qpsk,
+                                           Modulation::Qam16,
+                                           Modulation::Qam64));
+
+TEST(ConstellationTest, UnitAveragePower)
+{
+    // With K_MOD normalization every constellation has roughly the same
+    // mean power (constellationScale^2).
+    for (Modulation m : {Modulation::Bpsk, Modulation::Qpsk,
+                         Modulation::Qam16, Modulation::Qam64}) {
+        const int nb = dsp::bitsPerSymbol(m);
+        double acc = 0;
+        for (uint32_t v = 0; v < (1u << nb); ++v) {
+            Complex16 p = dsp::mapBits(m, v);
+            acc += static_cast<double>(p.re) * p.re +
+                   static_cast<double>(p.im) * p.im;
+        }
+        acc /= (1 << nb);
+        double expect = static_cast<double>(dsp::constellationScale) *
+                        dsp::constellationScale;
+        EXPECT_NEAR(acc, expect, expect * 0.05)
+            << "modulation " << static_cast<int>(m);
+    }
+}
+
+TEST(Channel, SnrIsCalibrated)
+{
+    Rng rng(21);
+    std::vector<Complex16> tx(20000);
+    for (auto& x : tx) {
+        x.re = static_cast<int16_t>(rng.below(2000)) - 1000;
+        x.im = static_cast<int16_t>(rng.below(2000)) - 1000;
+    }
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 10.0;
+    cfg.seed = 33;
+    auto rx = channel::applyChannel(tx, cfg);
+    ASSERT_EQ(rx.size(), tx.size());
+    double noise = 0;
+    for (size_t i = 0; i < tx.size(); ++i) {
+        double dre = rx[i].re - tx[i].re;
+        double dim = rx[i].im - tx[i].im;
+        noise += dre * dre + dim * dim;
+    }
+    noise /= static_cast<double>(tx.size());
+    double snr = 10.0 *
+                 std::log10(channel::meanPower(tx) / noise);
+    EXPECT_NEAR(snr, 10.0, 0.5);
+}
+
+TEST(Channel, DelayPrependsNoise)
+{
+    std::vector<Complex16> tx(100, Complex16{1000, 0});
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 40.0;
+    cfg.delaySamples = 37;
+    cfg.trailSamples = 11;
+    auto rx = channel::applyChannel(tx, cfg);
+    EXPECT_EQ(rx.size(), tx.size() + 37 + 11);
+}
+
+} // namespace
+} // namespace ziria

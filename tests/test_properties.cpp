@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the compiler: every
+ * optimization level must preserve the observable behaviour of randomly
+ * generated pipelines, round-trip identities must hold across levels,
+ * and compile-once/run-many must be deterministic.
+ */
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "wifi/rx.h"
+#include "wifi/tx.h"
+#include "zast/builder.h"
+#include "zir/compiler.h"
+
+namespace ziria {
+namespace {
+
+using namespace zb;
+
+std::vector<uint8_t>
+randomBits(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out)
+        b = rng.bit();
+    return out;
+}
+
+/**
+ * Generate a random bit-level transformer chain: each stage is a
+ * stateful repeat with random static take/emit cardinalities and random
+ * xor/shift logic; seeds index the space.
+ */
+CompPtr
+randomChain(uint64_t seed, int stages)
+{
+    Rng rng(seed);
+    CompPtr c = nullptr;
+    for (int s = 0; s < stages; ++s) {
+        int takeN = 1 + static_cast<int>(rng.below(4));
+        int emitN = 1 + static_cast<int>(rng.below(4));
+        VarRef st = freshVar("st", Type::bit());
+        VarRef a = freshVar("a", Type::array(Type::bit(),
+                                             std::max(takeN, 1)));
+        std::vector<SeqComp::Item> items;
+        items.push_back(bindc(a, takes(Type::bit(), takeN)));
+        StmtList upd;
+        upd.push_back(assign(var(st), var(st) ^ idx(var(a), 0)));
+        items.push_back(just(doS(std::move(upd))));
+        std::vector<ExprPtr> outs;
+        for (int i = 0; i < emitN; ++i) {
+            outs.push_back(idx(var(a), static_cast<int>(
+                                           rng.below(takeN))) ^
+                           var(st));
+        }
+        items.push_back(just(emits(arrayLit(std::move(outs)))));
+        CompPtr stage =
+            letvar(st, cBit(static_cast<int>(rng.bit())),
+                   repeatc(seqc(std::move(items))));
+        c = c ? pipe(std::move(c), std::move(stage)) : std::move(stage);
+    }
+    return c;
+}
+
+class RandomChainLevels
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RandomChainLevels, AllLevelsAgree)
+{
+    auto [seed, stages] = GetParam();
+    auto input = randomBits(4 * 288 * 4, static_cast<uint64_t>(seed));
+    auto expect =
+        compilePipeline(randomChain(static_cast<uint64_t>(seed), stages),
+                        CompilerOptions::forLevel(OptLevel::None))
+            ->runBytes(input);
+    for (OptLevel lvl : {OptLevel::Vectorize, OptLevel::All}) {
+        auto p = compilePipeline(
+            randomChain(static_cast<uint64_t>(seed), stages),
+            CompilerOptions::forLevel(lvl));
+        auto got = p->runBytes(input);
+        size_t n = std::min(got.size(), expect.size());
+        ASSERT_GE(n + 4 * 288, expect.size())
+            << "seed=" << seed << " stages=" << stages;
+        EXPECT_TRUE(std::equal(got.begin(),
+                               got.begin() + static_cast<long>(n),
+                               expect.begin()))
+            << "seed=" << seed << " stages=" << stages
+            << " level=" << static_cast<int>(lvl);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomChainLevels,
+    ::testing::Combine(::testing::Range(1, 9), ::testing::Values(1, 2, 3)));
+
+class ScramblerInvolution : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ScramblerInvolution, TwiceIsIdentityAtEveryLevel)
+{
+    int lvl = GetParam();
+    auto input = randomBits(2048, 77);
+    CompPtr twice = pipe(wifi::scramblerBlock(), wifi::scramblerBlock());
+    auto p = compilePipeline(
+        twice, CompilerOptions::forLevel(static_cast<OptLevel>(lvl)));
+    auto out = p->runBytes(input);
+    size_t n = std::min(out.size(), input.size());
+    ASSERT_GT(n, input.size() - 600);
+    EXPECT_TRUE(std::equal(out.begin(),
+                           out.begin() + static_cast<long>(n),
+                           input.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ScramblerInvolution,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Determinism, CompileTwiceRunManyAgree)
+{
+    auto input = randomBits(288 * 8, 5);
+    std::vector<uint8_t> first;
+    for (int round = 0; round < 3; ++round) {
+        auto p = compilePipeline(wifi::scramblerBlock(),
+                                 CompilerOptions::forLevel(OptLevel::All));
+        auto a = p->runBytes(input);
+        auto b = p->runBytes(input);  // re-run: state must reset
+        EXPECT_EQ(a, b);
+        if (round == 0)
+            first = a;
+        else
+            EXPECT_EQ(a, first);
+    }
+}
+
+TEST(Robustness, TruncatedInputNeverCrashes)
+{
+    // Feed every prefix length of a packet into the TX pipe.
+    auto bits = wifi::assembleDataBits(std::vector<uint8_t>(40, 0x55),
+                                       wifi::Rate::R12);
+    auto p = compilePipeline(wifi::wifiTxDataComp(wifi::Rate::R12),
+                             CompilerOptions::forLevel(OptLevel::All));
+    for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{100},
+                       bits.size() / 2, bits.size() - 1}) {
+        std::vector<uint8_t> part(bits.begin(),
+                                  bits.begin() + static_cast<long>(len));
+        EXPECT_NO_THROW(p->runBytes(part)) << "len=" << len;
+    }
+}
+
+TEST(Robustness, GarbageSamplesIntoReceiver)
+{
+    // Random noise into the full receiver: no detection, no crash.
+    Rng rng(9);
+    std::vector<uint8_t> noise(80000);
+    for (auto& b : noise)
+        b = static_cast<uint8_t>(rng.next());
+    auto p = compilePipeline(wifi::wifiReceiverComp(),
+                             CompilerOptions::forLevel(OptLevel::None));
+    RunStats st;
+    EXPECT_NO_THROW(p->runBytes(noise, &st));
+    EXPECT_FALSE(st.halted);
+}
+
+TEST(Robustness, HugeControlValuesFlowThroughSeq)
+{
+    // A computer returning a large array control value (like LTS).
+    VarRef big = freshVar("big", Type::array(Type::int32(), 64));
+    VarRef i = freshVar("i", Type::int32());
+    CompPtr fill = seqc(
+        {just(doS({sFor(i, cInt(0), cInt(64),
+                        {assign(idx(var(big), var(i)), var(i))})})),
+         just(ret(var(big)))});
+    VarRef h = freshVar("h", Type::array(Type::int32(), 64));
+    CompPtr program =
+        letvar(big, nullptr,
+               seqc({bindc(h, std::move(fill)),
+                     just(emit(idx(var(h), 63)))}));
+    auto p = compilePipeline(program,
+                             CompilerOptions::forLevel(OptLevel::None));
+    auto out = p->runBytes({});
+    ASSERT_EQ(out.size(), 4u);
+    int32_t v;
+    std::memcpy(&v, out.data(), 4);
+    EXPECT_EQ(v, 63);
+}
+
+} // namespace
+} // namespace ziria

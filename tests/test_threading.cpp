@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Concurrency tests: the SPSC interthread queue and multi-stage
+ * threaded pipelines (|>>>|) under load, early termination, and error
+ * propagation.
+ */
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "support/panic.h"
+#include "support/rng.h"
+#include "support/spsc_queue.h"
+#include "zast/builder.h"
+#include "zir/compiler.h"
+
+namespace ziria {
+namespace {
+
+using namespace zb;
+
+TEST(SpscQueue, FifoUnderLoad)
+{
+    SpscQueue q(4, 64);
+    const uint32_t N = 200000;
+    std::thread producer([&] {
+        for (uint32_t i = 0; i < N; ++i) {
+            ASSERT_TRUE(q.push(reinterpret_cast<const uint8_t*>(&i)));
+        }
+        q.close();
+    });
+    uint32_t v = 0;
+    for (uint32_t i = 0; i < N; ++i) {
+        ASSERT_TRUE(q.pop(reinterpret_cast<uint8_t*>(&v)));
+        ASSERT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.pop(reinterpret_cast<uint8_t*>(&v)));
+    producer.join();
+}
+
+TEST(SpscQueue, CloseUnblocksConsumer)
+{
+    SpscQueue q(1, 8);
+    std::thread t([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        q.close();
+    });
+    uint8_t b;
+    EXPECT_FALSE(q.pop(&b));
+    t.join();
+}
+
+TEST(SpscQueue, CancelUnblocksProducer)
+{
+    SpscQueue q(1, 2);
+    uint8_t b = 7;
+    ASSERT_TRUE(q.push(&b));
+    ASSERT_TRUE(q.push(&b));
+    std::thread t([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        q.cancel();
+    });
+    EXPECT_FALSE(q.push(&b));  // was full; cancel released us
+    t.join();
+}
+
+namespace {
+
+CompPtr
+incBlock(int32_t delta)
+{
+    VarRef x = freshVar("x", Type::int32());
+    return repeatc(seqc({bindc(x, take(Type::int32())),
+                         just(emit(var(x) + delta))}));
+}
+
+std::vector<uint8_t>
+intBytes(const std::vector<int32_t>& xs)
+{
+    std::vector<uint8_t> out(xs.size() * 4);
+    std::memcpy(out.data(), xs.data(), out.size());
+    return out;
+}
+
+} // namespace
+
+TEST(Threaded, ThreeStagesMatchSingle)
+{
+    auto mk = [](bool threaded) {
+        CompPtr a = incBlock(1);
+        CompPtr b = incBlock(10);
+        CompPtr c = incBlock(100);
+        return threaded
+            ? ppipe(ppipe(std::move(a), std::move(b)), std::move(c))
+            : pipe(pipe(std::move(a), std::move(b)), std::move(c));
+    };
+    std::vector<int32_t> in(50000);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i);
+    auto bytes = intBytes(in);
+
+    auto single = compilePipeline(
+        mk(false), CompilerOptions::forLevel(OptLevel::None));
+    auto expect = single->runBytes(bytes);
+
+    auto multi = compileThreadedPipeline(
+        mk(true), CompilerOptions::forLevel(OptLevel::None));
+    MemSource src(bytes, 4);
+    VecSink sink(4);
+    RunStats st = multi->run(src, sink);
+    EXPECT_EQ(st.consumed, in.size());
+    EXPECT_EQ(sink.data(), expect);
+}
+
+TEST(Threaded, VectorizedStagesMatchSingle)
+{
+    auto mk = [](bool threaded) {
+        CompPtr a = incBlock(2);
+        CompPtr b = incBlock(3);
+        return threaded ? ppipe(std::move(a), std::move(b))
+                        : pipe(std::move(a), std::move(b));
+    };
+    std::vector<int32_t> in(288 * 64);
+    Rng rng(4);
+    for (auto& v : in)
+        v = static_cast<int32_t>(rng.next());
+    auto bytes = intBytes(in);
+
+    auto expect = compilePipeline(
+        mk(false), CompilerOptions::forLevel(OptLevel::None))
+        ->runBytes(bytes);
+
+    auto multi = compileThreadedPipeline(
+        mk(true), CompilerOptions::forLevel(OptLevel::All));
+    MemSource src(bytes, multi->inWidth());
+    VecSink sink(multi->outWidth());
+    multi->run(src, sink);
+    size_t n = std::min(sink.data().size(), expect.size());
+    EXPECT_GT(n, expect.size() - 288 * 8);
+    EXPECT_TRUE(std::equal(sink.data().begin(),
+                           sink.data().begin() + static_cast<long>(n),
+                           expect.begin()));
+}
+
+TEST(Threaded, MidStageComputerStopsPipeline)
+{
+    // Middle stage halts after 5 elements: upstream must unblock, the
+    // run must report a halt, and nothing should hang.
+    VarRef a = freshVar("a", Type::int32());
+    std::vector<SeqComp::Item> items;
+    items.push_back(bindc(a, take(Type::int32())));
+    for (int i = 0; i < 4; ++i)
+        items.push_back(just(take(Type::int32())));
+    items.push_back(just(ret(var(a))));
+    CompPtr mid = seqc(std::move(items));
+
+    auto p = compileThreadedPipeline(
+        ppipe(ppipe(incBlock(1), std::move(mid)), incBlock(5)),
+        CompilerOptions::forLevel(OptLevel::None));
+    std::vector<int32_t> in(200000, 3);
+    auto bytes = intBytes(in);
+    MemSource src(bytes, 4);
+    NullSink sink;
+    RunStats st = p->run(src, sink);
+    EXPECT_TRUE(st.halted);
+    EXPECT_LT(st.consumed, in.size());
+}
+
+TEST(Threaded, StageErrorPropagates)
+{
+    // Division by zero inside stage 2 must surface on the calling thread.
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr bad = repeatc(seqc({bindc(x, take(Type::int32())),
+                                just(emit(cInt(7) / var(x)))}));
+    auto p = compileThreadedPipeline(
+        ppipe(incBlock(0), std::move(bad)),
+        CompilerOptions::forLevel(OptLevel::None));
+    std::vector<int32_t> in{1, 2, 0, 4};
+    auto bytes = intBytes(in);
+    MemSource src(bytes, 4);
+    NullSink sink;
+    EXPECT_THROW(p->run(src, sink), FatalError);
+}
+
+TEST(Threaded, RepeatedRunsReuseThePipeline)
+{
+    auto p = compileThreadedPipeline(
+        ppipe(incBlock(1), incBlock(2)),
+        CompilerOptions::forLevel(OptLevel::None));
+    std::vector<int32_t> in{5, 6, 7};
+    auto bytes = intBytes(in);
+    for (int round = 0; round < 3; ++round) {
+        MemSource src(bytes, 4);
+        VecSink sink(4);
+        RunStats st = p->run(src, sink);
+        EXPECT_EQ(st.emitted, 3u);
+        std::vector<int32_t> got(3);
+        std::memcpy(got.data(), sink.data().data(), 12);
+        EXPECT_EQ(got, (std::vector<int32_t>{8, 9, 10}));
+    }
+}
+
+} // namespace
+} // namespace ziria

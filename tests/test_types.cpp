@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests: value types, layout, boxed values, bit packing.
+ */
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/rng.h"
+#include "ztype/type.h"
+#include "ztype/value.h"
+
+namespace ziria {
+namespace {
+
+TEST(TypeTest, ScalarWidths)
+{
+    EXPECT_EQ(Type::unit()->byteWidth(), 0u);
+    EXPECT_EQ(Type::bit()->byteWidth(), 1u);
+    EXPECT_EQ(Type::boolean()->byteWidth(), 1u);
+    EXPECT_EQ(Type::int8()->byteWidth(), 1u);
+    EXPECT_EQ(Type::int16()->byteWidth(), 2u);
+    EXPECT_EQ(Type::int32()->byteWidth(), 4u);
+    EXPECT_EQ(Type::int64()->byteWidth(), 8u);
+    EXPECT_EQ(Type::real()->byteWidth(), 8u);
+    EXPECT_EQ(Type::complex16()->byteWidth(), 4u);
+    EXPECT_EQ(Type::complex32()->byteWidth(), 8u);
+}
+
+TEST(TypeTest, ArrayLayout)
+{
+    TypePtr a = Type::array(Type::complex16(), 64);
+    EXPECT_EQ(a->byteWidth(), 256u);
+    EXPECT_EQ(a->len(), 64);
+    EXPECT_TRUE(typeEq(a->elem(), Type::complex16()));
+
+    TypePtr nested = Type::array(a, 4);
+    EXPECT_EQ(nested->byteWidth(), 1024u);
+}
+
+TEST(TypeTest, StructLayoutAndFieldAccess)
+{
+    TypePtr h = Type::strct(
+        "HeaderInfo", {{"modulation", Type::int32()},
+                       {"coding", Type::int32()},
+                       {"len", Type::int32()}});
+    EXPECT_EQ(h->byteWidth(), 12u);
+    EXPECT_EQ(h->fieldOffset("modulation"), 0);
+    EXPECT_EQ(h->fieldOffset("coding"), 4);
+    EXPECT_EQ(h->fieldOffset("len"), 8);
+    EXPECT_EQ(h->fieldOffset("nope"), -1);
+    EXPECT_TRUE(typeEq(h->fieldType("len"), Type::int32()));
+}
+
+TEST(TypeTest, Equality)
+{
+    EXPECT_TRUE(typeEq(Type::array(Type::bit(), 8),
+                       Type::array(Type::bit(), 8)));
+    EXPECT_FALSE(typeEq(Type::array(Type::bit(), 8),
+                        Type::array(Type::bit(), 7)));
+    EXPECT_FALSE(typeEq(Type::array(Type::bit(), 8),
+                        Type::array(Type::int8(), 8)));
+    EXPECT_FALSE(typeEq(Type::int32(), Type::int64()));
+}
+
+TEST(TypeTest, BitWidths)
+{
+    EXPECT_EQ(Type::bit()->bitWidth(), 1);
+    EXPECT_EQ(Type::array(Type::bit(), 8)->bitWidth(), 8);
+    EXPECT_EQ(Type::int8()->bitWidth(), 8);
+    EXPECT_EQ(Type::complex16()->bitWidth(), 32);
+    EXPECT_EQ(Type::real()->bitWidth(), -1);
+    EXPECT_EQ(Type::array(Type::real(), 2)->bitWidth(), -1);
+}
+
+TEST(TypeTest, Show)
+{
+    EXPECT_EQ(Type::array(Type::bit(), 8)->show(), "arr[8] bit");
+    EXPECT_EQ(Type::complex16()->show(), "complex16");
+}
+
+TEST(ValueTest, IntRoundTrip)
+{
+    EXPECT_EQ(Value::i32(-123456).asInt(), -123456);
+    EXPECT_EQ(Value::i8(-5).asInt(), -5);
+    EXPECT_EQ(Value::i16(32000).asInt(), 32000);
+    EXPECT_EQ(Value::i64(1ll << 40).asInt(), 1ll << 40);
+    EXPECT_EQ(Value::bit(1).asInt(), 1);
+    EXPECT_EQ(Value::boolean(true).asInt(), 1);
+}
+
+TEST(ValueTest, TruncationOnConstruction)
+{
+    EXPECT_EQ(Value::intOf(Type::int8(), 300).asInt(), 300 - 256);
+    EXPECT_EQ(Value::intOf(Type::bit(), 3).asInt(), 1);
+}
+
+TEST(ValueTest, Complex16)
+{
+    Value c = Value::c16(-100, 42);
+    Complex16 v = c.asC16();
+    EXPECT_EQ(v.re, -100);
+    EXPECT_EQ(v.im, 42);
+}
+
+TEST(ValueTest, ArrayAndIndex)
+{
+    Value a = Value::arrayOf(
+        Type::int16(), {Value::i16(1), Value::i16(-2), Value::i16(3)});
+    EXPECT_EQ(a.type()->len(), 3);
+    EXPECT_EQ(a.at(1).asInt(), -2);
+}
+
+TEST(ValueTest, StructFields)
+{
+    TypePtr h = Type::strct("P", {{"a", Type::int8()},
+                                  {"b", Type::int32()}});
+    Value v = Value::zeroOf(h);
+    EXPECT_EQ(v.size(), 5u);
+    EXPECT_EQ(v.field("b").asInt(), 0);
+}
+
+TEST(ValueTest, Show)
+{
+    EXPECT_EQ(Value::i32(7).show(), "7");
+    EXPECT_EQ(Value::bitArray({1, 0, 1}).show(), "{'1, '0, '1}");
+}
+
+TEST(BitsTest, PackUnpackRoundTrip)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        size_t n = 1 + rng.below(200);
+        std::vector<uint8_t> bits(n);
+        for (auto& b : bits)
+            b = rng.bit();
+        auto packed = packBits(bits);
+        EXPECT_EQ(packed.size(), (n + 7) / 8);
+        auto unpacked = unpackBits(packed, n);
+        EXPECT_EQ(unpacked, bits);
+    }
+}
+
+TEST(BitsTest, BitWriterReaderMixedWidths)
+{
+    uint8_t buf[16] = {0};
+    BitWriter bw(buf);
+    bw.put(0b101, 3);
+    bw.put(0xAB, 8);
+    bw.put(0x1234, 16);
+    bw.put(1, 1);
+    EXPECT_EQ(bw.bitsWritten(), 28u);
+
+    BitReader br(buf);
+    EXPECT_EQ(br.get(3), 0b101u);
+    EXPECT_EQ(br.get(8), 0xABu);
+    EXPECT_EQ(br.get(16), 0x1234u);
+    EXPECT_EQ(br.get(1), 1u);
+}
+
+TEST(BitsTest, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b1101, 4), 0b1011u);
+    EXPECT_EQ(reverseBits(1, 1), 1u);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(123);
+    double sum = 0, sum2 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+} // namespace
+} // namespace ziria

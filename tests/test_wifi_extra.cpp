@@ -1,0 +1,265 @@
+/**
+ * @file
+ * WiFi edge conditions: impaired channels (multipath, CFO, weak gain),
+ * corrupted SIGNAL fields, puncturing/depuncturing round trips with
+ * erasures, pilot polarity progression, and preamble structure.
+ */
+#include <gtest/gtest.h>
+
+#include "channel/channel.h"
+#include "dsp/fft.h"
+#include "dsp/viterbi.h"
+#include "sora/sora.h"
+#include "support/rng.h"
+#include "wifi/rx.h"
+#include "wifi/tx.h"
+#include "zir/compiler.h"
+
+namespace ziria {
+namespace {
+
+using namespace wifi;
+
+std::vector<uint8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out)
+        b = static_cast<uint8_t>(rng.next());
+    return out;
+}
+
+std::vector<uint8_t>
+samplesToBytes(const std::vector<Complex16>& xs)
+{
+    std::vector<uint8_t> out(xs.size() * 4);
+    std::memcpy(out.data(), xs.data(), out.size());
+    return out;
+}
+
+struct RxOutcome
+{
+    bool halted = false;
+    bool crcOk = false;
+    std::vector<uint8_t> bytes;
+};
+
+RxOutcome
+receive(const std::vector<Complex16>& samples)
+{
+    auto rx = compilePipeline(wifiReceiverComp(),
+                              CompilerOptions::forLevel(OptLevel::None));
+    RunStats st;
+    auto bits = rx->runBytes(samplesToBytes(samples), &st);
+    RxOutcome out;
+    out.halted = st.halted;
+    if (st.halted && st.ctrl.size() == 4) {
+        int32_t ok;
+        std::memcpy(&ok, st.ctrl.data(), 4);
+        out.crcOk = ok == 1;
+    }
+    out.bytes = bitsToBytes(bits);
+    return out;
+}
+
+TEST(WifiChannel, SurvivesTwoTapMultipath)
+{
+    auto payload = randomBytes(48, 1);
+    auto tx = sora::txFrame(payload, Rate::R6);
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 30.0;
+    cfg.delaySamples = 200;
+    cfg.multipathTaps = 2;
+    cfg.tapDecay = 0.35;
+    cfg.seed = 11;
+    auto out = receive(channel::applyChannel(tx, cfg));
+    ASSERT_TRUE(out.halted);
+    EXPECT_TRUE(out.crcOk);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           out.bytes.begin()));
+}
+
+TEST(WifiChannel, SurvivesSmallCfoViaPilotTracking)
+{
+    auto payload = randomBytes(32, 2);
+    auto tx = sora::txFrame(payload, Rate::R6);
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 32.0;
+    cfg.delaySamples = 150;
+    cfg.cfoRadPerSample = 0.0008;  // ~2.5 kHz at 20 Msps
+    cfg.seed = 12;
+    auto out = receive(channel::applyChannel(tx, cfg));
+    ASSERT_TRUE(out.halted);
+    EXPECT_TRUE(out.crcOk);
+}
+
+TEST(WifiChannel, SurvivesWeakGain)
+{
+    auto payload = randomBytes(32, 3);
+    auto tx = sora::txFrame(payload, Rate::R12);
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 30.0;
+    cfg.delaySamples = 180;
+    cfg.gain = 0.25;
+    cfg.seed = 13;
+    auto out = receive(channel::applyChannel(tx, cfg));
+    ASSERT_TRUE(out.halted);
+    EXPECT_TRUE(out.crcOk);
+}
+
+TEST(WifiSignal, CorruptedHeaderDoesNotCrash)
+{
+    auto payload = randomBytes(32, 4);
+    auto tx = sora::txFrame(payload, Rate::R6);
+    // Blank the SIGNAL symbol (between the preamble and the data).
+    for (int i = 320; i < 400; ++i)
+        tx[static_cast<size_t>(i)] = Complex16{0, 0};
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 35.0;
+    cfg.delaySamples = 120;
+    cfg.seed = 14;
+    RxOutcome out;
+    EXPECT_NO_THROW(out = receive(channel::applyChannel(tx, cfg)));
+    EXPECT_FALSE(out.crcOk);
+}
+
+TEST(WifiPreamble, StsIsPeriodic16)
+{
+    const auto& sts = stsSamples();
+    ASSERT_EQ(sts.size(), 160u);
+    for (size_t i = 16; i < sts.size(); ++i) {
+        EXPECT_NEAR(sts[i].re, sts[i - 16].re, 1) << i;
+        EXPECT_NEAR(sts[i].im, sts[i - 16].im, 1) << i;
+    }
+}
+
+TEST(WifiPreamble, LtsGuardIsCyclicPrefix)
+{
+    const auto& lts = ltsSamples();
+    const auto& sym = ltsSymbol();
+    ASSERT_EQ(lts.size(), 160u);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(lts[static_cast<size_t>(i)].re, sym[32 + i].re);
+        EXPECT_EQ(lts[static_cast<size_t>(i)].im, sym[32 + i].im);
+    }
+    // Two identical symbols follow.
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(lts[static_cast<size_t>(32 + i)].re,
+                  lts[static_cast<size_t>(96 + i)].re);
+    }
+}
+
+TEST(WifiPreamble, LtsSpectrumMatchesSequence)
+{
+    dsp::Fft fft(fftSize);
+    Complex16 bins[fftSize];
+    fft.forward(ltsSymbol().data(), bins);
+    const auto& L = ltsFreq();
+    // Active bins carry energy with the right sign pattern on the real
+    // axis; inactive bins are near zero.
+    double active = 0, inactive = 0;
+    for (int k = 0; k < fftSize; ++k) {
+        double mag = std::hypot(static_cast<double>(bins[k].re),
+                                static_cast<double>(bins[k].im));
+        if (L[static_cast<size_t>(k)])
+            active += mag;
+        else
+            inactive += mag;
+    }
+    EXPECT_GT(active / 52.0, 50 * (inactive + 1) / 12.0);
+}
+
+TEST(WifiPilots, PolaritySequenceMatchesStandardPrefix)
+{
+    // First 16 values of p_n per 802.11a 17.3.5.9:
+    const int expect[16] = {1, 1, 1, 1, -1, -1, -1, 1,
+                            -1, -1, -1, -1, 1, 1, -1, 1};
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(pilotPolarity(i) ? 1 : -1, expect[i]) << i;
+    // ...and it cycles with period 127.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(pilotPolarity(i), pilotPolarity(i + 127));
+}
+
+class PunctureRoundTrip
+    : public ::testing::TestWithParam<dsp::CodingRate>
+{
+};
+
+TEST_P(PunctureRoundTrip, DepunctureRestoresLattice)
+{
+    dsp::CodingRate rate = GetParam();
+    // Positions kept by the puncturer, restored as values; stolen
+    // positions come back as erasures (2).
+    long period = rate == dsp::CodingRate::Half
+        ? 2
+        : (rate == dsp::CodingRate::TwoThirds ? 4 : 6);
+    std::vector<uint8_t> sent;
+    for (long p = 0; p < period * 8; ++p) {
+        if (dsp::punctureKeeps(rate, p))
+            sent.push_back(static_cast<uint8_t>(p % 2));
+    }
+    dsp::Depuncturer dep(rate);
+    std::vector<uint8_t> lattice;
+    for (uint8_t b : sent)
+        dep.input(b, lattice);
+    ASSERT_GE(lattice.size(), static_cast<size_t>(period * 8) - 2);
+    for (size_t p = 0; p < lattice.size(); ++p) {
+        if (dsp::punctureKeeps(rate, static_cast<long>(p)))
+            EXPECT_EQ(lattice[p], p % 2) << p;
+        else
+            EXPECT_EQ(lattice[p], 2) << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PunctureRoundTrip,
+                         ::testing::Values(dsp::CodingRate::Half,
+                                           dsp::CodingRate::TwoThirds,
+                                           dsp::CodingRate::ThreeQuarters));
+
+TEST(WifiViterbi, PuncturedRoundTripsUnderMildNoise)
+{
+    Rng rng(31);
+    for (dsp::CodingRate rate : {dsp::CodingRate::TwoThirds,
+                                 dsp::CodingRate::ThreeQuarters}) {
+        std::vector<uint8_t> data(600);
+        for (auto& b : data)
+            b = rng.bit();
+        dsp::ConvEncoder enc(rate);
+        auto coded = enc.encode(data);
+        // One flipped bit in every ~150: punctured codes are weaker but
+        // must still correct isolated errors.
+        for (size_t i = 75; i < coded.size(); i += 151)
+            coded[i] ^= 1;
+        dsp::Depuncturer dep(rate);
+        std::vector<uint8_t> lattice;
+        for (uint8_t b : coded)
+            dep.input(b, lattice);
+        dsp::ViterbiDecoder dec;
+        std::vector<uint8_t> out;
+        for (size_t i = 0; i + 1 < lattice.size(); i += 2)
+            dec.inputPair(lattice[i], lattice[i + 1], out);
+        dec.flush(out);
+        ASSERT_EQ(out.size(), data.size());
+        EXPECT_EQ(out, data) << "rate " << static_cast<int>(rate);
+    }
+}
+
+TEST(WifiFrame, SampleCountMatchesSymbolArithmetic)
+{
+    for (Rate r : allRates()) {
+        int payload = 97;
+        auto frame = sora::txFrame(randomBytes(
+                                       static_cast<size_t>(payload), 7),
+                                   r);
+        int psdu = psduLen(payload);
+        size_t expect = 320 +  // preamble
+            static_cast<size_t>(symLen) *
+                (1 + static_cast<size_t>(dataSymbols(r, psdu)));
+        EXPECT_EQ(frame.size(), expect) << rateInfo(r).mbps;
+    }
+}
+
+} // namespace
+} // namespace ziria

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * WiFi receiver tests: symbol-aligned payload decoding at all eight
+ * rates, the full receiver with synchronization over simulated channels
+ * (the paper's testbed substitute), and Ziria-vs-Sora agreement.
+ */
+#include <gtest/gtest.h>
+
+#include "channel/channel.h"
+#include "sora/sora.h"
+#include "support/rng.h"
+#include "wifi/rx.h"
+#include "wifi/tx.h"
+#include "zir/compiler.h"
+
+namespace ziria {
+namespace {
+
+using namespace wifi;
+
+std::vector<uint8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out)
+        b = static_cast<uint8_t>(rng.next());
+    return out;
+}
+
+std::vector<uint8_t>
+samplesToBytes(const std::vector<Complex16>& xs)
+{
+    std::vector<uint8_t> out(xs.size() * 4);
+    std::memcpy(out.data(), xs.data(), out.size());
+    return out;
+}
+
+class RxDataPath : public ::testing::TestWithParam<Rate>
+{
+};
+
+TEST_P(RxDataPath, DecodesCleanLoopback)
+{
+    Rate rate = GetParam();
+    auto payload = randomBytes(100, 10);
+    auto dataBits = assembleDataBits(payload, rate);
+    auto samples = sora::txDataSamples(dataBits, rate);
+
+    auto rx = compilePipeline(
+        wifiRxDataComp(rate, psduLen(static_cast<int>(payload.size()))),
+        CompilerOptions::forLevel(OptLevel::None));
+    auto outBits = rx->runBytes(samplesToBytes(samples));
+
+    ASSERT_GE(outBits.size(), dataBits.size() - 200);
+    size_t n = std::min(outBits.size(), dataBits.size());
+    EXPECT_TRUE(std::equal(outBits.begin(), outBits.begin() +
+                               static_cast<long>(n),
+                           dataBits.begin()))
+        << "decoded bits differ";
+}
+
+TEST_P(RxDataPath, MatchesSoraDecoder)
+{
+    Rate rate = GetParam();
+    auto payload = randomBytes(64, 11);
+    auto dataBits = assembleDataBits(payload, rate);
+    auto samples = sora::txDataSamples(dataBits, rate);
+    const int psdu = psduLen(static_cast<int>(payload.size()));
+
+    auto rx = compilePipeline(
+        wifiRxDataComp(rate, psdu),
+        CompilerOptions::forLevel(OptLevel::None));
+    auto ziriaBits = rx->runBytes(samplesToBytes(samples));
+    auto soraBits = sora::rxDataBits(samples, rate, psdu);
+    size_t n = std::min(ziriaBits.size(), soraBits.size());
+    ASSERT_GT(n, 0u);
+    EXPECT_TRUE(std::equal(ziriaBits.begin(),
+                           ziriaBits.begin() + static_cast<long>(n),
+                           soraBits.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, RxDataPath,
+                         ::testing::Values(Rate::R6, Rate::R9, Rate::R12,
+                                           Rate::R18, Rate::R24, Rate::R36,
+                                           Rate::R48, Rate::R54));
+
+/** End-to-end helper: TX frame -> channel -> full Ziria receiver. */
+struct E2eResult
+{
+    bool crcOk = false;
+    std::vector<uint8_t> psduBytes;
+};
+
+E2eResult
+endToEnd(const std::vector<uint8_t>& payload, Rate rate,
+         const channel::ChannelConfig& cfg, OptLevel level = OptLevel::None)
+{
+    auto tx = sora::txFrame(payload, rate);
+    auto rxSamples = channel::applyChannel(tx, cfg);
+
+    auto rx = compilePipeline(wifiReceiverComp(),
+                              CompilerOptions::forLevel(level));
+    RunStats st;
+    auto bits = rx->runBytes(samplesToBytes(rxSamples), &st);
+
+    E2eResult res;
+    if (st.halted && st.ctrl.size() == 4) {
+        int32_t ok;
+        std::memcpy(&ok, st.ctrl.data(), 4);
+        res.crcOk = ok == 1;
+    }
+    res.psduBytes = bitsToBytes(bits);
+    return res;
+}
+
+class FullReceiver : public ::testing::TestWithParam<Rate>
+{
+};
+
+TEST_P(FullReceiver, DecodesFrameOverBenignChannel)
+{
+    Rate rate = GetParam();
+    auto payload = randomBytes(72, 12 + static_cast<int>(rate));
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 35.0;
+    cfg.delaySamples = 250;
+    cfg.trailSamples = 100;
+    cfg.phaseRad = 0.6;
+    cfg.gain = 0.8;
+    cfg.seed = 99 + static_cast<uint64_t>(rate);
+
+    E2eResult res = endToEnd(payload, rate, cfg);
+    ASSERT_TRUE(res.crcOk) << "CRC failed at rate "
+                           << rateInfo(rate).mbps << " Mbps";
+    ASSERT_GE(res.psduBytes.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           res.psduBytes.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, FullReceiver,
+                         ::testing::Values(Rate::R6, Rate::R9, Rate::R12,
+                                           Rate::R18, Rate::R24, Rate::R36,
+                                           Rate::R48, Rate::R54));
+
+TEST(FullReceiverMore, OptimizedPipelineDecodesToo)
+{
+    auto payload = randomBytes(48, 21);
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 35.0;
+    cfg.delaySamples = 180;
+    cfg.seed = 5;
+    E2eResult res = endToEnd(payload, Rate::R12, cfg, OptLevel::All);
+    ASSERT_TRUE(res.crcOk);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           res.psduBytes.begin()));
+}
+
+TEST(FullReceiverMore, SoraReceiverAgrees)
+{
+    auto payload = randomBytes(64, 22);
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 30.0;
+    cfg.delaySamples = 130;
+    cfg.phaseRad = -0.4;
+    cfg.seed = 6;
+    auto tx = sora::txFrame(payload, Rate::R18);
+    auto rxSamples = channel::applyChannel(tx, cfg);
+    sora::RxResult r = sora::rxFrame(rxSamples);
+    ASSERT_TRUE(r.detected);
+    ASSERT_TRUE(r.headerValid);
+    EXPECT_TRUE(r.crcOk);
+    ASSERT_GE(r.psduBytes.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           r.psduBytes.begin()));
+}
+
+TEST(FullReceiverMore, CorruptedFrameFailsCrc)
+{
+    auto payload = randomBytes(64, 23);
+    auto tx = sora::txFrame(payload, Rate::R6);
+    // Blank a stretch of DATA samples outright: even the K=7 Viterbi
+    // cannot recover two whole erased symbols.
+    for (size_t i = tx.size() - 6 * 80; i < tx.size() - 4 * 80; ++i)
+        tx[i] = Complex16{0, 0};
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 25.0;
+    cfg.delaySamples = 150;
+    cfg.seed = 7;
+    auto rxSamples = channel::applyChannel(tx, cfg);
+    auto rx = compilePipeline(wifiReceiverComp(),
+                              CompilerOptions::forLevel(OptLevel::None));
+    RunStats st;
+    rx->runBytes(samplesToBytes(rxSamples), &st);
+    if (st.halted && st.ctrl.size() == 4) {
+        int32_t ok;
+        std::memcpy(&ok, st.ctrl.data(), 4);
+        EXPECT_EQ(ok, 0) << "CRC unexpectedly passed at 2 dB SNR";
+    }
+    // Not halting at all (no detection) is also an acceptable outcome.
+}
+
+TEST(FullReceiverMore, ReceiverLoopDecodesBackToBackPackets)
+{
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 35.0;
+    cfg.delaySamples = 200;
+    cfg.seed = 8;
+
+    std::vector<Complex16> stream;
+    std::vector<std::vector<uint8_t>> payloads;
+    for (int i = 0; i < 3; ++i) {
+        auto payload = randomBytes(40, 30 + static_cast<uint64_t>(i));
+        payloads.push_back(payload);
+        auto tx = sora::txFrame(payload, Rate::R12);
+        // gap of silence between packets
+        stream.insert(stream.end(), 300, Complex16{0, 0});
+        stream.insert(stream.end(), tx.begin(), tx.end());
+    }
+    auto rxSamples = channel::applyChannel(stream, cfg);
+
+    auto rx = compilePipeline(wifiReceiverLoopComp(),
+                              CompilerOptions::forLevel(OptLevel::None));
+    auto bits = rx->runBytes(samplesToBytes(rxSamples));
+    auto bytes = bitsToBytes(bits);
+
+    // Each decoded PSDU is payload+FCS = 44 bytes; expect all three.
+    ASSERT_EQ(bytes.size(), 3u * 44u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(std::equal(payloads[static_cast<size_t>(i)].begin(),
+                               payloads[static_cast<size_t>(i)].end(),
+                               bytes.begin() + i * 44))
+            << "packet " << i;
+    }
+}
+
+TEST(FullReceiverMore, ThreadedRxDataPathMatchesSingle)
+{
+    // The paper's RX |>>>| split: Viterbi + descrambler on their own
+    // thread.  Outputs must match the single-threaded pipeline.
+    auto payload = randomBytes(80, 51);
+    auto dataBits = assembleDataBits(payload, Rate::R24);
+    auto samples = sora::txDataSamples(dataBits, Rate::R24);
+    const int psdu = psduLen(static_cast<int>(payload.size()));
+
+    auto single = compilePipeline(
+        wifiRxDataComp(Rate::R24, psdu, false),
+        CompilerOptions::forLevel(OptLevel::None));
+    auto expect = single->runBytes(samplesToBytes(samples));
+
+    auto multi = compileThreadedPipeline(
+        wifiRxDataComp(Rate::R24, psdu, true),
+        CompilerOptions::forLevel(OptLevel::None));
+    auto inBytes = samplesToBytes(samples);
+    MemSource src(inBytes, multi->inWidth());
+    VecSink sink(multi->outWidth());
+    multi->run(src, sink);
+    EXPECT_EQ(sink.data(), expect);
+}
+
+TEST(FullReceiverMore, OversampledFrontEnd)
+{
+    auto payload = randomBytes(32, 41);
+    auto tx = sora::txFrame(payload, Rate::R6);
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 35.0;
+    cfg.delaySamples = 100;
+    cfg.seed = 9;
+    auto rxSamples = channel::applyChannel(tx, cfg);
+    // Duplicate each sample (crude 2x oversampling).
+    std::vector<Complex16> over;
+    over.reserve(rxSamples.size() * 2);
+    for (const auto& s : rxSamples) {
+        over.push_back(s);
+        over.push_back(s);
+    }
+    auto rx = compilePipeline(wifiReceiverComp(true),
+                              CompilerOptions::forLevel(OptLevel::None));
+    RunStats st;
+    auto bits = rx->runBytes(samplesToBytes(over), &st);
+    ASSERT_TRUE(st.halted);
+    int32_t ok;
+    std::memcpy(&ok, st.ctrl.data(), 4);
+    EXPECT_EQ(ok, 1);
+    auto bytes = bitsToBytes(bits);
+    ASSERT_GE(bytes.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           bytes.begin()));
+}
+
+} // namespace
+} // namespace ziria

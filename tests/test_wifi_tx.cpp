@@ -1,0 +1,262 @@
+/**
+ * @file
+ * WiFi transmitter tests: individual DSL blocks against reference
+ * implementations, and the full Ziria TX pipelines against the
+ * hand-written Sora-style baseline (bit-exactness).
+ */
+#include <gtest/gtest.h>
+
+#include "dsp/crc.h"
+#include "sora/sora.h"
+#include "support/rng.h"
+#include "wifi/rx.h"
+#include "wifi/tx.h"
+#include "zir/compiler.h"
+
+namespace ziria {
+namespace {
+
+using namespace wifi;
+
+std::vector<uint8_t>
+randomBits(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out)
+        b = rng.bit();
+    return out;
+}
+
+std::vector<uint8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out)
+        b = static_cast<uint8_t>(rng.next());
+    return out;
+}
+
+std::vector<uint8_t>
+runBlock(CompPtr c, const std::vector<uint8_t>& input,
+         OptLevel level = OptLevel::None)
+{
+    auto p = compilePipeline(c, CompilerOptions::forLevel(level));
+    return p->runBytes(input);
+}
+
+TEST(TxBlocks, ScramblerMatchesSequenceAndIsSelfInverse)
+{
+    auto bits = randomBits(512, 1);
+    auto scrambled = runBlock(scramblerBlock(), bits);
+    ASSERT_EQ(scrambled.size(), bits.size());
+    auto seq = scramblerSequence(static_cast<int>(bits.size()));
+    for (size_t i = 0; i < bits.size(); ++i)
+        EXPECT_EQ(scrambled[i], bits[i] ^ seq[i]) << i;
+    auto twice = runBlock(scramblerBlock(), scrambled);
+    EXPECT_EQ(twice, bits);
+}
+
+class EncoderVsReference
+    : public ::testing::TestWithParam<dsp::CodingRate>
+{
+};
+
+TEST_P(EncoderVsReference, MatchesNativeEncoder)
+{
+    dsp::CodingRate rate = GetParam();
+    auto bits = randomBits(240, 2);
+    auto dslOut = runBlock(encoderBlock(rate), bits);
+    dsp::ConvEncoder ref(rate);
+    auto refOut = ref.encode(bits);
+    EXPECT_EQ(dslOut, refOut);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, EncoderVsReference,
+    ::testing::Values(dsp::CodingRate::Half, dsp::CodingRate::TwoThirds,
+                      dsp::CodingRate::ThreeQuarters));
+
+class InterleaverInverse : public ::testing::TestWithParam<dsp::Modulation>
+{
+};
+
+TEST_P(InterleaverInverse, DeinterleaveUndoesInterleave)
+{
+    dsp::Modulation m = GetParam();
+    int ncbps = numDataCarriers * dsp::bitsPerSymbol(m);
+    auto bits = randomBits(static_cast<size_t>(ncbps) * 3, 3);
+    auto il = runBlock(interleaverBlock(m), bits);
+    auto back = runBlock(deinterleaverBlock(m), il);
+    EXPECT_EQ(back, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, InterleaverInverse,
+                         ::testing::Values(dsp::Modulation::Bpsk,
+                                           dsp::Modulation::Qpsk,
+                                           dsp::Modulation::Qam16,
+                                           dsp::Modulation::Qam64));
+
+TEST(TxBlocks, InterleaverMatchesStandardFormula)
+{
+    // Spot-check against the 17.3.5.6 formulas at 16-QAM.
+    auto table = interleaverTable(Rate::R24);
+    // k=0 -> i=0 -> j=0.
+    EXPECT_EQ(table[0], 0);
+    const int ncbps = 192;
+    for (int k : {1, 17, 100, 191}) {
+        int i = (ncbps / 16) * (k % 16) + k / 16;
+        int s = 2;
+        int j = s * (i / s) + (i + ncbps - (16 * i) / ncbps) % s;
+        EXPECT_EQ(table[static_cast<size_t>(k)], j) << k;
+    }
+}
+
+class ModulatorRoundTrip : public ::testing::TestWithParam<dsp::Modulation>
+{
+};
+
+TEST_P(ModulatorRoundTrip, DemapperInvertsModulator)
+{
+    dsp::Modulation m = GetParam();
+    int nb = dsp::bitsPerSymbol(m);
+    auto bits = randomBits(static_cast<size_t>(nb) * 96, 4);
+    auto points = runBlock(modulatorBlock(m), bits);
+    auto back = runBlock(demapperBlock(m), points);
+    EXPECT_EQ(back, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ModulatorRoundTrip,
+                         ::testing::Values(dsp::Modulation::Bpsk,
+                                           dsp::Modulation::Qpsk,
+                                           dsp::Modulation::Qam16,
+                                           dsp::Modulation::Qam64));
+
+TEST(TxBlocks, CrcAppendMatchesReference)
+{
+    auto payload = randomBytes(32, 5);
+    auto bits = bytesToBits(payload);
+    auto out = runBlock(crcAppendBlock(zb::cInt(32)), bits);
+    ASSERT_EQ(out.size(), bits.size() + 32);
+    EXPECT_TRUE(std::equal(bits.begin(), bits.end(), out.begin()));
+    dsp::Crc32 crc;
+    for (uint8_t b : bits)
+        crc.inputBit(b);
+    auto fcs = crc.fcsBits();
+    EXPECT_TRUE(std::equal(fcs.begin(), fcs.end(),
+                           out.begin() + static_cast<long>(bits.size())));
+}
+
+class TxPipelineVsSora : public ::testing::TestWithParam<Rate>
+{
+};
+
+TEST_P(TxPipelineVsSora, DataPathBitExact)
+{
+    Rate rate = GetParam();
+    auto payload = randomBytes(120, 6);
+    auto dataBits = assembleDataBits(payload, rate);
+
+    auto ziriaOut = runBlock(wifiTxDataComp(rate), dataBits);
+    auto soraOut = sora::txDataSamples(dataBits, rate);
+
+    ASSERT_EQ(ziriaOut.size(), soraOut.size() * 4);
+    EXPECT_EQ(0, std::memcmp(ziriaOut.data(), soraOut.data(),
+                             ziriaOut.size()));
+}
+
+TEST_P(TxPipelineVsSora, DataPathBitExactWhenOptimized)
+{
+    Rate rate = GetParam();
+    auto payload = randomBytes(60, 7);
+    auto dataBits = assembleDataBits(payload, rate);
+    auto plain = runBlock(wifiTxDataComp(rate), dataBits);
+
+    // The vectorized pipeline consumes input in array-sized chunks; pad
+    // the tail so the real data is fully processed, then compare the
+    // unpadded prefix exactly.
+    auto p = compilePipeline(wifiTxDataComp(rate),
+                             CompilerOptions::forLevel(OptLevel::All));
+    std::vector<uint8_t> padded = dataBits;
+    size_t w = std::max<size_t>(p->inWidth(), 1);
+    // Generous zero tail: interior chunk sizes can batch several OFDM
+    // symbols, so push enough padding through to flush the real data.
+    padded.insert(padded.end(),
+                  ((padded.size() / w) + 40) * w - padded.size(), 0);
+    auto optimized = p->runBytes(padded);
+    size_t n = std::min(optimized.size(), plain.size());
+    EXPECT_GE(n + 8 * 80 * 4, plain.size())
+        << "more than 8 symbols lost to granularity";
+    EXPECT_TRUE(std::equal(plain.begin(),
+                           plain.begin() + static_cast<long>(n),
+                           optimized.begin()));
+}
+
+TEST_P(TxPipelineVsSora, FullFrameBitExact)
+{
+    Rate rate = GetParam();
+    auto payload = randomBytes(80, 8);
+    auto payloadBits = bytesToBits(payload);
+
+    auto ziriaOut = runBlock(
+        wifiTxFrameComp(rate, static_cast<int>(payload.size())),
+        payloadBits);
+    auto soraOut = sora::txFrame(payload, rate);
+
+    ASSERT_EQ(ziriaOut.size(), soraOut.size() * 4);
+    EXPECT_EQ(0, std::memcmp(ziriaOut.data(), soraOut.data(),
+                             ziriaOut.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, TxPipelineVsSora,
+                         ::testing::Values(Rate::R6, Rate::R9, Rate::R12,
+                                           Rate::R18, Rate::R24, Rate::R36,
+                                           Rate::R48, Rate::R54));
+
+TEST(TxPipeline, ThreadedMatchesSingleThread)
+{
+    auto payload = randomBytes(100, 9);
+    auto dataBits = assembleDataBits(payload, Rate::R12);
+    auto single = runBlock(wifiTxDataComp(Rate::R12, false), dataBits);
+
+    auto p = compileThreadedPipeline(
+        wifiTxDataComp(Rate::R12, true),
+        CompilerOptions::forLevel(OptLevel::None));
+    MemSource src(dataBits, 1);
+    VecSink sink(4);
+    p->run(src, sink);
+    EXPECT_EQ(sink.data(), single);
+}
+
+TEST(Params, SignalRoundTrip)
+{
+    for (Rate r : allRates()) {
+        for (int len : {1, 64, 1500, 4095}) {
+            auto bits = signalBits(r, len);
+            SignalInfo si = parseSignal(bits);
+            EXPECT_TRUE(si.valid);
+            EXPECT_EQ(si.rate, r);
+            EXPECT_EQ(si.length, len);
+        }
+    }
+}
+
+TEST(Params, SignalParityDetectsErrors)
+{
+    auto bits = signalBits(Rate::R12, 100);
+    bits[3] ^= 1;
+    EXPECT_FALSE(parseSignal(bits).valid);
+}
+
+TEST(Params, DataFieldSizes)
+{
+    // 100-byte PSDU at 6 Mbps: 16+800+6 = 822 bits, 35 symbols of 24.
+    EXPECT_EQ(dataSymbols(Rate::R6, 100), 35);
+    EXPECT_EQ(dataFieldBits(Rate::R6, 100), 35 * 24);
+    // At 54 Mbps: ceil(822/216) = 4 symbols.
+    EXPECT_EQ(dataSymbols(Rate::R54, 100), 4);
+}
+
+} // namespace
+} // namespace ziria
