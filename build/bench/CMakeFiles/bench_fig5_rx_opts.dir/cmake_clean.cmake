@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rx_opts.dir/bench_fig5_rx_opts.cpp.o"
+  "CMakeFiles/bench_fig5_rx_opts.dir/bench_fig5_rx_opts.cpp.o.d"
+  "bench_fig5_rx_opts"
+  "bench_fig5_rx_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rx_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_testbed_per.dir/bench_testbed_per.cpp.o"
+  "CMakeFiles/bench_testbed_per.dir/bench_testbed_per.cpp.o.d"
+  "bench_testbed_per"
+  "bench_testbed_per.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testbed_per.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

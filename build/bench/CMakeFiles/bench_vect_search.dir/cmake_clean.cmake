@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vect_search.dir/bench_vect_search.cpp.o"
+  "CMakeFiles/bench_vect_search.dir/bench_vect_search.cpp.o.d"
+  "bench_vect_search"
+  "bench_vect_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vect_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

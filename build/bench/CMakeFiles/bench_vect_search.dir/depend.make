@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_vect_search.
+# This may be replaced when dependencies are built.

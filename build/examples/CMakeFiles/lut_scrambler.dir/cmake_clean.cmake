@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lut_scrambler.dir/lut_scrambler.cpp.o"
+  "CMakeFiles/lut_scrambler.dir/lut_scrambler.cpp.o.d"
+  "lut_scrambler"
+  "lut_scrambler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lut_scrambler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

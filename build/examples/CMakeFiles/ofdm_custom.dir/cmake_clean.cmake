@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_custom.dir/ofdm_custom.cpp.o"
+  "CMakeFiles/ofdm_custom.dir/ofdm_custom.cpp.o.d"
+  "ofdm_custom"
+  "ofdm_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_loopback.dir/wifi_loopback.cpp.o"
+  "CMakeFiles/wifi_loopback.dir/wifi_loopback.cpp.o.d"
+  "wifi_loopback"
+  "wifi_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

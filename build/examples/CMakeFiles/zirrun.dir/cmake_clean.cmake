@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zirrun.dir/zirrun.cpp.o"
+  "CMakeFiles/zirrun.dir/zirrun.cpp.o.d"
+  "zirrun"
+  "zirrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zirrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

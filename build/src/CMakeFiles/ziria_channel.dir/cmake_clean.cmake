@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziria_channel.dir/channel/channel.cc.o"
+  "CMakeFiles/ziria_channel.dir/channel/channel.cc.o.d"
+  "libziria_channel.a"
+  "libziria_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziria_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ziria_channel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zast/builder.cc" "src/CMakeFiles/ziria_core.dir/zast/builder.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zast/builder.cc.o.d"
+  "/root/repo/src/zast/comp.cc" "src/CMakeFiles/ziria_core.dir/zast/comp.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zast/comp.cc.o.d"
+  "/root/repo/src/zast/expr.cc" "src/CMakeFiles/ziria_core.dir/zast/expr.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zast/expr.cc.o.d"
+  "/root/repo/src/zast/printer.cc" "src/CMakeFiles/ziria_core.dir/zast/printer.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zast/printer.cc.o.d"
+  "/root/repo/src/zcard/card.cc" "src/CMakeFiles/ziria_core.dir/zcard/card.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zcard/card.cc.o.d"
+  "/root/repo/src/zcheck/check.cc" "src/CMakeFiles/ziria_core.dir/zcheck/check.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zcheck/check.cc.o.d"
+  "/root/repo/src/zexec/nodes_comb.cc" "src/CMakeFiles/ziria_core.dir/zexec/nodes_comb.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zexec/nodes_comb.cc.o.d"
+  "/root/repo/src/zexec/nodes_prim.cc" "src/CMakeFiles/ziria_core.dir/zexec/nodes_prim.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zexec/nodes_prim.cc.o.d"
+  "/root/repo/src/zexec/pipeline.cc" "src/CMakeFiles/ziria_core.dir/zexec/pipeline.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zexec/pipeline.cc.o.d"
+  "/root/repo/src/zexec/threaded.cc" "src/CMakeFiles/ziria_core.dir/zexec/threaded.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zexec/threaded.cc.o.d"
+  "/root/repo/src/zexpr/compile_expr.cc" "src/CMakeFiles/ziria_core.dir/zexpr/compile_expr.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zexpr/compile_expr.cc.o.d"
+  "/root/repo/src/zexpr/lut.cc" "src/CMakeFiles/ziria_core.dir/zexpr/lut.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zexpr/lut.cc.o.d"
+  "/root/repo/src/zexpr/natives.cc" "src/CMakeFiles/ziria_core.dir/zexpr/natives.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zexpr/natives.cc.o.d"
+  "/root/repo/src/zir/compiler.cc" "src/CMakeFiles/ziria_core.dir/zir/compiler.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zir/compiler.cc.o.d"
+  "/root/repo/src/zopt/autolut.cc" "src/CMakeFiles/ziria_core.dir/zopt/autolut.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zopt/autolut.cc.o.d"
+  "/root/repo/src/zopt/automap.cc" "src/CMakeFiles/ziria_core.dir/zopt/automap.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zopt/automap.cc.o.d"
+  "/root/repo/src/zopt/elaborate.cc" "src/CMakeFiles/ziria_core.dir/zopt/elaborate.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zopt/elaborate.cc.o.d"
+  "/root/repo/src/zopt/fold.cc" "src/CMakeFiles/ziria_core.dir/zopt/fold.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zopt/fold.cc.o.d"
+  "/root/repo/src/zparse/lexer.cc" "src/CMakeFiles/ziria_core.dir/zparse/lexer.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zparse/lexer.cc.o.d"
+  "/root/repo/src/zparse/parser.cc" "src/CMakeFiles/ziria_core.dir/zparse/parser.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zparse/parser.cc.o.d"
+  "/root/repo/src/ztype/type.cc" "src/CMakeFiles/ziria_core.dir/ztype/type.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/ztype/type.cc.o.d"
+  "/root/repo/src/ztype/value.cc" "src/CMakeFiles/ziria_core.dir/ztype/value.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/ztype/value.cc.o.d"
+  "/root/repo/src/zvect/simple_comp.cc" "src/CMakeFiles/ziria_core.dir/zvect/simple_comp.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zvect/simple_comp.cc.o.d"
+  "/root/repo/src/zvect/vectorize.cc" "src/CMakeFiles/ziria_core.dir/zvect/vectorize.cc.o" "gcc" "src/CMakeFiles/ziria_core.dir/zvect/vectorize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ziria_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/constellation.cc" "src/CMakeFiles/ziria_dsp.dir/dsp/constellation.cc.o" "gcc" "src/CMakeFiles/ziria_dsp.dir/dsp/constellation.cc.o.d"
+  "/root/repo/src/dsp/conv_code.cc" "src/CMakeFiles/ziria_dsp.dir/dsp/conv_code.cc.o" "gcc" "src/CMakeFiles/ziria_dsp.dir/dsp/conv_code.cc.o.d"
+  "/root/repo/src/dsp/crc.cc" "src/CMakeFiles/ziria_dsp.dir/dsp/crc.cc.o" "gcc" "src/CMakeFiles/ziria_dsp.dir/dsp/crc.cc.o.d"
+  "/root/repo/src/dsp/fft.cc" "src/CMakeFiles/ziria_dsp.dir/dsp/fft.cc.o" "gcc" "src/CMakeFiles/ziria_dsp.dir/dsp/fft.cc.o.d"
+  "/root/repo/src/dsp/viterbi.cc" "src/CMakeFiles/ziria_dsp.dir/dsp/viterbi.cc.o" "gcc" "src/CMakeFiles/ziria_dsp.dir/dsp/viterbi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ziria_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

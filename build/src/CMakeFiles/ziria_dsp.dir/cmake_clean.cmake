@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziria_dsp.dir/dsp/constellation.cc.o"
+  "CMakeFiles/ziria_dsp.dir/dsp/constellation.cc.o.d"
+  "CMakeFiles/ziria_dsp.dir/dsp/conv_code.cc.o"
+  "CMakeFiles/ziria_dsp.dir/dsp/conv_code.cc.o.d"
+  "CMakeFiles/ziria_dsp.dir/dsp/crc.cc.o"
+  "CMakeFiles/ziria_dsp.dir/dsp/crc.cc.o.d"
+  "CMakeFiles/ziria_dsp.dir/dsp/fft.cc.o"
+  "CMakeFiles/ziria_dsp.dir/dsp/fft.cc.o.d"
+  "CMakeFiles/ziria_dsp.dir/dsp/viterbi.cc.o"
+  "CMakeFiles/ziria_dsp.dir/dsp/viterbi.cc.o.d"
+  "libziria_dsp.a"
+  "libziria_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziria_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

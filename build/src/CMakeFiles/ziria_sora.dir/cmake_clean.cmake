@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziria_sora.dir/sora/sora_rx.cc.o"
+  "CMakeFiles/ziria_sora.dir/sora/sora_rx.cc.o.d"
+  "CMakeFiles/ziria_sora.dir/sora/sora_tx.cc.o"
+  "CMakeFiles/ziria_sora.dir/sora/sora_tx.cc.o.d"
+  "libziria_sora.a"
+  "libziria_sora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziria_sora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

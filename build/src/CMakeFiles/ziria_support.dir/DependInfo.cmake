@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/bits.cc" "src/CMakeFiles/ziria_support.dir/support/bits.cc.o" "gcc" "src/CMakeFiles/ziria_support.dir/support/bits.cc.o.d"
+  "/root/repo/src/support/panic.cc" "src/CMakeFiles/ziria_support.dir/support/panic.cc.o" "gcc" "src/CMakeFiles/ziria_support.dir/support/panic.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/ziria_support.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/ziria_support.dir/support/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

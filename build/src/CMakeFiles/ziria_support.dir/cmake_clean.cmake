@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziria_support.dir/support/bits.cc.o"
+  "CMakeFiles/ziria_support.dir/support/bits.cc.o.d"
+  "CMakeFiles/ziria_support.dir/support/panic.cc.o"
+  "CMakeFiles/ziria_support.dir/support/panic.cc.o.d"
+  "CMakeFiles/ziria_support.dir/support/rng.cc.o"
+  "CMakeFiles/ziria_support.dir/support/rng.cc.o.d"
+  "libziria_support.a"
+  "libziria_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziria_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/blocks_rx.cc" "src/CMakeFiles/ziria_wifi.dir/wifi/blocks_rx.cc.o" "gcc" "src/CMakeFiles/ziria_wifi.dir/wifi/blocks_rx.cc.o.d"
+  "/root/repo/src/wifi/blocks_tx.cc" "src/CMakeFiles/ziria_wifi.dir/wifi/blocks_tx.cc.o" "gcc" "src/CMakeFiles/ziria_wifi.dir/wifi/blocks_tx.cc.o.d"
+  "/root/repo/src/wifi/native_blocks.cc" "src/CMakeFiles/ziria_wifi.dir/wifi/native_blocks.cc.o" "gcc" "src/CMakeFiles/ziria_wifi.dir/wifi/native_blocks.cc.o.d"
+  "/root/repo/src/wifi/params.cc" "src/CMakeFiles/ziria_wifi.dir/wifi/params.cc.o" "gcc" "src/CMakeFiles/ziria_wifi.dir/wifi/params.cc.o.d"
+  "/root/repo/src/wifi/preamble.cc" "src/CMakeFiles/ziria_wifi.dir/wifi/preamble.cc.o" "gcc" "src/CMakeFiles/ziria_wifi.dir/wifi/preamble.cc.o.d"
+  "/root/repo/src/wifi/rx.cc" "src/CMakeFiles/ziria_wifi.dir/wifi/rx.cc.o" "gcc" "src/CMakeFiles/ziria_wifi.dir/wifi/rx.cc.o.d"
+  "/root/repo/src/wifi/tx.cc" "src/CMakeFiles/ziria_wifi.dir/wifi/tx.cc.o" "gcc" "src/CMakeFiles/ziria_wifi.dir/wifi/tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ziria_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ziria_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ziria_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziria_wifi.dir/wifi/blocks_rx.cc.o"
+  "CMakeFiles/ziria_wifi.dir/wifi/blocks_rx.cc.o.d"
+  "CMakeFiles/ziria_wifi.dir/wifi/blocks_tx.cc.o"
+  "CMakeFiles/ziria_wifi.dir/wifi/blocks_tx.cc.o.d"
+  "CMakeFiles/ziria_wifi.dir/wifi/native_blocks.cc.o"
+  "CMakeFiles/ziria_wifi.dir/wifi/native_blocks.cc.o.d"
+  "CMakeFiles/ziria_wifi.dir/wifi/params.cc.o"
+  "CMakeFiles/ziria_wifi.dir/wifi/params.cc.o.d"
+  "CMakeFiles/ziria_wifi.dir/wifi/preamble.cc.o"
+  "CMakeFiles/ziria_wifi.dir/wifi/preamble.cc.o.d"
+  "CMakeFiles/ziria_wifi.dir/wifi/rx.cc.o"
+  "CMakeFiles/ziria_wifi.dir/wifi/rx.cc.o.d"
+  "CMakeFiles/ziria_wifi.dir/wifi/tx.cc.o"
+  "CMakeFiles/ziria_wifi.dir/wifi/tx.cc.o.d"
+  "libziria_wifi.a"
+  "libziria_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziria_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_automap_lut.dir/test_automap_lut.cpp.o"
+  "CMakeFiles/test_automap_lut.dir/test_automap_lut.cpp.o.d"
+  "test_automap_lut"
+  "test_automap_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_automap_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expr_vm.dir/test_expr_vm.cpp.o"
+  "CMakeFiles/test_expr_vm.dir/test_expr_vm.cpp.o.d"
+  "test_expr_vm"
+  "test_expr_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expr_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_extra.dir/test_wifi_extra.cpp.o"
+  "CMakeFiles/test_wifi_extra.dir/test_wifi_extra.cpp.o.d"
+  "test_wifi_extra"
+  "test_wifi_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

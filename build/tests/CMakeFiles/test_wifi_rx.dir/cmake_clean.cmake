@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_rx.dir/test_wifi_rx.cpp.o"
+  "CMakeFiles/test_wifi_rx.dir/test_wifi_rx.cpp.o.d"
+  "test_wifi_rx"
+  "test_wifi_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

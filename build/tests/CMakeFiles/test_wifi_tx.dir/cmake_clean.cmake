@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_tx.dir/test_wifi_tx.cpp.o"
+  "CMakeFiles/test_wifi_tx.dir/test_wifi_tx.cpp.o.d"
+  "test_wifi_tx"
+  "test_wifi_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

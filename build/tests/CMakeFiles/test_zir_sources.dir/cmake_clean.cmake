@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zir_sources.dir/test_zir_sources.cpp.o"
+  "CMakeFiles/test_zir_sources.dir/test_zir_sources.cpp.o.d"
+  "test_zir_sources"
+  "test_zir_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zir_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
