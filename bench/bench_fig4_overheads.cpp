@@ -99,17 +99,46 @@ pipeChainMap(int n)
 }
 
 double
-nsPerDatum(const CompPtr& c, uint64_t n_data, bool fuse_maps = false)
+nsPerDatum(const CompPtr& c, uint64_t n_data, bool fuse_maps = false,
+           bool instrument = false)
 {
     CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
     // The paper's map variant benefits from static scheduling; in this
     // backend that role is played by map fusion, which collapses the
     // chain's per-stage tick/proc traffic exactly as their codegen does.
     opt.fuse = fuse_maps;
+    opt.instrument = instrument;
     auto p = compilePipeline(c, opt);
     static std::vector<uint8_t> input = doubleInput(4096);
     double sec = timePipeline(*p, input, n_data);
     return sec * 1e9 / static_cast<double>(n_data);
+}
+
+/**
+ * `--overhead-check`: the zero-cost-when-off guard used by
+ * scripts/check_overhead.sh.  Reports ns/datum for a pipe-heavy
+ * workload with instrumentation support compiled in but disabled (the
+ * default execution path) and, for reference, with per-node counters
+ * enabled.  Output is machine-readable key/value lines.
+ */
+int
+overheadCheck()
+{
+    const uint64_t N = 400000;
+    const int CHAIN = 20;
+    // Warm up allocators/caches so both measurements see the same state.
+    nsPerDatum(pipeChainRepeat(CHAIN), N / 4);
+    double disabled = 1e18, enabled = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+        disabled = std::min(disabled, nsPerDatum(pipeChainRepeat(CHAIN), N));
+        enabled = std::min(
+            enabled, nsPerDatum(pipeChainRepeat(CHAIN), N, false, true));
+    }
+    printf("ns_per_datum_disabled %.2f\n", disabled);
+    printf("ns_per_datum_enabled %.2f\n", enabled);
+    printf("instrument_on_overhead_pct %.1f\n",
+           (enabled / disabled - 1.0) * 100.0);
+    return 0;
 }
 
 /** Least-squares slope of (x, y) points. */
@@ -130,8 +159,10 @@ slope(const std::vector<double>& xs, const std::vector<double>& ys)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (argc > 1 && std::string(argv[1]) == "--overhead-check")
+        return overheadCheck();
     const uint64_t N = 400000;
     const std::vector<int> sizes{1, 5, 10, 20, 50, 100};
 

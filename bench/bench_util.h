@@ -11,6 +11,7 @@
 #ifndef ZIRIA_BENCH_BENCH_UTIL_H
 #define ZIRIA_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -68,6 +69,27 @@ timePipeline(Pipeline& p, const std::vector<uint8_t>& input,
 }
 
 /**
+ * Throughput of a computation under explicit compiler options, in input
+ * elements/second.  Lets harnesses measure instrumented vs. plain
+ * builds of the same program (docs/OBSERVABILITY.md overhead table).
+ */
+inline double
+elemsPerSec(const CompPtr& comp, const CompilerOptions& opt,
+            const std::vector<uint8_t>& input, size_t elem_bytes,
+            uint64_t total_elems)
+{
+    auto p = compilePipeline(comp, opt);
+    // Feed in units of the pipeline's (possibly vectorized) input width.
+    size_t w = std::max<size_t>(p->inWidth(), 1);
+    uint64_t chunks = total_elems * elem_bytes / w;
+    double sec = timePipeline(*p, input, chunks);
+    double consumed =
+        static_cast<double>(chunks) * static_cast<double>(w) /
+        static_cast<double>(elem_bytes);
+    return consumed / sec;
+}
+
+/**
  * Throughput of a computation at an optimization level, in input
  * elements/second.  @p input must be a whole number of input elements at
  * every optimization level (use generous multiples of 288).
@@ -77,15 +99,8 @@ elemsPerSec(const CompPtr& comp, OptLevel level,
             const std::vector<uint8_t>& input, size_t elem_bytes,
             uint64_t total_elems)
 {
-    auto p = compilePipeline(comp, CompilerOptions::forLevel(level));
-    // Feed in units of the pipeline's (possibly vectorized) input width.
-    size_t w = std::max<size_t>(p->inWidth(), 1);
-    uint64_t chunks = total_elems * elem_bytes / w;
-    double sec = timePipeline(*p, input, chunks);
-    double consumed =
-        static_cast<double>(chunks) * static_cast<double>(w) /
-        static_cast<double>(elem_bytes);
-    return consumed / sec;
+    return elemsPerSec(comp, CompilerOptions::forLevel(level), input,
+                       elem_bytes, total_elems);
 }
 
 /** printf a separator line. */

@@ -210,7 +210,17 @@ bench/CMakeFiles/bench_fig4_overheads.dir/bench_fig4_overheads.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/bench/bench_util.h /usr/include/c++/12/vector \
+ /root/repo/bench/bench_util.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -226,7 +236,6 @@ bench/CMakeFiles/bench_fig4_overheads.dir/bench_fig4_overheads.cpp.o: \
  /usr/include/c++/12/complex /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/ztype/type.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -237,10 +246,8 @@ bench/CMakeFiles/bench_fig4_overheads.dir/bench_fig4_overheads.cpp.o: \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/dsp/conv_code.h \
  /root/repo/src/zast/builder.h /root/repo/src/zast/comp.h \
  /root/repo/src/zast/expr.h /usr/include/c++/12/functional \
@@ -250,17 +257,15 @@ bench/CMakeFiles/bench_fig4_overheads.dir/bench_fig4_overheads.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/wifi/native_blocks.h /root/repo/src/wifi/tx.h \
  /root/repo/src/zir/compiler.h /root/repo/src/zexec/pipeline.h \
- /root/repo/src/zexec/node.h /root/repo/src/zexpr/frame.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/support/panic.h /root/repo/src/zexpr/compile_expr.h \
- /root/repo/src/zexpr/lut.h /root/repo/src/zexec/threaded.h \
- /root/repo/src/zvect/vectorize.h /root/repo/src/zopt/passes.h \
- /root/repo/src/zexpr/natives.h
+ /root/repo/src/support/panic.h /root/repo/src/zexec/node.h \
+ /root/repo/src/zexpr/frame.h /root/repo/src/support/log.h \
+ /root/repo/src/zexec/trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/support/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/zexpr/compile_expr.h /root/repo/src/zexpr/lut.h \
+ /root/repo/src/zexec/threaded.h /root/repo/src/zir/pass_trace.h \
+ /root/repo/src/zast/printer.h /root/repo/src/zvect/vectorize.h \
+ /root/repo/src/zopt/passes.h /root/repo/src/zexpr/natives.h

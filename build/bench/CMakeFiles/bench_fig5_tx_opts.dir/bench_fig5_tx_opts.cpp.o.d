@@ -100,8 +100,14 @@ bench/CMakeFiles/bench_fig5_tx_opts.dir/bench_fig5_tx_opts.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /root/repo/bench/bench_util.h \
- /usr/include/c++/12/cstdio /usr/include/stdio.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cstdio \
+ /usr/include/stdio.h /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
  /usr/include/x86_64-linux-gnu/bits/types/__fpos_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__mbstate_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__fpos64_t.h \
@@ -128,8 +134,6 @@ bench/CMakeFiles/bench_fig5_tx_opts.dir/bench_fig5_tx_opts.cpp.o: \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
- /usr/include/c++/12/bits/ranges_base.h \
- /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
  /usr/include/c++/12/ext/string_conversions.h /usr/include/c++/12/cerrno \
  /usr/include/errno.h /usr/include/x86_64-linux-gnu/bits/errno.h \
@@ -239,19 +243,19 @@ bench/CMakeFiles/bench_fig5_tx_opts.dir/bench_fig5_tx_opts.cpp.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/dsp/conv_code.h \
  /root/repo/src/zast/builder.h /root/repo/src/zast/comp.h \
  /root/repo/src/zast/expr.h /root/repo/src/wifi/native_blocks.h \
  /root/repo/src/wifi/tx.h /root/repo/src/zir/compiler.h \
- /root/repo/src/zexec/pipeline.h /root/repo/src/zexec/node.h \
- /root/repo/src/zexpr/frame.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/support/panic.h /root/repo/src/zexpr/compile_expr.h \
- /root/repo/src/zexpr/lut.h /root/repo/src/zexec/threaded.h \
- /root/repo/src/zvect/vectorize.h /root/repo/src/zopt/passes.h
+ /root/repo/src/zexec/pipeline.h /root/repo/src/support/panic.h \
+ /root/repo/src/zexec/node.h /root/repo/src/zexpr/frame.h \
+ /root/repo/src/support/log.h /root/repo/src/zexec/trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/zexpr/compile_expr.h /root/repo/src/zexpr/lut.h \
+ /root/repo/src/zexec/threaded.h /root/repo/src/zir/pass_trace.h \
+ /root/repo/src/zast/printer.h /root/repo/src/zvect/vectorize.h \
+ /root/repo/src/zopt/passes.h

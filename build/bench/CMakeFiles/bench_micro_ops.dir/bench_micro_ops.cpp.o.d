@@ -254,8 +254,14 @@ bench/CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/wifi/native_blocks.h /root/repo/src/wifi/tx.h \
  /root/repo/src/zir/compiler.h /root/repo/src/zexec/pipeline.h \
- /root/repo/src/zexec/node.h /root/repo/src/zexpr/frame.h \
- /root/repo/src/support/panic.h /root/repo/src/zexpr/compile_expr.h \
- /root/repo/src/zexpr/lut.h /root/repo/src/zexec/threaded.h \
- /root/repo/src/zvect/vectorize.h /root/repo/src/zopt/passes.h \
- /root/repo/src/dsp/fft.h /root/repo/src/dsp/viterbi.h
+ /root/repo/src/support/panic.h /root/repo/src/zexec/node.h \
+ /root/repo/src/zexpr/frame.h /root/repo/src/support/log.h \
+ /root/repo/src/zexec/trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/support/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/zexpr/compile_expr.h /root/repo/src/zexpr/lut.h \
+ /root/repo/src/zexec/threaded.h /root/repo/src/zir/pass_trace.h \
+ /root/repo/src/zast/printer.h /root/repo/src/zvect/vectorize.h \
+ /root/repo/src/zopt/passes.h /root/repo/src/dsp/fft.h \
+ /root/repo/src/dsp/viterbi.h

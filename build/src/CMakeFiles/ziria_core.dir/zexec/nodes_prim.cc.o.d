@@ -242,5 +242,5 @@ src/CMakeFiles/ziria_core.dir/zexec/nodes_prim.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/support/panic.h /root/repo/src/zexpr/compile_expr.h \
- /root/repo/src/zexpr/lut.h
+ /root/repo/src/support/log.h /root/repo/src/support/panic.h \
+ /root/repo/src/zexpr/compile_expr.h /root/repo/src/zexpr/lut.h

@@ -198,7 +198,10 @@ src/CMakeFiles/ziria_core.dir/zexec/threaded.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/zexec/pipeline.h \
- /root/repo/src/zast/comp.h /usr/include/c++/12/optional \
+ /root/repo/src/support/panic.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/zast/comp.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/zast/expr.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
@@ -235,22 +238,24 @@ src/CMakeFiles/ziria_core.dir/zexec/threaded.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstring \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/zexec/node.h \
  /root/repo/src/zexpr/frame.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/support/panic.h /root/repo/src/zexpr/compile_expr.h \
- /root/repo/src/zexpr/lut.h /usr/include/c++/12/atomic \
+ /root/repo/src/support/log.h /root/repo/src/zexec/trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/metrics.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/support/timing.h \
+ /usr/include/c++/12/chrono /root/repo/src/zexpr/compile_expr.h \
+ /root/repo/src/zexpr/lut.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

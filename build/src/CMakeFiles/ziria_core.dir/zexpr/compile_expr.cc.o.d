@@ -122,7 +122,7 @@ src/CMakeFiles/ziria_core.dir/zexpr/compile_expr.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/support/panic.h /usr/include/c++/12/sstream \
+ /root/repo/src/support/log.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/iosfwd /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -180,8 +180,8 @@ src/CMakeFiles/ziria_core.dir/zexpr/compile_expr.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/zast/expr.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/support/panic.h \
+ /root/repo/src/zast/expr.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \

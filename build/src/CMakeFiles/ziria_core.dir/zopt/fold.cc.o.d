@@ -241,4 +241,5 @@ src/CMakeFiles/ziria_core.dir/zopt/fold.cc.o: /root/repo/src/zopt/fold.cc \
  /root/repo/src/zexpr/compile_expr.h /root/repo/src/zexpr/frame.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/support/log.h

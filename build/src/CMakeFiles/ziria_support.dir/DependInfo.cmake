@@ -9,6 +9,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/bits.cc" "src/CMakeFiles/ziria_support.dir/support/bits.cc.o" "gcc" "src/CMakeFiles/ziria_support.dir/support/bits.cc.o.d"
+  "/root/repo/src/support/log.cc" "src/CMakeFiles/ziria_support.dir/support/log.cc.o" "gcc" "src/CMakeFiles/ziria_support.dir/support/log.cc.o.d"
+  "/root/repo/src/support/metrics.cc" "src/CMakeFiles/ziria_support.dir/support/metrics.cc.o" "gcc" "src/CMakeFiles/ziria_support.dir/support/metrics.cc.o.d"
   "/root/repo/src/support/panic.cc" "src/CMakeFiles/ziria_support.dir/support/panic.cc.o" "gcc" "src/CMakeFiles/ziria_support.dir/support/panic.cc.o.d"
   "/root/repo/src/support/rng.cc" "src/CMakeFiles/ziria_support.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/ziria_support.dir/support/rng.cc.o.d"
   )

@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ziria_support.dir/support/bits.cc.o"
   "CMakeFiles/ziria_support.dir/support/bits.cc.o.d"
+  "CMakeFiles/ziria_support.dir/support/log.cc.o"
+  "CMakeFiles/ziria_support.dir/support/log.cc.o.d"
+  "CMakeFiles/ziria_support.dir/support/metrics.cc.o"
+  "CMakeFiles/ziria_support.dir/support/metrics.cc.o.d"
   "CMakeFiles/ziria_support.dir/support/panic.cc.o"
   "CMakeFiles/ziria_support.dir/support/panic.cc.o.d"
   "CMakeFiles/ziria_support.dir/support/rng.cc.o"

@@ -324,5 +324,6 @@ tests/CMakeFiles/test_expr_vm.dir/test_expr_vm.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/support/panic.h /root/repo/src/zexpr/lut.h \
- /root/repo/src/zexpr/natives.h /root/repo/src/zopt/passes.h
+ /root/repo/src/support/log.h /root/repo/src/support/panic.h \
+ /root/repo/src/zexpr/lut.h /root/repo/src/zexpr/natives.h \
+ /root/repo/src/zopt/passes.h

@@ -333,6 +333,11 @@ tests/CMakeFiles/test_threading.dir/test_threading.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/support/log.h /root/repo/src/zexec/trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/metrics.h \
+ /root/repo/src/support/timing.h /usr/include/c++/12/chrono \
  /root/repo/src/zexpr/compile_expr.h /root/repo/src/zexpr/lut.h \
- /root/repo/src/zexec/threaded.h /root/repo/src/zvect/vectorize.h \
+ /root/repo/src/zexec/threaded.h /root/repo/src/zir/pass_trace.h \
+ /root/repo/src/zast/printer.h /root/repo/src/zvect/vectorize.h \
  /root/repo/src/zopt/passes.h

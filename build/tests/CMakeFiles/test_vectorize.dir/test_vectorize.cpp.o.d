@@ -320,12 +320,18 @@ tests/CMakeFiles/test_vectorize.dir/test_vectorize.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstring \
  /root/repo/src/zast/printer.h /root/repo/src/zcard/card.h \
  /root/repo/src/zcheck/check.h /root/repo/src/zir/compiler.h \
- /root/repo/src/zexec/pipeline.h /root/repo/src/zexec/node.h \
- /root/repo/src/zexpr/frame.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/zexec/pipeline.h /root/repo/src/support/panic.h \
+ /root/repo/src/zexec/node.h /root/repo/src/zexpr/frame.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/support/panic.h /root/repo/src/zexpr/compile_expr.h \
- /root/repo/src/zexpr/lut.h /root/repo/src/zexec/threaded.h \
+ /root/repo/src/support/log.h /root/repo/src/zexec/trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/support/timing.h /usr/include/c++/12/chrono \
+ /root/repo/src/zexpr/compile_expr.h /root/repo/src/zexpr/lut.h \
+ /root/repo/src/zexec/threaded.h /root/repo/src/zir/pass_trace.h \
  /root/repo/src/zvect/vectorize.h /root/repo/src/zopt/passes.h \
  /root/repo/src/zvect/simple_comp.h

@@ -4,18 +4,29 @@
  *
  * Usage:
  *   zirrun FILE.zir [--opt none|vect|all] [--dump] [--bytes N]
+ *                   [--profile[=FILE]] [--trace-passes[=N]]
  *
  * The pipeline's input stream is fed with deterministic pseudo-random
  * bytes shaped to its input element type; the first output elements are
  * printed, together with the compile report (chosen vectorization
  * widths, LUTs built) — a miniature of the paper's `wplc` driver.
+ *
+ * `--profile` compiles with instrumentation and emits a JSON document
+ * (to stdout, or FILE with `--profile=FILE`) containing the compile
+ * report with per-pass timings, per-node runtime counters, and the
+ * global metric registry.  `--trace-passes[=N]` narrates each compiler
+ * pass to stderr (N >= 2 also dumps the AST between passes).  Leveled
+ * diagnostics are controlled by the ZIRIA_LOG environment variable
+ * (error|warn|info|debug|trace); see docs/OBSERVABILITY.md.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "support/metrics.h"
 #include "support/rng.h"
 #include "zast/printer.h"
 #include "zir/compiler.h"
@@ -24,18 +35,62 @@
 
 using namespace ziria;
 
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: zirrun FILE.zir [--opt none|vect|all] [--dump] "
+                 "[--bytes N]\n"
+                 "              [--profile[=FILE]] [--trace-passes[=N]]\n");
+    return 2;
+}
+
+/** Compose the --profile JSON document. */
+std::string
+profileJson(const std::string& program, const char* optName,
+            const CompileReport& rep, const RunStats& st)
+{
+    metrics::JsonWriter w;
+    w.beginObject();
+    w.field("program", program);
+    w.field("opt", optName);
+    w.beginObject("compile");
+    rep.writeJson(w);
+    w.endObject();
+    w.beginObject("run");
+    w.field("consumed", st.consumed);
+    w.field("emitted", st.emitted);
+    w.field("halted", st.halted);
+    if (st.metrics)
+        st.metrics->writeJson(w);
+    w.endObject();  // run
+    w.endObject();  // root
+    // The registry document is itself a JSON object; splice it in as
+    // the root's final member.
+    std::string doc = w.str();
+    doc.pop_back();  // strip the root's closing '}'
+    doc += ",\"registry\":";
+    doc += metrics::toJson(metrics::Registry::global());
+    doc += "}";
+    return doc;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: zirrun FILE.zir [--opt none|vect|all] "
-                     "[--dump] [--bytes N]\n");
-        return 2;
-    }
+    if (argc < 2)
+        return usage();
     std::string path = argv[1];
     OptLevel level = OptLevel::All;
+    const char* optName = "all";
     bool dump = false;
+    bool profile = false;
+    std::string profilePath;
+    int tracePasses = -1;  // -1 = off
     size_t nbytes = 64;
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
@@ -43,14 +98,43 @@ main(int argc, char** argv)
             dump = true;
         } else if (a == "--opt" && i + 1 < argc) {
             std::string v = argv[++i];
-            level = v == "none" ? OptLevel::None
-                                : (v == "vect" ? OptLevel::Vectorize
-                                               : OptLevel::All);
+            if (v == "none") {
+                level = OptLevel::None;
+            } else if (v == "vect") {
+                level = OptLevel::Vectorize;
+            } else if (v == "all") {
+                level = OptLevel::All;
+            } else {
+                std::fprintf(stderr,
+                             "zirrun: invalid --opt value '%s' "
+                             "(expected none|vect|all)\n", v.c_str());
+                return 2;
+            }
+            optName = v == "none" ? "none" : (v == "vect" ? "vect" : "all");
         } else if (a == "--bytes" && i + 1 < argc) {
-            nbytes = static_cast<size_t>(std::atol(argv[++i]));
+            const char* s = argv[++i];
+            char* end = nullptr;
+            long v = std::strtol(s, &end, 10);
+            if (end == s || *end != '\0' || v <= 0) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --bytes value '%s' "
+                             "(expected a positive integer)\n", s);
+                return 2;
+            }
+            nbytes = static_cast<size_t>(v);
+        } else if (a == "--profile" || a.rfind("--profile=", 0) == 0) {
+            profile = true;
+            if (a.size() > strlen("--profile="))
+                profilePath = a.substr(strlen("--profile="));
+        } else if (a == "--trace-passes" ||
+                   a.rfind("--trace-passes=", 0) == 0) {
+            tracePasses = 1;
+            if (a.size() > strlen("--trace-passes="))
+                tracePasses =
+                    std::atoi(a.c_str() + strlen("--trace-passes="));
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
-            return 2;
+            return usage();
         }
     }
 
@@ -65,9 +149,17 @@ main(int argc, char** argv)
     try {
         wifi::registerWifiNatives();
         CompPtr program = parseComp(ss.str());
+
+        // Profiling always collects pass records (verbosity 0 unless
+        // --trace-passes raises it).
+        PassTracer tracer(tracePasses >= 0 ? tracePasses : 0);
+        CompilerOptions copt = CompilerOptions::forLevel(level);
+        if (tracePasses >= 0 || profile)
+            copt.tracer = &tracer;
+        copt.instrument = profile;
+
         CompileReport rep;
-        auto p = compilePipeline(program,
-                                 CompilerOptions::forLevel(level), &rep);
+        auto p = compilePipeline(program, copt, &rep);
         std::printf("signature: %s\n", rep.signature.show().c_str());
         std::printf("compiled in %.2f ms; %ld candidates, chose "
                     "%d-in/%d-out; %d LUTs (%zu KiB)\n",
@@ -100,6 +192,24 @@ main(int argc, char** argv)
         if (st.halted)
             std::printf("pipeline halted with a control value (%zu "
                         "bytes)\n", st.ctrl.size());
+
+        if (profile) {
+            std::string doc = profileJson(path, optName, rep, st);
+            if (profilePath.empty()) {
+                std::printf("%s\n", doc.c_str());
+            } else {
+                std::FILE* f = std::fopen(profilePath.c_str(), "w");
+                if (!f) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 profilePath.c_str());
+                    return 1;
+                }
+                std::fprintf(f, "%s\n", doc.c_str());
+                std::fclose(f);
+                std::printf("profile written to %s\n",
+                            profilePath.c_str());
+            }
+        }
         return 0;
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

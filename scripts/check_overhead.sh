@@ -1,0 +1,48 @@
+#!/bin/sh
+# Guard the zero-cost-when-off property of the observability layer.
+#
+# Runs bench_fig4_overheads --overhead-check (instrumentation support
+# compiled in but DISABLED on the measured path) and compares ns/datum
+# against scripts/overhead_baseline.txt.  The first run on a machine
+# records the baseline; later runs fail (exit 1) if throughput regressed
+# by more than 3%, i.e. if "off" stopped being free.
+#
+# Usage: scripts/check_overhead.sh [--update-baseline]
+cd "$(dirname "$0")/.." || exit 1
+BUILD="${BUILD_DIR:-build}"
+BIN="$BUILD/bench/bench_fig4_overheads"
+BASELINE=scripts/overhead_baseline.txt
+TOLERANCE_PCT=3
+
+if [ ! -x "$BIN" ]; then
+    echo "check_overhead: $BIN not built" >&2
+    exit 1
+fi
+
+out=$("$BIN" --overhead-check) || exit 1
+echo "$out"
+disabled=$(echo "$out" | awk '/^ns_per_datum_disabled/ {print $2}')
+if [ -z "$disabled" ]; then
+    echo "check_overhead: could not parse benchmark output" >&2
+    exit 1
+fi
+
+if [ "$1" = "--update-baseline" ] || [ ! -f "$BASELINE" ]; then
+    echo "$disabled" > "$BASELINE"
+    echo "check_overhead: baseline recorded ($disabled ns/datum)"
+    exit 0
+fi
+
+base=$(cat "$BASELINE")
+awk -v cur="$disabled" -v base="$base" -v tol="$TOLERANCE_PCT" 'BEGIN {
+    pct = (cur - base) / base * 100.0;
+    printf "check_overhead: %.2f ns/datum vs baseline %.2f (%+.1f%%, tolerance %d%%)\n",
+           cur, base, pct, tol;
+    exit (pct > tol) ? 1 : 0;
+}'
+status=$?
+if [ $status -ne 0 ]; then
+    echo "check_overhead: FAIL — instrumentation-off path regressed" >&2
+    exit 1
+fi
+echo "check_overhead: OK"

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Capture the full test suite and every benchmark harness into the
-# canonical output files referenced by EXPERIMENTS.md.
+# Capture the full test suite, the observability overhead guard, and
+# every benchmark harness into the canonical output files referenced by
+# EXPERIMENTS.md.
 cd "$(dirname "$0")/.." || exit 1
 ctest --test-dir build 2>&1 | tee test_output.txt
+sh scripts/check_overhead.sh 2>&1 | tee overhead_output.txt
 {
     for b in build/bench/*; do
         if [ -f "$b" ] && [ -x "$b" ]; then

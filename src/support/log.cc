@@ -1,0 +1,96 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace ziria {
+namespace log {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet parsed from ZIRIA_LOG
+std::atomic<std::FILE*> g_sink{nullptr};
+std::mutex g_writeMu;
+
+const char*
+levelTag(Level lv)
+{
+    switch (lv) {
+      case Level::Error: return "E";
+      case Level::Warn: return "W";
+      case Level::Info: return "I";
+      case Level::Debug: return "D";
+      case Level::Trace: return "T";
+      case Level::None: break;
+    }
+    return "?";
+}
+
+} // namespace
+
+Level
+parseLevel(const std::string& s)
+{
+    if (s == "error" || s == "ERROR" || s == "1")
+        return Level::Error;
+    if (s == "warn" || s == "WARN" || s == "2")
+        return Level::Warn;
+    if (s == "info" || s == "INFO" || s == "3")
+        return Level::Info;
+    if (s == "debug" || s == "DEBUG" || s == "4")
+        return Level::Debug;
+    if (s == "trace" || s == "TRACE" || s == "5")
+        return Level::Trace;
+    return Level::None;
+}
+
+Level
+level()
+{
+    int lv = g_level.load(std::memory_order_relaxed);
+    if (lv < 0) {
+        const char* env = std::getenv("ZIRIA_LOG");
+        lv = static_cast<int>(env ? parseLevel(env) : Level::None);
+        g_level.store(lv, std::memory_order_relaxed);
+    }
+    return static_cast<Level>(lv);
+}
+
+void
+setLevel(Level lv)
+{
+    g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+void
+setSink(std::FILE* f)
+{
+    g_sink.store(f, std::memory_order_relaxed);
+}
+
+void
+write(Level lv, const std::string& msg)
+{
+    if (!enabled(lv))
+        return;
+    std::FILE* f = g_sink.load(std::memory_order_relaxed);
+    if (!f)
+        f = stderr;
+    std::lock_guard<std::mutex> lk(g_writeMu);
+    std::fprintf(f, "[ziria %s] %s\n", levelTag(lv), msg.c_str());
+    std::fflush(f);
+}
+
+void
+raw(const std::string& line)
+{
+    std::FILE* f = g_sink.load(std::memory_order_relaxed);
+    if (!f)
+        f = stderr;
+    std::lock_guard<std::mutex> lk(g_writeMu);
+    std::fprintf(f, "%s\n", line.c_str());
+}
+
+} // namespace log
+} // namespace ziria

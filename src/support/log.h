@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Leveled logging, controlled by the ZIRIA_LOG environment variable.
+ *
+ * Levels: none (default), error, warn, info, debug, trace — settable by
+ * name or number (0-5).  Logging is off unless ZIRIA_LOG is set, so test
+ * suites that intentionally provoke errors stay quiet; diagnostics that
+ * were previously raw fprintf calls (frame dumps, fatal/panic reporting)
+ * route through here and become visible on demand.
+ *
+ * The sink is a FILE* (default stderr) and can be redirected for tests.
+ * The ZIRIA_LOG macro evaluates its message pieces only when the level
+ * is enabled.
+ */
+#ifndef ZIRIA_SUPPORT_LOG_H
+#define ZIRIA_SUPPORT_LOG_H
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace ziria {
+namespace log {
+
+enum class Level : int {
+    None = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+};
+
+/** Current level (first call parses ZIRIA_LOG). */
+Level level();
+
+/** Override the level programmatically (tests, CLI flags). */
+void setLevel(Level lv);
+
+/** Parse a level from "error"/"warn"/... or "0".."5"; None on garbage. */
+Level parseLevel(const std::string& s);
+
+/** Redirect log output (null restores stderr). */
+void setSink(std::FILE* f);
+
+inline bool
+enabled(Level lv)
+{
+    return static_cast<int>(lv) <= static_cast<int>(level()) &&
+           lv != Level::None;
+}
+
+/** Emit one message at the given level (no-op when disabled). */
+void write(Level lv, const std::string& msg);
+
+/** Emit one line unconditionally (explicit debug aids like dumpVars). */
+void raw(const std::string& line);
+
+namespace detail {
+
+inline void
+streamInto(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream& os, const T& head, const Rest&... rest)
+{
+    os << head;
+    streamInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from stream-able pieces and log it. */
+template <typename... Args>
+void
+writef(Level lv, const Args&... args)
+{
+    if (!enabled(lv))
+        return;
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    write(lv, os.str());
+}
+
+} // namespace log
+} // namespace ziria
+
+/** Level-guarded logging: ZIRIA_LOG(Info, "built ", n, " nodes"). */
+#define ZIRIA_LOG(lv, ...) \
+    ::ziria::log::writef(::ziria::log::Level::lv, __VA_ARGS__)
+
+#endif // ZIRIA_SUPPORT_LOG_H

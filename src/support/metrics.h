@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Metrics primitives for the observability layer: counters, gauges,
+ * log2-bucketed histograms, a named registry, and a small JSON writer.
+ *
+ * The registry is the process-wide sink for coarse-grained events
+ * (pipelines compiled, LUTs built, threaded runs); hot-path per-node
+ * counting lives in zexec/trace.h and writes plain struct fields, so the
+ * registry's mutex is never taken per element.  `metrics::toJson`
+ * serializes a registry; the same JsonWriter backs the `--profile`
+ * export of zirrun.
+ */
+#ifndef ZIRIA_SUPPORT_METRICS_H
+#define ZIRIA_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ziria {
+namespace metrics {
+
+/** Monotonic event counter. */
+struct Counter
+{
+    uint64_t n = 0;
+
+    void inc() { ++n; }
+    void add(uint64_t d) { n += d; }
+    uint64_t value() const { return n; }
+};
+
+/** Last-value (plus running-max) gauge. */
+struct Gauge
+{
+    double v = 0;
+    double maxv = 0;
+
+    void
+    set(double x)
+    {
+        v = x;
+        if (x > maxv)
+            maxv = x;
+    }
+
+    double value() const { return v; }
+    double maxValue() const { return maxv; }
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer observations (bucket i
+ * holds values in [2^(i-1), 2^i); bucket 0 holds zero).  Used for
+ * nanosecond samples, so 64 buckets cover any uint64_t.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    void
+    observe(uint64_t x)
+    {
+        ++buckets_[bucketOf(x)];
+        ++count_;
+        sum_ += x;
+        if (count_ == 1 || x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0;
+    }
+    uint64_t bucket(int i) const { return buckets_[i]; }
+
+    static int
+    bucketOf(uint64_t x)
+    {
+        int b = 0;
+        while (x) {
+            ++b;
+            x >>= 1;
+        }
+        return b < kBuckets ? b : kBuckets - 1;
+    }
+
+  private:
+    uint64_t buckets_[kBuckets] = {};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+/**
+ * Named metric registry.  Lookup takes a mutex; the returned references
+ * are stable for the registry's lifetime (deque storage), so callers on
+ * hot paths resolve once and increment lock-free afterwards (single
+ * writer per metric is the intended discipline).
+ */
+class Registry
+{
+  public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** Snapshot of all counters as (name, value), sorted by name. */
+    std::vector<std::pair<std::string, uint64_t>> counterValues() const;
+
+    /** Remove every metric (tests). */
+    void clear();
+
+    /** The process-wide registry. */
+    static Registry& global();
+
+  private:
+    friend std::string toJson(const Registry&);
+
+    mutable std::mutex mu_;
+    std::deque<std::pair<std::string, Counter>> counters_;
+    std::deque<std::pair<std::string, Gauge>> gauges_;
+    std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+/** Escape a string for inclusion in a JSON document (no quotes added). */
+std::string jsonEscape(const std::string& s);
+
+/**
+ * Incremental JSON document writer with automatic comma placement.
+ * Numbers are emitted losslessly for uint64/int64; doubles use %.9g and
+ * non-finite values become null.
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void beginObject(const std::string& key);
+    void endObject();
+    void beginArray();
+    void beginArray(const std::string& key);
+    void endArray();
+
+    void field(const std::string& key, const std::string& v);
+    void field(const std::string& key, const char* v);
+    void field(const std::string& key, uint64_t v);
+    void field(const std::string& key, int64_t v);
+    void field(const std::string& key, int v);
+    void field(const std::string& key, double v);
+    void field(const std::string& key, bool v);
+
+    /** Bare array element values. */
+    void value(const std::string& v);
+    void value(uint64_t v);
+    void value(double v);
+
+    /** The finished document (all scopes must be closed). */
+    const std::string& str() const { return out_; }
+
+  private:
+    void comma();
+    void key(const std::string& k);
+    void number(double v);
+
+    std::string out_;
+    std::vector<bool> needComma_;
+};
+
+/** Serialize a registry: {"counters":{...},"gauges":{...},"histograms":{...}}. */
+std::string toJson(const Registry& reg);
+
+} // namespace metrics
+} // namespace ziria
+
+#endif // ZIRIA_SUPPORT_METRICS_H

@@ -1,16 +1,22 @@
 #include "support/panic.h"
 
+#include "support/log.h"
+
 namespace ziria {
 
 void
 fatal(const std::string& msg)
 {
+    // Visible with ZIRIA_LOG=error even when the exception is swallowed
+    // by a caller (e.g. a bench harness probing for feasibility).
+    log::write(log::Level::Error, "fatal: " + msg);
     throw FatalError(msg);
 }
 
 void
 panic(const std::string& msg)
 {
+    log::write(log::Level::Error, "panic: " + msg);
     throw PanicError(msg);
 }
 

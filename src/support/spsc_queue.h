@@ -42,6 +42,17 @@ class SpscQueue
     }
 
     size_t elemWidth() const { return width_; }
+    size_t capacity() const { return cap_; }
+
+    /** Occupancy / stall telemetry (read after a run; see stats()). */
+    struct Stats
+    {
+        uint64_t highWater = 0;   ///< max occupancy ever observed
+        uint64_t pushStalls = 0;  ///< producer found the queue full
+        uint64_t popStalls = 0;   ///< consumer found the queue empty
+        uint64_t pushed = 0;
+        uint64_t popped = 0;
+    };
 
     /**
      * Push one element; blocks while full.
@@ -51,12 +62,17 @@ class SpscQueue
     push(const uint8_t* elem)
     {
         std::unique_lock<std::mutex> lk(mu_);
+        if (size_ >= cap_ && !cancelled_)
+            ++stats_.pushStalls;
         notFull_.wait(lk, [&] { return size_ < cap_ || cancelled_; });
         if (cancelled_)
             return false;
         std::memcpy(&buf_[(head_ % cap_) * width_], elem, width_);
         ++head_;
         ++size_;
+        ++stats_.pushed;
+        if (size_ > stats_.highWater)
+            stats_.highWater = size_;
         lk.unlock();
         notEmpty_.notify_one();
         return true;
@@ -70,6 +86,8 @@ class SpscQueue
     pop(uint8_t* elem)
     {
         std::unique_lock<std::mutex> lk(mu_);
+        if (size_ == 0 && !closed_ && !cancelled_)
+            ++stats_.popStalls;
         notEmpty_.wait(lk, [&] {
             return size_ > 0 || closed_ || cancelled_;
         });
@@ -78,9 +96,26 @@ class SpscQueue
         std::memcpy(elem, &buf_[(tail_ % cap_) * width_], width_);
         ++tail_;
         --size_;
+        ++stats_.popped;
         lk.unlock();
         notFull_.notify_one();
         return true;
+    }
+
+    /** Snapshot the telemetry counters. */
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return stats_;
+    }
+
+    /** Zero the telemetry counters (e.g. between runs). */
+    void
+    resetStats()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_ = Stats{};
     }
 
     /** Producer signals end-of-stream. */
@@ -125,6 +160,7 @@ class SpscQueue
     size_t size_ = 0;
     bool closed_ = false;
     bool cancelled_ = false;
+    Stats stats_;
 };
 
 } // namespace ziria

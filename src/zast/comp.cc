@@ -300,6 +300,77 @@ class Cloner
 
 } // namespace
 
+const char*
+compKindName(CompKind k)
+{
+    switch (k) {
+      case CompKind::Take: return "take";
+      case CompKind::TakeMany: return "takes";
+      case CompKind::Emit: return "emit";
+      case CompKind::Emits: return "emits";
+      case CompKind::Return: return "return";
+      case CompKind::Seq: return "seq";
+      case CompKind::Pipe: return "pipe";
+      case CompKind::If: return "if";
+      case CompKind::Repeat: return "repeat";
+      case CompKind::Times: return "times";
+      case CompKind::While: return "while";
+      case CompKind::Map: return "map";
+      case CompKind::Filter: return "filter";
+      case CompKind::LetVar: return "letvar";
+      case CompKind::Native: return "native";
+      case CompKind::CallComp: return "call";
+    }
+    return "?";
+}
+
+int
+countComp(const CompPtr& c)
+{
+    if (!c)
+        return 0;
+    int n = 1;
+    switch (c->kind()) {
+      case CompKind::Seq: {
+        const auto& s = static_cast<const SeqComp&>(*c);
+        for (const auto& it : s.items())
+            n += countComp(it.comp);
+        break;
+      }
+      case CompKind::Pipe: {
+        const auto& p = static_cast<const PipeComp&>(*c);
+        n += countComp(p.left()) + countComp(p.right());
+        break;
+      }
+      case CompKind::If: {
+        const auto& i = static_cast<const IfComp&>(*c);
+        n += countComp(i.thenC()) + countComp(i.elseC());
+        break;
+      }
+      case CompKind::Repeat:
+        n += countComp(static_cast<const RepeatComp&>(*c).body());
+        break;
+      case CompKind::Times:
+        n += countComp(static_cast<const TimesComp&>(*c).body());
+        break;
+      case CompKind::While:
+        n += countComp(static_cast<const WhileComp&>(*c).body());
+        break;
+      case CompKind::LetVar:
+        n += countComp(static_cast<const LetVarComp&>(*c).body());
+        break;
+      case CompKind::CallComp: {
+        const auto& cc = static_cast<const CallCompComp&>(*c);
+        if (cc.fun())
+            n += countComp(cc.fun()->body);
+        break;
+      }
+      default:
+        break;
+    }
+    return n;
+}
+
 CompPtr
 cloneComp(const CompPtr& c, std::vector<std::pair<VarRef, ExprPtr>> subst)
 {

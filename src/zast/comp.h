@@ -451,6 +451,15 @@ class CallCompComp : public Comp
     std::vector<ExprPtr> args_;
 };
 
+/** Short lowercase name of a computation kind ("take", "pipe", ...). */
+const char* compKindName(CompKind k);
+
+/**
+ * Number of computation AST nodes in the tree (expressions excluded).
+ * Used by pass tracing to report tree growth/shrinkage per pass.
+ */
+int countComp(const CompPtr& c);
+
 /**
  * Deep-copy a computation, freshening every variable bound inside it and
  * applying @p subst to free variable occurrences (used by elaboration and

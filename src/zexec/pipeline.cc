@@ -1,5 +1,6 @@
 #include "zexec/pipeline.h"
 
+#include "support/metrics.h"
 #include "support/panic.h"
 #include "zexec/nodes.h"
 #include "zopt/autolut.h"
@@ -12,6 +13,24 @@ size_t
 widthOf(const TypePtr& t)
 {
     return t ? t->byteWidth() : 0;
+}
+
+/** Look through an instrumentation shim (identity when not traced). */
+ExecNode*
+unwrapped(ExecNode* n)
+{
+    if (auto* t = dynamic_cast<TracedNode*>(n))
+        return t->inner();
+    return n;
+}
+
+/** Strip the shim, marking its metrics entry as coalesced away. */
+NodePtr
+stripTrace(NodePtr n)
+{
+    if (auto* t = dynamic_cast<TracedNode*>(n.get()))
+        return t->takeInner();
+    return n;
 }
 
 /** Extract map stages when @p n is a map or an already-coalesced chain. */
@@ -32,7 +51,7 @@ mapStagesOf(NodePtr& n)
 
 NodePtr
 buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
-          BuildStats* stats)
+          BuildStats* stats, const std::string& path)
 {
     if (stats)
         ++stats->nodes;
@@ -82,9 +101,11 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         const auto& s = static_cast<const SeqComp&>(*c);
         std::vector<SeqNode::Item> items;
         items.reserve(s.items().size());
+        size_t i = 0;
         for (const auto& it : s.items()) {
             SeqNode::Item item;
-            item.node = buildNode(it.comp, ec, opt, stats);
+            item.node = buildNode(it.comp, ec, opt, stats,
+                                  path + "/s" + std::to_string(i++));
             if (it.bind) {
                 item.bindOff =
                     static_cast<long>(ec.layout().add(it.bind));
@@ -97,17 +118,22 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
       }
       case CompKind::Pipe: {
         const auto& p = static_cast<const PipeComp&>(*c);
-        NodePtr l = buildNode(p.left(), ec, opt, stats);
-        NodePtr r = buildNode(p.right(), ec, opt, stats);
+        NodePtr l = buildNode(p.left(), ec, opt, stats, path + "/l");
+        NodePtr r = buildNode(p.right(), ec, opt, stats, path + "/r");
         // Execution-level static scheduling: adjacent maps run back to
-        // back with no interior pipe traffic.
-        bool lIsMap = dynamic_cast<MapNode*>(l.get()) != nullptr ||
-                      dynamic_cast<MapChainNode*>(l.get()) != nullptr;
-        bool rIsMap = dynamic_cast<MapNode*>(r.get()) != nullptr ||
-                      dynamic_cast<MapChainNode*>(r.get()) != nullptr;
+        // back with no interior pipe traffic.  Peek through trace shims
+        // so instrumentation never changes the execution structure.
+        ExecNode* lRaw = unwrapped(l.get());
+        ExecNode* rRaw = unwrapped(r.get());
+        bool lIsMap = dynamic_cast<MapNode*>(lRaw) != nullptr ||
+                      dynamic_cast<MapChainNode*>(lRaw) != nullptr;
+        bool rIsMap = dynamic_cast<MapNode*>(rRaw) != nullptr ||
+                      dynamic_cast<MapChainNode*>(rRaw) != nullptr;
         if (lIsMap && rIsMap) {
-            auto ls = mapStagesOf(l);
-            auto rs = mapStagesOf(r);
+            NodePtr lu = stripTrace(std::move(l));
+            NodePtr ru = stripTrace(std::move(r));
+            auto ls = mapStagesOf(lu);
+            auto rs = mapStagesOf(ru);
             ls->insert(ls->end(), std::make_move_iterator(rs->begin()),
                        std::make_move_iterator(rs->end()));
             node = std::make_unique<MapChainNode>(std::move(*ls));
@@ -118,9 +144,10 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
       }
       case CompKind::If: {
         const auto& i = static_cast<const IfComp&>(*c);
-        NodePtr t = buildNode(i.thenC(), ec, opt, stats);
-        NodePtr e =
-            i.elseC() ? buildNode(i.elseC(), ec, opt, stats) : nullptr;
+        NodePtr t = buildNode(i.thenC(), ec, opt, stats, path + "/t");
+        NodePtr e = i.elseC()
+            ? buildNode(i.elseC(), ec, opt, stats, path + "/e")
+            : nullptr;
         node = std::make_unique<IfNode>(ec.compileInt(i.cond()),
                                         std::move(t), std::move(e));
         break;
@@ -128,7 +155,7 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
       case CompKind::Repeat: {
         const auto& r = static_cast<const RepeatComp&>(*c);
         node = std::make_unique<RepeatNode>(
-            buildNode(r.body(), ec, opt, stats));
+            buildNode(r.body(), ec, opt, stats, path + "/rep"));
         break;
       }
       case CompKind::Times: {
@@ -141,13 +168,14 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         }
         node = std::make_unique<TimesNode>(
             ec.compileInt(t.count()), ivOff, ivKind,
-            buildNode(t.body(), ec, opt, stats));
+            buildNode(t.body(), ec, opt, stats, path + "/times"));
         break;
       }
       case CompKind::While: {
         const auto& w = static_cast<const WhileComp&>(*c);
         node = std::make_unique<WhileNode>(
-            ec.compileInt(w.cond()), buildNode(w.body(), ec, opt, stats));
+            ec.compileInt(w.cond()),
+            buildNode(w.body(), ec, opt, stats, path + "/while"));
         break;
       }
       case CompKind::Map: {
@@ -161,6 +189,9 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
             if (lut) {
                 ++stats->lutsBuilt;
                 stats->lutBytes += lut->tableBytes();
+                metrics::Registry::global()
+                    .counter("ziria.luts_built")
+                    .inc();
             }
         }
         node = std::make_unique<MapNode>(
@@ -184,7 +215,7 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
             init = ec.compileInto(l.init());
         node = std::make_unique<LetVarNode>(
             off, l.var()->type->byteWidth(), std::move(init),
-            buildNode(l.body(), ec, opt, stats));
+            buildNode(l.body(), ec, opt, stats, path + "/let"));
         break;
       }
       case CompKind::Native: {
@@ -219,12 +250,24 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
     node->setOutWidth(widthOf(ct.out));
     if (ct.isComputer)
         node->setCtrlWidth(widthOf(ct.ctrl));
+
+    if (opt.instrument && opt.metrics) {
+        // A coalesced chain keeps the AST kind of the pipe that built
+        // it, which is what the path already encodes.
+        NodeMetrics& nm =
+            opt.metrics->addNode(path, compKindName(c->kind()));
+        nm.inWidth = node->inWidth();
+        nm.outWidth = node->outWidth();
+        node = std::make_unique<TracedNode>(std::move(node), &nm,
+                                            opt.sampleShift);
+    }
     return node;
 }
 
 RunStats
 Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
 {
+    metrics::Registry::global().counter("ziria.pipeline_runs").inc();
     RunStats st;
     root_->start(frame_);
     while (true) {
@@ -248,6 +291,7 @@ Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
             break;
         }
     }
+    st.metrics = metrics_.get();
     return st;
 }
 

@@ -7,10 +7,14 @@
 #define ZIRIA_ZEXEC_PIPELINE_H
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "support/panic.h"
 #include "zast/comp.h"
 #include "zexec/node.h"
+#include "zexec/trace.h"
 #include "zexpr/compile_expr.h"
 #include "zexpr/lut.h"
 
@@ -67,6 +71,13 @@ class CyclicSource : public InputSource
                  uint64_t total_elems)
         : buf_(buf), width_(elem_width), remaining_(total_elems)
     {
+        // The wrap check in next() resets pos_ but still reads width_
+        // bytes, so a buffer shorter than one element would read past
+        // its end.  Reject it up front.
+        if (elem_width > 0 && buf.size() < elem_width)
+            fatalf("CyclicSource: buffer of ", buf.size(),
+                   " byte(s) is smaller than one ", elem_width,
+                   "-byte element");
     }
 
     const uint8_t*
@@ -137,17 +148,24 @@ struct RunStats
     uint64_t emitted = 0;        ///< output elements produced
     bool halted = false;         ///< a computer returned
     std::vector<uint8_t> ctrl;   ///< its control value bytes
+    /** Collected instrumentation, when the pipeline was compiled with
+     *  `CompilerOptions::instrument`; null otherwise.  Owned by the
+     *  pipeline and cumulative across its runs. */
+    const PipelineMetrics* metrics = nullptr;
 };
 
 // ---------------------------------------------------------------------
 // Node construction
 // ---------------------------------------------------------------------
 
-/** Options controlling node-level optimizations. */
+/** Options controlling node-level optimizations and instrumentation. */
 struct BuildOptions
 {
     bool autoLut = false;   ///< replace eligible map kernels with LUTs
     LutLimits lutLimits;
+    bool instrument = false;      ///< wrap nodes in TracedNode shims
+    uint32_t sampleShift = 6;     ///< time 1 in 2^N advances per node
+    PipelineMetrics* metrics = nullptr;  ///< sink for NodeMetrics entries
 };
 
 /** Statistics collected while building (reported by the compiler). */
@@ -162,9 +180,12 @@ struct BuildStats
 /**
  * Build the execution-node tree for a checked computation.  The comp must
  * be elaborated (no CallComp) and type-checked (ctype() resolved).
+ * @p path is the stable node-path prefix used to key NodeMetrics when
+ * `opt.instrument` is set (children extend it: "/l", "/r", "/s0", ...).
  */
 NodePtr buildNode(const CompPtr& c, ExprCompiler& ec,
-                  const BuildOptions& opt, BuildStats* stats);
+                  const BuildOptions& opt, BuildStats* stats,
+                  const std::string& path = "root");
 
 // ---------------------------------------------------------------------
 // Single-threaded driver
@@ -196,11 +217,21 @@ class Pipeline
     std::vector<uint8_t> runBytes(const std::vector<uint8_t>& input,
                                   RunStats* stats = nullptr);
 
+    /** Attach the instrumentation collected while building the nodes. */
+    void setMetrics(std::shared_ptr<PipelineMetrics> m)
+    {
+        metrics_ = std::move(m);
+    }
+
+    /** Per-node counters (null unless compiled with instrumentation). */
+    const PipelineMetrics* metrics() const { return metrics_.get(); }
+
   private:
     NodePtr root_;
     Frame frame_;
     size_t inWidth_;
     size_t outWidth_;
+    std::shared_ptr<PipelineMetrics> metrics_;
 };
 
 } // namespace ziria

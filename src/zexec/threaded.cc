@@ -5,8 +5,10 @@
 #include <mutex>
 #include <thread>
 
+#include "support/metrics.h"
 #include "support/panic.h"
 #include "support/spsc_queue.h"
+#include "support/timing.h"
 
 namespace ziria {
 
@@ -20,6 +22,7 @@ struct StageResult
     bool halted = false;
     std::vector<uint8_t> ctrl;
     std::exception_ptr error;
+    double sec = 0;  ///< wall time of the stage's drive loop
 };
 
 /**
@@ -31,6 +34,7 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
          SpscQueue* outq, OutputSink* sink, StageResult& res)
 {
     std::vector<uint8_t> inBuf(std::max<size_t>(node.inWidth(), 1));
+    Stopwatch sw;
     try {
         node.start(frame);
         while (true) {
@@ -66,6 +70,7 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
     } catch (...) {
         res.error = std::current_exception();
     }
+    res.sec = sw.elapsedSec();
     if (outq)
         outq->close();
     // A halted (or failed) stage stops upstream producers.
@@ -114,6 +119,29 @@ ThreadedPipeline::run(InputSource& src, OutputSink& sink)
     for (auto& t : threads)
         t.join();
 
+    // Collect stage/queue telemetry before error propagation so partial
+    // runs still leave a readable record.
+    if (metrics_) {
+        metrics_->stages.clear();
+        metrics_->stages.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            StageMetrics& sm = metrics_->stages[i];
+            sm.consumed = results[i].consumed;
+            sm.emitted = results[i].emitted;
+            sm.halted = results[i].halted;
+            sm.sec = results[i].sec;
+            if (i + 1 < n) {
+                SpscQueue::Stats qs = queues[i]->stats();
+                sm.hasQueue = true;
+                sm.queueCapacity = queueCap_;
+                sm.queueHighWater = qs.highWater;
+                sm.producerStalls = qs.pushStalls;
+                sm.consumerStalls = qs.popStalls;
+            }
+        }
+    }
+    metrics::Registry::global().counter("ziria.threaded_runs").inc();
+
     for (auto& r : results) {
         if (r.error)
             std::rethrow_exception(r.error);
@@ -129,6 +157,7 @@ ThreadedPipeline::run(InputSource& src, OutputSink& sink)
             break;
         }
     }
+    st.metrics = metrics_.get();
     return st;
 }
 

@@ -47,12 +47,24 @@ class ThreadedPipeline
      */
     RunStats run(InputSource& src, OutputSink& sink);
 
+    size_t stageCount() const { return stages_.size(); }
+
+    /** Attach the instrumentation sink; per-stage/queue telemetry is
+     *  recorded into it on every run (replacing the previous run's). */
+    void setMetrics(std::shared_ptr<PipelineMetrics> m)
+    {
+        metrics_ = std::move(m);
+    }
+
+    const PipelineMetrics* metrics() const { return metrics_.get(); }
+
   private:
     std::vector<NodePtr> stages_;
     Frame frame_;
     size_t inWidth_;
     size_t outWidth_;
     size_t queueCap_;
+    std::shared_ptr<PipelineMetrics> metrics_;
 };
 
 } // namespace ziria

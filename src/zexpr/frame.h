@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/log.h"
 #include "support/panic.h"
 #include "zast/expr.h"
 
@@ -102,9 +103,12 @@ class FrameLayout
                   [](const auto& a, const auto& b) {
                       return a.first < b.first;
                   });
-        for (const auto& [off, v] : xs)
-            std::fprintf(stderr, "%6zu %5zu %s_%d\n", off,
-                         v->type->byteWidth(), v->name.c_str(), v->uid);
+        for (const auto& [off, v] : xs) {
+            char line[160];
+            std::snprintf(line, sizeof(line), "%6zu %5zu %s_%d", off,
+                          v->type->byteWidth(), v->name.c_str(), v->uid);
+            log::raw(line);
+        }
     }
 
   private:

@@ -29,22 +29,61 @@ CompilerOptions::forLevel(OptLevel level)
     return opt;
 }
 
+namespace {
+
+/**
+ * Run one AST pass with optional tracing.  All counting/timing
+ * bookkeeping is skipped when no tracer is attached, so untraced
+ * compiles (bench_compile_time) pay nothing.
+ */
+template <typename Fn>
+CompPtr
+runPass(const CompilerOptions& opt, CompileReport* report,
+        const char* name, CompPtr c, Fn&& fn)
+{
+    if (!opt.tracer)
+        return fn(std::move(c));
+    int before = countComp(c);
+    Stopwatch sw;
+    CompPtr out = fn(std::move(c));
+    double sec = sw.elapsedSec();
+    int after = countComp(out);
+    opt.tracer->onPass(name, sec, before, after, out);
+    if (report)
+        report->passes.push_back({name, sec, before, after});
+    return out;
+}
+
+} // namespace
+
 CompPtr
 optimizeComp(const CompPtr& program, const CompilerOptions& opt,
              CompileReport* report)
 {
     Stopwatch sw;
-    CompPtr c = elaborateComp(program);
+    CompPtr c = runPass(opt, report, "elaborate", program,
+                        [](CompPtr x) { return elaborateComp(x); });
     if (opt.fold)
-        c = foldComp(c);
-    checkComp(c);
+        c = runPass(opt, report, "fold", std::move(c),
+                    [](CompPtr x) { return foldComp(x); });
+    c = runPass(opt, report, "check", std::move(c), [](CompPtr x) {
+        checkComp(x);
+        return x;
+    });
     if (report)
         report->frontendSec = sw.elapsedSec();
 
     if (opt.vectorize) {
         sw.reset();
-        c = vectorizeComp(c, opt.vect, report ? &report->vect : nullptr);
-        checkComp(c);
+        c = runPass(opt, report, "vectorize", std::move(c),
+                    [&](CompPtr x) {
+                        return vectorizeComp(
+                            x, opt.vect, report ? &report->vect : nullptr);
+                    });
+        c = runPass(opt, report, "check", std::move(c), [](CompPtr x) {
+            checkComp(x);
+            return x;
+        });
         if (report)
             report->vectorizeSec = sw.elapsedSec();
     }
@@ -52,10 +91,15 @@ optimizeComp(const CompPtr& program, const CompilerOptions& opt,
     sw.reset();
     MapStats ms;
     if (opt.autoMap)
-        c = autoMapComp(c, &ms);
+        c = runPass(opt, report, "auto-map", std::move(c),
+                    [&](CompPtr x) { return autoMapComp(x, &ms); });
     if (opt.fuse)
-        c = fuseMaps(c, &ms);
-    checkComp(c);
+        c = runPass(opt, report, "fuse", std::move(c),
+                    [&](CompPtr x) { return fuseMaps(x, &ms); });
+    c = runPass(opt, report, "check", std::move(c), [](CompPtr x) {
+        checkComp(x);
+        return x;
+    });
     if (report) {
         report->maps = ms;
         report->optimizeSec = sw.elapsedSec();
@@ -92,15 +136,23 @@ compilePipeline(const CompPtr& program, const CompilerOptions& opt,
     Stopwatch sw;
     FrameLayout layout;
     ExprCompiler ec(layout);
+    std::shared_ptr<PipelineMetrics> pm;
     BuildOptions bo;
     bo.autoLut = opt.autoLut;
     bo.lutLimits = opt.lut;
+    if (opt.instrument) {
+        pm = std::make_shared<PipelineMetrics>();
+        bo.instrument = true;
+        bo.sampleShift = opt.sampleShift;
+        bo.metrics = pm.get();
+    }
     BuildStats bs;
     NodePtr root = buildNode(c, ec, bo, &bs);
     size_t inW = root->inWidth();
     size_t outW = root->outWidth();
     auto p = std::make_unique<Pipeline>(std::move(root),
                                         layout.frameSize(), inW, outW);
+    p->setMetrics(std::move(pm));
     if (report) {
         report->build = bs;
         report->buildSec = sw.elapsedSec();
@@ -121,14 +173,22 @@ compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
 
     FrameLayout layout;
     ExprCompiler ec(layout);
+    std::shared_ptr<PipelineMetrics> pm;
     BuildOptions bo;
     bo.autoLut = opt.autoLut;
     bo.lutLimits = opt.lut;
+    if (opt.instrument) {
+        pm = std::make_shared<PipelineMetrics>();
+        bo.instrument = true;
+        bo.sampleShift = opt.sampleShift;
+        bo.metrics = pm.get();
+    }
     BuildStats bs;
     std::vector<NodePtr> stages;
     stages.reserve(parts.size());
-    for (const auto& part : parts)
-        stages.push_back(buildNode(part, ec, bo, &bs));
+    for (size_t i = 0; i < parts.size(); ++i)
+        stages.push_back(buildNode(parts[i], ec, bo, &bs,
+                                   "stage" + std::to_string(i)));
 
     size_t inW = stages.front()->inWidth();
     size_t outW = stages.back()->outWidth();
@@ -137,12 +197,56 @@ compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
     auto p = std::make_unique<ThreadedPipeline>(std::move(stages),
                                                 layout.frameSize(), inW,
                                                 outW, opt.queueCapacity);
+    // Stage/queue telemetry is recorded on every run once a metrics
+    // object is attached; node-level counters ride the same object.
+    if (!pm)
+        pm = std::make_shared<PipelineMetrics>();
+    p->setMetrics(std::move(pm));
     if (report) {
         report->build = bs;
         report->buildSec = sw.elapsedSec();
         report->frameBytes = layout.frameSize();
     }
     return p;
+}
+
+void
+CompileReport::writeJson(metrics::JsonWriter& w) const
+{
+    w.field("total_sec", totalSec());
+    w.field("frontend_sec", frontendSec);
+    w.field("vectorize_sec", vectorizeSec);
+    w.field("optimize_sec", optimizeSec);
+    w.field("build_sec", buildSec);
+    w.field("frame_bytes", frameBytes);
+    w.field("signature", signature.show());
+    w.beginObject("vect");
+    w.field("candidates", static_cast<int64_t>(vect.generated));
+    w.field("kept", static_cast<int64_t>(vect.kept));
+    w.field("capped", vect.capped);
+    w.field("chosen_in", vect.chosenIn);
+    w.field("chosen_out", vect.chosenOut);
+    w.endObject();
+    w.beginObject("maps");
+    w.field("auto_mapped", maps.autoMapped);
+    w.field("fused", maps.fused);
+    w.endObject();
+    w.beginObject("build");
+    w.field("nodes", build.nodes);
+    w.field("map_nodes", build.mapNodes);
+    w.field("luts_built", build.lutsBuilt);
+    w.field("lut_bytes", build.lutBytes);
+    w.endObject();
+    w.beginArray("passes");
+    for (const auto& p : passes) {
+        w.beginObject();
+        w.field("name", p.name);
+        w.field("sec", p.sec);
+        w.field("nodes_before", p.nodesBefore);
+        w.field("nodes_after", p.nodesAfter);
+        w.endObject();
+    }
+    w.endArray();
 }
 
 } // namespace ziria

@@ -25,6 +25,7 @@
 #include "zast/comp.h"
 #include "zexec/pipeline.h"
 #include "zexec/threaded.h"
+#include "zir/pass_trace.h"
 #include "zvect/vectorize.h"
 #include "zopt/passes.h"
 
@@ -44,6 +45,13 @@ struct CompilerOptions
     VectConfig vect;
     LutLimits lut;
     size_t queueCapacity = 4096;
+    /** Observe each AST pass (timing, node counts, optional AST dumps).
+     *  Null disables all tracing bookkeeping. */
+    PassTracer* tracer = nullptr;
+    /** Instrument the built nodes with per-node counters (zexec/trace.h);
+     *  the resulting pipeline exposes metrics() and RunStats::metrics. */
+    bool instrument = false;
+    uint32_t sampleShift = 6;  ///< advance-time sampling rate (2^N)
 
     static CompilerOptions forLevel(OptLevel level);
 };
@@ -60,12 +68,17 @@ struct CompileReport
     double buildSec = 0;     ///< node build incl. LUT table generation
     size_t frameBytes = 0;
     CompType signature;
+    /** Per-pass records; filled only when compiled with a tracer. */
+    std::vector<PassRecord> passes;
 
     double
     totalSec() const
     {
         return frontendSec + vectorizeSec + optimizeSec + buildSec;
     }
+
+    /** Serialize (timings, stats, passes) into an open JSON object. */
+    void writeJson(metrics::JsonWriter& w) const;
 };
 
 /**

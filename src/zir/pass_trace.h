@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Compiler pass tracing: per-pass timing, AST node counts before/after,
+ * and (at verbosity >= 2) the pretty-printed AST between passes —
+ * turning the previously opaque elaborate -> fold -> vectorize ->
+ * auto-map -> fuse pipeline into an inspectable sequence.
+ *
+ * Tracing is opt-in: `CompilerOptions::tracer` is null by default and
+ * the driver then skips all counting/timing bookkeeping, so
+ * bench_compile_time measures the same pipeline it always did.
+ */
+#ifndef ZIRIA_ZIR_PASS_TRACE_H
+#define ZIRIA_ZIR_PASS_TRACE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/metrics.h"
+#include "zast/comp.h"
+#include "zast/printer.h"
+
+namespace ziria {
+
+/** One pass's trace entry. */
+struct PassRecord
+{
+    std::string name;
+    double sec = 0;
+    int nodesBefore = 0;
+    int nodesAfter = 0;
+};
+
+/**
+ * Collects PassRecords and optionally narrates them as passes run.
+ * Verbosity: 0 collect only; 1 log one line per pass; >= 2 also dump
+ * the pretty-printed AST after each pass.
+ */
+class PassTracer
+{
+  public:
+    explicit PassTracer(int verbosity = 1, std::FILE* out = stderr)
+        : verbosity_(verbosity), out_(out)
+    {
+    }
+
+    void
+    onPass(const std::string& name, double sec, int before, int after,
+           const CompPtr& ast)
+    {
+        records_.push_back({name, sec, before, after});
+        if (verbosity_ >= 1) {
+            std::fprintf(out_,
+                         "[pass] %-10s %9.3f ms  nodes %4d -> %4d\n",
+                         name.c_str(), sec * 1e3, before, after);
+        }
+        if (verbosity_ >= 2 && ast) {
+            std::fprintf(out_, "---- after %s ----\n%s\n", name.c_str(),
+                         showComp(ast).c_str());
+        }
+        std::fflush(out_);
+    }
+
+    const std::vector<PassRecord>& records() const { return records_; }
+
+    /** Serialize the records as a JSON array field. */
+    void
+    writeJson(metrics::JsonWriter& w, const std::string& key) const
+    {
+        w.beginArray(key);
+        for (const auto& r : records_) {
+            w.beginObject();
+            w.field("name", r.name);
+            w.field("sec", r.sec);
+            w.field("nodes_before", r.nodesBefore);
+            w.field("nodes_after", r.nodesAfter);
+            w.endObject();
+        }
+        w.endArray();
+    }
+
+  private:
+    int verbosity_;
+    std::FILE* out_;
+    std::vector<PassRecord> records_;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_ZIR_PASS_TRACE_H

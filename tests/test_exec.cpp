@@ -271,6 +271,84 @@ TEST(Exec, RepeatLivelockGuard)
     EXPECT_THROW(p->runBytes({}), FatalError);
 }
 
+TEST(Exec, RunStatsForComputerHaltingMidStream)
+{
+    // A computer that takes 2 of the 4 available elements, emits one,
+    // and returns: RunStats must report the exact traffic plus the
+    // control value bytes.
+    VarRef a = freshVar("a", Type::int32());
+    VarRef b = freshVar("b", Type::int32());
+    auto p = make(seqc({bindc(a, take(Type::int32())),
+                        bindc(b, take(Type::int32())),
+                        just(emit(var(a) + var(b))),
+                        just(ret(var(a) * 10))}));
+    RunStats st;
+    auto out = p->runBytes(fromInts({3, 4, 100, 200}), &st);
+    EXPECT_EQ(toInts(out), (std::vector<int32_t>{7}));
+    EXPECT_EQ(st.consumed, 2u);
+    EXPECT_EQ(st.emitted, 1u);
+    EXPECT_TRUE(st.halted);
+    ASSERT_EQ(st.ctrl.size(), 4u);
+    int32_t ctrl;
+    std::memcpy(&ctrl, st.ctrl.data(), 4);
+    EXPECT_EQ(ctrl, 30);
+}
+
+TEST(Exec, RunStatsForTransformerExhaustingInput)
+{
+    VarRef x = freshVar("x", Type::int32());
+    auto p = make(repeatc(seqc({bindc(x, take(Type::int32())),
+                                just(emit(var(x)))})));
+    RunStats st;
+    p->runBytes(fromInts({1, 2, 3, 4, 5, 6}), &st);
+    EXPECT_EQ(st.consumed, 6u);
+    EXPECT_EQ(st.emitted, 6u);
+    EXPECT_FALSE(st.halted);
+    EXPECT_TRUE(st.ctrl.empty());
+}
+
+TEST(Exec, RunStatsForTransformerWithMaxOut)
+{
+    // max_out cuts a 1-in/1-out transformer off exactly: consumed
+    // tracks emitted, no halt is reported.
+    VarRef x = freshVar("x", Type::int32());
+    auto p = make(repeatc(seqc({bindc(x, take(Type::int32())),
+                                just(emit(var(x) + 1))})));
+    std::vector<int32_t> input(1000);
+    for (size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<int32_t>(i);
+    auto bytes = fromInts(input);
+    MemSource src(bytes, 4);
+    VecSink sink(4);
+    RunStats st = p->run(src, sink, 10);
+    EXPECT_EQ(st.emitted, 10u);
+    EXPECT_EQ(st.consumed, 10u);
+    EXPECT_FALSE(st.halted);
+    EXPECT_EQ(sink.elems(), 10u);
+}
+
+TEST(Exec, CyclicSourceRejectsBufferShorterThanOneElement)
+{
+    // Regression: the wrap check reset pos_ but still read width_ bytes,
+    // so a 2-byte buffer with 4-byte elements read past the end.
+    std::vector<uint8_t> buf{1, 2};
+    EXPECT_THROW(CyclicSource(buf, 4, 10), FatalError);
+}
+
+TEST(Exec, CyclicSourceWrapsWholeElements)
+{
+    // 8-byte buffer, 4-byte elements, 5 reads: wraps after 2 elements.
+    auto bytes = fromInts({11, 22});
+    CyclicSource src(bytes, 4, 5);
+    std::vector<int32_t> got;
+    while (const uint8_t* p = src.next()) {
+        int32_t v;
+        std::memcpy(&v, p, 4);
+        got.push_back(v);
+    }
+    EXPECT_EQ(got, (std::vector<int32_t>{11, 22, 11, 22, 11}));
+}
+
 TEST(Exec, RunStopsAtMaxOut)
 {
     VarRef n = freshVar("n", Type::int32());

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the observability layer: metric primitives and the registry,
+ * JSON export, leveled logging, compiler pass tracing, and the per-node
+ * runtime counters — which must agree with RunStats and must never
+ * change what an instrumented pipeline computes.
+ */
+#include <gtest/gtest.h>
+
+#include "support/log.h"
+#include "support/metrics.h"
+#include "zast/builder.h"
+#include "zexec/trace.h"
+#include "zir/compiler.h"
+
+namespace ziria {
+namespace {
+
+using namespace zb;
+
+std::vector<uint8_t>
+fromInts(const std::vector<int32_t>& xs)
+{
+    std::vector<uint8_t> out(xs.size() * 4);
+    std::memcpy(out.data(), xs.data(), out.size());
+    return out;
+}
+
+/** Braces/brackets balance and strings stay closed: cheap JSON sanity. */
+bool
+balancedJson(const std::string& s)
+{
+    int depth = 0;
+    bool inStr = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (inStr) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inStr = false;
+        } else if (c == '"') {
+            inStr = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !inStr;
+}
+
+TEST(Metrics, CounterAndGauge)
+{
+    metrics::Counter c;
+    c.inc();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    metrics::Gauge g;
+    g.set(3.5);
+    g.set(1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+    EXPECT_DOUBLE_EQ(g.maxValue(), 3.5);
+}
+
+TEST(Metrics, HistogramBucketsAndStats)
+{
+    EXPECT_EQ(metrics::Histogram::bucketOf(0), 0);
+    EXPECT_EQ(metrics::Histogram::bucketOf(1), 1);
+    EXPECT_EQ(metrics::Histogram::bucketOf(2), 2);
+    EXPECT_EQ(metrics::Histogram::bucketOf(3), 2);
+    EXPECT_EQ(metrics::Histogram::bucketOf(4), 3);
+    EXPECT_EQ(metrics::Histogram::bucketOf(~uint64_t{0}),
+              metrics::Histogram::kBuckets - 1);
+
+    metrics::Histogram h;
+    for (uint64_t x : {5u, 0u, 100u, 7u})
+        h.observe(x);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 112u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 28.0);
+    EXPECT_EQ(h.bucket(metrics::Histogram::bucketOf(5)), 2u);  // 5 and 7
+    EXPECT_EQ(h.bucket(metrics::Histogram::bucketOf(100)), 1u);
+}
+
+TEST(Metrics, RegistryStableRefsAndSnapshot)
+{
+    metrics::Registry reg;
+    metrics::Counter& a = reg.counter("zz.last");
+    a.inc();
+    // Creating more metrics must not invalidate the earlier reference.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("c" + std::to_string(i)).inc();
+    a.inc();
+    EXPECT_EQ(reg.counter("zz.last").value(), 2u);
+
+    auto snap = reg.counterValues();
+    ASSERT_EQ(snap.size(), 101u);
+    EXPECT_EQ(snap.back().first, "zz.last");  // sorted by name
+    EXPECT_EQ(snap.back().second, 2u);
+
+    reg.clear();
+    EXPECT_TRUE(reg.counterValues().empty());
+}
+
+TEST(Metrics, JsonEscape)
+{
+    EXPECT_EQ(metrics::jsonEscape("a\"b\\c\nd\te"),
+              "a\\\"b\\\\c\\nd\\te");
+    EXPECT_EQ(metrics::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Metrics, JsonWriterDocument)
+{
+    metrics::JsonWriter w;
+    w.beginObject();
+    w.field("s", "hi");
+    w.field("n", uint64_t{18446744073709551615ull});
+    w.field("i", -7);
+    w.field("b", true);
+    w.beginArray("xs");
+    w.value(uint64_t{1});
+    w.value(2.5);
+    w.endArray();
+    w.beginObject("o");
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"s\":\"hi\",\"n\":18446744073709551615,\"i\":-7,"
+              "\"b\":true,\"xs\":[1,2.5],\"o\":{}}");
+}
+
+TEST(Metrics, JsonWriterNonFiniteBecomesNull)
+{
+    metrics::JsonWriter w;
+    w.beginObject();
+    w.field("x", 0.0 / 0.0);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"x\":null}");
+}
+
+TEST(Metrics, RegistryToJsonWellFormed)
+{
+    metrics::Registry reg;
+    reg.counter("runs").add(3);
+    reg.gauge("load").set(0.5);
+    reg.histogram("ns").observe(42);
+    std::string doc = metrics::toJson(reg);
+    EXPECT_TRUE(balancedJson(doc)) << doc;
+    EXPECT_NE(doc.find("\"runs\":3"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"load\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"ns\""), std::string::npos) << doc;
+}
+
+TEST(Log, ParseLevel)
+{
+    using log::Level;
+    EXPECT_EQ(log::parseLevel("error"), Level::Error);
+    EXPECT_EQ(log::parseLevel("warn"), Level::Warn);
+    EXPECT_EQ(log::parseLevel("info"), Level::Info);
+    EXPECT_EQ(log::parseLevel("debug"), Level::Debug);
+    EXPECT_EQ(log::parseLevel("trace"), Level::Trace);
+    EXPECT_EQ(log::parseLevel("5"), Level::Trace);
+    EXPECT_EQ(log::parseLevel("0"), Level::None);
+    EXPECT_EQ(log::parseLevel("garbage"), Level::None);
+}
+
+TEST(Log, LevelGatesOutputAndSinkRedirects)
+{
+    std::FILE* f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    log::setSink(f);
+    log::setLevel(log::Level::Warn);
+    log::write(log::Level::Info, "hidden");
+    log::write(log::Level::Error, "boom");
+    ZIRIA_LOG(Warn, "n=", 7);
+    log::setLevel(log::Level::None);
+    log::setSink(nullptr);
+
+    std::fflush(f);
+    std::rewind(f);
+    char buf[256] = {};
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::string got(buf, n);
+    EXPECT_EQ(got.find("hidden"), std::string::npos) << got;
+    EXPECT_NE(got.find("boom"), std::string::npos) << got;
+    EXPECT_NE(got.find("n=7"), std::string::npos) << got;
+}
+
+TEST(PassTrace, RecordsCollectedDuringCompile)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr program = repeatc(seqc({bindc(x, take(Type::int32())),
+                                    just(emit(var(x) + 1))}));
+    PassTracer tracer(0);  // collect only, no narration
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::All);
+    opt.tracer = &tracer;
+    CompileReport rep;
+    compilePipeline(program, opt, &rep);
+
+    ASSERT_GE(rep.passes.size(), 5u);
+    EXPECT_EQ(rep.passes.size(), tracer.records().size());
+    bool sawElaborate = false, sawVectorize = false;
+    for (const auto& r : rep.passes) {
+        EXPECT_GT(r.nodesBefore, 0) << r.name;
+        EXPECT_GT(r.nodesAfter, 0) << r.name;
+        EXPECT_GE(r.sec, 0.0) << r.name;
+        sawElaborate |= r.name == "elaborate";
+        sawVectorize |= r.name == "vectorize";
+    }
+    EXPECT_TRUE(sawElaborate);
+    EXPECT_TRUE(sawVectorize);
+
+    metrics::JsonWriter w;
+    w.beginObject();
+    tracer.writeJson(w, "passes");
+    w.endObject();
+    EXPECT_TRUE(balancedJson(w.str())) << w.str();
+    EXPECT_NE(w.str().find("\"elaborate\""), std::string::npos);
+}
+
+TEST(PassTrace, CompKindNamesAndCountComp)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr c = repeatc(seqc({bindc(x, take(Type::int32())),
+                              just(emit(var(x)))}));
+    EXPECT_STREQ(compKindName(c->kind()), "repeat");
+    EXPECT_EQ(countComp(c), 4);  // repeat + seq + take + emit
+}
+
+TEST(Trace, InstrumentedCountersMatchRunStats)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr program = repeatc(seqc({bindc(x, take(Type::int32())),
+                                    just(emit(var(x) * 2))}));
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.instrument = true;
+    opt.sampleShift = 0;  // time every advance
+    auto p = compilePipeline(program, opt);
+
+    RunStats st;
+    p->runBytes(fromInts({1, 2, 3, 4, 5}), &st);
+    EXPECT_EQ(st.consumed, 5u);
+    EXPECT_EQ(st.emitted, 5u);
+
+    ASSERT_NE(st.metrics, nullptr);
+    ASSERT_FALSE(st.metrics->nodes.empty());
+    const NodeMetrics* root = nullptr;
+    for (const auto& n : st.metrics->nodes)
+        if (n.path == "root")
+            root = &n;
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->kind, "repeat");
+    EXPECT_EQ(root->elemsOut(), st.emitted);
+    EXPECT_EQ(root->elemsIn(), st.consumed);
+    EXPECT_GE(root->advances, root->yields);
+    EXPECT_EQ(root->yields + root->needInputs + root->dones,
+              root->advances);
+    EXPECT_EQ(root->samples, root->advances);  // sampleShift 0
+    EXPECT_EQ(root->inWidth, 4u);
+    EXPECT_EQ(root->outWidth, 4u);
+}
+
+TEST(Trace, CountersAccumulateAcrossRuns)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr program = repeatc(seqc({bindc(x, take(Type::int32())),
+                                    just(emit(var(x)))}));
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.instrument = true;
+    auto p = compilePipeline(program, opt);
+    p->runBytes(fromInts({1, 2, 3}));
+    RunStats st;
+    p->runBytes(fromInts({4, 5}), &st);
+    ASSERT_NE(st.metrics, nullptr);
+    const NodeMetrics* root = nullptr;
+    for (const auto& n : st.metrics->nodes)
+        if (n.path == "root")
+            root = &n;
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->elemsIn(), 5u);  // cumulative over both runs
+}
+
+TEST(Trace, InstrumentationPreservesOutput)
+{
+    auto mkProgram = [] {
+        // Exercises map-chain coalescing under the shims (the pipe of
+        // two maps must still collapse into one MapChainNode).
+        VarRef a = freshVar("a", Type::int32());
+        VarRef b = freshVar("b", Type::int32());
+        FunRef f = fun("inc", {a}, {}, var(a) + 1);
+        FunRef g = fun("dbl", {b}, {}, var(b) * 2);
+        return pipe(mapc(f), mapc(g));
+    };
+    std::vector<int32_t> input;
+    for (int i = 0; i < 512; ++i)
+        input.push_back(i * 3 - 700);
+
+    auto plain = compilePipeline(
+        mkProgram(), CompilerOptions::forLevel(OptLevel::All));
+    CompilerOptions iopt = CompilerOptions::forLevel(OptLevel::All);
+    iopt.instrument = true;
+    auto traced = compilePipeline(mkProgram(), iopt);
+
+    EXPECT_EQ(plain->runBytes(fromInts(input)),
+              traced->runBytes(fromInts(input)));
+
+    // The coalesced-away children are marked discarded and excluded
+    // from the export.
+    ASSERT_NE(traced->metrics(), nullptr);
+    std::string doc = traced->metrics()->toJson();
+    EXPECT_TRUE(balancedJson(doc)) << doc;
+    for (const auto& n : traced->metrics()->nodes) {
+        if (n.discarded)
+            EXPECT_EQ(doc.find("\"" + n.path + "\""), std::string::npos);
+    }
+}
+
+TEST(Trace, UninstrumentedPipelineHasNoMetrics)
+{
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr program = repeatc(seqc({bindc(x, take(Type::int32())),
+                                    just(emit(var(x)))}));
+    auto p = compilePipeline(program,
+                             CompilerOptions::forLevel(OptLevel::None));
+    RunStats st;
+    p->runBytes(fromInts({1, 2}), &st);
+    EXPECT_EQ(p->metrics(), nullptr);
+    EXPECT_EQ(st.metrics, nullptr);
+}
+
+TEST(Trace, GlobalRegistryCountsRuns)
+{
+    uint64_t before =
+        metrics::Registry::global().counter("ziria.pipeline_runs").value();
+    VarRef x = freshVar("x", Type::int32());
+    auto p = compilePipeline(
+        repeatc(seqc({bindc(x, take(Type::int32())),
+                      just(emit(var(x)))})),
+        CompilerOptions::forLevel(OptLevel::None));
+    p->runBytes(fromInts({1}));
+    p->runBytes(fromInts({2}));
+    EXPECT_EQ(
+        metrics::Registry::global().counter("ziria.pipeline_runs").value(),
+        before + 2);
+}
+
+} // namespace
+} // namespace ziria

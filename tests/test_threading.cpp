@@ -183,6 +183,94 @@ TEST(Threaded, StageErrorPropagates)
     EXPECT_THROW(p->run(src, sink), FatalError);
 }
 
+TEST(Threaded, RunStatsAndStageTelemetry)
+{
+    // Stage/queue telemetry is recorded on every threaded run, even
+    // without per-node instrumentation.
+    auto p = compileThreadedPipeline(
+        ppipe(incBlock(1), incBlock(2)),
+        CompilerOptions::forLevel(OptLevel::None));
+    std::vector<int32_t> in(20000);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i);
+    auto bytes = intBytes(in);
+    MemSource src(bytes, 4);
+    VecSink sink(4);
+    RunStats st = p->run(src, sink);
+    EXPECT_EQ(st.consumed, in.size());
+    EXPECT_EQ(st.emitted, in.size());
+
+    ASSERT_NE(st.metrics, nullptr);
+    ASSERT_EQ(st.metrics->stages.size(), p->stageCount());
+    const StageMetrics& s0 = st.metrics->stages.front();
+    const StageMetrics& s1 = st.metrics->stages.back();
+    EXPECT_EQ(s0.consumed, st.consumed);
+    EXPECT_EQ(s1.emitted, st.emitted);
+    EXPECT_EQ(s0.emitted, s1.consumed);  // all queue traffic delivered
+    EXPECT_FALSE(s0.halted);
+    EXPECT_GE(s0.sec, 0.0);
+
+    EXPECT_TRUE(s0.hasQueue);
+    EXPECT_FALSE(s1.hasQueue);
+    EXPECT_GT(s0.queueCapacity, 0u);
+    EXPECT_GE(s0.queueHighWater, 1u);
+    EXPECT_LE(s0.queueHighWater, s0.queueCapacity);
+}
+
+TEST(Threaded, TelemetryReplacedEachRunAndRecordsHalt)
+{
+    // A halting middle stage: its StageMetrics entry reports the halt,
+    // and a second run replaces (not appends to) the stage records.
+    VarRef a = freshVar("a", Type::int32());
+    auto mkHalting = [&] {
+        return seqc({bindc(a, take(Type::int32())),
+                     just(ret(var(a)))});
+    };
+    auto p = compileThreadedPipeline(
+        ppipe(incBlock(1), mkHalting()),
+        CompilerOptions::forLevel(OptLevel::None));
+    std::vector<int32_t> in(50000, 2);
+    auto bytes = intBytes(in);
+    for (int round = 0; round < 2; ++round) {
+        MemSource src(bytes, 4);
+        NullSink sink;
+        RunStats st = p->run(src, sink);
+        EXPECT_TRUE(st.halted);
+        ASSERT_NE(st.metrics, nullptr);
+        ASSERT_EQ(st.metrics->stages.size(), 2u);
+        EXPECT_TRUE(st.metrics->stages.back().halted);
+        EXPECT_FALSE(st.metrics->stages.front().halted);
+    }
+}
+
+TEST(Threaded, InstrumentedStagesExposePerNodeCounters)
+{
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.instrument = true;
+    auto p = compileThreadedPipeline(
+        ppipe(incBlock(1), incBlock(2)), opt);
+    std::vector<int32_t> in{1, 2, 3, 4, 5};
+    auto bytes = intBytes(in);
+    MemSource src(bytes, 4);
+    VecSink sink(4);
+    RunStats st = p->run(src, sink);
+
+    ASSERT_NE(st.metrics, nullptr);
+    const NodeMetrics* stage0 = nullptr;
+    const NodeMetrics* stage1 = nullptr;
+    for (const auto& n : st.metrics->nodes) {
+        if (n.path == "stage0")
+            stage0 = &n;
+        if (n.path == "stage1")
+            stage1 = &n;
+    }
+    ASSERT_NE(stage0, nullptr);
+    ASSERT_NE(stage1, nullptr);
+    EXPECT_EQ(stage0->elemsIn(), in.size());
+    EXPECT_EQ(stage0->elemsOut(), in.size());
+    EXPECT_EQ(stage1->elemsOut(), st.emitted);
+}
+
 TEST(Threaded, RepeatedRunsReuseThePipeline)
 {
     auto p = compileThreadedPipeline(
