@@ -2,7 +2,49 @@
 # Capture the full test suite, the observability overhead guard, and
 # every benchmark harness into the canonical output files referenced by
 # EXPERIMENTS.md.
+#
+# Usage:
+#   scripts/run_all.sh                      normal run (uses ./build)
+#   scripts/run_all.sh --sanitize=asan      full suite under ASan
+#   scripts/run_all.sh --sanitize=ubsan     full suite under UBSan
+#   scripts/run_all.sh --sanitize=tsan     'sanitizer'-labeled suites
+#                                           (threading + differential)
+#                                           under TSan
+#
+# Sanitizer runs configure and build a separate tree (build-<mode>) so
+# they never disturb the primary build directory, and write their ctest
+# log to test_output.<mode>.txt.
 cd "$(dirname "$0")/.." || exit 1
+
+sanitize=""
+for arg in "$@"; do
+    case "$arg" in
+      --sanitize=*) sanitize="${arg#--sanitize=}" ;;
+      *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+if [ -n "$sanitize" ]; then
+    case "$sanitize" in
+      asan|ubsan|tsan) ;;
+      *) echo "--sanitize must be asan, ubsan, or tsan" >&2; exit 2 ;;
+    esac
+    bdir="build-$sanitize"
+    cmake -B "$bdir" -S . -DZIRIA_SANITIZE="$sanitize" || exit 1
+    cmake --build "$bdir" -j || exit 1
+    # TSan only pays off on the suites that actually spin up threads;
+    # ASan/UBSan sweep everything.
+    if [ "$sanitize" = "tsan" ]; then
+        label_args="-L sanitizer"
+    else
+        label_args=""
+    fi
+    # shellcheck disable=SC2086  # label_args is intentionally split
+    ctest --test-dir "$bdir" --output-on-failure $label_args 2>&1 \
+        | tee "test_output.$sanitize.txt"
+    exit $?
+fi
+
 ctest --test-dir build 2>&1 | tee test_output.txt
 sh scripts/check_overhead.sh 2>&1 | tee overhead_output.txt
 {

@@ -1,0 +1,371 @@
+#include "zgen/generator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/panic.h"
+#include "support/rng.h"
+#include "zast/builder.h"
+
+namespace ziria {
+namespace zgen {
+
+using namespace zb;
+
+namespace {
+
+TypePtr
+elemType(GenDomain d)
+{
+    return d == GenDomain::Int32 ? Type::int32() : Type::bit();
+}
+
+/** Small literal of a domain's element type (bounded: no overflow). */
+ExprPtr
+randomLit(GenDomain d, Rng& rng)
+{
+    if (d == GenDomain::Int32)
+        return cInt(static_cast<int32_t>(rng.below(256)));
+    return cBit(static_cast<int>(rng.bit()));
+}
+
+/**
+ * The legacy property-test stage: take N bits into an array, fold one
+ * into a bit of state, emit M random taps xored with the state.
+ */
+CompPtr
+xorStateStage(Rng& rng, int takeN, int emitN)
+{
+    VarRef st = freshVar("st", Type::bit());
+    VarRef a = freshVar("a", Type::array(Type::bit(), std::max(takeN, 1)));
+    std::vector<SeqComp::Item> items;
+    items.push_back(bindc(a, takes(Type::bit(), takeN)));
+    StmtList upd;
+    upd.push_back(assign(var(st), var(st) ^ idx(var(a), 0)));
+    items.push_back(just(doS(std::move(upd))));
+    std::vector<ExprPtr> outs;
+    for (int i = 0; i < emitN; ++i) {
+        outs.push_back(
+            idx(var(a), static_cast<int>(rng.below(
+                            static_cast<uint64_t>(takeN)))) ^
+            var(st));
+    }
+    items.push_back(just(emits(arrayLit(std::move(outs)))));
+    return letvar(st, cBit(static_cast<int>(rng.bit())),
+                  repeatc(seqc(std::move(items))));
+}
+
+/** One-element delay line: emit the previous element, keep the new. */
+CompPtr
+delayStage(GenDomain d, Rng& rng)
+{
+    VarRef prev = freshVar("prev", elemType(d));
+    VarRef x = freshVar("x", elemType(d));
+    std::vector<SeqComp::Item> items;
+    items.push_back(bindc(x, take(elemType(d))));
+    items.push_back(just(emit(var(prev))));
+    StmtList upd;
+    upd.push_back(assign(var(prev), var(x)));
+    items.push_back(just(doS(std::move(upd))));
+    return letvar(prev, randomLit(d, rng), repeatc(seqc(std::move(items))));
+}
+
+/** Pure array reversal: take N, emit them back to front. */
+CompPtr
+reverseStage(GenDomain d, int n)
+{
+    VarRef a = freshVar("a", Type::array(elemType(d), n));
+    std::vector<SeqComp::Item> items;
+    items.push_back(bindc(a, takes(elemType(d), n)));
+    std::vector<ExprPtr> outs;
+    for (int i = n - 1; i >= 0; --i)
+        outs.push_back(idx(var(a), i));
+    items.push_back(just(emits(arrayLit(std::move(outs)))));
+    return repeatc(seqc(std::move(items)));
+}
+
+/** Expanding stage: take one element, emit M derived copies. */
+CompPtr
+dupStage(GenDomain d, Rng& rng, int emitN)
+{
+    VarRef x = freshVar("x", elemType(d));
+    std::vector<SeqComp::Item> items;
+    items.push_back(bindc(x, take(elemType(d))));
+    std::vector<ExprPtr> outs;
+    for (int i = 0; i < emitN; ++i) {
+        if (d == GenDomain::Int32)
+            outs.push_back((var(x) + static_cast<int64_t>(rng.below(16))) &
+                           0xFFFF);
+        else
+            outs.push_back(var(x) ^ cBit(static_cast<int>(rng.bit())));
+    }
+    items.push_back(just(emits(arrayLit(std::move(outs)))));
+    return repeatc(seqc(std::move(items)));
+}
+
+/** Shrinking stage: fold a window of N into one stateful element. */
+CompPtr
+foldStage(GenDomain d, Rng& rng, int takeN)
+{
+    VarRef st = freshVar("st", elemType(d));
+    VarRef a = freshVar("a", Type::array(elemType(d), takeN));
+    std::vector<SeqComp::Item> items;
+    items.push_back(bindc(a, takes(elemType(d), takeN)));
+    StmtList upd;
+    for (int i = 0; i < takeN; ++i) {
+        if (d == GenDomain::Int32)
+            upd.push_back(assign(
+                var(st), (var(st) + (idx(var(a), i) & 0xFF)) & 0xFFFF));
+        else
+            upd.push_back(assign(var(st), var(st) ^ idx(var(a), i)));
+    }
+    items.push_back(just(doS(std::move(upd))));
+    items.push_back(just(emit(var(st))));
+    return letvar(st, randomLit(d, rng), repeatc(seqc(std::move(items))));
+}
+
+/** Pure `map f` stage (auto-map / auto-LUT / fusion fodder). */
+CompPtr
+mapStage(GenDomain d, Rng& rng)
+{
+    VarRef p = freshVar("p", elemType(d));
+    ExprPtr body;
+    if (d == GenDomain::Int32) {
+        int64_t mul = 1 + static_cast<int64_t>(rng.below(7));
+        int64_t add = static_cast<int64_t>(rng.below(256));
+        body = ((var(p) & 0xFFFF) * mul + add) & 0xFFFF;
+    } else {
+        body = var(p) ^ cBit(static_cast<int>(rng.bit()));
+    }
+    FunRef f = fun("k" + std::to_string(rng.below(1000)), {p}, {},
+                   std::move(body));
+    return mapc(f);
+}
+
+/** Domain cast: 4 bits -> one int32, or one int32 -> 4 bits. */
+CompPtr
+castStage(GenDomain from, GenDomain to)
+{
+    if (from == GenDomain::Bits && to == GenDomain::Int32) {
+        VarRef a = freshVar("a", Type::array(Type::bit(), 4));
+        std::vector<SeqComp::Item> items;
+        items.push_back(bindc(a, takes(Type::bit(), 4)));
+        ExprPtr acc = cast(Type::int32(), idx(var(a), 0));
+        for (int i = 1; i < 4; ++i)
+            acc = acc + (cast(Type::int32(), idx(var(a), i)) << i);
+        items.push_back(just(emit(std::move(acc))));
+        return repeatc(seqc(std::move(items)));
+    }
+    ZIRIA_ASSERT(from == GenDomain::Int32 && to == GenDomain::Bits);
+    VarRef x = freshVar("x", Type::int32());
+    std::vector<SeqComp::Item> items;
+    items.push_back(bindc(x, take(Type::int32())));
+    std::vector<ExprPtr> outs;
+    for (int i = 0; i < 4; ++i)
+        outs.push_back(cast(Type::bit(), var(x) >> i));
+    items.push_back(just(emits(arrayLit(std::move(outs)))));
+    return repeatc(seqc(std::move(items)));
+}
+
+struct StageResult
+{
+    CompPtr comp;
+    GenDomain outDomain;
+    std::string name;
+    /** emit/take rate as a fraction (for shrink budgeting). */
+    int rateNum = 1;
+    int rateDen = 1;
+};
+
+/**
+ * Draw one stage for a given input domain.  @p budgetShrunk tells the
+ * chooser the chain has already shrunk a lot, so rate-reducing stages
+ * are off the menu (keeps differential outputs non-trivially long).
+ */
+StageResult
+drawStage(const GenConfig& cfg, GenDomain in, bool budgetShrunk, Rng& rng)
+{
+    StageResult r;
+    r.outDomain = in;
+    const int arity =
+        2 + static_cast<int>(rng.below(
+                static_cast<uint64_t>(std::max(cfg.maxArity - 1, 1))));
+    for (;;) {
+        switch (rng.below(6)) {
+          case 0: {
+            if (in != GenDomain::Bits)
+                continue;
+            int takeN = 1 + static_cast<int>(rng.below(
+                                static_cast<uint64_t>(cfg.maxArity)));
+            int emitN = 1 + static_cast<int>(rng.below(
+                                static_cast<uint64_t>(cfg.maxArity)));
+            if (budgetShrunk && emitN < takeN)
+                emitN = takeN;
+            r.comp = xorStateStage(rng, takeN, emitN);
+            r.name = "xor(" + std::to_string(takeN) + "," +
+                     std::to_string(emitN) + ")";
+            r.rateNum = emitN;
+            r.rateDen = takeN;
+            return r;
+          }
+          case 1:
+            r.comp = delayStage(in, rng);
+            r.name = "delay";
+            return r;
+          case 2: {
+            if (!cfg.allowArrays)
+                continue;
+            r.comp = reverseStage(in, arity);
+            r.name = "rev" + std::to_string(arity);
+            return r;
+          }
+          case 3: {
+            r.comp = dupStage(in, rng, arity);
+            r.name = "dup" + std::to_string(arity);
+            r.rateNum = arity;
+            return r;
+          }
+          case 4: {
+            if (budgetShrunk || !cfg.allowArrays)
+                continue;
+            r.comp = foldStage(in, rng, arity);
+            r.name = "fold" + std::to_string(arity);
+            r.rateDen = arity;
+            return r;
+          }
+          default: {
+            if (!cfg.allowMaps)
+                continue;
+            r.comp = mapStage(in, rng);
+            r.name = "map";
+            return r;
+          }
+        }
+    }
+}
+
+} // namespace
+
+size_t
+elemWidth(GenDomain domain)
+{
+    return domain == GenDomain::Int32 ? 4 : 1;
+}
+
+GenProgram
+genProgram(const GenConfig& cfg, uint64_t seed)
+{
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull);
+    GenProgram prog;
+
+    const int span = std::max(cfg.maxStages - cfg.minStages + 1, 1);
+    const int stages =
+        cfg.minStages + static_cast<int>(rng.below(
+                            static_cast<uint64_t>(span)));
+
+    GenDomain dom = cfg.domain;
+    if (dom == GenDomain::Mixed)
+        dom = rng.bit() ? GenDomain::Bits : GenDomain::Int32;
+    prog.inDomain = dom;
+
+    // Budget the cumulative rate change so outputs stay comparable:
+    // once the chain has shrunk past ~1/4, stop drawing shrinking
+    // stages.
+    long num = 1, den = 1;
+    const int splitAt =
+        cfg.allowThreadedSplit && stages >= 2
+            ? 1 + static_cast<int>(rng.below(
+                      static_cast<uint64_t>(stages - 1)))
+            : -1;
+
+    // Build the stage chain in two halves so a threaded split, when
+    // drawn, ends up as the OUTERMOST combinator (the compiler only
+    // honours top-level `|>>>|`).
+    CompPtr left, right;
+    auto append = [](CompPtr& half, CompPtr stage) {
+        half = half ? pipe(std::move(half), std::move(stage))
+                    : std::move(stage);
+    };
+    for (int s = 0; s < stages; ++s) {
+        CompPtr& half = splitAt >= 0 && s >= splitAt ? right : left;
+        // Occasionally pivot domains mid-chain when Mixed is allowed.
+        if (cfg.domain == GenDomain::Mixed && rng.below(4) == 0) {
+            GenDomain to = dom == GenDomain::Bits ? GenDomain::Int32
+                                                  : GenDomain::Bits;
+            if (!prog.describe.empty())
+                prog.describe += " >>> ";
+            prog.describe += dom == GenDomain::Bits ? "b2i" : "i2b";
+            append(half, castStage(dom, to));
+            dom = to;
+        }
+        bool shrunk = num * 4 <= den;
+        StageResult st = drawStage(cfg, dom, shrunk, rng);
+        num *= st.rateNum;
+        den *= st.rateDen;
+        // Keep the fraction small; only the ~1/4 threshold matters.
+        while (num % 2 == 0 && den % 2 == 0) {
+            num /= 2;
+            den /= 2;
+        }
+        if (!prog.describe.empty())
+            prog.describe += s == splitAt ? " |>>>| " : " >>> ";
+        dom = st.outDomain;
+        append(half, std::move(st.comp));
+        prog.describe += st.name;
+    }
+    CompPtr chain = right ? ppipe(std::move(left), std::move(right))
+                          : std::move(left);
+
+    // Finite prelude: a reconfiguring `seq` that emits a few constants
+    // of the *output* type, then runs the transformer chain.  Skipped
+    // when a threaded split was placed (the split must stay top-level).
+    if (cfg.allowPrelude && splitAt < 0 && rng.below(3) == 0) {
+        int k = 1 + static_cast<int>(rng.below(4));
+        CompPtr prelude =
+            timesc(cInt(k), emit(randomLit(dom, rng)));
+        chain = seqc({just(std::move(prelude)), just(std::move(chain))});
+        prog.describe =
+            "times" + std::to_string(k) + ";" + prog.describe;
+    }
+
+    prog.comp = std::move(chain);
+    prog.outDomain = dom;
+    prog.stages = stages;
+    return prog;
+}
+
+CompPtr
+randomBitChain(uint64_t seed, int stages)
+{
+    Rng rng(seed);
+    CompPtr c = nullptr;
+    for (int s = 0; s < stages; ++s) {
+        int takeN = 1 + static_cast<int>(rng.below(4));
+        int emitN = 1 + static_cast<int>(rng.below(4));
+        CompPtr stage = xorStateStage(rng, takeN, emitN);
+        c = c ? pipe(std::move(c), std::move(stage)) : std::move(stage);
+    }
+    return c;
+}
+
+std::vector<uint8_t>
+genInput(GenDomain domain, size_t elems, uint64_t seed)
+{
+    Rng rng(seed ^ 0xD1B54A32D192ED03ull);
+    std::vector<uint8_t> out;
+    if (domain == GenDomain::Int32) {
+        out.resize(elems * 4, 0);
+        for (size_t i = 0; i < elems; ++i) {
+            int32_t v = static_cast<int32_t>(rng.below(256));
+            std::memcpy(out.data() + 4 * i, &v, 4);
+        }
+    } else {
+        out.resize(elems);
+        for (auto& b : out)
+            b = rng.bit();
+    }
+    return out;
+}
+
+} // namespace zgen
+} // namespace ziria

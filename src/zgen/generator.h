@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Random well-typed Ziria program generation for differential testing.
+ *
+ * Every generated program is a stream transformer built from a random
+ * chain of stages; each stage is itself a well-typed computation drawn
+ * from a small catalogue (stateful bit mixers, pure maps, array
+ * reversals, rate-changing windows, delays, domain casts, finite
+ * preludes, `|>>>|` junctions).  The catalogue is a strict superset of
+ * the hand-rolled `randomChain` the property tests started from: the
+ * same seeds keep indexing a deterministic program space, but the space
+ * now covers computers, reconfiguring `seq`, arrays, maps (auto-map /
+ * LUT / fusion fodder) and threaded splits.
+ *
+ * The generator only promises well-typedness and bounded value ranges
+ * (no arithmetic overflow even under UBSan); it makes no attempt to
+ * produce *useful* programs.  Differential testing supplies the
+ * semantics: every optimization configuration must agree bit-exactly.
+ */
+#ifndef ZIRIA_ZGEN_GENERATOR_H
+#define ZIRIA_ZGEN_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zast/comp.h"
+
+namespace ziria {
+namespace zgen {
+
+/** Stream element domain of a generated program. */
+enum class GenDomain {
+    Bits,   ///< bit-level transformer (1-byte elements)
+    Int32,  ///< int32 transformer (4-byte elements)
+    Mixed,  ///< bit and int32 segments joined by cast stages
+};
+
+/** Knobs bounding the generated program space. */
+struct GenConfig
+{
+    GenDomain domain = GenDomain::Bits;
+    int minStages = 1;
+    int maxStages = 3;
+    /** Largest static take/emit cardinality per stage. */
+    int maxArity = 4;
+    /** Allow array-typed takes/emits and array state. */
+    bool allowArrays = true;
+    /** Allow `map f` stages (auto-map / auto-LUT / fusion fodder). */
+    bool allowMaps = true;
+    /** Allow a finite `times { emit c }` prelude (reconfiguring seq). */
+    bool allowPrelude = true;
+    /** Emit one top-level `|>>>|` junction (threaded split). */
+    bool allowThreadedSplit = false;
+};
+
+/** A generated program plus the metadata the test harness needs. */
+struct GenProgram
+{
+    CompPtr comp;
+    GenDomain inDomain = GenDomain::Bits;   ///< input element domain
+    GenDomain outDomain = GenDomain::Bits;  ///< output element domain
+    int stages = 0;
+    /** Human-readable stage chain, e.g. "xor(2,3) >>> rev4 >>> map". */
+    std::string describe;
+};
+
+/**
+ * Generate a random well-typed program.  Deterministic in (cfg, seed):
+ * the same pair always yields a structurally identical AST (fresh
+ * variables aside), so a program can be regenerated per compile.
+ */
+GenProgram genProgram(const GenConfig& cfg, uint64_t seed);
+
+/**
+ * The original property-test chain: `stages` stateful bit stages with
+ * random take/emit cardinalities and xor/index logic.  Kept as a named
+ * preset so the legacy seeds keep their meaning.
+ */
+CompPtr randomBitChain(uint64_t seed, int stages);
+
+/** Random input bytes for a program's input domain: `elems` elements. */
+std::vector<uint8_t> genInput(GenDomain domain, size_t elems,
+                              uint64_t seed);
+
+/** Element byte width of a domain's stream type (bit = 1, int32 = 4). */
+size_t elemWidth(GenDomain domain);
+
+} // namespace zgen
+} // namespace ziria
+
+#endif // ZIRIA_ZGEN_GENERATOR_H

@@ -42,11 +42,18 @@ tryMakeMapFun(const CompPtr& body)
             if (sawTake)
                 return nullptr;
             sawTake = true;
-            param = st.bind ? st.bind : freshVar("x", st.takeType);
             // Statements before the take would run before input arrives
             // in the repeat form; as a map they run after.  That is only
             // observable through state shared with other components,
             // which the >>> race rule forbids, so reordering is safe.
+            if (st.intoLhs) {
+                // `takes(T, 1)` normalizes to a take whose destination
+                // is an lvalue (a[0]); route the parameter into it.
+                param = freshVar("x", st.takeType);
+                stmts.push_back(zb::assign(st.intoLhs, zb::var(param)));
+            } else {
+                param = st.bind ? st.bind : freshVar("x", st.takeType);
+            }
             break;
           case SimpleStep::Kind::Emit:
             sawEmit = true;

@@ -47,6 +47,78 @@ lex(const std::string& src)
                 advance();
             continue;
         }
+        if (c == '{' && peek(1) == '-') {
+            // Haskell-style nestable block comment.  Note `{-` always
+            // opens a comment, so an array literal starting with a
+            // negated element needs a space: `{ -1, 2 }`.
+            int openLine = line;
+            int openCol = col;
+            advance();
+            advance();
+            int depth = 1;
+            while (depth > 0) {
+                if (i >= src.size())
+                    fatalf("lex error: unterminated block comment "
+                           "opened at line ", openLine, ", col ",
+                           openCol);
+                if (peek() == '{' && peek(1) == '-') {
+                    ++depth;
+                    advance();
+                    advance();
+                } else if (peek() == '-' && peek(1) == '}') {
+                    --depth;
+                    advance();
+                    advance();
+                } else {
+                    advance();
+                }
+            }
+            continue;
+        }
+        if (c == '"') {
+            Token t;
+            t.kind = Tok::String;
+            t.line = line;
+            t.col = col;
+            int openLine = line;
+            int openCol = col;
+            advance();
+            while (true) {
+                if (i >= src.size() || peek() == '\n')
+                    fatalf("lex error: unterminated string literal "
+                           "opened at line ", openLine, ", col ",
+                           openCol);
+                char ch = peek();
+                if (ch == '"') {
+                    advance();
+                    break;
+                }
+                if (ch == '\\') {
+                    advance();
+                    if (i >= src.size())
+                        fatalf("lex error: unterminated string literal "
+                               "opened at line ", openLine, ", col ",
+                               openCol);
+                    switch (peek()) {
+                      case 'n': t.text.push_back('\n'); break;
+                      case 't': t.text.push_back('\t'); break;
+                      case '\\': t.text.push_back('\\'); break;
+                      case '"': t.text.push_back('"'); break;
+                      default:
+                        fatalf("lex error at line ", line, ", col ",
+                               col, ": unknown escape '\\",
+                               std::string(1, peek()),
+                               "' in string literal");
+                    }
+                    advance();
+                    continue;
+                }
+                t.text.push_back(ch);
+                advance();
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
         if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
             Token t;
             t.kind = Tok::Ident;
@@ -73,9 +145,18 @@ lex(const std::string& src)
                     num.push_back(peek());
                     advance();
                 }
+                if (num.empty())
+                    fatalf("lex error at line ", t.line, ", col ",
+                           t.col, ": expected hex digits after 0x");
                 t.kind = Tok::Int;
-                t.intVal = static_cast<int64_t>(
-                    std::stoull(num, nullptr, 16));
+                try {
+                    t.intVal = static_cast<int64_t>(
+                        std::stoull(num, nullptr, 16));
+                } catch (const std::out_of_range&) {
+                    fatalf("lex error at line ", t.line, ", col ",
+                           t.col, ": integer literal 0x", num,
+                           " out of range");
+                }
                 out.push_back(std::move(t));
                 continue;
             }
@@ -94,12 +175,17 @@ lex(const std::string& src)
                     advance();
                 }
             }
-            if (isDouble) {
-                t.kind = Tok::Double;
-                t.dblVal = std::stod(num);
-            } else {
-                t.kind = Tok::Int;
-                t.intVal = std::stoll(num);
+            try {
+                if (isDouble) {
+                    t.kind = Tok::Double;
+                    t.dblVal = std::stod(num);
+                } else {
+                    t.kind = Tok::Int;
+                    t.intVal = std::stoll(num);
+                }
+            } catch (const std::out_of_range&) {
+                fatalf("lex error at line ", t.line, ", col ", t.col,
+                       ": numeric literal ", num, " out of range");
             }
             out.push_back(std::move(t));
             continue;
@@ -210,6 +296,7 @@ tokName(const Token& t)
       case Tok::End: return "<end of input>";
       case Tok::Ident: return "identifier '" + t.text + "'";
       case Tok::Int: return "integer literal";
+      case Tok::String: return "string literal \"" + t.text + "\"";
       case Tok::Double: return "floating literal";
       case Tok::BitLit: return "bit literal";
       case Tok::LParen: return "'('";

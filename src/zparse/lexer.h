@@ -19,6 +19,7 @@ enum class Tok {
     Int,       ///< integer literal
     Double,    ///< floating literal
     BitLit,    ///< '0 or '1
+    String,    ///< "..." (lexed for error recovery; no expression form)
     // punctuation
     LParen, RParen, LBrace, RBrace, LBracket, RBracket,
     Comma, Semi, Colon, Dot,
@@ -46,8 +47,9 @@ struct Token
 };
 
 /**
- * Tokenize a whole source buffer.  Comments run `--` to end of line.
- * Throws FatalError on illegal characters.
+ * Tokenize a whole source buffer.  Comments run `--` to end of line or
+ * `{- ... -}` (nestable).  Throws FatalError on illegal characters,
+ * out-of-range numeric literals, and unterminated comments/strings.
  */
 std::vector<Token> lex(const std::string& src);
 

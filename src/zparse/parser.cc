@@ -40,6 +40,11 @@ class Parser
   public:
     explicit Parser(const std::string& src) : toks_(lex(src)) {}
 
+    /// Recursion bound for comps, statements, expressions, and types:
+    /// deep enough for any real program, shallow enough that a
+    /// pathological input errors out long before the call stack does.
+    static constexpr int kMaxDepth = 400;
+
     ParsedProgram
     program()
     {
@@ -86,6 +91,21 @@ class Parser
         fatalf("parse error at line ", cur().line, ", col ", cur().col,
                ": ", what, " (found ", tokName(cur()), ")");
     }
+
+    /** RAII depth counter shared by every recursive production. */
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser& p) : p_(p)
+        {
+            if (p_.depth_ >= kMaxDepth)
+                p_.fail("nesting too deep");
+            ++p_.depth_;
+        }
+        ~DepthGuard() { --p_.depth_; }
+        DepthGuard(const DepthGuard&) = delete;
+        DepthGuard& operator=(const DepthGuard&) = delete;
+        Parser& p_;
+    };
 
     void
     expect(Tok k)
@@ -175,13 +195,16 @@ class Parser
         if (s == "complex32")
             return Type::complex32();
         if (s == "arr") {
+            DepthGuard guard(*this);
             expect(Tok::LBracket);
             if (!at(Tok::Int))
                 fail("expected array length");
-            int n = static_cast<int>(cur().intVal);
+            int64_t n = cur().intVal;
+            if (n < 1 || n > (int64_t{1} << 24))
+                fail("array length out of range");
             bump();
             expect(Tok::RBracket);
-            return Type::array(type(), n);
+            return Type::array(type(), static_cast<int>(n));
         }
         auto it = prog_.structs.find(s);
         if (it != prog_.structs.end())
@@ -291,6 +314,7 @@ class Parser
     CompPtr
     pcomp()
     {
+        DepthGuard guard(*this);
         if (at(Tok::LParen)) {
             bump();
             CompPtr c = comp();
@@ -305,13 +329,16 @@ class Parser
             if (at(Tok::Le)) {
                 bump();
                 expect(Tok::LBracket);
-                int i = static_cast<int>(cur().intVal);
+                int64_t i = cur().intVal;
                 expect(Tok::Int);
                 expect(Tok::Comma);
-                int o = static_cast<int>(cur().intVal);
+                int64_t o = cur().intVal;
                 expect(Tok::Int);
                 expect(Tok::RBracket);
-                hint = VectHint{i, o};
+                if (i < 1 || i > 4096 || o < 1 || o > 4096)
+                    fail("vectorization hint out of range");
+                hint = VectHint{static_cast<int>(i),
+                                static_cast<int>(o)};
             }
             expect(Tok::LBrace);
             CompPtr body = comp();
@@ -372,10 +399,12 @@ class Parser
             bump();
             if (!at(Tok::Int))
                 fail("expected count after takes");
-            int n = static_cast<int>(cur().intVal);
+            int64_t n = cur().intVal;
+            if (n < 1 || n > (int64_t{1} << 24))
+                fail("take count out of range");
             bump();
             expect(Tok::Colon);
-            return takes(type(), n);
+            return takes(type(), static_cast<int>(n));
         }
         if (atKw("var")) {
             bump();
@@ -495,6 +524,7 @@ class Parser
     StmtPtr
     stmt()
     {
+        DepthGuard guard(*this);
         if (atKw("var")) {
             bump();
             std::string n = expectIdent();
@@ -709,6 +739,7 @@ class Parser
     PExpr
     unaryExpr()
     {
+        DepthGuard guard(*this);
         if (at(Tok::Minus)) {
             bump();
             PExpr a = unaryExpr();
@@ -742,7 +773,10 @@ class Parser
                     bump();
                     if (!at(Tok::Int))
                         fail("slice length must be a constant");
-                    int n = static_cast<int>(cur().intVal);
+                    int64_t n64 = cur().intVal;
+                    if (n64 < 1 || n64 > (int64_t{1} << 24))
+                        fail("slice length out of range");
+                    int n = static_cast<int>(n64);
                     bump();
                     expect(Tok::RBracket);
                     a = PExpr{slice(a.e, coerceTo(i, Type::int32()), n),
@@ -871,6 +905,7 @@ class Parser
 
     std::vector<Token> toks_;
     size_t pos_ = 0;
+    int depth_ = 0;
     ParsedProgram prog_;
     std::vector<std::unordered_map<std::string, VarRef>> scopes_{1};
 };

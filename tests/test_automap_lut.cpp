@@ -214,6 +214,41 @@ TEST(AutoLut, PureMapKernelLuts)
     EXPECT_EQ(p->runBytes(input), q->runBytes(input));
 }
 
+TEST(AutoMap, SingleElementTakesKeepsInputWired)
+{
+    // Regression: `bind a <- takes(bit, 1)` normalizes to a take whose
+    // destination is the lvalue a[0] rather than a bind variable.
+    // Auto-map used to drop that connection, leaving the kernel reading
+    // a zero-initialized scratch array, so unvectorized auto-map runs
+    // emitted a constant stream.  (Vectorized compiles masked the bug
+    // because the vectorizer rewrites takes-into binds first.)
+    auto mkStage = [] {
+        VarRef st = freshVar("st", Type::bit());
+        VarRef a = freshVar("a", Type::array(Type::bit(), 1));
+        std::vector<SeqComp::Item> items;
+        items.push_back(bindc(a, takes(Type::bit(), 1)));
+        StmtList upd;
+        upd.push_back(assign(var(st), var(st) ^ idx(var(a), 0)));
+        items.push_back(just(doS(std::move(upd))));
+        items.push_back(
+            just(emits(arrayLit({idx(var(a), 0) ^ var(st)}))));
+        return letvar(st, cBit(0), repeatc(seqc(std::move(items))));
+    };
+    Rng rng(31);
+    std::vector<uint8_t> input(96);
+    for (auto& b : input)
+        b = rng.bit();
+    auto base = compilePipeline(mkStage(),
+                                CompilerOptions::forLevel(OptLevel::None))
+                    ->runBytes(input);
+    CompilerOptions amapOnly = CompilerOptions::forLevel(OptLevel::None);
+    amapOnly.autoMap = true;
+    CompileReport rep;
+    auto p = compilePipeline(mkStage(), amapOnly, &rep);
+    EXPECT_EQ(rep.maps.autoMapped, 1);
+    EXPECT_EQ(p->runBytes(input), base);
+}
+
 TEST(Fusion, LongMapChainCollapses)
 {
     CompPtr c = nullptr;

@@ -213,7 +213,10 @@ TEST(MapChain, CoalescedChainMatchesPipes)
     for (int32_t v : in) {
         int32_t cur = v;
         for (int k = 0; k < 5; ++k) {
-            state[static_cast<size_t>(k)] += cur;
+            // Two's-complement wraparound, matching the VM's int32 add.
+            state[static_cast<size_t>(k)] = static_cast<int32_t>(
+                static_cast<uint32_t>(state[static_cast<size_t>(k)]) +
+                static_cast<uint32_t>(cur));
             cur = cur ^ state[static_cast<size_t>(k)];
         }
         expect.push_back(cur);

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Differential conformance: every generated program must behave
+ * bit-identically under the whole optimization-configuration matrix
+ * (opt tiers O0-O3, vectorization on/off, single- vs multi-threaded).
+ * The compiled compiler is its own oracle: the unoptimized build
+ * defines the semantics and every other configuration must match it.
+ */
+#include <gtest/gtest.h>
+
+#include "support/diff_runner.h"
+#include "zast/builder.h"
+#include "zgen/generator.h"
+
+namespace ziria {
+namespace {
+
+using namespace zb;
+using difftest::DiffConfig;
+using difftest::runDifferential;
+using zgen::GenConfig;
+using zgen::GenDomain;
+using zgen::GenProgram;
+
+/** Run one generated program through the default 10-config matrix. */
+void
+checkSeed(const GenConfig& cfg, uint64_t seed, size_t elems)
+{
+    GenProgram prog = zgen::genProgram(cfg, seed);
+    auto input = zgen::genInput(prog.inDomain, elems, seed ^ 0xD1FF);
+    auto make = [&] { return zgen::genProgram(cfg, seed).comp; };
+    auto outcome = runDifferential(make, input, difftest::defaultMatrix(),
+                                   prog.describe, /*slackBytes=*/4096);
+    EXPECT_TRUE(outcome.agree) << "seed=" << seed << "\n" << outcome.report;
+    EXPECT_EQ(outcome.configsRun, 10);
+    EXPECT_GT(outcome.baselineBytes, 0u) << "seed=" << seed << " "
+                                         << prog.describe;
+}
+
+class BitPrograms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitPrograms, AllConfigsAgree)
+{
+    GenConfig cfg;
+    cfg.domain = GenDomain::Bits;
+    cfg.maxStages = 3;
+    cfg.allowThreadedSplit = true;
+    checkSeed(cfg, static_cast<uint64_t>(GetParam()), 6 * 288 * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitPrograms, ::testing::Range(1, 61));
+
+class Int32Programs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Int32Programs, AllConfigsAgree)
+{
+    GenConfig cfg;
+    cfg.domain = GenDomain::Int32;
+    cfg.maxStages = 3;
+    cfg.allowThreadedSplit = true;
+    checkSeed(cfg, static_cast<uint64_t>(GetParam()), 2048);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Int32Programs, ::testing::Range(1, 26));
+
+class MixedPrograms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MixedPrograms, AllConfigsAgree)
+{
+    GenConfig cfg;
+    cfg.domain = GenDomain::Mixed;
+    cfg.maxStages = 4;
+    checkSeed(cfg, static_cast<uint64_t>(GetParam()), 4096);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MixedPrograms, ::testing::Range(1, 16));
+
+TEST(DiffRunner, LegacyChainsStillCovered)
+{
+    // The migrated property-test preset runs under the full matrix too.
+    for (uint64_t seed : {1u, 5u, 8u})
+        for (int stages : {1, 3}) {
+            auto make = [&] { return zgen::randomBitChain(seed, stages); };
+            auto input = zgen::genInput(GenDomain::Bits, 4 * 288 * 4, seed);
+            auto outcome =
+                runDifferential(make, input, difftest::defaultMatrix(),
+                                "legacy-chain", 4096);
+            EXPECT_TRUE(outcome.agree)
+                << "seed=" << seed << " stages=" << stages << "\n"
+                << outcome.report;
+        }
+}
+
+TEST(DiffRunner, HarnessDetectsDivergence)
+{
+    // Sanity-check the oracle itself: hand the runner a factory whose
+    // programs genuinely differ and demand a minimal divergent pair.
+    int calls = 0;
+    auto make = [&]() -> CompPtr {
+        bool flip = calls++ > 0;
+        VarRef a = freshVar("a", Type::array(Type::bit(), 1));
+        std::vector<SeqComp::Item> items;
+        items.push_back(bindc(a, takes(Type::bit(), 1)));
+        ExprPtr out = idx(var(a), 0);
+        if (flip)
+            out = std::move(out) ^ cBit(1);
+        items.push_back(just(emit(std::move(out))));
+        return repeatc(seqc(std::move(items)));
+    };
+    std::vector<uint8_t> input(512, 1);
+    auto outcome = runDifferential(make, input, difftest::defaultMatrix(),
+                                   "diverging-factory", 4096);
+    EXPECT_FALSE(outcome.agree);
+    EXPECT_NE(outcome.report.find("minimal divergent pair"),
+              std::string::npos)
+        << outcome.report;
+}
+
+TEST(DiffRunner, FullMatrixOnSelectSeeds)
+{
+    // The 16-config cross product is pricier, so only spot-check it.
+    GenConfig cfg;
+    cfg.domain = GenDomain::Bits;
+    cfg.allowThreadedSplit = true;
+    for (uint64_t seed : {3u, 17u, 42u}) {
+        GenProgram prog = zgen::genProgram(cfg, seed);
+        auto input = zgen::genInput(prog.inDomain, 6 * 288 * 4, seed);
+        auto make = [&] { return zgen::genProgram(cfg, seed).comp; };
+        auto outcome = runDifferential(make, input, difftest::fullMatrix(),
+                                       prog.describe, 4096);
+        EXPECT_TRUE(outcome.agree) << "seed=" << seed << "\n"
+                                   << outcome.report;
+        EXPECT_EQ(outcome.configsRun, 16);
+    }
+}
+
+TEST(DiffConfigs, TierLoweringMatchesFlags)
+{
+    DiffConfig c0;
+    c0.optTier = 0;
+    auto o0 = c0.options();
+    EXPECT_FALSE(o0.fold);
+    EXPECT_FALSE(o0.autoMap);
+    EXPECT_FALSE(o0.fuse);
+    EXPECT_FALSE(o0.autoLut);
+    EXPECT_FALSE(o0.vectorize);
+
+    DiffConfig c2;
+    c2.optTier = 2;
+    c2.vectorize = true;
+    auto o2 = c2.options();
+    EXPECT_TRUE(o2.fold);
+    EXPECT_TRUE(o2.autoMap);
+    EXPECT_TRUE(o2.fuse);
+    EXPECT_FALSE(o2.autoLut);
+    EXPECT_TRUE(o2.vectorize);
+
+    DiffConfig c3;
+    c3.optTier = 3;
+    c3.vectorize = true;
+    auto o3 = c3.options();
+    EXPECT_TRUE(o3.autoLut);
+    EXPECT_TRUE(o3.vectorize);
+
+    EXPECT_EQ(DiffConfig::distance(c0, c3), 2);
+    EXPECT_EQ(difftest::defaultMatrix().size(), 10u);
+    EXPECT_EQ(difftest::fullMatrix().size(), 16u);
+}
+
+} // namespace
+} // namespace ziria

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "support/log.h"
 #include "support/metrics.h"
 #include "zast/builder.h"
@@ -316,9 +318,88 @@ TEST(Trace, InstrumentationPreservesOutput)
     std::string doc = traced->metrics()->toJson();
     EXPECT_TRUE(balancedJson(doc)) << doc;
     for (const auto& n : traced->metrics()->nodes) {
-        if (n.discarded)
+        if (n.discarded) {
             EXPECT_EQ(doc.find("\"" + n.path + "\""), std::string::npos);
+        }
     }
+}
+
+TEST(Trace, NodePathsAreStableAcrossIdenticalBuilds)
+{
+    // Dashboards and diffing tools key on node paths, so two compiles
+    // of the same program at the same options must agree exactly —
+    // path, kind, and widths — independent of fresh-variable counters
+    // and other global state consumed in between.
+    auto mkProgram = [] {
+        VarRef x = freshVar("x", Type::int32());
+        VarRef y = freshVar("y", Type::int32());
+        CompPtr inc = repeatc(seqc({bindc(x, take(Type::int32())),
+                                    just(emit(var(x) + 1))}));
+        CompPtr dbl = repeatc(seqc({bindc(y, take(Type::int32())),
+                                    just(emit(var(y) * 2))}));
+        return pipe(std::move(inc), std::move(dbl));
+    };
+    auto shape = [](const CompPtr& program) {
+        CompilerOptions opt = CompilerOptions::forLevel(OptLevel::All);
+        opt.instrument = true;
+        auto p = compilePipeline(program, opt);
+        p->runBytes(std::vector<uint8_t>(64, 0));
+        std::vector<std::string> out;
+        for (const auto& n : p->metrics()->nodes)
+            out.push_back(n.path + "|" + n.kind + "|" +
+                          std::to_string(n.inWidth) + "|" +
+                          std::to_string(n.outWidth));
+        return out;
+    };
+    auto first = shape(mkProgram());
+    // Disturb global freshVar state between the two builds.
+    for (int i = 0; i < 37; ++i)
+        freshVar("noise", Type::bit());
+    auto second = shape(mkProgram());
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+
+    // Paths must also be unique: a duplicated path would merge two
+    // nodes' counters in the export.
+    auto sorted = first;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end());
+}
+
+TEST(Trace, CoalescedMapChainChildrenStayOutOfExport)
+{
+    // With AST-level fusion off, adjacent maps coalesce at node-build
+    // time instead: the chain keeps one live node and the trace shims
+    // of the two swallowed children must be flagged discarded and left
+    // out of the JSON export.
+    VarRef a = freshVar("a", Type::int32());
+    VarRef b = freshVar("b", Type::int32());
+    FunRef f = fun("inc", {a}, {}, var(a) + 1);
+    FunRef g = fun("dbl", {b}, {}, var(b) * 2);
+    CompilerOptions iopt = CompilerOptions::forLevel(OptLevel::None);
+    iopt.instrument = true;
+    auto p = compilePipeline(pipe(mapc(f), mapc(g)), iopt);
+    p->runBytes(fromInts({1, 2, 3, 4}));
+
+    ASSERT_NE(p->metrics(), nullptr);
+    size_t discarded = 0;
+    size_t live = 0;
+    std::string doc = p->metrics()->toJson();
+    EXPECT_TRUE(balancedJson(doc)) << doc;
+    for (const auto& n : p->metrics()->nodes) {
+        bool exported =
+            doc.find("\"" + n.path + "\"") != std::string::npos;
+        if (n.discarded) {
+            ++discarded;
+            EXPECT_FALSE(exported) << n.path;
+        } else {
+            ++live;
+            EXPECT_TRUE(exported) << n.path;
+        }
+    }
+    EXPECT_GE(discarded, 2u) << "map-chain children were not coalesced";
+    EXPECT_GE(live, 1u);
 }
 
 TEST(Trace, UninstrumentedPipelineHasNoMetrics)

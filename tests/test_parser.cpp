@@ -6,6 +6,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
 #include "support/panic.h"
 #include "support/rng.h"
 #include "wifi/blocks_tx.h"
@@ -240,6 +244,170 @@ TEST(Parser, TypeErrorsSurfaceThroughBuilder)
 {
     // bit + int is rejected by the shared typing path.
     EXPECT_THROW(parseComp("emit ('1 + 3)"), FatalError);
+}
+
+TEST(ParserHardening, BlockCommentsNestAndStrip)
+{
+    auto out = runSrc("{- outer {- inner -} outer again -} emit 5", {});
+    ASSERT_EQ(out.size(), 4u);
+    int32_t v;
+    std::memcpy(&v, out.data(), 4);
+    EXPECT_EQ(v, 5);
+}
+
+TEST(ParserHardening, ArrayLiteralNeedsSpaceBeforeMinus)
+{
+    // `{-` always opens a comment (Haskell rule); the spaced form works.
+    auto out = runSrc("emit ({ -1, 2 }[0])", {});
+    int32_t v;
+    std::memcpy(&v, out.data(), 4);
+    EXPECT_EQ(v, -1);
+}
+
+TEST(ParserHardening, UnterminatedCommentIsAnError)
+{
+    EXPECT_THROW(parseComp("emit 1 {- never closed"), FatalError);
+    EXPECT_THROW(parseComp("{- outer {- inner -} emit 1"), FatalError);
+}
+
+TEST(ParserHardening, UnterminatedStringIsAnError)
+{
+    EXPECT_THROW(parseComp("emit \"no closing quote"), FatalError);
+    EXPECT_THROW(parseComp("emit \"line\nbreak\""), FatalError);
+    EXPECT_THROW(parseComp("emit \"bad \\q escape\""), FatalError);
+    // A well-terminated string still lexes; it just has no expression
+    // form, so the parser reports it instead of crashing.
+    EXPECT_THROW(parseComp("emit \"hello\""), FatalError);
+}
+
+TEST(ParserHardening, OverlongLiteralsAreErrorsNotCrashes)
+{
+    EXPECT_THROW(parseComp("emit 99999999999999999999999999"), FatalError);
+    EXPECT_THROW(parseComp("emit 0xFFFFFFFFFFFFFFFFFF"), FatalError);
+    EXPECT_THROW(parseComp("emit 0x"), FatalError);
+    // Still-representable wide literals keep working.
+    auto out = runSrc("emit int64(4294967296)", {});
+    EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(ParserHardening, DeepNestingHitsTheGuardNotTheStack)
+{
+    std::string parens(5000, '(');
+    parens += "emit 1";
+    parens += std::string(5000, ')');
+    EXPECT_THROW(parseComp(parens), FatalError);
+
+    std::string seqs;
+    for (int i = 0; i < 3000; ++i)
+        seqs += "seq { ";
+    seqs += "emit 1";
+    for (int i = 0; i < 3000; ++i)
+        seqs += " }";
+    EXPECT_THROW(parseComp(seqs), FatalError);
+
+    std::string unary = "emit " + std::string(8000, '~') + "1";
+    EXPECT_THROW(parseComp(unary), FatalError);
+
+    // Reasonable nesting stays under the limit.
+    std::string ok(64, '(');
+    ok += "emit 1";
+    ok += std::string(64, ')');
+    EXPECT_NO_THROW(parseComp(ok));
+}
+
+TEST(ParserHardening, SizeFieldsAreBoundsChecked)
+{
+    EXPECT_THROW(
+        parseComp("repeat { seq { (x : arr[99999999999] bit) <- "
+                  "takes 2 : bit ; emit (x[0]) } }"),
+        FatalError);
+    EXPECT_THROW(
+        parseComp("repeat { seq { (x : bit) <- take : bit"
+                  " ; emit x } } >>> takes 99999999999 : bit"),
+        FatalError);
+    EXPECT_THROW(parseComp("repeat <= [0, 8] { emit '1 }"), FatalError);
+}
+
+/** Parse must either succeed or throw FatalError — nothing else. */
+void
+expectGracefulParse(const std::string& src, const std::string& what)
+{
+    try {
+        parseComp(src);
+    } catch (const FatalError&) {
+        // expected failure mode for malformed input
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << what << ": non-fatal exception escaped: "
+                      << e.what();
+    }
+}
+
+std::vector<std::filesystem::path>
+fuzzCorpus()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto& ent : std::filesystem::directory_iterator(
+             ZIRIA_TEST_DATA_DIR "/fuzz"))
+        if (ent.path().extension() == ".zir")
+            files.push_back(ent.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(ParserFuzz, CorpusFilesParseOrFailGracefully)
+{
+    auto files = fuzzCorpus();
+    ASSERT_GE(files.size(), 12u) << "fuzz corpus missing";
+    for (const auto& f : files) {
+        std::ifstream in(f);
+        std::string src((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        std::string name = f.filename().string();
+        if (name.rfind("ok_", 0) == 0) {
+            EXPECT_NO_THROW(parseComp(src)) << name;
+        } else {
+            EXPECT_THROW(parseComp(src), FatalError) << name;
+        }
+    }
+}
+
+TEST(ParserFuzz, SeededMutationsNeverCrash)
+{
+    // Deterministic byte-level mutations of every corpus seed: each
+    // mutant must parse or fail with FatalError, never anything else.
+    auto files = fuzzCorpus();
+    ASSERT_FALSE(files.empty());
+    uint64_t fileIdx = 0;
+    for (const auto& f : files) {
+        std::ifstream in(f);
+        std::string seed((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        Rng rng(0xF022ED ^ (++fileIdx * 0x9E3779B97F4A7C15ull));
+        for (int round = 0; round < 48; ++round) {
+            std::string m = seed;
+            int edits = 1 + static_cast<int>(rng.below(4));
+            for (int e = 0; e < edits && !m.empty(); ++e) {
+                size_t at = rng.below(m.size());
+                switch (rng.below(4)) {
+                  case 0:  // overwrite with a random printable byte
+                    m[at] = static_cast<char>(' ' + rng.below(95));
+                    break;
+                  case 1:  // delete a short span
+                    m.erase(at, 1 + rng.below(8));
+                    break;
+                  case 2:  // duplicate a short span
+                    m.insert(at, m.substr(at, 1 + rng.below(8)));
+                    break;
+                  case 3:  // truncate
+                    m.resize(at);
+                    break;
+                }
+            }
+            expectGracefulParse(
+                m, f.filename().string() + " round " +
+                       std::to_string(round));
+        }
+    }
 }
 
 TEST(Parser, WhileCompAndTimes)

@@ -11,6 +11,7 @@
 #include "wifi/rx.h"
 #include "wifi/tx.h"
 #include "zast/builder.h"
+#include "zgen/generator.h"
 #include "zir/compiler.h"
 
 namespace ziria {
@@ -29,39 +30,14 @@ randomBits(size_t n, uint64_t seed)
 }
 
 /**
- * Generate a random bit-level transformer chain: each stage is a
- * stateful repeat with random static take/emit cardinalities and random
- * xor/shift logic; seeds index the space.
+ * The random bit-level transformer chains now live in the reusable
+ * generator library (src/zgen); `randomBitChain` is the named preset
+ * that reproduces the historical chains of this suite seed-for-seed.
  */
 CompPtr
 randomChain(uint64_t seed, int stages)
 {
-    Rng rng(seed);
-    CompPtr c = nullptr;
-    for (int s = 0; s < stages; ++s) {
-        int takeN = 1 + static_cast<int>(rng.below(4));
-        int emitN = 1 + static_cast<int>(rng.below(4));
-        VarRef st = freshVar("st", Type::bit());
-        VarRef a = freshVar("a", Type::array(Type::bit(),
-                                             std::max(takeN, 1)));
-        std::vector<SeqComp::Item> items;
-        items.push_back(bindc(a, takes(Type::bit(), takeN)));
-        StmtList upd;
-        upd.push_back(assign(var(st), var(st) ^ idx(var(a), 0)));
-        items.push_back(just(doS(std::move(upd))));
-        std::vector<ExprPtr> outs;
-        for (int i = 0; i < emitN; ++i) {
-            outs.push_back(idx(var(a), static_cast<int>(
-                                           rng.below(takeN))) ^
-                           var(st));
-        }
-        items.push_back(just(emits(arrayLit(std::move(outs)))));
-        CompPtr stage =
-            letvar(st, cBit(static_cast<int>(rng.bit())),
-                   repeatc(seqc(std::move(items))));
-        c = c ? pipe(std::move(c), std::move(stage)) : std::move(stage);
-    }
-    return c;
+    return zgen::randomBitChain(seed, stages);
 }
 
 class RandomChainLevels
