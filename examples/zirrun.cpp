@@ -5,6 +5,7 @@
  * Usage:
  *   zirrun FILE.zir [--opt none|vect|all] [--dump] [--bytes N]
  *                   [--profile[=FILE]] [--trace-passes[=N]]
+ *                   [--deadline-ms N] [--inject-fault SPEC]
  *
  * The pipeline's input stream is fed with deterministic pseudo-random
  * bytes shaped to its input element type; the first output elements are
@@ -18,6 +19,22 @@
  * pass to stderr (N >= 2 also dumps the AST between passes).  Leveled
  * diagnostics are controlled by the ZIRIA_LOG environment variable
  * (error|warn|info|debug|trace); see docs/OBSERVABILITY.md.
+ *
+ * Robustness controls (docs/ROBUSTNESS.md):
+ *   --deadline-ms N    run on the threaded executor under a supervisor
+ *                      that fails the run if no stage makes progress
+ *                      for N ms (`|>>>|` splits stages across threads)
+ *   --inject-fault S   wrap the input in a fault injector; S is
+ *                      truncate@K | throw@K | stall@K:MS | shortread@K:SEED
+ *
+ * Exit codes:
+ *   0  success
+ *   2  user error: bad usage, unreadable file, parse/compile error
+ *   3  stage failure: the pipeline (or an injected fault) threw at run
+ *      time
+ *   4  stall timeout: the --deadline-ms supervisor declared the run
+ *      stalled
+ *   1  anything else (internal error)
  */
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +46,8 @@
 #include "support/metrics.h"
 #include "support/rng.h"
 #include "zast/printer.h"
+#include "zexec/faultpoint.h"
+#include "zexec/threaded.h"
 #include "zir/compiler.h"
 #include "wifi/native_blocks.h"
 #include "zparse/parser.h"
@@ -37,14 +56,25 @@ using namespace ziria;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUserError = 2;
+constexpr int kExitStageFailure = 3;
+constexpr int kExitStallTimeout = 4;
+
 int
 usage()
 {
     std::fprintf(stderr,
                  "usage: zirrun FILE.zir [--opt none|vect|all] [--dump] "
                  "[--bytes N]\n"
-                 "              [--profile[=FILE]] [--trace-passes[=N]]\n");
-    return 2;
+                 "              [--profile[=FILE]] [--trace-passes[=N]]\n"
+                 "              [--deadline-ms N] [--inject-fault SPEC]\n"
+                 "  SPEC: truncate@K | throw@K | stall@K:MS | "
+                 "shortread@K:SEED\n"
+                 "exit codes: 0 ok, 2 user error, 3 stage failure, "
+                 "4 stall timeout\n");
+    return kExitUserError;
 }
 
 /** Compose the --profile JSON document. */
@@ -92,6 +122,8 @@ main(int argc, char** argv)
     std::string profilePath;
     int tracePasses = -1;  // -1 = off
     size_t nbytes = 64;
+    double deadlineMs = 0;
+    std::string faultStr;
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--dump") {
@@ -108,7 +140,7 @@ main(int argc, char** argv)
                 std::fprintf(stderr,
                              "zirrun: invalid --opt value '%s' "
                              "(expected none|vect|all)\n", v.c_str());
-                return 2;
+                return kExitUserError;
             }
             optName = v == "none" ? "none" : (v == "vect" ? "vect" : "all");
         } else if (a == "--bytes" && i + 1 < argc) {
@@ -119,9 +151,22 @@ main(int argc, char** argv)
                 std::fprintf(stderr,
                              "zirrun: invalid --bytes value '%s' "
                              "(expected a positive integer)\n", s);
-                return 2;
+                return kExitUserError;
             }
             nbytes = static_cast<size_t>(v);
+        } else if (a == "--deadline-ms" && i + 1 < argc) {
+            const char* s = argv[++i];
+            char* end = nullptr;
+            double v = std::strtod(s, &end);
+            if (end == s || *end != '\0' || v <= 0) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --deadline-ms value '%s' "
+                             "(expected a positive number)\n", s);
+                return kExitUserError;
+            }
+            deadlineMs = v;
+        } else if (a == "--inject-fault" && i + 1 < argc) {
+            faultStr = argv[++i];
         } else if (a == "--profile" || a.rfind("--profile=", 0) == 0) {
             profile = true;
             if (a.size() > strlen("--profile="))
@@ -141,12 +186,21 @@ main(int argc, char** argv)
     std::ifstream in(path);
     if (!in) {
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 1;
+        return kExitUserError;
     }
     std::ostringstream ss;
     ss << in.rdbuf();
 
+    // Front half: everything up to the run is a user error if it throws
+    // (bad fault spec, parse error, type error).
+    FaultSpec fault;
+    std::unique_ptr<Pipeline> p;
+    std::unique_ptr<ThreadedPipeline> tp;
+    CompileReport rep;
+    const bool threaded = deadlineMs > 0;
     try {
+        if (!faultStr.empty())
+            fault = FaultSpec::parse(faultStr);
         wifi::registerWifiNatives();
         CompPtr program = parseComp(ss.str());
 
@@ -157,9 +211,12 @@ main(int argc, char** argv)
         if (tracePasses >= 0 || profile)
             copt.tracer = &tracer;
         copt.instrument = profile;
+        copt.stallDeadlineMs = deadlineMs;
 
-        CompileReport rep;
-        auto p = compilePipeline(program, copt, &rep);
+        if (threaded)
+            tp = compileThreadedPipeline(program, copt, &rep);
+        else
+            p = compilePipeline(program, copt, &rep);
         std::printf("signature: %s\n", rep.signature.show().c_str());
         std::printf("compiled in %.2f ms; %ld candidates, chose "
                     "%d-in/%d-out; %d LUTs (%zu KiB)\n",
@@ -172,16 +229,34 @@ main(int argc, char** argv)
             std::printf("---- optimized AST ----\n%s\n",
                         showComp(opt).c_str());
         }
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return kExitUserError;
+    }
+
+    // Back half: run-time failures get their own exit codes so scripted
+    // fault matrices (scripts/soak.sh) can tell outcomes apart.
+    try {
+        const size_t inW = threaded ? tp->inWidth() : p->inWidth();
+        const size_t outW = threaded ? tp->outWidth() : p->outWidth();
 
         // Feed deterministic input bytes (bit-typed streams get 0/1).
         Rng rng(1);
         std::vector<uint8_t> input(nbytes);
-        bool bitStream = p->inWidth() == 1;
+        bool bitStream = inW == 1;
         for (auto& b : input) {
             b = bitStream ? rng.bit() : static_cast<uint8_t>(rng.next());
         }
-        RunStats st;
-        auto out = p->runBytes(input, &st);
+        MemSource mem(input, inW);
+        FaultySource faulty(mem, fault);
+        InputSource& src = fault.enabled()
+                               ? static_cast<InputSource&>(faulty)
+                               : mem;
+        if (fault.enabled())
+            std::printf("injecting fault: %s\n", fault.show().c_str());
+        VecSink sink(outW);
+        RunStats st = threaded ? tp->run(src, sink) : p->run(src, sink);
+        const auto& out = sink.data();
         std::printf("consumed %llu element(s), emitted %llu; first "
                     "bytes:",
                     static_cast<unsigned long long>(st.consumed),
@@ -202,7 +277,7 @@ main(int argc, char** argv)
                 if (!f) {
                     std::fprintf(stderr, "cannot write %s\n",
                                  profilePath.c_str());
-                    return 1;
+                    return kExitUserError;
                 }
                 std::fprintf(f, "%s\n", doc.c_str());
                 std::fclose(f);
@@ -210,9 +285,19 @@ main(int argc, char** argv)
                             profilePath.c_str());
             }
         }
-        return 0;
+        return kExitOk;
+    } catch (const StageFailureError& e) {
+        const StageFailure& f = e.failure();
+        std::fprintf(stderr, "stage failure: %s (stage %zu, %s, %s)\n",
+                     f.message.c_str(), f.stage, f.path.c_str(),
+                     failureCauseName(f.cause));
+        return f.cause == FailureCause::Stall ? kExitStallTimeout
+                                              : kExitStageFailure;
     } catch (const FatalError& e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        std::fprintf(stderr, "runtime failure: %s\n", e.what());
+        return kExitStageFailure;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return kExitInternal;
     }
 }

@@ -46,6 +46,12 @@ if [ -n "$sanitize" ]; then
 fi
 
 ctest --test-dir build 2>&1 | tee test_output.txt
+# Fault-tolerance suites (ctest label `fault`) rerun with verbose output
+# so failures in the robustness layer are easy to read, then the CLI
+# fault matrix (docs/ROBUSTNESS.md) soaks zirrun's exit codes.
+ctest --test-dir build -L fault --output-on-failure 2>&1 \
+    | tee fault_output.txt
+sh scripts/soak.sh 2>&1 | tee -a fault_output.txt
 sh scripts/check_overhead.sh 2>&1 | tee overhead_output.txt
 {
     for b in build/bench/*; do

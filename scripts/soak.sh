@@ -1,0 +1,73 @@
+#!/bin/sh
+# Fault-matrix soak: run zirrun across {fault spec} x {opt level} x
+# {plain, supervised} and check each case exits with the documented
+# code (0 ok, 2 user error, 3 stage failure, 4 stall timeout) within a
+# wall-clock deadline.  The property under test is the PR's core
+# robustness claim: no injected fault may hang or crash the process —
+# every run terminates promptly with a structured outcome.
+#
+# Usage: scripts/soak.sh            (uses ./build, like run_all.sh)
+#        BUILD_DIR=build-tsan scripts/soak.sh
+cd "$(dirname "$0")/.." || exit 1
+BUILD="${BUILD_DIR:-build}"
+BIN="$BUILD/examples/zirrun"
+DEADLINE_S=30   # per-case wall-clock budget (timeout -> case failed)
+
+if [ ! -x "$BIN" ]; then
+    echo "soak: $BIN not built" >&2
+    exit 1
+fi
+
+pass=0
+fail=0
+
+# check EXPECTED_EXIT DESCRIPTION CMD...
+check() {
+    want="$1"; desc="$2"; shift 2
+    timeout "$DEADLINE_S" "$@" > /dev/null 2>&1
+    got=$?
+    if [ "$got" -eq 124 ]; then
+        echo "FAIL $desc: hung (killed after ${DEADLINE_S}s)"
+        fail=$((fail + 1))
+    elif [ "$got" -ne "$want" ]; then
+        echo "FAIL $desc: exit $got, expected $want"
+        fail=$((fail + 1))
+    else
+        pass=$((pass + 1))
+    fi
+}
+
+# User-error paths (opt-independent).
+check 2 "missing file"  "$BIN" no_such_file.zir
+check 2 "bad fault spec" "$BIN" examples/zir/scrambler.zir \
+        --inject-fault bogus@3
+check 2 "bad deadline"  "$BIN" examples/zir/pipeline.zir \
+        --deadline-ms -5
+
+for prog in examples/zir/scrambler.zir examples/zir/pipeline.zir; do
+    name=$(basename "$prog" .zir)
+    for opt in none vect all; do
+        tag="$name/$opt"
+        common="$BIN $prog --opt $opt --bytes 4096"
+        # Clean runs, plain and supervised.
+        check 0 "$tag clean"            $common
+        check 0 "$tag clean supervised" $common --deadline-ms 2000
+        # Graceful faults: truncation and short reads end or thin the
+        # stream but the run still completes.
+        check 0 "$tag truncate"  $common --inject-fault truncate@4
+        check 0 "$tag shortread" $common --inject-fault shortread@0:7
+        # A short stall is just latency when unsupervised.
+        check 0 "$tag slow" $common --inject-fault stall@2:200
+        # A thrown fault is a stage failure both ways.
+        check 3 "$tag throw"            $common --inject-fault throw@2
+        check 3 "$tag throw supervised" $common --inject-fault throw@2 \
+                --deadline-ms 2000
+        # A long stall under supervision trips the watchdog; the case
+        # budget (not the 30 s stall) bounds the wall clock.
+        check 4 "$tag stall supervised" $common \
+                --inject-fault stall@2:30000 --deadline-ms 250
+    done
+done
+
+echo "soak: $pass passed, $fail failed"
+[ "$fail" -eq 0 ]

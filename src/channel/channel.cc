@@ -3,8 +3,53 @@
 #include <cmath>
 #include <complex>
 
+#include "support/panic.h"
+
 namespace ziria {
 namespace channel {
+
+namespace {
+
+void
+requireFinite(double v, const char* field)
+{
+    if (!std::isfinite(v))
+        fatalf("channel config: ", field, " must be finite (got ", v, ")");
+}
+
+} // namespace
+
+void
+validateChannelConfig(const ChannelConfig& cfg)
+{
+    if (cfg.delaySamples < 0)
+        fatalf("channel config: delaySamples must be >= 0 (got ",
+               cfg.delaySamples, ")");
+    if (cfg.trailSamples < 0)
+        fatalf("channel config: trailSamples must be >= 0 (got ",
+               cfg.trailSamples, ")");
+    if (cfg.multipathTaps < 1)
+        fatalf("channel config: multipathTaps must be >= 1 (got ",
+               cfg.multipathTaps, ")");
+    requireFinite(cfg.snrDb, "snrDb");
+    requireFinite(cfg.gain, "gain");
+    requireFinite(cfg.tapDecay, "tapDecay");
+    requireFinite(cfg.cfoRadPerSample, "cfoRadPerSample");
+    requireFinite(cfg.phaseRad, "phaseRad");
+    requireFinite(cfg.truncateFrac, "truncateFrac");
+    if (cfg.burstErrors < 0)
+        fatalf("channel config: burstErrors must be >= 0 (got ",
+               cfg.burstErrors, ")");
+    if (cfg.burstErrors > 0 && cfg.burstLen <= 0)
+        fatalf("channel config: burstLen must be > 0 when burstErrors "
+               "is set (got ", cfg.burstLen, ")");
+    if (cfg.burstLen < 0)
+        fatalf("channel config: burstLen must be >= 0 (got ",
+               cfg.burstLen, ")");
+    if (cfg.truncateFrac < 0.0 || cfg.truncateFrac > 1.0)
+        fatalf("channel config: truncateFrac must be in [0,1] (got ",
+               cfg.truncateFrac, ")");
+}
 
 double
 meanPower(const std::vector<Complex16>& xs)
@@ -22,6 +67,7 @@ meanPower(const std::vector<Complex16>& xs)
 std::vector<Complex16>
 applyChannel(const std::vector<Complex16>& tx, const ChannelConfig& cfg)
 {
+    validateChannelConfig(cfg);
     Rng rng(cfg.seed);
 
     // Multipath taps: h[0] = 1, h[k] = decay^k with a random phase.
@@ -68,12 +114,38 @@ applyChannel(const std::vector<Complex16>& tx, const ChannelConfig& cfg)
         out.push_back(Complex16{sat(v.real()), sat(v.imag())});
     };
 
+    // Capture truncation: keep only the first truncateFrac of the faded
+    // signal (the trailing noise is still appended, so the receiver sees
+    // a packet cut off mid-air followed by silence).
+    size_t keep = faded.size();
+    if (cfg.truncateFrac < 1.0)
+        keep = static_cast<size_t>(
+            std::floor(cfg.truncateFrac *
+                       static_cast<double>(faded.size())));
+
+    // Burst interference: burstErrors windows of burstLen samples each,
+    // placed uniformly at random (deterministic under cfg.seed) over the
+    // kept signal, overwritten with high-power noise (~10x signal sigma).
+    if (cfg.burstErrors > 0 && keep > 0) {
+        double burstSigma = 10.0 * std::sqrt(std::max(sigPower, 1.0) / 2.0);
+        for (int b = 0; b < cfg.burstErrors; ++b) {
+            size_t start = static_cast<size_t>(
+                rng.uniform() * static_cast<double>(keep));
+            size_t end = std::min(keep, start + static_cast<size_t>(
+                                                    cfg.burstLen));
+            for (size_t i = start; i < end; ++i)
+                faded[i] = std::complex<double>(
+                    burstSigma * rng.gaussian(),
+                    burstSigma * rng.gaussian());
+        }
+    }
+
     std::vector<Complex16> out;
-    out.reserve(tx.size() + cfg.delaySamples + cfg.trailSamples);
+    out.reserve(keep + cfg.delaySamples + cfg.trailSamples);
     size_t idx = 0;
     for (int i = 0; i < cfg.delaySamples; ++i)
         emitSample(out, {0.0, 0.0}, idx++);
-    for (size_t i = 0; i < faded.size(); ++i)
+    for (size_t i = 0; i < keep; ++i)
         emitSample(out, faded[i], idx++);
     for (int i = 0; i < cfg.trailSamples; ++i)
         emitSample(out, {0.0, 0.0}, idx++);

@@ -22,7 +22,14 @@
 namespace ziria {
 namespace channel {
 
-/** Channel configuration. */
+/**
+ * Channel configuration.
+ *
+ * Validated by applyChannel (via validateChannelConfig): negative
+ * sample counts, a non-positive tap count, or non-finite SNR/gain/
+ * CFO/phase/decay raise a FatalError instead of silently producing
+ * garbage samples.
+ */
 struct ChannelConfig
 {
     double snrDb = 30.0;        ///< SNR relative to the signal's power
@@ -34,7 +41,18 @@ struct ChannelConfig
     int multipathTaps = 1;      ///< 1 = flat channel
     double tapDecay = 0.5;      ///< amplitude ratio between taps
     uint64_t seed = 1;
+
+    // Fault injection (docs/ROBUSTNESS.md): burst interference and
+    // capture truncation, both deterministic under `seed`.
+    int burstErrors = 0;   ///< number of high-power interference bursts
+    int burstLen = 0;      ///< samples per burst (0 with bursts = error)
+    /** Keep only the first `truncateFrac` of the faded samples
+     *  (1.0 = whole capture); models a capture cut off mid-packet. */
+    double truncateFrac = 1.0;
 };
+
+/** Check a configuration; throws FatalError describing the bad field. */
+void validateChannelConfig(const ChannelConfig& cfg);
 
 /** Apply the channel to a sample stream. */
 std::vector<Complex16> applyChannel(const std::vector<Complex16>& tx,

@@ -8,11 +8,20 @@
  * fixed-width byte records; the queue supports batched push/pop, close
  * (end-of-stream from the producer) and cancel (early termination requested
  * by the consumer, e.g. when a downstream computer halts).
+ *
+ * Termination properties (relied on by the ThreadedPipeline supervisor):
+ *  - close() and cancel() wake EVERY blocked waiter on both sides, so a
+ *    peer that exits — cleanly or by throwing — can always unblock the
+ *    other end with one call, never leaving it parked forever;
+ *  - pushWait()/popWait() bound any individual wait, letting stage drive
+ *    loops poll an abort flag between slices instead of trusting that a
+ *    wake-up will ever arrive.
  */
 #ifndef ZIRIA_SUPPORT_SPSC_QUEUE_H
 #define ZIRIA_SUPPORT_SPSC_QUEUE_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -20,6 +29,14 @@
 #include <vector>
 
 namespace ziria {
+
+/** Outcome of a bounded queue wait. */
+enum class QueueWait : uint8_t {
+    Ready,      ///< element transferred
+    Timeout,    ///< deadline elapsed; nothing transferred
+    Closed,     ///< producer closed and the queue is drained (pop side)
+    Cancelled,  ///< queue cancelled; nothing transferred
+};
 
 /**
  * Bounded SPSC queue of fixed-width elements.
@@ -61,12 +78,25 @@ class SpscQueue
     bool
     push(const uint8_t* elem)
     {
+        return pushWait(elem, -1) == QueueWait::Ready;
+    }
+
+    /**
+     * Push one element, waiting at most @p timeout_ms (-1 = forever).
+     * Returns Timeout with the element NOT enqueued when the deadline
+     * elapses while the queue stays full.
+     */
+    QueueWait
+    pushWait(const uint8_t* elem, long timeout_ms)
+    {
         std::unique_lock<std::mutex> lk(mu_);
         if (size_ >= cap_ && !cancelled_)
             ++stats_.pushStalls;
-        notFull_.wait(lk, [&] { return size_ < cap_ || cancelled_; });
+        auto ready = [&] { return size_ < cap_ || cancelled_; };
+        if (!waitFor(notFull_, lk, ready, timeout_ms))
+            return QueueWait::Timeout;
         if (cancelled_)
-            return false;
+            return QueueWait::Cancelled;
         std::memcpy(&buf_[(head_ % cap_) * width_], elem, width_);
         ++head_;
         ++size_;
@@ -75,7 +105,7 @@ class SpscQueue
             stats_.highWater = size_;
         lk.unlock();
         notEmpty_.notify_one();
-        return true;
+        return QueueWait::Ready;
     }
 
     /**
@@ -85,21 +115,34 @@ class SpscQueue
     bool
     pop(uint8_t* elem)
     {
+        return popWait(elem, -1) == QueueWait::Ready;
+    }
+
+    /**
+     * Pop one element, waiting at most @p timeout_ms (-1 = forever).
+     * Returns Closed once the producer closed and the ring is drained,
+     * Cancelled after cancel(), Timeout when the deadline elapses first.
+     */
+    QueueWait
+    popWait(uint8_t* elem, long timeout_ms)
+    {
         std::unique_lock<std::mutex> lk(mu_);
         if (size_ == 0 && !closed_ && !cancelled_)
             ++stats_.popStalls;
-        notEmpty_.wait(lk, [&] {
-            return size_ > 0 || closed_ || cancelled_;
-        });
-        if (cancelled_ || size_ == 0)
-            return false;
+        auto ready = [&] { return size_ > 0 || closed_ || cancelled_; };
+        if (!waitFor(notEmpty_, lk, ready, timeout_ms))
+            return QueueWait::Timeout;
+        if (cancelled_)
+            return QueueWait::Cancelled;
+        if (size_ == 0)
+            return QueueWait::Closed;
         std::memcpy(elem, &buf_[(tail_ % cap_) * width_], width_);
         ++tail_;
         --size_;
         ++stats_.popped;
         lk.unlock();
         notFull_.notify_one();
-        return true;
+        return QueueWait::Ready;
     }
 
     /** Snapshot the telemetry counters. */
@@ -118,7 +161,7 @@ class SpscQueue
         stats_ = Stats{};
     }
 
-    /** Producer signals end-of-stream. */
+    /** Producer signals end-of-stream; wakes every waiter. */
     void
     close()
     {
@@ -127,9 +170,13 @@ class SpscQueue
             closed_ = true;
         }
         notEmpty_.notify_all();
+        notFull_.notify_all();
     }
 
-    /** Consumer requests early termination; unblocks the producer. */
+    /**
+     * Consumer (or the pipeline supervisor) requests early termination;
+     * wakes every waiter on both sides.
+     */
     void
     cancel()
     {
@@ -148,7 +195,27 @@ class SpscQueue
         return cancelled_;
     }
 
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return closed_;
+    }
+
   private:
+    template <typename Pred>
+    static bool
+    waitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+            Pred ready, long timeout_ms)
+    {
+        if (timeout_ms < 0) {
+            cv.wait(lk, ready);
+            return true;
+        }
+        return cv.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                           ready);
+    }
+
     const size_t width_;
     const size_t cap_;
     std::vector<uint8_t> buf_;

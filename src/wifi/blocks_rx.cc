@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "support/metrics.h"
 #include "support/panic.h"
 #include "zexpr/natives.h"
 
@@ -173,6 +174,31 @@ demapperBlock(dsp::Modulation m)
                          just(emits(arrayLit(std::move(bits))))}));
 }
 
+namespace {
+
+/**
+ * Identity on the CRC verdict, counting wifi.rx.crc_ok / crc_fail as a
+ * side effect so long-running RX loops expose per-packet outcomes in
+ * the metrics registry without any extra stream plumbing.
+ */
+FunRef
+noteCrcFun()
+{
+    static FunRef f = makeNativeFun(
+        "wifi_note_crc", {freshVar("ok", Type::int32())}, Type::int32(),
+        [](const uint8_t* const* args, uint8_t* ret) {
+            int32_t ok;
+            std::memcpy(&ok, args[0], 4);
+            metrics::Registry::global()
+                .counter(ok ? "wifi.rx.crc_ok" : "wifi.rx.crc_fail")
+                .inc();
+            std::memcpy(ret, &ok, 4);
+        });
+    return f;
+}
+
+} // namespace
+
 CompPtr
 checkCrcBlock(const VarRef& h)
 {
@@ -221,7 +247,8 @@ checkCrcBlock(const VarRef& h)
         crc, cI64(0xFFFFFFFFll),
         letvar(ok, cInt(0),
                seqc({just(std::move(skipService)), just(std::move(pass)),
-                     just(std::move(fcs)), just(ret(var(ok)))})));
+                     just(std::move(fcs)),
+                     just(ret(call(noteCrcFun(), {var(ok)})))})));
 }
 
 FunRef

@@ -6,6 +6,7 @@
 
 #include "dsp/fft.h"
 #include "dsp/viterbi.h"
+#include "support/metrics.h"
 #include "support/panic.h"
 #include "zparse/parser.h"
 
@@ -293,6 +294,13 @@ namespace {
  * more samples for LTS2, estimates the channel from both, and returns
  * the Q12 inverse channel.  Consumption stops precisely at the end of
  * LTS2, so the downstream symbol framing needs no explicit shift.
+ *
+ * Degradation: when no LTS shows up within the sample budget (a false
+ * CCA trigger, a truncated capture) the kernel gives up with an
+ * all-zero channel instead of aborting.  The zero channel makes the
+ * SIGNAL symbol decode to garbage, the header-valid guard drops it,
+ * and the RX loop returns to carrier sense — one dropped "packet",
+ * counted in wifi.rx.sync_failures, instead of a dead receiver.
  */
 class LtsKernel : public NativeKernel
 {
@@ -321,8 +329,14 @@ class LtsKernel : public NativeKernel
             ring_.pop_front();
         ++n_;
         ++scanned_;
-        if (scanned_ > 4096)
-            fatal("LTS: no long training symbol found");
+        if (scanned_ > kScanBudget) {
+            auto& reg = metrics::Registry::global();
+            reg.counter("wifi.rx.sync_failures").inc();
+            reg.counter("wifi.rx.resyncs").inc();
+            ctrl_.assign(fftSize * 4, 0);  // zero channel: header decodes
+            done_ = true;                  // invalid, RX loop resyncs
+            return true;
+        }
 
         if (peakN_ < 0) {
             if (ring_.size() < 64)
@@ -426,6 +440,10 @@ class LtsKernel : public NativeKernel
             std::memcpy(ctrl_.data() + 4 * k, &q, 4);
         }
     }
+
+    /** Samples to scan for the LTS before giving up (a CCA trigger is
+     *  at most ~160 STS samples + 160 LTS samples from the peak). */
+    static constexpr long kScanBudget = 4096;
 
     std::deque<std::complex<double>> ring_;
     long n_ = 0;
@@ -554,13 +572,22 @@ class SignalDecodeKernel : public NativeKernel
                           bits_[static_cast<size_t>(2 * i + 1)], decoded);
         dec.flush(decoded);
         SignalInfo si = parseSignal(decoded);
+        // Receiver policy on top of the spec-level parse: an implausible
+        // LENGTH (e.g. 4095 from decoding noise) would commit the chain
+        // to a phantom multi-thousand-byte DATA field.
+        bool accept = si.valid && psduLenPlausible(si.length);
+        if (!accept) {
+            auto& reg = metrics::Registry::global();
+            reg.counter("wifi.rx.header_drops").inc();
+            reg.counter("wifi.rx.resyncs").inc();
+        }
 
         ctrl_.assign(16, 0);
         const RateInfo& ri = rateInfo(si.rate);
         int32_t mod = modCode(ri.modulation);
         int32_t cod = codCode(ri.coding);
         int32_t len = si.length;
-        int32_t valid = si.valid ? 1 : 0;
+        int32_t valid = accept ? 1 : 0;
         std::memcpy(ctrl_.data() + 0, &mod, 4);
         std::memcpy(ctrl_.data() + 4, &cod, 4);
         std::memcpy(ctrl_.data() + 8, &len, 4);

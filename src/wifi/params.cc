@@ -197,6 +197,12 @@ parseSignal(const std::vector<uint8_t>& bits)
     return out;
 }
 
+bool
+psduLenPlausible(int len)
+{
+    return len >= kMinPsduLen && len <= kMaxPsduLen;
+}
+
 int32_t
 modCode(dsp::Modulation m)
 {

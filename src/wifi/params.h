@@ -92,6 +92,20 @@ int dataSymbols(Rate r, int psduLen);
 /** Build the 24 SIGNAL bits for (rate, length). */
 std::vector<uint8_t> signalBits(Rate r, int psduLen);
 
+/**
+ * PSDU length bounds accepted by the *receiver* (not the encoding: the
+ * SIGNAL LENGTH field is 12 bits, so 4095 round-trips through
+ * signalBits/parseSignal).  802.11a frames top out at 2346 octets and
+ * anything under 4 octets cannot even hold its own FCS — the RX chain
+ * treats such headers as corrupt (psduLenPlausible) and resynchronizes
+ * instead of decoding a phantom DATA field.
+ */
+constexpr int kMinPsduLen = 4;
+constexpr int kMaxPsduLen = 2346;
+
+/** Receiver policy: is a decoded LENGTH a decodable frame size? */
+bool psduLenPlausible(int len);
+
 /** Decoded SIGNAL contents. */
 struct SignalInfo
 {
@@ -100,7 +114,12 @@ struct SignalInfo
     bool valid = false;
 };
 
-/** Parse 24 decoded SIGNAL bits (rate, length, parity). */
+/**
+ * Parse 24 decoded SIGNAL bits (rate, length, parity).  `valid` means
+ * the encoding is well-formed (parity matches, RATE names an 802.11a
+ * rate, LENGTH nonzero); receivers additionally apply psduLenPlausible
+ * before committing to decode the DATA field.
+ */
 SignalInfo parseSignal(const std::vector<uint8_t>& bits);
 
 // ---------------------------------------------------------- HeaderInfo

@@ -51,7 +51,14 @@ receiveBitsComp()
 {
     VarRef h = freshVar("h", headerInfoType());
     CompPtr body = pipe(decodeComp(h), checkCrcBlock(h));
-    return seqc({bindc(h, decodePlcpComp()), just(std::move(body))});
+    // Headers that fail the SIGNAL checks (parity, rate, length bounds)
+    // are dropped instead of decoded: return 0 ("no packet") so the
+    // enclosing repeat loop goes straight back to carrier sense and
+    // hunts for the next preamble.  Decoding a phantom DATA field from
+    // a corrupt length would swallow an unbounded stretch of samples.
+    CompPtr guarded = ifc(field(var(h), "valid") == cInt(1),
+                          std::move(body), ret(cInt(0)));
+    return seqc({bindc(h, decodePlcpComp()), just(std::move(guarded))});
 }
 
 } // namespace

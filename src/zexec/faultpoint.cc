@@ -1,0 +1,199 @@
+#include "zexec/faultpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "support/metrics.h"
+
+namespace ziria {
+
+namespace {
+
+/** Sleep for @p ms, polling @p cancelled every slice; true if cancelled. */
+bool
+cancellableSleep(uint64_t ms, const std::atomic<bool>& cancelled)
+{
+    using clock = std::chrono::steady_clock;
+    const auto end = clock::now() + std::chrono::milliseconds(ms);
+    while (clock::now() < end) {
+        if (cancelled.load(std::memory_order_relaxed))
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return cancelled.load(std::memory_order_relaxed);
+}
+
+uint64_t
+parseU64(const std::string& s, const std::string& whole)
+{
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || end != s.c_str() + s.size())
+        fatalf("bad fault spec '", whole, "': '", s,
+               "' is not a non-negative integer");
+    return v;
+}
+
+void
+countInjection(const char* what)
+{
+    metrics::Registry::global()
+        .counter(std::string("fault.injected.") + what)
+        .inc();
+}
+
+} // namespace
+
+FaultSpec
+FaultSpec::parse(const std::string& s)
+{
+    const size_t at = s.find('@');
+    if (at == std::string::npos)
+        fatalf("bad fault spec '", s,
+               "': expected KIND@TICK[:ARG] with KIND one of "
+               "truncate|stall|throw|shortread");
+    const std::string kind = s.substr(0, at);
+    std::string rest = s.substr(at + 1);
+    std::string arg;
+    const size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+        arg = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+    }
+
+    FaultSpec spec;
+    spec.tick = parseU64(rest, s);
+    if (kind == "truncate") {
+        spec.kind = Kind::Truncate;
+    } else if (kind == "stall") {
+        spec.kind = Kind::Stall;
+        spec.stallMs = arg.empty() ? 1000 : parseU64(arg, s);
+    } else if (kind == "throw") {
+        spec.kind = Kind::Throw;
+    } else if (kind == "shortread") {
+        spec.kind = Kind::ShortRead;
+        spec.seed = arg.empty() ? 1 : parseU64(arg, s);
+    } else {
+        fatalf("bad fault spec '", s, "': unknown kind '", kind,
+               "' (expected truncate|stall|throw|shortread)");
+    }
+    if (spec.kind != Kind::Stall && spec.kind != Kind::ShortRead &&
+        !arg.empty())
+        fatalf("bad fault spec '", s, "': '", kind,
+               "' takes no ':' argument");
+    return spec;
+}
+
+std::string
+FaultSpec::show() const
+{
+    switch (kind) {
+      case Kind::None: return "none";
+      case Kind::Truncate: return "truncate@" + std::to_string(tick);
+      case Kind::Stall:
+        return "stall@" + std::to_string(tick) + ":" +
+               std::to_string(stallMs);
+      case Kind::Throw: return "throw@" + std::to_string(tick);
+      case Kind::ShortRead:
+        return "shortread@" + std::to_string(tick) + ":" +
+               std::to_string(seed);
+    }
+    return "none";
+}
+
+const uint8_t*
+FaultySource::next()
+{
+    if (cancelled_.load(std::memory_order_relaxed))
+        return nullptr;
+    switch (spec_.kind) {
+      case FaultSpec::Kind::Truncate:
+        if (n_ >= spec_.tick) {
+            countInjection("truncate");
+            return nullptr;
+        }
+        break;
+      case FaultSpec::Kind::Throw:
+        if (n_ == spec_.tick) {
+            countInjection("throw");
+            throw InjectedFault("injected fault: throw at source tick " +
+                                std::to_string(n_));
+        }
+        break;
+      case FaultSpec::Kind::Stall:
+        if (n_ == spec_.tick) {
+            countInjection("stall");
+            if (cancellableSleep(spec_.stallMs, cancelled_))
+                return nullptr;
+        }
+        break;
+      case FaultSpec::Kind::ShortRead:
+        if (n_ >= spec_.tick) {
+            // Drop (skip) inner elements with probability 1/8 each.
+            while ((rng_.next() & 7) == 0) {
+                countInjection("shortread");
+                if (!inner_.next())
+                    return nullptr;
+            }
+        }
+        break;
+      case FaultSpec::Kind::None:
+        break;
+    }
+    const uint8_t* p = inner_.next();
+    if (p)
+        ++n_;
+    return p;
+}
+
+void
+FaultySource::cancel()
+{
+    cancelled_.store(true, std::memory_order_relaxed);
+    inner_.cancel();
+}
+
+void
+FaultySink::put(const uint8_t* elem)
+{
+    switch (spec_.kind) {
+      case FaultSpec::Kind::Truncate:
+      case FaultSpec::Kind::ShortRead:
+        if (n_ >= spec_.tick) {
+            if (dropped_ == 0)
+                countInjection("short_write");
+            ++n_;
+            ++dropped_;
+            return;
+        }
+        break;
+      case FaultSpec::Kind::Throw:
+        if (n_ == spec_.tick) {
+            countInjection("throw");
+            throw InjectedFault("injected fault: throw at sink tick " +
+                                std::to_string(n_));
+        }
+        break;
+      case FaultSpec::Kind::Stall:
+        if (n_ == spec_.tick) {
+            countInjection("stall");
+            if (cancellableSleep(spec_.stallMs, cancelled_))
+                return;
+        }
+        break;
+      case FaultSpec::Kind::None:
+        break;
+    }
+    inner_.put(elem);
+    ++n_;
+}
+
+void
+FaultySink::cancel()
+{
+    cancelled_.store(true, std::memory_order_relaxed);
+    inner_.cancel();
+}
+
+} // namespace ziria

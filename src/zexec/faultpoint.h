@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic fault injection for pipeline endpoints.
+ *
+ * A FaultSpec names one fault — *what* goes wrong and at which element
+ * tick — and FaultySource/FaultySink are decorators that impose it on an
+ * InputSource/OutputSink.  Faults model what a real SDR front end does
+ * to a receiver: captures truncate mid-stream, DMA rings stall for a
+ * while, drivers drop samples (short reads), and glue code throws.
+ *
+ * Everything is seeded and tick-indexed, so a failing fault run replays
+ * exactly.  The layer is pay-for-what-you-use: an unwrapped pipeline
+ * contains no fault code at all (the decorators are separate objects,
+ * never consulted on the normal path), which keeps the PR-1
+ * zero-cost-when-off guarantee (scripts/check_overhead.sh) intact.
+ */
+#ifndef ZIRIA_ZEXEC_FAULTPOINT_H
+#define ZIRIA_ZEXEC_FAULTPOINT_H
+
+#include <atomic>
+#include <string>
+
+#include "support/panic.h"
+#include "support/rng.h"
+#include "zexec/pipeline.h"
+
+namespace ziria {
+
+/** One injected fault: what happens and at which element tick. */
+struct FaultSpec
+{
+    enum class Kind : uint8_t {
+        None,       ///< no fault (decorators pass straight through)
+        Truncate,   ///< end the stream at tick K (mid-stream truncation)
+        Stall,      ///< block for stallMs at tick K (cancellable)
+        Throw,      ///< throw InjectedFault at tick K
+        ShortRead,  ///< from tick K on, randomly drop ~1/8 of elements
+    };
+
+    Kind kind = Kind::None;
+    uint64_t tick = 0;     ///< element index at which the fault fires
+    uint64_t stallMs = 0;  ///< Stall only: how long to block
+    uint64_t seed = 1;     ///< ShortRead only: drop-pattern seed
+
+    bool enabled() const { return kind != Kind::None; }
+
+    /**
+     * Parse a command-line spec:
+     *   "truncate@K" | "throw@K" | "stall@K:MS" | "shortread@K:SEED"
+     * (MS defaults to 1000, SEED to 1).  Throws FatalError on syntax
+     * errors — callers surface it as a user error.
+     */
+    static FaultSpec parse(const std::string& s);
+
+    /** Round-trippable display form ("truncate@128"). */
+    std::string show() const;
+};
+
+/** The exception a Throw fault raises (distinguishable in tests). */
+class InjectedFault : public FatalError
+{
+  public:
+    explicit InjectedFault(const std::string& msg) : FatalError(msg) {}
+};
+
+/**
+ * InputSource decorator applying one FaultSpec.  Stalls poll the cancel
+ * flag every few ms, so a supervised teardown (InputSource::cancel)
+ * unblocks the stage promptly instead of waiting out the stall.
+ */
+class FaultySource : public InputSource
+{
+  public:
+    FaultySource(InputSource& inner, FaultSpec spec)
+        : inner_(inner), spec_(spec), rng_(spec.seed)
+    {
+    }
+
+    const uint8_t* next() override;
+    void cancel() override;
+
+    /** Elements delivered so far (the fault clock). */
+    uint64_t ticks() const { return n_; }
+
+  private:
+    InputSource& inner_;
+    FaultSpec spec_;
+    uint64_t n_ = 0;
+    std::atomic<bool> cancelled_{false};
+    Rng rng_;
+};
+
+/**
+ * OutputSink decorator applying one FaultSpec.  Truncate becomes a
+ * short *write*: elements from tick K on are silently dropped (the
+ * stream keeps flowing, the capture file is short).
+ */
+class FaultySink : public OutputSink
+{
+  public:
+    FaultySink(OutputSink& inner, FaultSpec spec)
+        : inner_(inner), spec_(spec)
+    {
+    }
+
+    void put(const uint8_t* elem) override;
+    void cancel() override;
+
+    uint64_t ticks() const { return n_; }
+    uint64_t dropped() const { return dropped_; }
+
+  private:
+    OutputSink& inner_;
+    FaultSpec spec_;
+    uint64_t n_ = 0;
+    uint64_t dropped_ = 0;
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_ZEXEC_FAULTPOINT_H

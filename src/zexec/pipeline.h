@@ -28,6 +28,15 @@ class InputSource
 
     /** Pointer to the next element, or null at end of stream. */
     virtual const uint8_t* next() = 0;
+
+    /**
+     * Ask a blocked next() to give up and return null as soon as it can.
+     * Called by the ThreadedPipeline supervisor from another thread when
+     * a run is aborted; sources that can block (radios, sockets, fault
+     * injectors) should honor it.  Default: no-op (memory sources never
+     * block).
+     */
+    virtual void cancel() {}
 };
 
 /** Reads elements out of a flat byte buffer (not owned). */
@@ -107,6 +116,9 @@ class OutputSink
     virtual ~OutputSink() = default;
 
     virtual void put(const uint8_t* elem) = 0;
+
+    /** Ask a blocked put() to give up (see InputSource::cancel()). */
+    virtual void cancel() {}
 };
 
 /** Appends output elements to a byte vector. */

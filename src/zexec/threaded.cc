@@ -1,8 +1,10 @@
 #include "zexec/threaded.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "support/metrics.h"
@@ -12,14 +14,55 @@
 
 namespace ziria {
 
+const char*
+failureCauseName(FailureCause c)
+{
+    switch (c) {
+      case FailureCause::Exception: return "exception";
+      case FailureCause::Stall: return "stall";
+      case FailureCause::Cancel: return "cancel";
+    }
+    return "unknown";
+}
+
 namespace {
+
+std::string
+describeFailure(const StageFailure& f)
+{
+    std::ostringstream os;
+    os << "pipeline stage " << f.stage << " (" << f.path
+       << ") failed [" << failureCauseName(f.cause) << "]";
+    if (!f.message.empty())
+        os << ": " << f.message;
+    return os.str();
+}
+
+} // namespace
+
+StageFailureError::StageFailureError(StageFailure f)
+    : FatalError(describeFailure(f)), failure_(std::move(f))
+{
+}
+
+namespace {
+
+/** Queue-wait slice for supervised runs: long enough that the periodic
+ *  wake-up is noise, short enough that an abort is noticed promptly. */
+constexpr long kSupervisedSliceMs = 20;
 
 /** Result of running one stage. */
 struct StageResult
 {
+    /** Elements moved (consumed + emitted); what the watchdog samples.
+     *  Relaxed: only freshness matters, not ordering. */
+    std::atomic<uint64_t> progress{0};
+    std::atomic<bool> finished{false};
+
     uint64_t consumed = 0;
     uint64_t emitted = 0;
     bool halted = false;
+    bool aborted = false;  ///< exited on cancel/abort, not end-of-stream
     std::vector<uint8_t> ctrl;
     std::exception_ptr error;
     double sec = 0;  ///< wall time of the stage's drive loop
@@ -28,29 +71,65 @@ struct StageResult
 /**
  * Drive one stage: pull input from @p inq (or @p src for stage 0), push
  * output to @p outq (or @p sink for the last stage).
+ *
+ * @p abort is the run-wide teardown flag (set by the watchdog or at the
+ * end of a run); @p wait_slice_ms bounds each queue wait so the flag is
+ * polled even while blocked (-1 = plain blocking waits, used when the
+ * run is unsupervised).
  */
 void
 runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
-         SpscQueue* outq, OutputSink* sink, StageResult& res)
+         SpscQueue* outq, OutputSink* sink, StageResult& res,
+         const std::atomic<bool>& abort, long wait_slice_ms)
 {
     std::vector<uint8_t> inBuf(std::max<size_t>(node.inWidth(), 1));
     Stopwatch sw;
+    auto bump = [&res] {
+        res.progress.fetch_add(1, std::memory_order_relaxed);
+    };
     try {
         node.start(frame);
         while (true) {
+            if (abort.load(std::memory_order_relaxed)) {
+                res.aborted = true;
+                break;
+            }
             Status s = node.advance(frame);
             if (s == Status::Yield) {
                 if (outq) {
-                    if (!outq->push(node.out()))
-                        break;  // downstream cancelled
+                    QueueWait w;
+                    while ((w = outq->pushWait(node.out(),
+                                               wait_slice_ms)) ==
+                           QueueWait::Timeout) {
+                        if (abort.load(std::memory_order_relaxed))
+                            break;
+                    }
+                    if (w != QueueWait::Ready) {
+                        // Downstream cancelled (or run aborted mid-wait).
+                        res.aborted = w == QueueWait::Cancelled ||
+                                      w == QueueWait::Timeout;
+                        break;
+                    }
                 } else {
                     sink->put(node.out());
                 }
                 ++res.emitted;
+                bump();
             } else if (s == Status::NeedInput) {
                 if (inq) {
-                    if (!inq->pop(inBuf.data()))
-                        break;  // upstream finished
+                    QueueWait w;
+                    while ((w = inq->popWait(inBuf.data(),
+                                             wait_slice_ms)) ==
+                           QueueWait::Timeout) {
+                        if (abort.load(std::memory_order_relaxed))
+                            break;
+                    }
+                    if (w != QueueWait::Ready) {
+                        // Closed = upstream finished (normal EOS);
+                        // Cancelled/abort = torn down.
+                        res.aborted = w != QueueWait::Closed;
+                        break;
+                    }
                     node.supply(frame, inBuf.data());
                 } else {
                     const uint8_t* p = src->next();
@@ -59,6 +138,7 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
                     node.supply(frame, p);
                 }
                 ++res.consumed;
+                bump();
             } else {
                 res.halted = true;
                 const uint8_t* cp = node.ctrl();
@@ -76,6 +156,20 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
     // A halted (or failed) stage stops upstream producers.
     if ((res.halted || res.error) && inq)
         inq->cancel();
+    res.finished.store(true, std::memory_order_release);
+}
+
+/** Extract a human-readable message from a stored exception. */
+std::string
+errorMessage(const std::exception_ptr& ep)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
 }
 
 } // namespace
@@ -92,7 +186,11 @@ ThreadedPipeline::ThreadedPipeline(std::vector<NodePtr> stages,
 RunStats
 ThreadedPipeline::run(InputSource& src, OutputSink& sink)
 {
+    using clock = std::chrono::steady_clock;
     const size_t n = stages_.size();
+    const bool supervised = deadlineMs_ > 0;
+    const long slice = supervised ? kSupervisedSliceMs : -1;
+
     std::vector<std::unique_ptr<SpscQueue>> queues;
     for (size_t i = 0; i + 1 < n; ++i) {
         size_t w = std::max<size_t>(stages_[i]->outWidth(), 1);
@@ -100,24 +198,101 @@ ThreadedPipeline::run(InputSource& src, OutputSink& sink)
     }
 
     std::vector<StageResult> results(n);
+    std::atomic<bool> abort{false};
+    std::atomic<bool> watchdogStop{false};
+    std::atomic<long> stalledStage{-1};
+
+    // Deterministic teardown: cancel every queue (waking all waiters on
+    // both sides) and ask the endpoints to abandon any blocking I/O.
+    auto teardown = [&] {
+        abort.store(true, std::memory_order_relaxed);
+        for (auto& q : queues)
+            q->cancel();
+        src.cancel();
+        sink.cancel();
+    };
+
+    std::thread watchdog;
+    if (supervised) {
+        watchdog = std::thread([&] {
+            const auto deadline = std::chrono::duration<double, std::milli>(
+                deadlineMs_);
+            std::vector<uint64_t> last(n, 0);
+            std::vector<clock::time_point> changed(n, clock::now());
+            while (!watchdogStop.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                auto now = clock::now();
+                bool anyLive = false;
+                bool anyFresh = false;
+                for (size_t i = 0; i < n; ++i) {
+                    uint64_t p = results[i].progress.load(
+                        std::memory_order_relaxed);
+                    if (p != last[i]) {
+                        last[i] = p;
+                        changed[i] = now;
+                    }
+                    if (!results[i].finished.load(
+                            std::memory_order_acquire)) {
+                        anyLive = true;
+                        if (now - changed[i] < deadline)
+                            anyFresh = true;
+                    }
+                }
+                if (!anyLive)
+                    return;  // all stages done; nothing to supervise
+                if (anyFresh)
+                    continue;  // something is still moving (or fresh)
+                // Global quiescence: no unfinished stage has made
+                // progress for the whole deadline.  Blame the stage
+                // that has been silent the longest.
+                size_t worst = 0;
+                bool found = false;
+                for (size_t i = 0; i < n; ++i) {
+                    if (results[i].finished.load(
+                            std::memory_order_acquire))
+                        continue;
+                    if (!found || changed[i] < changed[worst]) {
+                        worst = i;
+                        found = true;
+                    }
+                }
+                stalledStage.store(static_cast<long>(worst),
+                                   std::memory_order_relaxed);
+                metrics::Registry::global()
+                    .counter("ziria.stall_timeouts")
+                    .inc();
+                teardown();
+                return;
+            }
+        });
+    }
+
     std::vector<std::thread> threads;
     for (size_t i = 0; i + 1 < n; ++i) {
         SpscQueue* inq = i == 0 ? nullptr : queues[i - 1].get();
         InputSource* s = i == 0 ? &src : nullptr;
         threads.emplace_back(runStage, std::ref(*stages_[i]),
                              std::ref(frame_), inq, s, queues[i].get(),
-                             nullptr, std::ref(results[i]));
+                             nullptr, std::ref(results[i]),
+                             std::cref(abort), slice);
     }
 
     // The last stage runs on the calling thread.
     runStage(*stages_[n - 1], frame_, n > 1 ? queues[n - 2].get() : nullptr,
-             n > 1 ? nullptr : &src, nullptr, &sink, results[n - 1]);
+             n > 1 ? nullptr : &src, nullptr, &sink, results[n - 1],
+             abort, slice);
 
     // If the final stage stopped early, make sure producers unblock.
     for (auto& q : queues)
         q->cancel();
     for (auto& t : threads)
         t.join();
+    watchdogStop.store(true, std::memory_order_release);
+    if (watchdog.joinable())
+        watchdog.join();
+
+    const long stalled = stalledStage.load(std::memory_order_relaxed);
 
     // Collect stage/queue telemetry before error propagation so partial
     // runs still leave a readable record.
@@ -130,6 +305,12 @@ ThreadedPipeline::run(InputSource& src, OutputSink& sink)
             sm.emitted = results[i].emitted;
             sm.halted = results[i].halted;
             sm.sec = results[i].sec;
+            if (results[i].error)
+                sm.failure = failureCauseName(FailureCause::Exception);
+            else if (stalled == static_cast<long>(i))
+                sm.failure = failureCauseName(FailureCause::Stall);
+            else if (results[i].aborted)
+                sm.failure = failureCauseName(FailureCause::Cancel);
             if (i + 1 < n) {
                 SpscQueue::Stats qs = queues[i]->stats();
                 sm.hasQueue = true;
@@ -142,9 +323,31 @@ ThreadedPipeline::run(InputSource& src, OutputSink& sink)
     }
     metrics::Registry::global().counter("ziria.threaded_runs").inc();
 
-    for (auto& r : results) {
-        if (r.error)
-            std::rethrow_exception(r.error);
+    // Error propagation: a throwing stage wins over a stall verdict
+    // (the stall is usually collateral of the failed stage).
+    for (size_t i = 0; i < n; ++i) {
+        if (!results[i].error)
+            continue;
+        StageFailure f;
+        f.stage = i;
+        f.path = "stage" + std::to_string(i);
+        f.cause = FailureCause::Exception;
+        f.message = errorMessage(results[i].error);
+        f.inner = results[i].error;
+        metrics::Registry::global()
+            .counter("ziria.stage_failures")
+            .inc();
+        throw StageFailureError(std::move(f));
+    }
+    if (stalled >= 0) {
+        StageFailure f;
+        f.stage = static_cast<size_t>(stalled);
+        f.path = "stage" + std::to_string(stalled);
+        f.cause = FailureCause::Stall;
+        std::ostringstream os;
+        os << "no progress for " << deadlineMs_ << " ms";
+        f.message = os.str();
+        throw StageFailureError(std::move(f));
     }
 
     RunStats st;

@@ -13,16 +13,65 @@
  * The stages share one Frame; the §2.3 race rule (checked by zcheck)
  * guarantees no mutable variable is written on one side and accessed on
  * the other.
+ *
+ * Fault tolerance (docs/ROBUSTNESS.md): a run can be supervised by a
+ * watchdog (setStallDeadline) that detects global quiescence — no stage
+ * making progress for the deadline — and tears the pipeline down
+ * deterministically: every SPSC queue is cancelled (waking all waiters),
+ * the source and sink are asked to cancel, and run() raises a structured
+ * StageFailure naming the stalled stage.  A stage that throws likewise
+ * surfaces a StageFailure (cause Exception) after its peers were
+ * unblocked via close/cancel propagation; peers never deadlock on a dead
+ * neighbour.
  */
 #ifndef ZIRIA_ZEXEC_THREADED_H
 #define ZIRIA_ZEXEC_THREADED_H
 
+#include <exception>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "support/panic.h"
 #include "zexec/pipeline.h"
 
 namespace ziria {
+
+/** Why a supervised stage (and with it the run) failed. */
+enum class FailureCause : uint8_t {
+    Exception,  ///< the stage's drive loop threw
+    Stall,      ///< the watchdog saw no progress for the whole deadline
+    Cancel,     ///< aborted as collateral of another stage's failure
+};
+
+/** Short lowercase name ("exception", "stall", "cancel"). */
+const char* failureCauseName(FailureCause c);
+
+/** Structured description of a failed `|>>>|` stage. */
+struct StageFailure
+{
+    size_t stage = 0;            ///< index into the stage vector
+    std::string path;            ///< stable node path ("stage2")
+    FailureCause cause = FailureCause::Exception;
+    std::string message;         ///< human-readable detail
+    std::exception_ptr inner;    ///< original exception (Exception only)
+};
+
+/**
+ * Exception raised by ThreadedPipeline::run when a stage fails.  Derives
+ * from FatalError so existing catch sites keep working; failure() carries
+ * the structured record (stage index, node path, cause).
+ */
+class StageFailureError : public FatalError
+{
+  public:
+    explicit StageFailureError(StageFailure f);
+
+    const StageFailure& failure() const { return failure_; }
+
+  private:
+    StageFailure failure_;
+};
 
 /** A pipeline whose stages run on separate threads. */
 class ThreadedPipeline
@@ -44,10 +93,26 @@ class ThreadedPipeline
     /**
      * Run to completion.  Stage 0 reads @p src on its own thread; the
      * last stage runs on the calling thread and writes @p sink.
+     * @throws StageFailureError if a stage throws, or — with a stall
+     *         deadline set — if the watchdog detects a stalled run.
      */
     RunStats run(InputSource& src, OutputSink& sink);
 
     size_t stageCount() const { return stages_.size(); }
+
+    /**
+     * Arm the watchdog: fail the run with a Stall StageFailure when no
+     * stage makes progress for @p ms milliseconds.  0 (the default)
+     * disables supervision entirely — no watchdog thread is spawned and
+     * the drive loops use plain blocking waits, so the unsupervised path
+     * costs exactly what it did before supervision existed.
+     *
+     * The deadline must exceed the longest single-element compute time
+     * of any stage: the watchdog cannot distinguish a stage stuck in a
+     * kernel from one legitimately crunching a huge element.
+     */
+    void setStallDeadline(double ms) { deadlineMs_ = ms; }
+    double stallDeadline() const { return deadlineMs_; }
 
     /** Attach the instrumentation sink; per-stage/queue telemetry is
      *  recorded into it on every run (replacing the previous run's). */
@@ -64,6 +129,7 @@ class ThreadedPipeline
     size_t inWidth_;
     size_t outWidth_;
     size_t queueCap_;
+    double deadlineMs_ = 0;
     std::shared_ptr<PipelineMetrics> metrics_;
 };
 

@@ -62,6 +62,10 @@ struct StageMetrics
     bool halted = false;
     double sec = 0;  ///< wall time of the stage's drive loop
 
+    /** Failure cause name ("exception", "stall", "cancel"); empty when
+     *  the stage ended normally.  Filled by ThreadedPipeline::run. */
+    std::string failure;
+
     // Outbound queue (absent for the last stage).
     bool hasQueue = false;
     uint64_t queueCapacity = 0;
@@ -128,6 +132,8 @@ struct PipelineMetrics
             w.field("halted", s.halted);
             w.field("sec", s.sec);
             w.field("elems_per_sec", s.elemsPerSec());
+            if (!s.failure.empty())
+                w.field("failure", s.failure);
             if (s.hasQueue) {
                 w.beginObject("out_queue");
                 w.field("capacity", s.queueCapacity);

@@ -197,6 +197,7 @@ compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
     auto p = std::make_unique<ThreadedPipeline>(std::move(stages),
                                                 layout.frameSize(), inW,
                                                 outW, opt.queueCapacity);
+    p->setStallDeadline(opt.stallDeadlineMs);
     // Stage/queue telemetry is recorded on every run once a metrics
     // object is attached; node-level counters ride the same object.
     if (!pm)

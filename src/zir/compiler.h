@@ -45,6 +45,9 @@ struct CompilerOptions
     VectConfig vect;
     LutLimits lut;
     size_t queueCapacity = 4096;
+    /** Watchdog deadline for threaded runs, in ms (0 = unsupervised);
+     *  see ThreadedPipeline::setStallDeadline. */
+    double stallDeadlineMs = 0;
     /** Observe each AST pass (timing, node counts, optional AST dumps).
      *  Null disables all tracing bookkeeping. */
     PassTracer* tracer = nullptr;

@@ -65,6 +65,83 @@ TEST(SpscQueue, CancelUnblocksProducer)
     t.join();
 }
 
+TEST(SpscQueue, PushWaitTimesOutWithoutEnqueueing)
+{
+    SpscQueue q(1, 1);
+    uint8_t b = 9;
+    ASSERT_TRUE(q.push(&b));  // full
+    EXPECT_EQ(q.pushWait(&b, 30), QueueWait::Timeout);
+    // The timed-out element must NOT have been enqueued: popping twice
+    // yields exactly one element.
+    uint8_t v = 0;
+    EXPECT_EQ(q.popWait(&v, 0), QueueWait::Ready);
+    EXPECT_EQ(v, 9);
+    EXPECT_EQ(q.popWait(&v, 30), QueueWait::Timeout);
+}
+
+TEST(SpscQueue, PopWaitTimesOutWhenEmpty)
+{
+    SpscQueue q(4, 8);
+    uint8_t buf[4];
+    EXPECT_EQ(q.popWait(buf, 30), QueueWait::Timeout);
+    uint32_t x = 42;
+    ASSERT_TRUE(q.push(reinterpret_cast<const uint8_t*>(&x)));
+    EXPECT_EQ(q.popWait(buf, 30), QueueWait::Ready);
+}
+
+TEST(SpscQueue, CancelWakesBlockedWaitersOnBothSides)
+{
+    SpscQueue q(1, 1);
+    uint8_t b = 1;
+    ASSERT_TRUE(q.push(&b));  // full: the producer below will block
+
+    std::atomic<int> released{0};
+    std::thread producer([&] {
+        uint8_t x = 2;
+        EXPECT_EQ(q.pushWait(&x, -1), QueueWait::Cancelled);
+        released.fetch_add(1);
+    });
+    SpscQueue q2(1, 1);  // empty: the consumer below will block
+    std::thread consumer([&] {
+        uint8_t v;
+        EXPECT_EQ(q2.popWait(&v, -1), QueueWait::Cancelled);
+        released.fetch_add(1);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.cancel();
+    q2.cancel();
+    producer.join();
+    consumer.join();
+    EXPECT_EQ(released.load(), 2);
+}
+
+TEST(SpscQueue, PopReportsCancelledEvenWithDataQueued)
+{
+    // Cancel means "stop now", not "drain first": a consumer must not
+    // keep processing a cancelled run's backlog.
+    SpscQueue q(1, 4);
+    uint8_t b = 5;
+    ASSERT_TRUE(q.push(&b));
+    ASSERT_TRUE(q.push(&b));
+    q.cancel();
+    uint8_t v;
+    EXPECT_EQ(q.popWait(&v, 0), QueueWait::Cancelled);
+    EXPECT_EQ(q.pushWait(&b, 0), QueueWait::Cancelled);
+}
+
+TEST(SpscQueue, CloseAfterDrainIsDistinctFromTimeout)
+{
+    SpscQueue q(1, 4);
+    uint8_t b = 3;
+    ASSERT_TRUE(q.push(&b));
+    q.close();
+    uint8_t v;
+    EXPECT_EQ(q.popWait(&v, 10), QueueWait::Ready);  // drains the ring
+    EXPECT_EQ(v, 3);
+    EXPECT_EQ(q.popWait(&v, 10), QueueWait::Closed);
+    EXPECT_EQ(q.popWait(&v, 10), QueueWait::Closed);  // stays closed
+}
+
 namespace {
 
 CompPtr
