@@ -25,7 +25,18 @@
  *                      that fails the run if no stage makes progress
  *                      for N ms (`|>>>|` splits stages across threads)
  *   --inject-fault S   wrap the input in a fault injector; S is
- *                      truncate@K | throw@K | stall@K:MS | shortread@K:SEED
+ *                      truncate@K | throw@K[:N] | stall@K:MS[:N] |
+ *                      shortread@K:SEED  (N = times the fault fires;
+ *                      0 = forever, default 1)
+ *   --restart N        self-healing: retry a failed run in place up to
+ *                      N times (exponential backoff) before giving up
+ *   --backoff-ms M     initial restart backoff (default 10; doubles per
+ *                      attempt, capped at 1000 ms)
+ *   --serve[=ELEMS]    long-running serve loop: feed the pipeline from a
+ *                      cyclic source of ELEMS total elements (default:
+ *                      indefinitely) instead of one finite buffer —
+ *                      paired with --restart, an injected fault costs at
+ *                      most one frame, not the process
  *
  * Exit codes:
  *   0  success
@@ -34,8 +45,11 @@
  *      time
  *   4  stall timeout: the --deadline-ms supervisor declared the run
  *      stalled
+ *   5  retries exhausted: a --restart budget was spent without a clean
+ *      run
  *   1  anything else (internal error)
  */
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +75,7 @@ constexpr int kExitInternal = 1;
 constexpr int kExitUserError = 2;
 constexpr int kExitStageFailure = 3;
 constexpr int kExitStallTimeout = 4;
+constexpr int kExitRetriesExhausted = 5;
 
 int
 usage()
@@ -70,10 +85,13 @@ usage()
                  "[--bytes N]\n"
                  "              [--profile[=FILE]] [--trace-passes[=N]]\n"
                  "              [--deadline-ms N] [--inject-fault SPEC]\n"
-                 "  SPEC: truncate@K | throw@K | stall@K:MS | "
+                 "              [--restart N] [--backoff-ms M] "
+                 "[--serve[=ELEMS]]\n"
+                 "  SPEC: truncate@K | throw@K[:N] | stall@K:MS[:N] | "
                  "shortread@K:SEED\n"
                  "exit codes: 0 ok, 2 user error, 3 stage failure, "
-                 "4 stall timeout\n");
+                 "4 stall timeout,\n"
+                 "            5 retries exhausted\n");
     return kExitUserError;
 }
 
@@ -124,6 +142,10 @@ main(int argc, char** argv)
     size_t nbytes = 64;
     double deadlineMs = 0;
     std::string faultStr;
+    uint32_t restartN = 0;
+    double backoffMs = -1;  // -1 = keep the policy default
+    bool serve = false;
+    uint64_t serveElems = 0;  // 0 = indefinitely
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--dump") {
@@ -167,6 +189,54 @@ main(int argc, char** argv)
             deadlineMs = v;
         } else if (a == "--inject-fault" && i + 1 < argc) {
             faultStr = argv[++i];
+        } else if (a == "--restart" || a.rfind("--restart=", 0) == 0) {
+            const char* s = nullptr;
+            if (a.rfind("--restart=", 0) == 0)
+                s = a.c_str() + strlen("--restart=");
+            else if (i + 1 < argc)
+                s = argv[++i];
+            char* end = nullptr;
+            long v = s ? std::strtol(s, &end, 10) : 0;
+            if (!s || end == s || *end != '\0' || v < 0) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --restart value '%s' "
+                             "(expected a non-negative integer)\n",
+                             s ? s : "");
+                return kExitUserError;
+            }
+            restartN = static_cast<uint32_t>(v);
+        } else if (a == "--backoff-ms" ||
+                   a.rfind("--backoff-ms=", 0) == 0) {
+            const char* s = nullptr;
+            if (a.rfind("--backoff-ms=", 0) == 0)
+                s = a.c_str() + strlen("--backoff-ms=");
+            else if (i + 1 < argc)
+                s = argv[++i];
+            char* end = nullptr;
+            double v = s ? std::strtod(s, &end) : -1;
+            if (!s || end == s || *end != '\0' || v < 0) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --backoff-ms value '%s' "
+                             "(expected a non-negative number)\n",
+                             s ? s : "");
+                return kExitUserError;
+            }
+            backoffMs = v;
+        } else if (a == "--serve" || a.rfind("--serve=", 0) == 0) {
+            serve = true;
+            if (a.size() > strlen("--serve=")) {
+                const char* s = a.c_str() + strlen("--serve=");
+                char* end = nullptr;
+                unsigned long long v = std::strtoull(s, &end, 10);
+                if (end == s || *end != '\0' || v == 0) {
+                    std::fprintf(stderr,
+                                 "zirrun: invalid --serve value '%s' "
+                                 "(expected a positive element count)\n",
+                                 s);
+                    return kExitUserError;
+                }
+                serveElems = v;
+            }
         } else if (a == "--profile" || a.rfind("--profile=", 0) == 0) {
             profile = true;
             if (a.size() > strlen("--profile="))
@@ -212,6 +282,12 @@ main(int argc, char** argv)
             copt.tracer = &tracer;
         copt.instrument = profile;
         copt.stallDeadlineMs = deadlineMs;
+        if (restartN > 0) {
+            copt.restart.mode = RestartMode::OnFailure;
+            copt.restart.maxRestarts = restartN;
+            if (backoffMs >= 0)
+                copt.restart.backoffInitialMs = backoffMs;
+        }
 
         if (threaded)
             tp = compileThreadedPipeline(program, copt, &rep);
@@ -247,11 +323,27 @@ main(int argc, char** argv)
         for (auto& b : input) {
             b = bitStream ? rng.bit() : static_cast<uint8_t>(rng.next());
         }
+        // --serve swaps the finite buffer for a cyclic source: the same
+        // bytes loop for ELEMS elements (default: indefinitely), the
+        // long-running radio-loop shape the restart policy exists for.
+        if (serve && input.size() < inW)
+            input.resize(inW);  // at least one whole element to cycle
         MemSource mem(input, inW);
-        FaultySource faulty(mem, fault);
+        std::unique_ptr<CyclicSource> cyc;
+        if (serve)
+            cyc = std::make_unique<CyclicSource>(
+                input, inW, serveElems ? serveElems : UINT64_MAX);
+        InputSource& plain = serve ? static_cast<InputSource&>(*cyc)
+                                   : mem;
+        FaultySource faulty(plain, fault);
         InputSource& src = fault.enabled()
                                ? static_cast<InputSource&>(faulty)
-                               : mem;
+                               : plain;
+        if (serve)
+            std::printf("serving %s element(s) from a cyclic source\n",
+                        serveElems
+                            ? std::to_string(serveElems).c_str()
+                            : "unlimited");
         if (fault.enabled())
             std::printf("injecting fault: %s\n", fault.show().c_str());
         VecSink sink(outW);
@@ -291,6 +383,16 @@ main(int argc, char** argv)
         std::fprintf(stderr, "stage failure: %s (stage %zu, %s, %s)\n",
                      f.message.c_str(), f.stage, f.path.c_str(),
                      failureCauseName(f.cause));
+        if (f.restartsExhausted) {
+            for (const auto& r : f.restarts)
+                std::fprintf(stderr,
+                             "  restart %u: stage %zu [%s] %s "
+                             "(backoff %.0f ms)\n",
+                             r.attempt, r.stage,
+                             failureCauseName(r.cause),
+                             r.message.c_str(), r.backoffMs);
+            return kExitRetriesExhausted;
+        }
         return f.cause == FailureCause::Stall ? kExitStallTimeout
                                               : kExitStageFailure;
     } catch (const FatalError& e) {

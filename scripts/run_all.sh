@@ -51,7 +51,12 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 # fault matrix (docs/ROBUSTNESS.md) soaks zirrun's exit codes.
 ctest --test-dir build -L fault --output-on-failure 2>&1 \
     | tee fault_output.txt
-sh scripts/soak.sh 2>&1 | tee -a fault_output.txt
+# Recovery suites (label `recovery`): reset() totality, restart
+# supervision, and the CLI recovery matrix (docs/ROBUSTNESS.md,
+# "Recovery").  soak.sh runs both matrices below.
+ctest --test-dir build -L recovery -E soak_recovery \
+    --output-on-failure 2>&1 | tee -a fault_output.txt
+sh scripts/soak.sh all 2>&1 | tee -a fault_output.txt
 sh scripts/check_overhead.sh 2>&1 | tee overhead_output.txt
 {
     for b in build/bench/*; do

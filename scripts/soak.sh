@@ -1,17 +1,26 @@
 #!/bin/sh
 # Fault-matrix soak: run zirrun across {fault spec} x {opt level} x
 # {plain, supervised} and check each case exits with the documented
-# code (0 ok, 2 user error, 3 stage failure, 4 stall timeout) within a
-# wall-clock deadline.  The property under test is the PR's core
-# robustness claim: no injected fault may hang or crash the process —
-# every run terminates promptly with a structured outcome.
+# code (0 ok, 2 user error, 3 stage failure, 4 stall timeout, 5 restart
+# budget exhausted) within a wall-clock deadline.  The property under
+# test is the robustness layer's core claim: no injected fault may hang
+# or crash the process — every run terminates promptly with a
+# structured outcome, and with a restart policy a *transient* fault
+# must not terminate it at all.
 #
-# Usage: scripts/soak.sh            (uses ./build, like run_all.sh)
+# Usage: scripts/soak.sh [fault|recovery|all]   (default: all)
 #        BUILD_DIR=build-tsan scripts/soak.sh
 cd "$(dirname "$0")/.." || exit 1
 BUILD="${BUILD_DIR:-build}"
 BIN="$BUILD/examples/zirrun"
+MODE="${1:-all}"
 DEADLINE_S=30   # per-case wall-clock budget (timeout -> case failed)
+
+case "$MODE" in
+  fault|recovery|all) ;;
+  *) echo "soak: unknown mode '$MODE' (want fault|recovery|all)" >&2
+     exit 2 ;;
+esac
 
 if [ ! -x "$BIN" ]; then
     echo "soak: $BIN not built" >&2
@@ -37,37 +46,90 @@ check() {
     fi
 }
 
-# User-error paths (opt-independent).
-check 2 "missing file"  "$BIN" no_such_file.zir
-check 2 "bad fault spec" "$BIN" examples/zir/scrambler.zir \
-        --inject-fault bogus@3
-check 2 "bad deadline"  "$BIN" examples/zir/pipeline.zir \
-        --deadline-ms -5
+fault_matrix() {
+    # User-error paths (opt-independent).
+    check 2 "missing file"  "$BIN" no_such_file.zir
+    check 2 "bad fault spec" "$BIN" examples/zir/scrambler.zir \
+            --inject-fault bogus@3
+    check 2 "bad deadline"  "$BIN" examples/zir/pipeline.zir \
+            --deadline-ms -5
 
-for prog in examples/zir/scrambler.zir examples/zir/pipeline.zir; do
-    name=$(basename "$prog" .zir)
-    for opt in none vect all; do
-        tag="$name/$opt"
-        common="$BIN $prog --opt $opt --bytes 4096"
-        # Clean runs, plain and supervised.
-        check 0 "$tag clean"            $common
-        check 0 "$tag clean supervised" $common --deadline-ms 2000
-        # Graceful faults: truncation and short reads end or thin the
-        # stream but the run still completes.
-        check 0 "$tag truncate"  $common --inject-fault truncate@4
-        check 0 "$tag shortread" $common --inject-fault shortread@0:7
-        # A short stall is just latency when unsupervised.
-        check 0 "$tag slow" $common --inject-fault stall@2:200
-        # A thrown fault is a stage failure both ways.
-        check 3 "$tag throw"            $common --inject-fault throw@2
-        check 3 "$tag throw supervised" $common --inject-fault throw@2 \
-                --deadline-ms 2000
-        # A long stall under supervision trips the watchdog; the case
-        # budget (not the 30 s stall) bounds the wall clock.
-        check 4 "$tag stall supervised" $common \
+    for prog in examples/zir/scrambler.zir examples/zir/pipeline.zir; do
+        name=$(basename "$prog" .zir)
+        for opt in none vect all; do
+            tag="$name/$opt"
+            common="$BIN $prog --opt $opt --bytes 4096"
+            # Clean runs, plain and supervised.
+            check 0 "$tag clean"            $common
+            check 0 "$tag clean supervised" $common --deadline-ms 2000
+            # Graceful faults: truncation and short reads end or thin
+            # the stream but the run still completes.
+            check 0 "$tag truncate"  $common --inject-fault truncate@4
+            check 0 "$tag shortread" $common --inject-fault shortread@0:7
+            # A short stall is just latency when unsupervised.
+            check 0 "$tag slow" $common --inject-fault stall@2:200
+            # A thrown fault is a stage failure both ways.
+            check 3 "$tag throw"            $common --inject-fault throw@2
+            check 3 "$tag throw supervised" $common --inject-fault throw@2 \
+                    --deadline-ms 2000
+            # A long stall under supervision trips the watchdog; the
+            # case budget (not the 30 s stall) bounds the wall clock.
+            check 4 "$tag stall supervised" $common \
+                    --inject-fault stall@2:30000 --deadline-ms 250
+        done
+    done
+}
+
+# Recovery matrix: fault x restart-policy x {single-threaded scrambler,
+# threaded pipeline}.  Transient faults heal (exit 0), absent/zero
+# budgets fail fast (exit 3/4 — the pre-recovery behavior), and
+# permanent faults exhaust the budget (exit 5).
+recovery_matrix() {
+    sc="$BIN examples/zir/scrambler.zir --bytes 4096"
+    pl="$BIN examples/zir/pipeline.zir --bytes 4096"
+
+    for opt in none all; do
+        # --- single-threaded (scrambler has no |>>>|) -----------------
+        tag="recovery/scrambler/$opt"
+        c="$sc --opt $opt"
+        check 0 "$tag transient throw heals" \
+                $c --inject-fault throw@4 --restart 3 --backoff-ms 1
+        check 3 "$tag throw without budget"  $c --inject-fault throw@4
+        check 3 "$tag throw restart=0"       $c --inject-fault throw@4 \
+                --restart 0
+        check 5 "$tag permanent throw exhausts" \
+                $c --inject-fault throw@4:0 --restart 2 --backoff-ms 1
+
+        # --- threaded (pipeline splits at |>>>|) ----------------------
+        tag="recovery/pipeline/$opt"
+        c="$pl --opt $opt"
+        check 0 "$tag transient throw heals" \
+                $c --inject-fault throw@2 --restart 3 --backoff-ms 1
+        check 3 "$tag throw without budget"  $c --inject-fault throw@2
+        check 5 "$tag permanent throw exhausts" \
+                $c --inject-fault throw@2:0 --restart 2 --backoff-ms 1
+        # Watchdog-detected stalls restart too: the stall fires once,
+        # the watchdog tears the attempt down, the retry runs past it.
+        check 0 "$tag stall heals" $c --inject-fault stall@2:30000 \
+                --deadline-ms 250 --restart 2 --backoff-ms 1
+        check 4 "$tag stall without budget" $c \
                 --inject-fault stall@2:30000 --deadline-ms 250
     done
-done
 
-echo "soak: $pass passed, $fail failed"
+    # Long-running serve loop: the crash costs one frame, not the loop.
+    check 0 "recovery/serve transient throw" \
+            $sc --opt none --serve=2000 --inject-fault throw@100 \
+            --restart 3 --backoff-ms 1
+    check 5 "recovery/serve permanent throw" \
+            $sc --opt none --serve=2000 --inject-fault throw@100:0 \
+            --restart 2 --backoff-ms 1
+}
+
+case "$MODE" in
+  fault)    fault_matrix ;;
+  recovery) recovery_matrix ;;
+  all)      fault_matrix; recovery_matrix ;;
+esac
+
+echo "soak($MODE): $pass passed, $fail failed"
 [ "$fail" -eq 0 ]

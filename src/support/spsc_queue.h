@@ -161,6 +161,28 @@ class SpscQueue
         stats_ = Stats{};
     }
 
+    /**
+     * Re-arm the queue for a restart attempt: drop any queued elements,
+     * clear the closed/cancelled latches, and zero the stats so the
+     * next attempt's telemetry starts fresh.  Caller must guarantee
+     * quiescence — no thread may be blocked on (or racing into) the
+     * queue; the ThreadedPipeline supervisor only calls this after
+     * every stage thread has been joined.
+     */
+    void
+    reopen()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            head_ = 0;
+            tail_ = 0;
+            size_ = 0;
+            closed_ = false;
+            cancelled_ = false;
+        }
+        resetStats();
+    }
+
     /** Producer signals end-of-stream; wakes every waiter. */
     void
     close()

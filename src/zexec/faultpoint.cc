@@ -51,37 +51,58 @@ FaultSpec::parse(const std::string& s)
     const size_t at = s.find('@');
     if (at == std::string::npos)
         fatalf("bad fault spec '", s,
-               "': expected KIND@TICK[:ARG] with KIND one of "
+               "': expected KIND@TICK[:ARG[:ARG]] with KIND one of "
                "truncate|stall|throw|shortread");
     const std::string kind = s.substr(0, at);
+
+    // Split "TICK[:ARG1[:ARG2]]" on colons.
+    std::vector<std::string> args;
     std::string rest = s.substr(at + 1);
-    std::string arg;
-    const size_t colon = rest.find(':');
-    if (colon != std::string::npos) {
-        arg = rest.substr(colon + 1);
-        rest = rest.substr(0, colon);
+    size_t pos = 0;
+    while (true) {
+        const size_t colon = rest.find(':', pos);
+        if (colon == std::string::npos) {
+            args.push_back(rest.substr(pos));
+            break;
+        }
+        args.push_back(rest.substr(pos, colon - pos));
+        pos = colon + 1;
     }
 
+    auto argCountAtMost = [&](size_t n) {
+        if (args.size() > n)
+            fatalf("bad fault spec '", s, "': '", kind, "' takes at most ",
+                   n - 1, " ':' argument(s)");
+    };
+
     FaultSpec spec;
-    spec.tick = parseU64(rest, s);
+    spec.tick = parseU64(args[0], s);
     if (kind == "truncate") {
         spec.kind = Kind::Truncate;
+        argCountAtMost(1);
     } else if (kind == "stall") {
         spec.kind = Kind::Stall;
-        spec.stallMs = arg.empty() ? 1000 : parseU64(arg, s);
+        argCountAtMost(3);  // stall@K:MS:COUNT
+        if (args.size() > 1 && !args[1].empty())
+            spec.stallMs = parseU64(args[1], s);
+        else
+            spec.stallMs = 1000;
+        if (args.size() > 2)
+            spec.count = parseU64(args[2], s);
     } else if (kind == "throw") {
         spec.kind = Kind::Throw;
+        argCountAtMost(2);  // throw@K:COUNT
+        if (args.size() > 1)
+            spec.count = parseU64(args[1], s);
     } else if (kind == "shortread") {
         spec.kind = Kind::ShortRead;
-        spec.seed = arg.empty() ? 1 : parseU64(arg, s);
+        argCountAtMost(2);
+        if (args.size() > 1)
+            spec.seed = parseU64(args[1], s);
     } else {
         fatalf("bad fault spec '", s, "': unknown kind '", kind,
                "' (expected truncate|stall|throw|shortread)");
     }
-    if (spec.kind != Kind::Stall && spec.kind != Kind::ShortRead &&
-        !arg.empty())
-        fatalf("bad fault spec '", s, "': '", kind,
-               "' takes no ':' argument");
     return spec;
 }
 
@@ -91,15 +112,43 @@ FaultSpec::show() const
     switch (kind) {
       case Kind::None: return "none";
       case Kind::Truncate: return "truncate@" + std::to_string(tick);
-      case Kind::Stall:
-        return "stall@" + std::to_string(tick) + ":" +
-               std::to_string(stallMs);
-      case Kind::Throw: return "throw@" + std::to_string(tick);
+      case Kind::Stall: {
+        std::string s = "stall@" + std::to_string(tick) + ":" +
+                        std::to_string(stallMs);
+        if (count != 1)
+            s += ":" + std::to_string(count);
+        return s;
+      }
+      case Kind::Throw: {
+        std::string s = "throw@" + std::to_string(tick);
+        if (count != 1)
+            s += ":" + std::to_string(count);
+        return s;
+      }
       case Kind::ShortRead:
         return "shortread@" + std::to_string(tick) + ":" +
                std::to_string(seed);
     }
     return "none";
+}
+
+/**
+ * One shared firing rule for the tick-indexed one-shot faults
+ * (Throw/Stall): fire once the clock reaches the tick, at most `count`
+ * times (0 = forever).  The fired counter — not the clock — limits
+ * re-firing, because a throwing next() does NOT advance the clock: a
+ * restarted run would otherwise meet `n_ == tick` again and the fault
+ * would defeat every restart budget.
+ */
+bool
+FaultySource::shouldFire()
+{
+    if (n_ < spec_.tick)
+        return false;
+    if (spec_.count != 0 && fired_ >= spec_.count)
+        return false;
+    ++fired_;
+    return true;
 }
 
 const uint8_t*
@@ -115,14 +164,14 @@ FaultySource::next()
         }
         break;
       case FaultSpec::Kind::Throw:
-        if (n_ == spec_.tick) {
+        if (shouldFire()) {
             countInjection("throw");
             throw InjectedFault("injected fault: throw at source tick " +
                                 std::to_string(n_));
         }
         break;
       case FaultSpec::Kind::Stall:
-        if (n_ == spec_.tick) {
+        if (shouldFire()) {
             countInjection("stall");
             if (cancellableSleep(spec_.stallMs, cancelled_))
                 return nullptr;
@@ -155,6 +204,25 @@ FaultySource::cancel()
 }
 
 void
+FaultySource::rearm()
+{
+    cancelled_.store(false, std::memory_order_relaxed);
+    inner_.rearm();
+}
+
+bool
+FaultySink::shouldFire()
+{
+    // Same rule as FaultySource::shouldFire(); see the comment there.
+    if (n_ < spec_.tick)
+        return false;
+    if (spec_.count != 0 && fired_ >= spec_.count)
+        return false;
+    ++fired_;
+    return true;
+}
+
+void
 FaultySink::put(const uint8_t* elem)
 {
     switch (spec_.kind) {
@@ -169,14 +237,14 @@ FaultySink::put(const uint8_t* elem)
         }
         break;
       case FaultSpec::Kind::Throw:
-        if (n_ == spec_.tick) {
+        if (shouldFire()) {
             countInjection("throw");
             throw InjectedFault("injected fault: throw at sink tick " +
                                 std::to_string(n_));
         }
         break;
       case FaultSpec::Kind::Stall:
-        if (n_ == spec_.tick) {
+        if (shouldFire()) {
             countInjection("stall");
             if (cancellableSleep(spec_.stallMs, cancelled_))
                 return;
@@ -194,6 +262,13 @@ FaultySink::cancel()
 {
     cancelled_.store(true, std::memory_order_relaxed);
     inner_.cancel();
+}
+
+void
+FaultySink::rearm()
+{
+    cancelled_.store(false, std::memory_order_relaxed);
+    inner_.rearm();
 }
 
 } // namespace ziria

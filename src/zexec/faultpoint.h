@@ -41,14 +41,22 @@ struct FaultSpec
     uint64_t tick = 0;     ///< element index at which the fault fires
     uint64_t stallMs = 0;  ///< Stall only: how long to block
     uint64_t seed = 1;     ///< ShortRead only: drop-pattern seed
+    /** Throw/Stall only: how many times the fault fires (0 = every time
+     *  the tick is reached — a *permanent* fault that defeats any
+     *  restart policy).  The default of 1 makes the fault transient:
+     *  after a restart the decorator does not re-fire, modelling a
+     *  one-off glitch that a self-healing pipeline should absorb. */
+    uint64_t count = 1;
 
     bool enabled() const { return kind != Kind::None; }
 
     /**
      * Parse a command-line spec:
-     *   "truncate@K" | "throw@K" | "stall@K:MS" | "shortread@K:SEED"
-     * (MS defaults to 1000, SEED to 1).  Throws FatalError on syntax
-     * errors — callers surface it as a user error.
+     *   "truncate@K" | "throw@K[:N]" | "stall@K:MS[:N]" |
+     *   "shortread@K:SEED"
+     * (MS defaults to 1000, SEED to 1, the fire count N to 1; N=0 means
+     * fire forever).  Throws FatalError on syntax errors — callers
+     * surface it as a user error.
      */
     static FaultSpec parse(const std::string& s);
 
@@ -79,13 +87,28 @@ class FaultySource : public InputSource
     const uint8_t* next() override;
     void cancel() override;
 
+    /**
+     * Clear the sticky cancel latch for a restart attempt.  The fault
+     * clock (ticks) and the fired count survive: a transient fault that
+     * already fired stays fired, so the restarted run reads on past it —
+     * this is what makes `throw@K` cost one frame instead of looping the
+     * supervisor forever.
+     */
+    void rearm() override;
+
     /** Elements delivered so far (the fault clock). */
     uint64_t ticks() const { return n_; }
 
+    /** Times the fault has fired (Throw/Stall). */
+    uint64_t fired() const { return fired_; }
+
   private:
+    bool shouldFire();
+
     InputSource& inner_;
     FaultSpec spec_;
     uint64_t n_ = 0;
+    uint64_t fired_ = 0;
     std::atomic<bool> cancelled_{false};
     Rng rng_;
 };
@@ -105,15 +128,20 @@ class FaultySink : public OutputSink
 
     void put(const uint8_t* elem) override;
     void cancel() override;
+    void rearm() override;  ///< see FaultySource::rearm()
 
     uint64_t ticks() const { return n_; }
     uint64_t dropped() const { return dropped_; }
+    uint64_t fired() const { return fired_; }
 
   private:
+    bool shouldFire();
+
     OutputSink& inner_;
     FaultSpec spec_;
     uint64_t n_ = 0;
     uint64_t dropped_ = 0;
+    uint64_t fired_ = 0;
     std::atomic<bool> cancelled_{false};
 };
 

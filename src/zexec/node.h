@@ -57,6 +57,21 @@ class ExecNode
     /** Pointer to the control value after Done (ctrlWidth() bytes). */
     virtual const uint8_t* ctrl() const { return nullptr; }
 
+    /**
+     * Discard ALL state — buffered partial elements, loop counters,
+     * chosen branches — and return to the state of a freshly constructed
+     * node after start().  Unlike start(), which combinators only apply
+     * to the currently active child, reset() must reach every child
+     * recursively, including inactive Seq items, untaken If branches and
+     * un-started While bodies.  Used by the restart supervisor to re-arm
+     * a pipeline at a frame boundary (docs/ROBUSTNESS.md, "Recovery").
+     *
+     * Contract: `reset(f)` ≡ fresh-construction + `start(f)`.  The
+     * default suffices for leaf nodes whose start() already
+     * re-initializes everything.
+     */
+    virtual void reset(Frame& f) { start(f); }
+
     size_t inWidth() const { return inWidth_; }
     size_t outWidth() const { return outWidth_; }
     size_t ctrlWidth() const { return ctrlWidth_; }

@@ -234,6 +234,7 @@ class SeqNode : public ExecNode
     explicit SeqNode(std::vector<Item> items);
 
     void start(Frame& f) override;
+    void reset(Frame& f) override;  ///< resets EVERY item, not just [0]
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override;
@@ -252,6 +253,7 @@ class PipeNode : public ExecNode
     PipeNode(NodePtr left, NodePtr right);
 
     void start(Frame& f) override;
+    void reset(Frame& f) override;
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return right_->out(); }
@@ -270,6 +272,7 @@ class IfNode : public ExecNode
     IfNode(EvalInt cond, NodePtr then_n, NodePtr else_n);
 
     void start(Frame& f) override;
+    void reset(Frame& f) override;  ///< resets BOTH branches
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return chosen_->out(); }
@@ -289,6 +292,7 @@ class RepeatNode : public ExecNode
     explicit RepeatNode(NodePtr body);
 
     void start(Frame& f) override;
+    void reset(Frame& f) override;
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return body_->out(); }
@@ -305,6 +309,7 @@ class TimesNode : public ExecNode
     TimesNode(EvalInt count, long iv_off, TypeKind iv_kind, NodePtr body);
 
     void start(Frame& f) override;
+    void reset(Frame& f) override;
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return body_->out(); }
@@ -326,6 +331,7 @@ class WhileNode : public ExecNode
     WhileNode(EvalInt cond, NodePtr body);
 
     void start(Frame& f) override;
+    void reset(Frame& f) override;  ///< resets the (possibly un-started) body
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return body_->out(); }
@@ -345,6 +351,7 @@ class LetVarNode : public ExecNode
     LetVarNode(size_t off, size_t width, EvalInto init, NodePtr body);
 
     void start(Frame& f) override;
+    void reset(Frame& f) override;
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return body_->out(); }

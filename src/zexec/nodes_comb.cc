@@ -20,6 +20,18 @@ SeqNode::start(Frame& f)
     items_[0].node->start(f);
 }
 
+void
+SeqNode::reset(Frame& f)
+{
+    // Unlike start(), which only initializes the first item, reach every
+    // item: a restart mid-sequence leaves items_[0..idx_] with partial
+    // state that start() alone would never revisit.
+    for (Item& it : items_)
+        it.node->reset(f);
+    idx_ = 0;
+    done_ = false;
+}
+
 Status
 SeqNode::advance(Frame& f)
 {
@@ -80,6 +92,14 @@ PipeNode::start(Frame& f)
     ctrlSrc_ = nullptr;
 }
 
+void
+PipeNode::reset(Frame& f)
+{
+    left_->reset(f);
+    right_->reset(f);
+    ctrlSrc_ = nullptr;
+}
+
 Status
 PipeNode::advance(Frame& f)
 {
@@ -137,6 +157,19 @@ IfNode::start(Frame& f)
         chosen_->start(f);
 }
 
+void
+IfNode::reset(Frame& f)
+{
+    // Reset BOTH branches — the previously chosen one may not be the one
+    // the re-evaluated guard picks next, but its stale state must go
+    // either way.  reset() leaves each branch started, so re-selecting
+    // below needs no extra start().
+    then_->reset(f);
+    if (else_)
+        else_->reset(f);
+    chosen_ = cond_(f) ? then_.get() : (else_ ? else_.get() : nullptr);
+}
+
 Status
 IfNode::advance(Frame& f)
 {
@@ -172,6 +205,13 @@ void
 RepeatNode::start(Frame& f)
 {
     body_->start(f);
+    spins_ = 0;
+}
+
+void
+RepeatNode::reset(Frame& f)
+{
+    body_->reset(f);
     spins_ = 0;
 }
 
@@ -221,6 +261,18 @@ TimesNode::start(Frame& f)
         body_->start(f);
 }
 
+void
+TimesNode::reset(Frame& f)
+{
+    n_ = count_(f);
+    i_ = 0;
+    // Write the induction variable before resetting the body, matching
+    // start()'s ordering (the body's own start may read the binder).
+    if (ivOff_ >= 0)
+        writeIntRaw(ivKind_, f.at(static_cast<size_t>(ivOff_)), 0);
+    body_->reset(f);
+}
+
 Status
 TimesNode::advance(Frame& f)
 {
@@ -258,6 +310,17 @@ WhileNode::WhileNode(EvalInt cond, NodePtr body)
 void
 WhileNode::start(Frame&)
 {
+    running_ = false;
+    finished_ = false;
+}
+
+void
+WhileNode::reset(Frame& f)
+{
+    // start() leaves the body to be lazily started once the guard holds,
+    // so it would skip a body whose previous iteration was cut short —
+    // reset it explicitly.  advance() re-starts it before use anyway.
+    body_->reset(f);
     running_ = false;
     finished_ = false;
 }
@@ -309,6 +372,16 @@ LetVarNode::start(Frame& f)
     else
         std::memset(f.at(off_), 0, width_);
     body_->start(f);
+}
+
+void
+LetVarNode::reset(Frame& f)
+{
+    if (init_)
+        init_(f, f.at(off_));
+    else
+        std::memset(f.at(off_), 0, width_);
+    body_->reset(f);
 }
 
 Status

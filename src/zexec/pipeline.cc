@@ -267,6 +267,43 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
 RunStats
 Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
 {
+    if (!restart_.enabled())
+        return runAttempt(src, sink, max_out);
+
+    RestartSupervisor sup(restart_);
+    for (;;) {
+        try {
+            return runAttempt(src, sink, max_out);
+        } catch (const StageFailureError& e) {
+            // Already structured (e.g. a nested driver rethrew); keep it.
+            StageFailure f = e.failure();
+            if (!sup.onFailure(f))
+                throw StageFailureError(std::move(f));
+        } catch (const std::exception& e) {
+            // The single-threaded driver has one "stage": the whole tree.
+            StageFailure f;
+            f.stage = 0;
+            f.path = "root";
+            f.cause = FailureCause::Exception;
+            f.message = e.what();
+            f.inner = std::current_exception();
+            metrics::Registry::global()
+                .counter("ziria.stage_failures")
+                .inc();
+            if (!sup.onFailure(f))
+                throw StageFailureError(std::move(f));
+        }
+        // onFailure slept out the backoff; discard partial node state
+        // and clear any sticky cancel on the endpoints before retrying.
+        root_->reset(frame_);
+        src.rearm();
+        sink.rearm();
+    }
+}
+
+RunStats
+Pipeline::runAttempt(InputSource& src, OutputSink& sink, uint64_t max_out)
+{
     metrics::Registry::global().counter("ziria.pipeline_runs").inc();
     RunStats st;
     root_->start(frame_);

@@ -14,6 +14,7 @@
 #include "support/panic.h"
 #include "zast/comp.h"
 #include "zexec/node.h"
+#include "zexec/supervisor.h"
 #include "zexec/trace.h"
 #include "zexpr/compile_expr.h"
 #include "zexpr/lut.h"
@@ -37,6 +38,14 @@ class InputSource
      * block).
      */
     virtual void cancel() {}
+
+    /**
+     * Clear a sticky cancel() so a restarted run can keep reading from
+     * the live stream.  Called single-threadedly by the restart
+     * supervisor between attempts; default: no-op (sources without a
+     * cancel latch need nothing).
+     */
+    virtual void rearm() {}
 };
 
 /** Reads elements out of a flat byte buffer (not owned). */
@@ -119,6 +128,9 @@ class OutputSink
 
     /** Ask a blocked put() to give up (see InputSource::cancel()). */
     virtual void cancel() {}
+
+    /** Clear a sticky cancel() (see InputSource::rearm()). */
+    virtual void rearm() {}
 };
 
 /** Appends output elements to a byte vector. */
@@ -221,6 +233,17 @@ class Pipeline
 
     /**
      * Run until the computation halts or the source is exhausted.
+     *
+     * With a RestartPolicy of OnFailure (setRestartPolicy), a throwing
+     * run is retried in place: the node tree is reset() to a frame
+     * boundary, the endpoints re-armed, an exponential backoff slept,
+     * and the loop resumes from the live source.  Output already pushed
+     * to @p sink is kept; RunStats describes the final attempt.  Once
+     * the retry budget is spent the last failure is rethrown as a
+     * StageFailureError with `restartsExhausted` set and the attempt
+     * history attached.  With the default (Never) policy the exception
+     * propagates unchanged — exactly the pre-recovery behavior.
+     *
      * @param max_out stop after this many outputs (0 = unlimited).
      */
     RunStats run(InputSource& src, OutputSink& sink, uint64_t max_out = 0);
@@ -238,11 +261,19 @@ class Pipeline
     /** Per-node counters (null unless compiled with instrumentation). */
     const PipelineMetrics* metrics() const { return metrics_.get(); }
 
+    /** Configure self-healing restarts (default: fail fast). */
+    void setRestartPolicy(RestartPolicy p) { restart_ = p; }
+    const RestartPolicy& restartPolicy() const { return restart_; }
+
   private:
+    RunStats runAttempt(InputSource& src, OutputSink& sink,
+                        uint64_t max_out);
+
     NodePtr root_;
     Frame frame_;
     size_t inWidth_;
     size_t outWidth_;
+    RestartPolicy restart_;
     std::shared_ptr<PipelineMetrics> metrics_;
 };
 

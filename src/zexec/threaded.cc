@@ -14,37 +14,6 @@
 
 namespace ziria {
 
-const char*
-failureCauseName(FailureCause c)
-{
-    switch (c) {
-      case FailureCause::Exception: return "exception";
-      case FailureCause::Stall: return "stall";
-      case FailureCause::Cancel: return "cancel";
-    }
-    return "unknown";
-}
-
-namespace {
-
-std::string
-describeFailure(const StageFailure& f)
-{
-    std::ostringstream os;
-    os << "pipeline stage " << f.stage << " (" << f.path
-       << ") failed [" << failureCauseName(f.cause) << "]";
-    if (!f.message.empty())
-        os << ": " << f.message;
-    return os.str();
-}
-
-} // namespace
-
-StageFailureError::StageFailureError(StageFailure f)
-    : FatalError(describeFailure(f)), failure_(std::move(f))
-{
-}
-
 namespace {
 
 /** Queue-wait slice for supervised runs: long enough that the periodic
@@ -186,16 +155,58 @@ ThreadedPipeline::ThreadedPipeline(std::vector<NodePtr> stages,
 RunStats
 ThreadedPipeline::run(InputSource& src, OutputSink& sink)
 {
+    std::vector<std::unique_ptr<SpscQueue>> queues;
+    for (size_t i = 0; i + 1 < stages_.size(); ++i) {
+        size_t w = std::max<size_t>(stages_[i]->outWidth(), 1);
+        queues.push_back(std::make_unique<SpscQueue>(w, queueCap_));
+    }
+
+    if (!restart_.enabled())
+        return runAttempt(src, sink, queues);
+
+    RestartSupervisor sup(restart_);
+    for (;;) {
+        try {
+            return runAttempt(src, sink, queues);
+        } catch (const StageFailureError& e) {
+            StageFailure f = e.failure();
+            if (!sup.onFailure(f))
+                throw StageFailureError(std::move(f));
+            // onFailure slept out the backoff; all stage threads were
+            // joined before runAttempt threw, so re-arming is
+            // single-threaded here.
+            rearm(queues, src, sink);
+        }
+    }
+}
+
+/**
+ * Return the pipeline to frame-boundary state between restart attempts:
+ * reopen every interthread queue (in-flight elements are the "at most
+ * one frame" a restart may cost), discard buffered partial state in
+ * every stage's node tree, and clear sticky cancel flags on the
+ * endpoints so the live source keeps feeding the next attempt.
+ */
+void
+ThreadedPipeline::rearm(std::vector<std::unique_ptr<SpscQueue>>& queues,
+                        InputSource& src, OutputSink& sink)
+{
+    for (auto& q : queues)
+        q->reopen();
+    for (auto& s : stages_)
+        s->reset(frame_);
+    src.rearm();
+    sink.rearm();
+}
+
+RunStats
+ThreadedPipeline::runAttempt(InputSource& src, OutputSink& sink,
+                             std::vector<std::unique_ptr<SpscQueue>>& queues)
+{
     using clock = std::chrono::steady_clock;
     const size_t n = stages_.size();
     const bool supervised = deadlineMs_ > 0;
     const long slice = supervised ? kSupervisedSliceMs : -1;
-
-    std::vector<std::unique_ptr<SpscQueue>> queues;
-    for (size_t i = 0; i + 1 < n; ++i) {
-        size_t w = std::max<size_t>(stages_[i]->outWidth(), 1);
-        queues.push_back(std::make_unique<SpscQueue>(w, queueCap_));
-    }
 
     std::vector<StageResult> results(n);
     std::atomic<bool> abort{false};

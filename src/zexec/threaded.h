@@ -23,6 +23,15 @@
  * surfaces a StageFailure (cause Exception) after its peers were
  * unblocked via close/cancel propagation; peers never deadlock on a dead
  * neighbour.
+ *
+ * Self-healing (docs/ROBUSTNESS.md, "Recovery"): with a RestartPolicy
+ * of OnFailure, an Exception or Stall failure does not end the run.
+ * After every stage thread has been joined, the supervisor re-arms the
+ * pipeline — SPSC queues are reopened (in-flight elements discarded),
+ * every stage's node tree is reset() back to frame-boundary state, the
+ * source and sink are re-armed — sleeps out an exponential backoff, and
+ * resumes from the live source.  Only when the retry budget is spent
+ * does run() throw, with the full restart history attached.
  */
 #ifndef ZIRIA_ZEXEC_THREADED_H
 #define ZIRIA_ZEXEC_THREADED_H
@@ -34,44 +43,11 @@
 
 #include "support/panic.h"
 #include "zexec/pipeline.h"
+#include "zexec/supervisor.h"
 
 namespace ziria {
 
-/** Why a supervised stage (and with it the run) failed. */
-enum class FailureCause : uint8_t {
-    Exception,  ///< the stage's drive loop threw
-    Stall,      ///< the watchdog saw no progress for the whole deadline
-    Cancel,     ///< aborted as collateral of another stage's failure
-};
-
-/** Short lowercase name ("exception", "stall", "cancel"). */
-const char* failureCauseName(FailureCause c);
-
-/** Structured description of a failed `|>>>|` stage. */
-struct StageFailure
-{
-    size_t stage = 0;            ///< index into the stage vector
-    std::string path;            ///< stable node path ("stage2")
-    FailureCause cause = FailureCause::Exception;
-    std::string message;         ///< human-readable detail
-    std::exception_ptr inner;    ///< original exception (Exception only)
-};
-
-/**
- * Exception raised by ThreadedPipeline::run when a stage fails.  Derives
- * from FatalError so existing catch sites keep working; failure() carries
- * the structured record (stage index, node path, cause).
- */
-class StageFailureError : public FatalError
-{
-  public:
-    explicit StageFailureError(StageFailure f);
-
-    const StageFailure& failure() const { return failure_; }
-
-  private:
-    StageFailure failure_;
-};
+class SpscQueue;
 
 /** A pipeline whose stages run on separate threads. */
 class ThreadedPipeline
@@ -93,8 +69,15 @@ class ThreadedPipeline
     /**
      * Run to completion.  Stage 0 reads @p src on its own thread; the
      * last stage runs on the calling thread and writes @p sink.
+     *
+     * With a RestartPolicy of OnFailure, Exception/Stall failures are
+     * retried in place (bounded, backed off) before anything is thrown;
+     * RunStats then describes the final — successful — attempt, and the
+     * `restart.*` counters record the recovery history.
+     *
      * @throws StageFailureError if a stage throws, or — with a stall
-     *         deadline set — if the watchdog detects a stalled run.
+     *         deadline set — if the watchdog detects a stalled run, in
+     *         both cases only once the restart budget (if any) is spent.
      */
     RunStats run(InputSource& src, OutputSink& sink);
 
@@ -114,6 +97,10 @@ class ThreadedPipeline
     void setStallDeadline(double ms) { deadlineMs_ = ms; }
     double stallDeadline() const { return deadlineMs_; }
 
+    /** Configure self-healing restarts (default: fail fast). */
+    void setRestartPolicy(RestartPolicy p) { restart_ = p; }
+    const RestartPolicy& restartPolicy() const { return restart_; }
+
     /** Attach the instrumentation sink; per-stage/queue telemetry is
      *  recorded into it on every run (replacing the previous run's). */
     void setMetrics(std::shared_ptr<PipelineMetrics> m)
@@ -124,12 +111,18 @@ class ThreadedPipeline
     const PipelineMetrics* metrics() const { return metrics_.get(); }
 
   private:
+    RunStats runAttempt(InputSource& src, OutputSink& sink,
+                        std::vector<std::unique_ptr<SpscQueue>>& queues);
+    void rearm(std::vector<std::unique_ptr<SpscQueue>>& queues,
+               InputSource& src, OutputSink& sink);
+
     std::vector<NodePtr> stages_;
     Frame frame_;
     size_t inWidth_;
     size_t outWidth_;
     size_t queueCap_;
     double deadlineMs_ = 0;
+    RestartPolicy restart_;
     std::shared_ptr<PipelineMetrics> metrics_;
 };
 

@@ -178,6 +178,10 @@ class TracedNode : public ExecNode
 
     void start(Frame& f) override { inner_->start(f); }
 
+    // Must forward: the default (reset = start) would stop the recursive
+    // re-arm at the shim and never reach the inner node's override.
+    void reset(Frame& f) override { inner_->reset(f); }
+
     Status
     advance(Frame& f) override
     {

@@ -152,6 +152,7 @@ compilePipeline(const CompPtr& program, const CompilerOptions& opt,
     size_t outW = root->outWidth();
     auto p = std::make_unique<Pipeline>(std::move(root),
                                         layout.frameSize(), inW, outW);
+    p->setRestartPolicy(opt.restart);
     p->setMetrics(std::move(pm));
     if (report) {
         report->build = bs;
@@ -198,6 +199,7 @@ compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
                                                 layout.frameSize(), inW,
                                                 outW, opt.queueCapacity);
     p->setStallDeadline(opt.stallDeadlineMs);
+    p->setRestartPolicy(opt.restart);
     // Stage/queue telemetry is recorded on every run once a metrics
     // object is attached; node-level counters ride the same object.
     if (!pm)

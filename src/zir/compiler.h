@@ -48,6 +48,9 @@ struct CompilerOptions
     /** Watchdog deadline for threaded runs, in ms (0 = unsupervised);
      *  see ThreadedPipeline::setStallDeadline. */
     double stallDeadlineMs = 0;
+    /** Self-healing restart policy applied to the built pipeline (both
+     *  drivers); default: fail fast.  See docs/ROBUSTNESS.md. */
+    RestartPolicy restart;
     /** Observe each AST pass (timing, node counts, optional AST dumps).
      *  Null disables all tracing bookkeeping. */
     PassTracer* tracer = nullptr;

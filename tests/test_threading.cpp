@@ -9,10 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include "support/metrics.h"
 #include "support/panic.h"
 #include "support/rng.h"
 #include "support/spsc_queue.h"
 #include "zast/builder.h"
+#include "zexec/faultpoint.h"
 #include "zir/compiler.h"
 
 namespace ziria {
@@ -140,6 +142,48 @@ TEST(SpscQueue, CloseAfterDrainIsDistinctFromTimeout)
     EXPECT_EQ(v, 3);
     EXPECT_EQ(q.popWait(&v, 10), QueueWait::Closed);
     EXPECT_EQ(q.popWait(&v, 10), QueueWait::Closed);  // stays closed
+}
+
+TEST(SpscQueue, ReopenClearsLatchesDropsBacklogAndZeroesStats)
+{
+    // reopen() is what re-arms the stage queues between restart
+    // attempts: the closed/cancelled latches must clear, leftover
+    // elements must be dropped, and the stats (resetStats) must start
+    // from zero so the retry's telemetry is not polluted by the failed
+    // attempt.
+    SpscQueue q(4, 2);
+    uint32_t x = 11;
+    ASSERT_TRUE(q.push(reinterpret_cast<const uint8_t*>(&x)));
+    ASSERT_TRUE(q.push(reinterpret_cast<const uint8_t*>(&x)));
+    EXPECT_EQ(q.pushWait(reinterpret_cast<const uint8_t*>(&x), 10),
+              QueueWait::Timeout);  // generates a pushStall
+    q.close();
+    q.cancel();
+    ASSERT_TRUE(q.closed());
+    ASSERT_TRUE(q.cancelled());
+    ASSERT_GT(q.stats().pushed, 0u);
+    ASSERT_GT(q.stats().pushStalls, 0u);
+
+    q.reopen();
+
+    EXPECT_FALSE(q.closed());
+    EXPECT_FALSE(q.cancelled());
+    SpscQueue::Stats st = q.stats();
+    EXPECT_EQ(st.pushed, 0u);
+    EXPECT_EQ(st.popped, 0u);
+    EXPECT_EQ(st.pushStalls, 0u);
+    EXPECT_EQ(st.popStalls, 0u);
+    EXPECT_EQ(st.highWater, 0u);
+
+    // The backlog is gone and the queue works again end to end.
+    uint32_t y = 42, v = 0;
+    ASSERT_TRUE(q.push(reinterpret_cast<const uint8_t*>(&y)));
+    EXPECT_EQ(q.stats().pushed, 1u);
+    ASSERT_TRUE(q.pop(reinterpret_cast<uint8_t*>(&v)));
+    EXPECT_EQ(v, 42u);
+    q.close();
+    EXPECT_EQ(q.popWait(reinterpret_cast<uint8_t*>(&v), 10),
+              QueueWait::Closed);
 }
 
 namespace {
@@ -346,6 +390,97 @@ TEST(Threaded, InstrumentedStagesExposePerNodeCounters)
     EXPECT_EQ(stage0->elemsIn(), in.size());
     EXPECT_EQ(stage0->elemsOut(), in.size());
     EXPECT_EQ(stage1->elemsOut(), st.emitted);
+}
+
+TEST(Threaded, RestartRecoversFromTransientSourceThrow)
+{
+    // A one-shot source throw with a restart budget: the run must come
+    // back and finish the stream.  Threaded restart may drop whatever
+    // was in flight in the stage queues at teardown, but never more,
+    // and never reorders or duplicates.
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.queueCapacity = 8;
+    opt.restart.mode = RestartMode::OnFailure;
+    opt.restart.maxRestarts = 3;
+    opt.restart.backoffInitialMs = 1;
+    auto p = compileThreadedPipeline(
+        ppipe(incBlock(1), incBlock(10)), opt);
+
+    const size_t N = 100;
+    std::vector<int32_t> in(N);
+    for (size_t i = 0; i < N; ++i)
+        in[i] = static_cast<int32_t>(i);
+    auto bytes = intBytes(in);
+    MemSource mem(bytes, 4);
+    FaultySource src(mem, FaultSpec::parse("throw@10"));
+    VecSink sink(4);
+
+    auto& reg = metrics::Registry::global();
+    uint64_t attempts0 = reg.counter("restart.attempts").value();
+    uint64_t exhausted0 = reg.counter("restart.exhausted").value();
+
+    RunStats st = p->run(src, sink);  // must not throw
+    (void)st;
+
+    EXPECT_EQ(reg.counter("restart.attempts").value(), attempts0 + 1);
+    EXPECT_EQ(reg.counter("restart.exhausted").value(), exhausted0);
+    EXPECT_EQ(src.fired(), 1u);
+
+    // Bounded loss: at most the queue capacity plus the two stages'
+    // in-flight elements can vanish across the restart.
+    std::vector<int32_t> got(sink.data().size() / 4);
+    std::memcpy(got.data(), sink.data().data(), sink.data().size());
+    ASSERT_GE(got.size(), N - (8 + 2));
+    for (size_t i = 1; i < got.size(); ++i)
+        ASSERT_LT(got[i - 1], got[i]) << "output reordered at " << i;
+    for (int32_t v : got) {
+        EXPECT_GE(v, in.front() + 11);  // every value is some in[i] + 11
+        EXPECT_LE(v, in.back() + 11);
+    }
+    EXPECT_EQ(got.back(), in.back() + 11)
+        << "the post-fault tail of the stream was not processed";
+}
+
+TEST(Threaded, RestartBudgetExhaustionCarriesHistory)
+{
+    // throw@10:0 fires on EVERY attempt (count 0 = permanent fault):
+    // the supervisor must spend exactly maxRestarts retries, then
+    // rethrow with the attempt history and the exhausted marker.
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.restart.mode = RestartMode::OnFailure;
+    opt.restart.maxRestarts = 2;
+    opt.restart.backoffInitialMs = 1;
+    auto p = compileThreadedPipeline(
+        ppipe(incBlock(1), incBlock(10)), opt);
+
+    std::vector<int32_t> in(64, 7);
+    auto bytes = intBytes(in);
+    MemSource mem(bytes, 4);
+    FaultySource src(mem, FaultSpec::parse("throw@10:0"));
+    NullSink sink;
+
+    auto& reg = metrics::Registry::global();
+    uint64_t attempts0 = reg.counter("restart.attempts").value();
+    uint64_t exhausted0 = reg.counter("restart.exhausted").value();
+
+    try {
+        p->run(src, sink);
+        FAIL() << "permanent fault must exhaust the restart budget";
+    } catch (const StageFailureError& e) {
+        const StageFailure& f = e.failure();
+        EXPECT_TRUE(f.restartsExhausted);
+        EXPECT_EQ(f.restarts.size(), 2u);
+        EXPECT_EQ(f.cause, FailureCause::Exception);
+        for (const RestartAttempt& a : f.restarts) {
+            EXPECT_EQ(a.cause, FailureCause::Exception);
+            EXPECT_NE(a.message.find("injected fault"), std::string::npos);
+        }
+        EXPECT_NE(std::string(e.what()).find("restart"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(reg.counter("restart.attempts").value(), attempts0 + 2);
+    EXPECT_EQ(reg.counter("restart.exhausted").value(), exhausted0 + 1);
+    EXPECT_EQ(src.fired(), 3u);  // initial attempt + two retries
 }
 
 TEST(Threaded, RepeatedRunsReuseThePipeline)
