@@ -36,7 +36,27 @@
  *                      cyclic source of ELEMS total elements (default:
  *                      indefinitely) instead of one finite buffer —
  *                      paired with --restart, an injected fault costs at
- *                      most one frame, not the process
+ *                      most one frame, not the process.  This is the
+ *                      no-network variant of --listen: both drive the
+ *                      same cooperative stepping core (zexec/stepper.h),
+ *                      --serve in-process with a synthetic source,
+ *                      --listen against real client connections.
+ *
+ * Serving mode (docs/SERVING.md):
+ *   --listen[=PORT]    run as a multi-session streaming server on
+ *                      127.0.0.1:PORT (default 0 = kernel-assigned;
+ *                      the bound port is printed either way).  Each
+ *                      accepted connection gets its own compiled
+ *                      pipeline instance; --inject-fault/--restart
+ *                      then apply per session.  Stop with SIGINT/SIGTERM.
+ *   --max-sessions N   admission cap: further clients are refused with
+ *                      a protocol Error frame (default 64)
+ *   --workers K        stepping worker threads (default 2)
+ *   --idle-timeout-ms N  evict sessions with no socket traffic for N ms
+ *   --metrics-interval-ms N  dump the metric registry as JSON every N ms
+ *                      (to stderr, or --metrics-out FILE)
+ *   --fault-session I  with --inject-fault: fault only the I-th accepted
+ *                      session (default: every session)
  *
  * Exit codes:
  *   0  success
@@ -49,6 +69,9 @@
  *      run
  *   1  anything else (internal error)
  */
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +79,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "support/metrics.h"
 #include "support/rng.h"
@@ -63,6 +87,7 @@
 #include "zexec/faultpoint.h"
 #include "zexec/threaded.h"
 #include "zir/compiler.h"
+#include "zserve/server.h"
 #include "wifi/native_blocks.h"
 #include "zparse/parser.h"
 
@@ -87,12 +112,37 @@ usage()
                  "              [--deadline-ms N] [--inject-fault SPEC]\n"
                  "              [--restart N] [--backoff-ms M] "
                  "[--serve[=ELEMS]]\n"
+                 "              [--listen[=PORT]] [--max-sessions N] "
+                 "[--workers K]\n"
+                 "              [--idle-timeout-ms N] "
+                 "[--metrics-interval-ms N]\n"
+                 "              [--metrics-out FILE] [--fault-session I]\n"
                  "  SPEC: truncate@K | throw@K[:N] | stall@K:MS[:N] | "
                  "shortread@K:SEED\n"
                  "exit codes: 0 ok, 2 user error, 3 stage failure, "
                  "4 stall timeout,\n"
                  "            5 retries exhausted\n");
     return kExitUserError;
+}
+
+std::atomic<bool> g_stopRequested{false};
+
+void
+onStopSignal(int)
+{
+    g_stopRequested.store(true);
+}
+
+/** Parse a positive integer CLI value; returns false on junk. */
+bool
+parsePositive(const char* s, long& out)
+{
+    char* end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v <= 0)
+        return false;
+    out = v;
+    return true;
 }
 
 /** Compose the --profile JSON document. */
@@ -146,6 +196,14 @@ main(int argc, char** argv)
     double backoffMs = -1;  // -1 = keep the policy default
     bool serve = false;
     uint64_t serveElems = 0;  // 0 = indefinitely
+    bool listen = false;
+    long listenPort = 0;
+    long maxSessions = 64;
+    long serveWorkers = 2;
+    double idleTimeoutMs = 0;
+    double metricsIntervalMs = 0;
+    std::string metricsOut;
+    long faultSession = -1;
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--dump") {
@@ -237,6 +295,66 @@ main(int argc, char** argv)
                 }
                 serveElems = v;
             }
+        } else if (a == "--listen" || a.rfind("--listen=", 0) == 0) {
+            listen = true;
+            if (a.size() > strlen("--listen=")) {
+                const char* s = a.c_str() + strlen("--listen=");
+                long v = 0;
+                // Port 0 = kernel-assigned (the bound port is printed).
+                if (!(std::strcmp(s, "0") == 0 ||
+                      (parsePositive(s, v) && v <= 65535))) {
+                    std::fprintf(stderr,
+                                 "zirrun: invalid --listen port '%s'\n",
+                                 s);
+                    return kExitUserError;
+                }
+                listenPort = v;
+            }
+        } else if (a == "--max-sessions" && i + 1 < argc) {
+            if (!parsePositive(argv[++i], maxSessions)) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --max-sessions value "
+                             "'%s'\n", argv[i]);
+                return kExitUserError;
+            }
+        } else if (a == "--workers" && i + 1 < argc) {
+            if (!parsePositive(argv[++i], serveWorkers)) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --workers value '%s'\n",
+                             argv[i]);
+                return kExitUserError;
+            }
+        } else if (a == "--idle-timeout-ms" && i + 1 < argc) {
+            long v = 0;
+            if (!parsePositive(argv[++i], v)) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --idle-timeout-ms value "
+                             "'%s'\n", argv[i]);
+                return kExitUserError;
+            }
+            idleTimeoutMs = static_cast<double>(v);
+        } else if (a == "--metrics-interval-ms" && i + 1 < argc) {
+            long v = 0;
+            if (!parsePositive(argv[++i], v)) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --metrics-interval-ms "
+                             "value '%s'\n", argv[i]);
+                return kExitUserError;
+            }
+            metricsIntervalMs = static_cast<double>(v);
+        } else if (a == "--metrics-out" && i + 1 < argc) {
+            metricsOut = argv[++i];
+        } else if (a == "--fault-session" && i + 1 < argc) {
+            const char* s = argv[++i];
+            char* end = nullptr;
+            long v = std::strtol(s, &end, 10);
+            if (end == s || *end != '\0' || v < 0) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --fault-session value "
+                             "'%s'\n", s);
+                return kExitUserError;
+            }
+            faultSession = v;
         } else if (a == "--profile" || a.rfind("--profile=", 0) == 0) {
             profile = true;
             if (a.size() > strlen("--profile="))
@@ -253,6 +371,13 @@ main(int argc, char** argv)
         }
     }
 
+    if (listen && deadlineMs > 0) {
+        std::fprintf(stderr,
+                     "zirrun: --listen and --deadline-ms are mutually "
+                     "exclusive (the server has its own scheduler)\n");
+        return kExitUserError;
+    }
+
     std::ifstream in(path);
     if (!in) {
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -267,12 +392,13 @@ main(int argc, char** argv)
     std::unique_ptr<Pipeline> p;
     std::unique_ptr<ThreadedPipeline> tp;
     CompileReport rep;
+    CompPtr program;
     const bool threaded = deadlineMs > 0;
     try {
         if (!faultStr.empty())
             fault = FaultSpec::parse(faultStr);
         wifi::registerWifiNatives();
-        CompPtr program = parseComp(ss.str());
+        program = parseComp(ss.str());
 
         // Profiling always collects pass records (verbosity 0 unless
         // --trace-passes raises it).
@@ -308,6 +434,64 @@ main(int argc, char** argv)
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return kExitUserError;
+    }
+
+    // Serving mode: hand the compiled program to the multi-session
+    // server and run until a stop signal.  Every accepted connection
+    // gets a fresh pipeline instance from the factory below.
+    if (listen) {
+        try {
+            serve::ServerConfig scfg;
+            scfg.port = static_cast<uint16_t>(listenPort);
+            scfg.workers = static_cast<int>(serveWorkers);
+            scfg.maxSessions = static_cast<size_t>(maxSessions);
+            scfg.idleTimeoutMs = idleTimeoutMs;
+            scfg.metricsIntervalMs = metricsIntervalMs;
+            scfg.metricsPath = metricsOut;
+            scfg.fault = fault;
+            scfg.faultSession = faultSession;
+            if (restartN > 0) {
+                scfg.session.restart.mode = RestartMode::OnFailure;
+                scfg.session.restart.maxRestarts = restartN;
+                if (backoffMs >= 0)
+                    scfg.session.restart.backoffInitialMs = backoffMs;
+            }
+            // Factory options: same opt level, no tracer/instrumentation
+            // (those belong to the one-shot profiling path).
+            CompilerOptions fcopt = CompilerOptions::forLevel(level);
+            serve::Server server(
+                [program, fcopt](uint64_t) {
+                    return compilePipeline(program, fcopt, nullptr);
+                },
+                scfg);
+            std::signal(SIGINT, onStopSignal);
+            std::signal(SIGTERM, onStopSignal);
+            server.start();
+            if (fault.enabled())
+                std::printf("injecting fault: %s (session %s)\n",
+                            fault.show().c_str(),
+                            faultSession < 0
+                                ? "all"
+                                : std::to_string(faultSession).c_str());
+            std::printf("listening on port %u\n",
+                        static_cast<unsigned>(server.port()));
+            std::fflush(stdout);
+            while (!g_stopRequested.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            server.stop();
+            serve::Server::Counters c = server.counters();
+            std::printf("server stopped: accepted %llu, completed %llu, "
+                        "evicted %llu, rejected %llu\n",
+                        static_cast<unsigned long long>(c.accepted),
+                        static_cast<unsigned long long>(c.completed),
+                        static_cast<unsigned long long>(c.evicted),
+                        static_cast<unsigned long long>(c.rejected));
+            return kExitOk;
+        } catch (const FatalError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return kExitUserError;
+        }
     }
 
     // Back half: run-time failures get their own exit codes so scripted

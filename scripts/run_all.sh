@@ -57,6 +57,12 @@ ctest --test-dir build -L fault --output-on-failure 2>&1 \
 ctest --test-dir build -L recovery -E soak_recovery \
     --output-on-failure 2>&1 | tee -a fault_output.txt
 sh scripts/soak.sh all 2>&1 | tee -a fault_output.txt
+# Serving suites (label `serve`): wire-protocol codec/fuzzing and the
+# multi-session server e2e (docs/SERVING.md), then the CLI serve soak
+# (zirrun --listen against well- and badly-behaved zclients).
+ctest --test-dir build -L serve --output-on-failure 2>&1 \
+    | tee serve_output.txt
+sh scripts/soak.sh serve 2>&1 | tee -a serve_output.txt
 sh scripts/check_overhead.sh 2>&1 | tee overhead_output.txt
 {
     for b in build/bench/*; do

@@ -8,7 +8,12 @@
 # structured outcome, and with a restart policy a *transient* fault
 # must not terminate it at all.
 #
-# Usage: scripts/soak.sh [fault|recovery|all]   (default: all)
+# The serve matrix (docs/SERVING.md) soaks the zserve network path the
+# same way: a zirrun --listen server must survive misbehaving clients —
+# a hard disconnect mid-frame, a slow reader forcing backpressure, a
+# burst over the session cap — and still serve the next clean session.
+#
+# Usage: scripts/soak.sh [fault|recovery|serve|all]   (default: all)
 #        BUILD_DIR=build-tsan scripts/soak.sh
 cd "$(dirname "$0")/.." || exit 1
 BUILD="${BUILD_DIR:-build}"
@@ -17,8 +22,8 @@ MODE="${1:-all}"
 DEADLINE_S=30   # per-case wall-clock budget (timeout -> case failed)
 
 case "$MODE" in
-  fault|recovery|all) ;;
-  *) echo "soak: unknown mode '$MODE' (want fault|recovery|all)" >&2
+  fault|recovery|serve|all) ;;
+  *) echo "soak: unknown mode '$MODE' (want fault|recovery|serve|all)" >&2
      exit 2 ;;
 esac
 
@@ -125,10 +130,98 @@ recovery_matrix() {
             --restart 2 --backoff-ms 1
 }
 
+# Serve matrix: a long-lived zirrun --listen server against well- and
+# badly-behaved zclient sessions.  Every case runs against ONE server
+# instance — surviving the bad clients without disturbing later
+# sessions is the property under test.
+serve_matrix() {
+    ZCLIENT="$BUILD/tools/zclient"
+    if [ ! -x "$ZCLIENT" ]; then
+        echo "FAIL serve: $ZCLIENT not built"
+        fail=$((fail + 1))
+        return
+    fi
+
+    srv_log="${TMPDIR:-/tmp}/ziria_soak_serve.$$.log"
+    "$BIN" examples/zir/scrambler.zir --listen=0 --workers 2 \
+        --max-sessions 4 > "$srv_log" 2>&1 &
+    srv_pid=$!
+
+    # The server prints "listening on port N" once bound (port 0 lets
+    # the kernel pick, so parallel soaks never collide).
+    port=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        port=$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
+               "$srv_log")
+        [ -n "$port" ] && break
+        if ! kill -0 "$srv_pid" 2>/dev/null; then
+            break
+        fi
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "FAIL serve: server never reported its port"
+        cat "$srv_log"
+        kill "$srv_pid" 2>/dev/null
+        rm -f "$srv_log"
+        fail=$((fail + 1))
+        return
+    fi
+
+    zc="$ZCLIENT --port $port --quiet"
+
+    # Clean streaming, small and multi-frame.
+    check 0 "serve basic stream"  $zc --frames 4
+    check 0 "serve longer stream" $zc --frames 32 --elems-per-frame 512
+
+    # A client that hard-closes mid-frame is evicted; the server keeps
+    # running and the next clean session is untouched.
+    check 0 "serve client abort mid-frame" $zc --frames 8 --abort-midframe
+    check 0 "serve survives the abort"     $zc --frames 4
+
+    # A deliberately slow reader forces per-session backpressure (queue
+    # fills -> reads pause -> TCP pushes back); the stream must still
+    # complete, just slower.
+    check 0 "serve slow-reader backpressure" \
+            $zc --frames 8 --slow-read-ms 5
+
+    # Admission control: fill all 4 slots with held-open sessions, then
+    # the fifth connection must be refused with an Error frame (exit 3).
+    hold_pids=""
+    for _ in 1 2 3 4; do
+        $zc --frames 1 --hold-ms 3000 > /dev/null 2>&1 &
+        hold_pids="$hold_pids $!"
+    done
+    sleep 0.5
+    check 3 "serve session-cap reject" $zc --frames 1
+    for hp in $hold_pids; do
+        wait "$hp"
+    done
+    # The cap is per-moment, not a cumulative quota: slots freed above
+    # admit new sessions again.
+    check 0 "serve admits after release" $zc --frames 4
+
+    # Orderly shutdown: SIGTERM drains and exits 0.
+    kill -TERM "$srv_pid" 2>/dev/null
+    wait "$srv_pid"
+    srv_exit=$?
+    if [ "$srv_exit" -ne 0 ]; then
+        echo "FAIL serve shutdown: server exit $srv_exit, expected 0"
+        cat "$srv_log"
+        fail=$((fail + 1))
+    else
+        pass=$((pass + 1))
+    fi
+    rm -f "$srv_log"
+}
+
 case "$MODE" in
   fault)    fault_matrix ;;
   recovery) recovery_matrix ;;
-  all)      fault_matrix; recovery_matrix ;;
+  serve)    serve_matrix ;;
+  all)      fault_matrix; recovery_matrix; serve_matrix ;;
 esac
 
 echo "soak($MODE): $pass passed, $fail failed"

@@ -3,6 +3,7 @@
 #include "support/metrics.h"
 #include "support/panic.h"
 #include "zexec/nodes.h"
+#include "zexec/stepper.h"
 #include "zopt/autolut.h"
 
 namespace ziria {
@@ -305,28 +306,28 @@ RunStats
 Pipeline::runAttempt(InputSource& src, OutputSink& sink, uint64_t max_out)
 {
     metrics::Registry::global().counter("ziria.pipeline_runs").inc();
+    // The same cooperative stepping loop the serving subsystem
+    // multiplexes sessions with (src/zserve/session.cc) — here driven to
+    // completion with a blocking source, which never reports Feed::Empty.
+    Stepper stepper(*root_);
+    stepper.start(frame_);
+    auto pull = [&](const uint8_t** p) {
+        *p = src.next();
+        return *p ? Feed::Ready : Feed::End;
+    };
+    auto push = [&](const uint8_t* elem) {
+        sink.put(elem);
+        return !(max_out && stepper.emitted() >= max_out);
+    };
+    StepOutcome oc = stepper.drive(frame_, pull, push);
     RunStats st;
-    root_->start(frame_);
-    while (true) {
-        Status s = root_->advance(frame_);
-        if (s == Status::Yield) {
-            sink.put(root_->out());
-            ++st.emitted;
-            if (max_out && st.emitted >= max_out)
-                break;
-        } else if (s == Status::NeedInput) {
-            const uint8_t* p = src.next();
-            if (!p)
-                break;  // input exhausted
-            root_->supply(frame_, p);
-            ++st.consumed;
-        } else {
-            st.halted = true;
-            const uint8_t* cp = root_->ctrl();
-            if (cp && root_->ctrlWidth())
-                st.ctrl.assign(cp, cp + root_->ctrlWidth());
-            break;
-        }
+    st.consumed = stepper.consumed();
+    st.emitted = stepper.emitted();
+    if (oc == StepOutcome::Halted) {
+        st.halted = true;
+        const uint8_t* cp = stepper.ctrlData();
+        if (cp && stepper.ctrlWidth())
+            st.ctrl.assign(cp, cp + stepper.ctrlWidth());
     }
     st.metrics = metrics_.get();
     return st;

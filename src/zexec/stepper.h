@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cooperative tick/proc stepping: the shared inner loop of every pipeline
+ * driver.
+ *
+ * The paper's execution model (§2.6) makes each compiled computation a
+ * re-enterable state machine, so *driving* one is a small pure loop:
+ * advance(), route a yielded element to the sink, feed a needed element
+ * from the source, stop on halt.  That loop used to live inline in the
+ * single-threaded Pipeline driver; the serving subsystem (src/zserve/)
+ * needs the same loop but non-blocking — a session parked on an empty
+ * input queue or a full output buffer must yield its worker thread to
+ * another session instead of blocking it.
+ *
+ * Stepper is that loop, factored out once.  The pull callback is
+ * tri-state (Ready / Empty / End) so callers choose the blocking
+ * discipline: a blocking InputSource maps null to End and never reports
+ * Empty (Pipeline::run), a queue-backed session source reports Empty
+ * when the poll loop should regain control (zserve::Session).  The push
+ * callback returns false to suspend output (sink full / output budget
+ * reached).  `maxSteps` bounds one burst so a scheduler can time-slice
+ * hundreds of sessions over a small worker pool.
+ */
+#ifndef ZIRIA_ZEXEC_STEPPER_H
+#define ZIRIA_ZEXEC_STEPPER_H
+
+#include <cstdint>
+
+#include "zexec/node.h"
+#include "zexpr/frame.h"
+
+namespace ziria {
+
+/** Tri-state result of a non-blocking input pull. */
+enum class Feed : uint8_t {
+    Ready,  ///< one element produced
+    Empty,  ///< nothing available *now* (caller should park and retry)
+    End,    ///< end of stream (no element will ever come)
+};
+
+/** Why a stepping burst returned control to the caller. */
+enum class StepOutcome : uint8_t {
+    NeedInput,   ///< pull reported Empty while the node needs input
+    EndOfInput,  ///< pull reported End while the node needs input
+    SinkFull,    ///< push returned false (element was delivered first)
+    Halted,      ///< the computation returned; ctrl value is available
+    Budget,      ///< maxSteps advances consumed; more work may be ready
+};
+
+/**
+ * Drives one execution-node tree against pull/push callbacks, keeping
+ * the consumed/emitted accounting every driver reports.  One Stepper
+ * corresponds to one run attempt; the restart supervisor re-arms it via
+ * reset().
+ */
+class Stepper
+{
+  public:
+    explicit Stepper(ExecNode& root) : root_(root) {}
+
+    void
+    start(Frame& f)
+    {
+        root_.start(f);
+        consumed_ = 0;
+        emitted_ = 0;
+        halted_ = false;
+    }
+
+    /** Re-arm after a failure: frame-boundary state, counters kept. */
+    void reset(Frame& f) { root_.reset(f); }
+
+    /**
+     * Advance until the node blocks, halts, or the budget runs out.
+     *
+     * @param pull `Feed pull(const uint8_t** elem)` — produce one input
+     *             element of the node's inWidth (pointer stays valid
+     *             until the next advance, per the ExecNode contract).
+     * @param push `bool push(const uint8_t* elem)` — consume one output
+     *             element; return false to suspend stepping (the element
+     *             HAS been delivered).
+     * @param maxSteps advance() budget for this burst (0 = unlimited).
+     */
+    template <typename PullFn, typename PushFn>
+    StepOutcome
+    drive(Frame& f, PullFn&& pull, PushFn&& push, uint64_t maxSteps = 0)
+    {
+        for (uint64_t steps = 0;; ++steps) {
+            if (maxSteps && steps >= maxSteps)
+                return StepOutcome::Budget;
+            Status s = root_.advance(f);
+            if (s == Status::Yield) {
+                ++emitted_;
+                if (!push(root_.out()))
+                    return StepOutcome::SinkFull;
+            } else if (s == Status::NeedInput) {
+                const uint8_t* p = nullptr;
+                switch (pull(&p)) {
+                  case Feed::Ready:
+                    root_.supply(f, p);
+                    ++consumed_;
+                    break;
+                  case Feed::Empty:
+                    return StepOutcome::NeedInput;
+                  case Feed::End:
+                    return StepOutcome::EndOfInput;
+                }
+            } else {  // Status::Done
+                halted_ = true;
+                return StepOutcome::Halted;
+            }
+        }
+    }
+
+    uint64_t consumed() const { return consumed_; }
+    uint64_t emitted() const { return emitted_; }
+    bool halted() const { return halted_; }
+
+    /** Control value bytes after Halted (null/0 when none). */
+    const uint8_t* ctrlData() const { return root_.ctrl(); }
+    size_t ctrlWidth() const { return root_.ctrlWidth(); }
+
+  private:
+    ExecNode& root_;
+    uint64_t consumed_ = 0;
+    uint64_t emitted_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_ZEXEC_STEPPER_H

@@ -1,0 +1,285 @@
+#include "zserve/endpoints.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include "support/panic.h"
+#include "zserve/socket.h"
+
+namespace ziria {
+namespace serve {
+
+namespace {
+
+/** Poll slice for cancellable blocking waits, in ms. */
+constexpr int kPollSliceMs = 50;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SocketSource
+// ---------------------------------------------------------------------
+
+SocketSource::SocketSource(int fd, size_t elem_width)
+    : fd_(fd), width_(elem_width)
+{
+    ZIRIA_ASSERT(elem_width > 0, "SocketSource needs a positive width");
+}
+
+bool
+SocketSource::fillPayload()
+{
+    Frame f;
+    uint8_t rbuf[64 * 1024];
+    for (;;) {
+        switch (parser_.next(f)) {
+          case FrameParser::Result::Frame:
+            switch (f.type) {
+              case FrameType::Data:
+                if (f.payload.empty() || f.payload.size() % width_ != 0)
+                    fatalf("socket source: Data payload of ",
+                           f.payload.size(),
+                           " byte(s) is not a positive multiple of the ",
+                           width_, "-byte element width");
+                payload_ = std::move(f.payload);
+                payloadPos_ = 0;
+                ++frames_;
+                return true;
+              case FrameType::End:
+                ended_ = true;
+                return false;
+              case FrameType::Error:
+                peerError_.assign(f.payload.begin(), f.payload.end());
+                ended_ = true;
+                fatalf("socket source: peer error: ", peerError_);
+              case FrameType::Hello:
+              case FrameType::Halt:
+                // Metadata frames are legal on the stream; skip.
+                continue;
+            }
+            continue;
+          case FrameParser::Result::Error:
+            fatalf("socket source: ", parser_.error());
+          case FrameParser::Result::NeedMore:
+            break;
+        }
+        // Need more bytes: cancellable blocking read.
+        if (cancelled_.load(std::memory_order_relaxed))
+            return false;
+        pollfd p{fd_, POLLIN, 0};
+        int pr = ::poll(&p, 1, kPollSliceMs);
+        if (pr <= 0)
+            continue;  // timeout slice (re-check cancel) or EINTR
+        long n = recvSome(fd_, rbuf, sizeof rbuf);
+        if (n > 0) {
+            parser_.feed(rbuf, static_cast<size_t>(n));
+        } else if (n == 0) {
+            if (parser_.midFrame())
+                fatalf("socket source: connection closed mid-frame");
+            ended_ = true;  // orderly close == End
+            return false;
+        } else if (n == -2) {
+            fatalf("socket source: connection error");
+        }
+    }
+}
+
+const uint8_t*
+SocketSource::next()
+{
+    if (cancelled_.load(std::memory_order_relaxed))
+        return nullptr;
+    if (payloadPos_ >= payload_.size()) {
+        if (ended_ || !fillPayload())
+            return nullptr;
+    }
+    const uint8_t* p = payload_.data() + payloadPos_;
+    payloadPos_ += width_;
+    ++elems_;
+    return p;
+}
+
+void
+SocketSource::cancel()
+{
+    cancelled_.store(true, std::memory_order_relaxed);
+}
+
+void
+SocketSource::rearm()
+{
+    cancelled_.store(false, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// SocketSink
+// ---------------------------------------------------------------------
+
+SocketSink::SocketSink(int fd, size_t elem_width, size_t batch_elems)
+    : fd_(fd), width_(elem_width),
+      batchBytes_(std::max<size_t>(1, batch_elems) * elem_width)
+{
+    ZIRIA_ASSERT(elem_width > 0, "SocketSink needs a positive width");
+    if (batchBytes_ > kMaxPayload)
+        batchBytes_ = kMaxPayload - kMaxPayload % elem_width;
+    buf_.reserve(batchBytes_);
+}
+
+void
+SocketSink::sendBytes(const std::vector<uint8_t>& bytes)
+{
+    if (cancelled_.load(std::memory_order_relaxed))
+        return;
+    if (!sendAll(fd_, bytes.data(), bytes.size()))
+        fatalf("socket sink: connection error while sending");
+}
+
+void
+SocketSink::put(const uint8_t* elem)
+{
+    buf_.insert(buf_.end(), elem, elem + width_);
+    ++elems_;
+    if (buf_.size() >= batchBytes_)
+        flush();
+}
+
+void
+SocketSink::flush()
+{
+    if (buf_.empty())
+        return;
+    std::vector<uint8_t> wire;
+    encodeFrame(wire, FrameType::Data, buf_);
+    sendBytes(wire);
+    ++frames_;
+    buf_.clear();
+}
+
+void
+SocketSink::finish(const uint8_t* ctrl, size_t ctrl_bytes)
+{
+    flush();
+    std::vector<uint8_t> wire;
+    if (ctrl && ctrl_bytes)
+        encodeFrame(wire, FrameType::Halt, ctrl, ctrl_bytes);
+    encodeFrame(wire, FrameType::End);
+    sendBytes(wire);
+}
+
+void
+SocketSink::cancel()
+{
+    cancelled_.store(true, std::memory_order_relaxed);
+}
+
+void
+SocketSink::rearm()
+{
+    cancelled_.store(false, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// UDP variants
+// ---------------------------------------------------------------------
+
+UdpSource::UdpSource(int fd, size_t elem_width)
+    : fd_(fd), width_(elem_width)
+{
+    ZIRIA_ASSERT(elem_width > 0, "UdpSource needs a positive width");
+}
+
+const uint8_t*
+UdpSource::next()
+{
+    for (;;) {
+        if (cancelled_.load(std::memory_order_relaxed) || ended_)
+            return nullptr;
+        if (payloadPos_ < payload_.size()) {
+            const uint8_t* p = payload_.data() + payloadPos_;
+            payloadPos_ += width_;
+            return p;
+        }
+        pollfd pf{fd_, POLLIN, 0};
+        int pr = ::poll(&pf, 1, kPollSliceMs);
+        if (pr <= 0)
+            continue;
+        if (rbuf_.size() < kHeaderBytes + kMaxPayload)
+            rbuf_.resize(kHeaderBytes + kMaxPayload);
+        long n = ::recv(fd_, rbuf_.data(), rbuf_.size(), 0);
+        if (n <= 0)
+            continue;
+        Frame f;
+        if (!decodeDatagram(rbuf_.data(), static_cast<size_t>(n), f)) {
+            ++dropped_;  // lossy transport: skip, don't fail
+            continue;
+        }
+        if (f.type == FrameType::End) {
+            ended_ = true;
+            return nullptr;
+        }
+        if (f.type != FrameType::Data || f.payload.empty() ||
+            f.payload.size() % width_ != 0) {
+            ++dropped_;
+            continue;
+        }
+        payload_ = std::move(f.payload);
+        payloadPos_ = 0;
+        ++frames_;
+    }
+}
+
+void
+UdpSource::cancel()
+{
+    cancelled_.store(true, std::memory_order_relaxed);
+}
+
+void
+UdpSource::rearm()
+{
+    cancelled_.store(false, std::memory_order_relaxed);
+}
+
+UdpSink::UdpSink(int fd, size_t elem_width, size_t batch_elems)
+    : fd_(fd), width_(elem_width),
+      batchBytes_(std::max<size_t>(1, batch_elems) * elem_width)
+{
+    ZIRIA_ASSERT(elem_width > 0, "UdpSink needs a positive width");
+    // One frame per datagram: keep well under typical MTU-ish limits is
+    // the caller's concern; the hard cap is the protocol payload cap.
+    if (batchBytes_ > kMaxPayload)
+        batchBytes_ = kMaxPayload - kMaxPayload % elem_width;
+}
+
+void
+UdpSink::put(const uint8_t* elem)
+{
+    buf_.insert(buf_.end(), elem, elem + width_);
+    if (buf_.size() >= batchBytes_)
+        flush();
+}
+
+void
+UdpSink::flush()
+{
+    if (buf_.empty())
+        return;
+    std::vector<uint8_t> wire;
+    encodeFrame(wire, FrameType::Data, buf_);
+    // Datagram semantics: best effort, drop on error (lossy transport).
+    (void)!::send(fd_, wire.data(), wire.size(), 0);
+    ++frames_;
+    buf_.clear();
+}
+
+void
+UdpSink::finish()
+{
+    flush();
+    std::vector<uint8_t> wire;
+    encodeFrame(wire, FrameType::End);
+    (void)!::send(fd_, wire.data(), wire.size(), 0);
+}
+
+} // namespace serve
+} // namespace ziria

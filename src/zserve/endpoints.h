@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Socket stream endpoints: InputSource/OutputSink implementations that
+ * speak the zserve wire protocol, so a compiled pipeline can read its
+ * input stream from a TCP connection (or UDP datagrams) and write its
+ * output back — composing unchanged with TracedNode instrumentation,
+ * the FaultySource/FaultySink decorators, and supervised restart,
+ * because those all operate on the same two interfaces.
+ *
+ * SocketSource/SocketSink are the *blocking* endpoints, one connection
+ * per pipeline, matching the drivers' pull/push discipline; the
+ * multi-session server (src/zserve/server.h) instead multiplexes many
+ * connections with non-blocking stepping and does not use these
+ * classes.  Blocking waits poll a cancel flag every slice, so a
+ * supervised teardown (InputSource::cancel) unblocks promptly — the
+ * same contract FaultySource implements.
+ */
+#ifndef ZIRIA_ZSERVE_ENDPOINTS_H
+#define ZIRIA_ZSERVE_ENDPOINTS_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "zexec/pipeline.h"
+#include "zserve/wire.h"
+
+namespace ziria {
+namespace serve {
+
+/**
+ * Pull stream elements out of Data frames arriving on a connected TCP
+ * socket (non-owning fd).  End / orderly close / an Error frame all end
+ * the stream; a mid-frame close or malformed frame raises FatalError
+ * (surfacing as a stage failure the supervisor can retry or report).
+ */
+class SocketSource : public InputSource
+{
+  public:
+    SocketSource(int fd, size_t elem_width);
+
+    const uint8_t* next() override;
+    void cancel() override;
+    void rearm() override;
+
+    /** Frames / element counters (telemetry). */
+    uint64_t framesIn() const { return frames_; }
+    uint64_t elemsIn() const { return elems_; }
+
+    /** Error message from a peer Error frame ("" when none). */
+    const std::string& peerError() const { return peerError_; }
+
+  private:
+    bool fillPayload();  // block (cancellably) until a Data frame arrives
+
+    int fd_;
+    size_t width_;
+    FrameParser parser_;
+    std::vector<uint8_t> payload_;  // current Data frame's elements
+    size_t payloadPos_ = 0;
+    bool ended_ = false;
+    std::string peerError_;
+    uint64_t frames_ = 0;
+    uint64_t elems_ = 0;
+    std::atomic<bool> cancelled_{false};
+};
+
+/**
+ * Batch output elements into Data frames on a connected TCP socket
+ * (non-owning fd).  Elements accumulate until @p batch_elems, then
+ * flush as one frame; finish() flushes the tail and sends Halt (when a
+ * control value is given) and End.
+ */
+class SocketSink : public OutputSink
+{
+  public:
+    SocketSink(int fd, size_t elem_width, size_t batch_elems = 512);
+
+    void put(const uint8_t* elem) override;
+    void cancel() override;
+    void rearm() override;
+
+    /** Flush buffered elements as one Data frame. */
+    void flush();
+
+    /** Flush, then send the end-of-stream trailer. */
+    void finish(const uint8_t* ctrl = nullptr, size_t ctrl_bytes = 0);
+
+    uint64_t framesOut() const { return frames_; }
+    uint64_t elemsOut() const { return elems_; }
+
+  private:
+    void sendBytes(const std::vector<uint8_t>& bytes);
+
+    int fd_;
+    size_t width_;
+    size_t batchBytes_;
+    std::vector<uint8_t> buf_;
+    uint64_t frames_ = 0;
+    uint64_t elems_ = 0;
+    std::atomic<bool> cancelled_{false};
+};
+
+/**
+ * Datagram variants: one wire frame per UDP datagram.  UdpSource binds
+ * (or adopts) a socket and reads Data datagrams from any peer until an
+ * End datagram; out-of-order or lost datagrams are the transport's
+ * nature and are NOT repaired — this models a lossy sample feed, the
+ * radio-facing edge of the paper's pipelines, where late data is
+ * useless anyway.
+ */
+class UdpSource : public InputSource
+{
+  public:
+    UdpSource(int fd, size_t elem_width);
+
+    const uint8_t* next() override;
+    void cancel() override;
+    void rearm() override;
+
+    uint64_t framesIn() const { return frames_; }
+    uint64_t dropped() const { return dropped_; }  ///< malformed datagrams
+
+  private:
+    int fd_;
+    size_t width_;
+    std::vector<uint8_t> payload_;
+    std::vector<uint8_t> rbuf_;  // datagram receive buffer (lazily sized)
+    size_t payloadPos_ = 0;
+    bool ended_ = false;
+    uint64_t frames_ = 0;
+    uint64_t dropped_ = 0;
+    std::atomic<bool> cancelled_{false};
+};
+
+/** Batches elements into Data datagrams on a connected UDP socket. */
+class UdpSink : public OutputSink
+{
+  public:
+    UdpSink(int fd, size_t elem_width, size_t batch_elems = 64);
+
+    void put(const uint8_t* elem) override;
+    void flush();
+    void finish();  ///< flush + End datagram
+
+    uint64_t framesOut() const { return frames_; }
+
+  private:
+    int fd_;
+    size_t width_;
+    size_t batchBytes_;
+    std::vector<uint8_t> buf_;
+    uint64_t frames_ = 0;
+};
+
+} // namespace serve
+} // namespace ziria
+
+#endif // ZIRIA_ZSERVE_ENDPOINTS_H

@@ -1,0 +1,669 @@
+#include "zserve/server.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/metrics.h"
+#include "support/timing.h"
+
+namespace ziria {
+namespace serve {
+
+namespace {
+
+/** Poll period: also the resolution of idle/close/metrics timers. */
+constexpr int kPollMs = 20;
+
+/** Raw output bytes packed into one Data frame. */
+constexpr size_t kDataChunk = 64 * 1024;
+
+/** Keep at most about this much framed output staged per session. */
+constexpr size_t kWireTarget = 128 * 1024;
+
+/** Per-pass socket-write budget (fairness across sessions). */
+constexpr size_t kWriteBudget = 1u << 20;
+
+/** How long a closing session may linger flushing its trailer. */
+constexpr uint64_t kCloseGraceNs = 3ull * 1000 * 1000 * 1000;
+
+uint64_t
+msToNs(double ms)
+{
+    return static_cast<uint64_t>(ms * 1e6);
+}
+
+} // namespace
+
+Server::Server(PipelineFactory factory, ServerConfig cfg)
+    : factory_(std::move(factory)), cfg_(std::move(cfg))
+{
+    listen_ = listenTcp(cfg_.port);
+    setNonBlocking(listen_.get());
+    port_ = boundPort(listen_.get());
+
+    // Touch every counter up front so a metrics dump shows zeros instead
+    // of omitting the serving section entirely.
+    auto& reg = metrics::Registry::global();
+    reg.counter("server.sessions.accepted");
+    reg.counter("server.sessions.rejected");
+    reg.counter("server.sessions.evicted");
+    reg.counter("server.sessions.completed");
+    reg.counter("server.protocol_errors");
+    reg.counter("server.rx.frames");
+    reg.counter("server.rx.bytes");
+    reg.counter("server.tx.frames");
+    reg.counter("server.tx.bytes");
+    reg.gauge("server.sessions.active");
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (started_)
+        return;
+    stopping_.store(false);
+    started_ = true;
+    ioThread_ = std::thread(&Server::ioLoop, this);
+    int n = std::max(1, cfg_.workers);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back(&Server::workerLoop, this);
+}
+
+void
+Server::stop()
+{
+    if (!started_)
+        return;
+    stopping_.store(true);
+    wake_.wake();
+    {
+        // Taken and dropped so a worker between its predicate check and
+        // its sleep cannot miss the notify below.
+        std::lock_guard<std::mutex> lk(schedMu_);
+    }
+    schedCv_.notify_all();
+    if (ioThread_.joinable())
+        ioThread_.join();
+    schedCv_.notify_all();
+    for (auto& w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+    started_ = false;
+}
+
+Server::Counters
+Server::counters() const
+{
+    Counters c;
+    c.accepted = accepted_.load();
+    c.rejected = rejected_.load();
+    c.evicted = evicted_.load();
+    c.completed = completed_.load();
+    uint64_t closedTotal = c.evicted + c.completed;
+    c.active = c.accepted > closedTotal ? c.accepted - closedTotal : 0;
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+void
+Server::enqueue(const std::shared_ptr<Session>& s)
+{
+    bool notify = false;
+    {
+        std::lock_guard<std::mutex> lk(schedMu_);
+        switch (s->sched) {
+          case Session::Sched::Parked:
+            s->sched = Session::Sched::Queued;
+            runq_.push_back(s);
+            notify = true;
+            break;
+          case Session::Sched::Running:
+            // Wake arrived mid-burst: make the owning worker requeue the
+            // session when its burst ends instead of parking it.
+            s->again = true;
+            break;
+          case Session::Sched::Queued:
+          case Session::Sched::Dead:
+            break;
+        }
+    }
+    if (notify)
+        schedCv_.notify_one();
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Session> s;
+        {
+            std::unique_lock<std::mutex> lk(schedMu_);
+            schedCv_.wait(lk, [&] {
+                return stopping_.load() || !runq_.empty();
+            });
+            if (stopping_.load())
+                return;
+            s = std::move(runq_.front());
+            runq_.pop_front();
+            if (s->sched == Session::Sched::Dead)
+                continue;  // evicted while queued
+            s->sched = Session::Sched::Running;
+            s->again = false;
+        }
+
+        StepResult r = s->step();
+
+        bool requeue = false;
+        {
+            std::lock_guard<std::mutex> lk(schedMu_);
+            if (s->sched == Session::Sched::Dead) {
+                // Evicted mid-step; stays dead.
+            } else if (r == StepResult::Finished ||
+                       r == StepResult::Failed) {
+                s->sched = Session::Sched::Dead;
+            } else if (r == StepResult::Again || s->again) {
+                s->sched = Session::Sched::Queued;
+                runq_.push_back(s);
+                requeue = true;
+            } else {
+                s->sched = Session::Sched::Parked;
+            }
+            s->again = false;
+        }
+        if (requeue)
+            schedCv_.notify_one();
+        // Output, queue space, or completion news for the I/O thread.
+        wake_.wake();
+    }
+}
+
+// ---------------------------------------------------------------------
+// I/O thread
+// ---------------------------------------------------------------------
+
+void
+Server::ioLoop()
+{
+    lastMetricsNs_ = nowNs();
+    std::vector<pollfd> pfds;
+    std::vector<int> fds;
+    std::vector<std::shared_ptr<Session>> snap;
+
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        // Service every session before sleeping: worker wakeups (new
+        // output, completion) and retried input flushes land here.
+        snap.clear();
+        snap.reserve(sessions_.size());
+        for (auto& kv : sessions_)
+            snap.push_back(kv.second);
+        for (auto& s : snap)
+            serviceSession(s);  // may close sessions
+
+        pfds.clear();
+        fds.clear();
+        pfds.push_back(pollfd{wake_.readFd(), POLLIN, 0});
+        pfds.push_back(pollfd{listen_.get(), POLLIN, 0});
+        for (auto& kv : sessions_) {
+            auto& s = kv.second;
+            short ev = 0;
+            if (!s->closing && !s->inputEnded && !s->readPaused)
+                ev |= POLLIN;
+            if (s->outWire.size() > s->outWirePos)
+                ev |= POLLOUT;
+            pfds.push_back(pollfd{kv.first, ev, 0});
+            fds.push_back(kv.first);
+        }
+
+        int pr = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                        kPollMs);
+        if (stopping_.load(std::memory_order_relaxed))
+            break;
+        if (pr > 0) {
+            if (pfds[0].revents & POLLIN)
+                wake_.drain();
+            if (pfds[1].revents & POLLIN)
+                acceptPending();
+            // Handlers may close sessions; fds freed here are not handed
+            // out again until the next pass (accepts happened above), so
+            // a by-fd re-lookup is a reliable liveness check.
+            for (size_t i = 0; i < fds.size(); ++i) {
+                short re = pfds[i + 2].revents;
+                if (!re)
+                    continue;
+                auto it = sessions_.find(fds[i]);
+                if (it == sessions_.end())
+                    continue;
+                std::shared_ptr<Session> s = it->second;
+                if (re & (POLLERR | POLLNVAL)) {
+                    s->evictOnClose = true;
+                    closeNow(s);
+                    continue;
+                }
+                if (re & (POLLIN | POLLHUP))
+                    handleRead(s);
+                auto it2 = sessions_.find(fds[i]);
+                if (it2 == sessions_.end() || it2->second != s)
+                    continue;
+                if (re & POLLOUT)
+                    handleWrite(s);
+            }
+        }
+        sweep();
+    }
+
+    // Teardown: mark every session dead (workers drop them on sight),
+    // unblock any stalled step, close the sockets.
+    {
+        std::lock_guard<std::mutex> lk(schedMu_);
+        for (auto& kv : sessions_) {
+            kv.second->sched = Session::Sched::Dead;
+            kv.second->again = false;
+        }
+        runq_.clear();
+    }
+    for (auto& kv : sessions_) {
+        kv.second->cancel();
+        ::close(kv.first);
+    }
+    sessions_.clear();
+    metrics::Registry::global().gauge("server.sessions.active").set(0);
+}
+
+void
+Server::acceptPending()
+{
+    auto& reg = metrics::Registry::global();
+    for (;;) {
+        sockaddr_in peer{};
+        socklen_t plen = sizeof peer;
+        int cfd = ::accept(listen_.get(),
+                           reinterpret_cast<sockaddr*>(&peer), &plen);
+        if (cfd < 0)
+            return;  // EAGAIN (drained) or a transient error: next pass
+        setNonBlocking(cfd);
+        setNoDelay(cfd);
+
+        std::string refuse;
+        std::unique_ptr<Pipeline> pipe;
+        if (sessions_.size() >= cfg_.maxSessions) {
+            refuse = "server full: session limit reached";
+        } else {
+            try {
+                pipe = factory_(nextId_);
+            } catch (const std::exception& e) {
+                refuse = std::string("pipeline construction failed: ") +
+                         e.what();
+            }
+            if (refuse.empty() && !pipe)
+                refuse = "pipeline construction failed";
+            if (refuse.empty() && (pipe->inWidth() > kMaxPayload ||
+                                   pipe->outWidth() > kMaxPayload))
+                refuse = "element width exceeds the frame payload cap";
+        }
+        if (!refuse.empty()) {
+            std::vector<uint8_t> wire;
+            encodeError(wire, refuse);
+            // Fresh socket, empty send buffer: a single non-blocking
+            // send delivers this small frame (best effort regardless).
+            (void)!::send(cfd, wire.data(), wire.size(), MSG_NOSIGNAL);
+            ::close(cfd);
+            rejected_.fetch_add(1);
+            reg.counter("server.sessions.rejected").inc();
+            continue;
+        }
+
+        uint64_t id = nextId_++;
+        FaultSpec fault;
+        if (cfg_.fault.enabled() &&
+            (cfg_.faultSession < 0 ||
+             static_cast<int64_t>(id) == cfg_.faultSession))
+            fault = cfg_.fault;
+
+        auto s = std::make_shared<Session>(id, cfd, std::move(pipe),
+                                           cfg_.session, fault);
+        s->lastActivityNs = nowNs();
+        encodeHello(s->outWire, static_cast<uint32_t>(s->inWidth()),
+                    static_cast<uint32_t>(s->outWidth()));
+        ++s->txFrames;
+        sessions_[cfd] = s;
+        accepted_.fetch_add(1);
+        reg.counter("server.sessions.accepted").inc();
+        reg.gauge("server.sessions.active")
+            .set(static_cast<double>(sessions_.size()));
+        // Source-style pipelines produce output with no input at all.
+        enqueue(s);
+    }
+}
+
+void
+Server::tryFlushPending(const std::shared_ptr<Session>& s)
+{
+    if (s->closing || s->queueClosed)
+        return;
+    if (s->pendingPos < s->pendingIn.size()) {
+        size_t consumed = 0;
+        s->offerInput(s->pendingIn.data() + s->pendingPos,
+                      s->pendingIn.size() - s->pendingPos, consumed);
+        s->pendingPos += consumed;
+        if (consumed > 0)
+            enqueue(s);
+    }
+    if (s->pendingPos >= s->pendingIn.size()) {
+        s->pendingIn.clear();
+        s->pendingPos = 0;
+        s->readPaused = false;
+        if (s->inputEnded) {
+            s->queueClosed = true;
+            s->endInput();
+            enqueue(s);  // let the worker observe end of input
+        }
+    } else {
+        s->readPaused = true;  // queue full: TCP backpressure
+    }
+}
+
+void
+Server::processFrames(const std::shared_ptr<Session>& s)
+{
+    Frame f;
+    while (!s->closing && !s->readPaused) {
+        FrameParser::Result r = s->parser.next(f);
+        if (r == FrameParser::Result::NeedMore)
+            return;
+        if (r == FrameParser::Result::Error) {
+            protocolError(s, s->parser.error());
+            return;
+        }
+        switch (f.type) {
+          case FrameType::Data: {
+            if (s->inputEnded) {
+                protocolError(s, "Data frame after End");
+                return;
+            }
+            size_t inW = s->inWidth();
+            if (inW == 0) {
+                protocolError(s, "pipeline takes no input");
+                return;
+            }
+            if (f.payload.empty() || f.payload.size() % inW != 0) {
+                protocolError(
+                    s, "Data payload of " +
+                           std::to_string(f.payload.size()) +
+                           " byte(s) is not a positive multiple of the " +
+                           std::to_string(inW) + "-byte element width");
+                return;
+            }
+            ++s->rxFrames;
+            s->pendingIn.insert(s->pendingIn.end(), f.payload.begin(),
+                                f.payload.end());
+            tryFlushPending(s);
+            break;
+          }
+          case FrameType::End:
+            s->inputEnded = true;
+            tryFlushPending(s);
+            break;
+          case FrameType::Error:
+            // Client abort: nothing useful to send back.
+            s->evictOnClose = true;
+            closeNow(s);
+            return;
+          case FrameType::Hello:
+          case FrameType::Halt:
+            protocolError(s, std::string("unexpected ") +
+                                 frameTypeName(f.type) +
+                                 " frame from client");
+            return;
+        }
+    }
+}
+
+void
+Server::handleRead(const std::shared_ptr<Session>& s)
+{
+    if (s->closing || s->inputEnded || s->readPaused)
+        return;
+    uint8_t buf[64 * 1024];
+    long n = recvSome(s->fd(), buf, sizeof buf);
+    if (n > 0) {
+        s->rxBytes += static_cast<uint64_t>(n);
+        s->lastActivityNs = nowNs();
+        s->parser.feed(buf, static_cast<size_t>(n));
+        processFrames(s);
+    } else if (n == 0) {
+        if (s->parser.midFrame()) {
+            protocolError(s, "connection closed mid-frame");
+            return;
+        }
+        // Orderly half-close counts as End: drain and answer.
+        s->inputEnded = true;
+        tryFlushPending(s);
+    } else if (n == -2) {
+        s->evictOnClose = true;
+        closeNow(s);
+    }
+}
+
+void
+Server::handleWrite(const std::shared_ptr<Session>& s)
+{
+    size_t budget = kWriteBudget;
+    for (;;) {
+        if (s->outWire.size() == s->outWirePos) {
+            s->outWire.clear();
+            s->outWirePos = 0;
+            serviceSession(s);  // refill from raw output / queue trailer
+            if (s->closing && s->outWire.empty())
+                return;  // serviceSession closed it (or nothing left)
+            if (s->outWire.empty())
+                return;
+        }
+        if (budget == 0)
+            return;  // fairness: yield to the other sessions
+        size_t avail = s->outWire.size() - s->outWirePos;
+        size_t len = std::min(avail, budget);
+        ssize_t n = ::send(s->fd(), s->outWire.data() + s->outWirePos,
+                           len, MSG_NOSIGNAL);
+        if (n > 0) {
+            s->outWirePos += static_cast<size_t>(n);
+            s->txBytes += static_cast<uint64_t>(n);
+            s->lastActivityNs = nowNs();
+            budget -= std::min(budget, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // Peer went away mid-stream.
+        s->evictOnClose = true;
+        closeNow(s);
+        return;
+    }
+}
+
+void
+Server::serviceSession(const std::shared_ptr<Session>& s)
+{
+    // Re-lookup: a session may already have been closed this pass.
+    auto it = sessions_.find(s->fd());
+    if (it == sessions_.end() || it->second != s)
+        return;
+
+    tryFlushPending(s);
+
+    // A read pause can strand complete frames (including the client's
+    // End) inside the parser with the kernel buffer already drained, so
+    // no POLLIN edge will ever replay them: resume parsing here.
+    if (!s->closing && !s->readPaused)
+        processFrames(s);
+    auto it2 = sessions_.find(s->fd());
+    if (it2 == sessions_.end() || it2->second != s)
+        return;  // processFrames closed it (protocol error / client abort)
+
+    // Move raw output elements into framed wire bytes (bounded staging).
+    if (s->outWirePos > 0 && s->outWire.size() == s->outWirePos) {
+        s->outWire.clear();
+        s->outWirePos = 0;
+    }
+    size_t chunk = std::max(kDataChunk, s->outWidth());
+    bool drained = false;
+    std::vector<uint8_t> payload;
+    while (s->outWire.size() - s->outWirePos < kWireTarget) {
+        payload.clear();
+        if (s->takeOutput(payload, chunk) == 0)
+            break;
+        encodeFrame(s->outWire, FrameType::Data, payload);
+        ++s->txFrames;
+        drained = true;
+    }
+    if (drained)
+        enqueue(s);  // raw space freed: un-park an OutputFull worker
+
+    // Once the worker is done and the raw buffer is empty, append the
+    // trailer after any staged Data bytes.
+    if (!s->closing) {
+        Session::Completion c = s->completion();
+        if (c.finished && s->outputAvailable() == 0) {
+            if (c.failed) {
+                encodeError(s->outWire, c.failMessage.empty()
+                                            ? "session failed"
+                                            : c.failMessage);
+                ++s->txFrames;
+                s->evictOnClose = true;
+            } else {
+                if (c.halted && !c.ctrl.empty()) {
+                    encodeFrame(s->outWire, FrameType::Halt, c.ctrl);
+                    ++s->txFrames;
+                }
+                encodeFrame(s->outWire, FrameType::End);
+                ++s->txFrames;
+            }
+            s->closing = true;
+            s->closeDeadlineNs = nowNs() + kCloseGraceNs;
+        }
+    }
+
+    if (s->closing && s->outWire.size() == s->outWirePos)
+        closeNow(s);
+}
+
+void
+Server::protocolError(const std::shared_ptr<Session>& s,
+                      const std::string& msg)
+{
+    metrics::Registry::global().counter("server.protocol_errors").inc();
+    if (s->closing)
+        return;
+    encodeError(s->outWire, msg);
+    ++s->txFrames;
+    s->evictOnClose = true;
+    s->closing = true;
+    s->closeDeadlineNs = nowNs() + kCloseGraceNs;
+    s->cancel();  // stop the worker side; input is moot now
+}
+
+void
+Server::beginClose(const std::shared_ptr<Session>& s, bool evict,
+                   const std::string& errMsg)
+{
+    if (s->closing)
+        return;
+    if (!errMsg.empty()) {
+        encodeError(s->outWire, errMsg);
+        ++s->txFrames;
+    }
+    s->evictOnClose = evict;
+    s->closing = true;
+    s->closeDeadlineNs = nowNs() + kCloseGraceNs;
+    s->cancel();
+}
+
+void
+Server::closeNow(const std::shared_ptr<Session>& s)
+{
+    auto it = sessions_.find(s->fd());
+    if (it == sessions_.end() || it->second != s)
+        return;  // already closed
+    {
+        std::lock_guard<std::mutex> lk(schedMu_);
+        s->sched = Session::Sched::Dead;
+        s->again = false;
+    }
+    s->cancel();
+    ::close(s->fd());
+    sessions_.erase(it);
+
+    auto& reg = metrics::Registry::global();
+    reg.counter("server.rx.frames").add(s->rxFrames);
+    reg.counter("server.rx.bytes").add(s->rxBytes);
+    reg.counter("server.tx.frames").add(s->txFrames);
+    reg.counter("server.tx.bytes").add(s->txBytes);
+    if (s->evictOnClose) {
+        evicted_.fetch_add(1);
+        reg.counter("server.sessions.evicted").inc();
+    } else {
+        completed_.fetch_add(1);
+        reg.counter("server.sessions.completed").inc();
+    }
+    reg.gauge("server.sessions.active")
+        .set(static_cast<double>(sessions_.size()));
+}
+
+void
+Server::sweep()
+{
+    uint64_t now = nowNs();
+    std::vector<std::shared_ptr<Session>> doomed;
+    for (auto& kv : sessions_) {
+        auto& s = kv.second;
+        if (s->closing) {
+            if (now >= s->closeDeadlineNs)
+                doomed.push_back(s);
+        } else if (cfg_.idleTimeoutMs > 0 &&
+                   now - s->lastActivityNs >
+                       msToNs(cfg_.idleTimeoutMs)) {
+            beginClose(s, /*evict=*/true, "idle timeout");
+        }
+    }
+    for (auto& s : doomed)
+        closeNow(s);
+
+    if (cfg_.metricsIntervalMs > 0 &&
+        now - lastMetricsNs_ >= msToNs(cfg_.metricsIntervalMs)) {
+        lastMetricsNs_ = now;
+        dumpMetrics();
+    }
+}
+
+void
+Server::dumpMetrics()
+{
+    std::string json = metrics::toJson(metrics::Registry::global());
+    if (cfg_.metricsPath.empty()) {
+        std::fprintf(stderr, "%s\n", json.c_str());
+    } else {
+        std::ofstream f(cfg_.metricsPath, std::ios::app);
+        if (f)
+            f << json << "\n";
+    }
+}
+
+} // namespace serve
+} // namespace ziria

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The zserve server: a TCP accept loop, a poll()-based I/O thread, and
+ * an N-thread worker pool stepping every live session's pipeline
+ * cooperatively (round-robin run queue, bounded quantum per burst).
+ *
+ * Division of labor:
+ *  - the I/O thread owns every socket: it accepts connections (with
+ *    admission control — over the session cap a client is refused with
+ *    a protocol Error frame), decodes inbound wire frames into each
+ *    session's bounded input queue, frames buffered output back onto
+ *    the wire, applies idle timeouts, and closes finished sessions;
+ *  - workers pull Ready sessions off one shared run queue and step each
+ *    for one quantum; a session that blocks (input empty / output full)
+ *    parks until the I/O thread re-schedules it.  The scheduler state
+ *    machine (Parked/Queued/Running + a re-arm bit) guarantees a session
+ *    is stepped by at most one worker at a time and that a wakeup
+ *    arriving mid-burst is never lost.
+ *
+ * Faults stay session-local: a session whose pipeline throws is either
+ * re-armed in place (its own RestartSupervisor, per-session budget) or
+ * evicted with an Error frame — its neighbors' queues, pipelines and
+ * sockets are untouched (tests/test_serve.cpp asserts byte-identical
+ * neighbor output under injected faults).
+ *
+ * Observability: `server.sessions.{accepted,rejected,evicted,completed}`
+ * counters and the `server.sessions.active` gauge in the global metric
+ * registry, per-session byte/frame counters aggregated into
+ * `server.{rx,tx}.{frames,bytes}` on close, and an optional periodic
+ * JSON dump of the whole registry (docs/SERVING.md).
+ */
+#ifndef ZIRIA_ZSERVE_SERVER_H
+#define ZIRIA_ZSERVE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "zserve/session.h"
+#include "zserve/socket.h"
+
+namespace ziria {
+namespace serve {
+
+/** Server-wide configuration. */
+struct ServerConfig
+{
+    uint16_t port = 0;          ///< 0 = kernel-assigned (see Server::port)
+    int workers = 2;            ///< stepping threads
+    size_t maxSessions = 64;    ///< admission cap (reject above)
+    double idleTimeoutMs = 0;   ///< evict silent sessions (0 = never)
+    double metricsIntervalMs = 0;  ///< periodic registry JSON dump
+    std::string metricsPath;    ///< dump target ("" = stderr)
+    SessionConfig session;      ///< per-session knobs
+    FaultSpec fault;            ///< injected per-session fault (tests)
+    int64_t faultSession = -1;  ///< session index to fault (-1 = all)
+};
+
+class Server
+{
+  public:
+    /** Build one pipeline instance for a new session. */
+    using PipelineFactory =
+        std::function<std::unique_ptr<Pipeline>(uint64_t session_id)>;
+
+    /** Binds and listens immediately; port() is valid after this. */
+    Server(PipelineFactory factory, ServerConfig cfg);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /** Spawn the I/O thread and the worker pool. */
+    void start();
+
+    /** Stop accepting, cancel live sessions, join every thread. */
+    void stop();
+
+    uint16_t port() const { return port_; }
+
+    /** Aggregate session accounting (monotonic since construction). */
+    struct Counters
+    {
+        uint64_t accepted = 0;
+        uint64_t rejected = 0;   ///< refused at admission (session cap)
+        uint64_t evicted = 0;    ///< abnormal close (fault, protocol,
+                                 ///< idle timeout, client abort)
+        uint64_t completed = 0;  ///< orderly close (End delivered)
+        uint64_t active = 0;     ///< live right now
+    };
+    Counters counters() const;
+
+  private:
+    void ioLoop();
+    void workerLoop();
+    void enqueue(const std::shared_ptr<Session>& s);
+
+    // All of the below run on the I/O thread only.
+    void acceptPending();
+    void handleRead(const std::shared_ptr<Session>& s);
+    void handleWrite(const std::shared_ptr<Session>& s);
+    void processFrames(const std::shared_ptr<Session>& s);
+    void tryFlushPending(const std::shared_ptr<Session>& s);
+    void serviceSession(const std::shared_ptr<Session>& s);
+    void protocolError(const std::shared_ptr<Session>& s,
+                       const std::string& msg);
+    void beginClose(const std::shared_ptr<Session>& s, bool evict,
+                    const std::string& errMsg);
+    void closeNow(const std::shared_ptr<Session>& s);
+    void sweep();
+    void dumpMetrics();
+
+    PipelineFactory factory_;
+    ServerConfig cfg_;
+    SockFd listen_;
+    uint16_t port_ = 0;
+    Wakeup wake_;
+
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    std::thread ioThread_;
+    std::vector<std::thread> workers_;
+
+    // Sessions keyed by fd; owned by the I/O thread (workers hold
+    // shared_ptrs through the run queue only).
+    std::map<int, std::shared_ptr<Session>> sessions_;
+    uint64_t nextId_ = 0;
+    uint64_t lastMetricsNs_ = 0;
+
+    // Scheduler: one shared run queue.
+    mutable std::mutex schedMu_;
+    std::condition_variable schedCv_;
+    std::deque<std::shared_ptr<Session>> runq_;
+
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> evicted_{0};
+    std::atomic<uint64_t> completed_{0};
+};
+
+} // namespace serve
+} // namespace ziria
+
+#endif // ZIRIA_ZSERVE_SERVER_H

@@ -1,0 +1,164 @@
+#include "zserve/session.h"
+
+#include "support/metrics.h"
+
+namespace ziria {
+namespace serve {
+
+Session::Session(uint64_t id, int fd, std::unique_ptr<Pipeline> pipe,
+                 const SessionConfig& cfg, const FaultSpec& fault)
+    : id_(id), fd_(fd), pipe_(std::move(pipe)),
+      inW_(pipe_->inWidth()), outW_(pipe_->outWidth()), cfg_(cfg),
+      inQ_(inW_ ? inW_ : 1, cfg.inQueueElems),
+      stepper_(pipe_->root()), qsrc_(inQ_, inW_), fault_(fault),
+      fsrc_(qsrc_, fault), sup_(cfg.restart)
+{
+}
+
+Session::~Session() = default;
+
+bool
+Session::offerInput(const uint8_t* data, size_t n, size_t& consumed)
+{
+    consumed = 0;
+    while (consumed + inW_ <= n) {
+        if (inQ_.pushWait(data + consumed, 0) != QueueWait::Ready)
+            return false;  // queue full (or cancelled at teardown)
+        consumed += inW_;
+    }
+    return true;
+}
+
+size_t
+Session::outputAvailable()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return outRaw_.size() - outRawPos_;
+}
+
+size_t
+Session::takeOutput(std::vector<uint8_t>& out, size_t max_bytes)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t avail = outRaw_.size() - outRawPos_;
+    size_t take = std::min(avail, max_bytes);
+    if (outW_ > 0)
+        take -= take % outW_;  // whole elements only
+    if (take == 0)
+        return 0;
+    out.insert(out.end(), outRaw_.begin() + static_cast<long>(outRawPos_),
+               outRaw_.begin() + static_cast<long>(outRawPos_ + take));
+    outRawPos_ += take;
+    if (outRawPos_ == outRaw_.size()) {
+        outRaw_.clear();
+        outRawPos_ = 0;
+    }
+    return take;
+}
+
+Session::Completion
+Session::completion()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return done_;
+}
+
+void
+Session::cancel()
+{
+    fsrc_.cancel();  // unblocks a stall fault; also cancels the queue
+    inQ_.cancel();
+}
+
+StepResult
+Session::step()
+{
+    if (!started_) {
+        stepper_.start(pipe_->frame());
+        started_ = true;
+    }
+    // The fault decorator sits between the queue and the stepper, exactly
+    // where it sits between a capture file and a pipeline in zirrun.
+    InputSource& src =
+        fault_.enabled() ? static_cast<InputSource&>(fsrc_) : qsrc_;
+    auto pull = [&](const uint8_t** p) {
+        *p = src.next();
+        if (*p)
+            return Feed::Ready;
+        // A Truncate fault ends the stream without consulting the queue,
+        // so the queue-source state would be stale for that one case.
+        if (fault_.kind == FaultSpec::Kind::Truncate &&
+            fsrc_.ticks() >= fault_.tick)
+            return Feed::End;
+        return qsrc_.state();
+    };
+    bool overHighWater = false;
+    auto push = [&](const uint8_t* elem) {
+        std::lock_guard<std::mutex> lk(mu_);
+        outRaw_.insert(outRaw_.end(), elem, elem + outW_);
+        overHighWater = outRaw_.size() - outRawPos_ >= cfg_.outHighWaterBytes;
+        return !overHighWater;
+    };
+
+    try {
+        StepOutcome oc =
+            stepper_.drive(pipe_->frame(), pull, push, cfg_.stepQuantum);
+        switch (oc) {
+          case StepOutcome::Budget:
+            return StepResult::Again;
+          case StepOutcome::NeedInput:
+            return StepResult::NeedInput;
+          case StepOutcome::SinkFull:
+            return StepResult::OutputFull;
+          case StepOutcome::EndOfInput: {
+            std::lock_guard<std::mutex> lk(mu_);
+            done_.finished = true;
+            return StepResult::Finished;
+          }
+          case StepOutcome::Halted: {
+            std::lock_guard<std::mutex> lk(mu_);
+            done_.finished = true;
+            done_.halted = true;
+            const uint8_t* cp = stepper_.ctrlData();
+            if (cp && stepper_.ctrlWidth())
+                done_.ctrl.assign(cp, cp + stepper_.ctrlWidth());
+            return StepResult::Finished;
+          }
+        }
+        return StepResult::Again;  // unreachable
+    } catch (const std::exception& e) {
+        StageFailure f;
+        f.stage = 0;
+        f.path = "session" + std::to_string(id_);
+        f.cause = FailureCause::Exception;
+        f.message = e.what();
+        f.inner = std::current_exception();
+        metrics::Registry::global()
+            .counter("server.session.failures")
+            .inc();
+        if (sup_.onFailure(f)) {
+            // Re-arm in place at a frame boundary: node state discarded,
+            // the live input queue and buffered output kept — the crash
+            // costs at most the elements already consumed this frame.
+            stepper_.reset(pipe_->frame());
+            fsrc_.rearm();
+            restarts_.fetch_add(1);
+            metrics::Registry::global()
+                .counter("server.session.restarts")
+                .inc();
+            return StepResult::Again;
+        }
+        std::lock_guard<std::mutex> lk(mu_);
+        done_.finished = true;
+        done_.failed = true;
+        done_.failMessage = f.message;
+        if (f.restartsExhausted)
+            done_.failMessage +=
+                " (after " + std::to_string(f.restarts.size()) +
+                " restart(s))";
+        return StepResult::Failed;
+    }
+}
+
+} // namespace serve
+} // namespace ziria

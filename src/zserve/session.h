@@ -1,0 +1,222 @@
+/**
+ * @file
+ * One serving session: a client connection bound to its own compiled
+ * pipeline instance, stepped cooperatively by the server's worker pool.
+ *
+ * The paper's tick/proc model is what makes this cheap: a compiled
+ * pipeline is a re-enterable state machine that advances in constant
+ * space, so a session parked on an empty input queue or a full output
+ * buffer costs nothing until the I/O thread re-schedules it — hundreds
+ * of sessions multiplex over a handful of worker threads with no thread
+ * per session.
+ *
+ * Threading contract (enforced by the Server, audited for TSan):
+ *  - I/O-thread-only state: the socket fd, frame parser, pending input
+ *    bytes, read-pause flag, wire-output buffer, activity clock,
+ *    per-session byte/frame counters;
+ *  - worker-only state: the pipeline, stepper, queue-backed source and
+ *    its fault decorator, restart supervisor (at most one worker steps
+ *    a session at a time — the scheduler state machine guarantees it);
+ *  - shared, internally synchronized: the bounded SpscQueue of decoded
+ *    input elements (producer = I/O thread, consumer = worker) — this
+ *    is the per-session backpressure: queue full -> reads pause -> TCP
+ *    pushes back on the client;
+ *  - shared under mu: the raw output-element buffer (worker appends,
+ *    I/O thread drains into Data frames) and the completion flags;
+ *  - shared under the Server's scheduler mutex: the scheduling state.
+ *
+ * Per-session fault tolerance: an optional FaultSpec (reusing the
+ * FaultySource decorator unchanged) injects deterministic faults into
+ * one session's input, and an optional RestartPolicy gives each session
+ * its own RestartSupervisor — a faulted session is re-armed in place or
+ * evicted with an Error frame, while its neighbors' pipelines, queues,
+ * and sockets are untouched.
+ */
+#ifndef ZIRIA_ZSERVE_SESSION_H
+#define ZIRIA_ZSERVE_SESSION_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/spsc_queue.h"
+#include "zexec/faultpoint.h"
+#include "zexec/pipeline.h"
+#include "zexec/stepper.h"
+#include "zexec/supervisor.h"
+#include "zserve/wire.h"
+
+namespace ziria {
+namespace serve {
+
+/** Per-session tuning knobs (shared by every session of one server). */
+struct SessionConfig
+{
+    size_t inQueueElems = 1024;   ///< bounded input queue (backpressure)
+    size_t outHighWaterBytes = 256 * 1024;  ///< pause stepping above this
+    uint64_t stepQuantum = 8192;  ///< advance() budget per worker burst
+    RestartPolicy restart;        ///< per-session self-healing policy
+};
+
+/**
+ * InputSource over the session's bounded element queue, non-blocking:
+ * next() never waits — it reports Empty through state() so the stepper
+ * can park the session.  Wrapping it in a FaultySource (the decorator
+ * from zexec/faultpoint.h) gives per-session fault injection for free.
+ */
+class QueueSource : public InputSource
+{
+  public:
+    QueueSource(SpscQueue& q, size_t elem_width)
+        : q_(q), width_(elem_width), buf_(elem_width ? elem_width : 1)
+    {
+    }
+
+    const uint8_t*
+    next() override
+    {
+        if (width_ == 0) {
+            state_ = Feed::End;  // pipeline takes no input
+            return nullptr;
+        }
+        switch (q_.popWait(buf_.data(), 0)) {
+          case QueueWait::Ready:
+            state_ = Feed::Ready;
+            return buf_.data();
+          case QueueWait::Timeout:
+            state_ = Feed::Empty;
+            return nullptr;
+          default:  // Closed (input done and drained) or Cancelled
+            state_ = Feed::End;
+            return nullptr;
+        }
+    }
+
+    /** Why the last next() returned null (Empty vs End). */
+    Feed state() const { return state_; }
+
+  private:
+    SpscQueue& q_;
+    size_t width_;
+    std::vector<uint8_t> buf_;
+    Feed state_ = Feed::Empty;
+};
+
+/** What a worker burst decided about a session (scheduler verdict). */
+enum class StepResult : uint8_t
+{
+    Again,       ///< quantum spent, more work ready — requeue
+    NeedInput,   ///< input queue empty — park until the I/O thread feeds
+    OutputFull,  ///< output buffer over high water — park until drained
+    Finished,    ///< input drained or computation halted — flush & close
+    Failed,      ///< failure with restart budget spent — evict
+};
+
+class Session
+{
+  public:
+    Session(uint64_t id, int fd, std::unique_ptr<Pipeline> pipe,
+            const SessionConfig& cfg, const FaultSpec& fault);
+    ~Session();
+
+    uint64_t id() const { return id_; }
+    int fd() const { return fd_; }
+    size_t inWidth() const { return inW_; }
+    size_t outWidth() const { return outW_; }
+
+    // ---- worker side ------------------------------------------------
+
+    /** Step the pipeline for up to one quantum; see StepResult. */
+    StepResult step();
+
+    /** Restarts this session has consumed (worker/test side). */
+    uint32_t restarts() const { return restarts_.load(); }
+
+    // ---- I/O-thread side --------------------------------------------
+
+    /**
+     * Queue decoded Data-payload bytes for the pipeline.  Returns false
+     * when the bounded queue filled first — the caller must retry the
+     * remaining bytes later and pause socket reads (backpressure);
+     * @p consumed reports how many bytes were accepted either way.
+     */
+    bool offerInput(const uint8_t* data, size_t n, size_t& consumed);
+
+    /** Mark end of input (End frame / orderly half-close). */
+    void endInput() { inQ_.close(); }
+
+    /** Move up to @p max_bytes of buffered output into @p out. */
+    size_t takeOutput(std::vector<uint8_t>& out, size_t max_bytes);
+
+    /** Bytes of output currently buffered. */
+    size_t outputAvailable();
+
+    /** Completion state snapshot (all under the output mutex). */
+    struct Completion
+    {
+        bool finished = false;  ///< worker is done stepping
+        bool failed = false;    ///< ... because of an unrecoverable fault
+        bool halted = false;    ///< pipeline returned a control value
+        std::string failMessage;
+        std::vector<uint8_t> ctrl;
+    };
+    Completion completion();
+
+    /** Unblock a worker stuck in a stall fault / queue wait (teardown). */
+    void cancel();
+
+    // ---- I/O-thread-owned bookkeeping (unshared; see file comment) --
+
+    FrameParser parser;             ///< inbound wire decoder
+    std::vector<uint8_t> pendingIn; ///< payload bytes not yet queued
+    size_t pendingPos = 0;
+    bool readPaused = false;        ///< POLLIN off while the queue is full
+    bool inputEnded = false;        ///< End seen (no more Data accepted)
+    bool queueClosed = false;       ///< endInput() delivered to the queue
+    bool closing = false;           ///< trailer queued; close when drained
+    bool evictOnClose = false;      ///< count as evicted, not completed
+    uint64_t closeDeadlineNs = 0;   ///< force-close bound once closing
+    uint64_t lastActivityNs = 0;    ///< socket traffic clock (idle timer)
+    std::vector<uint8_t> outWire;   ///< framed bytes ready to send
+    size_t outWirePos = 0;
+    uint64_t rxFrames = 0, rxBytes = 0, txFrames = 0, txBytes = 0;
+
+    // ---- scheduler state (guarded by the Server's scheduler mutex) --
+
+    enum class Sched : uint8_t { Parked, Queued, Running, Dead };
+    Sched sched = Sched::Parked;
+    bool again = false;  ///< wake arrived while Running — requeue
+
+  private:
+    uint64_t id_;
+    int fd_;
+    std::unique_ptr<Pipeline> pipe_;
+    size_t inW_;
+    size_t outW_;
+    SessionConfig cfg_;
+
+    SpscQueue inQ_;
+
+    // Worker-only stepping machinery.
+    Stepper stepper_;
+    QueueSource qsrc_;
+    FaultSpec fault_;
+    FaultySource fsrc_;   // identity pass-through when fault_.kind==None
+    RestartSupervisor sup_;
+    bool started_ = false;
+    std::atomic<uint32_t> restarts_{0};
+
+    // Output buffer shared worker -> I/O thread.
+    std::mutex mu_;
+    std::vector<uint8_t> outRaw_;
+    size_t outRawPos_ = 0;
+    Completion done_;
+};
+
+} // namespace serve
+} // namespace ziria
+
+#endif // ZIRIA_ZSERVE_SESSION_H

@@ -1,0 +1,190 @@
+#include "zserve/wire.h"
+
+#include <cstring>
+
+namespace ziria {
+namespace serve {
+
+namespace {
+
+void
+putU32le(std::vector<uint8_t>& out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+getU32le(const uint8_t* p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+bool
+validType(uint8_t t)
+{
+    return t >= static_cast<uint8_t>(FrameType::Hello) &&
+           t <= static_cast<uint8_t>(FrameType::Error);
+}
+
+} // namespace
+
+const char*
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::Hello: return "hello";
+      case FrameType::Data: return "data";
+      case FrameType::End: return "end";
+      case FrameType::Halt: return "halt";
+      case FrameType::Error: return "error";
+    }
+    return "?";
+}
+
+void
+encodeFrame(std::vector<uint8_t>& out, FrameType type,
+            const uint8_t* payload, size_t len)
+{
+    out.reserve(out.size() + kHeaderBytes + len);
+    out.push_back(kMagic0);
+    out.push_back(kMagic1);
+    out.push_back(static_cast<uint8_t>(type));
+    out.push_back(0);  // flags
+    putU32le(out, static_cast<uint32_t>(len));
+    if (len)
+        out.insert(out.end(), payload, payload + len);
+}
+
+void
+encodeFrame(std::vector<uint8_t>& out, FrameType type,
+            const std::vector<uint8_t>& payload)
+{
+    encodeFrame(out, type, payload.data(), payload.size());
+}
+
+void
+encodeFrame(std::vector<uint8_t>& out, FrameType type)
+{
+    encodeFrame(out, type, nullptr, 0);
+}
+
+void
+encodeError(std::vector<uint8_t>& out, const std::string& message)
+{
+    size_t len = std::min(message.size(), kMaxPayload);
+    encodeFrame(out, FrameType::Error,
+                reinterpret_cast<const uint8_t*>(message.data()), len);
+}
+
+void
+encodeHello(std::vector<uint8_t>& out, uint32_t in_width,
+            uint32_t out_width)
+{
+    std::vector<uint8_t> payload;
+    putU32le(payload, kProtocolVersion);
+    putU32le(payload, in_width);
+    putU32le(payload, out_width);
+    encodeFrame(out, FrameType::Hello, payload);
+}
+
+bool
+decodeHello(const std::vector<uint8_t>& payload, HelloInfo& info)
+{
+    if (payload.size() != 12)
+        return false;
+    info.version = getU32le(payload.data());
+    info.inWidth = getU32le(payload.data() + 4);
+    info.outWidth = getU32le(payload.data() + 8);
+    return true;
+}
+
+void
+FrameParser::feed(const uint8_t* data, size_t n)
+{
+    if (failed_ || n == 0)
+        return;
+    // Compact the consumed prefix before growing so a long-lived session
+    // does not accumulate every byte it ever received.
+    if (pos_ > 0) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameParser::Result
+FrameParser::fail(const std::string& msg)
+{
+    failed_ = true;
+    error_ = msg;
+    buf_.clear();
+    pos_ = 0;
+    return Result::Error;
+}
+
+FrameParser::Result
+FrameParser::next(Frame& out)
+{
+    if (failed_)
+        return Result::Error;
+    const size_t avail = buf_.size() - pos_;
+    if (avail < kHeaderBytes)
+        return Result::NeedMore;
+    const uint8_t* h = buf_.data() + pos_;
+    if (h[0] != kMagic0 || h[1] != kMagic1)
+        return fail("bad frame magic");
+    if (!validType(h[2]))
+        return fail("unknown frame type " + std::to_string(h[2]));
+    if (h[3] != 0)
+        return fail("non-zero frame flags");
+    const uint32_t len = getU32le(h + 4);
+    if (len > kMaxPayload)
+        return fail("oversized frame payload (" + std::to_string(len) +
+                    " bytes, cap " + std::to_string(kMaxPayload) + ")");
+    if (avail < kHeaderBytes + len)
+        return Result::NeedMore;
+    out.type = static_cast<FrameType>(h[2]);
+    out.payload.assign(h + kHeaderBytes, h + kHeaderBytes + len);
+    pos_ += kHeaderBytes + len;
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    }
+    return Result::Frame;
+}
+
+bool
+decodeDatagram(const uint8_t* data, size_t n, Frame& out,
+               std::string* error)
+{
+    auto fail = [&](const char* msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    if (n < kHeaderBytes)
+        return fail("datagram shorter than a frame header");
+    if (data[0] != kMagic0 || data[1] != kMagic1)
+        return fail("bad frame magic");
+    if (!validType(data[2]))
+        return fail("unknown frame type");
+    if (data[3] != 0)
+        return fail("non-zero frame flags");
+    const uint32_t len = getU32le(data + 4);
+    if (len > kMaxPayload)
+        return fail("oversized frame payload");
+    if (n != kHeaderBytes + len)
+        return fail("datagram length disagrees with frame header");
+    out.type = static_cast<FrameType>(data[2]);
+    out.payload.assign(data + kHeaderBytes, data + n);
+    return true;
+}
+
+} // namespace serve
+} // namespace ziria

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The zserve wire protocol: a length-prefixed frame layer carrying
+ * Ziria stream elements over a byte stream (TCP) or datagrams (UDP).
+ *
+ * Every frame is an 8-byte header followed by a payload:
+ *
+ *     offset  size  field
+ *     0       1     magic0 'Z' (0x5A)
+ *     1       1     magic1 'S' (0x53)
+ *     2       1     type   (FrameType)
+ *     3       1     flags  (must be 0 in version 1)
+ *     4       4     payload length, unsigned little-endian
+ *
+ * Frame types:
+ *   Hello  server -> client on accept; payload is three u32le fields:
+ *          protocol version (1), input element width, output element
+ *          width.  A client uses the widths to size Data payloads.
+ *   Data   stream elements; the payload length must be a non-zero
+ *          multiple of the element width for its direction.
+ *   End    end of stream.  Client -> server: no more input (the server
+ *          drains the pipeline and answers with its own End).  Server ->
+ *          client: all output has been sent; the connection closes next.
+ *   Halt   server -> client before End when the pipeline's computation
+ *          returned; the payload is the control value's bytes.
+ *   Error  fatal condition; payload is a human-readable UTF-8 message.
+ *          The sender closes the connection after an Error frame.
+ *
+ * Payloads are capped (kMaxPayload) so a hostile or corrupted length
+ * field cannot make the receiver allocate unbounded memory; the parser
+ * rejects bad magic, unknown types, non-zero flags and oversized lengths
+ * with a sticky error instead of resynchronizing (a desync on a stream
+ * socket is unrecoverable anyway).
+ */
+#ifndef ZIRIA_ZSERVE_WIRE_H
+#define ZIRIA_ZSERVE_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ziria {
+namespace serve {
+
+constexpr uint8_t kMagic0 = 0x5A;  // 'Z'
+constexpr uint8_t kMagic1 = 0x53;  // 'S'
+constexpr uint32_t kProtocolVersion = 1;
+constexpr size_t kHeaderBytes = 8;
+/** Upper bound on any frame payload (1 MiB). */
+constexpr size_t kMaxPayload = 1u << 20;
+
+enum class FrameType : uint8_t {
+    Hello = 1,
+    Data = 2,
+    End = 3,
+    Halt = 4,
+    Error = 5,
+};
+
+/** Short lowercase name ("hello", "data", ...). */
+const char* frameTypeName(FrameType t);
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Data;
+    std::vector<uint8_t> payload;
+};
+
+/** Append the encoded frame (header + payload) to @p out. */
+void encodeFrame(std::vector<uint8_t>& out, FrameType type,
+                 const uint8_t* payload, size_t len);
+
+/** Convenience overloads. */
+void encodeFrame(std::vector<uint8_t>& out, FrameType type,
+                 const std::vector<uint8_t>& payload);
+void encodeFrame(std::vector<uint8_t>& out, FrameType type);
+
+/** Encode an Error frame carrying @p message. */
+void encodeError(std::vector<uint8_t>& out, const std::string& message);
+
+/** Encode the Hello frame for the given element widths. */
+void encodeHello(std::vector<uint8_t>& out, uint32_t in_width,
+                 uint32_t out_width);
+
+/** Fields of a decoded Hello payload. */
+struct HelloInfo
+{
+    uint32_t version = 0;
+    uint32_t inWidth = 0;
+    uint32_t outWidth = 0;
+};
+
+/** Parse a Hello payload; false if it is malformed. */
+bool decodeHello(const std::vector<uint8_t>& payload, HelloInfo& info);
+
+/**
+ * Incremental frame decoder for a byte stream.  Feed raw socket bytes
+ * in any fragmentation; pull whole frames with next().  Errors are
+ * sticky: after Result::Error the parser stays in the error state and
+ * error() describes the first violation.
+ */
+class FrameParser
+{
+  public:
+    enum class Result : uint8_t {
+        NeedMore,  ///< no complete frame buffered yet
+        Frame,     ///< one frame written to the out-parameter
+        Error,     ///< protocol violation; see error()
+    };
+
+    /** Buffer @p n raw bytes from the peer. */
+    void feed(const uint8_t* data, size_t n);
+
+    /** Extract the next complete frame, if any. */
+    Result next(Frame& out);
+
+    /**
+     * True when buffered bytes form an incomplete frame — detecting a
+     * connection that closed mid-frame (truncated stream).
+     */
+    bool midFrame() const { return !failed_ && !buf_.empty(); }
+
+    bool failed() const { return failed_; }
+    const std::string& error() const { return error_; }
+
+  private:
+    Result fail(const std::string& msg);
+
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;  // consumed prefix of buf_
+    bool failed_ = false;
+    std::string error_;
+};
+
+/**
+ * Decode one datagram as a single frame (UDP variant: one frame per
+ * datagram, no streaming reassembly).  Returns false and fills @p error
+ * on malformed input; a datagram with trailing bytes after the declared
+ * payload is malformed.
+ */
+bool decodeDatagram(const uint8_t* data, size_t n, Frame& out,
+                    std::string* error = nullptr);
+
+} // namespace serve
+} // namespace ziria
+
+#endif // ZIRIA_ZSERVE_WIRE_H

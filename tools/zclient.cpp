@@ -1,0 +1,490 @@
+/**
+ * @file
+ * `zclient` — rate-paced capture player for the zserve streaming server
+ * (docs/SERVING.md).
+ *
+ * Connects to a zirrun --listen server, reads the Hello frame for the
+ * element widths, streams Data frames (from a capture file or a
+ * deterministic pseudo-random generator), sends End, and drains the
+ * server's output until its End.  A reader thread collects output
+ * concurrently, so a slow server or a deep pipeline never deadlocks the
+ * client against its own unread output.
+ *
+ * Usage:
+ *   zclient --port P [--host H] [--frames N] [--elems-per-frame M]
+ *           [--rate ELEMS_PER_SEC] [--input FILE] [--seed S]
+ *           [--slow-read-ms MS] [--abort-midframe] [--hold-ms MS]
+ *           [--expect-bytes FILE] [--out FILE] [--json] [--quiet]
+ *
+ *   --rate            pace input at this many elements/second (0 = as
+ *                     fast as the socket accepts; default 0)
+ *   --input FILE      stream raw bytes from FILE instead of generated
+ *                     data (truncated to whole frames)
+ *   --slow-read-ms    sleep between output reads — a deliberately slow
+ *                     reader, for backpressure testing
+ *   --abort-midframe  after half the frames, send a truncated frame and
+ *                     hard-close (server robustness testing)
+ *   --hold-ms         after Hello, hold the connection idle this long
+ *                     before streaming (idle-timeout / session-cap
+ *                     testing)
+ *   --out FILE        write received output bytes to FILE
+ *   --expect-bytes F  compare received output against FILE; mismatch
+ *                     exits 1
+ *   --json            print a one-line JSON result record
+ *
+ * When the pipeline is element-count-preserving (output elements ==
+ * input elements, e.g. the WiFi scrambler), per-frame round-trip
+ * latency is measured: the time from sending a frame to receiving the
+ * last output element it maps to; p50/p99 are reported.
+ *
+ * Exit codes: 0 success (server End received), 1 output mismatch or
+ * internal error, 2 usage error, 3 server sent an Error frame.
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <algorithm>
+
+#include "support/rng.h"
+#include "support/timing.h"
+#include "zserve/socket.h"
+#include "zserve/wire.h"
+
+using namespace ziria;
+using namespace ziria::serve;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: zclient --port P [--host H] [--frames N] "
+        "[--elems-per-frame M]\n"
+        "               [--rate ELEMS_PER_SEC] [--input FILE] "
+        "[--seed S]\n"
+        "               [--slow-read-ms MS] [--abort-midframe] "
+        "[--hold-ms MS]\n"
+        "               [--expect-bytes FILE] [--out FILE] [--json] "
+        "[--quiet]\n"
+        "exit codes: 0 ok, 1 mismatch/internal, 2 usage, "
+        "3 server error frame\n");
+    return 2;
+}
+
+/** Everything the reader thread learns from the server's stream. */
+struct ReaderState
+{
+    std::mutex mu;
+    std::vector<uint8_t> out;      ///< received output bytes
+    std::vector<uint8_t> ctrl;     ///< Halt payload, if any
+    std::string error;             ///< Error frame payload, if any
+    bool endSeen = false;
+    bool closed = false;           ///< connection closed (any reason)
+    uint64_t frames = 0;
+    // Latency bookkeeping: arrival times are matched against per-frame
+    // output-element thresholds by the main thread after the run.
+    std::vector<std::pair<uint64_t, uint64_t>> arrivals;  ///< (elems, ns)
+};
+
+void
+readerLoop(int fd, size_t outW, long slowReadMs, ReaderState* st)
+{
+    FrameParser parser;
+    Frame f;
+    uint8_t buf[64 * 1024];
+    uint64_t outElems = 0;
+    for (;;) {
+        for (;;) {
+            FrameParser::Result r = parser.next(f);
+            if (r == FrameParser::Result::NeedMore)
+                break;
+            std::lock_guard<std::mutex> lk(st->mu);
+            if (r == FrameParser::Result::Error) {
+                st->error = "protocol error: " + parser.error();
+                st->closed = true;
+                return;
+            }
+            switch (f.type) {
+              case FrameType::Hello:
+                break;  // already consumed by the caller normally
+              case FrameType::Data:
+                st->out.insert(st->out.end(), f.payload.begin(),
+                               f.payload.end());
+                ++st->frames;
+                if (outW)
+                    outElems += f.payload.size() / outW;
+                st->arrivals.emplace_back(outElems, nowNs());
+                break;
+              case FrameType::Halt:
+                st->ctrl = f.payload;
+                break;
+              case FrameType::Error:
+                st->error.assign(f.payload.begin(), f.payload.end());
+                st->closed = true;
+                return;
+              case FrameType::End:
+                st->endSeen = true;
+                st->closed = true;
+                return;
+            }
+        }
+        if (slowReadMs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(slowReadMs));
+        long n = recvSome(fd, buf, sizeof buf);
+        if (n > 0) {
+            parser.feed(buf, static_cast<size_t>(n));
+        } else if (n == -1) {
+            // Blocking socket: recv only returns -1/EAGAIN if a timeout
+            // is set; treat as retry.
+            continue;
+        } else {
+            std::lock_guard<std::mutex> lk(st->mu);
+            if (n == 0 && parser.midFrame())
+                st->error = "connection closed mid-frame";
+            else if (n == -2)
+                st->error = "connection error";
+            st->closed = true;
+            return;
+        }
+    }
+}
+
+double
+percentileMs(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    size_t idx = static_cast<size_t>(p * static_cast<double>(v.size()));
+    if (idx >= v.size())
+        idx = v.size() - 1;
+    return v[idx];
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string host = "127.0.0.1";
+    long port = 0;
+    uint64_t frames = 16;
+    uint64_t elemsPerFrame = 256;
+    double rate = 0;
+    std::string inputPath, expectPath, outPath;
+    uint64_t seed = 1;
+    long slowReadMs = 0;
+    long holdMs = 0;
+    bool abortMidframe = false;
+    bool json = false;
+    bool quiet = false;
+
+    auto needVal = [&](int& i) -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        const char* v = nullptr;
+        if (a == "--port" && (v = needVal(i))) {
+            port = std::atol(v);
+        } else if (a == "--host" && (v = needVal(i))) {
+            host = v;
+        } else if (a == "--frames" && (v = needVal(i))) {
+            frames = std::strtoull(v, nullptr, 10);
+        } else if (a == "--elems-per-frame" && (v = needVal(i))) {
+            elemsPerFrame = std::strtoull(v, nullptr, 10);
+        } else if (a == "--rate" && (v = needVal(i))) {
+            rate = std::atof(v);
+        } else if (a == "--input" && (v = needVal(i))) {
+            inputPath = v;
+        } else if (a == "--seed" && (v = needVal(i))) {
+            seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--slow-read-ms" && (v = needVal(i))) {
+            slowReadMs = std::atol(v);
+        } else if (a == "--hold-ms" && (v = needVal(i))) {
+            holdMs = std::atol(v);
+        } else if (a == "--abort-midframe") {
+            abortMidframe = true;
+        } else if (a == "--expect-bytes" && (v = needVal(i))) {
+            expectPath = v;
+        } else if (a == "--out" && (v = needVal(i))) {
+            outPath = v;
+        } else if (a == "--json") {
+            json = true;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "zclient: unknown option %s\n",
+                         a.c_str());
+            return usage();
+        }
+    }
+    if (port <= 0 || port > 65535 || elemsPerFrame == 0) {
+        std::fprintf(stderr, "zclient: --port is required\n");
+        return usage();
+    }
+
+    SockFd sock;
+    try {
+        sock = connectTcp(host, static_cast<uint16_t>(port));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "zclient: %s\n", e.what());
+        return 1;
+    }
+
+    // Read the Hello frame synchronously for the element widths.  An
+    // Error frame here is an admission rejection (server full).
+    FrameParser parser;
+    Frame hello;
+    uint32_t inW = 0, outW = 0;
+    {
+        uint8_t buf[4096];
+        for (;;) {
+            FrameParser::Result r = parser.next(hello);
+            if (r == FrameParser::Result::Frame)
+                break;
+            if (r == FrameParser::Result::Error) {
+                std::fprintf(stderr, "zclient: protocol error: %s\n",
+                             parser.error().c_str());
+                return 1;
+            }
+            long n = recvSome(sock.get(), buf, sizeof buf);
+            if (n > 0) {
+                parser.feed(buf, static_cast<size_t>(n));
+            } else if (n != -1) {
+                std::fprintf(stderr,
+                             "zclient: connection closed before "
+                             "Hello\n");
+                return 1;
+            }
+        }
+        if (hello.type == FrameType::Error) {
+            std::string msg(hello.payload.begin(), hello.payload.end());
+            if (!quiet)
+                std::fprintf(stderr, "zclient: server error: %s\n",
+                             msg.c_str());
+            if (json)
+                std::printf("{\"error\":\"%s\"}\n", msg.c_str());
+            return 3;
+        }
+        HelloInfo hi;
+        if (hello.type != FrameType::Hello ||
+            !decodeHello(hello.payload, hi) ||
+            hi.version != kProtocolVersion) {
+            std::fprintf(stderr, "zclient: bad Hello frame\n");
+            return 1;
+        }
+        inW = hi.inWidth;
+        outW = hi.outWidth;
+    }
+    if (!quiet && !json)
+        std::printf("connected: in-width %u, out-width %u\n", inW, outW);
+
+    if (holdMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(holdMs));
+
+    // Build the input: FILE bytes or deterministic pseudo-random data
+    // (bit-shaped for 1-byte elements, matching zirrun's generator).
+    std::vector<uint8_t> input;
+    if (!inputPath.empty()) {
+        std::ifstream f(inputPath, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "zclient: cannot open %s\n",
+                         inputPath.c_str());
+            return 2;
+        }
+        input.assign(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+        uint64_t frameBytes = elemsPerFrame * inW;
+        if (frameBytes > 0)
+            frames = input.size() / frameBytes;  // whole frames only
+        if (frames == 0 && !input.empty() && inW > 0) {
+            // Short capture: send it as one (smaller) frame.
+            frames = 1;
+            elemsPerFrame = input.size() / inW;
+            if (elemsPerFrame == 0) {
+                std::fprintf(stderr,
+                             "zclient: %s holds less than one element\n",
+                             inputPath.c_str());
+                return 2;
+            }
+        }
+    } else if (inW > 0) {
+        Rng rng(seed);
+        input.resize(frames * elemsPerFrame * inW);
+        bool bitStream = inW == 1;
+        for (auto& b : input)
+            b = bitStream ? rng.bit() : static_cast<uint8_t>(rng.next());
+    } else {
+        frames = 0;  // source-style pipeline: nothing to send
+    }
+
+    ReaderState st;
+    std::thread reader(readerLoop, sock.get(), static_cast<size_t>(outW),
+                       slowReadMs, &st);
+
+    uint64_t frameBytes = elemsPerFrame * inW;
+    std::vector<uint64_t> sendNs;
+    sendNs.reserve(frames);
+    uint64_t t0 = nowNs();
+    double interFrameNs =
+        rate > 0 ? static_cast<double>(elemsPerFrame) / rate * 1e9 : 0;
+    bool sendFailed = false;
+    bool aborted = false;
+
+    for (uint64_t k = 0; k < frames && !sendFailed; ++k) {
+        {
+            std::lock_guard<std::mutex> lk(st.mu);
+            if (st.closed)
+                break;  // server ended early (error / eviction)
+        }
+        if (abortMidframe && k >= frames / 2) {
+            // Write a header promising more payload than we send, then
+            // hard-close: the server must detect the truncated stream.
+            std::vector<uint8_t> wire;
+            encodeFrame(wire, FrameType::Data, input.data(),
+                        static_cast<size_t>(frameBytes));
+            wire.resize(wire.size() / 2);
+            (void)sendAll(sock.get(), wire.data(), wire.size());
+            aborted = true;
+            break;
+        }
+        std::vector<uint8_t> wire;
+        encodeFrame(wire, FrameType::Data, input.data() + k * frameBytes,
+                    static_cast<size_t>(frameBytes));
+        if (!sendAll(sock.get(), wire.data(), wire.size())) {
+            sendFailed = true;
+            break;
+        }
+        sendNs.push_back(nowNs());
+        if (interFrameNs > 0) {
+            uint64_t target =
+                t0 + static_cast<uint64_t>(interFrameNs *
+                                           static_cast<double>(k + 1));
+            uint64_t now = nowNs();
+            if (target > now)
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(target - now));
+        }
+    }
+
+    if (aborted) {
+        sock.reset();  // hard close, no End
+        reader.join();
+        if (!quiet && !json)
+            std::printf("aborted mid-frame after %llu frame(s)\n",
+                        static_cast<unsigned long long>(frames / 2));
+        if (json)
+            std::printf("{\"aborted\":true}\n");
+        return 0;
+    }
+
+    if (!sendFailed) {
+        std::vector<uint8_t> wire;
+        encodeFrame(wire, FrameType::End);
+        sendFailed = !sendAll(sock.get(), wire.data(), wire.size());
+    }
+
+    reader.join();
+    uint64_t t1 = nowNs();
+
+    // Harvest reader results (thread joined: no lock needed).
+    if (!outPath.empty()) {
+        std::ofstream f(outPath, std::ios::binary);
+        f.write(reinterpret_cast<const char*>(st.out.data()),
+                static_cast<std::streamsize>(st.out.size()));
+    }
+    if (!st.error.empty()) {
+        if (!quiet)
+            std::fprintf(stderr, "zclient: server error: %s\n",
+                         st.error.c_str());
+        if (json)
+            std::printf("{\"error\":\"%s\"}\n", st.error.c_str());
+        return 3;
+    }
+    if (!st.endSeen) {
+        std::fprintf(stderr, "zclient: connection ended without End\n");
+        return 1;
+    }
+
+    // Latency: valid when the pipeline preserves element counts.
+    uint64_t sentElems = sendNs.size() * elemsPerFrame;
+    uint64_t recvElems = outW ? st.out.size() / outW : 0;
+    std::vector<double> latMs;
+    if (sentElems > 0 && sentElems == recvElems) {
+        size_t a = 0;
+        for (size_t k = 0; k < sendNs.size(); ++k) {
+            uint64_t threshold = (k + 1) * elemsPerFrame;
+            while (a < st.arrivals.size() &&
+                   st.arrivals[a].first < threshold)
+                ++a;
+            if (a < st.arrivals.size())
+                latMs.push_back(
+                    static_cast<double>(st.arrivals[a].second -
+                                        sendNs[k]) /
+                    1e6);
+        }
+    }
+    double wallMs = static_cast<double>(t1 - t0) / 1e6;
+    double eps = wallMs > 0 ? static_cast<double>(sentElems) /
+                                  (wallMs / 1e3)
+                            : 0;
+    double p50 = percentileMs(latMs, 0.50);
+    double p99 = percentileMs(latMs, 0.99);
+
+    int rc = 0;
+    std::string note;
+    if (!expectPath.empty()) {
+        std::ifstream f(expectPath, std::ios::binary);
+        std::vector<uint8_t> want(
+            (std::istreambuf_iterator<char>(f)),
+            std::istreambuf_iterator<char>());
+        if (want != st.out) {
+            note = "output mismatch vs " + expectPath;
+            rc = 1;
+        }
+    }
+
+    if (json) {
+        std::printf("{\"sent_elems\":%llu,\"recv_elems\":%llu,"
+                    "\"recv_frames\":%llu,\"wall_ms\":%.3f,"
+                    "\"elems_per_sec\":%.0f,\"latency_p50_ms\":%.3f,"
+                    "\"latency_p99_ms\":%.3f,\"halted\":%s,"
+                    "\"match\":%s}\n",
+                    static_cast<unsigned long long>(sentElems),
+                    static_cast<unsigned long long>(recvElems),
+                    static_cast<unsigned long long>(st.frames), wallMs,
+                    eps, p50, p99, st.ctrl.empty() ? "false" : "true",
+                    rc == 0 ? "true" : "false");
+    } else if (!quiet) {
+        std::printf("sent %llu element(s) in %zu frame(s); received "
+                    "%llu element(s) in %llu frame(s)\n",
+                    static_cast<unsigned long long>(sentElems),
+                    sendNs.size(),
+                    static_cast<unsigned long long>(recvElems),
+                    static_cast<unsigned long long>(st.frames));
+        std::printf("wall %.2f ms, %.0f elems/s", wallMs, eps);
+        if (!latMs.empty())
+            std::printf(", frame latency p50 %.3f ms p99 %.3f ms", p50,
+                        p99);
+        std::printf("\n");
+        if (!st.ctrl.empty())
+            std::printf("pipeline halted with a %zu-byte control "
+                        "value\n", st.ctrl.size());
+        if (!note.empty())
+            std::printf("%s\n", note.c_str());
+    }
+    return rc;
+}
