@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "zexec/span.h"
 #include "zexpr/natives.h"
 
 using namespace ziria;
@@ -119,7 +120,9 @@ nsPerDatum(const CompPtr& c, uint64_t n_data, bool fuse_maps = false,
  * scripts/check_overhead.sh.  Reports ns/datum for a pipe-heavy
  * workload with instrumentation support compiled in but disabled (the
  * default execution path) and, for reference, with per-node counters
- * enabled.  Output is machine-readable key/value lines.
+ * enabled; then the same comparison for the frame-span tracker
+ * (zexec/span.h): no tracker attached (one null check per element) vs
+ * one attached.  Output is machine-readable key/value lines.
  */
 int
 overheadCheck()
@@ -138,6 +141,28 @@ overheadCheck()
     printf("ns_per_datum_enabled %.2f\n", enabled);
     printf("instrument_on_overhead_pct %.1f\n",
            (enabled / disabled - 1.0) * 100.0);
+
+    // Span off-path: one compiled pipeline, alternating between no
+    // tracker (the production default) and a tracker with the default
+    // 256-element frame.
+    auto p = compilePipeline(pipeChainRepeat(CHAIN),
+                             CompilerOptions::forLevel(OptLevel::None));
+    static std::vector<uint8_t> input = doubleInput(4096);
+    timePipeline(*p, input, N / 4);
+    double spansOff = 1e18, spansOn = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+        spansOff = std::min(spansOff, timePipeline(*p, input, N) * 1e9 /
+                                          static_cast<double>(N));
+        auto spans = std::make_shared<SpanTracker>(SpanConfig{});
+        p->setSpans(spans);
+        spansOn = std::min(spansOn, timePipeline(*p, input, N) * 1e9 /
+                                        static_cast<double>(N));
+        p->setSpans(nullptr);
+    }
+    printf("ns_per_datum_spans_off %.2f\n", spansOff);
+    printf("ns_per_datum_spans_on %.2f\n", spansOn);
+    printf("spans_on_overhead_pct %.1f\n",
+           (spansOn / spansOff - 1.0) * 100.0);
     return 0;
 }
 

@@ -15,10 +15,12 @@
  * plays the role of the achievable line rate).
  */
 #include <algorithm>
+#include <fstream>
 
 #include "bench_util.h"
 
 #include "sora/sora.h"
+#include "support/metrics.h"
 
 using namespace ziria;
 using namespace ziria::wifi;
@@ -102,12 +104,51 @@ cdfOf(std::vector<uint64_t>& ts)
     return c;
 }
 
-void
-printRow(const char* name, const Cdf& c)
+/** One emitted row, kept for the machine-readable dump. */
+struct Row
 {
-    printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f%% %9.3f%%\n", name,
-           c.p50, c.p90, c.p99, c.p999, c.max, c.fracAbove1,
-           c.fracAbove2);
+    std::string series;  ///< "tx_read" | "tx_write" | "rx_read"
+    std::string rate;
+    Cdf cdf;
+};
+
+std::vector<Row> g_rows;
+
+void
+printRow(const char* series, const std::string& name, const Cdf& c)
+{
+    printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f%% %9.3f%%\n",
+           name.c_str(), c.p50, c.p90, c.p99, c.p999, c.max,
+           c.fracAbove1, c.fracAbove2);
+    g_rows.push_back(Row{series, name, c});
+}
+
+void
+writeJson()
+{
+    metrics::JsonWriter w;
+    w.beginObject();
+    w.field("benchmark", "fig7_latency");
+    w.field("normalization", "per-chunk gap over its mean");
+    w.beginArray("rows");
+    for (const auto& r : g_rows) {
+        w.beginObject();
+        w.field("series", r.series);
+        w.field("rate", r.rate);
+        w.field("p50", r.cdf.p50);
+        w.field("p90", r.cdf.p90);
+        w.field("p99", r.cdf.p99);
+        w.field("p999", r.cdf.p999);
+        w.field("max", r.cdf.max);
+        w.field("pct_above_1x", r.cdf.fracAbove1);
+        w.field("pct_above_2x", r.cdf.fracAbove2);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::ofstream f("BENCH_fig7.json");
+    f << w.str() << "\n";
+    printf("wrote BENCH_fig7.json\n");
 }
 
 void
@@ -142,7 +183,7 @@ main()
             NullSink sink;
             p->run(tsrc, sink);
         }
-        printRow(("TX" + std::to_string(rateInfo(rate).mbps)).c_str(),
+        printRow("tx_read", "TX" + std::to_string(rateInfo(rate).mbps),
                  cdfOf(rts));
     }
 
@@ -159,7 +200,7 @@ main()
             TimedSink sink(wts);
             p->run(src, sink);
         }
-        printRow(("TX" + std::to_string(rateInfo(rate).mbps)).c_str(),
+        printRow("tx_write", "TX" + std::to_string(rateInfo(rate).mbps),
                  cdfOf(wts));
     }
 
@@ -177,9 +218,11 @@ main()
             NullSink sink;
             p->run(tsrc, sink);
         }
-        printRow(("RX" + std::to_string(rateInfo(rate).mbps)).c_str(),
+        printRow("rx_read", "RX" + std::to_string(rateInfo(rate).mbps),
                  cdfOf(rts));
     }
+
+    writeJson();
 
     printf("\n=> paper shape: TX reads highly nonuniform (whole-symbol "
            "stalls before the\n   IFFT), TX writes far more uniform, and "

@@ -5,6 +5,8 @@
  * Usage:
  *   zirrun FILE.zir [--opt none|vect|all] [--dump] [--bytes N]
  *                   [--profile[=FILE]] [--trace-passes[=N]]
+ *                   [--latency-budget-us N] [--trace-timeline FILE]
+ *                   [--span-frame N]
  *                   [--deadline-ms N] [--inject-fault SPEC]
  *
  * The pipeline's input stream is fed with deterministic pseudo-random
@@ -19,6 +21,22 @@
  * pass to stderr (N >= 2 also dumps the AST between passes).  Leveled
  * diagnostics are controlled by the ZIRIA_LOG environment variable
  * (error|warn|info|debug|trace); see docs/OBSERVABILITY.md.
+ *
+ * Latency observability (docs/OBSERVABILITY.md):
+ *   --latency-budget-us N  per-frame SLO: each frame span that closes
+ *                      within N microseconds counts `latency.budget.met`,
+ *                      the rest `latency.budget.missed` — distinct from
+ *                      --deadline-ms, which is a liveness watchdog
+ *   --trace-timeline FILE  record stage slices, frame spans, restarts,
+ *                      and scheduler dwell; written as chrome://tracing
+ *                      / Perfetto JSON on exit
+ *   --span-frame N     input elements per tracked frame span (default
+ *                      256)
+ * Frame spans are enabled whenever --profile, --latency-budget-us, or
+ * --trace-timeline is given; latency percentiles (p50/p90/p99/p999 of
+ * source→sink time per frame) land in `latency.e2e_ns` in the registry
+ * and in a one-line summary.  Under --listen every session gets its own
+ * tracker; per-session results merge into `server.latency.*` on close.
  *
  * Robustness controls (docs/ROBUSTNESS.md):
  *   --deadline-ms N    run on the threaded executor under a supervisor
@@ -83,6 +101,8 @@
 
 #include "support/metrics.h"
 #include "support/rng.h"
+#include "support/timeline.h"
+#include "zexec/span.h"
 #include "zast/printer.h"
 #include "zexec/faultpoint.h"
 #include "zexec/threaded.h"
@@ -109,6 +129,9 @@ usage()
                  "usage: zirrun FILE.zir [--opt none|vect|all] [--dump] "
                  "[--bytes N]\n"
                  "              [--profile[=FILE]] [--trace-passes[=N]]\n"
+                 "              [--latency-budget-us N] "
+                 "[--trace-timeline FILE]\n"
+                 "              [--span-frame N]\n"
                  "              [--deadline-ms N] [--inject-fault SPEC]\n"
                  "              [--restart N] [--backoff-ms M] "
                  "[--serve[=ELEMS]]\n"
@@ -144,6 +167,39 @@ parsePositive(const char* s, long& out)
     out = v;
     return true;
 }
+
+/**
+ * Owns the optional timeline recorder; written (temp file + rename) and
+ * uninstalled on every exit path, success or failure — a trace of the
+ * run that failed is the one most worth keeping.
+ */
+struct TimelineGuard
+{
+    std::string path;
+    std::unique_ptr<timeline::Recorder> rec;
+
+    void
+    install(const std::string& p)
+    {
+        path = p;
+        rec = std::make_unique<timeline::Recorder>();
+        timeline::setActive(rec.get());
+    }
+
+    ~TimelineGuard()
+    {
+        if (!rec)
+            return;
+        timeline::setActive(nullptr);
+        if (rec->writeFile(path))
+            std::printf("timeline written to %s (%zu event(s)%s)\n",
+                        path.c_str(), rec->eventCount(),
+                        rec->dropped() ? ", some dropped" : "");
+        else
+            std::fprintf(stderr, "cannot write timeline %s\n",
+                         path.c_str());
+    }
+};
 
 /** Compose the --profile JSON document. */
 std::string
@@ -204,6 +260,9 @@ main(int argc, char** argv)
     double metricsIntervalMs = 0;
     std::string metricsOut;
     long faultSession = -1;
+    long budgetUs = 0;        // --latency-budget-us (0 = no SLO)
+    std::string timelinePath; // --trace-timeline (empty = off)
+    long spanFrame = 256;     // --span-frame
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--dump") {
@@ -355,6 +414,29 @@ main(int argc, char** argv)
                 return kExitUserError;
             }
             faultSession = v;
+        } else if (a == "--latency-budget-us" && i + 1 < argc) {
+            if (!parsePositive(argv[++i], budgetUs)) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --latency-budget-us value "
+                             "'%s'\n", argv[i]);
+                return kExitUserError;
+            }
+        } else if (a == "--span-frame" && i + 1 < argc) {
+            if (!parsePositive(argv[++i], spanFrame)) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --span-frame value '%s'\n",
+                             argv[i]);
+                return kExitUserError;
+            }
+        } else if (a == "--trace-timeline" && i + 1 < argc) {
+            timelinePath = argv[++i];
+        } else if (a.rfind("--trace-timeline=", 0) == 0) {
+            timelinePath = a.substr(strlen("--trace-timeline="));
+            if (timelinePath.empty()) {
+                std::fprintf(stderr,
+                             "zirrun: --trace-timeline needs a file\n");
+                return kExitUserError;
+            }
         } else if (a == "--profile" || a.rfind("--profile=", 0) == 0) {
             profile = true;
             if (a.size() > strlen("--profile="))
@@ -377,6 +459,14 @@ main(int argc, char** argv)
                      "exclusive (the server has its own scheduler)\n");
         return kExitUserError;
     }
+
+    // Install the timeline recorder before anything that could emit an
+    // event; the guard writes the file on every exit path.
+    TimelineGuard tguard;
+    if (!timelinePath.empty())
+        tguard.install(timelinePath);
+    const bool wantSpans =
+        profile || budgetUs > 0 || !timelinePath.empty();
 
     std::ifstream in(path);
     if (!in) {
@@ -436,6 +526,27 @@ main(int argc, char** argv)
         return kExitUserError;
     }
 
+    // Frame spans: stamp every --span-frame-th consumed element and
+    // close the span when its expected output has been emitted.
+    std::shared_ptr<SpanTracker> spans;
+    uint64_t spanElems = static_cast<uint64_t>(spanFrame);
+    if (wantSpans && !listen) {
+        SpanConfig sc;
+        // A finite run shorter than one frame would never complete a
+        // span; shrink the frame to the run so it still measures.
+        size_t w = threaded ? tp->inWidth() : p->inWidth();
+        uint64_t elems = w ? nbytes / w : 0;
+        if (!serve && elems > 0 && elems < spanElems)
+            spanElems = elems;
+        sc.frameElems = spanElems;
+        sc.budgetNs = static_cast<uint64_t>(budgetUs) * 1000;
+        spans = std::make_shared<SpanTracker>(sc);
+        if (threaded)
+            tp->setSpans(spans);
+        else
+            p->setSpans(spans);
+    }
+
     // Serving mode: hand the compiled program to the multi-session
     // server and run until a stop signal.  Every accepted connection
     // gets a fresh pipeline instance from the factory below.
@@ -450,6 +561,14 @@ main(int argc, char** argv)
             scfg.metricsPath = metricsOut;
             scfg.fault = fault;
             scfg.faultSession = faultSession;
+            // Every session tracks its own frame spans; results merge
+            // into server.latency.* on close and are sampled live by a
+            // client's Stat frame.
+            scfg.session.trackLatency = true;
+            scfg.session.span.frameElems =
+                static_cast<uint64_t>(spanFrame);
+            scfg.session.span.budgetNs =
+                static_cast<uint64_t>(budgetUs) * 1000;
             if (restartN > 0) {
                 scfg.session.restart.mode = RestartMode::OnFailure;
                 scfg.session.restart.maxRestarts = restartN;
@@ -543,6 +662,29 @@ main(int argc, char** argv)
         if (st.halted)
             std::printf("pipeline halted with a control value (%zu "
                         "bytes)\n", st.ctrl.size());
+
+        if (spans) {
+            SpanTracker::Snapshot snap = spans->snapshot();
+            spans->mergeInto(metrics::Registry::global(), "latency");
+            if (snap.completed > 0) {
+                const metrics::Histogram& h = snap.latencyNs;
+                std::printf(
+                    "latency: %llu frame(s) of %llu element(s): "
+                    "p50 %.1f us, p90 %.1f us, p99 %.1f us, "
+                    "p999 %.1f us\n",
+                    static_cast<unsigned long long>(snap.completed),
+                    static_cast<unsigned long long>(spanElems),
+                    h.percentile(0.50) / 1e3,
+                    h.percentile(0.90) / 1e3, h.percentile(0.99) / 1e3,
+                    h.percentile(0.999) / 1e3);
+            }
+            if (budgetUs > 0)
+                std::printf(
+                    "latency budget %ld us: met %llu, missed %llu\n",
+                    budgetUs,
+                    static_cast<unsigned long long>(snap.budgetMet),
+                    static_cast<unsigned long long>(snap.budgetMissed));
+        }
 
         if (profile) {
             std::string doc = profileJson(path, optName, rep, st);

@@ -1,11 +1,16 @@
 #!/bin/sh
 # Guard the zero-cost-when-off property of the observability layer.
 #
-# Runs bench_fig4_overheads --overhead-check (instrumentation support
-# compiled in but DISABLED on the measured path) and compares ns/datum
-# against scripts/overhead_baseline.txt.  The first run on a machine
-# records the baseline; later runs fail (exit 1) if throughput regressed
-# by more than 3%, i.e. if "off" stopped being free.
+# Runs bench_fig4_overheads --overhead-check, which measures ns/datum on
+# the two off-paths the runtime promises are free:
+#
+#   instrument  per-node counters compiled in but DISABLED
+#   spans_off   frame-span hooks present but no tracker attached
+#
+# and compares each against scripts/overhead_baseline.txt.  The first
+# run on a machine records the baseline; later runs fail (exit 1) if
+# either off-path regressed by more than 3%, i.e. if "off" stopped
+# being free.
 #
 # Usage: scripts/check_overhead.sh [--update-baseline]
 cd "$(dirname "$0")/.." || exit 1
@@ -22,27 +27,53 @@ fi
 out=$("$BIN" --overhead-check) || exit 1
 echo "$out"
 disabled=$(echo "$out" | awk '/^ns_per_datum_disabled/ {print $2}')
-if [ -z "$disabled" ]; then
+spans_off=$(echo "$out" | awk '/^ns_per_datum_spans_off/ {print $2}')
+if [ -z "$disabled" ] || [ -z "$spans_off" ]; then
     echo "check_overhead: could not parse benchmark output" >&2
     exit 1
 fi
 
+record_baseline() {
+    printf 'instrument %s\nspans_off %s\n' "$1" "$2" > "$BASELINE"
+}
+
 if [ "$1" = "--update-baseline" ] || [ ! -f "$BASELINE" ]; then
-    echo "$disabled" > "$BASELINE"
-    echo "check_overhead: baseline recorded ($disabled ns/datum)"
+    record_baseline "$disabled" "$spans_off"
+    echo "check_overhead: baseline recorded" \
+         "(instrument $disabled, spans_off $spans_off ns/datum)"
     exit 0
 fi
 
-base=$(cat "$BASELINE")
-awk -v cur="$disabled" -v base="$base" -v tol="$TOLERANCE_PCT" 'BEGIN {
-    pct = (cur - base) / base * 100.0;
-    printf "check_overhead: %.2f ns/datum vs baseline %.2f (%+.1f%%, tolerance %d%%)\n",
-           cur, base, pct, tol;
-    exit (pct > tol) ? 1 : 0;
-}'
-status=$?
-if [ $status -ne 0 ]; then
-    echo "check_overhead: FAIL — instrumentation-off path regressed" >&2
+base_instr=$(awk '/^instrument/ {print $2}' "$BASELINE")
+base_spans=$(awk '/^spans_off/ {print $2}' "$BASELINE")
+# Baselines recorded before the span tracker existed were a single bare
+# number (the instrument-off value); keep it and record the span side.
+if [ -z "$base_instr" ]; then
+    base_instr=$(awk 'NR==1 {print $1}' "$BASELINE")
+fi
+if [ -z "$base_spans" ]; then
+    record_baseline "$base_instr" "$spans_off"
+    echo "check_overhead: span baseline recorded ($spans_off ns/datum)"
+    base_spans=$spans_off
+fi
+
+fail=0
+for pair in "instrument:$disabled:$base_instr" \
+            "spans_off:$spans_off:$base_spans"; do
+    name=${pair%%:*}
+    rest=${pair#*:}
+    cur=${rest%%:*}
+    base=${rest#*:}
+    awk -v cur="$cur" -v base="$base" -v tol="$TOLERANCE_PCT" \
+        -v name="$name" 'BEGIN {
+        pct = (cur - base) / base * 100.0;
+        printf "check_overhead: %-10s %.2f ns/datum vs baseline %.2f (%+.1f%%, tolerance %d%%)\n",
+               name, cur, base, pct, tol;
+        exit (pct > tol) ? 1 : 0;
+    }' || fail=1
+done
+if [ $fail -ne 0 ]; then
+    echo "check_overhead: FAIL — an observability off-path regressed" >&2
     exit 1
 fi
 echo "check_overhead: OK"

@@ -63,6 +63,11 @@ sh scripts/soak.sh all 2>&1 | tee -a fault_output.txt
 ctest --test-dir build -L serve --output-on-failure 2>&1 \
     | tee serve_output.txt
 sh scripts/soak.sh serve 2>&1 | tee -a serve_output.txt
+# Latency observability suites (label `latency`): span accounting,
+# percentile extraction, timeline schema, SLO budget counters and the
+# Stat frame round-trip (docs/OBSERVABILITY.md).
+ctest --test-dir build -L latency --output-on-failure 2>&1 \
+    | tee latency_output.txt
 sh scripts/check_overhead.sh 2>&1 | tee overhead_output.txt
 {
     for b in build/bench/*; do

@@ -240,6 +240,13 @@ JsonWriter::field(const std::string& k, bool v)
 }
 
 void
+JsonWriter::rawField(const std::string& k, const std::string& rawJson)
+{
+    key(k);
+    out_ += rawJson;
+}
+
+void
 JsonWriter::value(const std::string& v)
 {
     comma();
@@ -290,6 +297,10 @@ toJson(const Registry& reg)
         w.field("min", h.min());
         w.field("max", h.max());
         w.field("mean", h.mean());
+        w.field("p50", h.percentile(0.50));
+        w.field("p90", h.percentile(0.90));
+        w.field("p99", h.percentile(0.99));
+        w.field("p999", h.percentile(0.999));
         w.endObject();
     }
     w.endObject();

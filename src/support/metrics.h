@@ -52,14 +52,20 @@ struct Gauge
 };
 
 /**
- * Log2-bucketed histogram of non-negative integer observations (bucket i
- * holds values in [2^(i-1), 2^i); bucket 0 holds zero).  Used for
- * nanosecond samples, so 64 buckets cover any uint64_t.
+ * HDR-style histogram of non-negative integer observations: each power-
+ * of-two segment is split into 2^kSubBits linear sub-buckets, bounding
+ * the relative quantization error at 2^-kSubBits (~6%).  Values below
+ * 2^kSubBits are recorded exactly.  Used for nanosecond/microsecond
+ * latency samples; `percentile` extracts p50/p99-style quantiles from
+ * the bucket array.
  */
 class Histogram
 {
   public:
-    static constexpr int kBuckets = 64;
+    static constexpr int kSubBits = 4;
+    static constexpr int kSubBuckets = 1 << kSubBits; // 16
+    // Segments 1..(64-kSubBits) above the exact range, kSubBuckets each.
+    static constexpr int kBuckets = (64 - kSubBits + 1) * kSubBuckets;
 
     void
     observe(uint64_t x)
@@ -71,6 +77,22 @@ class Histogram
             min_ = x;
         if (x > max_)
             max_ = x;
+    }
+
+    /** Fold another histogram's observations into this one. */
+    void
+    merge(const Histogram& o)
+    {
+        if (o.count_ == 0)
+            return;
+        for (int i = 0; i < kBuckets; ++i)
+            buckets_[i] += o.buckets_[i];
+        if (count_ == 0 || o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+        count_ += o.count_;
+        sum_ += o.sum_;
     }
 
     uint64_t count() const { return count_; }
@@ -88,12 +110,71 @@ class Histogram
     static int
     bucketOf(uint64_t x)
     {
-        int b = 0;
-        while (x) {
-            ++b;
-            x >>= 1;
+        if (x < kSubBuckets)
+            return static_cast<int>(x);
+        // Position of the leading bit (>= kSubBits here).
+        int h = 63;
+        while (!(x >> h))
+            --h;
+        int segment = h - kSubBits + 1;
+        int sub = static_cast<int>((x >> (h - kSubBits)) &
+                                   (kSubBuckets - 1));
+        return segment * kSubBuckets + sub;
+    }
+
+    /** Inclusive lower bound of bucket i's value range. */
+    static uint64_t
+    bucketLow(int i)
+    {
+        if (i < kSubBuckets)
+            return static_cast<uint64_t>(i);
+        int segment = i / kSubBuckets;
+        uint64_t sub = static_cast<uint64_t>(i % kSubBuckets);
+        return (static_cast<uint64_t>(kSubBuckets) + sub)
+               << (segment - 1);
+    }
+
+    /** Width of bucket i's value range (1 in the exact segment). */
+    static uint64_t
+    bucketWidth(int i)
+    {
+        if (i < kSubBuckets)
+            return 1;
+        return uint64_t{1} << (i / kSubBuckets - 1);
+    }
+
+    /**
+     * Value at quantile q in [0,1] (q=0.5 is the median).  Returns the
+     * midpoint of the bucket holding the target rank, clamped to the
+     * observed [min,max]; 0 when empty.
+     */
+    uint64_t
+    percentile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        if (q <= 0)
+            return min();
+        if (q >= 1)
+            return max_;
+        // Rank of the target observation, 1-based.
+        uint64_t rank =
+            static_cast<uint64_t>(q * static_cast<double>(count_)) + 1;
+        if (rank > count_)
+            rank = count_;
+        uint64_t cum = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            cum += buckets_[i];
+            if (cum >= rank) {
+                uint64_t v = bucketLow(i) + bucketWidth(i) / 2;
+                if (v < min_)
+                    v = min_;
+                if (v > max_)
+                    v = max_;
+                return v;
+            }
         }
-        return b < kBuckets ? b : kBuckets - 1;
+        return max_;
     }
 
   private:
@@ -164,6 +245,9 @@ class JsonWriter
     void field(const std::string& key, int v);
     void field(const std::string& key, double v);
     void field(const std::string& key, bool v);
+
+    /** Splice an already-serialized JSON value under @p key. */
+    void rawField(const std::string& key, const std::string& rawJson);
 
     /** Bare array element values. */
     void value(const std::string& v);

@@ -1,0 +1,166 @@
+#include "support/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "support/metrics.h"
+#include "support/timing.h"
+
+namespace ziria {
+namespace timeline {
+
+namespace {
+
+std::atomic<Recorder*> gActive{nullptr};
+std::atomic<uint32_t> gNextTrack{1};
+
+} // namespace
+
+Recorder*
+active()
+{
+    return gActive.load(std::memory_order_relaxed);
+}
+
+void
+setActive(Recorder* r)
+{
+    gActive.store(r, std::memory_order_release);
+}
+
+uint32_t
+currentTrack()
+{
+    thread_local uint32_t id =
+        gNextTrack.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+Recorder::Recorder(size_t maxEvents) : cap_(maxEvents), baseNs_(nowNs())
+{
+    events_.reserve(std::min<size_t>(maxEvents, 4096));
+}
+
+void
+Recorder::push(Event e)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (events_.size() >= cap_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(e));
+}
+
+void
+Recorder::complete(const char* cat, std::string name, uint64_t tsNs,
+                   uint64_t durNs, uint32_t tid)
+{
+    Event e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.ph = 'X';
+    e.tsNs = tsNs;
+    e.durNs = durNs;
+    e.tid = tid;
+    push(std::move(e));
+}
+
+void
+Recorder::instant(const char* cat, std::string name, uint64_t tsNs,
+                  uint32_t tid)
+{
+    Event e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.ph = 'i';
+    e.tsNs = tsNs;
+    e.tid = tid;
+    push(std::move(e));
+}
+
+void
+Recorder::nameTrack(uint32_t tid, std::string name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    trackNames_.emplace_back(tid, std::move(name));
+}
+
+size_t
+Recorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+uint64_t
+Recorder::dropped() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+}
+
+std::string
+Recorder::toJson() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    metrics::JsonWriter w;
+    w.beginObject();
+    w.beginArray("traceEvents");
+    for (const auto& [tid, name] : trackNames_) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", 1);
+        w.field("tid", static_cast<uint64_t>(tid));
+        w.beginObject("args");
+        w.field("name", name);
+        w.endObject();
+        w.endObject();
+    }
+    for (const auto& e : events_) {
+        w.beginObject();
+        w.field("name", e.name);
+        w.field("cat", e.cat);
+        w.field("ph", std::string(1, e.ph));
+        // chrome://tracing wants microseconds; rebase on recorder start
+        // so traces begin near zero.
+        uint64_t rel = e.tsNs >= baseNs_ ? e.tsNs - baseNs_ : 0;
+        w.field("ts", static_cast<double>(rel) / 1000.0);
+        if (e.ph == 'X')
+            w.field("dur", static_cast<double>(e.durNs) / 1000.0);
+        else
+            w.field("s", "t");  // instant scope: thread
+        w.field("pid", 1);
+        w.field("tid", static_cast<uint64_t>(e.tid));
+        w.endObject();
+    }
+    w.endArray();
+    if (dropped_)
+        w.field("dropped_events", dropped_);
+    w.endObject();
+    return w.str();
+}
+
+bool
+Recorder::writeFile(const std::string& path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        if (!f)
+            return false;
+        f << toJson() << "\n";
+        if (!f.good())
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace timeline
+} // namespace ziria

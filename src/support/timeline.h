@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Timeline export: records runtime events (frame spans, stage slices,
+ * queue waits, restarts, scheduler-state dwell) into a bounded in-memory
+ * buffer and serializes them as chrome://tracing / Perfetto "traceEvents"
+ * JSON, so a stall or rotation delay is visible on a real timeline
+ * instead of only in aggregate counters.
+ *
+ * The recorder is opt-in and process-global: hot paths guard every
+ * emission with `timeline::active()`, a single relaxed atomic load that
+ * is null unless `--trace-timeline=FILE` (or a test) installed a
+ * recorder.  When null, no event is allocated and no clock is read —
+ * the same zero-cost-when-off discipline as TracedNode.
+ *
+ * Event timestamps are nanoseconds from support/timing.h's steady clock;
+ * the export rebases them on the recorder's creation time and converts
+ * to the microseconds chrome://tracing expects.
+ */
+#ifndef ZIRIA_SUPPORT_TIMELINE_H
+#define ZIRIA_SUPPORT_TIMELINE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ziria {
+namespace timeline {
+
+/** One trace event (complete slice or instant). */
+struct Event
+{
+    std::string name;
+    const char* cat = "";  ///< static category string
+    char ph = 'X';         ///< 'X' = complete slice, 'i' = instant
+    uint64_t tsNs = 0;     ///< start, steady-clock nanoseconds
+    uint64_t durNs = 0;    ///< slice duration (complete events only)
+    uint32_t tid = 0;      ///< logical track id
+};
+
+/**
+ * Bounded event sink.  Thread-safe: events arrive from stage threads,
+ * zserve workers, and the I/O thread; the granularity is frame/slice
+ * level, so a mutex per event is far off any per-element hot path.
+ * Once `maxEvents` is reached further events are counted as dropped
+ * rather than grown without bound.
+ */
+class Recorder
+{
+  public:
+    explicit Recorder(size_t maxEvents = 1 << 20);
+
+    /** Record a complete slice [tsNs, tsNs+durNs) on track @p tid. */
+    void complete(const char* cat, std::string name, uint64_t tsNs,
+                  uint64_t durNs, uint32_t tid);
+
+    /** Record an instant event at @p tsNs on track @p tid. */
+    void instant(const char* cat, std::string name, uint64_t tsNs,
+                 uint32_t tid);
+
+    /** Name a track (emitted as a thread_name metadata event). */
+    void nameTrack(uint32_t tid, std::string name);
+
+    size_t eventCount() const;
+    uint64_t dropped() const;
+
+    /** The full {"traceEvents":[...]} document. */
+    std::string toJson() const;
+
+    /** Serialize to @p path via temp file + atomic rename. */
+    bool writeFile(const std::string& path) const;
+
+  private:
+    void push(Event e);
+
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+    std::vector<std::pair<uint32_t, std::string>> trackNames_;
+    size_t cap_;
+    uint64_t baseNs_;
+    uint64_t dropped_ = 0;
+};
+
+/** The active recorder, or null when timeline capture is off. */
+Recorder* active();
+
+/** Install (or clear, with null) the process-wide recorder. */
+void setActive(Recorder* r);
+
+/** Small stable id for the calling thread (for Event::tid). */
+uint32_t currentTrack();
+
+} // namespace timeline
+} // namespace ziria
+
+#endif // ZIRIA_SUPPORT_TIMELINE_H

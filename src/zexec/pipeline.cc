@@ -299,6 +299,8 @@ Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
         root_->reset(frame_);
         src.rearm();
         sink.rearm();
+        if (spans_)
+            spans_->onRestart();
     }
 }
 
@@ -310,6 +312,7 @@ Pipeline::runAttempt(InputSource& src, OutputSink& sink, uint64_t max_out)
     // multiplexes sessions with (src/zserve/session.cc) — here driven to
     // completion with a blocking source, which never reports Feed::Empty.
     Stepper stepper(*root_);
+    stepper.setSpans(spans_.get());
     stepper.start(frame_);
     auto pull = [&](const uint8_t** p) {
         *p = src.next();
@@ -320,6 +323,8 @@ Pipeline::runAttempt(InputSource& src, OutputSink& sink, uint64_t max_out)
         return !(max_out && stepper.emitted() >= max_out);
     };
     StepOutcome oc = stepper.drive(frame_, pull, push);
+    if (spans_)
+        spans_->flush();
     RunStats st;
     st.consumed = stepper.consumed();
     st.emitted = stepper.emitted();

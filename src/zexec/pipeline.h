@@ -14,6 +14,7 @@
 #include "support/panic.h"
 #include "zast/comp.h"
 #include "zexec/node.h"
+#include "zexec/span.h"
 #include "zexec/supervisor.h"
 #include "zexec/trace.h"
 #include "zexpr/compile_expr.h"
@@ -265,6 +266,15 @@ class Pipeline
     void setRestartPolicy(RestartPolicy p) { restart_ = p; }
     const RestartPolicy& restartPolicy() const { return restart_; }
 
+    /** Attach a frame-span latency tracker (null = off; zexec/span.h).
+     *  Runs stamp every frame source→sink into its histogram. */
+    void setSpans(std::shared_ptr<SpanTracker> s)
+    {
+        spans_ = std::move(s);
+    }
+
+    SpanTracker* spans() const { return spans_.get(); }
+
   private:
     RunStats runAttempt(InputSource& src, OutputSink& sink,
                         uint64_t max_out);
@@ -275,6 +285,7 @@ class Pipeline
     size_t outWidth_;
     RestartPolicy restart_;
     std::shared_ptr<PipelineMetrics> metrics_;
+    std::shared_ptr<SpanTracker> spans_;
 };
 
 } // namespace ziria

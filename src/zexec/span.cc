@@ -1,0 +1,183 @@
+#include "zexec/span.h"
+
+#include <cmath>
+
+#include "support/timeline.h"
+#include "support/timing.h"
+
+namespace ziria {
+
+namespace {
+
+/** Total-output threshold that completes the k-th frame of an epoch. */
+uint64_t
+closeThreshold(uint64_t outBase, uint64_t k, const SpanConfig& cfg)
+{
+    double outs = static_cast<double>(k + 1) *
+                  static_cast<double>(cfg.frameElems) * cfg.outPerIn;
+    uint64_t need = static_cast<uint64_t>(std::ceil(outs));
+    if (need == 0)
+        need = 1;
+    return outBase + need;
+}
+
+} // namespace
+
+SpanTracker::SpanTracker(SpanConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.frameElems == 0)
+        cfg_.frameElems = 1;
+    if (!(cfg_.outPerIn > 0))
+        cfg_.outPerIn = 1.0;
+    track_ = timeline::active() ? timeline::currentTrack() : 0;
+    if (timeline::Recorder* r = timeline::active())
+        r->nameTrack(track_, cfg_.name + " frames");
+}
+
+void
+SpanTracker::openSpans(uint64_t i)
+{
+    uint64_t now = nowNs();
+    std::lock_guard<std::mutex> lk(mu_);
+    // Re-check under the lock: onRestart may have re-based the epoch
+    // between the relaxed load and here.
+    while (i >= inBase_ + epochFrames_ * cfg_.frameElems &&
+           i >= inBase_) {
+        OpenSpan s;
+        s.frame = totalFrames_++;
+        s.startNs = now;
+        s.closeAt = closeThreshold(outBase_, epochFrames_, cfg_);
+        ++epochFrames_;
+        bool wasEmpty = open_.empty();
+        open_.push_back(s);
+        if (wasEmpty)
+            nextCloseAt_.store(s.closeAt, std::memory_order_relaxed);
+    }
+    nextOpenAt_.store(inBase_ + epochFrames_ * cfg_.frameElems,
+                      std::memory_order_relaxed);
+}
+
+void
+SpanTracker::closeReadyLocked(uint64_t o, uint64_t now)
+{
+    while (!open_.empty() && o >= open_.front().closeAt) {
+        const OpenSpan& s = open_.front();
+        uint64_t dur = now >= s.startNs ? now - s.startNs : 0;
+        hist_.observe(dur);
+        ++completed_;
+        if (cfg_.budgetNs) {
+            if (dur <= cfg_.budgetNs)
+                ++budgetMet_;
+            else
+                ++budgetMissed_;
+        }
+        if (timeline::Recorder* r = timeline::active()) {
+            r->complete("frame",
+                        cfg_.name + " frame " + std::to_string(s.frame),
+                        s.startNs, dur, track_);
+        }
+        open_.pop_front();
+    }
+    nextCloseAt_.store(open_.empty() ? ~uint64_t{0}
+                                     : open_.front().closeAt,
+                       std::memory_order_relaxed);
+}
+
+void
+SpanTracker::closeSpans(uint64_t o)
+{
+    uint64_t now = nowNs();
+    std::lock_guard<std::mutex> lk(mu_);
+    closeReadyLocked(o, now);
+}
+
+void
+SpanTracker::onRestart()
+{
+    uint64_t now = nowNs();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (timeline::Recorder* r = timeline::active()) {
+        for (const auto& s : open_)
+            r->instant("restart",
+                       cfg_.name + " frame " + std::to_string(s.frame) +
+                           " aborted",
+                       now, track_);
+    }
+    aborted_ += open_.size();
+    open_.clear();
+    inBase_ = in_.load(std::memory_order_relaxed);
+    outBase_ = out_.load(std::memory_order_relaxed);
+    epochFrames_ = 0;
+    nextOpenAt_.store(inBase_, std::memory_order_relaxed);
+    nextCloseAt_.store(~uint64_t{0}, std::memory_order_relaxed);
+}
+
+void
+SpanTracker::flush()
+{
+    uint64_t now = nowNs();
+    uint64_t o = out_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    closeReadyLocked(o, now);
+}
+
+SpanTracker::Snapshot
+SpanTracker::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Snapshot s;
+    s.completed = completed_;
+    s.aborted = aborted_;
+    s.open = open_.size();
+    s.budgetMet = budgetMet_;
+    s.budgetMissed = budgetMissed_;
+    s.latencyNs = hist_;
+    return s;
+}
+
+void
+SpanTracker::mergeInto(metrics::Registry& reg,
+                       const std::string& prefix) const
+{
+    Snapshot s = snapshot();
+    reg.histogram(prefix + ".e2e_ns").merge(s.latencyNs);
+    reg.counter(prefix + ".frames").add(s.completed);
+    if (s.aborted)
+        reg.counter(prefix + ".frames_aborted").add(s.aborted);
+    if (cfg_.budgetNs) {
+        reg.counter(prefix + ".budget.met").add(s.budgetMet);
+        reg.counter(prefix + ".budget.missed").add(s.budgetMissed);
+    }
+}
+
+void
+SpanTracker::writeJson(metrics::JsonWriter& w,
+                       const std::string& key) const
+{
+    Snapshot s = snapshot();
+    w.beginObject(key);
+    w.field("frame_elems", cfg_.frameElems);
+    w.field("out_per_in", cfg_.outPerIn);
+    w.field("frames", s.completed);
+    w.field("frames_aborted", s.aborted);
+    w.field("frames_open", s.open);
+    if (cfg_.budgetNs) {
+        w.field("budget_ns", cfg_.budgetNs);
+        w.field("budget_met", s.budgetMet);
+        w.field("budget_missed", s.budgetMissed);
+    }
+    const metrics::Histogram& h = s.latencyNs;
+    w.beginObject("e2e_ns");
+    w.field("count", h.count());
+    w.field("min", h.min());
+    w.field("max", h.max());
+    w.field("mean", h.mean());
+    w.field("p50", h.percentile(0.50));
+    w.field("p90", h.percentile(0.90));
+    w.field("p99", h.percentile(0.99));
+    w.field("p999", h.percentile(0.999));
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace ziria

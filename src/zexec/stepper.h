@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "zexec/node.h"
+#include "zexec/span.h"
 #include "zexpr/frame.h"
 
 namespace ziria {
@@ -68,7 +69,20 @@ class Stepper
     }
 
     /** Re-arm after a failure: frame-boundary state, counters kept. */
-    void reset(Frame& f) { root_.reset(f); }
+    void
+    reset(Frame& f)
+    {
+        root_.reset(f);
+        if (spans_)
+            spans_->onRestart();
+    }
+
+    /**
+     * Attach a frame-span latency tracker (null = off).  When off the
+     * drive loop pays exactly one predictable-false branch per element
+     * — the same zero-cost-when-off contract as TracedNode.
+     */
+    void setSpans(SpanTracker* s) { spans_ = s; }
 
     /**
      * Advance until the node blocks, halts, or the budget runs out.
@@ -91,6 +105,8 @@ class Stepper
             Status s = root_.advance(f);
             if (s == Status::Yield) {
                 ++emitted_;
+                if (spans_)
+                    spans_->onOutput();
                 if (!push(root_.out()))
                     return StepOutcome::SinkFull;
             } else if (s == Status::NeedInput) {
@@ -99,6 +115,8 @@ class Stepper
                   case Feed::Ready:
                     root_.supply(f, p);
                     ++consumed_;
+                    if (spans_)
+                        spans_->onInput();
                     break;
                   case Feed::Empty:
                     return StepOutcome::NeedInput;
@@ -122,6 +140,7 @@ class Stepper
 
   private:
     ExecNode& root_;
+    SpanTracker* spans_ = nullptr;
     uint64_t consumed_ = 0;
     uint64_t emitted_ = 0;
     bool halted_ = false;

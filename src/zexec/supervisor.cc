@@ -7,6 +7,8 @@
 
 #include "support/log.h"
 #include "support/metrics.h"
+#include "support/timeline.h"
+#include "support/timing.h"
 
 namespace ziria {
 
@@ -93,6 +95,14 @@ RestartSupervisor::onFailure(StageFailure& f)
     reg.counter("restart.attempts").inc();
     reg.counter("restart.backoff_ms_total")
         .add(static_cast<uint64_t>(backoff));
+
+    if (timeline::Recorder* r = timeline::active()) {
+        r->instant("restart",
+                   "restart " + f.path + " [" +
+                       failureCauseName(f.cause) + "] attempt " +
+                       std::to_string(attempts_),
+                   nowNs(), timeline::currentTrack());
+    }
 
     ZIRIA_LOG(Warn, "restart: stage ", f.stage, " (", f.path,
               ") failed [", failureCauseName(f.cause), "]: ", f.message,

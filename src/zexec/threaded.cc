@@ -10,7 +10,9 @@
 #include "support/metrics.h"
 #include "support/panic.h"
 #include "support/spsc_queue.h"
+#include "support/timeline.h"
 #include "support/timing.h"
+#include "zexec/span.h"
 
 namespace ziria {
 
@@ -35,6 +37,17 @@ struct StageResult
     std::vector<uint8_t> ctrl;
     std::exception_ptr error;
     double sec = 0;  ///< wall time of the stage's drive loop
+    uint64_t pushWaitNs = 0;  ///< blocked pushing (latency runs only)
+    uint64_t popWaitNs = 0;   ///< blocked popping (latency runs only)
+};
+
+/** Latency hooks for one stage: null members = feature off. */
+struct StageSpanHooks
+{
+    SpanTracker* onInput = nullptr;   ///< first stage: stamp consumed
+    SpanTracker* onOutput = nullptr;  ///< last stage: complete emitted
+    bool timeWaits = false;           ///< clock the queue-wait loops
+    size_t index = 0;                 ///< stage ordinal (timeline label)
 };
 
 /**
@@ -49,10 +62,12 @@ struct StageResult
 void
 runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
          SpscQueue* outq, OutputSink* sink, StageResult& res,
-         const std::atomic<bool>& abort, long wait_slice_ms)
+         const std::atomic<bool>& abort, long wait_slice_ms,
+         StageSpanHooks hooks)
 {
     std::vector<uint8_t> inBuf(std::max<size_t>(node.inWidth(), 1));
     Stopwatch sw;
+    const uint64_t startNs = nowNs();
     auto bump = [&res] {
         res.progress.fetch_add(1, std::memory_order_relaxed);
     };
@@ -66,6 +81,7 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
             Status s = node.advance(frame);
             if (s == Status::Yield) {
                 if (outq) {
+                    uint64_t t0 = hooks.timeWaits ? nowNs() : 0;
                     QueueWait w;
                     while ((w = outq->pushWait(node.out(),
                                                wait_slice_ms)) ==
@@ -73,6 +89,8 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
                         if (abort.load(std::memory_order_relaxed))
                             break;
                     }
+                    if (hooks.timeWaits)
+                        res.pushWaitNs += nowNs() - t0;
                     if (w != QueueWait::Ready) {
                         // Downstream cancelled (or run aborted mid-wait).
                         res.aborted = w == QueueWait::Cancelled ||
@@ -83,9 +101,12 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
                     sink->put(node.out());
                 }
                 ++res.emitted;
+                if (hooks.onOutput)
+                    hooks.onOutput->onOutput();
                 bump();
             } else if (s == Status::NeedInput) {
                 if (inq) {
+                    uint64_t t0 = hooks.timeWaits ? nowNs() : 0;
                     QueueWait w;
                     while ((w = inq->popWait(inBuf.data(),
                                              wait_slice_ms)) ==
@@ -93,6 +114,8 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
                         if (abort.load(std::memory_order_relaxed))
                             break;
                     }
+                    if (hooks.timeWaits)
+                        res.popWaitNs += nowNs() - t0;
                     if (w != QueueWait::Ready) {
                         // Closed = upstream finished (normal EOS);
                         // Cancelled/abort = torn down.
@@ -107,6 +130,8 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
                     node.supply(frame, p);
                 }
                 ++res.consumed;
+                if (hooks.onInput)
+                    hooks.onInput->onInput();
                 bump();
             } else {
                 res.halted = true;
@@ -120,6 +145,12 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
         res.error = std::current_exception();
     }
     res.sec = sw.elapsedSec();
+    if (timeline::Recorder* r = timeline::active()) {
+        uint32_t track = timeline::currentTrack();
+        r->nameTrack(track, "stage" + std::to_string(hooks.index));
+        r->complete("stage", "stage" + std::to_string(hooks.index),
+                    startNs, nowNs() - startNs, track);
+    }
     if (outq)
         outq->close();
     // A halted (or failed) stage stops upstream producers.
@@ -161,13 +192,20 @@ ThreadedPipeline::run(InputSource& src, OutputSink& sink)
         queues.push_back(std::make_unique<SpscQueue>(w, queueCap_));
     }
 
-    if (!restart_.enabled())
-        return runAttempt(src, sink, queues);
+    if (!restart_.enabled()) {
+        RunStats st = runAttempt(src, sink, queues);
+        if (spans_)
+            spans_->flush();
+        return st;
+    }
 
     RestartSupervisor sup(restart_);
     for (;;) {
         try {
-            return runAttempt(src, sink, queues);
+            RunStats st = runAttempt(src, sink, queues);
+            if (spans_)
+                spans_->flush();
+            return st;
         } catch (const StageFailureError& e) {
             StageFailure f = e.failure();
             if (!sup.onFailure(f))
@@ -197,6 +235,8 @@ ThreadedPipeline::rearm(std::vector<std::unique_ptr<SpscQueue>>& queues,
         s->reset(frame_);
     src.rearm();
     sink.rearm();
+    if (spans_)
+        spans_->onRestart();
 }
 
 RunStats
@@ -279,20 +319,30 @@ ThreadedPipeline::runAttempt(InputSource& src, OutputSink& sink,
         });
     }
 
+    const bool timeWaits = spans_ != nullptr;
     std::vector<std::thread> threads;
     for (size_t i = 0; i + 1 < n; ++i) {
         SpscQueue* inq = i == 0 ? nullptr : queues[i - 1].get();
         InputSource* s = i == 0 ? &src : nullptr;
+        StageSpanHooks hooks;
+        hooks.onInput = i == 0 ? spans_.get() : nullptr;
+        hooks.timeWaits = timeWaits;
+        hooks.index = i;
         threads.emplace_back(runStage, std::ref(*stages_[i]),
                              std::ref(frame_), inq, s, queues[i].get(),
                              nullptr, std::ref(results[i]),
-                             std::cref(abort), slice);
+                             std::cref(abort), slice, hooks);
     }
 
     // The last stage runs on the calling thread.
+    StageSpanHooks lastHooks;
+    lastHooks.onInput = n == 1 ? spans_.get() : nullptr;
+    lastHooks.onOutput = spans_.get();
+    lastHooks.timeWaits = timeWaits;
+    lastHooks.index = n - 1;
     runStage(*stages_[n - 1], frame_, n > 1 ? queues[n - 2].get() : nullptr,
              n > 1 ? nullptr : &src, nullptr, &sink, results[n - 1],
-             abort, slice);
+             abort, slice, lastHooks);
 
     // If the final stage stopped early, make sure producers unblock.
     for (auto& q : queues)
@@ -316,6 +366,8 @@ ThreadedPipeline::runAttempt(InputSource& src, OutputSink& sink,
             sm.emitted = results[i].emitted;
             sm.halted = results[i].halted;
             sm.sec = results[i].sec;
+            sm.pushWaitNs = results[i].pushWaitNs;
+            sm.popWaitNs = results[i].popWaitNs;
             if (results[i].error)
                 sm.failure = failureCauseName(FailureCause::Exception);
             else if (stalled == static_cast<long>(i))

@@ -110,6 +110,20 @@ class ThreadedPipeline
 
     const PipelineMetrics* metrics() const { return metrics_.get(); }
 
+    /**
+     * Attach a frame-span latency tracker (null = off; zexec/span.h).
+     * Frames are stamped by the first stage as it consumes the source
+     * and completed by the last stage as it emits to the sink, so the
+     * span covers every interthread queue in between; per-stage queue
+     * waits are additionally timed into StageMetrics.
+     */
+    void setSpans(std::shared_ptr<SpanTracker> s)
+    {
+        spans_ = std::move(s);
+    }
+
+    SpanTracker* spans() const { return spans_.get(); }
+
   private:
     RunStats runAttempt(InputSource& src, OutputSink& sink,
                         std::vector<std::unique_ptr<SpscQueue>>& queues);
@@ -124,6 +138,7 @@ class ThreadedPipeline
     double deadlineMs_ = 0;
     RestartPolicy restart_;
     std::shared_ptr<PipelineMetrics> metrics_;
+    std::shared_ptr<SpanTracker> spans_;
 };
 
 } // namespace ziria

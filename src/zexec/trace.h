@@ -75,6 +75,11 @@ struct StageMetrics
     uint64_t consumerStalls = 0;   ///< pops by the NEXT stage that found
                                    ///< it empty (this stage is too slow)
 
+    // Queue-wait wall time (only measured when the run tracks latency —
+    // a SpanTracker is attached — so the plain path stays clock-free).
+    uint64_t pushWaitNs = 0;  ///< time blocked pushing to the out queue
+    uint64_t popWaitNs = 0;   ///< time blocked popping the in queue
+
     double
     elemsPerSec() const
     {
@@ -134,6 +139,10 @@ struct PipelineMetrics
             w.field("elems_per_sec", s.elemsPerSec());
             if (!s.failure.empty())
                 w.field("failure", s.failure);
+            if (s.pushWaitNs || s.popWaitNs) {
+                w.field("push_wait_ns", s.pushWaitNs);
+                w.field("pop_wait_ns", s.popWaitNs);
+            }
             if (s.hasQueue) {
                 w.beginObject("out_queue");
                 w.field("capacity", s.queueCapacity);

@@ -54,6 +54,7 @@ SocketSource::fillPayload()
                 fatalf("socket source: peer error: ", peerError_);
               case FrameType::Hello:
               case FrameType::Halt:
+              case FrameType::Stat:
                 // Metadata frames are legal on the stream; skip.
                 continue;
             }

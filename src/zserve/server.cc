@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "support/metrics.h"
+#include "support/timeline.h"
 #include "support/timing.h"
 
 namespace ziria {
@@ -38,6 +39,54 @@ msToNs(double ms)
     return static_cast<uint64_t>(ms * 1e6);
 }
 
+/** Timeline track ids for session scheduler lanes (clear of the
+ *  per-thread ids handed out by timeline::currentTrack()). */
+constexpr uint32_t kSchedTrackBase = 1u << 16;
+
+const char*
+schedName(Session::Sched s)
+{
+    switch (s) {
+      case Session::Sched::Parked: return "parked";
+      case Session::Sched::Queued: return "queued";
+      case Session::Sched::Running: return "running";
+      case Session::Sched::Dead: return "dead";
+    }
+    return "?";
+}
+
+/**
+ * Transition a session's scheduler state, charging the dwell in the
+ * state being left to its per-state accumulator and emitting the left
+ * state as a timeline slice.  Caller holds the scheduler mutex.
+ */
+void
+schedMove(Session& s, Session::Sched next, uint64_t now)
+{
+    if (s.sched == next)
+        return;
+    uint64_t dur = now > s.schedEnteredNs ? now - s.schedEnteredNs : 0;
+    switch (s.sched) {
+      case Session::Sched::Parked: s.parkedNs += dur; break;
+      case Session::Sched::Queued: s.queuedNs += dur; break;
+      case Session::Sched::Running: s.runningNs += dur; break;
+      case Session::Sched::Dead: break;
+    }
+    if (auto* rec = timeline::active(); rec && dur > 0) {
+        if (s.schedTrack == 0) {
+            s.schedTrack =
+                kSchedTrackBase + static_cast<uint32_t>(s.id());
+            rec->nameTrack(s.schedTrack, "session" +
+                                             std::to_string(s.id()) +
+                                             " sched");
+        }
+        rec->complete("sched", schedName(s.sched), s.schedEnteredNs,
+                      dur, s.schedTrack);
+    }
+    s.sched = next;
+    s.schedEnteredNs = now;
+}
+
 } // namespace
 
 Server::Server(PipelineFactory factory, ServerConfig cfg)
@@ -59,6 +108,9 @@ Server::Server(PipelineFactory factory, ServerConfig cfg)
     reg.counter("server.rx.bytes");
     reg.counter("server.tx.frames");
     reg.counter("server.tx.bytes");
+    reg.counter("server.sched.parked_ns");
+    reg.counter("server.sched.queued_ns");
+    reg.counter("server.sched.running_ns");
     reg.gauge("server.sessions.active");
 }
 
@@ -129,7 +181,7 @@ Server::enqueue(const std::shared_ptr<Session>& s)
         std::lock_guard<std::mutex> lk(schedMu_);
         switch (s->sched) {
           case Session::Sched::Parked:
-            s->sched = Session::Sched::Queued;
+            schedMove(*s, Session::Sched::Queued, nowNs());
             runq_.push_back(s);
             notify = true;
             break;
@@ -163,7 +215,7 @@ Server::workerLoop()
             runq_.pop_front();
             if (s->sched == Session::Sched::Dead)
                 continue;  // evicted while queued
-            s->sched = Session::Sched::Running;
+            schedMove(*s, Session::Sched::Running, nowNs());
             s->again = false;
         }
 
@@ -172,17 +224,18 @@ Server::workerLoop()
         bool requeue = false;
         {
             std::lock_guard<std::mutex> lk(schedMu_);
+            uint64_t now = nowNs();
             if (s->sched == Session::Sched::Dead) {
                 // Evicted mid-step; stays dead.
             } else if (r == StepResult::Finished ||
                        r == StepResult::Failed) {
-                s->sched = Session::Sched::Dead;
+                schedMove(*s, Session::Sched::Dead, now);
             } else if (r == StepResult::Again || s->again) {
-                s->sched = Session::Sched::Queued;
+                schedMove(*s, Session::Sched::Queued, now);
                 runq_.push_back(s);
                 requeue = true;
             } else {
-                s->sched = Session::Sched::Parked;
+                schedMove(*s, Session::Sched::Parked, now);
             }
             s->again = false;
         }
@@ -271,8 +324,9 @@ Server::ioLoop()
     // unblock any stalled step, close the sockets.
     {
         std::lock_guard<std::mutex> lk(schedMu_);
+        uint64_t now = nowNs();
         for (auto& kv : sessions_) {
-            kv.second->sched = Session::Sched::Dead;
+            schedMove(*kv.second, Session::Sched::Dead, now);
             kv.second->again = false;
         }
         runq_.clear();
@@ -338,6 +392,7 @@ Server::acceptPending()
         auto s = std::make_shared<Session>(id, cfd, std::move(pipe),
                                            cfg_.session, fault);
         s->lastActivityNs = nowNs();
+        s->schedEnteredNs = s->lastActivityNs;  // dwell clock starts now
         encodeHello(s->outWire, static_cast<uint32_t>(s->inWidth()),
                     static_cast<uint32_t>(s->outWidth()));
         ++s->txFrames;
@@ -419,6 +474,22 @@ Server::processFrames(const std::shared_ptr<Session>& s)
             s->inputEnded = true;
             tryFlushPending(s);
             break;
+          case FrameType::Stat: {
+            if (!f.payload.empty()) {
+                protocolError(s, "Stat request with a payload");
+                return;
+            }
+            ++s->rxFrames;
+            std::string json = statJson(s);
+            if (json.size() > kMaxPayload)
+                json = "{\"error\":\"stat document exceeds the frame "
+                       "payload cap\"}";
+            encodeFrame(s->outWire, FrameType::Stat,
+                        reinterpret_cast<const uint8_t*>(json.data()),
+                        json.size());
+            ++s->txFrames;
+            break;
+          }
           case FrameType::Error:
             // Client abort: nothing useful to send back.
             s->evictOnClose = true;
@@ -601,10 +672,14 @@ Server::closeNow(const std::shared_ptr<Session>& s)
     auto it = sessions_.find(s->fd());
     if (it == sessions_.end() || it->second != s)
         return;  // already closed
+    uint64_t parkedNs = 0, queuedNs = 0, runningNs = 0;
     {
         std::lock_guard<std::mutex> lk(schedMu_);
-        s->sched = Session::Sched::Dead;
+        schedMove(*s, Session::Sched::Dead, nowNs());
         s->again = false;
+        parkedNs = s->parkedNs;
+        queuedNs = s->queuedNs;
+        runningNs = s->runningNs;
     }
     s->cancel();
     ::close(s->fd());
@@ -615,6 +690,15 @@ Server::closeNow(const std::shared_ptr<Session>& s)
     reg.counter("server.rx.bytes").add(s->rxBytes);
     reg.counter("server.tx.frames").add(s->txFrames);
     reg.counter("server.tx.bytes").add(s->txBytes);
+    reg.counter("server.sched.parked_ns").add(parkedNs);
+    reg.counter("server.sched.queued_ns").add(queuedNs);
+    reg.counter("server.sched.running_ns").add(runningNs);
+    if (auto* sp = s->spans()) {
+        // The session is Dead so no new burst starts; a worker still
+        // finishing one serializes with us on the tracker's own mutex.
+        sp->flush();
+        sp->mergeInto(reg, "server.latency");
+    }
     if (s->evictOnClose) {
         evicted_.fetch_add(1);
         reg.counter("server.sessions.evicted").inc();
@@ -624,6 +708,63 @@ Server::closeNow(const std::shared_ptr<Session>& s)
     }
     reg.gauge("server.sessions.active")
         .set(static_cast<double>(sessions_.size()));
+}
+
+std::string
+Server::statJson(const std::shared_ptr<Session>& s)
+{
+    metrics::JsonWriter w;
+    w.beginObject();
+    w.field("ts_ns", nowNs());
+
+    Counters c = counters();
+    w.beginObject("server");
+    w.field("accepted", c.accepted);
+    w.field("rejected", c.rejected);
+    w.field("evicted", c.evicted);
+    w.field("completed", c.completed);
+    w.field("active", c.active);
+    w.field("workers", static_cast<uint64_t>(std::max(1, cfg_.workers)));
+    w.endObject();
+
+    w.beginObject("session");
+    w.field("id", s->id());
+    w.field("rx_frames", s->rxFrames);
+    w.field("rx_bytes", s->rxBytes);
+    w.field("tx_frames", s->txFrames);
+    w.field("tx_bytes", s->txBytes);
+    w.field("restarts", static_cast<uint64_t>(s->restarts()));
+    uint64_t parkedNs = 0, queuedNs = 0, runningNs = 0;
+    {
+        // Charge the still-open dwell so the numbers always sum to the
+        // session's age, even between transitions.
+        std::lock_guard<std::mutex> lk(schedMu_);
+        uint64_t now = nowNs();
+        uint64_t dur = now > s->schedEnteredNs
+                           ? now - s->schedEnteredNs : 0;
+        parkedNs = s->parkedNs;
+        queuedNs = s->queuedNs;
+        runningNs = s->runningNs;
+        switch (s->sched) {
+          case Session::Sched::Parked: parkedNs += dur; break;
+          case Session::Sched::Queued: queuedNs += dur; break;
+          case Session::Sched::Running: runningNs += dur; break;
+          case Session::Sched::Dead: break;
+        }
+    }
+    w.field("sched_parked_ns", parkedNs);
+    w.field("sched_queued_ns", queuedNs);
+    w.field("sched_running_ns", runningNs);
+    if (auto* sp = s->spans()) {
+        sp->flush();  // close spans whose output already left
+        sp->writeJson(w, "latency");
+    }
+    w.endObject();
+
+    w.rawField("registry",
+               metrics::toJson(metrics::Registry::global()));
+    w.endObject();
+    return w.str();
 }
 
 void
@@ -655,14 +796,31 @@ Server::sweep()
 void
 Server::dumpMetrics()
 {
-    std::string json = metrics::toJson(metrics::Registry::global());
+    metrics::JsonWriter w;
+    w.beginObject();
+    w.field("ts_ns", nowNs());
+    w.rawField("registry",
+               metrics::toJson(metrics::Registry::global()));
+    w.endObject();
+    const std::string& json = w.str();
     if (cfg_.metricsPath.empty()) {
         std::fprintf(stderr, "%s\n", json.c_str());
-    } else {
-        std::ofstream f(cfg_.metricsPath, std::ios::app);
-        if (f)
-            f << json << "\n";
+        return;
     }
+    // Write the whole document to a sibling temp file and rename it into
+    // place: a reader polling metricsPath sees either the previous
+    // snapshot or the new one, never a torn or half-appended line.
+    std::string tmp = cfg_.metricsPath + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        if (!f)
+            return;
+        f << json << "\n";
+        f.flush();
+        if (!f)
+            return;
+    }
+    std::rename(tmp.c_str(), cfg_.metricsPath.c_str());
 }
 
 } // namespace serve

@@ -27,7 +27,13 @@
  * counters and the `server.sessions.active` gauge in the global metric
  * registry, per-session byte/frame counters aggregated into
  * `server.{rx,tx}.{frames,bytes}` on close, and an optional periodic
- * JSON dump of the whole registry (docs/SERVING.md).
+ * JSON dump (a `{"ts_ns":...,"registry":{...}}` document replaced
+ * atomically via temp-file + rename so a tailing reader never sees a
+ * torn write).  With SessionConfig::trackLatency on, every session's
+ * frame spans merge into `server.latency.*` on close and its scheduler
+ * dwell (time Parked/Queued/Running, accounted at every transition)
+ * into `server.sched.{parked,queued,running}_ns`; a client can sample
+ * all of it live with a Stat frame (docs/SERVING.md).
  */
 #ifndef ZIRIA_ZSERVE_SERVER_H
 #define ZIRIA_ZSERVE_SERVER_H
@@ -117,6 +123,7 @@ class Server
     void closeNow(const std::shared_ptr<Session>& s);
     void sweep();
     void dumpMetrics();
+    std::string statJson(const std::shared_ptr<Session>& s);
 
     PipelineFactory factory_;
     ServerConfig cfg_;

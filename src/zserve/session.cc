@@ -13,6 +13,11 @@ Session::Session(uint64_t id, int fd, std::unique_ptr<Pipeline> pipe,
       stepper_(pipe_->root()), qsrc_(inQ_, inW_), fault_(fault),
       fsrc_(qsrc_, fault), sup_(cfg.restart)
 {
+    if (cfg.trackLatency) {
+        SpanConfig sc = cfg.span;
+        sc.name = "session" + std::to_string(id);
+        spans_ = std::make_unique<SpanTracker>(sc);
+    }
 }
 
 Session::~Session() = default;
@@ -25,6 +30,10 @@ Session::offerInput(const uint8_t* data, size_t n, size_t& consumed)
         if (inQ_.pushWait(data + consumed, 0) != QueueWait::Ready)
             return false;  // queue full (or cancelled at teardown)
         consumed += inW_;
+        // Spans open at ingress so queue dwell and scheduler parking are
+        // part of the measured end-to-end latency.
+        if (spans_)
+            spans_->onInput();
     }
     return true;
 }
@@ -94,9 +103,16 @@ Session::step()
     };
     bool overHighWater = false;
     auto push = [&](const uint8_t* elem) {
-        std::lock_guard<std::mutex> lk(mu_);
-        outRaw_.insert(outRaw_.end(), elem, elem + outW_);
-        overHighWater = outRaw_.size() - outRawPos_ >= cfg_.outHighWaterBytes;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            outRaw_.insert(outRaw_.end(), elem, elem + outW_);
+            overHighWater =
+                outRaw_.size() - outRawPos_ >= cfg_.outHighWaterBytes;
+        }
+        // Outside mu_: span completion may take the tracker's own lock
+        // (and emit a timeline event) — keep the lock graph flat.
+        if (spans_)
+            spans_->onOutput();
         return !overHighWater;
     };
 
@@ -111,11 +127,15 @@ Session::step()
           case StepOutcome::SinkFull:
             return StepResult::OutputFull;
           case StepOutcome::EndOfInput: {
+            if (spans_)
+                spans_->flush();
             std::lock_guard<std::mutex> lk(mu_);
             done_.finished = true;
             return StepResult::Finished;
           }
           case StepOutcome::Halted: {
+            if (spans_)
+                spans_->flush();
             std::lock_guard<std::mutex> lk(mu_);
             done_.finished = true;
             done_.halted = true;
@@ -142,6 +162,10 @@ Session::step()
             // costs at most the elements already consumed this frame.
             stepper_.reset(pipe_->frame());
             fsrc_.rearm();
+            // Abort the open spans of the discarded frame; the tracker
+            // re-bases its epoch so post-restart inputs open cleanly.
+            if (spans_)
+                spans_->onRestart();
             restarts_.fetch_add(1);
             metrics::Registry::global()
                 .counter("server.session.restarts")

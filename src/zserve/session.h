@@ -45,6 +45,7 @@
 #include "support/spsc_queue.h"
 #include "zexec/faultpoint.h"
 #include "zexec/pipeline.h"
+#include "zexec/span.h"
 #include "zexec/stepper.h"
 #include "zexec/supervisor.h"
 #include "zserve/wire.h"
@@ -59,6 +60,8 @@ struct SessionConfig
     size_t outHighWaterBytes = 256 * 1024;  ///< pause stepping above this
     uint64_t stepQuantum = 8192;  ///< advance() budget per worker burst
     RestartPolicy restart;        ///< per-session self-healing policy
+    bool trackLatency = false;    ///< allocate a per-session SpanTracker
+    SpanConfig span;              ///< its frame size / ratio / SLO budget
 };
 
 /**
@@ -135,6 +138,15 @@ class Session
     /** Restarts this session has consumed (worker/test side). */
     uint32_t restarts() const { return restarts_.load(); }
 
+    /**
+     * Frame-span tracker, or null when SessionConfig::trackLatency is
+     * off.  onInput fires on the I/O thread (offerInput), onOutput on
+     * the worker (step), which matches the tracker's SPSC contract;
+     * spans therefore measure true end-to-end session latency including
+     * queue dwell and scheduler parking.
+     */
+    SpanTracker* spans() const { return spans_.get(); }
+
     // ---- I/O-thread side --------------------------------------------
 
     /**
@@ -190,6 +202,14 @@ class Session
     Sched sched = Sched::Parked;
     bool again = false;  ///< wake arrived while Running — requeue
 
+    // Scheduler-dwell accounting (also under the scheduler mutex): time
+    // spent in each state, advanced at every transition by the server.
+    uint64_t schedEnteredNs = 0;  ///< when the current state was entered
+    uint64_t parkedNs = 0;
+    uint64_t queuedNs = 0;
+    uint64_t runningNs = 0;
+    uint32_t schedTrack = 0;      ///< timeline track id (0 = unnamed)
+
   private:
     uint64_t id_;
     int fd_;
@@ -208,6 +228,7 @@ class Session
     RestartSupervisor sup_;
     bool started_ = false;
     std::atomic<uint32_t> restarts_{0};
+    std::unique_ptr<SpanTracker> spans_;
 
     // Output buffer shared worker -> I/O thread.
     std::mutex mu_;

@@ -29,7 +29,7 @@ bool
 validType(uint8_t t)
 {
     return t >= static_cast<uint8_t>(FrameType::Hello) &&
-           t <= static_cast<uint8_t>(FrameType::Error);
+           t <= static_cast<uint8_t>(FrameType::Stat);
 }
 
 } // namespace
@@ -43,6 +43,7 @@ frameTypeName(FrameType t)
       case FrameType::End: return "end";
       case FrameType::Halt: return "halt";
       case FrameType::Error: return "error";
+      case FrameType::Stat: return "stat";
     }
     return "?";
 }

@@ -25,6 +25,10 @@
  *          returned; the payload is the control value's bytes.
  *   Error  fatal condition; payload is a human-readable UTF-8 message.
  *          The sender closes the connection after an Error frame.
+ *   Stat   live introspection.  Client -> server: empty payload,
+ *          requesting statistics.  Server -> client: the response, a
+ *          UTF-8 JSON document with the server's metric registry plus
+ *          this session's latency percentiles and scheduler dwell.
  *
  * Payloads are capped (kMaxPayload) so a hostile or corrupted length
  * field cannot make the receiver allocate unbounded memory; the parser
@@ -56,6 +60,7 @@ enum class FrameType : uint8_t {
     End = 3,
     Halt = 4,
     Error = 5,
+    Stat = 6,
 };
 
 /** Short lowercase name ("hello", "data", ...). */

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/log.h"
 #include "support/metrics.h"
@@ -69,13 +70,24 @@ TEST(Metrics, CounterAndGauge)
 
 TEST(Metrics, HistogramBucketsAndStats)
 {
-    EXPECT_EQ(metrics::Histogram::bucketOf(0), 0);
-    EXPECT_EQ(metrics::Histogram::bucketOf(1), 1);
-    EXPECT_EQ(metrics::Histogram::bucketOf(2), 2);
-    EXPECT_EQ(metrics::Histogram::bucketOf(3), 2);
-    EXPECT_EQ(metrics::Histogram::bucketOf(4), 3);
-    EXPECT_EQ(metrics::Histogram::bucketOf(~uint64_t{0}),
-              metrics::Histogram::kBuckets - 1);
+    using H = metrics::Histogram;
+    // Values below 2^kSubBits are recorded exactly.
+    for (uint64_t x = 0; x < H::kSubBuckets; ++x)
+        EXPECT_EQ(H::bucketOf(x), static_cast<int>(x));
+    // 16..31 land in segment 1, still one value per bucket.
+    EXPECT_EQ(H::bucketOf(16), 16);
+    EXPECT_EQ(H::bucketOf(31), 31);
+    // Segment 2 halves resolution: 32 and 33 share a bucket, 34 doesn't.
+    EXPECT_EQ(H::bucketOf(32), 32);
+    EXPECT_EQ(H::bucketOf(33), 32);
+    EXPECT_EQ(H::bucketOf(34), 33);
+    EXPECT_EQ(H::bucketOf(~uint64_t{0}), H::kBuckets - 1);
+    // Bucket bounds invert bucketOf.
+    for (int i = 0; i < H::kBuckets; ++i) {
+        EXPECT_EQ(H::bucketOf(H::bucketLow(i)), i) << i;
+        EXPECT_EQ(H::bucketOf(H::bucketLow(i) + H::bucketWidth(i) - 1), i)
+            << i;
+    }
 
     metrics::Histogram h;
     for (uint64_t x : {5u, 0u, 100u, 7u})
@@ -85,8 +97,63 @@ TEST(Metrics, HistogramBucketsAndStats)
     EXPECT_EQ(h.min(), 0u);
     EXPECT_EQ(h.max(), 100u);
     EXPECT_DOUBLE_EQ(h.mean(), 28.0);
-    EXPECT_EQ(h.bucket(metrics::Histogram::bucketOf(5)), 2u);  // 5 and 7
-    EXPECT_EQ(h.bucket(metrics::Histogram::bucketOf(100)), 1u);
+    EXPECT_EQ(h.bucket(H::bucketOf(5)), 1u);  // exact segment: 5 alone
+    EXPECT_EQ(h.bucket(H::bucketOf(7)), 1u);
+    EXPECT_EQ(h.bucket(H::bucketOf(100)), 1u);
+}
+
+TEST(Metrics, HistogramPercentiles)
+{
+    metrics::Histogram h;
+    // Empty histogram: all quantiles are 0.
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(0.999), 0u);
+
+    // Single observation: every quantile is that value.
+    h.observe(42);
+    EXPECT_EQ(h.percentile(0.0), 42u);
+    EXPECT_EQ(h.percentile(0.5), 42u);
+    EXPECT_EQ(h.percentile(0.99), 42u);
+    EXPECT_EQ(h.percentile(1.0), 42u);
+
+    // Uniform 1..1000: quantiles within the ~6% sub-bucket error.
+    metrics::Histogram u;
+    for (uint64_t x = 1; x <= 1000; ++x)
+        u.observe(x);
+    auto near = [](uint64_t got, uint64_t want) {
+        double rel = std::abs(static_cast<double>(got) -
+                              static_cast<double>(want)) /
+                     static_cast<double>(want);
+        return rel <= 0.08;
+    };
+    EXPECT_TRUE(near(u.percentile(0.50), 500)) << u.percentile(0.50);
+    EXPECT_TRUE(near(u.percentile(0.90), 900)) << u.percentile(0.90);
+    EXPECT_TRUE(near(u.percentile(0.99), 990)) << u.percentile(0.99);
+    EXPECT_TRUE(near(u.percentile(0.999), 999)) << u.percentile(0.999);
+    EXPECT_EQ(u.percentile(1.0), 1000u);
+
+    // Values in the exact segment come back exactly.
+    metrics::Histogram e;
+    for (int i = 0; i < 99; ++i)
+        e.observe(3);
+    e.observe(9);
+    EXPECT_EQ(e.percentile(0.5), 3u);
+    EXPECT_EQ(e.percentile(0.999), 9u);
+
+    // merge folds counts and extremes.
+    metrics::Histogram a, b;
+    a.observe(10);
+    b.observe(1000);
+    b.observe(2000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 10u);
+    EXPECT_EQ(a.max(), 2000u);
+    EXPECT_EQ(a.percentile(0.0), 10u);
+    EXPECT_EQ(a.percentile(1.0), 2000u);
+    metrics::Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
 }
 
 TEST(Metrics, RegistryStableRefsAndSnapshot)

@@ -15,6 +15,12 @@
  *           [--rate ELEMS_PER_SEC] [--input FILE] [--seed S]
  *           [--slow-read-ms MS] [--abort-midframe] [--hold-ms MS]
  *           [--expect-bytes FILE] [--out FILE] [--json] [--quiet]
+ *           [--stat]
+ *
+ *   --stat            live introspection probe: send a Stat frame after
+ *                     Hello, print the server's JSON reply (registry,
+ *                     session latency percentiles, scheduler dwell) to
+ *                     stdout, then close cleanly without streaming data
  *
  *   --rate            pace input at this many elements/second (0 = as
  *                     fast as the socket accepts; default 0)
@@ -35,7 +41,7 @@
  * When the pipeline is element-count-preserving (output elements ==
  * input elements, e.g. the WiFi scrambler), per-frame round-trip
  * latency is measured: the time from sending a frame to receiving the
- * last output element it maps to; p50/p99 are reported.
+ * last output element it maps to; p50/p90/p99/p999 are reported.
  *
  * Exit codes: 0 success (server End received), 1 output mismatch or
  * internal error, 2 usage error, 3 server sent an Error frame.
@@ -77,6 +83,7 @@ usage()
         "[--hold-ms MS]\n"
         "               [--expect-bytes FILE] [--out FILE] [--json] "
         "[--quiet]\n"
+        "               [--stat]\n"
         "exit codes: 0 ok, 1 mismatch/internal, 2 usage, "
         "3 server error frame\n");
     return 2;
@@ -129,6 +136,9 @@ readerLoop(int fd, size_t outW, long slowReadMs, ReaderState* st)
               case FrameType::Halt:
                 st->ctrl = f.payload;
                 break;
+              case FrameType::Stat:
+                break;  // stray stat reply: not ours to interpret
+
               case FrameType::Error:
                 st->error.assign(f.payload.begin(), f.payload.end());
                 st->closed = true;
@@ -190,6 +200,7 @@ main(int argc, char** argv)
     bool abortMidframe = false;
     bool json = false;
     bool quiet = false;
+    bool statMode = false;
 
     auto needVal = [&](int& i) -> const char* {
         return i + 1 < argc ? argv[++i] : nullptr;
@@ -225,6 +236,8 @@ main(int argc, char** argv)
             json = true;
         } else if (a == "--quiet") {
             quiet = true;
+        } else if (a == "--stat") {
+            statMode = true;
         } else {
             std::fprintf(stderr, "zclient: unknown option %s\n",
                          a.c_str());
@@ -291,6 +304,58 @@ main(int argc, char** argv)
     }
     if (!quiet && !json)
         std::printf("connected: in-width %u, out-width %u\n", inW, outW);
+
+    // --stat: one synchronous request/response on the Hello parser, an
+    // orderly End, and out — no data is streamed.
+    if (statMode) {
+        std::vector<uint8_t> wire;
+        encodeFrame(wire, FrameType::Stat);
+        encodeFrame(wire, FrameType::End);
+        if (!sendAll(sock.get(), wire.data(), wire.size())) {
+            std::fprintf(stderr, "zclient: send failed\n");
+            return 1;
+        }
+        Frame f;
+        uint8_t buf[64 * 1024];
+        bool printed = false;
+        for (;;) {
+            FrameParser::Result r = parser.next(f);
+            if (r == FrameParser::Result::Frame) {
+                if (f.type == FrameType::Stat && !printed) {
+                    std::printf("%.*s\n",
+                                static_cast<int>(f.payload.size()),
+                                reinterpret_cast<const char*>(
+                                    f.payload.data()));
+                    printed = true;
+                } else if (f.type == FrameType::Error) {
+                    std::fprintf(stderr, "zclient: server error: %.*s\n",
+                                 static_cast<int>(f.payload.size()),
+                                 reinterpret_cast<const char*>(
+                                     f.payload.data()));
+                    return 3;
+                } else if (f.type == FrameType::End) {
+                    break;
+                }
+                continue;  // skip Data/Halt on the way to End
+            }
+            if (r == FrameParser::Result::Error) {
+                std::fprintf(stderr, "zclient: protocol error: %s\n",
+                             parser.error().c_str());
+                return 1;
+            }
+            long n = recvSome(sock.get(), buf, sizeof buf);
+            if (n > 0)
+                parser.feed(buf, static_cast<size_t>(n));
+            else if (n != -1)
+                break;  // closed
+        }
+        if (!printed) {
+            std::fprintf(stderr,
+                         "zclient: no Stat reply before close\n");
+            return 1;
+        }
+        return 0;
+    }
 
     if (holdMs > 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(holdMs));
@@ -442,7 +507,9 @@ main(int argc, char** argv)
                                   (wallMs / 1e3)
                             : 0;
     double p50 = percentileMs(latMs, 0.50);
+    double p90 = percentileMs(latMs, 0.90);
     double p99 = percentileMs(latMs, 0.99);
+    double p999 = percentileMs(latMs, 0.999);
 
     int rc = 0;
     std::string note;
@@ -461,12 +528,14 @@ main(int argc, char** argv)
         std::printf("{\"sent_elems\":%llu,\"recv_elems\":%llu,"
                     "\"recv_frames\":%llu,\"wall_ms\":%.3f,"
                     "\"elems_per_sec\":%.0f,\"latency_p50_ms\":%.3f,"
-                    "\"latency_p99_ms\":%.3f,\"halted\":%s,"
+                    "\"latency_p90_ms\":%.3f,\"latency_p99_ms\":%.3f,"
+                    "\"latency_p999_ms\":%.3f,\"halted\":%s,"
                     "\"match\":%s}\n",
                     static_cast<unsigned long long>(sentElems),
                     static_cast<unsigned long long>(recvElems),
                     static_cast<unsigned long long>(st.frames), wallMs,
-                    eps, p50, p99, st.ctrl.empty() ? "false" : "true",
+                    eps, p50, p90, p99, p999,
+                    st.ctrl.empty() ? "false" : "true",
                     rc == 0 ? "true" : "false");
     } else if (!quiet) {
         std::printf("sent %llu element(s) in %zu frame(s); received "
@@ -477,8 +546,9 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(st.frames));
         std::printf("wall %.2f ms, %.0f elems/s", wallMs, eps);
         if (!latMs.empty())
-            std::printf(", frame latency p50 %.3f ms p99 %.3f ms", p50,
-                        p99);
+            std::printf(", frame RTT p50 %.3f ms p90 %.3f ms "
+                        "p99 %.3f ms p999 %.3f ms",
+                        p50, p90, p99, p999);
         std::printf("\n");
         if (!st.ctrl.empty())
             std::printf("pipeline halted with a %zu-byte control "
