@@ -20,6 +20,46 @@ using namespace zb;
 
 namespace {
 
+/**
+ * Machinery-dominated per-element deinterleaver: the same permutation
+ * as wifi::deinterleaverBlock, but written with scalar `take`/`emit` —
+ * one element per advance() — instead of the natural `takes n` form.
+ * The repo's `takes`-style blocks amortize the tick/proc machinery over
+ * a whole array even unoptimized, which is why E4's "none" column looks
+ * flat next to the paper; this variant restores the paper's unvectorized
+ * regime, where every element pays the full per-advance cost.  Compare
+ * its "none" column against the Deinterleave* rows above: the gap IS the
+ * machinery, the same cost E2 measures per `>>>` and the fused backend
+ * (docs/FUSION.md) removes.
+ */
+CompPtr
+perElementDeinterleaver(dsp::Modulation m, Rate rate)
+{
+    auto tab = interleaverTable(rate);
+    const int n = static_cast<int>(tab.size());
+    std::vector<Value> tv;
+    tv.reserve(tab.size());
+    for (int j : tab)
+        tv.push_back(Value::i32(j));
+    ExprPtr table = cVal(Value::arrayOf(Type::int32(), tv));
+
+    VarRef buf = freshVar("pb", Type::array(Type::bit(), n));
+    VarRef x = freshVar("x", Type::bit());
+    VarRef i = freshVar("i", Type::int32());
+    VarRef j = freshVar("j", Type::int32());
+    (void)m;
+    return letvar(
+        buf, nullptr,
+        repeatc(seqc(
+            {just(timesc(
+                 cInt(n), i,
+                 seqc({bindc(x, take(Type::bit())),
+                       just(doS({assign(idx(var(buf), var(i)),
+                                        var(x))}))}))),
+             just(timesc(cInt(n), j,
+                         emit(idx(var(buf), idx(table, var(j))))))})));
+}
+
 Value
 identityInverseChannel()
 {
@@ -124,6 +164,21 @@ main()
           std::pair{"DeinterleaveQAM64", Modulation::Qam64}}) {
         print(measure(name, [m] { return deinterleaverBlock(m); }, bitsIn,
                       1, BITS));
+    }
+    // Machinery-dominated per-element variants (scalar take/emit): the
+    // unvectorized baseline pays the tick/proc machinery per element,
+    // the regime the paper's 10-100x RX bars measure.  Compare these
+    // rows against the Deinterleave* rows above (same permutation,
+    // `takes n` style) to see how much the array-at-a-time source style
+    // pre-amortizes.
+    for (auto [name, m, r] :
+         {std::tuple{"Deint/elem BPSK", Modulation::Bpsk, Rate::R6},
+          std::tuple{"Deint/elem QPSK", Modulation::Qpsk, Rate::R12},
+          std::tuple{"Deint/elem QAM16", Modulation::Qam16, Rate::R24},
+          std::tuple{"Deint/elem QAM64", Modulation::Qam64, Rate::R54}}) {
+        print(measure(
+            name, [m = m, r = r] { return perElementDeinterleaver(m, r); },
+            bitsIn, 1, BITS / 4));
     }
     {
         // Viterbi (native): decode a realistic coded stream.

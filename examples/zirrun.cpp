@@ -3,7 +3,8 @@
  * `zirrun` — compile and run a Ziria source file from the command line.
  *
  * Usage:
- *   zirrun FILE.zir [--opt none|vect|all] [--dump] [--bytes N]
+ *   zirrun FILE.zir [--opt none|vect|all] [--backend vm|fused]
+ *                   [--dump] [--bytes N]
  *                   [--profile[=FILE]] [--trace-passes[=N]]
  *                   [--latency-budget-us N] [--trace-timeline FILE]
  *                   [--span-frame N]
@@ -13,6 +14,12 @@
  * bytes shaped to its input element type; the first output elements are
  * printed, together with the compile report (chosen vectorization
  * widths, LUTs built) — a miniature of the paper's `wplc` driver.
+ *
+ * `--backend fused` lowers maximal fusible subtrees into the linear
+ * bytecode interpreter (docs/FUSION.md) instead of the closure-tree VM;
+ * constructs the fuser cannot flatten (threaded `|>>>|` partitions,
+ * native blocks) fall back to VM combinators node by node.  The compile
+ * summary reports `fused N region(s), M fallback(s)`.
  *
  * `--profile` compiles with instrumentation and emits a JSON document
  * (to stdout, or FILE with `--profile=FILE`) containing the compile
@@ -126,8 +133,9 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: zirrun FILE.zir [--opt none|vect|all] [--dump] "
-                 "[--bytes N]\n"
+                 "usage: zirrun FILE.zir [--opt none|vect|all] "
+                 "[--backend vm|fused]\n"
+                 "              [--dump] [--bytes N]\n"
                  "              [--profile[=FILE]] [--trace-passes[=N]]\n"
                  "              [--latency-budget-us N] "
                  "[--trace-timeline FILE]\n"
@@ -204,12 +212,14 @@ struct TimelineGuard
 /** Compose the --profile JSON document. */
 std::string
 profileJson(const std::string& program, const char* optName,
-            const CompileReport& rep, const RunStats& st)
+            const char* backendName, const CompileReport& rep,
+            const RunStats& st)
 {
     metrics::JsonWriter w;
     w.beginObject();
     w.field("program", program);
     w.field("opt", optName);
+    w.field("backend", backendName);
     w.beginObject("compile");
     rep.writeJson(w);
     w.endObject();
@@ -241,6 +251,8 @@ main(int argc, char** argv)
     std::string path = argv[1];
     OptLevel level = OptLevel::All;
     const char* optName = "all";
+    Backend backend = Backend::Vm;
+    const char* backendName = "vm";
     bool dump = false;
     bool profile = false;
     std::string profilePath;
@@ -282,6 +294,22 @@ main(int argc, char** argv)
                 return kExitUserError;
             }
             optName = v == "none" ? "none" : (v == "vect" ? "vect" : "all");
+        } else if ((a == "--backend" && i + 1 < argc) ||
+                   a.rfind("--backend=", 0) == 0) {
+            std::string v = a.rfind("--backend=", 0) == 0
+                                ? a.substr(strlen("--backend="))
+                                : argv[++i];
+            if (v == "vm") {
+                backend = Backend::Vm;
+            } else if (v == "fused") {
+                backend = Backend::Fused;
+            } else {
+                std::fprintf(stderr,
+                             "zirrun: invalid --backend value '%s' "
+                             "(expected vm|fused)\n", v.c_str());
+                return kExitUserError;
+            }
+            backendName = v == "vm" ? "vm" : "fused";
         } else if (a == "--bytes" && i + 1 < argc) {
             const char* s = argv[++i];
             char* end = nullptr;
@@ -497,6 +525,7 @@ main(int argc, char** argv)
         if (tracePasses >= 0 || profile)
             copt.tracer = &tracer;
         copt.instrument = profile;
+        copt.backend = backend;
         copt.stallDeadlineMs = deadlineMs;
         if (restartN > 0) {
             copt.restart.mode = RestartMode::OnFailure;
@@ -515,6 +544,11 @@ main(int argc, char** argv)
                     rep.totalSec() * 1e3, rep.vect.generated,
                     rep.vect.chosenIn, rep.vect.chosenOut,
                     rep.build.lutsBuilt, rep.build.lutBytes / 1024);
+        if (backend == Backend::Fused)
+            std::printf("fused %d region(s) (%d op(s), %d channel(s)), "
+                        "%d fallback(s)\n",
+                        rep.fuse.nodesFused, rep.fuse.fusedOps,
+                        rep.fuse.channels, rep.fuse.fallbacks);
         if (dump) {
             CompPtr opt = optimizeComp(program,
                                        CompilerOptions::forLevel(level));
@@ -578,6 +612,7 @@ main(int argc, char** argv)
             // Factory options: same opt level, no tracer/instrumentation
             // (those belong to the one-shot profiling path).
             CompilerOptions fcopt = CompilerOptions::forLevel(level);
+            fcopt.backend = backend;
             serve::Server server(
                 [program, fcopt](uint64_t) {
                     return compilePipeline(program, fcopt, nullptr);
@@ -687,7 +722,8 @@ main(int argc, char** argv)
         }
 
         if (profile) {
-            std::string doc = profileJson(path, optName, rep, st);
+            std::string doc =
+                profileJson(path, optName, backendName, rep, st);
             if (profilePath.empty()) {
                 std::printf("%s\n", doc.c_str());
             } else {

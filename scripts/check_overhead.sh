@@ -6,6 +6,9 @@
 #
 #   instrument  per-node counters compiled in but DISABLED
 #   spans_off   frame-span hooks present but no tracker attached
+#   vm_backend  default VM node build with the fused backend available
+#               but NOT selected (Backend::Fused is a compile-time
+#               branch; a VM build must pay zero for its existence)
 #
 # and compares each against scripts/overhead_baseline.txt.  The first
 # run on a machine records the baseline; later runs fail (exit 1) if
@@ -28,38 +31,51 @@ out=$("$BIN" --overhead-check) || exit 1
 echo "$out"
 disabled=$(echo "$out" | awk '/^ns_per_datum_disabled/ {print $2}')
 spans_off=$(echo "$out" | awk '/^ns_per_datum_spans_off/ {print $2}')
-if [ -z "$disabled" ] || [ -z "$spans_off" ]; then
+vm_backend=$(echo "$out" | awk '/^ns_per_datum_vm/ {print $2}')
+if [ -z "$disabled" ] || [ -z "$spans_off" ] || [ -z "$vm_backend" ]; then
     echo "check_overhead: could not parse benchmark output" >&2
     exit 1
 fi
 
 record_baseline() {
-    printf 'instrument %s\nspans_off %s\n' "$1" "$2" > "$BASELINE"
+    printf 'instrument %s\nspans_off %s\nvm_backend %s\n' \
+        "$1" "$2" "$3" > "$BASELINE"
 }
 
 if [ "$1" = "--update-baseline" ] || [ ! -f "$BASELINE" ]; then
-    record_baseline "$disabled" "$spans_off"
+    record_baseline "$disabled" "$spans_off" "$vm_backend"
     echo "check_overhead: baseline recorded" \
-         "(instrument $disabled, spans_off $spans_off ns/datum)"
+         "(instrument $disabled, spans_off $spans_off," \
+         "vm_backend $vm_backend ns/datum)"
     exit 0
 fi
 
 base_instr=$(awk '/^instrument/ {print $2}' "$BASELINE")
 base_spans=$(awk '/^spans_off/ {print $2}' "$BASELINE")
+base_vm=$(awk '/^vm_backend/ {print $2}' "$BASELINE")
 # Baselines recorded before the span tracker existed were a single bare
 # number (the instrument-off value); keep it and record the span side.
 if [ -z "$base_instr" ]; then
     base_instr=$(awk 'NR==1 {print $1}' "$BASELINE")
 fi
 if [ -z "$base_spans" ]; then
-    record_baseline "$base_instr" "$spans_off"
-    echo "check_overhead: span baseline recorded ($spans_off ns/datum)"
     base_spans=$spans_off
+    record_baseline "$base_instr" "$base_spans" "$vm_backend"
+    echo "check_overhead: span baseline recorded ($spans_off ns/datum)"
+fi
+# Baselines recorded before the fused backend existed lack the
+# vm_backend line; record today's VM figure and gate from here on.
+if [ -z "$base_vm" ]; then
+    base_vm=$vm_backend
+    record_baseline "$base_instr" "$base_spans" "$base_vm"
+    echo "check_overhead: vm_backend baseline recorded" \
+         "($vm_backend ns/datum)"
 fi
 
 fail=0
 for pair in "instrument:$disabled:$base_instr" \
-            "spans_off:$spans_off:$base_spans"; do
+            "spans_off:$spans_off:$base_spans" \
+            "vm_backend:$vm_backend:$base_vm"; do
     name=${pair%%:*}
     rest=${pair#*:}
     cur=${rest%%:*}

@@ -68,6 +68,14 @@ sh scripts/soak.sh serve 2>&1 | tee -a serve_output.txt
 # Stat frame round-trip (docs/OBSERVABILITY.md).
 ctest --test-dir build -L latency --output-on-failure 2>&1 \
     | tee latency_output.txt
+# Fused-backend suites (label `fuse`): fusibility classification, the
+# vm-vs-fused differential matrix, golden-vector conformance on the
+# fused interpreter, reset() totality (docs/FUSION.md) — then the CLI
+# fuse soak (--backend=fused x fault x restart).  The suites also carry
+# the `sanitizer` label, so --sanitize=tsan covers the fused backend.
+ctest --test-dir build -L fuse --output-on-failure 2>&1 \
+    | tee fuse_output.txt
+sh scripts/soak.sh fuse 2>&1 | tee -a fuse_output.txt
 sh scripts/check_overhead.sh 2>&1 | tee overhead_output.txt
 {
     for b in build/bench/*; do

@@ -13,7 +13,12 @@
 # a hard disconnect mid-frame, a slow reader forcing backpressure, a
 # burst over the session cap — and still serve the next clean session.
 #
-# Usage: scripts/soak.sh [fault|recovery|serve|all]   (default: all)
+# The fuse matrix (docs/FUSION.md) runs the same fault x restart grid
+# with `--backend=fused`: the fused bytecode interpreter must compose
+# with every robustness control exactly like the VM — same exit code in
+# every cell.
+#
+# Usage: scripts/soak.sh [fault|recovery|serve|fuse|all]   (default: all)
 #        BUILD_DIR=build-tsan scripts/soak.sh
 cd "$(dirname "$0")/.." || exit 1
 BUILD="${BUILD_DIR:-build}"
@@ -22,8 +27,9 @@ MODE="${1:-all}"
 DEADLINE_S=30   # per-case wall-clock budget (timeout -> case failed)
 
 case "$MODE" in
-  fault|recovery|serve|all) ;;
-  *) echo "soak: unknown mode '$MODE' (want fault|recovery|serve|all)" >&2
+  fault|recovery|serve|fuse|all) ;;
+  *) echo "soak: unknown mode '$MODE'" \
+          "(want fault|recovery|serve|fuse|all)" >&2
      exit 2 ;;
 esac
 
@@ -217,11 +223,51 @@ serve_matrix() {
     rm -f "$srv_log"
 }
 
+# Fuse matrix: {backend=fused} x {fault} x {restart} x {opt}.  Every
+# cell must exit with the same documented code as its VM twin above —
+# the fused backend sits behind the ExecNode interface, so supervision,
+# fault injection, restart, and the serve loop see no difference.
+fuse_matrix() {
+    for prog in examples/zir/scrambler.zir examples/zir/pipeline.zir; do
+        name=$(basename "$prog" .zir)
+        for opt in none all; do
+            tag="fuse/$name/$opt"
+            c="$BIN $prog --opt $opt --backend=fused --bytes 4096"
+            check 0 "$tag clean"     $c
+            check 0 "$tag truncate"  $c --inject-fault truncate@4
+            check 0 "$tag shortread" $c --inject-fault shortread@0:7
+            check 3 "$tag throw"     $c --inject-fault throw@2
+            check 0 "$tag transient throw heals" \
+                    $c --inject-fault throw@4 --restart 3 --backoff-ms 1
+            check 5 "$tag permanent throw exhausts" \
+                    $c --inject-fault throw@4:0 --restart 2 --backoff-ms 1
+        done
+    done
+
+    # Threaded supervision: pipeline.zir splits at |>>>|, so each fused
+    # partition runs under the stall watchdog and restart supervisor.
+    c="$BIN examples/zir/pipeline.zir --opt none --backend=fused \
+       --bytes 4096"
+    check 0 "fuse/pipeline supervised clean" $c --deadline-ms 2000
+    check 4 "fuse/pipeline stall supervised" $c \
+            --inject-fault stall@2:30000 --deadline-ms 250
+    check 0 "fuse/pipeline stall heals" $c --inject-fault stall@2:30000 \
+            --deadline-ms 250 --restart 2 --backoff-ms 1
+
+    # Long-running serve loop on the fused backend: a transient crash
+    # costs one frame, not the loop (reset() re-arm under restart).
+    check 0 "fuse/serve transient throw" \
+            $BIN examples/zir/scrambler.zir --opt none --backend=fused \
+            --serve=2000 --inject-fault throw@100 --restart 3 \
+            --backoff-ms 1
+}
+
 case "$MODE" in
   fault)    fault_matrix ;;
   recovery) recovery_matrix ;;
   serve)    serve_matrix ;;
-  all)      fault_matrix; recovery_matrix; serve_matrix ;;
+  fuse)     fuse_matrix ;;
+  all)      fault_matrix; recovery_matrix; serve_matrix; fuse_matrix ;;
 esac
 
 echo "soak($MODE): $pass passed, $fail failed"

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The fused execution backend: public entry points.
+ *
+ * `buildNodeFused` is the fused counterpart of `buildNode`
+ * (zexec/pipeline.cc): it walks the optimized computation tree, lowers
+ * every maximal *fusible* subtree into one FusedNode (a flat bytecode
+ * program, zfuse/bytecode.h), and falls back to ordinary VM nodes for
+ * the constructs it cannot fuse — native stream blocks and `|>>>|`
+ * boundaries — joining fused regions with the usual combinator nodes.
+ * The result sits behind the ExecNode interface, so tracing, frame
+ * spans, fault injection, supervised restart and zserve sessions
+ * compose unchanged, and `reset()` re-zeroes the fused state block
+ * (the PR-4 re-arm contract holds by construction: start == reset ==
+ * zero state + re-enter at the program entry).
+ *
+ * Selected via `CompilerOptions::backend` / `zirrun --backend=fused`.
+ * Fusibility rules, the bytecode format and fallback semantics are
+ * documented in docs/FUSION.md.
+ */
+#ifndef ZIRIA_ZFUSE_FUSE_H
+#define ZIRIA_ZFUSE_FUSE_H
+
+#include <memory>
+#include <string>
+
+#include "zast/comp.h"
+#include "zexec/pipeline.h"
+#include "zfuse/bytecode.h"
+
+namespace ziria {
+
+/** Statistics from one fused build (CompileReport::fuse). */
+struct FuseStats
+{
+    int nodesFused = 0;  ///< FusedNode instances created
+    int fallbacks = 0;   ///< VM nodes built because fusion was refused
+    int fusedOps = 0;    ///< total bytecode instructions emitted
+    int channels = 0;    ///< internal `>>>` boundaries compiled away
+};
+
+/**
+ * Can this whole subtree be lowered to fused bytecode?  False for
+ * native blocks (opaque kernels drive their own emission) and for
+ * `|>>>|`-marked pipes (a thread boundary must stay a real node so the
+ * threaded driver can split it); recursively true otherwise.
+ */
+bool fusibleComp(const CompPtr& c);
+
+/**
+ * Lower one fusible subtree to bytecode.  @p c must be elaborated and
+ * checked; kernels/LUTs are compiled against @p ec exactly as the VM
+ * build would.  Exposed separately for tests and disassembly.
+ */
+std::shared_ptr<const zfuse::FuseProgram>
+lowerFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
+           BuildStats* stats = nullptr, FuseStats* fstats = nullptr);
+
+/**
+ * Build the execution tree with the fused backend: maximal fusible
+ * subtrees become FusedNodes, the rest VM nodes.  Drop-in replacement
+ * for buildNode (same width normalization and instrumentation shims).
+ */
+NodePtr buildNodeFused(const CompPtr& c, ExprCompiler& ec,
+                       const BuildOptions& opt, BuildStats* stats,
+                       FuseStats* fstats = nullptr,
+                       const std::string& path = "root");
+
+/** The bytecode interpreter node (behind ExecNode; one per region). */
+class FusedNode : public ExecNode
+{
+  public:
+    explicit FusedNode(std::shared_ptr<const zfuse::FuseProgram> prog);
+
+    void start(Frame& f) override;
+    /** Total by construction: zero state block + re-enter at entry. */
+    void reset(Frame& f) override { start(f); }
+    Status advance(Frame& f) override;
+    void supply(Frame& f, const uint8_t* in) override;
+    const uint8_t* out() const override { return outPtr_; }
+    const uint8_t* ctrl() const override { return ctrlPtr_; }
+
+    const zfuse::FuseProgram& program() const { return *prog_; }
+
+  private:
+    uint8_t* loc(Frame& f, uint32_t enc)
+    {
+        return (enc & zfuse::kFrameBit)
+            ? f.at(enc & ~zfuse::kFrameBit)
+            : state_.data() + enc;
+    }
+
+    std::shared_ptr<const zfuse::FuseProgram> prog_;
+    std::vector<int64_t> regs_;
+    std::vector<uint8_t> state_;
+    std::vector<uint32_t> chProdPc_;
+    std::vector<uint32_t> chConsPc_;
+    std::vector<uint8_t> chFull_;
+    uint32_t pc_ = 0;
+    uint64_t spins_ = 0;  ///< repeat livelock guard (reset on any I/O)
+    const uint8_t* outPtr_ = nullptr;
+    const uint8_t* ctrlPtr_ = nullptr;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_ZFUSE_FUSE_H

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * The fused bytecode interpreter.
+ *
+ * One FusedNode::advance() call executes straight-line bytecode until it
+ * must touch the outside world: an external take parks the pc on the
+ * take instruction and returns NeedInput (supply() then writes directly
+ * into the take's destination and re-arms it), an external emit returns
+ * Yield with out() pointing into the state block, and Halt returns Done
+ * with ctrl() set by the preceding Ctrl instruction.  Internal `>>>`
+ * boundaries never leave the loop: they are two saved program counters
+ * and a one-element buffer (see zfuse/bytecode.h for the protocol).
+ *
+ * Dispatch is computed-goto under GCC/Clang (one indirect branch per
+ * instruction, the classic direct-threaded interpreter) with a switch
+ * fallback elsewhere.  The jump-table order must match `enum class Op`.
+ */
+#include "zfuse/fuse.h"
+
+#include <cstring>
+
+#include "support/panic.h"
+#include "ztype/value.h"
+
+namespace ziria {
+
+using namespace zfuse;
+
+namespace {
+
+/// Same budget as RepeatNode (zexec/nodes_comb.cc): iterations a repeat
+/// body may complete without any I/O before we flag a livelock.
+constexpr uint64_t fuseSpinLimit = 1u << 20;
+
+} // namespace
+
+FusedNode::FusedNode(std::shared_ptr<const FuseProgram> prog)
+    : prog_(std::move(prog))
+{
+    regs_.resize(prog_->nRegs, 0);
+    state_.resize(prog_->stateBytes, 0);
+    chProdPc_.resize(prog_->channels.size(), 0);
+    chConsPc_.resize(prog_->channels.size(), 0);
+    chFull_.resize(prog_->channels.size(), 0);
+    setInWidth(prog_->inWidth);
+    setOutWidth(prog_->outWidth);
+    setCtrlWidth(prog_->ctrlWidth);
+}
+
+void
+FusedNode::start(Frame&)
+{
+    std::fill(regs_.begin(), regs_.end(), 0);
+    std::fill(state_.begin(), state_.end(), 0);
+    std::fill(chProdPc_.begin(), chProdPc_.end(), 0);
+    std::fill(chConsPc_.begin(), chConsPc_.end(), 0);
+    std::fill(chFull_.begin(), chFull_.end(), 0);
+    pc_ = 0;
+    spins_ = 0;
+    outPtr_ = nullptr;
+    ctrlPtr_ = nullptr;
+}
+
+void
+FusedNode::supply(Frame& f, const uint8_t* in)
+{
+    // advance() only returns NeedInput parked on an external take, so
+    // pc_ identifies exactly where the element goes — the VM's
+    // supply-then-consume order collapses to one direct write.
+    const Instr& i = prog_->instrs[pc_];
+    switch (i.op) {
+      case Op::TakeExt:
+        std::memcpy(loc(f, i.a), in, i.b);
+        regs_[i.c] = 1;
+        break;
+      case Op::TakeManyExt:
+        std::memcpy(loc(f, i.a) + regs_[i.c] * i.b, in, i.b);
+        ++regs_[i.c];
+        break;
+      default:
+        panic("FusedNode::supply: not parked on an external take");
+    }
+}
+
+Status
+FusedNode::advance(Frame& f)
+{
+    const Instr* code = prog_->instrs.data();
+    const FuseChannel* chans = prog_->channels.data();
+    uint32_t pc = pc_;
+
+#if defined(__GNUC__) || defined(__clang__)
+    // Direct-threaded dispatch; table order MUST match enum class Op.
+    static const void* kJump[] = {
+        &&op_TakeExt,   &&op_TakeManyExt, &&op_TakeCh,  &&op_TakeManyCh,
+        &&op_EmitExt,   &&op_EmitChSig,   &&op_EmitCh,  &&op_EmitsExt,
+        &&op_EmitsCh,   &&op_EvalInto,    &&op_EvalInt, &&op_Action,
+        &&op_Lut,       &&op_Copy,        &&op_Zero,    &&op_LoadByte,
+        &&op_SetReg,    &&op_IvWrite,     &&op_Jmp,     &&op_Jz,
+        &&op_JgeRR,     &&op_TimesStep,   &&op_PipeInit, &&op_Spin,
+        &&op_Ctrl,      &&op_Halt,
+    };
+#define OP(name) op_##name:
+#define NEXT() goto* kJump[static_cast<size_t>(code[pc].op)]
+    NEXT();
+#else
+#define OP(name) case Op::name:
+#define NEXT() continue
+    for (;;) {
+        switch (code[pc].op) {
+#endif
+
+    OP(TakeExt)
+    {
+        const Instr& i = code[pc];
+        if (regs_[i.c]) {
+            regs_[i.c] = 0;
+            spins_ = 0;
+            ++pc;
+            NEXT();
+        }
+        pc_ = pc;
+        return Status::NeedInput;
+    }
+    OP(TakeManyExt)
+    {
+        const Instr& i = code[pc];
+        if (regs_[i.c] >= static_cast<int64_t>(i.d)) {
+            spins_ = 0;
+            ++pc;
+            NEXT();
+        }
+        pc_ = pc;
+        return Status::NeedInput;
+    }
+    OP(TakeCh)
+    {
+        const Instr& i = code[pc];
+        if (chFull_[i.c]) {
+            std::memcpy(loc(f, i.a), state_.data() + chans[i.c].bufOff,
+                        i.b);
+            chFull_[i.c] = 0;
+            spins_ = 0;
+            ++pc;
+        } else {
+            chConsPc_[i.c] = pc;
+            pc = chProdPc_[i.c];
+            spins_ = 0;
+        }
+        NEXT();
+    }
+    OP(TakeManyCh)
+    {
+        const Instr& i = code[pc];
+        if (regs_[i.e] >= static_cast<int64_t>(i.d)) {
+            spins_ = 0;
+            ++pc;
+        } else if (chFull_[i.c]) {
+            std::memcpy(loc(f, i.a) + regs_[i.e] * i.b,
+                        state_.data() + chans[i.c].bufOff, i.b);
+            ++regs_[i.e];
+            chFull_[i.c] = 0;
+            spins_ = 0;
+            // pc unchanged: re-run until all n elements are in.
+        } else {
+            chConsPc_[i.c] = pc;
+            pc = chProdPc_[i.c];
+        }
+        NEXT();
+    }
+    OP(EmitExt)
+    {
+        outPtr_ = loc(f, code[pc].a);
+        spins_ = 0;
+        pc_ = pc + 1;
+        return Status::Yield;
+    }
+    OP(EmitChSig)
+    {
+        const Instr& i = code[pc];
+        chFull_[i.a] = 1;
+        chProdPc_[i.a] = pc + 1;
+        pc = chConsPc_[i.a];
+        spins_ = 0;
+        NEXT();
+    }
+    OP(EmitCh)
+    {
+        const Instr& i = code[pc];
+        std::memcpy(state_.data() + chans[i.c].bufOff, loc(f, i.a), i.b);
+        chFull_[i.c] = 1;
+        chProdPc_[i.c] = pc + 1;
+        pc = chConsPc_[i.c];
+        spins_ = 0;
+        NEXT();
+    }
+    OP(EmitsExt)
+    {
+        const Instr& i = code[pc];
+        if (regs_[i.c] >= static_cast<int64_t>(i.d)) {
+            pc = i.e;
+            NEXT();
+        }
+        outPtr_ = loc(f, i.a) + regs_[i.c] * i.b;
+        ++regs_[i.c];
+        spins_ = 0;
+        pc_ = pc;  // self-loop: next advance re-runs this instruction
+        return Status::Yield;
+    }
+    OP(EmitsCh)
+    {
+        const Instr& i = code[pc];
+        if (regs_[i.c] >= static_cast<int64_t>(i.d)) {
+            pc = i.e;
+        } else {
+            uint32_t ch = static_cast<uint32_t>(i.fn);
+            std::memcpy(state_.data() + chans[ch].bufOff,
+                        loc(f, i.a) + regs_[i.c] * i.b, i.b);
+            ++regs_[i.c];
+            chFull_[ch] = 1;
+            chProdPc_[ch] = pc;  // self-loop for the next element
+            pc = chConsPc_[ch];
+            spins_ = 0;
+        }
+        NEXT();
+    }
+    OP(EvalInto)
+    {
+        const Instr& i = code[pc];
+        prog_->intoFns[i.fn](f, loc(f, i.a));
+        ++pc;
+        NEXT();
+    }
+    OP(EvalInt)
+    {
+        const Instr& i = code[pc];
+        regs_[i.a] = prog_->intFns[i.fn](f);
+        ++pc;
+        NEXT();
+    }
+    OP(Action)
+    {
+        prog_->actions[code[pc].fn](f);
+        ++pc;
+        NEXT();
+    }
+    OP(Lut)
+    {
+        const Instr& i = code[pc];
+        prog_->luts[i.fn]->apply(f, loc(f, i.a));
+        ++pc;
+        NEXT();
+    }
+    OP(Copy)
+    {
+        const Instr& i = code[pc];
+        std::memcpy(loc(f, i.a), loc(f, i.b), i.c);
+        ++pc;
+        NEXT();
+    }
+    OP(Zero)
+    {
+        const Instr& i = code[pc];
+        std::memset(loc(f, i.a), 0, i.b);
+        ++pc;
+        NEXT();
+    }
+    OP(LoadByte)
+    {
+        const Instr& i = code[pc];
+        regs_[i.a] = *loc(f, i.b);
+        ++pc;
+        NEXT();
+    }
+    OP(SetReg)
+    {
+        const Instr& i = code[pc];
+        regs_[i.a] = i.b;
+        ++pc;
+        NEXT();
+    }
+    OP(IvWrite)
+    {
+        const Instr& i = code[pc];
+        writeIntRaw(static_cast<TypeKind>(i.b), f.at(i.a), regs_[i.c]);
+        ++pc;
+        NEXT();
+    }
+    OP(Jmp)
+    {
+        pc = code[pc].a;
+        NEXT();
+    }
+    OP(Jz)
+    {
+        const Instr& i = code[pc];
+        pc = regs_[i.a] ? pc + 1 : i.b;
+        NEXT();
+    }
+    OP(JgeRR)
+    {
+        const Instr& i = code[pc];
+        pc = regs_[i.a] >= regs_[i.b] ? i.c : pc + 1;
+        NEXT();
+    }
+    OP(TimesStep)
+    {
+        const Instr& i = code[pc];
+        ++regs_[i.a];
+        if (regs_[i.a] >= regs_[i.b]) {
+            ++pc;  // falls through to the loop's done label
+        } else {
+            if (i.d != kNoTarget)
+                writeIntRaw(static_cast<TypeKind>(i.e), f.at(i.d),
+                            regs_[i.a]);
+            pc = i.c;  // body entry: re-running it is body->start()
+        }
+        NEXT();
+    }
+    OP(PipeInit)
+    {
+        const Instr& i = code[pc];
+        chProdPc_[i.a] = i.b;
+        chConsPc_[i.a] = 0;
+        chFull_[i.a] = 0;
+        ++pc;
+        NEXT();
+    }
+    OP(Spin)
+    {
+        if (++spins_ > fuseSpinLimit)
+            fatal("repeat: body completed 2^20 times without taking or "
+                  "emitting (livelock)");
+        ++pc;
+        NEXT();
+    }
+    OP(Ctrl)
+    {
+        const Instr& i = code[pc];
+        ctrlPtr_ = i.b ? loc(f, i.a) : nullptr;
+        setCtrlWidth(i.b);
+        ++pc;
+        NEXT();
+    }
+    OP(Halt)
+    {
+        pc_ = pc;  // stay parked: a stray advance re-reports Done
+        return Status::Done;
+    }
+
+#if defined(__GNUC__) || defined(__clang__)
+#else
+        }
+    }
+#endif
+#undef OP
+#undef NEXT
+}
+
+} // namespace ziria

@@ -147,7 +147,9 @@ compilePipeline(const CompPtr& program, const CompilerOptions& opt,
         bo.metrics = pm.get();
     }
     BuildStats bs;
-    NodePtr root = buildNode(c, ec, bo, &bs);
+    NodePtr root = opt.backend == Backend::Fused
+        ? buildNodeFused(c, ec, bo, &bs, report ? &report->fuse : nullptr)
+        : buildNode(c, ec, bo, &bs);
     size_t inW = root->inWidth();
     size_t outW = root->outWidth();
     auto p = std::make_unique<Pipeline>(std::move(root),
@@ -187,9 +189,15 @@ compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
     BuildStats bs;
     std::vector<NodePtr> stages;
     stages.reserve(parts.size());
-    for (size_t i = 0; i < parts.size(); ++i)
-        stages.push_back(buildNode(parts[i], ec, bo, &bs,
-                                   "stage" + std::to_string(i)));
+    for (size_t i = 0; i < parts.size(); ++i) {
+        std::string stagePath = "stage" + std::to_string(i);
+        stages.push_back(
+            opt.backend == Backend::Fused
+                ? buildNodeFused(parts[i], ec, bo, &bs,
+                                 report ? &report->fuse : nullptr,
+                                 stagePath)
+                : buildNode(parts[i], ec, bo, &bs, stagePath));
+    }
 
     size_t inW = stages.front()->inWidth();
     size_t outW = stages.back()->outWidth();
@@ -239,6 +247,12 @@ CompileReport::writeJson(metrics::JsonWriter& w) const
     w.field("map_nodes", build.mapNodes);
     w.field("luts_built", build.lutsBuilt);
     w.field("lut_bytes", build.lutBytes);
+    w.endObject();
+    w.beginObject("fuse");
+    w.field("nodes_fused", fuse.nodesFused);
+    w.field("fallbacks", fuse.fallbacks);
+    w.field("fused_ops", fuse.fusedOps);
+    w.field("channels", fuse.channels);
     w.endObject();
     w.beginArray("passes");
     for (const auto& p : passes) {

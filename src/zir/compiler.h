@@ -25,6 +25,7 @@
 #include "zast/comp.h"
 #include "zexec/pipeline.h"
 #include "zexec/threaded.h"
+#include "zfuse/fuse.h"
 #include "zir/pass_trace.h"
 #include "zvect/vectorize.h"
 #include "zopt/passes.h"
@@ -33,6 +34,14 @@ namespace ziria {
 
 /** Preset optimization levels used by the benchmarks. */
 enum class OptLevel { None, Vectorize, All };
+
+/**
+ * Execution backend: the closure-tree VM (one ExecNode per computation
+ * form) or the fused bytecode interpreter (maximal fusible subtrees
+ * flattened into linear programs, docs/FUSION.md).  Both sit behind
+ * ExecNode, so every driver and decorator composes with either.
+ */
+enum class Backend { Vm, Fused };
 
 /** Full compiler configuration. */
 struct CompilerOptions
@@ -58,6 +67,8 @@ struct CompilerOptions
      *  the resulting pipeline exposes metrics() and RunStats::metrics. */
     bool instrument = false;
     uint32_t sampleShift = 6;  ///< advance-time sampling rate (2^N)
+    /** Node-construction backend (`zirrun --backend=vm|fused`). */
+    Backend backend = Backend::Vm;
 
     static CompilerOptions forLevel(OptLevel level);
 };
@@ -68,6 +79,7 @@ struct CompileReport
     VectStats vect;
     MapStats maps;
     BuildStats build;
+    FuseStats fuse;  ///< populated when compiled with Backend::Fused
     double frontendSec = 0;  ///< elaborate + fold + check
     double vectorizeSec = 0;
     double optimizeSec = 0;  ///< auto-map + fusion + re-check

@@ -29,6 +29,7 @@ DiffConfig::options() const
         break;
     }
     opt.vectorize = vectorize;
+    opt.backend = fused ? Backend::Fused : Backend::Vm;
     return opt;
 }
 
@@ -36,7 +37,7 @@ int
 DiffConfig::distance(const DiffConfig& a, const DiffConfig& b)
 {
     return (a.optTier != b.optTier) + (a.vectorize != b.vectorize) +
-           (a.threaded != b.threaded);
+           (a.threaded != b.threaded) + (a.fused != b.fused);
 }
 
 std::vector<DiffConfig>
@@ -79,6 +80,38 @@ fullMatrix()
                          (vec ? "+vec" : "") + (mt ? "/mt" : "");
                 m.push_back(c);
             }
+    return m;
+}
+
+std::vector<DiffConfig>
+fusedMatrix()
+{
+    std::vector<DiffConfig> m;
+    for (bool fz : {false, true})
+        for (bool vec : {false, true})
+            for (int tier = 0; tier <= 3; ++tier) {
+                DiffConfig c;
+                c.optTier = tier;
+                c.vectorize = vec;
+                c.fused = fz;
+                c.name = "O" + std::to_string(tier) +
+                         (vec ? "+vec" : "") + (fz ? "/fz" : "");
+                m.push_back(c);
+            }
+    // Threaded fused cells: each |>>>| partition becomes its own fused
+    // region below the threaded driver (the fallback path).
+    DiffConfig mt0;
+    mt0.name = "O0/mt/fz";
+    mt0.threaded = true;
+    mt0.fused = true;
+    m.push_back(mt0);
+    DiffConfig mt3;
+    mt3.name = "O3+vec/mt/fz";
+    mt3.optTier = 3;
+    mt3.vectorize = true;
+    mt3.threaded = true;
+    mt3.fused = true;
+    m.push_back(mt3);
     return m;
 }
 

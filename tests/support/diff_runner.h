@@ -25,15 +25,16 @@ namespace difftest {
 /** One cell of the configuration matrix. */
 struct DiffConfig
 {
-    std::string name;      ///< e.g. "O2+vec" or "O0/mt"
+    std::string name;      ///< e.g. "O2+vec", "O0/mt", "O3+vec/fz"
     int optTier = 0;       ///< 0 = none, 1 = fold, 2 = +map/fuse, 3 = +LUT
     bool vectorize = false;
     bool threaded = false;
+    bool fused = false;    ///< Backend::Fused instead of the VM
 
     /** Lower the tier/flags into a full CompilerOptions. */
     CompilerOptions options() const;
 
-    /** Number of dimensions in which two configs differ (0..3). */
+    /** Number of dimensions in which two configs differ (0..4). */
     static int distance(const DiffConfig& a, const DiffConfig& b);
 };
 
@@ -46,6 +47,14 @@ std::vector<DiffConfig> defaultMatrix();
 
 /** The full 16-config cross product {O0..O3} x {vec} x {mt}. */
 std::vector<DiffConfig> fullMatrix();
+
+/**
+ * The fused-backend matrix: the cross product {O0..O3} x {vec} x
+ * {vm,fused} (16 configs, config 0 = unoptimized VM baseline), plus two
+ * threaded fused cells (O0 and O3+vec) that exercise the `|>>>|`
+ * fallback path where fused regions hang below VM combinators.
+ */
+std::vector<DiffConfig> fusedMatrix();
 
 /** Outcome of one differential run. */
 struct DiffOutcome

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <functional>
 #include <fstream>
 #include <sstream>
 
@@ -428,6 +429,165 @@ TEST_P(ZiriaRoundTrip, ReceiverDecodesZiriaTransmitter)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRates, ZiriaRoundTrip,
+                         ::testing::Values(Rate::R6, Rate::R9, Rate::R12,
+                                           Rate::R18, Rate::R24, Rate::R36,
+                                           Rate::R48, Rate::R54));
+
+// ------------------------------------------- fused-backend conformance
+//
+// The same golden vectors, executed by the fused bytecode backend
+// (docs/FUSION.md).  The fused output must equal the VM output BYTE FOR
+// BYTE — not merely match the golden prefix — so any divergence fails
+// even where the goldens would tolerate a dropped vectorization tail.
+
+CompilerOptions
+fusedConf(OptLevel lvl)
+{
+    CompilerOptions opt = CompilerOptions::forLevel(lvl);
+    opt.backend = Backend::Fused;
+    return opt;
+}
+
+TEST(FusedConformance, PerStageBlocksMatchVm)
+{
+    struct Stage
+    {
+        const char* name;
+        std::function<CompPtr()> make;
+        std::vector<uint8_t> input;
+    };
+    auto bits = scramblerSequence(96 * 6);
+    std::vector<Stage> stages;
+    stages.push_back({"scrambler", [] { return scramblerBlock(); },
+                      std::vector<uint8_t>(127 * 4, 0)});
+    stages.push_back({"encoder-r12",
+                      [] { return encoderBlock(dsp::CodingRate::Half); },
+                      bits});
+    stages.push_back(
+        {"encoder-r23",
+         [] { return encoderBlock(dsp::CodingRate::TwoThirds); }, bits});
+    stages.push_back(
+        {"encoder-r34",
+         [] { return encoderBlock(dsp::CodingRate::ThreeQuarters); },
+         bits});
+    for (dsp::Modulation m :
+         {dsp::Modulation::Bpsk, dsp::Modulation::Qpsk,
+          dsp::Modulation::Qam16, dsp::Modulation::Qam64}) {
+        const int ncbps = numDataCarriers * dsp::bitsPerSymbol(m);
+        std::vector<uint8_t> in(static_cast<size_t>(ncbps) * 6);
+        for (size_t i = 0; i < in.size(); ++i)
+            in[i] = static_cast<uint8_t>((i * 2654435761u >> 7) & 1);
+        stages.push_back(
+            {modTag(m), [m] { return interleaverBlock(m); }, in});
+        stages.push_back({modTag(m),
+                          [m] { return modulatorBlock(m); }, in});
+    }
+    for (const Stage& s : stages)
+        for (OptLevel lvl : {OptLevel::None, OptLevel::All}) {
+            SCOPED_TRACE(std::string(s.name) + " at level " +
+                         std::to_string(static_cast<int>(lvl)));
+            auto vm = compilePipeline(s.make(),
+                                      CompilerOptions::forLevel(lvl));
+            auto fz = compilePipeline(s.make(), fusedConf(lvl));
+            EXPECT_EQ(fz->runBytes(s.input), vm->runBytes(s.input));
+        }
+}
+
+class FusedTxChainGolden : public ::testing::TestWithParam<Rate>
+{
+};
+
+TEST_P(FusedTxChainGolden, MatchesGoldenAndVmAtEveryRate)
+{
+    Rate rate = GetParam();
+    const RateInfo& ri = rateInfo(rate);
+    auto golden = parsePoints(goldenLines(
+        std::string("txchain_r") + std::to_string(ri.mbps) + ".txt"));
+    auto dataBits = assembleDataBits(conformancePayload(), rate);
+
+    auto chain = [&] {
+        return zb::pipe(
+            zb::pipe(zb::pipe(scramblerBlock(), encoderBlock(ri.coding)),
+                     interleaverBlock(ri.modulation)),
+            modulatorBlock(ri.modulation));
+    };
+
+    // Unoptimized fused: exact golden match, full length.
+    CompileReport rep;
+    auto f0 = compilePipeline(chain(), fusedConf(OptLevel::None), &rep);
+    EXPECT_EQ(rep.fuse.fallbacks, 0)
+        << "the TX chain should fuse into one region";
+    auto got0 = bytesToSamples(f0->runBytes(dataBits));
+    ASSERT_EQ(got0.size(), golden.size()) << ri.mbps << " Mbps";
+    for (size_t i = 0; i < golden.size(); ++i) {
+        ASSERT_EQ(got0[i].re, golden[i].re)
+            << ri.mbps << " Mbps, point " << i;
+        ASSERT_EQ(got0[i].im, golden[i].im)
+            << ri.mbps << " Mbps, point " << i;
+    }
+
+    // Optimized: fused must equal the optimized VM byte for byte —
+    // including any vectorization tail behavior.
+    auto vm1 = compilePipeline(chain(),
+                               CompilerOptions::forLevel(OptLevel::All));
+    auto f1 = compilePipeline(chain(), fusedConf(OptLevel::All));
+    EXPECT_EQ(f1->runBytes(dataBits), vm1->runBytes(dataBits))
+        << ri.mbps << " Mbps (optimized)";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, FusedTxChainGolden,
+                         ::testing::Values(Rate::R6, Rate::R9, Rate::R12,
+                                           Rate::R18, Rate::R24, Rate::R36,
+                                           Rate::R48, Rate::R54));
+
+class FusedRoundTrip : public ::testing::TestWithParam<Rate>
+{
+};
+
+TEST_P(FusedRoundTrip, FusedTxToFusedRxDecodes)
+{
+    // Fused TX -> channel -> fused RX.  The receiver leans on native
+    // blocks (FFT, CCA), so this path also proves the VM-fallback spine
+    // composes with fused regions inside one real pipeline.
+    Rate rate = GetParam();
+    Rng rng(600 + static_cast<uint64_t>(rate));
+    std::vector<uint8_t> payload(72);
+    for (auto& b : payload)
+        b = static_cast<uint8_t>(rng.next());
+
+    auto tx = compilePipeline(
+        wifiTxFrameComp(rate, static_cast<int>(payload.size())),
+        fusedConf(OptLevel::None));
+    auto txSamples = bytesToSamples(tx->runBytes(bytesToBits(payload)));
+
+    // Identical channel seed to ZiriaRoundTrip: the fused TX must
+    // produce the same waveform, so the same channel decodes it.
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 35.0;
+    cfg.delaySamples = 220;
+    cfg.trailSamples = 120;
+    cfg.phaseRad = 0.3;
+    cfg.gain = 0.9;
+    cfg.seed = 1000 + static_cast<uint64_t>(rate);
+    auto rxSamples = channel::applyChannel(txSamples, cfg);
+
+    auto rx = compilePipeline(wifiReceiverComp(),
+                              fusedConf(OptLevel::None));
+    RunStats st;
+    auto bits = rx->runBytes(samplesToBytes(rxSamples), &st);
+    ASSERT_TRUE(st.halted) << rateInfo(rate).mbps << " Mbps: no detection";
+    ASSERT_EQ(st.ctrl.size(), 4u);
+    int32_t crcOk = 0;
+    std::memcpy(&crcOk, st.ctrl.data(), 4);
+    EXPECT_EQ(crcOk, 1) << rateInfo(rate).mbps << " Mbps: CRC failed";
+
+    auto bytes = bitsToBytes(bits);
+    ASSERT_GE(bytes.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(), bytes.begin()))
+        << rateInfo(rate).mbps << " Mbps: payload mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, FusedRoundTrip,
                          ::testing::Values(Rate::R6, Rate::R9, Rate::R12,
                                            Rate::R18, Rate::R24, Rate::R36,
                                            Rate::R48, Rate::R54));
