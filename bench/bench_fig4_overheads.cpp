@@ -101,7 +101,8 @@ pipeChainMap(int n)
 
 double
 nsPerDatum(const CompPtr& c, uint64_t n_data, bool fuse_maps = false,
-           bool instrument = false, Backend backend = Backend::Vm)
+           bool instrument = false, Backend backend = Backend::Vm,
+           uint64_t ckpt_interval = 0)
 {
     CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
     // The paper's map variant benefits from static scheduling; in this
@@ -110,6 +111,7 @@ nsPerDatum(const CompPtr& c, uint64_t n_data, bool fuse_maps = false,
     opt.fuse = fuse_maps;
     opt.instrument = instrument;
     opt.backend = backend;
+    opt.checkpoint.interval = ckpt_interval;
     auto p = compilePipeline(c, opt);
     static std::vector<uint8_t> input = doubleInput(4096);
     double sec = timePipeline(*p, input, n_data);
@@ -181,6 +183,25 @@ overheadCheck()
     printf("ns_per_datum_vm %.2f\n", vmNs);
     printf("ns_per_datum_fused %.2f\n", fusedNs);
     printf("fused_vs_vm_speedup %.2f\n", vmNs / fusedNs);
+
+    // Checkpoint off-path: without --checkpoint the run loop must not
+    // pay for the snapshot machinery's existence (no journaling, no
+    // cadence checks beyond one branch).  ns_per_datum_ckpt_off is
+    // gated by check_overhead.sh; the cadence-4096 figure rides along
+    // for reference (journal copies plus a periodic tree snapshot).
+    double ckptOff = 1e18, ckptOn = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+        ckptOff = std::min(ckptOff, nsPerDatum(pipeChainRepeat(CHAIN), N,
+                                               false, false, Backend::Vm,
+                                               0));
+        ckptOn = std::min(ckptOn, nsPerDatum(pipeChainRepeat(CHAIN), N,
+                                             false, false, Backend::Vm,
+                                             4096));
+    }
+    printf("ns_per_datum_ckpt_off %.2f\n", ckptOff);
+    printf("ns_per_datum_ckpt_on %.2f\n", ckptOn);
+    printf("ckpt_on_overhead_pct %.1f\n",
+           (ckptOn / ckptOff - 1.0) * 100.0);
     return 0;
 }
 

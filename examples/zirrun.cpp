@@ -143,6 +143,8 @@ usage()
                  "              [--deadline-ms N] [--inject-fault SPEC]\n"
                  "              [--restart N] [--backoff-ms M] "
                  "[--serve[=ELEMS]]\n"
+                 "              [--checkpoint[=ELEMS]] "
+                 "[--restart-scope pipeline|stage]\n"
                  "              [--listen[=PORT]] [--max-sessions N] "
                  "[--workers K]\n"
                  "              [--idle-timeout-ms N] "
@@ -157,11 +159,19 @@ usage()
 }
 
 std::atomic<bool> g_stopRequested{false};
+std::atomic<bool> g_drainRequested{false};
 
 void
 onStopSignal(int)
 {
     g_stopRequested.store(true);
+}
+
+/** SIGTERM in --listen mode: graceful drain, not an abrupt stop. */
+void
+onDrainSignal(int)
+{
+    g_drainRequested.store(true);
 }
 
 /** Parse a positive integer CLI value; returns false on junk. */
@@ -262,6 +272,8 @@ main(int argc, char** argv)
     std::string faultStr;
     uint32_t restartN = 0;
     double backoffMs = -1;  // -1 = keep the policy default
+    uint64_t checkpointElems = 0;  // --checkpoint (0 = off)
+    bool stageScope = false;       // --restart-scope stage
     bool serve = false;
     uint64_t serveElems = 0;  // 0 = indefinitely
     bool listen = false;
@@ -367,6 +379,38 @@ main(int argc, char** argv)
                 return kExitUserError;
             }
             backoffMs = v;
+        } else if (a == "--checkpoint" ||
+                   a.rfind("--checkpoint=", 0) == 0) {
+            checkpointElems = 4096;  // bare flag: a sensible cadence
+            if (a.rfind("--checkpoint=", 0) == 0) {
+                const char* s = a.c_str() + strlen("--checkpoint=");
+                char* end = nullptr;
+                unsigned long long v = std::strtoull(s, &end, 10);
+                if (end == s || *end != '\0' || v == 0) {
+                    std::fprintf(stderr,
+                                 "zirrun: invalid --checkpoint value "
+                                 "'%s' (expected a positive element "
+                                 "count)\n", s);
+                    return kExitUserError;
+                }
+                checkpointElems = v;
+            }
+        } else if ((a == "--restart-scope" && i + 1 < argc) ||
+                   a.rfind("--restart-scope=", 0) == 0) {
+            std::string v = a.rfind("--restart-scope=", 0) == 0
+                                ? a.substr(strlen("--restart-scope="))
+                                : argv[++i];
+            if (v == "stage") {
+                stageScope = true;
+            } else if (v == "pipeline") {
+                stageScope = false;
+            } else {
+                std::fprintf(stderr,
+                             "zirrun: invalid --restart-scope value "
+                             "'%s' (expected pipeline|stage)\n",
+                             v.c_str());
+                return kExitUserError;
+            }
         } else if (a == "--serve" || a.rfind("--serve=", 0) == 0) {
             serve = true;
             if (a.size() > strlen("--serve=")) {
@@ -532,7 +576,14 @@ main(int argc, char** argv)
             copt.restart.maxRestarts = restartN;
             if (backoffMs >= 0)
                 copt.restart.backoffInitialMs = backoffMs;
+            if (stageScope)
+                copt.restart.scope = RestartScope::Stage;
         }
+        // Checkpointing only pays off under a restart policy (the
+        // snapshot is consumed by the re-arm path), but setting it
+        // unconditionally is harmless: the pipeline ignores it when no
+        // restart ever fires.
+        copt.checkpoint.interval = checkpointElems;
 
         if (threaded)
             tp = compileThreadedPipeline(program, copt, &rep);
@@ -618,8 +669,11 @@ main(int argc, char** argv)
                     return compilePipeline(program, fcopt, nullptr);
                 },
                 scfg);
+            // SIGINT stops hard; SIGTERM drains: in-flight sessions
+            // finish or are checkpointed onto the wire before exit
+            // (docs/ROBUSTNESS.md, "Checkpointing & migration").
             std::signal(SIGINT, onStopSignal);
-            std::signal(SIGTERM, onStopSignal);
+            std::signal(SIGTERM, onDrainSignal);
             server.start();
             if (fault.enabled())
                 std::printf("injecting fault: %s (session %s)\n",
@@ -630,10 +684,17 @@ main(int argc, char** argv)
             std::printf("listening on port %u\n",
                         static_cast<unsigned>(server.port()));
             std::fflush(stdout);
-            while (!g_stopRequested.load())
+            while (!g_stopRequested.load() && !g_drainRequested.load())
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(50));
-            server.stop();
+            if (g_drainRequested.load() && !g_stopRequested.load()) {
+                std::printf("draining: finishing in-flight sessions, "
+                            "checkpointing the rest\n");
+                std::fflush(stdout);
+                server.drainStop();
+            } else {
+                server.stop();
+            }
             serve::Server::Counters c = server.counters();
             std::printf("server stopped: accepted %llu, completed %llu, "
                         "evicted %llu, rejected %llu\n",

@@ -9,6 +9,9 @@
 #   vm_backend  default VM node build with the fused backend available
 #               but NOT selected (Backend::Fused is a compile-time
 #               branch; a VM build must pay zero for its existence)
+#   ckpt_off    checkpoint machinery compiled in but no --checkpoint
+#               cadence configured (no input journaling, no snapshots —
+#               the run loop must not pay for snapshot support)
 #
 # and compares each against scripts/overhead_baseline.txt.  The first
 # run on a machine records the baseline; later runs fail (exit 1) if
@@ -31,28 +34,31 @@ out=$("$BIN" --overhead-check) || exit 1
 echo "$out"
 disabled=$(echo "$out" | awk '/^ns_per_datum_disabled/ {print $2}')
 spans_off=$(echo "$out" | awk '/^ns_per_datum_spans_off/ {print $2}')
-vm_backend=$(echo "$out" | awk '/^ns_per_datum_vm/ {print $2}')
-if [ -z "$disabled" ] || [ -z "$spans_off" ] || [ -z "$vm_backend" ]; then
+vm_backend=$(echo "$out" | awk '/^ns_per_datum_vm / {print $2}')
+ckpt_off=$(echo "$out" | awk '/^ns_per_datum_ckpt_off/ {print $2}')
+if [ -z "$disabled" ] || [ -z "$spans_off" ] || [ -z "$vm_backend" ] ||
+   [ -z "$ckpt_off" ]; then
     echo "check_overhead: could not parse benchmark output" >&2
     exit 1
 fi
 
 record_baseline() {
-    printf 'instrument %s\nspans_off %s\nvm_backend %s\n' \
-        "$1" "$2" "$3" > "$BASELINE"
+    printf 'instrument %s\nspans_off %s\nvm_backend %s\nckpt_off %s\n' \
+        "$1" "$2" "$3" "$4" > "$BASELINE"
 }
 
 if [ "$1" = "--update-baseline" ] || [ ! -f "$BASELINE" ]; then
-    record_baseline "$disabled" "$spans_off" "$vm_backend"
+    record_baseline "$disabled" "$spans_off" "$vm_backend" "$ckpt_off"
     echo "check_overhead: baseline recorded" \
          "(instrument $disabled, spans_off $spans_off," \
-         "vm_backend $vm_backend ns/datum)"
+         "vm_backend $vm_backend, ckpt_off $ckpt_off ns/datum)"
     exit 0
 fi
 
 base_instr=$(awk '/^instrument/ {print $2}' "$BASELINE")
 base_spans=$(awk '/^spans_off/ {print $2}' "$BASELINE")
 base_vm=$(awk '/^vm_backend/ {print $2}' "$BASELINE")
+base_ckpt=$(awk '/^ckpt_off/ {print $2}' "$BASELINE")
 # Baselines recorded before the span tracker existed were a single bare
 # number (the instrument-off value); keep it and record the span side.
 if [ -z "$base_instr" ]; then
@@ -60,22 +66,32 @@ if [ -z "$base_instr" ]; then
 fi
 if [ -z "$base_spans" ]; then
     base_spans=$spans_off
-    record_baseline "$base_instr" "$base_spans" "$vm_backend"
+    record_baseline "$base_instr" "$base_spans" "$vm_backend" "$ckpt_off"
     echo "check_overhead: span baseline recorded ($spans_off ns/datum)"
 fi
 # Baselines recorded before the fused backend existed lack the
 # vm_backend line; record today's VM figure and gate from here on.
 if [ -z "$base_vm" ]; then
     base_vm=$vm_backend
-    record_baseline "$base_instr" "$base_spans" "$base_vm"
+    record_baseline "$base_instr" "$base_spans" "$base_vm" "$ckpt_off"
     echo "check_overhead: vm_backend baseline recorded" \
          "($vm_backend ns/datum)"
+    base_ckpt=$ckpt_off
+fi
+# Baselines recorded before the checkpoint layer existed lack the
+# ckpt_off line; same recover-then-gate dance.
+if [ -z "$base_ckpt" ]; then
+    base_ckpt=$ckpt_off
+    record_baseline "$base_instr" "$base_spans" "$base_vm" "$base_ckpt"
+    echo "check_overhead: ckpt_off baseline recorded" \
+         "($ckpt_off ns/datum)"
 fi
 
 fail=0
 for pair in "instrument:$disabled:$base_instr" \
             "spans_off:$spans_off:$base_spans" \
-            "vm_backend:$vm_backend:$base_vm"; do
+            "vm_backend:$vm_backend:$base_vm" \
+            "ckpt_off:$ckpt_off:$base_ckpt"; do
     name=${pair%%:*}
     rest=${pair#*:}
     cur=${rest%%:*}

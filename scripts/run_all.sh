@@ -63,6 +63,14 @@ sh scripts/soak.sh all 2>&1 | tee -a fault_output.txt
 ctest --test-dir build -L serve --output-on-failure 2>&1 \
     | tee serve_output.txt
 sh scripts/soak.sh serve 2>&1 | tee -a serve_output.txt
+# Checkpoint/migration suites (label `checkpoint`): snapshot round-trip
+# totality, checkpointed-restart byte-identity, session migration and
+# SIGTERM drain (docs/ROBUSTNESS.md, "Checkpointing & migration"),
+# then the CLI migrate soak (ckpt byte-equality x backend x opt,
+# per-stage restart, drain under load).
+ctest --test-dir build -L checkpoint --output-on-failure 2>&1 \
+    | tee checkpoint_output.txt
+sh scripts/soak.sh migrate 2>&1 | tee -a checkpoint_output.txt
 # Latency observability suites (label `latency`): span accounting,
 # percentile extraction, timeline schema, SLO budget counters and the
 # Stat frame round-trip (docs/OBSERVABILITY.md).

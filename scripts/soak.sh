@@ -18,8 +18,15 @@
 # with every robustness control exactly like the VM — same exit code in
 # every cell.
 #
-# Usage: scripts/soak.sh [fault|recovery|serve|fuse|all]   (default: all)
-#        BUILD_DIR=build-tsan scripts/soak.sh
+# The migrate matrix (docs/ROBUSTNESS.md, "Checkpointing & migration")
+# checks the zero-loss claims end to end through the CLI: a faulted run
+# with --checkpoint must report the SAME consumed/emitted/first-bytes
+# summary as the clean run (journal replay + state restore), per-stage
+# restart (--restart-scope stage) must heal threaded pipelines, and a
+# listening server with a session mid-stream must drain on SIGTERM.
+#
+# Usage: scripts/soak.sh [fault|recovery|serve|fuse|migrate|all]
+#        (default: all); BUILD_DIR=build-tsan scripts/soak.sh
 cd "$(dirname "$0")/.." || exit 1
 BUILD="${BUILD_DIR:-build}"
 BIN="$BUILD/examples/zirrun"
@@ -27,9 +34,9 @@ MODE="${1:-all}"
 DEADLINE_S=30   # per-case wall-clock budget (timeout -> case failed)
 
 case "$MODE" in
-  fault|recovery|serve|fuse|all) ;;
+  fault|recovery|serve|fuse|migrate|all) ;;
   *) echo "soak: unknown mode '$MODE'" \
-          "(want fault|recovery|serve|fuse|all)" >&2
+          "(want fault|recovery|serve|fuse|migrate|all)" >&2
      exit 2 ;;
 esac
 
@@ -262,12 +269,131 @@ fuse_matrix() {
             --backoff-ms 1
 }
 
+# Migrate matrix: checkpointed restart byte-equality, per-stage restart,
+# and SIGTERM drain with a session mid-stream.
+migrate_matrix() {
+    sc="$BIN examples/zir/scrambler.zir --bytes 4096"
+    pl="$BIN examples/zir/pipeline.zir --bytes 4096"
+
+    # check_same DESC CLEAN_CMD FAULTED_CMD: both must exit 0 and print
+    # identical "consumed ... emitted ...; first bytes: ..." summaries —
+    # the CLI-visible form of the zero-loss restart guarantee.
+    check_same() {
+        desc="$1"; cleancmd="$2"; faultcmd="$3"
+        a=$(timeout "$DEADLINE_S" sh -c "$cleancmd" 2>/dev/null \
+            | grep '^consumed')
+        b=$(timeout "$DEADLINE_S" sh -c "$faultcmd" 2>/dev/null \
+            | grep '^consumed')
+        if [ -z "$a" ] || [ -z "$b" ]; then
+            echo "FAIL $desc: a run did not complete"
+            fail=$((fail + 1))
+        elif [ "$a" != "$b" ]; then
+            echo "FAIL $desc: checkpointed run diverged from clean run"
+            echo "  clean:        $a"
+            echo "  checkpointed: $b"
+            fail=$((fail + 1))
+        else
+            pass=$((pass + 1))
+        fi
+    }
+
+    for backend in vm fused; do
+        for opt in none all; do
+            tag="migrate/scrambler/$backend/$opt"
+            c="$sc --opt $opt --backend=$backend"
+            # Checkpointing a clean run must not perturb its output.
+            check_same "$tag ckpt clean identity" "$c" "$c --checkpoint=64"
+            # The headline claim: a faulted, checkpoint-restarted run is
+            # byte-identical to the uninterrupted run.
+            check_same "$tag ckpt restart identity" "$c" \
+                "$c --inject-fault throw@7 --restart 3 --backoff-ms 1 \
+                 --checkpoint=64"
+            # Two faults in one run still converge.
+            check_same "$tag ckpt double-fault identity" "$c" \
+                "$c --inject-fault throw@7:2 --restart 3 --backoff-ms 1 \
+                 --checkpoint=32"
+            # Budget exhaustion still reports exit 5 with checkpoints on.
+            check 5 "$tag ckpt permanent exhausts" \
+                    $c --inject-fault throw@7:0 --restart 2 \
+                    --backoff-ms 1 --checkpoint=64
+        done
+    done
+
+    # Per-stage restart on the threaded pipeline (splits at |>>>|):
+    # transient faults heal without tearing down healthy stages,
+    # permanent ones exhaust the budget exactly like pipeline scope.
+    for opt in none all; do
+        tag="migrate/pipeline/stage-scope/$opt"
+        c="$pl --opt $opt --restart-scope stage"
+        check 0 "$tag clean"            $c --restart 3 --backoff-ms 1
+        check 0 "$tag transient heals"  $c --inject-fault throw@2 \
+                --restart 3 --backoff-ms 1
+        check 5 "$tag permanent exhausts" $c --inject-fault throw@2:0 \
+                --restart 2 --backoff-ms 1
+    done
+
+    # SIGTERM drain with a session mid-stream: the server must
+    # checkpoint it, report the drain, and exit 0 within the timeout.
+    ZCLIENT="$BUILD/tools/zclient"
+    if [ ! -x "$ZCLIENT" ]; then
+        echo "FAIL migrate: $ZCLIENT not built"
+        fail=$((fail + 1))
+        return
+    fi
+    srv_log="${TMPDIR:-/tmp}/ziria_soak_migrate.$$.log"
+    "$BIN" examples/zir/scrambler.zir --listen=0 --workers 2 \
+        > "$srv_log" 2>&1 &
+    srv_pid=$!
+    port=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        port=$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
+               "$srv_log")
+        [ -n "$port" ] && break
+        kill -0 "$srv_pid" 2>/dev/null || break
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "FAIL migrate drain: server never reported its port"
+        cat "$srv_log"
+        kill "$srv_pid" 2>/dev/null
+        rm -f "$srv_log"
+        fail=$((fail + 1))
+        return
+    fi
+    # Park a session mid-stream (data sent, End held back), then TERM.
+    "$ZCLIENT" --port "$port" --quiet --frames 2 --hold-ms 5000 \
+        > /dev/null 2>&1 &
+    cli_pid=$!
+    sleep 0.5
+    kill -TERM "$srv_pid" 2>/dev/null
+    wait "$srv_pid"
+    srv_exit=$?
+    kill "$cli_pid" 2>/dev/null
+    wait "$cli_pid" 2>/dev/null
+    if [ "$srv_exit" -ne 0 ]; then
+        echo "FAIL migrate drain: server exit $srv_exit, expected 0"
+        cat "$srv_log"
+        fail=$((fail + 1))
+    elif ! grep -q '^draining:' "$srv_log"; then
+        echo "FAIL migrate drain: no drain banner in the server log"
+        cat "$srv_log"
+        fail=$((fail + 1))
+    else
+        pass=$((pass + 1))
+    fi
+    rm -f "$srv_log"
+}
+
 case "$MODE" in
   fault)    fault_matrix ;;
   recovery) recovery_matrix ;;
   serve)    serve_matrix ;;
   fuse)     fuse_matrix ;;
-  all)      fault_matrix; recovery_matrix; serve_matrix; fuse_matrix ;;
+  migrate)  migrate_matrix ;;
+  all)      fault_matrix; recovery_matrix; serve_matrix; fuse_matrix;
+            migrate_matrix ;;
 esac
 
 echo "soak($MODE): $pass passed, $fail failed"

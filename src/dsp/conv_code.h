@@ -79,6 +79,10 @@ class Depuncturer
     /** Feed one received coded bit; appends 1+ lattice bits to @p out. */
     void input(uint8_t bit, std::vector<uint8_t>& out);
 
+    /** Puncture-pattern phase, exposed for checkpoint serialization. */
+    int phase() const { return phase_; }
+    void setPhase(int p) { phase_ = p; }
+
   private:
     CodingRate rate_;
     int phase_ = 0;

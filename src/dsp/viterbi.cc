@@ -1,6 +1,7 @@
 #include "dsp/viterbi.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/bits.h"
 #include "support/panic.h"
@@ -124,6 +125,24 @@ ViterbiDecoder::flush(std::vector<uint8_t>& out)
 {
     if (!decisions_.empty())
         traceback(static_cast<int>(decisions_.size()), out);
+}
+
+void
+ViterbiDecoder::snapshot(StateWriter& w) const
+{
+    w.bytes(metric_.data(), metric_.size() * sizeof(uint32_t));
+    w.blob(decisions_.data(), decisions_.size() * sizeof(uint64_t));
+}
+
+void
+ViterbiDecoder::restore(StateReader& r)
+{
+    r.bytes(metric_.data(), metric_.size() * sizeof(uint32_t));
+    std::vector<uint8_t> raw = r.blob();
+    if (raw.size() % sizeof(uint64_t) != 0)
+        throw StateFormatError("viterbi decision memory misaligned");
+    decisions_.resize(raw.size() / sizeof(uint64_t));
+    std::memcpy(decisions_.data(), raw.data(), raw.size());
 }
 
 } // namespace dsp

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dsp/conv_code.h"
+#include "support/state_io.h"
 
 namespace ziria {
 namespace dsp {
@@ -40,6 +41,16 @@ class ViterbiDecoder
 
     /** Decode all remaining path memory (end of packet). */
     void flush(std::vector<uint8_t>& out);
+
+    /**
+     * Serialize live decoder state (path metrics + decision memory).
+     * metricNext_ is pure per-step scratch and expected_/expIdx_ are
+     * construction-time constants, so neither is written.
+     */
+    void snapshot(StateWriter& w) const;
+
+    /** Restore the state written by snapshot(). */
+    void restore(StateReader& r);
 
   private:
     void traceback(int emit_count, std::vector<uint8_t>& out);

@@ -183,6 +183,30 @@ class SpscQueue
         resetStats();
     }
 
+    /**
+     * Clear the closed/cancelled latches while KEEPING the queued
+     * backlog and the telemetry: the per-stage restart path
+     * (docs/ROBUSTNESS.md, "Per-stage restart") re-arms a healthy
+     * queue whose elements are still good — only the queues adjacent
+     * to the failed stage are reopen()ed.  Same quiescence contract as
+     * reopen(): no thread may be blocked on or racing into the queue.
+     */
+    void
+    uncancel()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = false;
+        cancelled_ = false;
+    }
+
+    /** Elements currently queued (telemetry / drain decisions). */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return size_;
+    }
+
     /** Producer signals end-of-stream; wakes every waiter. */
     void
     close()

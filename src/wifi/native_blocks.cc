@@ -30,6 +30,32 @@ readC16At(const uint8_t* p, int i)
     return c;
 }
 
+// Checkpoint helpers for the deque-of-doubles window state the
+// detection kernels keep (docs/ROBUSTNESS.md, "Checkpointing &
+// migration").
+
+void
+writeCplxDeque(StateWriter& w, const std::deque<std::complex<double>>& d)
+{
+    w.u64(d.size());
+    for (const auto& c : d) {
+        w.f64(c.real());
+        w.f64(c.imag());
+    }
+}
+
+void
+readCplxDeque(StateReader& r, std::deque<std::complex<double>>& d)
+{
+    d.clear();
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        double re = r.f64();
+        double im = r.f64();
+        d.emplace_back(re, im);
+    }
+}
+
 } // namespace
 
 TypePtr
@@ -151,6 +177,29 @@ class ViterbiKernel : public NativeKernel
         return false;
     }
 
+    void
+    snapshot(StateWriter& w) const override
+    {
+        w.u32(static_cast<uint32_t>(depunct_.phase()));
+        decoder_.snapshot(w);
+        w.blob(lattice_.data(), lattice_.size());
+        w.i64(pairsFed_);
+        w.i64(emitted_);
+        w.u8(flushed_ ? 1 : 0);
+    }
+
+    void
+    restore(StateReader& r) override
+    {
+        depunct_.setPhase(static_cast<int>(r.u32()));
+        decoder_.restore(r);
+        std::vector<uint8_t> lat = r.blob();
+        lattice_.assign(lat.begin(), lat.end());
+        pairsFed_ = r.i64();
+        emitted_ = r.i64();
+        flushed_ = r.u8() != 0;
+    }
+
   private:
     dsp::Depuncturer depunct_;
     dsp::ViterbiDecoder decoder_;
@@ -252,6 +301,40 @@ class CcaKernel : public NativeKernel
     }
 
     const std::vector<uint8_t>& ctrl() const override { return ctrl_; }
+
+    void
+    snapshot(StateWriter& w) const override
+    {
+        writeCplxDeque(w, hist_);
+        writeCplxDeque(w, prods_);
+        w.u64(pows_.size());
+        for (double p : pows_)
+            w.f64(p);
+        w.f64(corr_.real());
+        w.f64(corr_.imag());
+        w.f64(energy_);
+        w.u32(static_cast<uint32_t>(run_));
+        w.u8(done_ ? 1 : 0);
+        w.blob(ctrl_.data(), ctrl_.size());
+    }
+
+    void
+    restore(StateReader& r) override
+    {
+        readCplxDeque(r, hist_);
+        readCplxDeque(r, prods_);
+        pows_.clear();
+        uint64_t np = r.u64();
+        for (uint64_t i = 0; i < np; ++i)
+            pows_.push_back(r.f64());
+        double cre = r.f64();
+        double cim = r.f64();
+        corr_ = {cre, cim};
+        energy_ = r.f64();
+        run_ = static_cast<int>(r.u32());
+        done_ = r.u8() != 0;
+        ctrl_ = r.blob();
+    }
 
   private:
     std::deque<std::complex<double>> hist_;
@@ -366,6 +449,46 @@ class LtsKernel : public NativeKernel
     }
 
     const std::vector<uint8_t>& ctrl() const override { return ctrl_; }
+
+    void
+    snapshot(StateWriter& w) const override
+    {
+        writeCplxDeque(w, ring_);
+        w.i64(n_);
+        w.i64(peakN_);
+        w.i64(peakCandidateN_);
+        w.f64(bestRatio_);
+        w.u32(static_cast<uint32_t>(sincePeak_));
+        w.i64(scanned_);
+        w.u64(w1_.size());
+        for (const auto& c : w1_) {
+            w.f64(c.real());
+            w.f64(c.imag());
+        }
+        w.u8(done_ ? 1 : 0);
+        w.blob(ctrl_.data(), ctrl_.size());
+    }
+
+    void
+    restore(StateReader& r) override
+    {
+        readCplxDeque(r, ring_);
+        n_ = r.i64();
+        peakN_ = r.i64();
+        peakCandidateN_ = r.i64();
+        bestRatio_ = r.f64();
+        sincePeak_ = static_cast<int>(r.u32());
+        scanned_ = r.i64();
+        w1_.clear();
+        uint64_t nw = r.u64();
+        for (uint64_t i = 0; i < nw; ++i) {
+            double re = r.f64();
+            double im = r.f64();
+            w1_.emplace_back(re, im);
+        }
+        done_ = r.u8() != 0;
+        ctrl_ = r.blob();
+    }
 
   private:
     double
@@ -518,6 +641,18 @@ class PilotTrackKernel : public NativeKernel
         return false;
     }
 
+    void
+    snapshot(StateWriter& w) const override
+    {
+        w.u32(static_cast<uint32_t>(sym_));
+    }
+
+    void
+    restore(StateReader& r) override
+    {
+        sym_ = static_cast<int>(r.u32());
+    }
+
   private:
     int sym_ = 0;
 };
@@ -597,6 +732,22 @@ class SignalDecodeKernel : public NativeKernel
     }
 
     const std::vector<uint8_t>& ctrl() const override { return ctrl_; }
+
+    void
+    snapshot(StateWriter& w) const override
+    {
+        w.blob(bits_.data(), bits_.size());
+        w.u8(done_ ? 1 : 0);
+        w.blob(ctrl_.data(), ctrl_.size());
+    }
+
+    void
+    restore(StateReader& r) override
+    {
+        bits_ = r.blob();
+        done_ = r.u8() != 0;
+        ctrl_ = r.blob();
+    }
 
   private:
     std::vector<uint8_t> bits_;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "support/state_io.h"
 #include "zast/expr.h"
 #include "ztype/type.h"
 
@@ -385,6 +386,18 @@ class NativeKernel
 
     /** Control value bytes (computers only, after consume returned true). */
     virtual const std::vector<uint8_t>& ctrl() const;
+
+    /**
+     * Serialize ALL mutable state into @p w so a later restore() on a
+     * freshly constructed (same-arguments) kernel reproduces bit-
+     * identical future output.  Stateless kernels inherit the empty
+     * default; stateful ones override both methods symmetrically
+     * (docs/ROBUSTNESS.md, "Checkpointing & migration").
+     */
+    virtual void snapshot(StateWriter& w) const { (void)w; }
+
+    /** Restore the state written by snapshot(); reset() ran first. */
+    virtual void restore(StateReader& r) { (void)r; }
 };
 
 /** Static description + factory for a native stream block. */

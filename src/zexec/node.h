@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "support/state_io.h"
 #include "zexpr/frame.h"
 
 namespace ziria {
@@ -71,6 +72,37 @@ class ExecNode
      * re-initializes everything.
      */
     virtual void reset(Frame& f) { start(f); }
+
+    /**
+     * Serialize ALL live state — buffered partial elements, loop
+     * counters, chosen branches, and the frame cells this node owns
+     * (LetVar storage, seq binders, induction variables, kernel
+     * parameter slots) — into @p w.  Like reset(), the walk must reach
+     * every child recursively so the stream is total over the tree.
+     *
+     * Contract: at any quiescent point (no advance()/supply() call in
+     * flight), `reset(f)` followed by `restore(f, r)` over the stream
+     * written by `snapshot(f, w)` must reproduce a node whose future
+     * output is bit-identical to the snapshotted node's
+     * (docs/ROBUSTNESS.md, "Checkpointing & migration").
+     *
+     * The default suffices for stateless leaves; stateful nodes
+     * override both methods, and restore() may assume reset(f) ran
+     * first (it only patches state back in, it never re-links
+     * children).
+     */
+    virtual void snapshot(const Frame& f, StateWriter& w) const
+    {
+        (void)f;
+        (void)w;
+    }
+
+    /** Restore the state written by snapshot(); see its contract. */
+    virtual void restore(Frame& f, StateReader& r)
+    {
+        (void)f;
+        (void)r;
+    }
 
     size_t inWidth() const { return inWidth_; }
     size_t outWidth() const { return outWidth_; }

@@ -31,6 +31,9 @@ class TakeNode : public ExecNode
     const uint8_t* out() const override { return nullptr; }
     const uint8_t* ctrl() const override { return ctrlBuf_.data(); }
 
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
   private:
     std::vector<uint8_t> ctrlBuf_;
     bool pending_ = false;
@@ -48,6 +51,9 @@ class TakeManyNode : public ExecNode
     const uint8_t* out() const override { return nullptr; }
     const uint8_t* ctrl() const override { return ctrlBuf_.data(); }
 
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
   private:
     std::vector<uint8_t> ctrlBuf_;
     size_t n_;
@@ -64,6 +70,9 @@ class EmitNode : public ExecNode
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return outBuf_.data(); }
+
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
 
   private:
     EvalInto expr_;
@@ -84,6 +93,9 @@ class EmitsNode : public ExecNode
     {
         return arrBuf_.data() + (next_ - 1) * outWidth_;
     }
+
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
 
   private:
     EvalInto arrExpr_;
@@ -140,6 +152,9 @@ class MapNode : public ExecNode
     /** Hand the stage over for map-chain coalescing. */
     MapStage takeStage() { return std::move(stage_); }
 
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
   private:
     MapStage stage_;
     std::vector<uint8_t> outBuf_;
@@ -165,6 +180,9 @@ class MapChainNode : public ExecNode
     /** Hand the stages over for further coalescing. */
     std::vector<MapStage> takeStages() { return std::move(stages_); }
 
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
   private:
     std::vector<MapStage> stages_;
     std::vector<uint8_t> outBuf_;
@@ -181,6 +199,9 @@ class FilterNode : public ExecNode
     Status advance(Frame& f) override;
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return outBuf_.data(); }
+
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
 
   private:
     CompiledKernel pred_;
@@ -203,6 +224,9 @@ class NativeNode : public ExecNode
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return outBuf_.data(); }
     const uint8_t* ctrl() const override { return kernel_->ctrl().data(); }
+
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
 
   private:
     class RingEmitter;
@@ -240,6 +264,9 @@ class SeqNode : public ExecNode
     const uint8_t* out() const override;
     const uint8_t* ctrl() const override;
 
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
   private:
     std::vector<Item> items_;
     size_t idx_ = 0;
@@ -259,10 +286,14 @@ class PipeNode : public ExecNode
     const uint8_t* out() const override { return right_->out(); }
     const uint8_t* ctrl() const override { return ctrlSrc_; }
 
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
   private:
     NodePtr left_;
     NodePtr right_;
     const uint8_t* ctrlSrc_ = nullptr;
+    uint8_t ctrlFrom_ = 0;  ///< 0 = none, 1 = left, 2 = right
 };
 
 /** `if e then c1 else c2` — the guard is evaluated at initialization. */
@@ -277,6 +308,9 @@ class IfNode : public ExecNode
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return chosen_->out(); }
     const uint8_t* ctrl() const override { return chosen_->ctrl(); }
+
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
 
   private:
     EvalInt cond_;
@@ -297,6 +331,9 @@ class RepeatNode : public ExecNode
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return body_->out(); }
 
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
   private:
     NodePtr body_;
     uint64_t spins_ = 0;  ///< guard against non-consuming bodies
@@ -314,6 +351,9 @@ class TimesNode : public ExecNode
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return body_->out(); }
     const uint8_t* ctrl() const override { return nullptr; }
+
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
 
   private:
     EvalInt count_;
@@ -337,6 +377,9 @@ class WhileNode : public ExecNode
     const uint8_t* out() const override { return body_->out(); }
     const uint8_t* ctrl() const override { return nullptr; }
 
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
   private:
     EvalInt cond_;
     NodePtr body_;
@@ -356,6 +399,9 @@ class LetVarNode : public ExecNode
     void supply(Frame& f, const uint8_t* in) override;
     const uint8_t* out() const override { return body_->out(); }
     const uint8_t* ctrl() const override { return body_->ctrl(); }
+
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
 
   private:
     size_t off_;

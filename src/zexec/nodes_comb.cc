@@ -90,6 +90,7 @@ PipeNode::start(Frame& f)
     left_->start(f);
     right_->start(f);
     ctrlSrc_ = nullptr;
+    ctrlFrom_ = 0;
 }
 
 void
@@ -98,6 +99,7 @@ PipeNode::reset(Frame& f)
     left_->reset(f);
     right_->reset(f);
     ctrlSrc_ = nullptr;
+    ctrlFrom_ = 0;
 }
 
 Status
@@ -111,6 +113,7 @@ PipeNode::advance(Frame& f)
         if (sr == Status::Done) {
             ctrlSrc_ = right_->ctrl();
             ctrlWidth_ = right_->ctrlWidth();
+            ctrlFrom_ = 2;
             return Status::Done;
         }
         // The right side needs one element: run the left side for it.
@@ -123,6 +126,7 @@ PipeNode::advance(Frame& f)
             if (sl == Status::Done) {
                 ctrlSrc_ = left_->ctrl();
                 ctrlWidth_ = left_->ctrlWidth();
+                ctrlFrom_ = 1;
                 return Status::Done;
             }
             return Status::NeedInput;
@@ -394,6 +398,154 @@ void
 LetVarNode::supply(Frame& f, const uint8_t* in)
 {
     body_->supply(f, in);
+}
+
+// -------------------------------------------------- snapshot / restore
+//
+// Combinators serialize their own scheduling state (active index,
+// chosen branch, loop counters), the frame cells they own (seq binders,
+// induction variables, LetVar storage), and recurse into EVERY child —
+// mirroring the reset() walk so the stream is total over the tree.
+// restore() assumes reset(f) ran first and only patches state back in.
+
+void
+SeqNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.u64(idx_);
+    w.u8(done_ ? 1 : 0);
+    for (const Item& it : items_) {
+        if (it.bindOff >= 0)
+            w.bytes(f.at(static_cast<size_t>(it.bindOff)), it.bindWidth);
+        it.node->snapshot(f, w);
+    }
+}
+
+void
+SeqNode::restore(Frame& f, StateReader& r)
+{
+    idx_ = static_cast<size_t>(r.u64());
+    done_ = r.u8() != 0;
+    // Binder cells land BEFORE each item restores: a NativeNode's
+    // restore re-runs its factory, which reads the binders.
+    for (Item& it : items_) {
+        if (it.bindOff >= 0)
+            r.bytes(f.at(static_cast<size_t>(it.bindOff)), it.bindWidth);
+        it.node->restore(f, r);
+    }
+}
+
+void
+PipeNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.u8(ctrlFrom_);
+    w.u64(ctrlWidth_);
+    left_->snapshot(f, w);
+    right_->snapshot(f, w);
+}
+
+void
+PipeNode::restore(Frame& f, StateReader& r)
+{
+    ctrlFrom_ = r.u8();
+    ctrlWidth_ = static_cast<size_t>(r.u64());
+    left_->restore(f, r);
+    right_->restore(f, r);
+    // Re-resolve the control pointer from the restored children; a
+    // child's ctrl() is only callable once it actually halted.
+    ctrlSrc_ = ctrlFrom_ == 0
+        ? nullptr
+        : (ctrlFrom_ == 1 ? left_->ctrl() : right_->ctrl());
+}
+
+void
+IfNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    uint8_t which = 0;
+    if (chosen_ == then_.get())
+        which = 1;
+    else if (chosen_ && chosen_ == else_.get())
+        which = 2;
+    w.u8(which);
+    then_->snapshot(f, w);
+    if (else_)
+        else_->snapshot(f, w);
+}
+
+void
+IfNode::restore(Frame& f, StateReader& r)
+{
+    uint8_t which = r.u8();
+    then_->restore(f, r);
+    if (else_)
+        else_->restore(f, r);
+    chosen_ = which == 1 ? then_.get()
+                         : (which == 2 ? else_.get() : nullptr);
+}
+
+void
+RepeatNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.u64(spins_);
+    body_->snapshot(f, w);
+}
+
+void
+RepeatNode::restore(Frame& f, StateReader& r)
+{
+    spins_ = r.u64();
+    body_->restore(f, r);
+}
+
+void
+TimesNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.i64(n_);
+    w.i64(i_);
+    // Round-trip the induction cell itself (not just i_): the body may
+    // read it at any point and the cell is the source of truth.
+    if (ivOff_ >= 0)
+        w.i64(readIntRaw(ivKind_, f.at(static_cast<size_t>(ivOff_))));
+    body_->snapshot(f, w);
+}
+
+void
+TimesNode::restore(Frame& f, StateReader& r)
+{
+    n_ = r.i64();
+    i_ = r.i64();
+    if (ivOff_ >= 0)
+        writeIntRaw(ivKind_, f.at(static_cast<size_t>(ivOff_)), r.i64());
+    body_->restore(f, r);
+}
+
+void
+WhileNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.u8(running_ ? 1 : 0);
+    w.u8(finished_ ? 1 : 0);
+    body_->snapshot(f, w);
+}
+
+void
+WhileNode::restore(Frame& f, StateReader& r)
+{
+    running_ = r.u8() != 0;
+    finished_ = r.u8() != 0;
+    body_->restore(f, r);
+}
+
+void
+LetVarNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.bytes(f.at(off_), width_);
+    body_->snapshot(f, w);
+}
+
+void
+LetVarNode::restore(Frame& f, StateReader& r)
+{
+    r.bytes(f.at(off_), width_);
+    body_->restore(f, r);
 }
 
 } // namespace ziria

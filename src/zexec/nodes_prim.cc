@@ -362,4 +362,150 @@ NativeNode::supply(Frame&, const uint8_t* in)
     }
 }
 
+// -------------------------------------------------- snapshot / restore
+//
+// Each node serializes its members AND the frame cells it owns (kernel
+// parameter slots), so a per-stage snapshot is self-contained without a
+// whole-frame image (docs/ROBUSTNESS.md, "Checkpointing & migration").
+
+void
+TakeNode::snapshot(const Frame&, StateWriter& w) const
+{
+    w.u8(pending_ ? 1 : 0);
+    w.bytes(ctrlBuf_.data(), ctrlBuf_.size());
+}
+
+void
+TakeNode::restore(Frame&, StateReader& r)
+{
+    pending_ = r.u8() != 0;
+    r.bytes(ctrlBuf_.data(), ctrlBuf_.size());
+}
+
+void
+TakeManyNode::snapshot(const Frame&, StateWriter& w) const
+{
+    w.u64(have_);
+    w.bytes(ctrlBuf_.data(), ctrlBuf_.size());
+}
+
+void
+TakeManyNode::restore(Frame&, StateReader& r)
+{
+    have_ = static_cast<size_t>(r.u64());
+    r.bytes(ctrlBuf_.data(), ctrlBuf_.size());
+}
+
+void
+EmitNode::snapshot(const Frame&, StateWriter& w) const
+{
+    w.u8(emitted_ ? 1 : 0);
+    w.bytes(outBuf_.data(), outBuf_.size());
+}
+
+void
+EmitNode::restore(Frame&, StateReader& r)
+{
+    emitted_ = r.u8() != 0;
+    r.bytes(outBuf_.data(), outBuf_.size());
+}
+
+void
+EmitsNode::snapshot(const Frame&, StateWriter& w) const
+{
+    w.u8(evaluated_ ? 1 : 0);
+    w.u64(next_);
+    w.bytes(arrBuf_.data(), arrBuf_.size());
+}
+
+void
+EmitsNode::restore(Frame&, StateReader& r)
+{
+    evaluated_ = r.u8() != 0;
+    next_ = static_cast<size_t>(r.u64());
+    r.bytes(arrBuf_.data(), arrBuf_.size());
+}
+
+void
+MapNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.u8(pending_ ? 1 : 0);
+    w.bytes(outBuf_.data(), outBuf_.size());
+    w.bytes(f.at(stage_.kernel.paramOffsets[0]), stage_.inW);
+}
+
+void
+MapNode::restore(Frame& f, StateReader& r)
+{
+    pending_ = r.u8() != 0;
+    r.bytes(outBuf_.data(), outBuf_.size());
+    r.bytes(f.at(stage_.kernel.paramOffsets[0]), stage_.inW);
+}
+
+void
+MapChainNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.u8(pending_ ? 1 : 0);
+    w.bytes(outBuf_.data(), outBuf_.size());
+    for (const MapStage& st : stages_)
+        w.bytes(f.at(st.kernel.paramOffsets[0]), st.inW);
+}
+
+void
+MapChainNode::restore(Frame& f, StateReader& r)
+{
+    pending_ = r.u8() != 0;
+    r.bytes(outBuf_.data(), outBuf_.size());
+    for (const MapStage& st : stages_)
+        r.bytes(f.at(st.kernel.paramOffsets[0]), st.inW);
+}
+
+void
+FilterNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.u8(pending_ ? 1 : 0);
+    w.bytes(outBuf_.data(), outBuf_.size());
+    w.bytes(f.at(pred_.paramOffsets[0]), inWidth_);
+}
+
+void
+FilterNode::restore(Frame& f, StateReader& r)
+{
+    pending_ = r.u8() != 0;
+    r.bytes(outBuf_.data(), outBuf_.size());
+    r.bytes(f.at(pred_.paramOffsets[0]), inWidth_);
+}
+
+void
+NativeNode::snapshot(const Frame&, StateWriter& w) const
+{
+    w.u8(finished_ ? 1 : 0);
+    w.u64(ringHead_);
+    w.blob(ring_.data(), ring_.size());
+    w.bytes(outBuf_.data(), outBuf_.size());
+    // A node inside a not-yet-reached seq arm (or unchosen if branch)
+    // has no kernel yet; record its absence so restore leaves the node
+    // unstarted too — the parent will start() it when control arrives.
+    w.u8(kernel_ ? 1 : 0);
+    if (kernel_)
+        kernel_->snapshot(w);
+}
+
+void
+NativeNode::restore(Frame& f, StateReader& r)
+{
+    finished_ = r.u8() != 0;
+    ringHead_ = static_cast<size_t>(r.u64());
+    ring_ = r.blob();
+    r.bytes(outBuf_.data(), outBuf_.size());
+    if (r.u8() != 0) {
+        // Re-run the factory so kernel arguments re-read their (already
+        // restored) seq binders, then patch the kernel's own state in.
+        kernel_ = factory_(f);
+        kernel_->restore(r);
+    } else {
+        kernel_.reset();
+    }
+}
+
 } // namespace ziria

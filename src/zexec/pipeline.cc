@@ -3,6 +3,7 @@
 #include "support/metrics.h"
 #include "support/panic.h"
 #include "zexec/nodes.h"
+#include "zexec/snapshot.h"
 #include "zexec/stepper.h"
 #include "zopt/autolut.h"
 
@@ -272,9 +273,11 @@ Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
         return runAttempt(src, sink, max_out);
 
     RestartSupervisor sup(restart_);
+    CkptCarry carry;
+    CkptCarry* ck = ckpt_.enabled() ? &carry : nullptr;
     for (;;) {
         try {
-            return runAttempt(src, sink, max_out);
+            return runAttempt(src, sink, max_out, ck);
         } catch (const StageFailureError& e) {
             // Already structured (e.g. a nested driver rethrew); keep it.
             StageFailure f = e.failure();
@@ -294,9 +297,29 @@ Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
             if (!sup.onFailure(f))
                 throw StageFailureError(std::move(f));
         }
-        // onFailure slept out the backoff; discard partial node state
-        // and clear any sticky cancel on the endpoints before retrying.
-        root_->reset(frame_);
+        // onFailure slept out the backoff.  With a checkpoint in hand,
+        // restore it and queue the post-snapshot input for replay
+        // (suppressing the outputs the sink already saw); without one,
+        // discard partial node state and resume from the live source.
+        bool restored = false;
+        if (ck && !ck->snap.empty()) {
+            try {
+                restoreSnapshot(*root_, frame_, ck->snap);
+                ck->replay = std::move(ck->journal);
+                ck->replayPos = 0;
+                ck->journal.clear();
+                ck->suppress = ck->emittedDelivered - ck->emittedAtSnap;
+                ck->restored = true;
+                restored = true;
+            } catch (const StateFormatError&) {
+                // A snapshot we cannot restore is worse than none: fall
+                // back to the plain reset path for the rest of this run.
+                *ck = CkptCarry{};
+                ck = nullptr;
+            }
+        }
+        if (!restored)
+            root_->reset(frame_);
         src.rearm();
         sink.rearm();
         if (spans_)
@@ -305,7 +328,8 @@ Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
 }
 
 RunStats
-Pipeline::runAttempt(InputSource& src, OutputSink& sink, uint64_t max_out)
+Pipeline::runAttempt(InputSource& src, OutputSink& sink, uint64_t max_out,
+                     CkptCarry* ck)
 {
     metrics::Registry::global().counter("ziria.pipeline_runs").inc();
     // The same cooperative stepping loop the serving subsystem
@@ -313,13 +337,66 @@ Pipeline::runAttempt(InputSource& src, OutputSink& sink, uint64_t max_out)
     // completion with a blocking source, which never reports Feed::Empty.
     Stepper stepper(*root_);
     stepper.setSpans(spans_.get());
-    stepper.start(frame_);
+    if (ck && ck->restored) {
+        // run() already restored the tree from the last snapshot; pick
+        // the counters up where the snapshot left them.
+        stepper.resume(ck->consumedAtSnap, ck->emittedAtSnap);
+        ck->restored = false;
+    } else {
+        stepper.start(frame_);
+        if (ck && ck->snap.empty()) {
+            // Baseline snapshot of the freshly started tree, so even a
+            // failure before the first interval restores-and-replays
+            // instead of falling back to reset.
+            ck->snap = takeSnapshot(*root_, frame_, 0, 0);
+        }
+    }
     auto pull = [&](const uint8_t** p) {
+        if (ck) {
+            if (ck->replayPos < ck->replay.size()) {
+                // Re-feed the journaled input consumed after the
+                // snapshot, re-journaling it: a second failure during
+                // replay must be able to replay it again.
+                const uint8_t* e = ck->replay.data() + ck->replayPos;
+                ck->replayPos += inWidth_;
+                ck->journal.insert(ck->journal.end(), e, e + inWidth_);
+                *p = e;
+                return Feed::Ready;
+            }
+            // Quiescent point (the tree is parked on NeedInput): take
+            // the cadence snapshot once the interval has elapsed — but
+            // only outside replay/suppression, when the sink's position
+            // matches the stepper's.
+            if (ck->suppress == 0 &&
+                stepper.consumed() - ck->consumedAtSnap >= ckpt_.interval) {
+                ck->snap = takeSnapshot(*root_, frame_, stepper.consumed(),
+                                        stepper.emitted());
+                ck->consumedAtSnap = stepper.consumed();
+                ck->emittedAtSnap = stepper.emitted();
+                ck->journal.clear();
+                ck->replay.clear();
+                ck->replayPos = 0;
+            }
+            *p = src.next();
+            if (!*p)
+                return Feed::End;
+            ck->journal.insert(ck->journal.end(), *p, *p + inWidth_);
+            return Feed::Ready;
+        }
         *p = src.next();
         return *p ? Feed::Ready : Feed::End;
     };
     auto push = [&](const uint8_t* elem) {
+        if (ck && ck->suppress > 0) {
+            // Replay regenerated an output the sink already received
+            // before the failure; swallow it to keep the byte stream
+            // identical to an uninterrupted run.
+            --ck->suppress;
+            return !(max_out && stepper.emitted() >= max_out);
+        }
         sink.put(elem);
+        if (ck)
+            ck->emittedDelivered = stepper.emitted();
         return !(max_out && stepper.emitted() >= max_out);
     };
     StepOutcome oc = stepper.drive(frame_, pull, push);

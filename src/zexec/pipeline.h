@@ -266,6 +266,19 @@ class Pipeline
     void setRestartPolicy(RestartPolicy p) { restart_ = p; }
     const RestartPolicy& restartPolicy() const { return restart_; }
 
+    /**
+     * Configure frame-boundary checkpointing (default: off).  Only takes
+     * effect together with a restart policy: every `interval` consumed
+     * elements the driver snapshots the full pipeline state and journals
+     * the input consumed since, and a restart restores the snapshot and
+     * replays the journal (suppressing already-delivered outputs) so the
+     * sink's byte stream is identical to an uninterrupted run.  With the
+     * default (off) policy the drive loop is unchanged — no snapshot, no
+     * journal, no per-element cost.
+     */
+    void setCheckpoint(CheckpointPolicy p) { ckpt_ = p; }
+    const CheckpointPolicy& checkpointPolicy() const { return ckpt_; }
+
     /** Attach a frame-span latency tracker (null = off; zexec/span.h).
      *  Runs stamp every frame source→sink into its histogram. */
     void setSpans(std::shared_ptr<SpanTracker> s)
@@ -276,14 +289,30 @@ class Pipeline
     SpanTracker* spans() const { return spans_.get(); }
 
   private:
+    /** Checkpoint state carried across restart attempts of one run(). */
+    struct CkptCarry
+    {
+        std::vector<uint8_t> snap;     ///< last takeSnapshot() image
+        std::vector<uint8_t> journal;  ///< raw input since the snapshot
+        std::vector<uint8_t> replay;   ///< journal being re-fed post-restore
+        size_t replayPos = 0;          ///< byte cursor into replay
+        uint64_t consumedAtSnap = 0;   ///< counters at the snapshot point
+        uint64_t emittedAtSnap = 0;
+        uint64_t emittedDelivered = 0; ///< outputs actually handed to sink
+        uint64_t suppress = 0;  ///< replayed outputs to swallow (already
+                                ///< delivered before the failure)
+        bool restored = false;  ///< next attempt resumes, not starts
+    };
+
     RunStats runAttempt(InputSource& src, OutputSink& sink,
-                        uint64_t max_out);
+                        uint64_t max_out, CkptCarry* ck = nullptr);
 
     NodePtr root_;
     Frame frame_;
     size_t inWidth_;
     size_t outWidth_;
     RestartPolicy restart_;
+    CheckpointPolicy ckpt_;
     std::shared_ptr<PipelineMetrics> metrics_;
     std::shared_ptr<SpanTracker> spans_;
 };

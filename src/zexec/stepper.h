@@ -78,6 +78,20 @@ class Stepper
     }
 
     /**
+     * Continue a tree someone else re-armed — after restoreSnapshot()
+     * (zexec/snapshot.h) put it back at a checkpoint, or when a stage
+     * carries live node state across a per-stage restart.  Counters pick
+     * up from the given values instead of zero; no start() is issued.
+     */
+    void
+    resume(uint64_t consumed, uint64_t emitted)
+    {
+        consumed_ = consumed;
+        emitted_ = emitted;
+        halted_ = false;
+    }
+
+    /**
      * Attach a frame-span latency tracker (null = off).  When off the
      * drive loop pays exactly one predictable-false branch per element
      * — the same zero-cost-when-off contract as TracedNode.

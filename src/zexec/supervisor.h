@@ -45,6 +45,13 @@ enum class RestartMode : uint8_t {
     OnFailure,  ///< re-arm and retry Exception/Stall failures
 };
 
+/** How much of a threaded pipeline a restart re-arms. */
+enum class RestartScope : uint8_t {
+    Pipeline,  ///< re-arm every stage and reopen every queue (PR-4)
+    Stage,     ///< re-arm only the failed stage; healthy stages keep
+               ///< their node state and queue backlogs
+};
+
 /**
  * Bounded retry/backoff policy for a self-healing pipeline.
  *
@@ -62,6 +69,9 @@ struct RestartPolicy
     double backoffInitialMs = 10;   ///< sleep before the first retry
     double backoffMultiplier = 2.0; ///< growth factor per attempt
     double backoffCapMs = 1000;     ///< upper bound on any single sleep
+    /** Threaded runs only: restart the whole pipeline or just the
+     *  failed stage (docs/ROBUSTNESS.md, "Per-stage restart"). */
+    RestartScope scope = RestartScope::Pipeline;
 
     bool
     enabled() const
@@ -71,6 +81,24 @@ struct RestartPolicy
 
     /** Backoff before restart attempt @p attempt (1-based), in ms. */
     double backoffMsFor(uint32_t attempt) const;
+};
+
+/**
+ * Frame-boundary checkpointing (docs/ROBUSTNESS.md, "Checkpointing &
+ * migration").  With an interval of N, the supervised drivers snapshot
+ * the complete pipeline state (zexec/snapshot.h) every N consumed input
+ * elements and journal the raw input consumed since; a restart then
+ * restores the last snapshot and replays the journal (suppressing the
+ * already-delivered outputs) instead of resetting to zero, so the
+ * post-restart output stream is byte-identical to an uninterrupted
+ * run.  interval 0 disables checkpointing entirely: no snapshot, no
+ * journal, no per-element cost (guarded by scripts/check_overhead.sh).
+ */
+struct CheckpointPolicy
+{
+    uint64_t interval = 0;  ///< input elements between snapshots; 0 = off
+
+    bool enabled() const { return interval > 0; }
 };
 
 /** One entry in a failed run's restart history. */

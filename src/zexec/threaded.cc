@@ -10,6 +10,7 @@
 #include "support/metrics.h"
 #include "support/panic.h"
 #include "support/spsc_queue.h"
+#include "support/state_io.h"
 #include "support/timeline.h"
 #include "support/timing.h"
 #include "zexec/span.h"
@@ -35,6 +36,9 @@ struct StageResult
     bool halted = false;
     bool aborted = false;  ///< exited on cancel/abort, not end-of-stream
     std::vector<uint8_t> ctrl;
+    /** Yielded element whose push was torn down mid-wait; a per-stage
+     *  restart re-pushes it so the element is not lost. */
+    std::vector<uint8_t> pendingOut;
     std::exception_ptr error;
     double sec = 0;  ///< wall time of the stage's drive loop
     uint64_t pushWaitNs = 0;  ///< blocked pushing (latency runs only)
@@ -58,12 +62,18 @@ struct StageSpanHooks
  * end of a run); @p wait_slice_ms bounds each queue wait so the flag is
  * polled even while blocked (-1 = plain blocking waits, used when the
  * run is unsupervised).
+ *
+ * @p resume skips node.start() — the node already carries live state
+ * from an earlier attempt (per-stage restart); @p pending_in is a
+ * holdover output element from that attempt, re-pushed before any
+ * advance so it is not lost.
  */
 void
 runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
          SpscQueue* outq, OutputSink* sink, StageResult& res,
          const std::atomic<bool>& abort, long wait_slice_ms,
-         StageSpanHooks hooks)
+         StageSpanHooks hooks, bool resume,
+         std::vector<uint8_t> pending_in)
 {
     std::vector<uint8_t> inBuf(std::max<size_t>(node.inWidth(), 1));
     Stopwatch sw;
@@ -71,9 +81,36 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
     auto bump = [&res] {
         res.progress.fetch_add(1, std::memory_order_relaxed);
     };
+    bool blocked = false;  ///< holdover push failed; skip the drive loop
     try {
-        node.start(frame);
-        while (true) {
+        if (!resume)
+            node.start(frame);
+        if (!pending_in.empty()) {
+            if (outq) {
+                QueueWait w;
+                while ((w = outq->pushWait(pending_in.data(),
+                                           wait_slice_ms)) ==
+                       QueueWait::Timeout) {
+                    if (abort.load(std::memory_order_relaxed))
+                        break;
+                }
+                if (w != QueueWait::Ready) {
+                    res.aborted = true;
+                    res.pendingOut = std::move(pending_in);
+                    blocked = true;
+                } else {
+                    ++res.emitted;
+                    bump();
+                }
+            } else if (sink) {
+                sink->put(pending_in.data());
+                ++res.emitted;
+                if (hooks.onOutput)
+                    hooks.onOutput->onOutput();
+                bump();
+            }
+        }
+        while (!blocked) {
             if (abort.load(std::memory_order_relaxed)) {
                 res.aborted = true;
                 break;
@@ -93,8 +130,12 @@ runStage(ExecNode& node, Frame& frame, SpscQueue* inq, InputSource* src,
                         res.pushWaitNs += nowNs() - t0;
                     if (w != QueueWait::Ready) {
                         // Downstream cancelled (or run aborted mid-wait).
+                        // Keep the yielded element: a per-stage restart
+                        // re-pushes it instead of losing it.
                         res.aborted = w == QueueWait::Cancelled ||
                                       w == QueueWait::Timeout;
+                        const uint8_t* e = node.out();
+                        res.pendingOut.assign(e, e + outq->elemWidth());
                         break;
                     }
                 } else {
@@ -193,16 +234,21 @@ ThreadedPipeline::run(InputSource& src, OutputSink& sink)
     }
 
     if (!restart_.enabled()) {
-        RunStats st = runAttempt(src, sink, queues);
+        RunStats st = runAttempt(queues, src, sink, nullptr);
         if (spans_)
             spans_->flush();
         return st;
     }
 
     RestartSupervisor sup(restart_);
+    const bool perStage = restart_.scope == RestartScope::Stage;
+    std::vector<StageCarry> carry;
+    if (perStage)
+        carry.resize(stages_.size());
     for (;;) {
         try {
-            RunStats st = runAttempt(src, sink, queues);
+            RunStats st =
+                runAttempt(queues, src, sink, perStage ? &carry : nullptr);
             if (spans_)
                 spans_->flush();
             return st;
@@ -213,7 +259,10 @@ ThreadedPipeline::run(InputSource& src, OutputSink& sink)
             // onFailure slept out the backoff; all stage threads were
             // joined before runAttempt threw, so re-arming is
             // single-threaded here.
-            rearm(queues, src, sink);
+            if (perStage)
+                rearmStage(queues, src, sink, carry, f.stage);
+            else
+                rearm(queues, src, sink);
         }
     }
 }
@@ -239,9 +288,76 @@ ThreadedPipeline::rearm(std::vector<std::unique_ptr<SpscQueue>>& queues,
         spans_->onRestart();
 }
 
+/**
+ * Per-stage re-arm (RestartScope::Stage): only the failed stage loses
+ * state.  It is reset() and — when a boundary snapshot exists —
+ * restore()d to the last quiescent restart boundary; healthy stages
+ * keep their live node trees and will resume mid-stream.  The queues
+ * adjacent to the failed stage are reopen()ed (their in-flight elements
+ * belonged to the discarded work); every other queue keeps its backlog
+ * and only has its teardown latches cleared.  Queues whose producer
+ * already finished are re-closed so consumers still see end-of-stream.
+ * Finally every live stage — quiescent now, all threads joined — gets a
+ * fresh boundary snapshot, so a future failure of *any* stage rolls
+ * back only to this boundary.
+ */
+void
+ThreadedPipeline::rearmStage(
+    std::vector<std::unique_ptr<SpscQueue>>& queues, InputSource& src,
+    OutputSink& sink, std::vector<StageCarry>& carry, size_t failed)
+{
+    ZIRIA_ASSERT(failed < stages_.size());
+    metrics::Registry::global().counter("restart.stage.attempts").inc();
+
+    stages_[failed]->reset(frame_);
+    if (!carry[failed].snap.empty()) {
+        try {
+            StateReader r(carry[failed].snap.data(),
+                          carry[failed].snap.size());
+            stages_[failed]->restore(frame_, r);
+            metrics::Registry::global()
+                .counter("restart.stage.restored")
+                .inc();
+        } catch (const StateFormatError&) {
+            // A snapshot that does not restore leaves the stage freshly
+            // reset — the PR-4 semantics, scoped to one stage.
+            stages_[failed]->reset(frame_);
+            carry[failed].snap.clear();
+        }
+    }
+    carry[failed].resume = true;
+    carry[failed].doneClean = false;
+    carry[failed].pendingOut.clear();
+
+    for (size_t qi = 0; qi < queues.size(); ++qi) {
+        // Queue qi sits between stage qi (producer) and qi+1 (consumer).
+        const bool adjacent = qi + 1 == failed || qi == failed;
+        if (adjacent)
+            queues[qi]->reopen();
+        else
+            queues[qi]->uncancel();
+        if (carry[qi].doneClean)
+            queues[qi]->close();
+    }
+
+    for (size_t i = 0; i < stages_.size(); ++i) {
+        if (carry[i].doneClean)
+            continue;
+        StateWriter w;
+        stages_[i]->snapshot(frame_, w);
+        carry[i].snap = w.take();
+    }
+
+    src.rearm();
+    sink.rearm();
+    if (spans_)
+        spans_->onRestart();
+}
+
 RunStats
-ThreadedPipeline::runAttempt(InputSource& src, OutputSink& sink,
-                             std::vector<std::unique_ptr<SpscQueue>>& queues)
+ThreadedPipeline::runAttempt(std::vector<std::unique_ptr<SpscQueue>>& queues,
+                             InputSource& src, OutputSink& sink,
+                             std::vector<StageCarry>* carry)
 {
     using clock = std::chrono::steady_clock;
     const size_t n = stages_.size();
@@ -249,6 +365,23 @@ ThreadedPipeline::runAttempt(InputSource& src, OutputSink& sink,
     const long slice = supervised ? kSupervisedSliceMs : -1;
 
     std::vector<StageResult> results(n);
+    // Per-stage restarts: a stage that already finished (halted or hit
+    // end-of-stream) is not re-run — replay its exit effects so its
+    // neighbours still see EOS / upstream-stop, and the watchdog skips it.
+    auto doneClean = [&](size_t i) {
+        return carry && (*carry)[i].doneClean;
+    };
+    for (size_t i = 0; carry && i < n; ++i) {
+        if (!doneClean(i))
+            continue;
+        results[i].finished.store(true, std::memory_order_release);
+        results[i].halted = (*carry)[i].halted;
+        results[i].ctrl = (*carry)[i].ctrl;
+        if (i + 1 < n)
+            queues[i]->close();
+        if ((*carry)[i].halted && i > 0)
+            queues[i - 1]->cancel();
+    }
     std::atomic<bool> abort{false};
     std::atomic<bool> watchdogStop{false};
     std::atomic<long> stalledStage{-1};
@@ -322,27 +455,45 @@ ThreadedPipeline::runAttempt(InputSource& src, OutputSink& sink,
     const bool timeWaits = spans_ != nullptr;
     std::vector<std::thread> threads;
     for (size_t i = 0; i + 1 < n; ++i) {
+        if (doneClean(i))
+            continue;
         SpscQueue* inq = i == 0 ? nullptr : queues[i - 1].get();
         InputSource* s = i == 0 ? &src : nullptr;
         StageSpanHooks hooks;
         hooks.onInput = i == 0 ? spans_.get() : nullptr;
         hooks.timeWaits = timeWaits;
         hooks.index = i;
+        bool resume = carry && (*carry)[i].resume;
+        std::vector<uint8_t> pending =
+            carry ? std::move((*carry)[i].pendingOut)
+                  : std::vector<uint8_t>{};
+        if (carry)
+            (*carry)[i].pendingOut.clear();
         threads.emplace_back(runStage, std::ref(*stages_[i]),
                              std::ref(frame_), inq, s, queues[i].get(),
                              nullptr, std::ref(results[i]),
-                             std::cref(abort), slice, hooks);
+                             std::cref(abort), slice, hooks, resume,
+                             std::move(pending));
     }
 
     // The last stage runs on the calling thread.
-    StageSpanHooks lastHooks;
-    lastHooks.onInput = n == 1 ? spans_.get() : nullptr;
-    lastHooks.onOutput = spans_.get();
-    lastHooks.timeWaits = timeWaits;
-    lastHooks.index = n - 1;
-    runStage(*stages_[n - 1], frame_, n > 1 ? queues[n - 2].get() : nullptr,
-             n > 1 ? nullptr : &src, nullptr, &sink, results[n - 1],
-             abort, slice, lastHooks);
+    if (!doneClean(n - 1)) {
+        StageSpanHooks lastHooks;
+        lastHooks.onInput = n == 1 ? spans_.get() : nullptr;
+        lastHooks.onOutput = spans_.get();
+        lastHooks.timeWaits = timeWaits;
+        lastHooks.index = n - 1;
+        bool resume = carry && (*carry)[n - 1].resume;
+        std::vector<uint8_t> pending =
+            carry ? std::move((*carry)[n - 1].pendingOut)
+                  : std::vector<uint8_t>{};
+        if (carry)
+            (*carry)[n - 1].pendingOut.clear();
+        runStage(*stages_[n - 1], frame_,
+                 n > 1 ? queues[n - 2].get() : nullptr,
+                 n > 1 ? nullptr : &src, nullptr, &sink, results[n - 1],
+                 abort, slice, lastHooks, resume, std::move(pending));
+    }
 
     // If the final stage stopped early, make sure producers unblock.
     for (auto& q : queues)
@@ -354,6 +505,39 @@ ThreadedPipeline::runAttempt(InputSource& src, OutputSink& sink,
         watchdog.join();
 
     const long stalled = stalledStage.load(std::memory_order_relaxed);
+
+    // Fold this attempt into the per-stage carries (before any throw, so
+    // a failed attempt's progress and holdovers survive into the next).
+    // A stage that exits cleanly on end-of-stream only *genuinely*
+    // finished if every stage upstream of it did too: a failed stage
+    // closes its output queue on the way out, so its consumer drains
+    // and sees a spurious EOS — that consumer must be resumed, not
+    // retired, or the restarted producer would feed a dead queue.
+    // Halting is different: a halt is the stage's own decision and
+    // retires it regardless of what happened upstream.
+    if (carry) {
+        bool upstreamDone = true;  // stage 0's source EOS is genuine
+        for (size_t i = 0; i < n; ++i) {
+            StageCarry& c = (*carry)[i];
+            if (c.doneClean) {
+                upstreamDone = true;
+                continue;
+            }
+            c.consumed += results[i].consumed;
+            c.emitted += results[i].emitted;
+            c.resume = true;
+            c.pendingOut = std::move(results[i].pendingOut);
+            const bool cleanExit = !results[i].error &&
+                                   !results[i].aborted &&
+                                   stalled != static_cast<long>(i);
+            if (cleanExit && (results[i].halted || upstreamDone)) {
+                c.doneClean = true;
+                c.halted = results[i].halted;
+                c.ctrl = results[i].ctrl;
+            }
+            upstreamDone = c.doneClean;
+        }
+    }
 
     // Collect stage/queue telemetry before error propagation so partial
     // runs still leave a readable record.
@@ -414,8 +598,15 @@ ThreadedPipeline::runAttempt(InputSource& src, OutputSink& sink,
     }
 
     RunStats st;
-    st.consumed = results.front().consumed;
-    st.emitted = results.back().emitted;
+    if (carry) {
+        // Per-stage mode resumes stages mid-stream, so the counters are
+        // cumulative across every attempt of this run.
+        st.consumed = carry->front().consumed;
+        st.emitted = carry->back().emitted;
+    } else {
+        st.consumed = results.front().consumed;
+        st.emitted = results.back().emitted;
+    }
     for (const auto& r : results) {
         if (r.halted) {
             st.halted = true;

@@ -32,6 +32,15 @@
  * source and sink are re-armed — sleeps out an exponential backoff, and
  * resumes from the live source.  Only when the retry budget is spent
  * does run() throw, with the full restart history attached.
+ *
+ * With RestartScope::Stage the blast radius shrinks to the failed stage
+ * (docs/ROBUSTNESS.md, "Per-stage restart"): healthy stages keep their
+ * live node state and resume mid-stream, non-adjacent queues keep their
+ * backlogs (uncancel()), and only the failed stage is reset() — then
+ * restore()d from its node-state snapshot taken at the last restart
+ * boundary, so repeated failures do not compound the rollback.  Only
+ * the queues adjacent to the failed stage are reopen()ed; their
+ * in-flight elements are the bounded loss of a stage restart.
  */
 #ifndef ZIRIA_ZEXEC_THREADED_H
 #define ZIRIA_ZEXEC_THREADED_H
@@ -125,10 +134,30 @@ class ThreadedPipeline
     SpanTracker* spans() const { return spans_.get(); }
 
   private:
-    RunStats runAttempt(InputSource& src, OutputSink& sink,
-                        std::vector<std::unique_ptr<SpscQueue>>& queues);
+    /** Per-stage continuation state carried across restart attempts
+     *  (RestartScope::Stage only). */
+    struct StageCarry
+    {
+        bool resume = false;     ///< node is live; skip start()
+        bool doneClean = false;  ///< halted / hit EOS; do not re-run
+        bool halted = false;     ///< the clean exit was a computer return
+        std::vector<uint8_t> ctrl;        ///< its control value
+        uint64_t consumed = 0;   ///< cumulative across attempts
+        uint64_t emitted = 0;
+        std::vector<uint8_t> pendingOut;  ///< yielded element whose push
+                                          ///< was torn down; re-pushed first
+        std::vector<uint8_t> snap;  ///< node-state snapshot at the last
+                                    ///< quiescent restart boundary
+    };
+
+    RunStats runAttempt(std::vector<std::unique_ptr<SpscQueue>>& queues,
+                        InputSource& src, OutputSink& sink,
+                        std::vector<StageCarry>* carry);
     void rearm(std::vector<std::unique_ptr<SpscQueue>>& queues,
                InputSource& src, OutputSink& sink);
+    void rearmStage(std::vector<std::unique_ptr<SpscQueue>>& queues,
+                    InputSource& src, OutputSink& sink,
+                    std::vector<StageCarry>& carry, size_t failed);
 
     std::vector<NodePtr> stages_;
     Frame frame_;

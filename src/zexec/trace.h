@@ -191,6 +191,19 @@ class TracedNode : public ExecNode
     // re-arm at the shim and never reach the inner node's override.
     void reset(Frame& f) override { inner_->reset(f); }
 
+    // Same for the checkpoint walk: the shim itself is stateless.
+    void
+    snapshot(const Frame& f, StateWriter& w) const override
+    {
+        inner_->snapshot(f, w);
+    }
+
+    void
+    restore(Frame& f, StateReader& r) override
+    {
+        inner_->restore(f, r);
+    }
+
     Status
     advance(Frame& f) override
     {

@@ -80,6 +80,18 @@ class FusedNode : public ExecNode
     const uint8_t* out() const override { return outPtr_; }
     const uint8_t* ctrl() const override { return ctrlPtr_; }
 
+    /**
+     * Serialize the register / state-block / channel spaces plus the
+     * parked pc.  The out/ctrl pointers are encoded as (space, offset)
+     * tags so restore() can re-point them into the new instance.  Frame
+     * cells written by compiled Action/EvalInto closures are NOT
+     * enumerable from the instruction stream, so whole-frame coverage
+     * comes from the PipelineSnapshot container, not from this node
+     * (docs/ROBUSTNESS.md, "Checkpointing & migration").
+     */
+    void snapshot(const Frame& f, StateWriter& w) const override;
+    void restore(Frame& f, StateReader& r) override;
+
     const zfuse::FuseProgram& program() const { return *prog_; }
 
   private:

@@ -61,6 +61,91 @@ FusedNode::start(Frame&)
     ctrlPtr_ = nullptr;
 }
 
+namespace {
+
+// (space, offset) tag for a pointer into the state block or the frame:
+// 0 = null, 1 = state block, 2 = frame.
+void
+writePtrTag(StateWriter& w, const uint8_t* p, const Frame& f,
+            const std::vector<uint8_t>& state)
+{
+    if (!p) {
+        w.u8(0);
+        w.u64(0);
+    } else if (p >= state.data() && p < state.data() + state.size()) {
+        w.u8(1);
+        w.u64(static_cast<uint64_t>(p - state.data()));
+    } else {
+        const uint8_t* base = f.at(0);
+        ZIRIA_ASSERT(p >= base && p < base + f.size(),
+                     "fused pointer outside state block and frame");
+        w.u8(2);
+        w.u64(static_cast<uint64_t>(p - base));
+    }
+}
+
+const uint8_t*
+readPtrTag(StateReader& r, const Frame& f,
+           const std::vector<uint8_t>& state)
+{
+    uint8_t space = r.u8();
+    uint64_t off = r.u64();
+    switch (space) {
+      case 0: return nullptr;
+      case 1: return state.data() + off;
+      case 2: return f.at(static_cast<size_t>(off));
+      default:
+        throw StateFormatError("bad fused pointer tag");
+    }
+}
+
+} // namespace
+
+void
+FusedNode::snapshot(const Frame& f, StateWriter& w) const
+{
+    w.u64(regs_.size() * sizeof(int64_t));
+    w.bytes(regs_.data(), regs_.size() * sizeof(int64_t));
+    w.blob(state_.data(), state_.size());
+    w.u64(chProdPc_.size());
+    for (size_t i = 0; i < chProdPc_.size(); ++i) {
+        w.u32(chProdPc_[i]);
+        w.u32(chConsPc_[i]);
+        w.u8(chFull_[i]);
+    }
+    w.u32(pc_);
+    w.u64(spins_);
+    w.u64(ctrlWidth_);  // the Ctrl op mutates it at run time
+    writePtrTag(w, outPtr_, f, state_);
+    writePtrTag(w, ctrlPtr_, f, state_);
+}
+
+void
+FusedNode::restore(Frame& f, StateReader& r)
+{
+    uint64_t regBytes = r.u64();
+    if (regBytes != regs_.size() * sizeof(int64_t))
+        throw StateFormatError("fused register space size mismatch");
+    r.bytes(regs_.data(), regBytes);
+    std::vector<uint8_t> st = r.blob();
+    if (st.size() != state_.size())
+        throw StateFormatError("fused state block size mismatch");
+    state_ = std::move(st);
+    uint64_t nch = r.u64();
+    if (nch != chProdPc_.size())
+        throw StateFormatError("fused channel count mismatch");
+    for (size_t i = 0; i < chProdPc_.size(); ++i) {
+        chProdPc_[i] = r.u32();
+        chConsPc_[i] = r.u32();
+        chFull_[i] = r.u8();
+    }
+    pc_ = r.u32();
+    spins_ = r.u64();
+    setCtrlWidth(static_cast<size_t>(r.u64()));
+    outPtr_ = readPtrTag(r, f, state_);
+    ctrlPtr_ = readPtrTag(r, f, state_);
+}
+
 void
 FusedNode::supply(Frame& f, const uint8_t* in)
 {

@@ -155,6 +155,7 @@ compilePipeline(const CompPtr& program, const CompilerOptions& opt,
     auto p = std::make_unique<Pipeline>(std::move(root),
                                         layout.frameSize(), inW, outW);
     p->setRestartPolicy(opt.restart);
+    p->setCheckpoint(opt.checkpoint);
     p->setMetrics(std::move(pm));
     if (report) {
         report->build = bs;

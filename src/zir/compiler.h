@@ -60,6 +60,10 @@ struct CompilerOptions
     /** Self-healing restart policy applied to the built pipeline (both
      *  drivers); default: fail fast.  See docs/ROBUSTNESS.md. */
     RestartPolicy restart;
+    /** Frame-boundary checkpointing applied to the built pipeline
+     *  (`zirrun --checkpoint[=N]`); only meaningful with a restart
+     *  policy.  See docs/ROBUSTNESS.md, "Checkpointing & migration". */
+    CheckpointPolicy checkpoint;
     /** Observe each AST pass (timing, node counts, optional AST dumps).
      *  Null disables all tracing bookkeeping. */
     PassTracer* tracer = nullptr;

@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
@@ -111,6 +113,10 @@ Server::Server(PipelineFactory factory, ServerConfig cfg)
     reg.counter("server.sched.parked_ns");
     reg.counter("server.sched.queued_ns");
     reg.counter("server.sched.running_ns");
+    reg.counter("server.drain.completed");
+    reg.counter("server.drain.aborted");
+    reg.counter("server.migrations.saved");
+    reg.counter("server.migrations.restored");
     reg.gauge("server.sessions.active");
 }
 
@@ -154,6 +160,24 @@ Server::stop()
             w.join();
     workers_.clear();
     started_ = false;
+}
+
+void
+Server::drainStop()
+{
+    if (!started_)
+        return;
+    draining_.store(true);
+    wake_.wake();
+    const uint64_t deadline =
+        nowNs() + msToNs(std::max(cfg_.drainTimeoutMs, 0.0));
+    while (nowNs() < deadline && !stopping_.load()) {
+        if (counters().active == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        wake_.wake();  // keep the I/O loop turning the drain crank
+    }
+    stop();
 }
 
 Server::Counters
@@ -268,14 +292,23 @@ Server::ioLoop()
         for (auto& s : snap)
             serviceSession(s);  // may close sessions
 
+        const bool draining = draining_.load(std::memory_order_relaxed);
+        if (draining)
+            driveDrain();  // checkpoint quiesced mid-stream sessions
+
         pfds.clear();
         fds.clear();
         pfds.push_back(pollfd{wake_.readFd(), POLLIN, 0});
-        pfds.push_back(pollfd{listen_.get(), POLLIN, 0});
+        pfds.push_back(pollfd{listen_.get(),
+                              static_cast<short>(draining ? 0 : POLLIN),
+                              0});
         for (auto& kv : sessions_) {
             auto& s = kv.second;
             short ev = 0;
-            if (!s->closing && !s->inputEnded && !s->readPaused)
+            // Draining: no new input is read — mid-stream sessions are
+            // checkpointed back to their clients instead.
+            if (!s->closing && !s->inputEnded && !s->readPaused &&
+                !draining)
                 ev |= POLLIN;
             if (s->outWire.size() > s->outWirePos)
                 ev |= POLLOUT;
@@ -330,6 +363,15 @@ Server::ioLoop()
             kv.second->again = false;
         }
         runq_.clear();
+    }
+    // Sessions still live at force-stop lost in-flight work; under a
+    // drain that is the failure the counter exists to expose.
+    if (draining_.load()) {
+        for (auto& kv : sessions_)
+            if (!kv.second->drainCounted)
+                metrics::Registry::global()
+                    .counter("server.drain.aborted")
+                    .inc();
     }
     for (auto& kv : sessions_) {
         kv.second->cancel();
@@ -465,9 +507,34 @@ Server::processFrames(const std::shared_ptr<Session>& s)
                 return;
             }
             ++s->rxFrames;
+            s->sawData = true;
             s->pendingIn.insert(s->pendingIn.end(), f.payload.begin(),
                                 f.payload.end());
             tryFlushPending(s);
+            break;
+          }
+          case FrameType::Checkpoint: {
+            // Migration restore: must be the first thing the client
+            // says, before the pipeline has been fed anything.
+            if (s->sawData || s->inputEnded || s->restoredFromCkpt) {
+                protocolError(s, "Checkpoint frame after session start");
+                return;
+            }
+            if (s->inWidth() == 0) {
+                // A source-style pipeline starts emitting on accept;
+                // restoring over it would duplicate delivered output.
+                protocolError(
+                    s, "checkpoint restore into a source-style pipeline");
+                return;
+            }
+            if (f.payload.empty()) {
+                protocolError(s, "empty Checkpoint payload");
+                return;
+            }
+            ++s->rxFrames;
+            s->restoredFromCkpt = true;
+            s->adoptCheckpoint(std::move(f.payload));
+            enqueue(s);  // worker applies the restore and resumes
             break;
           }
           case FrameType::End:
@@ -706,6 +773,14 @@ Server::closeNow(const std::shared_ptr<Session>& s)
         completed_.fetch_add(1);
         reg.counter("server.sessions.completed").inc();
     }
+    // A session closing during a drain is charged to the drain outcome
+    // (unless driveDrain already charged it when checkpointing).
+    if (draining_.load(std::memory_order_relaxed) && !s->drainCounted) {
+        s->drainCounted = true;
+        reg.counter(s->evictOnClose ? "server.drain.aborted"
+                                    : "server.drain.completed")
+            .inc();
+    }
     reg.gauge("server.sessions.active")
         .set(static_cast<double>(sessions_.size()));
 }
@@ -765,6 +840,76 @@ Server::statJson(const std::shared_ptr<Session>& s)
                metrics::toJson(metrics::Registry::global()));
     w.endObject();
     return w.str();
+}
+
+/**
+ * One drain pass (I/O thread, only while draining): sessions whose
+ * input already ended keep stepping to completion through the normal
+ * service path; every other session is quiesced and serialized into a
+ * wire Checkpoint frame so its client can resume against another
+ * server with zero data loss.  A session whose worker is still running
+ * or queued is skipped and retried next pass — the scheduler parks it
+ * as soon as its input queue drains (no new input is read during a
+ * drain).
+ */
+void
+Server::driveDrain()
+{
+    std::vector<std::shared_ptr<Session>> snap;
+    snap.reserve(sessions_.size());
+    for (auto& kv : sessions_)
+        snap.push_back(kv.second);
+
+    for (auto& s : snap) {
+        if (s->closing || s->inputEnded)
+            continue;  // finishing naturally (serviceSession flushes it)
+
+        // Quiesce: only a Parked session has no worker touching its
+        // pipeline; Dead blocks any future enqueue.
+        {
+            std::lock_guard<std::mutex> lk(schedMu_);
+            if (s->sched != Session::Sched::Parked)
+                continue;  // retry next pass
+            schedMove(*s, Session::Sched::Dead, nowNs());
+            s->again = false;
+        }
+
+        // Flush every buffered output element into Data frames ahead of
+        // the checkpoint; the wire target does not apply to a drain.
+        std::vector<uint8_t> payload;
+        for (;;) {
+            payload.clear();
+            if (s->takeOutput(payload, kDataChunk) == 0)
+                break;
+            encodeFrame(s->outWire, FrameType::Data, payload);
+            ++s->txFrames;
+        }
+
+        std::vector<uint8_t> ck;
+        std::string err;
+        const uint8_t* tail = s->pendingIn.data() + s->pendingPos;
+        size_t tailLen = s->pendingIn.size() - s->pendingPos;
+        bool ok = s->checkpoint(ck, tail, tailLen, &err);
+        if (ok && ck.size() > kMaxPayload) {
+            ok = false;
+            err = "session checkpoint of " + std::to_string(ck.size()) +
+                  " byte(s) exceeds the frame payload cap";
+        }
+        auto& reg = metrics::Registry::global();
+        if (ok) {
+            encodeFrame(s->outWire, FrameType::Checkpoint, ck);
+            ++s->txFrames;
+            reg.counter("server.drain.completed").inc();
+        } else {
+            encodeError(s->outWire, "drain checkpoint failed: " + err);
+            ++s->txFrames;
+            s->evictOnClose = true;
+            reg.counter("server.drain.aborted").inc();
+        }
+        s->drainCounted = true;
+        s->closing = true;
+        s->closeDeadlineNs = nowNs() + kCloseGraceNs;
+    }
 }
 
 void

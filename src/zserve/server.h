@@ -63,6 +63,7 @@ struct ServerConfig
     int workers = 2;            ///< stepping threads
     size_t maxSessions = 64;    ///< admission cap (reject above)
     double idleTimeoutMs = 0;   ///< evict silent sessions (0 = never)
+    double drainTimeoutMs = 5000;  ///< drainStop() bound before force-stop
     double metricsIntervalMs = 0;  ///< periodic registry JSON dump
     std::string metricsPath;    ///< dump target ("" = stderr)
     SessionConfig session;      ///< per-session knobs
@@ -89,6 +90,19 @@ class Server
 
     /** Stop accepting, cancel live sessions, join every thread. */
     void stop();
+
+    /**
+     * Graceful shutdown (SIGTERM semantics; docs/ROBUSTNESS.md,
+     * "Checkpointing & migration"): stop admitting new sessions, let
+     * sessions whose input already ended finish stepping and flush
+     * (server.drain.completed), serialize every mid-stream session into
+     * a wire Checkpoint frame for the client to resume elsewhere (also
+     * drain.completed — zero data loss), then stop().  Sessions still
+     * live when ServerConfig::drainTimeoutMs elapses are force-closed
+     * and counted in server.drain.aborted, as is any session whose
+     * checkpoint cannot be built or exceeds the payload cap.
+     */
+    void drainStop();
 
     uint16_t port() const { return port_; }
 
@@ -121,6 +135,7 @@ class Server
     void beginClose(const std::shared_ptr<Session>& s, bool evict,
                     const std::string& errMsg);
     void closeNow(const std::shared_ptr<Session>& s);
+    void driveDrain();
     void sweep();
     void dumpMetrics();
     std::string statJson(const std::shared_ptr<Session>& s);
@@ -132,6 +147,7 @@ class Server
     Wakeup wake_;
 
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> draining_{false};
     bool started_ = false;
     std::thread ioThread_;
     std::vector<std::thread> workers_;

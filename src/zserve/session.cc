@@ -1,6 +1,7 @@
 #include "zserve/session.h"
 
 #include "support/metrics.h"
+#include "zexec/snapshot.h"
 
 namespace ziria {
 namespace serve {
@@ -79,9 +80,124 @@ Session::cancel()
     inQ_.cancel();
 }
 
+bool
+Session::checkpoint(std::vector<uint8_t>& out, const uint8_t* pending_tail,
+                    size_t pending_len, std::string* err)
+{
+    // The scheduler holds the session Dead, so the worker-owned pipeline
+    // state is quiescent and safe to read from the I/O thread.
+    std::vector<uint8_t> snap;
+    if (started_) {
+        try {
+            snap = takeSnapshot(pipe_->root(), pipe_->frame(),
+                                stepper_.consumed(), stepper_.emitted());
+        } catch (const std::exception& e) {
+            if (err)
+                *err = e.what();
+            return false;
+        }
+    }
+
+    // Unconsumed input, oldest first: any unreplayed migration backlog,
+    // the queue's backlog, then the I/O thread's decoded-but-unqueued
+    // remainder.
+    std::vector<uint8_t> backlog;
+    if (replayPos_ < replay_.size())
+        backlog.insert(backlog.end(),
+                       replay_.begin() + static_cast<long>(replayPos_),
+                       replay_.end());
+    if (inW_) {
+        std::vector<uint8_t> elem(inW_);
+        while (inQ_.popWait(elem.data(), 0) == QueueWait::Ready)
+            backlog.insert(backlog.end(), elem.begin(), elem.end());
+    }
+    backlog.insert(backlog.end(), pending_tail, pending_tail + pending_len);
+
+    StateWriter w;
+    w.u32(kSessionCheckpointVersion);
+    w.u64(stepper_.consumed());
+    w.u64(stepper_.emitted());
+    w.u64(inW_ ? backlog.size() / inW_ : 0);
+    w.blob(snap.data(), snap.size());
+    w.blob(backlog.data(), backlog.size());
+    out = w.take();
+    metrics::Registry::global().counter("server.migrations.saved").inc();
+    return true;
+}
+
+void
+Session::adoptCheckpoint(std::vector<uint8_t> payload)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    pendingCkpt_ = std::move(payload);
+    hasCkpt_ = true;
+}
+
+std::string
+Session::applyCheckpoint(const std::vector<uint8_t>& payload)
+{
+    try {
+        StateReader r(payload.data(), payload.size());
+        uint32_t ver = r.u32();
+        if (ver != kSessionCheckpointVersion)
+            return "unsupported session checkpoint version " +
+                   std::to_string(ver);
+        (void)r.u64();  // consumed (client-facing; snapshot is canonical)
+        (void)r.u64();  // emitted
+        (void)r.u64();  // backlog element count (re-derived below)
+        std::vector<uint8_t> snap = r.blob();
+        replay_ = r.blob();
+        replayPos_ = 0;
+        if (inW_ && replay_.size() % inW_ != 0)
+            return "checkpoint backlog is not element-aligned";
+        if (inW_ == 0 && !replay_.empty())
+            return "checkpoint backlog for a pipeline that takes no input";
+        if (!snap.empty()) {
+            // An empty snapshot means the donor never started stepping;
+            // the backlog alone reconstructs the session.
+            SnapshotInfo info =
+                restoreSnapshot(pipe_->root(), pipe_->frame(), snap);
+            stepper_.resume(info.consumed, info.emitted);
+            started_ = true;
+        }
+        metrics::Registry::global()
+            .counter("server.migrations.restored")
+            .inc();
+        return {};
+    } catch (const std::exception& e) {
+        return e.what();
+    }
+}
+
 StepResult
 Session::step()
 {
+    // A migration restore adopted on the I/O thread is applied here,
+    // before any stepping, so the restored state is never mixed with
+    // fresh-start progress.
+    {
+        std::vector<uint8_t> ck;
+        bool has = false;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (hasCkpt_) {
+                ck = std::move(pendingCkpt_);
+                pendingCkpt_.clear();
+                hasCkpt_ = false;
+                has = true;
+            }
+        }
+        if (has) {
+            std::string err = applyCheckpoint(ck);
+            if (!err.empty()) {
+                std::lock_guard<std::mutex> lk(mu_);
+                done_.finished = true;
+                done_.failed = true;
+                done_.failMessage = "checkpoint restore failed: " + err;
+                return StepResult::Failed;
+            }
+        }
+    }
     if (!started_) {
         stepper_.start(pipe_->frame());
         started_ = true;
@@ -91,6 +207,13 @@ Session::step()
     InputSource& src =
         fault_.enabled() ? static_cast<InputSource&>(fsrc_) : qsrc_;
     auto pull = [&](const uint8_t** p) {
+        // Migration backlog first: the donor's unconsumed elements
+        // precede anything the client sends after reconnecting.
+        if (replayPos_ < replay_.size()) {
+            *p = replay_.data() + replayPos_;
+            replayPos_ += inW_;
+            return Feed::Ready;
+        }
         *p = src.next();
         if (*p)
             return Feed::Ready;

@@ -53,6 +53,9 @@
 namespace ziria {
 namespace serve {
 
+/** Layout version of a Checkpoint frame's session payload. */
+constexpr uint32_t kSessionCheckpointVersion = 1;
+
 /** Per-session tuning knobs (shared by every session of one server). */
 struct SessionConfig
 {
@@ -180,6 +183,33 @@ class Session
     /** Unblock a worker stuck in a stall fault / queue wait (teardown). */
     void cancel();
 
+    // ---- checkpoint / migration (docs/ROBUSTNESS.md) ----------------
+
+    /**
+     * Serialize this session's complete continuation state into a wire
+     * Checkpoint payload: a versioned header (consumed / emitted /
+     * backlog element count the migrating client can read without
+     * parsing the rest), the pipeline state snapshot, and the
+     * unconsumed input backlog (queue elements first, then
+     * @p pending_tail — the I/O thread's decoded-but-unqueued bytes).
+     *
+     * Caller contract: the scheduler must hold the session quiesced
+     * (Dead, no worker stepping) — the worker-owned pipeline state is
+     * read directly.  Returns false and fills @p err when the pipeline
+     * state cannot be serialized.
+     */
+    bool checkpoint(std::vector<uint8_t>& out, const uint8_t* pending_tail,
+                    size_t pending_len, std::string* err);
+
+    /**
+     * Stash a client-supplied Checkpoint payload (I/O thread side); the
+     * worker applies it at the start of its next step() — restoring the
+     * pipeline, resuming the counters and queueing the backlog for
+     * replay — before any element is processed.  A malformed payload
+     * fails the session (Error frame) instead of throwing.
+     */
+    void adoptCheckpoint(std::vector<uint8_t> payload);
+
     // ---- I/O-thread-owned bookkeeping (unshared; see file comment) --
 
     FrameParser parser;             ///< inbound wire decoder
@@ -190,6 +220,10 @@ class Session
     bool queueClosed = false;       ///< endInput() delivered to the queue
     bool closing = false;           ///< trailer queued; close when drained
     bool evictOnClose = false;      ///< count as evicted, not completed
+    bool sawData = false;           ///< a Data frame arrived (Checkpoint
+                                    ///< restore is only valid before any)
+    bool restoredFromCkpt = false;  ///< a Checkpoint was adopted already
+    bool drainCounted = false;      ///< drain.{completed,aborted} charged
     uint64_t closeDeadlineNs = 0;   ///< force-close bound once closing
     uint64_t lastActivityNs = 0;    ///< socket traffic clock (idle timer)
     std::vector<uint8_t> outWire;   ///< framed bytes ready to send
@@ -230,11 +264,22 @@ class Session
     std::atomic<uint32_t> restarts_{0};
     std::unique_ptr<SpanTracker> spans_;
 
+    // Migration restore (worker-only once adopted): backlog elements
+    // from the checkpoint, fed to the pipeline before the live queue.
+    std::vector<uint8_t> replay_;
+    size_t replayPos_ = 0;
+
+    /** Apply an adopted Checkpoint payload (worker side); returns an
+     *  error message, empty on success. */
+    std::string applyCheckpoint(const std::vector<uint8_t>& payload);
+
     // Output buffer shared worker -> I/O thread.
     std::mutex mu_;
     std::vector<uint8_t> outRaw_;
     size_t outRawPos_ = 0;
     Completion done_;
+    std::vector<uint8_t> pendingCkpt_;  ///< stash from adoptCheckpoint
+    bool hasCkpt_ = false;
 };
 
 } // namespace serve

@@ -29,7 +29,7 @@ bool
 validType(uint8_t t)
 {
     return t >= static_cast<uint8_t>(FrameType::Hello) &&
-           t <= static_cast<uint8_t>(FrameType::Stat);
+           t <= static_cast<uint8_t>(FrameType::Checkpoint);
 }
 
 } // namespace
@@ -44,6 +44,7 @@ frameTypeName(FrameType t)
       case FrameType::Halt: return "halt";
       case FrameType::Error: return "error";
       case FrameType::Stat: return "stat";
+      case FrameType::Checkpoint: return "checkpoint";
     }
     return "?";
 }

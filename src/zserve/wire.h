@@ -29,6 +29,16 @@
  *          requesting statistics.  Server -> client: the response, a
  *          UTF-8 JSON document with the server's metric registry plus
  *          this session's latency percentiles and scheduler dwell.
+ *   Checkpoint  zero-loss session migration (docs/ROBUSTNESS.md,
+ *          "Checkpointing & migration").  Server -> client on drain:
+ *          the payload is a session checkpoint — a versioned header
+ *          (version, consumed, emitted, backlog element count), the
+ *          pipeline state snapshot (zexec/snapshot.h) and the
+ *          unconsumed input backlog; the connection closes next and
+ *          the client resumes against another server.  Client ->
+ *          server: must be the first client frame of a session; the
+ *          server restores the pipeline from it, replays the backlog,
+ *          and continues as if uninterrupted.
  *
  * Payloads are capped (kMaxPayload) so a hostile or corrupted length
  * field cannot make the receiver allocate unbounded memory; the parser
@@ -61,6 +71,7 @@ enum class FrameType : uint8_t {
     Halt = 4,
     Error = 5,
     Stat = 6,
+    Checkpoint = 7,
 };
 
 /** Short lowercase name ("hello", "data", ...). */

@@ -1,0 +1,101 @@
+#include "support/shapes.h"
+
+#include "support/fault_injector.h"
+
+namespace ziria {
+namespace testsupport {
+
+using namespace zb;
+
+CompPtr
+incBlock(int32_t delta)
+{
+    VarRef x = freshVar("x", Type::int32());
+    return repeatc(seqc({bindc(x, take(Type::int32())),
+                         just(emit(var(x) + delta))}));
+}
+
+const std::vector<Shape>&
+resetShapes()
+{
+    static const std::vector<Shape> shapes = [] {
+        std::vector<Shape> s;
+        s.push_back({"repeat-bind-emit", [] { return incBlock(1); }});
+        s.push_back({"map", [] {
+            VarRef x = freshVar("x", Type::int32());
+            FunRef f = fun("inc3", {x}, {}, var(x) + 3);
+            return mapc(f);
+        }});
+        s.push_back({"pipe-maps", [] {
+            VarRef x = freshVar("x", Type::int32());
+            VarRef y = freshVar("y", Type::int32());
+            FunRef f = fun("addA", {x}, {}, var(x) + 5);
+            FunRef g = fun("addB", {y}, {}, var(y) * 2);
+            return pipe(mapc(f), mapc(g));
+        }});
+        s.push_back({"pipe-repeats", [] {
+            return pipe(incBlock(1), incBlock(10));
+        }});
+        s.push_back({"filter", [] {
+            VarRef x = freshVar("x", Type::int32());
+            FunRef p = fun("odd", {x}, {}, (var(x) % 2) != 0);
+            return filterc(p);
+        }});
+        s.push_back({"seq-two-takes", [] {
+            VarRef a = freshVar("a", Type::int32());
+            VarRef b = freshVar("b", Type::int32());
+            return repeatc(seqc({bindc(a, take(Type::int32())),
+                                 bindc(b, take(Type::int32())),
+                                 just(emit(var(a) + var(b)))}));
+        }});
+        s.push_back({"times", [] {
+            VarRef x = freshVar("x", Type::int32());
+            return repeatc(timesc(
+                cInt(4), seqc({bindc(x, take(Type::int32())),
+                               just(emit(var(x) * 2))})));
+        }});
+        s.push_back({"while-letvar", [] {
+            // A computer: consumes 8 elements, then halts.
+            VarRef i = freshVar("i", Type::int32());
+            VarRef x = freshVar("x", Type::int32());
+            return letvar(
+                i, cInt(0),
+                whilec(var(i) < 8,
+                       seqc({just(doS({assign(var(i), var(i) + 1)})),
+                             bindc(x, take(Type::int32())),
+                             just(emit(var(x) + 100))})));
+        }});
+        s.push_back({"if", [] {
+            return ifc(cInt(1) == 1, incBlock(5), incBlock(7));
+        }});
+        s.push_back({"emits", [] {
+            VarRef x = freshVar("x", Type::int32());
+            return repeatc(seqc(
+                {bindc(x, take(Type::int32())),
+                 just(emits(arrayLit({var(x), var(x) + 1})))}));
+        }});
+        s.push_back({"letvar-accumulator", [] {
+            // Running sum: stale accumulator state is directly visible
+            // in the output, so a reset()/restore() that mishandles the
+            // letvar cell fails.
+            VarRef acc = freshVar("acc", Type::int32());
+            VarRef x = freshVar("x", Type::int32());
+            return letvar(
+                acc, cInt(0),
+                repeatc(seqc(
+                    {bindc(x, take(Type::int32())),
+                     just(doS({assign(var(acc), var(acc) + var(x))})),
+                     just(emit(var(acc)))})));
+        }});
+        s.push_back({"native", [] {
+            // Native pass-through (fault tick unreachably high):
+            // exercises the NativeNode kernel-recreation path.
+            return throwAtBlock(uint64_t(1) << 62);
+        }});
+        return s;
+    }();
+    return shapes;
+}
+
+} // namespace testsupport
+} // namespace ziria

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The combinator-shape catalog shared by the reset-totality and
+ * snapshot round-trip suites: one deliberately stateful program per
+ * combinator family, so a reset()/restore() that misses a child (or a
+ * serializer that skips a field) produces observably different output.
+ */
+#ifndef ZIRIA_TESTS_SUPPORT_SHAPES_H
+#define ZIRIA_TESTS_SUPPORT_SHAPES_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "zast/builder.h"
+
+namespace ziria {
+namespace testsupport {
+
+/** repeat { x <- take; emit (x + delta) } */
+CompPtr incBlock(int32_t delta);
+
+struct Shape
+{
+    const char* name;
+    std::function<CompPtr()> make;
+};
+
+/** One shape per combinator family (12 entries; see shapes.cc). */
+const std::vector<Shape>& resetShapes();
+
+} // namespace testsupport
+} // namespace ziria
+
+#endif // ZIRIA_TESTS_SUPPORT_SHAPES_H

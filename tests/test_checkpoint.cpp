@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Checkpoint tests (ctest labels `recovery`, `checkpoint`): the
+ * snapshot/restore round-trip totality contract across every
+ * combinator shape × {vm, fused} × O0/O3, the state-io primitives, a
+ * WiFi receiver checkpointed mid-packet, and the checkpointed-restart
+ * consumer — a supervised restart that resumes from the last
+ * frame-boundary snapshot and reproduces the uninterrupted run's
+ * output byte for byte (the PR's acceptance property).
+ *
+ * The round-trip contract under test (zexec/snapshot.h): at a
+ * quiescent point (the tree parked on NeedInput), restoreSnapshot(
+ * takeSnapshot()) must make the tree's future output bit-identical to
+ * the snapshotted instance's — including native kernel state (Viterbi
+ * path memory, scrambler LFSRs) and fused register/state/channel
+ * spaces.
+ */
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/channel.h"
+#include "sora/sora.h"
+#include "support/fault_injector.h"
+#include "support/metrics.h"
+#include "support/rng.h"
+#include "support/shapes.h"
+#include "support/state_io.h"
+#include "wifi/rx.h"
+#include "wifi/tx.h"
+#include "zexec/faultpoint.h"
+#include "zexec/snapshot.h"
+#include "zir/compiler.h"
+
+namespace ziria {
+namespace {
+
+using testsupport::intBytes;
+using testsupport::resetShapes;
+using testsupport::Shape;
+
+// ------------------------------------------------------------- helpers
+
+struct DriveResult
+{
+    std::vector<uint8_t> out;
+    size_t consumed = 0;  ///< input elements supplied
+    bool done = false;
+};
+
+/**
+ * Drive @p p by hand from @p bytes, starting @p startElem elements in,
+ * supplying at most @p maxElems elements.  Stops parked on NeedInput
+ * (the quiescent point snapshots require), at end of input, or at
+ * Done.  With @p init false the tree is NOT start()ed — how the
+ * round-trip tests prove restoreSnapshot() alone rebuilt the state.
+ */
+DriveResult
+driveUpTo(Pipeline& p, const std::vector<uint8_t>& bytes,
+          size_t startElem, size_t maxElems, bool init)
+{
+    ExecNode& root = p.root();
+    Frame& f = p.frame();
+    if (init)
+        root.start(f);
+    const size_t w = p.inWidth();
+    size_t pos = startElem * w;
+    DriveResult r;
+    for (;;) {
+        Status s = root.advance(f);
+        if (s == Status::Yield) {
+            r.out.insert(r.out.end(), root.out(),
+                         root.out() + p.outWidth());
+        } else if (s == Status::NeedInput) {
+            if (r.consumed >= maxElems)
+                break;  // parked — quiescent
+            if (pos + w > bytes.size())
+                break;  // input exhausted
+            root.supply(f, bytes.data() + pos);
+            pos += w;
+            ++r.consumed;
+        } else {
+            r.done = true;
+            break;
+        }
+    }
+    return r;
+}
+
+// ---------------------------------------------------- state-io basics
+
+TEST(StateIo, PrimitivesRoundTrip)
+{
+    StateWriter w;
+    w.u8(7);
+    w.u32(0xdeadbeef);
+    w.u64(0x1122334455667788ull);
+    w.i64(-42);
+    w.f64(2.5);
+    const uint8_t raw[3] = {1, 2, 3};
+    w.blob(raw, sizeof raw);
+    std::vector<uint8_t> buf = w.take();
+
+    StateReader r(buf.data(), buf.size());
+    EXPECT_EQ(r.u8(), 7u);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 2.5);
+    std::vector<uint8_t> blob = r.blob();
+    EXPECT_EQ(blob, std::vector<uint8_t>(raw, raw + 3));
+
+    // Reading past the end is a format error, not UB.
+    EXPECT_THROW(r.u8(), StateFormatError);
+}
+
+TEST(StateIo, RestoreRejectsCorruptContainer)
+{
+    auto p = compilePipeline(resetShapes()[0].make(),
+                             CompilerOptions::forLevel(OptLevel::None));
+    p->root().start(p->frame());
+    auto snap = takeSnapshot(p->root(), p->frame(), 0, 0);
+    ASSERT_GE(snap.size(), 8u);
+
+    auto badMagic = snap;
+    badMagic[0] ^= 0xff;
+    EXPECT_THROW(restoreSnapshot(p->root(), p->frame(), badMagic),
+                 StateFormatError);
+
+    auto truncated = snap;
+    truncated.resize(truncated.size() - 1);
+    EXPECT_THROW(restoreSnapshot(p->root(), p->frame(), truncated),
+                 StateFormatError);
+}
+
+// ------------------------------------------- round-trip totality
+
+TEST(SnapshotRoundTrip, AllShapesAcrossBackendsAndOptLevels)
+{
+    for (const Shape& sh : resetShapes()) {
+        for (OptLevel lvl : {OptLevel::None, OptLevel::All}) {
+            for (Backend be : {Backend::Vm, Backend::Fused}) {
+                SCOPED_TRACE(
+                    std::string(sh.name) + " at OptLevel " +
+                    (lvl == OptLevel::None ? "None" : "All") + ", " +
+                    (be == Backend::Vm ? "vm" : "fused"));
+                CompilerOptions opt = CompilerOptions::forLevel(lvl);
+                opt.backend = be;
+                auto p = compilePipeline(sh.make(), opt);
+
+                ASSERT_EQ(p->inWidth() % 4, 0u);
+                std::vector<int32_t> in(24 * (p->inWidth() / 4));
+                for (size_t i = 0; i < in.size(); ++i)
+                    in[i] = static_cast<int32_t>(i);
+                auto bytes = intBytes(in);
+
+                // Run to the 5-element park, snapshot there, then
+                // drive the ORIGINAL instance to the end: that tail is
+                // the ground truth the restored instance must match.
+                auto head = driveUpTo(*p, bytes, 0, 5, /*init=*/true);
+                auto snap = takeSnapshot(p->root(), p->frame(),
+                                         head.consumed, 0);
+                auto want = driveUpTo(*p, bytes, head.consumed,
+                                      SIZE_MAX, /*init=*/false);
+
+                // The tree is now dirty (run to completion); restore
+                // must rewind it to the park without a start().
+                SnapshotInfo info =
+                    restoreSnapshot(p->root(), p->frame(), snap);
+                EXPECT_EQ(info.consumed, head.consumed);
+                auto got = driveUpTo(*p, bytes, head.consumed,
+                                     SIZE_MAX, /*init=*/false);
+                EXPECT_EQ(got.out, want.out)
+                    << "restored continuation diverged";
+                EXPECT_EQ(got.consumed, want.consumed);
+                EXPECT_EQ(got.done, want.done);
+            }
+        }
+    }
+}
+
+TEST(SnapshotRoundTrip, RestoreIsRepeatable)
+{
+    // One snapshot, two restores: the image must not be consumed or
+    // mutated by restoring it (a drain replay may restore twice).
+    const Shape& sh = resetShapes()[10];  // letvar-accumulator
+    auto p = compilePipeline(sh.make(),
+                             CompilerOptions::forLevel(OptLevel::None));
+    std::vector<int32_t> in(24);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i);
+    auto bytes = intBytes(in);
+
+    auto head = driveUpTo(*p, bytes, 0, 7, true);
+    auto snap = takeSnapshot(p->root(), p->frame(), head.consumed, 0);
+    auto want = driveUpTo(*p, bytes, head.consumed, SIZE_MAX, false);
+
+    for (int round = 0; round < 2; ++round) {
+        restoreSnapshot(p->root(), p->frame(), snap);
+        auto got = driveUpTo(*p, bytes, head.consumed, SIZE_MAX, false);
+        EXPECT_EQ(got.out, want.out) << "round " << round;
+    }
+}
+
+// --------------------------------------------- WiFi RX mid-packet
+
+std::vector<uint8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out)
+        b = static_cast<uint8_t>(rng.next());
+    return out;
+}
+
+bool
+containsBytes(const std::vector<uint8_t>& hay,
+              const std::vector<uint8_t>& needle)
+{
+    return std::search(hay.begin(), hay.end(), needle.begin(),
+                       needle.end()) != hay.end();
+}
+
+TEST(SnapshotRoundTrip, WifiRxMidPacketCheckpointDecodesThePacket)
+{
+    // Checkpoint the full receiver ~140 samples INTO packet 1 — with
+    // live channel-estimate, demapper and Viterbi path-memory state —
+    // and prove the restored instance still decodes packet 1 (whose
+    // decode spans the checkpoint) and packet 2, byte-identically to
+    // the uninterrupted continuation.
+    using namespace wifi;
+    auto payload1 = randomBytes(40, 91);
+    auto payload2 = randomBytes(40, 92);
+    auto tx1 = sora::txFrame(payload1, Rate::R12);
+    auto tx2 = sora::txFrame(payload2, Rate::R12);
+
+    std::vector<Complex16> stream;
+    stream.insert(stream.end(), 300, Complex16{0, 0});
+    stream.insert(stream.end(), tx1.begin(), tx1.end());
+    stream.insert(stream.end(), 3000, Complex16{0, 0});
+    stream.insert(stream.end(), tx2.begin(), tx2.end());
+    stream.insert(stream.end(), 300, Complex16{0, 0});
+
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 35.0;
+    cfg.seed = 93;
+    auto rxSamples = channel::applyChannel(stream, cfg);
+    std::vector<uint8_t> sampBytes(rxSamples.size() * 4);
+    std::memcpy(sampBytes.data(), rxSamples.data(), sampBytes.size());
+
+    auto rx = compilePipeline(wifiReceiverLoopComp(),
+                              CompilerOptions::forLevel(OptLevel::None));
+    ASSERT_EQ(rx->inWidth(), 4u);  // one Complex16 sample per element
+
+    auto head = driveUpTo(*rx, sampBytes, 0, 600, true);
+    auto snap =
+        takeSnapshot(rx->root(), rx->frame(), head.consumed, 0);
+    auto want = driveUpTo(*rx, sampBytes, head.consumed, SIZE_MAX,
+                          false);
+
+    restoreSnapshot(rx->root(), rx->frame(), snap);
+    auto got = driveUpTo(*rx, sampBytes, head.consumed, SIZE_MAX,
+                         false);
+    EXPECT_EQ(got.out, want.out);
+
+    std::vector<uint8_t> bits = head.out;
+    bits.insert(bits.end(), got.out.begin(), got.out.end());
+    auto bytes = bitsToBytes(bits);
+    EXPECT_TRUE(containsBytes(bytes, payload1))
+        << "the packet whose decode spans the checkpoint was lost";
+    EXPECT_TRUE(containsBytes(bytes, payload2));
+}
+
+// ------------------------------------------- checkpointed restart
+
+void
+checkCheckpointedRestart(Backend be, OptLevel lvl)
+{
+    SCOPED_TRACE(std::string(be == Backend::Vm ? "vm" : "fused") +
+                 " at OptLevel " +
+                 (lvl == OptLevel::None ? "None" : "All"));
+    const Shape& sh = resetShapes()[10];  // letvar-accumulator
+    ASSERT_STREQ(sh.name, "letvar-accumulator");
+
+    auto clean = compilePipeline(sh.make(),
+                                 CompilerOptions::forLevel(lvl));
+    std::vector<int32_t> in(50 * (clean->inWidth() / 4));
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i + 1);
+    auto bytes = intBytes(in);
+    auto expect = clean->runBytes(bytes);
+
+    CompilerOptions opt = CompilerOptions::forLevel(lvl);
+    opt.backend = be;
+    opt.restart.mode = RestartMode::OnFailure;
+    opt.restart.maxRestarts = 3;
+    opt.restart.backoffInitialMs = 1;
+    opt.checkpoint.interval = 4;
+    auto p = compilePipeline(sh.make(), opt);
+    // vm and fused must agree on the compiled element width for the
+    // clean run above to be the right oracle.
+    ASSERT_EQ(p->inWidth(), clean->inWidth());
+
+    auto& reg = metrics::Registry::global();
+    uint64_t attempts0 = reg.counter("restart.attempts").value();
+    uint64_t snaps0 = reg.counter("ziria.ckpt.snapshots").value();
+    uint64_t restores0 = reg.counter("ziria.ckpt.restores").value();
+
+    MemSource mem(bytes, p->inWidth());
+    FaultySource src(mem, FaultSpec::parse("throw@10"));
+    VecSink sink(p->outWidth());
+    ASSERT_NO_THROW(p->run(src, sink));
+
+    EXPECT_EQ(sink.data(), expect)
+        << "checkpointed restart is not byte-identical to the "
+           "uninterrupted run";
+    EXPECT_EQ(reg.counter("restart.attempts").value(), attempts0 + 1);
+    EXPECT_EQ(reg.counter("ziria.ckpt.restores").value(),
+              restores0 + 1);
+    EXPECT_GT(reg.counter("ziria.ckpt.snapshots").value(), snaps0);
+    EXPECT_EQ(src.fired(), 1u);
+}
+
+TEST(CheckpointedRestart, ByteIdenticalAfterFaultVm)
+{
+    checkCheckpointedRestart(Backend::Vm, OptLevel::None);
+    checkCheckpointedRestart(Backend::Vm, OptLevel::All);
+}
+
+TEST(CheckpointedRestart, ByteIdenticalAfterFaultFused)
+{
+    checkCheckpointedRestart(Backend::Fused, OptLevel::None);
+    checkCheckpointedRestart(Backend::Fused, OptLevel::All);
+}
+
+TEST(CheckpointedRestart, PlainRestartDivergesOnStatefulPipelines)
+{
+    // The motivating contrast: WITHOUT a checkpoint interval, a
+    // restart resets the accumulator to zero and the tail of the
+    // output provably differs — the behavior checkpointing fixes.
+    const Shape& sh = resetShapes()[10];
+    auto clean = compilePipeline(sh.make(),
+                                 CompilerOptions::forLevel(
+                                     OptLevel::None));
+    std::vector<int32_t> in(50);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i + 1);
+    auto bytes = intBytes(in);
+    auto expect = clean->runBytes(bytes);
+
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.restart.mode = RestartMode::OnFailure;
+    opt.restart.maxRestarts = 3;
+    opt.restart.backoffInitialMs = 1;
+    auto p = compilePipeline(sh.make(), opt);
+
+    MemSource mem(bytes, p->inWidth());
+    FaultySource src(mem, FaultSpec::parse("throw@10"));
+    VecSink sink(p->outWidth());
+    ASSERT_NO_THROW(p->run(src, sink));
+    EXPECT_NE(sink.data(), expect);
+}
+
+TEST(CheckpointedRestart, SurvivesTwoFaultsInOneRun)
+{
+    // A second fault during/after journal replay must restore again
+    // from the same boundary and still converge byte-identically.
+    const Shape& sh = resetShapes()[10];
+    auto clean = compilePipeline(sh.make(),
+                                 CompilerOptions::forLevel(
+                                     OptLevel::None));
+    std::vector<int32_t> in(50);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i + 1);
+    auto bytes = intBytes(in);
+    auto expect = clean->runBytes(bytes);
+
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.restart.mode = RestartMode::OnFailure;
+    opt.restart.maxRestarts = 3;
+    opt.restart.backoffInitialMs = 1;
+    opt.checkpoint.interval = 8;
+    auto p = compilePipeline(sh.make(), opt);
+
+    MemSource mem(bytes, p->inWidth());
+    FaultySource src(mem, FaultSpec::parse("throw@10:2"));
+    VecSink sink(p->outWidth());
+    ASSERT_NO_THROW(p->run(src, sink));
+    EXPECT_EQ(sink.data(), expect);
+    EXPECT_EQ(src.fired(), 2u);
+}
+
+} // namespace
+} // namespace ziria

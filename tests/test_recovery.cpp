@@ -24,6 +24,7 @@
 #include "support/fault_injector.h"
 #include "support/metrics.h"
 #include "support/rng.h"
+#include "support/shapes.h"
 #include "wifi/rx.h"
 #include "wifi/tx.h"
 #include "zexec/faultpoint.h"
@@ -33,7 +34,10 @@ namespace ziria {
 namespace {
 
 using namespace zb;
+using testsupport::incBlock;
 using testsupport::intBytes;
+using testsupport::resetShapes;
+using testsupport::Shape;
 using testsupport::throwAtBlock;
 
 // ------------------------------------------------------------- helpers
@@ -91,104 +95,12 @@ consumePartial(Pipeline& p, MemSource& src, size_t elems)
     }
 }
 
-CompPtr
-incBlock(int32_t delta)
-{
-    VarRef x = freshVar("x", Type::int32());
-    return repeatc(seqc({bindc(x, take(Type::int32())),
-                         just(emit(var(x) + delta))}));
-}
-
 // ------------------------------------------------- reset() totality
-
-struct Shape
-{
-    const char* name;
-    std::function<CompPtr()> make;
-};
-
-/**
- * One shape per combinator family.  Several are deliberately stateful
- * (letvar accumulator, times mid-count, multi-item seq mid-bind) so a
- * reset() that misses a child produces observably different output.
- */
-std::vector<Shape>
-resetShapes()
-{
-    std::vector<Shape> shapes;
-    shapes.push_back({"repeat-bind-emit", [] { return incBlock(1); }});
-    shapes.push_back({"map", [] {
-        VarRef x = freshVar("x", Type::int32());
-        FunRef f = fun("inc3", {x}, {}, var(x) + 3);
-        return mapc(f);
-    }});
-    shapes.push_back({"pipe-maps", [] {
-        VarRef x = freshVar("x", Type::int32());
-        VarRef y = freshVar("y", Type::int32());
-        FunRef f = fun("addA", {x}, {}, var(x) + 5);
-        FunRef g = fun("addB", {y}, {}, var(y) * 2);
-        return pipe(mapc(f), mapc(g));
-    }});
-    shapes.push_back({"pipe-repeats", [] {
-        return pipe(incBlock(1), incBlock(10));
-    }});
-    shapes.push_back({"filter", [] {
-        VarRef x = freshVar("x", Type::int32());
-        FunRef p = fun("odd", {x}, {}, (var(x) % 2) != 0);
-        return filterc(p);
-    }});
-    shapes.push_back({"seq-two-takes", [] {
-        VarRef a = freshVar("a", Type::int32());
-        VarRef b = freshVar("b", Type::int32());
-        return repeatc(seqc({bindc(a, take(Type::int32())),
-                             bindc(b, take(Type::int32())),
-                             just(emit(var(a) + var(b)))}));
-    }});
-    shapes.push_back({"times", [] {
-        VarRef x = freshVar("x", Type::int32());
-        return repeatc(timesc(
-            cInt(4), seqc({bindc(x, take(Type::int32())),
-                           just(emit(var(x) * 2))})));
-    }});
-    shapes.push_back({"while-letvar", [] {
-        // A computer: consumes 8 elements, then halts.
-        VarRef i = freshVar("i", Type::int32());
-        VarRef x = freshVar("x", Type::int32());
-        return letvar(
-            i, cInt(0),
-            whilec(var(i) < 8,
-                   seqc({just(doS({assign(var(i), var(i) + 1)})),
-                         bindc(x, take(Type::int32())),
-                         just(emit(var(x) + 100))})));
-    }});
-    shapes.push_back({"if", [] {
-        return ifc(cInt(1) == 1, incBlock(5), incBlock(7));
-    }});
-    shapes.push_back({"emits", [] {
-        VarRef x = freshVar("x", Type::int32());
-        return repeatc(seqc(
-            {bindc(x, take(Type::int32())),
-             just(emits(arrayLit({var(x), var(x) + 1})))}));
-    }});
-    shapes.push_back({"letvar-accumulator", [] {
-        // Running sum: stale accumulator state is directly visible in
-        // the output, so a reset() that skips the letvar init fails.
-        VarRef acc = freshVar("acc", Type::int32());
-        VarRef x = freshVar("x", Type::int32());
-        return letvar(
-            acc, cInt(0),
-            repeatc(seqc(
-                {bindc(x, take(Type::int32())),
-                 just(doS({assign(var(acc), var(acc) + var(x))})),
-                 just(emit(var(acc)))})));
-    }});
-    shapes.push_back({"native", [] {
-        // Native pass-through (fault tick unreachably high): exercises
-        // the NativeNode kernel-recreation path under reset().
-        return throwAtBlock(uint64_t(1) << 62);
-    }});
-    return shapes;
-}
+//
+// The 12 combinator shapes live in tests/support/shapes.{h,cc}; the
+// snapshot round-trip suite (test_checkpoint.cpp) iterates the same
+// catalog, so a new combinator family added there is covered by both
+// contracts at once.
 
 TEST(ResetTotality, ResetAfterPartialRunMatchesFreshRun)
 {

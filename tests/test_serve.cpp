@@ -686,6 +686,254 @@ TEST(Serve, AggregatesSessionTrafficIntoRegistry)
     EXPECT_GE(reg.counter("server.tx.frames").value(), txf0 + 3);
 }
 
+// ------------------------------------------- checkpoint / drain / migrate
+
+namespace {
+
+uint32_t
+readU32(const std::vector<uint8_t>& b, size_t off)
+{
+    uint32_t v = 0;
+    std::memcpy(&v, b.data() + off, 4);
+    return v;
+}
+
+uint64_t
+readU64(const std::vector<uint8_t>& b, size_t off)
+{
+    uint64_t v = 0;
+    std::memcpy(&v, b.data() + off, 8);
+    return v;
+}
+
+/** Step a session until it parks (NeedInput) or finishes, collecting
+ *  any output it produces along the way. */
+StepResult
+stepUntilParked(Session& s, std::vector<uint8_t>& out)
+{
+    for (int guard = 0; guard < 100000; ++guard) {
+        StepResult r = s.step();
+        std::vector<uint8_t> chunk;
+        while (s.takeOutput(chunk, 64 * 1024) > 0) {
+            out.insert(out.end(), chunk.begin(), chunk.end());
+            chunk.clear();
+        }
+        if (r == StepResult::NeedInput || r == StepResult::Finished ||
+            r == StepResult::Failed)
+            return r;
+    }
+    ADD_FAILURE() << "session never parked";
+    return StepResult::Failed;
+}
+
+} // namespace
+
+TEST(Serve, SessionCheckpointRoundTripOffline)
+{
+    // The session-level migration contract, no sockets involved: park a
+    // session mid-stream, serialize it (with both a queued backlog and
+    // an I/O-side pending tail), restore into a FRESH session, finish
+    // the stream there, and demand byte-identity with the solo run.
+    auto factory = scramblerFactory();
+    auto input = randomBits(4096 * 8, 44);
+    auto expect = soloRun(factory, input);
+
+    SessionConfig cfg;
+    Session a(1, /*fd=*/-1, factory(1), cfg, FaultSpec{});
+    const size_t w = a.inWidth();
+    ASSERT_GT(w, 0u);
+    ASSERT_EQ(input.size() % w, 0u);
+
+    // Feed a prefix and run it to quiescence.
+    const size_t fed = 1024 * w;
+    size_t consumed = 0;
+    ASSERT_TRUE(a.offerInput(input.data(), fed, consumed));
+    ASSERT_EQ(consumed, fed);
+    std::vector<uint8_t> outA;
+    ASSERT_EQ(stepUntilParked(a, outA), StepResult::NeedInput);
+
+    // Leave a backlog the worker never saw: some queued elements plus a
+    // decoded-but-unqueued tail of one element.
+    const size_t queued = 16 * w;
+    ASSERT_TRUE(a.offerInput(input.data() + fed, queued, consumed));
+    ASSERT_EQ(consumed, queued);
+    const uint8_t* tail = input.data() + fed + queued;
+
+    std::vector<uint8_t> ck;
+    std::string err;
+    ASSERT_TRUE(a.checkpoint(ck, tail, w, &err)) << err;
+
+    // Header sanity: version, progress counters, backlog element count.
+    ASSERT_GE(ck.size(), 28u);
+    EXPECT_EQ(readU32(ck, 0), 1u);
+    const uint64_t ckConsumed = readU64(ck, 4);
+    const uint64_t ckBacklog = readU64(ck, 20);
+    EXPECT_EQ(ckConsumed, fed / w);
+    EXPECT_EQ(ckBacklog, queued / w + 1);
+
+    // Resume in a brand-new session: adopt, feed the rest, finish.
+    Session b(2, /*fd=*/-1, factory(2), cfg, FaultSpec{});
+    b.adoptCheckpoint(ck);
+    std::vector<uint8_t> outB;
+    // The bounded input queue backpressures a bulk feed: interleave
+    // offering and stepping, exactly like the server's I/O loop does.
+    size_t off = (static_cast<size_t>(ckConsumed + ckBacklog)) * w;
+    ASSERT_LE(off, input.size());
+    while (off < input.size()) {
+        size_t did = 0;
+        b.offerInput(input.data() + off, input.size() - off, did);
+        off += did;
+        if (off < input.size())
+            ASSERT_NE(stepUntilParked(b, outB), StepResult::Failed);
+    }
+    b.endInput();
+    ASSERT_EQ(stepUntilParked(b, outB), StepResult::Finished);
+    EXPECT_TRUE(b.completion().finished);
+    EXPECT_FALSE(b.completion().failed) << b.completion().failMessage;
+
+    std::vector<uint8_t> got = outA;
+    got.insert(got.end(), outB.begin(), outB.end());
+    EXPECT_EQ(got, expect);
+}
+
+TEST(Serve, DrainEmitsCheckpointAndSecondServerResumes)
+{
+    // The full zero-loss migration story over TCP: server A is drained
+    // mid-stream (SIGTERM path), hands the client a Checkpoint frame;
+    // the client replays it as the FIRST frame to server B and streams
+    // the remainder.  Concatenated output must be byte-identical to an
+    // uninterrupted solo run.
+    auto factory = scramblerFactory();
+    auto input = randomBits(4096 * 8, 51);
+    auto expect = soloRun(factory, input);
+
+    auto& reg = metrics::Registry::global();
+    uint64_t drained0 = reg.counter("server.drain.completed").value();
+    uint64_t saved0 = reg.counter("server.migrations.saved").value();
+    uint64_t restored0 = reg.counter("server.migrations.restored").value();
+
+    ServerConfig cfg;
+    cfg.workers = 2;
+    Server serverA(factory, cfg);
+    serverA.start();
+
+    TestClient c1;
+    ASSERT_TRUE(c1.connect(serverA.port()));
+    const size_t w = c1.hello.inWidth;
+    ASSERT_GT(w, 0u);
+    const size_t half = (input.size() / 2 / w) * w;
+    ASSERT_TRUE(c1.sendAllData(
+        std::vector<uint8_t>(input.begin(),
+                             input.begin() + static_cast<long>(half))));
+
+    // Let the worker make some progress, then drain server A while the
+    // stream is mid-flight (no End was sent).
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::thread drainer([&] { serverA.drainStop(); });
+
+    std::vector<uint8_t> out1, ck;
+    Frame f;
+    while (c1.readFrame(f)) {
+        if (f.type == FrameType::Data)
+            out1.insert(out1.end(), f.payload.begin(), f.payload.end());
+        else if (f.type == FrameType::Checkpoint) {
+            ck = f.payload;
+            break;
+        } else
+            FAIL() << "unexpected frame type during drain";
+    }
+    drainer.join();
+    ASSERT_FALSE(ck.empty()) << "drain never produced a Checkpoint frame";
+    EXPECT_EQ(reg.counter("server.drain.completed").value(), drained0 + 1);
+    EXPECT_EQ(reg.counter("server.migrations.saved").value(), saved0 + 1);
+
+    // The header tells the migrating client where to resume the input.
+    ASSERT_GE(ck.size(), 28u);
+    ASSERT_EQ(readU32(ck, 0), 1u);
+    const size_t resumeOff =
+        static_cast<size_t>(readU64(ck, 4) + readU64(ck, 20)) * w;
+    ASSERT_LE(resumeOff, half);
+
+    Server serverB(factory, cfg);
+    serverB.start();
+    TestClient c2;
+    ASSERT_TRUE(c2.connect(serverB.port()));
+    std::vector<uint8_t> wire;
+    encodeFrame(wire, FrameType::Checkpoint, ck.data(), ck.size());
+    ASSERT_TRUE(sendAll(c2.sock.get(), wire.data(), wire.size()));
+    ASSERT_TRUE(c2.sendAllData(
+        std::vector<uint8_t>(input.begin() + static_cast<long>(resumeOff),
+                             input.end())));
+    ASSERT_TRUE(c2.sendEnd());
+    c2.drain();
+    EXPECT_TRUE(c2.sawEnd);
+    EXPECT_FALSE(c2.sawError) << c2.errorMsg;
+    EXPECT_EQ(reg.counter("server.migrations.restored").value(),
+              restored0 + 1);
+    serverB.stop();
+
+    std::vector<uint8_t> got = out1;
+    got.insert(got.end(), c2.out.begin(), c2.out.end());
+    EXPECT_EQ(got, expect) << "migrated stream diverged from solo run";
+}
+
+TEST(Serve, DrainLetsFinishedSessionsCompleteNaturally)
+{
+    // A session whose End is already in: drainStop must let it finish
+    // and deliver the normal End-of-stream epilogue — not checkpoint it.
+    auto factory = scramblerFactory();
+    auto input = randomBits(1024 * 8, 62);
+    auto expect = soloRun(factory, input);
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    Server server(factory, cfg);
+    server.start();
+
+    auto& reg = metrics::Registry::global();
+    uint64_t aborted0 = reg.counter("server.drain.aborted").value();
+
+    TestClient c;
+    ASSERT_TRUE(c.connect(server.port()));
+    ASSERT_TRUE(c.sendAllData(input));
+    ASSERT_TRUE(c.sendEnd());
+    // Give the I/O loop time to read the End frame: a session whose end
+    // of input is already in is "finishing naturally" and must be left
+    // alone by the drain, not checkpointed.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::thread drainer([&] { server.drainStop(); });
+    c.drain();
+    drainer.join();
+    EXPECT_TRUE(c.sawEnd);
+    EXPECT_FALSE(c.sawError) << c.errorMsg;
+    EXPECT_EQ(c.out, expect);
+    EXPECT_EQ(reg.counter("server.drain.aborted").value(), aborted0);
+}
+
+TEST(Serve, CheckpointAfterSessionStartIsAProtocolError)
+{
+    // A Checkpoint restore is only valid as the client's FIRST frame;
+    // after Data has been fed the restore would corrupt the stream.
+    auto factory = scramblerFactory();
+    ServerConfig cfg;
+    cfg.workers = 1;
+    Server server(factory, cfg);
+    server.start();
+
+    TestClient c;
+    ASSERT_TRUE(c.connect(server.port()));
+    auto some = randomBits(8 * c.hello.inWidth, 71);
+    ASSERT_TRUE(c.sendData(some.data(), some.size()));
+    std::vector<uint8_t> bogus(64, 0xab), wire;
+    encodeFrame(wire, FrameType::Checkpoint, bogus.data(), bogus.size());
+    ASSERT_TRUE(sendAll(c.sock.get(), wire.data(), wire.size()));
+    c.drain();
+    EXPECT_TRUE(c.sawError);
+    EXPECT_NE(c.errorMsg.find("Checkpoint"), std::string::npos)
+        << c.errorMsg;
+    server.stop();
+}
+
 } // namespace
 } // namespace serve
 } // namespace ziria

@@ -483,6 +483,169 @@ TEST(Threaded, RestartBudgetExhaustionCarriesHistory)
     EXPECT_EQ(src.fired(), 3u);  // initial attempt + two retries
 }
 
+TEST(SpscQueue, UncancelKeepsBacklogAndReenablesTraffic)
+{
+    // uncancel() is the per-stage restart primitive for queues NOT
+    // adjacent to the failed stage: the teardown latches (every stage
+    // closes its output queue and the driver cancels everything on the
+    // way out) must clear, but unlike reopen() the backlog is part of a
+    // healthy stage's live state and must survive.
+    SpscQueue q(4, 4);
+    uint32_t a = 7, b = 8, v = 0;
+    ASSERT_TRUE(q.push(reinterpret_cast<const uint8_t*>(&a)));
+    ASSERT_TRUE(q.push(reinterpret_cast<const uint8_t*>(&b)));
+    q.close();
+    q.cancel();
+    ASSERT_EQ(q.popWait(reinterpret_cast<uint8_t*>(&v), 0),
+              QueueWait::Cancelled);
+
+    q.uncancel();
+
+    EXPECT_FALSE(q.closed());
+    EXPECT_FALSE(q.cancelled());
+    EXPECT_EQ(q.size(), 2u);  // backlog preserved, in order
+    ASSERT_TRUE(q.pop(reinterpret_cast<uint8_t*>(&v)));
+    EXPECT_EQ(v, 7u);
+    ASSERT_TRUE(q.pop(reinterpret_cast<uint8_t*>(&v)));
+    EXPECT_EQ(v, 8u);
+    uint32_t c = 9;
+    ASSERT_TRUE(q.push(reinterpret_cast<const uint8_t*>(&c)));
+    ASSERT_TRUE(q.pop(reinterpret_cast<uint8_t*>(&v)));
+    EXPECT_EQ(v, 9u);
+}
+
+namespace {
+
+/** letvar acc = 0; repeat { x <- take; acc += x; emit acc } */
+CompPtr
+runningSum()
+{
+    VarRef acc = freshVar("acc", Type::int32());
+    VarRef x = freshVar("x", Type::int32());
+    return letvar(
+        acc, cInt(0),
+        repeatc(seqc({bindc(x, take(Type::int32())),
+                      just(doS({assign(var(acc), var(acc) + var(x))})),
+                      just(emit(var(acc)))})));
+}
+
+std::vector<int32_t>
+sinkInts(const VecSink& sink)
+{
+    std::vector<int32_t> got(sink.data().size() / 4);
+    std::memcpy(got.data(), sink.data().data(), sink.data().size());
+    return got;
+}
+
+} // namespace
+
+TEST(Threaded, StageScopedRestartPreservesDownstreamState)
+{
+    // Source throws twice (throw@10:2 — the fault clock survives the
+    // restart, so it re-fires on the very next read).  With
+    // RestartScope::Stage only stage 0 is torn down; the downstream
+    // running-sum stage keeps its live accumulator across BOTH
+    // restarts, so the output stays strictly monotone.  A
+    // pipeline-scoped restart would zero the accumulator and dip.
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.queueCapacity = 8;
+    opt.restart.mode = RestartMode::OnFailure;
+    opt.restart.scope = RestartScope::Stage;
+    opt.restart.maxRestarts = 4;
+    opt.restart.backoffInitialMs = 1;
+    auto p = compileThreadedPipeline(
+        ppipe(incBlock(1), runningSum()), opt);
+
+    const size_t N = 100;
+    std::vector<int32_t> in(N);
+    for (size_t i = 0; i < N; ++i)
+        in[i] = static_cast<int32_t>(i);  // stage 0 emits 1..N
+    auto bytes = intBytes(in);
+    MemSource mem(bytes, 4);
+    FaultySource src(mem, FaultSpec::parse("throw@10:2"));
+    VecSink sink(4);
+
+    auto& reg = metrics::Registry::global();
+    uint64_t attempts0 = reg.counter("restart.stage.attempts").value();
+    uint64_t restored0 = reg.counter("restart.stage.restored").value();
+
+    p->run(src, sink);  // must not throw
+
+    // Two re-arms of stage 0; the first restore is skipped (no boundary
+    // snapshot exists before the first failure), the second restores.
+    EXPECT_EQ(reg.counter("restart.stage.attempts").value(),
+              attempts0 + 2);
+    EXPECT_EQ(reg.counter("restart.stage.restored").value(),
+              restored0 + 1);
+    EXPECT_EQ(src.fired(), 2u);
+
+    std::vector<int32_t> got = sinkInts(sink);
+    // At most the reopened queue's backlog plus in-flight elements
+    // vanish per restart.
+    ASSERT_GE(got.size(), N - 2 * (8 + 2));
+    for (size_t i = 1; i < got.size(); ++i)
+        ASSERT_LT(got[i - 1], got[i])
+            << "accumulator state was lost across a restart (output "
+               "dipped at index " << i << ")";
+    // Each output is prev + the delivered value, so the final gap IS
+    // the last delivered value: the post-fault tail reached the sink.
+    ASSERT_GE(got.size(), 2u);
+    EXPECT_EQ(got.back() - got[got.size() - 2],
+              static_cast<int32_t>(N));
+}
+
+TEST(Threaded, StageScopedRestartResetsOnlyTheFailedStage)
+{
+    // A data-poisoned MIDDLE stage: 7/(x-10) faults when the running
+    // sum hits 10.  Per-stage restart drops the poisoned element with
+    // the reopened queues and plain-resets the (stateless) failed
+    // stage — no snapshot exists yet, so restored must NOT bump — while
+    // the upstream accumulator keeps its state.  Every input is
+    // consumed by stage 0 exactly once, so the last sum to reach the
+    // sink is the full-series total: proof the accumulator was neither
+    // reset nor double-fed.
+    VarRef x = freshVar("x", Type::int32());
+    CompPtr poison = repeatc(seqc(
+        {bindc(x, take(Type::int32())),
+         just(emit(var(x) + cInt(0) * (cInt(7) / (var(x) - 10))))}));
+
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.queueCapacity = 8;
+    opt.restart.mode = RestartMode::OnFailure;
+    opt.restart.scope = RestartScope::Stage;
+    opt.restart.maxRestarts = 3;
+    opt.restart.backoffInitialMs = 1;
+    auto p = compileThreadedPipeline(
+        ppipe(ppipe(runningSum(), std::move(poison)), incBlock(0)),
+        opt);
+
+    const int32_t N = 60;
+    std::vector<int32_t> in(static_cast<size_t>(N));
+    for (int32_t i = 0; i < N; ++i)
+        in[static_cast<size_t>(i)] = i + 1;  // sums: 1,3,6,10,15,...
+    auto bytes = intBytes(in);
+    MemSource src(bytes, 4);
+    VecSink sink(4);
+
+    auto& reg = metrics::Registry::global();
+    uint64_t attempts0 = reg.counter("restart.stage.attempts").value();
+    uint64_t restored0 = reg.counter("restart.stage.restored").value();
+
+    p->run(src, sink);  // must not throw
+
+    EXPECT_EQ(reg.counter("restart.stage.attempts").value(),
+              attempts0 + 1);
+    EXPECT_EQ(reg.counter("restart.stage.restored").value(), restored0);
+
+    std::vector<int32_t> got = sinkInts(sink);
+    ASSERT_FALSE(got.empty());
+    for (size_t i = 1; i < got.size(); ++i)
+        ASSERT_LT(got[i - 1], got[i])
+            << "upstream accumulator was reset (output dipped at "
+            << i << ")";
+    EXPECT_EQ(got.back(), N * (N + 1) / 2);
+}
+
 TEST(Threaded, RepeatedRunsReuseThePipeline)
 {
     auto p = compileThreadedPipeline(
