@@ -112,6 +112,13 @@ nsPerDatum(const CompPtr& c, uint64_t n_data, bool fuse_maps = false,
     opt.instrument = instrument;
     opt.backend = backend;
     opt.checkpoint.interval = ckpt_interval;
+    // Pipeline::run only engages the journal/snapshot machinery under a
+    // restart policy; without one the ckpt_on figure would silently
+    // measure the same no-op path as ckpt_off.
+    if (ckpt_interval > 0) {
+        opt.restart.mode = RestartMode::OnFailure;
+        opt.restart.maxRestarts = 1;
+    }
     auto p = compilePipeline(c, opt);
     static std::vector<uint8_t> input = doubleInput(4096);
     double sec = timePipeline(*p, input, n_data);

@@ -237,9 +237,10 @@ main(int argc, char** argv)
             assertSifs = true;
         } else if (a.rfind("--assert-sifs=", 0) == 0) {
             assertSifs = true;
-            budgetUs = std::strtoull(
-                a.c_str() + strlen("--assert-sifs="), nullptr, 10);
-            if (budgetUs == 0) {
+            const char* s = a.c_str() + strlen("--assert-sifs=");
+            char* end = nullptr;
+            budgetUs = std::strtoull(s, &end, 10);
+            if (end == s || *end != '\0' || budgetUs == 0) {
                 fprintf(stderr, "bad --assert-sifs budget\n");
                 return 2;
             }

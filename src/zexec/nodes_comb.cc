@@ -423,7 +423,12 @@ SeqNode::snapshot(const Frame& f, StateWriter& w) const
 void
 SeqNode::restore(Frame& f, StateReader& r)
 {
-    idx_ = static_cast<size_t>(r.u64());
+    // The stream is untrusted on the zserve migration path: an index
+    // past the item list would send advance()/supply() out of bounds.
+    size_t idx = static_cast<size_t>(r.u64());
+    if (idx >= items_.size())
+        throw StateFormatError("seq active index out of range");
+    idx_ = idx;
     done_ = r.u8() != 0;
     // Binder cells land BEFORE each item restores: a NativeNode's
     // restore re-runs its factory, which reads the binders.
@@ -446,10 +451,20 @@ PipeNode::snapshot(const Frame& f, StateWriter& w) const
 void
 PipeNode::restore(Frame& f, StateReader& r)
 {
-    ctrlFrom_ = r.u8();
-    ctrlWidth_ = static_cast<size_t>(r.u64());
+    uint8_t from = r.u8();
+    if (from > 2)
+        throw StateFormatError("pipe control origin out of range");
+    size_t cw = static_cast<size_t>(r.u64());
     left_->restore(f, r);
     right_->restore(f, r);
+    // The control width is derivable from the (already restored)
+    // children; an untrusted stream claiming a wider value would let a
+    // parent copy past the halted child's control buffer.
+    if (from != 0 &&
+        cw != (from == 1 ? left_->ctrlWidth() : right_->ctrlWidth()))
+        throw StateFormatError("pipe control width mismatch");
+    ctrlFrom_ = from;
+    ctrlWidth_ = cw;
     // Re-resolve the control pointer from the restored children; a
     // child's ctrl() is only callable once it actually halted.
     ctrlSrc_ = ctrlFrom_ == 0
@@ -475,6 +490,8 @@ void
 IfNode::restore(Frame& f, StateReader& r)
 {
     uint8_t which = r.u8();
+    if (which > 2 || (which == 2 && !else_))
+        throw StateFormatError("if branch selector out of range");
     then_->restore(f, r);
     if (else_)
         else_->restore(f, r);

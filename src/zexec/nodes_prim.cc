@@ -392,7 +392,12 @@ TakeManyNode::snapshot(const Frame&, StateWriter& w) const
 void
 TakeManyNode::restore(Frame&, StateReader& r)
 {
-    have_ = static_cast<size_t>(r.u64());
+    // Untrusted on the zserve migration path: supply() writes at
+    // have_ * width into ctrlBuf_, so the cursor must stay in range.
+    size_t have = static_cast<size_t>(r.u64());
+    if (have > n_)
+        throw StateFormatError("takes element count out of range");
+    have_ = have;
     r.bytes(ctrlBuf_.data(), ctrlBuf_.size());
 }
 
@@ -422,7 +427,12 @@ void
 EmitsNode::restore(Frame&, StateReader& r)
 {
     evaluated_ = r.u8() != 0;
-    next_ = static_cast<size_t>(r.u64());
+    // out() reads arrBuf_ at (next_ - 1) * width; a cursor past len_
+    // from an untrusted stream would read past the array buffer.
+    size_t next = static_cast<size_t>(r.u64());
+    if (next > len_)
+        throw StateFormatError("emits cursor out of range");
+    next_ = next;
     r.bytes(arrBuf_.data(), arrBuf_.size());
 }
 
@@ -495,15 +505,32 @@ void
 NativeNode::restore(Frame& f, StateReader& r)
 {
     finished_ = r.u8() != 0;
-    ringHead_ = static_cast<size_t>(r.u64());
-    ring_ = r.blob();
+    size_t head = static_cast<size_t>(r.u64());
+    std::vector<uint8_t> ring = r.blob();
+    // Untrusted on the zserve migration path: advance() memcpys
+    // outWidth_ bytes at ringHead_, so the ring and cursor must stay
+    // element-aligned and in bounds (and empty when the node emits
+    // nothing — a non-advancing cursor would otherwise spin forever).
+    if (outWidth_ == 0
+            ? (head != 0 || !ring.empty())
+            : (ring.size() % outWidth_ != 0 || head % outWidth_ != 0 ||
+               head > ring.size()))
+        throw StateFormatError("native output ring out of bounds");
+    ringHead_ = head;
+    ring_ = std::move(ring);
     r.bytes(outBuf_.data(), outBuf_.size());
     if (r.u8() != 0) {
         // Re-run the factory so kernel arguments re-read their (already
         // restored) seq binders, then patch the kernel's own state in.
         kernel_ = factory_(f);
         kernel_->restore(r);
+        // A finished computer's ctrl() hands kernel bytes to the
+        // parent, which copies ctrlWidth_ of them.
+        if (finished_ && kernel_->ctrl().size() != ctrlWidth_)
+            throw StateFormatError("native control value width mismatch");
     } else {
+        if (finished_)
+            throw StateFormatError("finished native node without kernel");
         kernel_.reset();
     }
 }

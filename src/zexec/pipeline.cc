@@ -305,6 +305,16 @@ Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
         if (ck && !ck->snap.empty()) {
             try {
                 restoreSnapshot(*root_, frame_, ck->snap);
+                // If the failure struck mid-replay (possible with async
+                // causes such as stall deadlines), the journal holds
+                // only the re-fed prefix — carry the un-replayed tail
+                // over too, or the healed output would silently drop
+                // those elements.
+                ck->journal.insert(
+                    ck->journal.end(),
+                    ck->replay.begin() +
+                        static_cast<std::ptrdiff_t>(ck->replayPos),
+                    ck->replay.end());
                 ck->replay = std::move(ck->journal);
                 ck->replayPos = 0;
                 ck->journal.clear();

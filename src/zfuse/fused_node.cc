@@ -84,16 +84,26 @@ writePtrTag(StateWriter& w, const uint8_t* p, const Frame& f,
     }
 }
 
+// @p width is how many bytes the caller will read through the pointer:
+// the stream is untrusted on the zserve migration path, so the whole
+// window must land inside its space (Frame::at is unchecked).
 const uint8_t*
 readPtrTag(StateReader& r, const Frame& f,
-           const std::vector<uint8_t>& state)
+           const std::vector<uint8_t>& state, size_t width)
 {
     uint8_t space = r.u8();
     uint64_t off = r.u64();
     switch (space) {
-      case 0: return nullptr;
-      case 1: return state.data() + off;
-      case 2: return f.at(static_cast<size_t>(off));
+      case 0:
+        return nullptr;
+      case 1:
+        if (off > state.size() || state.size() - off < width)
+            throw StateFormatError("fused pointer outside state block");
+        return state.data() + off;
+      case 2:
+        if (off > f.size() || f.size() - off < width)
+            throw StateFormatError("fused pointer outside frame");
+        return f.at(static_cast<size_t>(off));
       default:
         throw StateFormatError("bad fused pointer tag");
     }
@@ -134,16 +144,25 @@ FusedNode::restore(Frame& f, StateReader& r)
     uint64_t nch = r.u64();
     if (nch != chProdPc_.size())
         throw StateFormatError("fused channel count mismatch");
+    // Every pc in the stream is dispatched as an instruction index by
+    // advance()/supply(); an out-of-range one from an untrusted stream
+    // would fetch beyond the program.
+    const uint32_t nInstr = static_cast<uint32_t>(prog_->instrs.size());
     for (size_t i = 0; i < chProdPc_.size(); ++i) {
         chProdPc_[i] = r.u32();
         chConsPc_[i] = r.u32();
         chFull_[i] = r.u8();
+        if (chProdPc_[i] >= nInstr || chConsPc_[i] >= nInstr)
+            throw StateFormatError("fused channel pc out of range");
     }
-    pc_ = r.u32();
+    uint32_t pc = r.u32();
+    if (pc >= nInstr)
+        throw StateFormatError("fused pc out of range");
+    pc_ = pc;
     spins_ = r.u64();
     setCtrlWidth(static_cast<size_t>(r.u64()));
-    outPtr_ = readPtrTag(r, f, state_);
-    ctrlPtr_ = readPtrTag(r, f, state_);
+    outPtr_ = readPtrTag(r, f, state_, outWidth());
+    ctrlPtr_ = readPtrTag(r, f, state_, ctrlWidth_);
 }
 
 void

@@ -113,6 +113,18 @@ Session::checkpoint(std::vector<uint8_t>& out, const uint8_t* pending_tail,
     }
     backlog.insert(backlog.end(), pending_tail, pending_tail + pending_len);
 
+    // applyCheckpoint on the target rejects a backlog that is not a
+    // whole number of input elements, so emitting one here would report
+    // a completed drain whose checkpoint is unusable.  The wire
+    // protocol only admits whole-element Data payloads today; if a
+    // partial tail ever reaches us, fail the checkpoint so the caller
+    // counts the drain as aborted instead.
+    if (inW_ ? backlog.size() % inW_ != 0 : !backlog.empty()) {
+        if (err)
+            *err = "input backlog is not element-aligned";
+        return false;
+    }
+
     StateWriter w;
     w.u32(kSessionCheckpointVersion);
     w.u64(stepper_.consumed());

@@ -32,7 +32,9 @@
 #include "wifi/rx.h"
 #include "wifi/tx.h"
 #include "zexec/faultpoint.h"
+#include "zexec/nodes.h"
 #include "zexec/snapshot.h"
+#include "zfuse/fuse.h"
 #include "zir/compiler.h"
 
 namespace ziria {
@@ -133,6 +135,152 @@ TEST(StateIo, RestoreRejectsCorruptContainer)
     auto truncated = snap;
     truncated.resize(truncated.size() - 1);
     EXPECT_THROW(restoreSnapshot(p->root(), p->frame(), truncated),
+                 StateFormatError);
+}
+
+// ------------------------------------- hostile node-state rejection
+//
+// The node stream arrives over the wire on the zserve migration path,
+// so restore() must treat it as untrusted input: stream-derived
+// indices, cursors and offsets are bounds-checked against the
+// receiving tree and rejected with StateFormatError, never walked off
+// a buffer.
+
+void
+expectRestoreRejects(ExecNode& n, StateWriter& w)
+{
+    std::vector<uint8_t> stream = w.take();
+    Frame f;
+    StateReader r(stream.data(), stream.size());
+    EXPECT_THROW(n.restore(f, r), StateFormatError);
+}
+
+TEST(HostileCheckpoint, SeqIndexOutOfRange)
+{
+    std::vector<SeqNode::Item> items;
+    items.push_back(SeqNode::Item{
+        std::make_unique<EmitNode>(
+            [](Frame&, uint8_t* p) { std::memset(p, 0, 4); }, 4),
+        -1, 0});
+    SeqNode seq(std::move(items));
+    StateWriter w;
+    w.u64(7);  // active index past the one-item list
+    w.u8(0);
+    expectRestoreRejects(seq, w);
+}
+
+TEST(HostileCheckpoint, TakesCursorOutOfRange)
+{
+    TakeManyNode tk(4, 3);
+    StateWriter w;
+    w.u64(7);  // have_ > n_
+    expectRestoreRejects(tk, w);
+}
+
+TEST(HostileCheckpoint, EmitsCursorOutOfRange)
+{
+    EmitsNode em([](Frame&, uint8_t* p) { std::memset(p, 0, 8); }, 4, 2);
+    StateWriter w;
+    w.u8(1);
+    w.u64(3);  // next_ > len_
+    expectRestoreRejects(em, w);
+}
+
+TEST(HostileCheckpoint, PipeControlOriginAndWidth)
+{
+    PipeNode pipe(std::make_unique<EmitNode>(
+                      [](Frame&, uint8_t* p) { std::memset(p, 0, 4); },
+                      4),
+                  std::make_unique<TakeNode>(4));
+    const uint8_t z4[4] = {0, 0, 0, 0};
+
+    StateWriter w;
+    w.u8(3);  // control origin is only ever 0/1/2
+    expectRestoreRejects(pipe, w);
+
+    StateWriter w2;
+    w2.u8(1);      // control from the left child...
+    w2.u64(999);   // ...whose ctrl width is 0, not 999
+    w2.u8(0);      // left: EmitNode {emitted_, outBuf_}
+    w2.bytes(z4, 4);
+    w2.u8(0);      // right: TakeNode {pending_, ctrlBuf_}
+    w2.bytes(z4, 4);
+    expectRestoreRejects(pipe, w2);
+}
+
+struct NullKernel : NativeKernel
+{
+    bool consume(const uint8_t*, Emitter&) override { return false; }
+};
+
+TEST(HostileCheckpoint, NativeRingOutOfBounds)
+{
+    NativeNode n([](Frame&) { return std::make_unique<NullKernel>(); },
+                 4, 4, 0, /*is_computer=*/false);
+    const uint8_t ring[8] = {0};
+
+    StateWriter w;
+    w.u8(0);
+    w.u64(5);  // cursor not element-aligned
+    w.blob(ring, sizeof ring);
+    expectRestoreRejects(n, w);
+
+    StateWriter w2;
+    w2.u8(0);
+    w2.u64(12);  // aligned but past the 8-byte ring
+    w2.blob(ring, sizeof ring);
+    expectRestoreRejects(n, w2);
+}
+
+TEST(HostileCheckpoint, FusedPcAndPointerOutOfRange)
+{
+    CompilerOptions opt = CompilerOptions::forLevel(OptLevel::None);
+    opt.backend = Backend::Fused;
+    std::unique_ptr<Pipeline> p;
+    for (const Shape& sh : resetShapes()) {
+        auto q = compilePipeline(sh.make(), opt);
+        if (dynamic_cast<FusedNode*>(&q->root())) {
+            p = std::move(q);
+            break;
+        }
+    }
+    ASSERT_TRUE(p) << "no shape lowered to a bare FusedNode root";
+    p->root().start(p->frame());
+    auto snap = takeSnapshot(p->root(), p->frame(), 0, 0);
+
+    // Walk the container to the fused pc field: 24-byte header, frame
+    // image blob, register space, state block, channel pc table.
+    auto rdU64 = [&](size_t o) {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(snap[o + i]) << (8 * i);
+        return v;
+    };
+    size_t off = 24;
+    off += 8 + rdU64(off);  // frame image
+    off += 8 + rdU64(off);  // register space
+    off += 8 + rdU64(off);  // state block
+    uint64_t nch = rdU64(off);
+    off += 8 + nch * 9;     // per-channel {prodPc, consPc, full}
+    ASSERT_LE(off + 4, snap.size());
+
+    auto badPc = snap;
+    std::fill(badPc.begin() + static_cast<long>(off),
+              badPc.begin() + static_cast<long>(off) + 4,
+              uint8_t{0xff});
+    EXPECT_THROW(restoreSnapshot(p->root(), p->frame(), badPc),
+                 StateFormatError);
+
+    // The out-pointer tag sits after pc (4), spins (8), ctrl width (8):
+    // claim a state-block offset far past the block.
+    size_t tag = off + 4 + 8 + 8;
+    ASSERT_LE(tag + 9, snap.size());
+    auto badPtr = snap;
+    badPtr[tag] = 1;
+    std::fill(badPtr.begin() + static_cast<long>(tag) + 1,
+              badPtr.begin() + static_cast<long>(tag) + 9,
+              uint8_t{0xff});
+    EXPECT_THROW(restoreSnapshot(p->root(), p->frame(), badPtr),
                  StateFormatError);
 }
 
