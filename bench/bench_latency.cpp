@@ -24,6 +24,14 @@
  * shared CI hardware, tight enough to catch order-of-magnitude decode
  * regressions and scheduler pathologies.  Registered as the
  * `bench_latency_sifs` ctest under the `latency` label.
+ *
+ * `--serve[=N]` upgrades the assertion's background load from bare
+ * pipeline-stepping threads to a real zserve server hosting N churning
+ * keyed-width sessions: client threads connect, stream, drain and
+ * reconnect in a loop, so the decode deadline is checked while the
+ * session scheduler is genuinely rotating sessions through its worker
+ * pool (I/O thread, run queue, park/wake) — the regime a production
+ * receiver shares a box with.  Registered as `bench_latency_sifs_serve`.
  */
 #include <atomic>
 #include <cstdlib>
@@ -38,6 +46,9 @@
 #include "support/metrics.h"
 #include "wifi/blocks_tx.h"
 #include "zexec/span.h"
+#include "zserve/server.h"
+#include "zserve/socket.h"
+#include "zserve/wire.h"
 
 using namespace ziria;
 using namespace ziria::wifi;
@@ -112,19 +123,68 @@ printRow(const Row& r)
 }
 
 /**
+ * One complete wire-protocol session against the load server: connect,
+ * greeting, one Data burst, End, drain.  Any failure just abandons the
+ * attempt — churn load is best-effort by design.
+ */
+void
+churnSession(uint16_t port, const std::vector<uint8_t>& bits)
+{
+    serve::SockFd sock;
+    try {
+        sock = serve::connectTcp("127.0.0.1", port);
+    } catch (const std::exception&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return;
+    }
+    serve::FrameParser parser;
+    serve::Frame f;
+    uint8_t buf[16 * 1024];
+    auto readFrame = [&]() -> bool {
+        for (;;) {
+            serve::FrameParser::Result r = parser.next(f);
+            if (r == serve::FrameParser::Result::Frame)
+                return true;
+            if (r == serve::FrameParser::Result::Error)
+                return false;
+            long n = serve::recvSome(sock.get(), buf, sizeof buf);
+            if (n > 0)
+                parser.feed(buf, static_cast<size_t>(n));
+            else if (n != -1)
+                return false;
+        }
+    };
+    if (!readFrame() || f.type != serve::FrameType::Hello)
+        return;
+    std::vector<uint8_t> wire;
+    serve::encodeFrame(wire, serve::FrameType::Data, bits.data(),
+                       bits.size());
+    serve::encodeFrame(wire, serve::FrameType::End);
+    if (!serve::sendAll(sock.get(), wire.data(), wire.size()))
+        return;
+    while (readFrame())
+        if (f.type == serve::FrameType::End ||
+            f.type == serve::FrameType::Error)
+            break;
+}
+
+/**
  * RX-side SIFS deadline assertion (--assert-sifs).  Real 802.11a SIFS
  * is 16 us; a closure-tree VM on shared CI hardware cannot hold that,
  * so the default budget scales it into the regime this build actually
  * occupies and gates *regressions* against it: every packet must decode
  * correctly within the budget while load threads keep the cores busy.
+ * With @p serve_sessions > 0 the load additionally runs through a live
+ * zserve server whose scheduler rotates that many churning sessions.
  */
 int
-runSifsAssert(uint64_t budget_us, int packets, int load_threads)
+runSifsAssert(uint64_t budget_us, int packets, int load_threads,
+              int serve_sessions)
 {
     printf("RX deadline assertion: %d packet(s), %llu us budget, "
-           "%d load thread(s)\n",
+           "%d load thread(s), %d serve session(s)\n",
            packets, static_cast<unsigned long long>(budget_us),
-           load_threads);
+           load_threads, serve_sessions);
     rule();
 
     auto rx = compilePipeline(wifiReceiverComp(),
@@ -151,9 +211,36 @@ runSifsAssert(uint64_t budget_us, int packets, int load_threads)
         train.push_back(std::move(in));
     }
 
-    // Serving load: each thread steps its own scrambler pipeline in a
-    // loop, the way neighbor sessions would contend in zserve.
+    // Serving load, layer 1: a real server whose scheduler rotates
+    // churning sessions (connect / stream / drain / reconnect loops).
     std::atomic<bool> stopLoad{false};
+    std::unique_ptr<serve::Server> server;
+    std::vector<std::thread> churn;
+    if (serve_sessions > 0) {
+        serve::ServerConfig scfg;
+        scfg.port = 0;
+        scfg.workers = 2;
+        scfg.maxSessions = static_cast<size_t>(serve_sessions) + 4;
+        server = std::make_unique<serve::Server>(
+            [](uint64_t) {
+                return compilePipeline(
+                    wifi::scramblerBlock(),
+                    CompilerOptions::forLevel(OptLevel::All));
+            },
+            scfg);
+        server->start();
+        uint16_t port = server->port();
+        for (int t = 0; t < serve_sessions; ++t)
+            churn.emplace_back([&stopLoad, port, t] {
+                auto bits = randomBits(
+                    1 << 12, static_cast<uint64_t>(t) + 7);
+                while (!stopLoad.load(std::memory_order_relaxed))
+                    churnSession(port, bits);
+            });
+    }
+
+    // Serving load, layer 2: each thread steps its own scrambler
+    // pipeline in a loop, the way neighbor sessions would contend.
     std::vector<std::thread> load;
     for (int t = 0; t < load_threads; ++t)
         load.emplace_back([&stopLoad, t] {
@@ -194,6 +281,10 @@ runSifsAssert(uint64_t budget_us, int packets, int load_threads)
     stopLoad.store(true);
     for (auto& t : load)
         t.join();
+    for (auto& t : churn)
+        t.join();
+    if (server)
+        server->stop();
 
     std::sort(us.begin(), us.end());
     auto at = [&](double q) {
@@ -231,6 +322,7 @@ main(int argc, char** argv)
     uint64_t budgetUs = 100000;  // software-scaled SIFS (see above)
     int packets = 24;
     int loadThreads = 2;
+    int serveSessions = 0;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--assert-sifs") {
@@ -248,15 +340,23 @@ main(int argc, char** argv)
             packets = std::atoi(argv[++i]);
         } else if (a == "--load" && i + 1 < argc) {
             loadThreads = std::atoi(argv[++i]);
+        } else if (a == "--serve") {
+            serveSessions = 3;
+        } else if (a.rfind("--serve=", 0) == 0) {
+            serveSessions = std::atoi(a.c_str() + strlen("--serve="));
+            if (serveSessions <= 0) {
+                fprintf(stderr, "bad --serve session count\n");
+                return 2;
+            }
         } else {
             fprintf(stderr, "usage: bench_latency [--assert-sifs[=US]] "
-                            "[--packets N] [--load K]\n");
+                            "[--packets N] [--load K] [--serve[=N]]\n");
             return 2;
         }
     }
     if (assertSifs)
         return runSifsAssert(budgetUs, std::max(packets, 1),
-                             std::max(loadThreads, 0));
+                             std::max(loadThreads, 0), serveSessions);
 
     const int psdu = 600;
     std::vector<uint8_t> payload(psdu - 4, 0x3C);

@@ -67,6 +67,26 @@
  *                      --serve in-process with a synthetic source,
  *                      --listen against real client connections.
  *
+ * Durable checkpoints (docs/ROBUSTNESS.md, "Durable checkpoints & live
+ * migration"):
+ *   --ckpt-dir DIR     persist every cadence checkpoint to a crash-safe
+ *                      on-disk store under DIR.  A solo run killed
+ *                      mid-stream (even kill -9) resumes from the newest
+ *                      valid generation on the next invocation with the
+ *                      same program/backend/--out, producing a
+ *                      byte-identical output file; under --listen every
+ *                      keyed session (client attach Hello) is persisted
+ *                      periodically and re-attachable after a server
+ *                      restart.  Not combinable with --deadline-ms (the
+ *                      threaded executor has no snapshot contract) or,
+ *                      for solo runs, --inject-fault (fault-injector
+ *                      state is not part of the checkpoint).
+ *   --ckpt-interval-ms N  keyed-session persist cadence under --listen
+ *                      (default 200)
+ *   --out FILE         solo runs: write the full output byte stream to
+ *                      FILE (crash-resume truncates it to the restored
+ *                      emitted count and appends)
+ *
  * Serving mode (docs/SERVING.md):
  *   --listen[=PORT]    run as a multi-session streaming server on
  *                      127.0.0.1:PORT (default 0 = kernel-assigned;
@@ -106,9 +126,15 @@
 #include <string>
 #include <thread>
 
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+
 #include "support/metrics.h"
 #include "support/rng.h"
 #include "support/timeline.h"
+#include "zexec/ckpt_store.h"
 #include "zexec/span.h"
 #include "zast/printer.h"
 #include "zexec/faultpoint.h"
@@ -150,6 +176,8 @@ usage()
                  "              [--idle-timeout-ms N] "
                  "[--metrics-interval-ms N]\n"
                  "              [--metrics-out FILE] [--fault-session I]\n"
+                 "              [--ckpt-dir DIR] [--ckpt-interval-ms N] "
+                 "[--out FILE]\n"
                  "  SPEC: truncate@K | throw@K[:N] | stall@K:MS[:N] | "
                  "shortread@K:SEED\n"
                  "exit codes: 0 ok, 2 user error, 3 stage failure, "
@@ -219,6 +247,45 @@ struct TimelineGuard
     }
 };
 
+/** Streams output elements straight to a stdio file (`--out FILE`). */
+class FileSink : public OutputSink
+{
+  public:
+    FileSink(std::FILE* f, size_t elem_width) : f_(f), w_(elem_width) {}
+
+    void
+    put(const uint8_t* elem) override
+    {
+        std::fwrite(elem, 1, w_, f_);
+    }
+
+  private:
+    std::FILE* f_;
+    size_t w_;
+};
+
+/**
+ * Durable checkpoint key for a solo run: program basename + backend,
+ * squashed to the store's key alphabet.  Deterministic, so a relaunch
+ * of the same command line finds its predecessor's state.
+ */
+std::string
+soloCkptKey(const std::string& path, const char* backendName)
+{
+    std::string base = path;
+    size_t slash = base.find_last_of('/');
+    if (slash != std::string::npos)
+        base = base.substr(slash + 1);
+    std::string key = "solo-" + base + "-" + backendName;
+    for (char& c : key)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '_' && c != '.')
+            c = '_';
+    if (key.size() > 64)
+        key.resize(64);
+    return key;
+}
+
 /** Compose the --profile JSON document. */
 std::string
 profileJson(const std::string& program, const char* optName,
@@ -287,6 +354,9 @@ main(int argc, char** argv)
     long budgetUs = 0;        // --latency-budget-us (0 = no SLO)
     std::string timelinePath; // --trace-timeline (empty = off)
     long spanFrame = 256;     // --span-frame
+    std::string ckptDir;      // --ckpt-dir (empty = no durable store)
+    double ckptIntervalMs = 200;  // --ckpt-interval-ms (listen mode)
+    std::string outPath;      // --out (solo output byte stream)
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--dump") {
@@ -500,6 +570,32 @@ main(int argc, char** argv)
                              argv[i]);
                 return kExitUserError;
             }
+        } else if (a == "--ckpt-dir" && i + 1 < argc) {
+            ckptDir = argv[++i];
+        } else if (a.rfind("--ckpt-dir=", 0) == 0) {
+            ckptDir = a.substr(strlen("--ckpt-dir="));
+            if (ckptDir.empty()) {
+                std::fprintf(stderr, "zirrun: --ckpt-dir needs a "
+                                     "directory\n");
+                return kExitUserError;
+            }
+        } else if (a == "--ckpt-interval-ms" && i + 1 < argc) {
+            long v = 0;
+            if (!parsePositive(argv[++i], v)) {
+                std::fprintf(stderr,
+                             "zirrun: invalid --ckpt-interval-ms value "
+                             "'%s'\n", argv[i]);
+                return kExitUserError;
+            }
+            ckptIntervalMs = static_cast<double>(v);
+        } else if (a == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (a.rfind("--out=", 0) == 0) {
+            outPath = a.substr(strlen("--out="));
+            if (outPath.empty()) {
+                std::fprintf(stderr, "zirrun: --out needs a file\n");
+                return kExitUserError;
+            }
         } else if (a == "--trace-timeline" && i + 1 < argc) {
             timelinePath = argv[++i];
         } else if (a.rfind("--trace-timeline=", 0) == 0) {
@@ -531,6 +627,30 @@ main(int argc, char** argv)
                      "exclusive (the server has its own scheduler)\n");
         return kExitUserError;
     }
+    if (!ckptDir.empty() && deadlineMs > 0) {
+        std::fprintf(stderr,
+                     "zirrun: --ckpt-dir and --deadline-ms are mutually "
+                     "exclusive (the threaded executor has no snapshot "
+                     "contract to persist)\n");
+        return kExitUserError;
+    }
+    if (!ckptDir.empty() && !listen && !faultStr.empty()) {
+        std::fprintf(stderr,
+                     "zirrun: --ckpt-dir cannot be combined with "
+                     "--inject-fault in a solo run (fault-injector "
+                     "state is not part of the checkpoint)\n");
+        return kExitUserError;
+    }
+    if (!outPath.empty() && listen) {
+        std::fprintf(stderr,
+                     "zirrun: --out applies to solo runs only (server "
+                     "output goes to each client)\n");
+        return kExitUserError;
+    }
+    // A durable store without an explicit cadence gets a sensible one;
+    // the cadence snapshot loop is what feeds the store.
+    if (!ckptDir.empty() && checkpointElems == 0)
+        checkpointElems = 4096;
 
     // Install the timeline recorder before anything that could emit an
     // event; the guard writes the file on every exit path.
@@ -644,6 +764,8 @@ main(int argc, char** argv)
             scfg.idleTimeoutMs = idleTimeoutMs;
             scfg.metricsIntervalMs = metricsIntervalMs;
             scfg.metricsPath = metricsOut;
+            scfg.ckptDir = ckptDir;
+            scfg.ckptIntervalMs = ckptIntervalMs;
             scfg.fault = fault;
             scfg.faultSession = faultSession;
             // Every session tracks its own frame spans; results merge
@@ -715,6 +837,57 @@ main(int argc, char** argv)
         const size_t inW = threaded ? tp->inWidth() : p->inWidth();
         const size_t outW = threaded ? tp->outWidth() : p->outWidth();
 
+        // Durable checkpointing: attach the store and restore the
+        // newest valid generation (if any) before the source and output
+        // file are built — the resumed counters shape both.
+        std::unique_ptr<CkptStore> store;
+        std::FILE* outFile = nullptr;
+        uint64_t resumedConsumed = 0, resumedEmitted = 0;
+        bool resumed = false;
+        if (!ckptDir.empty()) {
+            store = std::make_unique<CkptStore>(ckptDir);
+            p->setDurable(store.get(),
+                          soloCkptKey(path, backendName),
+                          [&outFile](std::string*) {
+                              // On-disk output must always cover the
+                              // persisted emitted count: flush before
+                              // every save (kernel buffers survive a
+                              // kill -9 of this process).
+                              return !outFile ||
+                                     std::fflush(outFile) == 0;
+                          });
+            resumed = p->restoreDurable(resumedConsumed, resumedEmitted);
+            if (resumed)
+                std::printf(
+                    "resumed from durable checkpoint: consumed %llu, "
+                    "emitted %llu\n",
+                    static_cast<unsigned long long>(resumedConsumed),
+                    static_cast<unsigned long long>(resumedEmitted));
+        }
+        if (!outPath.empty()) {
+            outFile = std::fopen(outPath.c_str(), resumed ? "r+b" : "wb");
+            if (!outFile) {
+                std::fprintf(stderr, "cannot open %s%s\n",
+                             outPath.c_str(),
+                             resumed ? " (required to resume)" : "");
+                return kExitUserError;
+            }
+            if (resumed) {
+                // Drop output past the restored emitted count: bytes
+                // written after the last persisted checkpoint are
+                // regenerated deterministically by the resumed run.
+                if (ftruncate(fileno(outFile),
+                              static_cast<off_t>(resumedEmitted *
+                                                 outW)) != 0 ||
+                    std::fseek(outFile, 0, SEEK_END) != 0) {
+                    std::fprintf(stderr, "cannot truncate %s\n",
+                                 outPath.c_str());
+                    std::fclose(outFile);
+                    return kExitUserError;
+                }
+            }
+        }
+
         // Feed deterministic input bytes (bit-typed streams get 0/1).
         Rng rng(1);
         std::vector<uint8_t> input(nbytes);
@@ -745,16 +918,37 @@ main(int argc, char** argv)
                             : "unlimited");
         if (fault.enabled())
             std::printf("injecting fault: %s\n", fault.show().c_str());
-        VecSink sink(outW);
-        RunStats st = threaded ? tp->run(src, sink) : p->run(src, sink);
-        const auto& out = sink.data();
-        std::printf("consumed %llu element(s), emitted %llu; first "
-                    "bytes:",
+
+        // A resumed run re-reads the deterministic input stream from
+        // the top; skip what the restored pipeline already consumed.
+        for (uint64_t i = 0; i < resumedConsumed; ++i)
+            if (!src.next())
+                break;
+
+        VecSink vsink(outW);
+        std::unique_ptr<FileSink> fsink;
+        OutputSink* sink = &vsink;
+        if (outFile) {
+            fsink = std::make_unique<FileSink>(outFile, outW);
+            sink = fsink.get();
+        }
+        RunStats st = threaded ? tp->run(src, *sink) : p->run(src, *sink);
+        if (outFile) {
+            std::fclose(outFile);
+            outFile = nullptr;
+        }
+        const auto& out = vsink.data();
+        std::printf("consumed %llu element(s), emitted %llu",
                     static_cast<unsigned long long>(st.consumed),
                     static_cast<unsigned long long>(st.emitted));
-        for (size_t i = 0; i < std::min<size_t>(out.size(), 24); ++i)
-            std::printf(" %02x", out[i]);
-        std::printf("%s\n", out.size() > 24 ? " ..." : "");
+        if (fsink) {
+            std::printf("; output in %s\n", outPath.c_str());
+        } else {
+            std::printf("; first bytes:");
+            for (size_t i = 0; i < std::min<size_t>(out.size(), 24); ++i)
+                std::printf(" %02x", out[i]);
+            std::printf("%s\n", out.size() > 24 ? " ..." : "");
+        }
         if (st.halted)
             std::printf("pipeline halted with a control value (%zu "
                         "bytes)\n", st.ctrl.size());

@@ -71,6 +71,10 @@ sh scripts/soak.sh serve 2>&1 | tee -a serve_output.txt
 ctest --test-dir build -L checkpoint --output-on-failure 2>&1 \
     | tee checkpoint_output.txt
 sh scripts/soak.sh migrate 2>&1 | tee -a checkpoint_output.txt
+# Crash matrix (docs/ROBUSTNESS.md, "Durable checkpoints & live
+# migration"): SIGKILL -> resume from --ckpt-dir -> byte-compare,
+# live migration under load, rejection rollback.
+sh scripts/soak.sh crash 2>&1 | tee -a checkpoint_output.txt
 # Latency observability suites (label `latency`): span accounting,
 # percentile extraction, timeline schema, SLO budget counters and the
 # Stat frame round-trip (docs/OBSERVABILITY.md).

@@ -25,7 +25,14 @@
 # restart (--restart-scope stage) must heal threaded pipelines, and a
 # listening server with a session mid-stream must drain on SIGTERM.
 #
-# Usage: scripts/soak.sh [fault|recovery|serve|fuse|migrate|all]
+# The crash matrix (docs/ROBUSTNESS.md, "Durable checkpoints & live
+# migration") SIGKILLs a run mid-stream — no drain, no warning — then
+# resumes from --ckpt-dir and byte-compares the output against a
+# fault-free run, across {vm,fused} x {solo,--listen}.  It also drives
+# a live session migration between two servers under neighbor load and
+# a rejected migration (dead peer) that must roll back losslessly.
+#
+# Usage: scripts/soak.sh [fault|recovery|serve|fuse|migrate|crash|all]
 #        (default: all); BUILD_DIR=build-tsan scripts/soak.sh
 cd "$(dirname "$0")/.." || exit 1
 BUILD="${BUILD_DIR:-build}"
@@ -34,9 +41,9 @@ MODE="${1:-all}"
 DEADLINE_S=30   # per-case wall-clock budget (timeout -> case failed)
 
 case "$MODE" in
-  fault|recovery|serve|fuse|migrate|all) ;;
+  fault|recovery|serve|fuse|migrate|crash|all) ;;
   *) echo "soak: unknown mode '$MODE'" \
-          "(want fault|recovery|serve|fuse|migrate|all)" >&2
+          "(want fault|recovery|serve|fuse|migrate|crash|all)" >&2
      exit 2 ;;
 esac
 
@@ -386,14 +393,233 @@ migrate_matrix() {
     rm -f "$srv_log"
 }
 
+# Crash matrix: kill -9 mid-stream, resume from the durable checkpoint
+# store, byte-compare against the fault-free output.  Timing notes: a
+# 64 MiB solo scrambler run takes >1 s on this class of machine, and a
+# 256-frame keyed session >0.5 s, so a kill at half that lands safely
+# mid-stream; if a fast machine finishes first the resume leg degrades
+# to a clean re-run and the byte comparison still holds.
+crash_matrix() {
+    ZCLIENT="$BUILD/tools/zclient"
+    if [ ! -x "$ZCLIENT" ]; then
+        echo "FAIL crash: $ZCLIENT not built"
+        fail=$((fail + 1))
+        return
+    fi
+    work="${TMPDIR:-/tmp}/ziria_soak_crash.$$"
+    mkdir -p "$work"
+
+    # --- solo legs: {vm,fused} ------------------------------------
+    for backend in vm fused; do
+        tag="crash/solo/$backend"
+        c="$BIN examples/zir/scrambler.zir --backend=$backend \
+           --bytes 67108864"
+        ref="$work/ref_$backend.bin"
+        out="$work/out_$backend.bin"
+        ck="$work/ck_$backend"
+        if ! timeout "$DEADLINE_S" $c --out "$ref" > /dev/null 2>&1; then
+            echo "FAIL $tag: reference run failed"
+            fail=$((fail + 1))
+            continue
+        fi
+        $c --ckpt-dir "$ck" --checkpoint=65536 --out "$out" \
+            > /dev/null 2>&1 &
+        victim=$!
+        sleep 0.5
+        kill -9 "$victim" 2>/dev/null
+        wait "$victim" 2>/dev/null
+        log="$work/resume_$backend.log"
+        if ! timeout "$DEADLINE_S" $c --ckpt-dir "$ck" \
+                --checkpoint=65536 --out "$out" > "$log" 2>&1; then
+            echo "FAIL $tag: resume run failed"
+            cat "$log"
+            fail=$((fail + 1))
+        elif ! grep -q '^resumed from durable checkpoint' "$log"; then
+            echo "FAIL $tag: no resume banner (run never checkpointed?)"
+            cat "$log"
+            fail=$((fail + 1))
+        elif ! cmp -s "$ref" "$out"; then
+            echo "FAIL $tag: resumed output diverged from fault-free run"
+            fail=$((fail + 1))
+        else
+            pass=$((pass + 1))
+        fi
+    done
+
+    # Helper: start a --listen server and wait for its bound port.
+    # $1 = logfile, rest = extra zirrun flags.  Sets srv_pid and
+    # srv_port (srv_port empty on failure).
+    start_srv() {
+        slog="$1"; shift
+        "$BIN" examples/zir/scrambler.zir --workers 2 "$@" \
+            > "$slog" 2>&1 &
+        srv_pid=$!
+        srv_port=""
+        t=0
+        while [ "$t" -lt 100 ]; do
+            srv_port=$(sed -n \
+                's/^listening on port \([0-9][0-9]*\)$/\1/p' "$slog")
+            [ -n "$srv_port" ] && break
+            kill -0 "$srv_pid" 2>/dev/null || break
+            t=$((t + 1))
+            sleep 0.1
+        done
+    }
+
+    # Fault-free keyed-session reference: the session-mode client
+    # generates its input deterministically from --seed, so one clean
+    # run against any healthy server is the byte-identity baseline.
+    ref="$work/ref_client.bin"
+    srv_log="$work/ref_srv.log"
+    start_srv "$srv_log" --listen=0
+    if [ -z "$srv_port" ] || \
+       ! timeout "$DEADLINE_S" "$ZCLIENT" --port "$srv_port" --quiet \
+            --frames 256 --elems-per-frame 4096 --out "$ref" \
+            > /dev/null 2>&1; then
+        echo "FAIL crash: client reference run failed"
+        cat "$srv_log"
+        kill "$srv_pid" 2>/dev/null
+        wait "$srv_pid" 2>/dev/null
+        rm -rf "$work"
+        fail=$((fail + 1))
+        return
+    fi
+    kill -TERM "$srv_pid" 2>/dev/null
+    wait "$srv_pid" 2>/dev/null
+
+    # --- serve leg: SIGKILL the server, restart on the same port and
+    # --- ckpt-dir, client auto-reconnects and resumes ---------------
+    tag="crash/serve"
+    port=$(( ($$ % 20000) + 40000 ))
+    ck="$work/ck_serve"
+    srv_log="$work/crash_srv.log"
+    start_srv "$srv_log" --listen=$port --ckpt-dir "$ck" \
+        --ckpt-interval-ms 10
+    if [ -z "$srv_port" ]; then
+        echo "FAIL $tag: server never reported its port"
+        cat "$srv_log"
+        kill "$srv_pid" 2>/dev/null
+        fail=$((fail + 1))
+    else
+        out="$work/out_serve.bin"
+        timeout "$DEADLINE_S" "$ZCLIENT" --port "$port" --quiet \
+            --session crash1 --retry-ms 15000 --frames 256 \
+            --elems-per-frame 4096 --out "$out" > /dev/null 2>&1 &
+        cli_pid=$!
+        sleep 0.25
+        kill -9 "$srv_pid" 2>/dev/null
+        wait "$srv_pid" 2>/dev/null
+        srv_log2="$work/crash_srv2.log"
+        start_srv "$srv_log2" --listen=$port --ckpt-dir "$ck" \
+            --ckpt-interval-ms 10
+        p2=$srv_port
+        wait "$cli_pid"
+        cli_exit=$?
+        kill -TERM "$srv_pid" 2>/dev/null
+        wait "$srv_pid" 2>/dev/null
+        if [ -z "$p2" ]; then
+            echo "FAIL $tag: restarted server never reported its port"
+            cat "$srv_log2"
+            fail=$((fail + 1))
+        elif [ "$cli_exit" -ne 0 ]; then
+            echo "FAIL $tag: client exit $cli_exit, expected 0"
+            fail=$((fail + 1))
+        elif ! cmp -s "$ref" "$out"; then
+            echo "FAIL $tag: resumed session diverged from clean run"
+            fail=$((fail + 1))
+        else
+            pass=$((pass + 1))
+        fi
+    fi
+
+    # --- live migration under load ---------------------------------
+    tag="crash/live-migrate"
+    logA="$work/migA.log"; logB="$work/migB.log"
+    start_srv "$logA" --listen=0
+    pA=$srv_port; sA=$srv_pid
+    start_srv "$logB" --listen=0
+    pB=$srv_port; sB=$srv_pid
+    if [ -z "$pA" ] || [ -z "$pB" ]; then
+        echo "FAIL $tag: a server never reported its port"
+        kill "$sA" "$sB" 2>/dev/null
+        fail=$((fail + 1))
+    else
+        nbr="$work/nbr.bin"; out="$work/out_mig.bin"
+        timeout "$DEADLINE_S" "$ZCLIENT" --port "$pA" --quiet \
+            --frames 256 --elems-per-frame 4096 --out "$nbr" \
+            > /dev/null 2>&1 &
+        nbr_pid=$!
+        timeout "$DEADLINE_S" "$ZCLIENT" --port "$pA" --quiet \
+            --session mig1 --frames 256 --elems-per-frame 4096 \
+            --out "$out" > /dev/null 2>&1 &
+        cli_pid=$!
+        sleep 0.15
+        "$ZCLIENT" --port "$pA" --quiet --migrate mig1 \
+            --peer-host 127.0.0.1 --peer-port "$pB" > /dev/null 2>&1
+        mig_rc=$?
+        wait "$cli_pid"; cli_exit=$?
+        wait "$nbr_pid"; nbr_exit=$?
+        kill -TERM "$sA" "$sB" 2>/dev/null
+        wait "$sA" "$sB" 2>/dev/null
+        if [ "$mig_rc" -ne 0 ]; then
+            echo "FAIL $tag: migrate operator exit $mig_rc, expected 0"
+            fail=$((fail + 1))
+        elif [ "$cli_exit" -ne 0 ] || ! cmp -s "$ref" "$out"; then
+            echo "FAIL $tag: migrated session lost or corrupted data"
+            fail=$((fail + 1))
+        elif [ "$nbr_exit" -ne 0 ] || ! cmp -s "$ref" "$nbr"; then
+            echo "FAIL $tag: neighbor session was disturbed"
+            fail=$((fail + 1))
+        else
+            pass=$((pass + 1))
+        fi
+    fi
+
+    # --- rejected migration rolls back losslessly -------------------
+    tag="crash/migrate-rollback"
+    logA="$work/rollA.log"
+    start_srv "$logA" --listen=0
+    pA=$srv_port; sA=$srv_pid
+    if [ -z "$pA" ]; then
+        echo "FAIL $tag: server never reported its port"
+        kill "$sA" 2>/dev/null
+        fail=$((fail + 1))
+    else
+        out="$work/out_roll.bin"
+        timeout "$DEADLINE_S" "$ZCLIENT" --port "$pA" --quiet \
+            --session roll1 --frames 256 --elems-per-frame 4096 \
+            --out "$out" > /dev/null 2>&1 &
+        cli_pid=$!
+        sleep 0.15
+        "$ZCLIENT" --port "$pA" --quiet --migrate roll1 \
+            --peer-host 127.0.0.1 --peer-port 1 > /dev/null 2>&1
+        mig_rc=$?
+        wait "$cli_pid"; cli_exit=$?
+        kill -TERM "$sA" 2>/dev/null
+        wait "$sA" 2>/dev/null
+        if [ "$mig_rc" -ne 3 ]; then
+            echo "FAIL $tag: migrate exit $mig_rc, expected 3 (rejected)"
+            fail=$((fail + 1))
+        elif [ "$cli_exit" -ne 0 ] || ! cmp -s "$ref" "$out"; then
+            echo "FAIL $tag: session lost data after rejected migration"
+            fail=$((fail + 1))
+        else
+            pass=$((pass + 1))
+        fi
+    fi
+
+    rm -rf "$work"
+}
+
 case "$MODE" in
   fault)    fault_matrix ;;
   recovery) recovery_matrix ;;
   serve)    serve_matrix ;;
   fuse)     fuse_matrix ;;
   migrate)  migrate_matrix ;;
+  crash)    crash_matrix ;;
   all)      fault_matrix; recovery_matrix; serve_matrix; fuse_matrix;
-            migrate_matrix ;;
+            migrate_matrix; crash_matrix ;;
 esac
 
 echo "soak($MODE): $pass passed, $fail failed"

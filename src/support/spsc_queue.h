@@ -207,6 +207,22 @@ class SpscQueue
         return size_;
     }
 
+    /**
+     * Copy the queued backlog, oldest first, without consuming it.
+     * Used by durable checkpointing while the consumer is parked; the
+     * backlog stays in place so the session keeps running unchanged if
+     * the checkpoint is never restored (e.g. a rejected migration).
+     */
+    void
+    peekAll(std::vector<uint8_t>& out) const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (size_t i = 0; i < size_; ++i) {
+            const uint8_t* p = &buf_[((tail_ + i) % cap_) * width_];
+            out.insert(out.end(), p, p + width_);
+        }
+    }
+
     /** Producer signals end-of-stream; wakes every waiter. */
     void
     close()

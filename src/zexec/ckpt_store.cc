@@ -1,0 +1,346 @@
+#include "zexec/ckpt_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/log.h"
+#include "support/metrics.h"
+
+namespace ziria {
+
+namespace {
+
+metrics::Counter&
+ctr(const char* name)
+{
+    return metrics::Registry::global().counter(name);
+}
+
+bool
+ensureDir(const std::string& path, std::string* err)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    if (err)
+        *err = path + ": " + std::strerror(errno);
+    return false;
+}
+
+void
+putU32(std::vector<uint8_t>& out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t>& out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+getU32(const uint8_t* p)
+{
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+getU64(const uint8_t* p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+constexpr size_t kEnvelopeBytes = 4 + 4 + 8 + 4;
+
+/** ckpt-<16 hex>.zck → generation, or false if the name doesn't match. */
+bool
+parseGeneration(const std::string& name, uint64_t& gen)
+{
+    static const char prefix[] = "ckpt-";
+    static const char suffix[] = ".zck";
+    if (name.size() != 5 + 16 + 4)
+        return false;
+    if (name.compare(0, 5, prefix) != 0 ||
+        name.compare(5 + 16, 4, suffix) != 0)
+        return false;
+    gen = 0;
+    for (size_t i = 5; i < 5 + 16; ++i) {
+        char c = name[i];
+        uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint64_t>(c - 'a' + 10);
+        else
+            return false;
+        gen = (gen << 4) | digit;
+    }
+    return true;
+}
+
+std::string
+generationName(uint64_t gen)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "ckpt-%016llx.zck",
+                  static_cast<unsigned long long>(gen));
+    return buf;
+}
+
+/** All generations present for a key, ascending.  Ignores tmp/bad files. */
+std::vector<uint64_t>
+listGenerations(const std::string& key_dir)
+{
+    std::vector<uint64_t> gens;
+    DIR* d = ::opendir(key_dir.c_str());
+    if (!d)
+        return gens;
+    while (struct dirent* e = ::readdir(d)) {
+        uint64_t gen;
+        if (parseGeneration(e->d_name, gen))
+            gens.push_back(gen);
+    }
+    ::closedir(d);
+    std::sort(gens.begin(), gens.end());
+    return gens;
+}
+
+bool
+readWhole(const std::string& path, std::vector<uint8_t>& out,
+          std::string* err)
+{
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (err)
+            *err = path + ": " + std::strerror(errno);
+        return false;
+    }
+    out.clear();
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    if (!ok && err)
+        *err = path + ": read error";
+    return ok;
+}
+
+/** Validate one envelope; on success @p payload gets the body. */
+bool
+validateEnvelope(const std::vector<uint8_t>& file,
+                 std::vector<uint8_t>& payload, std::string* why)
+{
+    if (file.size() < kEnvelopeBytes) {
+        *why = "short envelope";
+        return false;
+    }
+    if (getU32(file.data()) != kCkptFileMagic) {
+        *why = "bad magic";
+        return false;
+    }
+    if (getU32(file.data() + 4) != kCkptFileVersion) {
+        *why = "unsupported version";
+        return false;
+    }
+    uint64_t len = getU64(file.data() + 8);
+    if (len != file.size() - kEnvelopeBytes) {
+        *why = "truncated payload";
+        return false;
+    }
+    uint32_t crc = getU32(file.data() + 16);
+    const uint8_t* body = file.data() + kEnvelopeBytes;
+    if (crc32Ieee(body, static_cast<size_t>(len)) != crc) {
+        *why = "CRC mismatch";
+        return false;
+    }
+    payload.assign(body, body + len);
+    (void)why;
+    return true;
+}
+
+} // namespace
+
+uint32_t
+crc32Ieee(const uint8_t* data, size_t n)
+{
+    static uint32_t table[256];
+    static bool init = false;
+    if (!init) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        init = true;
+    }
+    uint32_t crc = 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+CkptStore::CkptStore(std::string dir) : dir_(std::move(dir)) {}
+
+bool
+CkptStore::validKey(const std::string& key)
+{
+    if (key.empty() || key.size() > 64 || key[0] == '.')
+        return false;
+    for (char c : key) {
+        bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+CkptStore::keyDir(const std::string& key) const
+{
+    return dir_ + "/v1/" + key;
+}
+
+bool
+CkptStore::save(const std::string& key, const std::vector<uint8_t>& payload,
+                std::string* err)
+{
+    if (!validKey(key)) {
+        if (err)
+            *err = "invalid checkpoint key '" + key + "'";
+        return false;
+    }
+    if (!ensureDir(dir_, err) || !ensureDir(dir_ + "/v1", err) ||
+        !ensureDir(keyDir(key), err))
+        return false;
+
+    std::string kd = keyDir(key);
+    std::vector<uint64_t> gens = listGenerations(kd);
+    uint64_t gen = gens.empty() ? 1 : gens.back() + 1;
+
+    std::vector<uint8_t> env;
+    env.reserve(kEnvelopeBytes + payload.size());
+    putU32(env, kCkptFileMagic);
+    putU32(env, kCkptFileVersion);
+    putU64(env, payload.size());
+    putU32(env, crc32Ieee(payload.data(), payload.size()));
+    env.insert(env.end(), payload.begin(), payload.end());
+
+    // Atomic publish: write + fsync a tmp sibling, then rename.  The
+    // pid in the tmp name keeps a crashed writer's leftover from
+    // colliding with ours; scans never consider tmp files.
+    std::string final_path = kd + "/" + generationName(gen);
+    std::string tmp_path = kd + "/.tmp-" + std::to_string(::getpid()) + "-" +
+                           generationName(gen);
+    int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0) {
+        if (err)
+            *err = tmp_path + ": " + std::strerror(errno);
+        return false;
+    }
+    size_t off = 0;
+    bool ok = true;
+    while (off < env.size()) {
+        ssize_t n = ::write(fd, env.data() + off, env.size() - off);
+        if (n <= 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+            break;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (ok && ::fsync(fd) != 0)
+        ok = false;
+    ::close(fd);
+    if (ok && ::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+        ok = false;
+    if (!ok) {
+        if (err)
+            *err = final_path + ": " + std::strerror(errno);
+        ::unlink(tmp_path.c_str());
+        return false;
+    }
+    ctr("ziria.ckpt.disk.saved").inc();
+
+    // Retention: drop generations beyond the window, oldest first.
+    gens.push_back(gen);
+    while (gens.size() > kCkptRetainGenerations) {
+        std::string stale = kd + "/" + generationName(gens.front());
+        gens.erase(gens.begin());
+        if (::unlink(stale.c_str()) == 0)
+            ctr("ziria.ckpt.disk.gc").inc();
+    }
+    return true;
+}
+
+bool
+CkptStore::load(const std::string& key, std::vector<uint8_t>& payload,
+                std::string* err)
+{
+    if (!validKey(key)) {
+        if (err)
+            *err = "invalid checkpoint key '" + key + "'";
+        return false;
+    }
+    std::string kd = keyDir(key);
+    std::vector<uint64_t> gens = listGenerations(kd);
+    for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+        std::string path = kd + "/" + generationName(*it);
+        std::vector<uint8_t> file;
+        std::string why;
+        if (readWhole(path, file, &why) &&
+            validateEnvelope(file, payload, &why)) {
+            ctr("ziria.ckpt.disk.loaded").inc();
+            return true;
+        }
+        // Quarantine and fall back to the next-oldest generation.
+        ZIRIA_LOG(Warn, "ckpt: quarantining ", path, " (", why, ")");
+        std::string bad = path + ".bad";
+        ::rename(path.c_str(), bad.c_str());
+        ctr("ziria.ckpt.disk.quarantined").inc();
+    }
+    if (err)
+        *err = "no valid checkpoint for key '" + key + "'";
+    return false;
+}
+
+void
+CkptStore::remove(const std::string& key)
+{
+    if (!validKey(key))
+        return;
+    std::string kd = keyDir(key);
+    DIR* d = ::opendir(kd.c_str());
+    if (!d)
+        return;
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+        std::string n = e->d_name;
+        if (n != "." && n != "..")
+            names.push_back(n);
+    }
+    ::closedir(d);
+    for (const std::string& n : names)
+        ::unlink((kd + "/" + n).c_str());
+    ::rmdir(kd.c_str());
+}
+
+} // namespace ziria

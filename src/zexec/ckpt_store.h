@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Crash-safe on-disk checkpoint store for durable resume.
+ *
+ * Layout (docs/ROBUSTNESS.md, "Durable checkpoints & live migration"):
+ *
+ *   DIR/v1/<key>/ckpt-<generation 16-hex>.zck
+ *
+ * Each .zck file wraps one opaque payload (a ZCK1 pipeline snapshot or
+ * a zserve session checkpoint) in a CRC-guarded envelope:
+ *
+ *   u32  magic   'ZDK1' (0x314b445a)
+ *   u32  version (kCkptFileVersion)
+ *   u64  payload length
+ *   u32  CRC32 (IEEE, over the payload bytes)
+ *   payload
+ *
+ * Writes are atomic: the envelope is written to a `.tmp-` sibling in
+ * the same directory, fsync'd, and rename(2)'d into place, so a crash
+ * mid-write leaves either the previous generation or a tmp file that
+ * scans ignore — never a half-written visible checkpoint.
+ *
+ * Loads scan newest-generation-first.  A file that fails validation
+ * (short envelope, bad magic/version, truncated payload, CRC mismatch)
+ * is quarantined — renamed to `<name>.bad` and counted in
+ * `ziria.ckpt.disk.quarantined` — and the scan falls back to the next
+ * oldest generation instead of crashing.  save() garbage-collects
+ * stale generations beyond a small retention window
+ * (`ziria.ckpt.disk.gc`).
+ *
+ * Counters: ziria.ckpt.disk.{saved,loaded,quarantined,gc}.
+ */
+#ifndef ZIRIA_ZEXEC_CKPT_STORE_H
+#define ZIRIA_ZEXEC_CKPT_STORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ziria {
+
+/** 'ZDK1' — durable checkpoint envelope magic. */
+constexpr uint32_t kCkptFileMagic = 0x314b445a;
+
+/** Bump when the on-disk envelope layout changes. */
+constexpr uint32_t kCkptFileVersion = 1;
+
+/** Generations kept per key; older ones are GC'd on save. */
+constexpr unsigned kCkptRetainGenerations = 4;
+
+/** IEEE CRC32 (reflected, poly 0xEDB88320), as used by the envelope. */
+uint32_t crc32Ieee(const uint8_t* data, size_t n);
+
+/**
+ * One durable checkpoint directory.  Thread-compatible: callers
+ * serialise access per key (the pipeline cadence hook and the server
+ * I/O thread each own their keys exclusively).
+ */
+class CkptStore
+{
+  public:
+    /** Uses @p dir as the store root; creates DIR/v1 lazily on save. */
+    explicit CkptStore(std::string dir);
+
+    /**
+     * Keys name one logical run or session: 1-64 chars drawn from
+     * [A-Za-z0-9_.-], not starting with '.'.
+     */
+    static bool validKey(const std::string& key);
+
+    /**
+     * Persist @p payload as the next generation for @p key (atomic
+     * tmp+rename), then GC generations beyond the retention window.
+     * Returns false (with @p err set) on I/O failure — the previous
+     * generation, if any, is untouched.
+     */
+    bool save(const std::string& key, const std::vector<uint8_t>& payload,
+              std::string* err = nullptr);
+
+    /**
+     * Load the newest valid generation for @p key into @p payload.
+     * Corrupt generations are quarantined and skipped.  Returns false
+     * if no valid generation exists (not an error: a fresh start).
+     */
+    bool load(const std::string& key, std::vector<uint8_t>& payload,
+              std::string* err = nullptr);
+
+    /** Drop every generation for @p key (clean completion). */
+    void remove(const std::string& key);
+
+    const std::string& dir() const { return dir_; }
+
+  private:
+    std::string keyDir(const std::string& key) const;
+
+    std::string dir_;
+};
+
+} // namespace ziria
+
+#endif // ZIRIA_ZEXEC_CKPT_STORE_H

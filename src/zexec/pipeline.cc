@@ -1,7 +1,9 @@
 #include "zexec/pipeline.h"
 
+#include "support/log.h"
 #include "support/metrics.h"
 #include "support/panic.h"
+#include "zexec/ckpt_store.h"
 #include "zexec/nodes.h"
 #include "zexec/snapshot.h"
 #include "zexec/stepper.h"
@@ -266,18 +268,80 @@ buildNode(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
     return node;
 }
 
+bool
+Pipeline::restoreDurable(uint64_t& consumed, uint64_t& emitted)
+{
+    if (!durableStore_ || !CkptStore::validKey(durableKey_))
+        return false;
+    std::vector<uint8_t> payload;
+    if (!durableStore_->load(durableKey_, payload))
+        return false;
+    try {
+        SnapshotInfo info = restoreSnapshot(*root_, frame_, payload);
+        durableSnap_ = std::move(payload);
+        durableConsumed_ = consumed = info.consumed;
+        durableEmitted_ = emitted = info.emitted;
+        durableResume_ = true;
+        return true;
+    } catch (const StateFormatError& e) {
+        // A snapshot the disk store validated but the tree rejects
+        // (e.g. the program changed between runs): start fresh.
+        ZIRIA_LOG(Warn, "ckpt: durable restore rejected (", e.what(),
+                  "); starting fresh");
+        root_->reset(frame_);
+        durableResume_ = false;
+        return false;
+    }
+}
+
+void
+Pipeline::durableSave(const CkptCarry& ck)
+{
+    std::string err;
+    if (durablePrepare_ && !durablePrepare_(&err)) {
+        ZIRIA_LOG(Warn, "ckpt: durable save skipped (", err, ")");
+        return;
+    }
+    if (!durableStore_->save(durableKey_, ck.snap, &err))
+        ZIRIA_LOG(Warn, "ckpt: durable save failed (", err, ")");
+}
+
 RunStats
 Pipeline::run(InputSource& src, OutputSink& sink, uint64_t max_out)
 {
-    if (!restart_.enabled())
-        return runAttempt(src, sink, max_out);
+    // A durable store engages the checkpoint carry even without a
+    // restart policy: the cadence snapshots exist to be persisted.
+    const bool durable = durableStore_ && ckpt_.enabled();
+    CkptCarry resume;
+    if (durableResume_) {
+        // restoreDurable() already rebuilt the tree; hand the counters
+        // and image to the carry so the first attempt resumes.
+        resume.snap = std::move(durableSnap_);
+        resume.consumedAtSnap = durableConsumed_;
+        resume.emittedAtSnap = durableEmitted_;
+        resume.emittedDelivered = durableEmitted_;
+        resume.restored = true;
+        durableResume_ = false;
+        durableSnap_.clear();
+    }
+
+    if (!restart_.enabled()) {
+        if (!durable)
+            return runAttempt(src, sink, max_out);
+        RunStats st = runAttempt(src, sink, max_out, &resume);
+        durableStore_->remove(durableKey_);  // clean completion
+        return st;
+    }
 
     RestartSupervisor sup(restart_);
-    CkptCarry carry;
-    CkptCarry* ck = ckpt_.enabled() ? &carry : nullptr;
+    CkptCarry carry = std::move(resume);
+    CkptCarry* ck = (ckpt_.enabled() || durable) ? &carry : nullptr;
     for (;;) {
         try {
-            return runAttempt(src, sink, max_out, ck);
+            RunStats st = runAttempt(src, sink, max_out, ck);
+            if (durable)
+                durableStore_->remove(durableKey_);  // clean completion
+            return st;
         } catch (const StageFailureError& e) {
             // Already structured (e.g. a nested driver rethrew); keep it.
             StageFailure f = e.failure();
@@ -386,6 +450,8 @@ Pipeline::runAttempt(InputSource& src, OutputSink& sink, uint64_t max_out,
                 ck->journal.clear();
                 ck->replay.clear();
                 ck->replayPos = 0;
+                if (durableStore_)
+                    durableSave(*ck);
             }
             *p = src.next();
             if (!*p)

@@ -7,6 +7,7 @@
 #define ZIRIA_ZEXEC_PIPELINE_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "zexpr/lut.h"
 
 namespace ziria {
+
+class CkptStore;
 
 /** Pull-style input: elements of a fixed byte width. */
 class InputSource
@@ -288,6 +291,34 @@ class Pipeline
 
     SpanTracker* spans() const { return spans_.get(); }
 
+    /**
+     * Attach a durable checkpoint store (default: none — the cadence
+     * loop is byte-for-byte the in-memory path).  With a store and an
+     * enabled CheckpointPolicy, every cadence snapshot is also persisted
+     * under @p key, so a killed process can resume via restoreDurable().
+     * @p prepare (optional) runs before each save — zirrun flushes the
+     * output file there so on-disk output always covers the persisted
+     * emitted count; returning false skips that save.  A clean run()
+     * completion removes the key (no stale resume).
+     */
+    void setDurable(CkptStore* store, std::string key,
+                    std::function<bool(std::string*)> prepare = nullptr)
+    {
+        durableStore_ = store;
+        durableKey_ = std::move(key);
+        durablePrepare_ = std::move(prepare);
+    }
+
+    /**
+     * Restore the pipeline from the newest valid durable generation of
+     * the configured key, if any.  On success fills the snapshot's
+     * counters and the next run() resumes from that state (the caller
+     * skips @p consumed input elements and truncates its output to
+     * @p emitted elements).  Corrupt generations quarantine and fall
+     * back; returns false on a fresh start.
+     */
+    bool restoreDurable(uint64_t& consumed, uint64_t& emitted);
+
   private:
     /** Checkpoint state carried across restart attempts of one run(). */
     struct CkptCarry
@@ -306,6 +337,7 @@ class Pipeline
 
     RunStats runAttempt(InputSource& src, OutputSink& sink,
                         uint64_t max_out, CkptCarry* ck = nullptr);
+    void durableSave(const CkptCarry& ck);
 
     NodePtr root_;
     Frame frame_;
@@ -315,6 +347,13 @@ class Pipeline
     CheckpointPolicy ckpt_;
     std::shared_ptr<PipelineMetrics> metrics_;
     std::shared_ptr<SpanTracker> spans_;
+    CkptStore* durableStore_ = nullptr;
+    std::string durableKey_;
+    std::function<bool(std::string*)> durablePrepare_;
+    std::vector<uint8_t> durableSnap_;  ///< restoreDurable() image
+    uint64_t durableConsumed_ = 0;
+    uint64_t durableEmitted_ = 0;
+    bool durableResume_ = false;
 };
 
 } // namespace ziria

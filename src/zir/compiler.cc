@@ -127,10 +127,37 @@ splitStages(const CompPtr& c, std::vector<CompPtr>& out)
 
 } // namespace
 
+namespace {
+
+/**
+ * Stage-scoped restart re-arms one failed stage while its neighbors
+ * keep their state, which requires the per-stage node boundaries the
+ * closure-tree VM backend preserves.  The fused backend collapses runs
+ * of operators into single bytecode nodes whose merged state image
+ * cannot be re-armed per original stage, so the combination is refused
+ * up front with a clear diagnostic instead of degrading silently
+ * (docs/ROBUSTNESS.md, "Restart scope support matrix").
+ */
+void
+checkRestartScope(const CompilerOptions& opt)
+{
+    if (opt.backend == Backend::Fused && opt.restart.enabled() &&
+        opt.restart.scope == RestartScope::Stage)
+        fatalf("--restart-scope stage is not supported with "
+               "--backend=fused: the fused backend merges stages into "
+               "single bytecode nodes, so a single stage cannot be "
+               "re-armed in isolation; use --restart-scope pipeline or "
+               "--backend=vm (docs/ROBUSTNESS.md, \"Restart scope "
+               "support matrix\")");
+}
+
+} // namespace
+
 std::unique_ptr<Pipeline>
 compilePipeline(const CompPtr& program, const CompilerOptions& opt,
                 CompileReport* report)
 {
+    checkRestartScope(opt);
     CompPtr c = optimizeComp(program, opt, report);
 
     Stopwatch sw;
@@ -169,6 +196,7 @@ std::unique_ptr<ThreadedPipeline>
 compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
                         CompileReport* report)
 {
+    checkRestartScope(opt);
     CompPtr c = optimizeComp(program, opt, report);
 
     Stopwatch sw;

@@ -55,6 +55,8 @@ SocketSource::fillPayload()
               case FrameType::Hello:
               case FrameType::Halt:
               case FrameType::Stat:
+              case FrameType::Checkpoint:
+              case FrameType::Migrate:
                 // Metadata frames are legal on the stream; skip.
                 continue;
             }

@@ -11,9 +11,11 @@
 #include <cstdio>
 #include <fstream>
 
+#include "support/log.h"
 #include "support/metrics.h"
 #include "support/timeline.h"
 #include "support/timing.h"
+#include "zexec/ckpt_store.h"
 
 namespace ziria {
 namespace serve {
@@ -117,7 +119,17 @@ Server::Server(PipelineFactory factory, ServerConfig cfg)
     reg.counter("server.drain.aborted");
     reg.counter("server.migrations.saved");
     reg.counter("server.migrations.restored");
+    reg.counter("server.migrations.live_sent");
+    reg.counter("server.migrations.live_received");
+    reg.counter("server.migrations.live_failed");
+    reg.counter("ziria.ckpt.disk.saved");
+    reg.counter("ziria.ckpt.disk.loaded");
+    reg.counter("ziria.ckpt.disk.quarantined");
+    reg.counter("ziria.ckpt.disk.gc");
     reg.gauge("server.sessions.active");
+
+    if (!cfg_.ckptDir.empty())
+        store_ = std::make_unique<CkptStore>(cfg_.ckptDir);
 }
 
 Server::~Server()
@@ -283,6 +295,19 @@ Server::ioLoop()
     std::vector<std::shared_ptr<Session>> snap;
 
     while (!stopping_.load(std::memory_order_relaxed)) {
+        const bool draining = draining_.load(std::memory_order_relaxed);
+
+        // Quiesce-dependent work runs BEFORE the service pass: a worker
+        // that parked a session wakes this loop, and at this point its
+        // input queue is still empty, so the park is observable.  After
+        // serviceSession refills the queues a saturated session goes
+        // straight back to Queued and a persist/migration pass would
+        // never catch it quiescent.
+        if (!draining) {
+            driveMigrations();  // resolve queued live migrations
+            drivePersist();     // durable cadence for keyed sessions
+        }
+
         // Service every session before sleeping: worker wakeups (new
         // output, completion) and retried input flushes land here.
         snap.clear();
@@ -292,7 +317,6 @@ Server::ioLoop()
         for (auto& s : snap)
             serviceSession(s);  // may close sessions
 
-        const bool draining = draining_.load(std::memory_order_relaxed);
         if (draining)
             driveDrain();  // checkpoint quiesced mid-stream sessions
 
@@ -309,6 +333,10 @@ Server::ioLoop()
             // checkpointed back to their clients instead.
             if (!s->closing && !s->inputEnded && !s->readPaused &&
                 !draining)
+                ev |= POLLIN;
+            // Closing with unread client input pending: keep reading
+            // (and discarding) so the kernel never answers with a RST.
+            if (s->closing && s->drainOnClose && !s->inputEnded)
                 ev |= POLLIN;
             if (s->outWire.size() > s->outWirePos)
                 ev |= POLLOUT;
@@ -453,6 +481,14 @@ Server::tryFlushPending(const std::shared_ptr<Session>& s)
 {
     if (s->closing || s->queueClosed)
         return;
+    if (s->quiescing) {
+        // A persist or migration is waiting for this session to park:
+        // hold input back so the worker drains the queue and quiesces.
+        // Anything already pending keeps the socket read-paused.
+        if (s->pendingPos < s->pendingIn.size())
+            s->readPaused = true;
+        return;
+    }
     if (s->pendingPos < s->pendingIn.size()) {
         size_t consumed = 0;
         s->offerInput(s->pendingIn.data() + s->pendingPos,
@@ -563,6 +599,15 @@ Server::processFrames(const std::shared_ptr<Session>& s)
             closeNow(s);
             return;
           case FrameType::Hello:
+            handleAttach(s, f);
+            if (s->closing)
+                return;  // attach rejected
+            break;
+          case FrameType::Migrate:
+            handleMigrate(s, f);
+            if (s->closing)
+                return;  // transfer answered (orderly close) or rejected
+            break;
           case FrameType::Halt:
             protocolError(s, std::string("unexpected ") +
                                  frameTypeName(f.type) +
@@ -572,10 +617,207 @@ Server::processFrames(const std::shared_ptr<Session>& s)
     }
 }
 
+/**
+ * Client -> server attach Hello (I/O thread): bind this connection to a
+ * durable session key and resume from retained state — a migration
+ * checkpoint adopted from a peer first, else the newest valid disk
+ * generation — resending or suppressing output so the client-side
+ * concatenated stream is byte-identical.  A fresh key arms output
+ * retention so a later persist / re-attach / migration has a tail.
+ */
+void
+Server::handleAttach(const std::shared_ptr<Session>& s, Frame& f)
+{
+    if (s->sawData || s->inputEnded || s->restoredFromCkpt ||
+        s->attached) {
+        protocolError(s, "attach Hello after session start");
+        return;
+    }
+    if (s->stagedData) {
+        // An emit-before-take pipeline already put Data on the wire, so
+        // the retained-output accounting can't be anchored; the client
+        // must attach before the pipeline outruns it.
+        protocolError(s, "attach Hello raced with pipeline output");
+        return;
+    }
+    std::string key;
+    uint64_t received = 0;
+    if (!decodeAttachHello(f.payload, key, received)) {
+        protocolError(s, "malformed attach Hello");
+        return;
+    }
+    if (s->inWidth() == 0) {
+        protocolError(s, "session attach to a source-style pipeline");
+        return;
+    }
+    if (findByKey(key, s.get())) {
+        protocolError(s, "session key is already live on this server");
+        return;
+    }
+    ++s->rxFrames;
+    s->attached = true;
+    s->sessionKey = key;
+
+    // A migration handed over live takes precedence over whatever the
+    // disk store last persisted (the adoption is strictly newer).
+    std::vector<uint8_t> ckpt;
+    bool have = false;
+    auto it = pendingAdoptions_.find(key);
+    if (it != pendingAdoptions_.end()) {
+        ckpt = std::move(it->second.payload);
+        pendingAdoptions_.erase(it);
+        have = true;
+    } else if (store_) {
+        have = store_->load(key, ckpt);
+    }
+
+    uint64_t resumeElems = 0;
+    std::vector<uint8_t> resend;
+    if (have) {
+        std::string err = s->adoptResume(ckpt, received, resend,
+                                         resumeElems);
+        if (!err.empty()) {
+            protocolError(s, "session resume failed: " + err);
+            return;
+        }
+        s->restoredFromCkpt = true;
+    } else {
+        if (received != 0) {
+            protocolError(s, "no retained state for this session key "
+                             "but the client has already received "
+                             "output");
+            return;
+        }
+        s->beginRetention();
+    }
+    encodeHelloResume(s->outWire, static_cast<uint32_t>(s->inWidth()),
+                      static_cast<uint32_t>(s->outWidth()), resumeElems);
+    ++s->txFrames;
+    // Restage the retained tail the re-attaching client is missing.
+    size_t pos = 0;
+    while (pos < resend.size()) {
+        size_t n = std::min(resend.size() - pos, kDataChunk);
+        stageData(s, resend.data() + pos, n);
+        pos += n;
+    }
+    if (have)
+        enqueue(s);  // worker applies the restore before stepping
+}
+
+/**
+ * Migrate frames from a connected peer (I/O thread).  A Request (from
+ * an operator client) queues a MigrationJob that driveMigrations
+ * resolves; a Transfer (from the source server of a live migration)
+ * stashes the checkpoint for its data client's re-attach and closes the
+ * transfer channel; anything else is a protocol violation.
+ */
+void
+Server::handleMigrate(const std::shared_ptr<Session>& s, Frame& f)
+{
+    auto& reg = metrics::Registry::global();
+    if (f.payload.empty()) {
+        protocolError(s, "empty Migrate payload");
+        return;
+    }
+    ++s->rxFrames;
+    switch (static_cast<MigrateSub>(f.payload[0])) {
+      case MigrateSub::Request: {
+        std::string key, host;
+        uint16_t port = 0;
+        if (!decodeMigrateRequest(f.payload, key, host, port)) {
+            protocolError(s, "malformed Migrate request");
+            return;
+        }
+        MigrationJob job;
+        job.key = key;
+        job.host = host;
+        job.port = port;
+        job.operatorFd = s->fd();
+        job.deadlineNs =
+            nowNs() + msToNs(std::max(cfg_.migrateTimeoutMs, 1.0));
+        migrations_.push_back(std::move(job));
+        return;  // the Ack is sent when the job resolves
+      }
+      case MigrateSub::Transfer: {
+        if (s->sawData || s->attached || s->inputEnded ||
+            s->restoredFromCkpt) {
+            protocolError(s, "Migrate transfer after session start");
+            return;
+        }
+        std::string key;
+        std::vector<uint8_t> ckpt;
+        std::string reject;
+        if (!decodeMigrateTransfer(f.payload, key, ckpt))
+            reject = "malformed Migrate transfer";
+        else if (findByKey(key, s.get()))
+            reject = "session key is already live on this server";
+        else if (pendingAdoptions_.count(key))
+            reject = "an adoption for this key is already pending";
+        else if (ckpt.size() < 4 ||
+                 (ckpt[0] != kSessionCheckpointVersion &&
+                  ckpt[0] != kSessionCheckpointVersionDurable) ||
+                 ckpt[1] || ckpt[2] || ckpt[3])
+            reject = "unrecognized session checkpoint";
+        encodeMigrateAck(s->outWire, reject.empty(),
+                         reject.empty() ? "adopted" : reject);
+        ++s->txFrames;
+        if (reject.empty()) {
+            PendingAdoption ad;
+            ad.payload = std::move(ckpt);
+            ad.stampNs = nowNs();
+            pendingAdoptions_[key] = std::move(ad);
+            reg.counter("server.migrations.live_received").inc();
+        }
+        // Either way the transfer channel is done: orderly close.
+        encodeFrame(s->outWire, FrameType::End);
+        ++s->txFrames;
+        s->closing = true;
+        s->closeDeadlineNs = nowNs() + kCloseGraceNs;
+        s->cancel();
+        return;
+      }
+      default:
+        protocolError(s, "unexpected Migrate subtype from client");
+        return;
+    }
+}
+
+std::shared_ptr<Session>
+Server::findByKey(const std::string& key, const Session* skip)
+{
+    if (key.empty())
+        return nullptr;
+    for (auto& kv : sessions_) {
+        auto& s = kv.second;
+        if (s.get() != skip && !s->closing && s->sessionKey == key)
+            return s;
+    }
+    return nullptr;
+}
+
 void
 Server::handleRead(const std::shared_ptr<Session>& s)
 {
-    if (s->closing || s->inputEnded || s->readPaused)
+    if (s->closing) {
+        if (!s->drainOnClose || s->inputEnded)
+            return;
+        // Discard whatever the client is still sending; its bytes are
+        // covered by the migrated/checkpointed state.  EOF means the
+        // client has seen the trailer and hung up.
+        uint8_t junk[64 * 1024];
+        for (;;) {
+            long n = recvSome(s->fd(), junk, sizeof junk);
+            if (n > 0)
+                continue;
+            if (n == 0 || n == -2) {
+                s->inputEnded = true;
+                if (s->outWire.size() == s->outWirePos)
+                    closeNow(s);
+            }
+            return;
+        }
+    }
+    if (s->inputEnded || s->readPaused)
         return;
     uint8_t buf[64 * 1024];
     long n = recvSome(s->fd(), buf, sizeof buf);
@@ -621,6 +863,13 @@ Server::handleWrite(const std::shared_ptr<Session>& s)
         if (n > 0) {
             s->outWirePos += static_cast<size_t>(n);
             s->txBytes += static_cast<uint64_t>(n);
+            // Advance the delivered-payload watermark past every staged
+            // Data frame the kernel has now fully accepted.
+            while (!s->txMarks.empty() &&
+                   s->txMarks.front().first <= s->txBytes) {
+                s->sentPayloadAbs = s->txMarks.front().second;
+                s->txMarks.pop_front();
+            }
             s->lastActivityNs = nowNs();
             budget -= std::min(budget, static_cast<size_t>(n));
             continue;
@@ -633,6 +882,26 @@ Server::handleWrite(const std::shared_ptr<Session>& s)
         s->evictOnClose = true;
         closeNow(s);
         return;
+    }
+}
+
+/**
+ * Stage one outbound Data frame, recording (for keyed sessions) the
+ * absolute wire offset at which its payload ends so handleWrite can
+ * advance the delivered-payload watermark as the kernel accepts bytes.
+ */
+void
+Server::stageData(const std::shared_ptr<Session>& s, const uint8_t* data,
+                  size_t n)
+{
+    encodeFrame(s->outWire, FrameType::Data, data, n);
+    ++s->txFrames;
+    s->stagedData = true;
+    if (!s->sessionKey.empty()) {
+        s->stagedPayloadAbs += n;
+        s->txMarks.emplace_back(
+            s->txBytes + (s->outWire.size() - s->outWirePos),
+            s->stagedPayloadAbs);
     }
 }
 
@@ -667,8 +936,7 @@ Server::serviceSession(const std::shared_ptr<Session>& s)
         payload.clear();
         if (s->takeOutput(payload, chunk) == 0)
             break;
-        encodeFrame(s->outWire, FrameType::Data, payload);
-        ++s->txFrames;
+        stageData(s, payload.data(), payload.size());
         drained = true;
     }
     if (drained)
@@ -698,8 +966,20 @@ Server::serviceSession(const std::shared_ptr<Session>& s)
         }
     }
 
-    if (s->closing && s->outWire.size() == s->outWirePos)
+    if (s->closing && s->outWire.size() == s->outWirePos) {
+        if (s->drainOnClose && !s->inputEnded) {
+            // Trailer fully handed to the kernel but the client may
+            // still be mid-send: half-close our side and linger,
+            // discarding input, until the client hangs up (or the
+            // close deadline forces the issue in sweep()).
+            if (!s->txShutdown) {
+                s->txShutdown = true;
+                ::shutdown(s->fd(), SHUT_WR);
+            }
+            return;
+        }
         closeNow(s);
+    }
 }
 
 void
@@ -751,6 +1031,16 @@ Server::closeNow(const std::shared_ptr<Session>& s)
     s->cancel();
     ::close(s->fd());
     sessions_.erase(it);
+
+    // A keyed session that ran to orderly completion needs no resume;
+    // an evicted or disconnected one keeps its disk generations so the
+    // client can re-attach.  (A migrated-away session was already
+    // removed by migrateNow; remove() is idempotent.)
+    if (store_ && !s->sessionKey.empty() && !s->evictOnClose) {
+        Session::Completion c = s->completion();
+        if (c.finished && !c.failed)
+            store_->remove(s->sessionKey);
+    }
 
     auto& reg = metrics::Registry::global();
     reg.counter("server.rx.frames").add(s->rxFrames);
@@ -881,8 +1171,7 @@ Server::driveDrain()
             payload.clear();
             if (s->takeOutput(payload, kDataChunk) == 0)
                 break;
-            encodeFrame(s->outWire, FrameType::Data, payload);
-            ++s->txFrames;
+            stageData(s, payload.data(), payload.size());
         }
 
         std::vector<uint8_t> ck;
@@ -890,7 +1179,7 @@ Server::driveDrain()
         const uint8_t* tail = s->pendingIn.data() + s->pendingPos;
         size_t tailLen = s->pendingIn.size() - s->pendingPos;
         bool ok = s->checkpoint(ck, tail, tailLen, &err);
-        if (ok && ck.size() > kMaxPayload) {
+        if (ok && ck.size() > kMaxCkptPayload) {
             ok = false;
             err = "session checkpoint of " + std::to_string(ck.size()) +
                   " byte(s) exceeds the frame payload cap";
@@ -908,7 +1197,253 @@ Server::driveDrain()
         }
         s->drainCounted = true;
         s->closing = true;
+        // Same RST hazard as a live migration: the client may still
+        // hold unsent input the drain will never read.
+        s->drainOnClose = true;
         s->closeDeadlineNs = nowNs() + kCloseGraceNs;
+    }
+}
+
+/**
+ * Periodic durable persist (I/O thread): every keyed session observed
+ * Parked — and a Parked session stays Parked for the duration, because
+ * this thread is the only enqueue() caller — is snapshotted
+ * non-destructively and written to the disk store.  Throttled by the
+ * configured cadence and skipped when neither the consumed count nor
+ * the delivered-output watermark moved since the last persist.
+ */
+void
+Server::drivePersist()
+{
+    if (!store_)
+        return;
+    const uint64_t now = nowNs();
+    const uint64_t interval = msToNs(std::max(cfg_.ckptIntervalMs, 1.0));
+    for (auto& kv : sessions_) {
+        auto& s = kv.second;
+        if (s->sessionKey.empty() || s->closing)
+            continue;
+        if (now - s->lastPersistNs < interval)
+            continue;
+        bool parked;
+        {
+            std::lock_guard<std::mutex> lk(schedMu_);
+            parked = s->sched == Session::Sched::Parked;
+        }
+        if (!parked) {
+            // Due but busy: hold further input back (tryFlushPending)
+            // so the worker drains its queue and parks — a saturated
+            // session would otherwise never be caught quiescent.
+            s->quiescing = true;
+            continue;
+        }
+        s->quiescing = false;
+        s->lastPersistNs = now;
+        uint64_t consumed = s->quiescentConsumed();
+        if (consumed == s->lastPersistConsumed &&
+            s->sentPayloadAbs == s->prevPersistSentAbs)
+            continue;  // no progress worth persisting
+        std::vector<uint8_t> ck;
+        std::string err;
+        if (!s->persistCheckpoint(ck, &err)) {
+            // Includes the restore-not-yet-applied window right after a
+            // resume attach; harmless — the disk state is still newest.
+            continue;
+        }
+        if (!store_->save(s->sessionKey, ck, &err))
+            ZIRIA_LOG(Warn, "ckpt: save failed for key ", s->sessionKey,
+                      " (", err, ")");
+        else
+            s->lastPersistConsumed = consumed;
+    }
+}
+
+namespace {
+
+/**
+ * Blocking-with-deadline frame read over a connected peer socket
+ * (migration handshake; I/O thread).  Returns false and fills @p err on
+ * timeout, close, or protocol error.
+ */
+bool
+readPeerFrame(int fd, FrameParser& parser, uint64_t deadline_ns, Frame& f,
+              std::string* err)
+{
+    for (;;) {
+        FrameParser::Result r = parser.next(f);
+        if (r == FrameParser::Result::Frame)
+            return true;
+        if (r == FrameParser::Result::Error) {
+            *err = parser.error();
+            return false;
+        }
+        uint64_t now = nowNs();
+        if (now >= deadline_ns) {
+            *err = "peer handshake timed out";
+            return false;
+        }
+        pollfd p{fd, POLLIN, 0};
+        int pr = ::poll(&p, 1,
+                        static_cast<int>((deadline_ns - now) / 1000000) + 1);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            *err = "peer poll failed";
+            return false;
+        }
+        if (pr == 0)
+            continue;  // deadline check above terminates
+        uint8_t buf[64 * 1024];
+        long n = recvSome(fd, buf, sizeof buf);
+        if (n > 0)
+            parser.feed(buf, static_cast<size_t>(n));
+        else if (n == 0) {
+            *err = "peer closed during handshake";
+            return false;
+        } else if (n == -2) {
+            *err = "peer read error";
+            return false;
+        }
+    }
+}
+
+} // namespace
+
+/**
+ * Hand one quiesced keyed session to a peer server: checkpoint in
+ * place (non-destructively), connect, exchange greeting / Transfer /
+ * Ack, and on success redirect the data client and retire the local
+ * session as completed.  Any failure leaves the session running
+ * exactly as it was — nothing was drained or destroyed.  Returns an
+ * error message, empty on success.
+ */
+std::string
+Server::migrateNow(const std::shared_ptr<Session>& s,
+                   const MigrationJob& job)
+{
+    std::vector<uint8_t> ck;
+    std::string err;
+    if (!s->persistCheckpoint(ck, &err))
+        return "checkpoint failed: " + err;
+    if (ck.size() > kMaxCkptPayload)
+        return "session checkpoint of " + std::to_string(ck.size()) +
+               " byte(s) exceeds the frame payload cap";
+
+    SockFd peer;
+    try {
+        peer = connectTcp(job.host, job.port);
+    } catch (const std::exception& e) {
+        return std::string("peer connect failed: ") + e.what();
+    }
+    FrameParser parser;
+    Frame f;
+    if (!readPeerFrame(peer.get(), parser, job.deadlineNs, f, &err))
+        return "peer greeting: " + err;
+    HelloInfo hello;
+    if (f.type != FrameType::Hello || !decodeHello(f.payload, hello))
+        return "peer did not greet with a Hello frame";
+    if (hello.inWidth != s->inWidth() || hello.outWidth != s->outWidth())
+        return "peer pipeline widths do not match";
+
+    std::vector<uint8_t> wire;
+    encodeMigrateTransfer(wire, job.key, ck);
+    if (!sendAll(peer.get(), wire.data(), wire.size()))
+        return "peer send failed";
+    if (!readPeerFrame(peer.get(), parser, job.deadlineNs, f, &err))
+        return "peer ack: " + err;
+    bool ok = false;
+    std::string msg;
+    if (f.type != FrameType::Migrate || !decodeMigrateAck(f.payload, ok, msg))
+        return "peer answered with something other than a Migrate Ack";
+    if (!ok)
+        return "peer rejected the migration: " + msg;
+
+    // Committed: flush remaining buffered output (all of it is inside
+    // the checkpoint's retained window, so a duplicate delivery on the
+    // peer is impossible — the client's received count covers it), then
+    // redirect the data client and retire the session as completed.
+    std::vector<uint8_t> payload;
+    for (;;) {
+        payload.clear();
+        if (s->takeOutput(payload, kDataChunk) == 0)
+            break;
+        stageData(s, payload.data(), payload.size());
+    }
+    encodeMigrateRedirect(s->outWire, job.host, job.port);
+    ++s->txFrames;
+    encodeFrame(s->outWire, FrameType::End);
+    ++s->txFrames;
+    s->closing = true;
+    // The client may still be streaming input we will never read; a
+    // plain close() with unread bytes in the receive queue answers
+    // with a RST that destroys the Redirect in flight.  Drain-and-
+    // discard until the client sees the trailer and closes its side.
+    s->drainOnClose = true;
+    s->closeDeadlineNs = nowNs() + kCloseGraceNs;
+    s->cancel();
+    if (store_)
+        store_->remove(job.key);
+    metrics::Registry::global()
+        .counter("server.migrations.live_sent")
+        .inc();
+    return {};
+}
+
+/**
+ * Resolve queued migration jobs (I/O thread): wait for the target
+ * session to quiesce at a park (retrying every pass until the job
+ * deadline), run the peer handshake, and answer the operator with a
+ * Migrate Ack.  A failed job leaves the session untouched and bumps
+ * server.migrations.live_failed.
+ */
+void
+Server::driveMigrations()
+{
+    if (migrations_.empty())
+        return;
+    auto& reg = metrics::Registry::global();
+    for (size_t i = 0; i < migrations_.size();) {
+        MigrationJob& job = migrations_[i];
+        std::shared_ptr<Session> target = findByKey(job.key);
+        std::string fail;
+        bool done = false;
+        if (!target) {
+            fail = "no live session with key '" + job.key + "'";
+            done = true;
+        } else if (nowNs() >= job.deadlineNs) {
+            fail = "timed out waiting for the session to quiesce";
+            done = true;
+        } else {
+            bool parked = false;
+            {
+                std::lock_guard<std::mutex> lk(schedMu_);
+                parked = target->sched == Session::Sched::Parked;
+            }
+            if (parked) {
+                fail = migrateNow(target, job);
+                done = true;
+            } else {
+                // Worker mid-burst: hold its input back so it parks
+                // (same quiesce mechanism as drivePersist), retry.
+                target->quiescing = true;
+            }
+        }
+        if (!done) {
+            ++i;
+            continue;
+        }
+        if (target)
+            target->quiescing = false;
+        if (!fail.empty())
+            reg.counter("server.migrations.live_failed").inc();
+        auto it = sessions_.find(job.operatorFd);
+        if (it != sessions_.end() && !it->second->closing) {
+            encodeMigrateAck(it->second->outWire, fail.empty(),
+                             fail.empty() ? "migrated" : fail);
+            ++it->second->txFrames;
+        }
+        migrations_.erase(migrations_.begin() +
+                          static_cast<long>(i));
     }
 }
 
@@ -930,6 +1465,18 @@ Server::sweep()
     }
     for (auto& s : doomed)
         closeNow(s);
+
+    // Adopted migration checkpoints whose data client never re-attached
+    // are dropped after a grace period (the disk store, if any, still
+    // has the source server's last persist).
+    constexpr uint64_t kAdoptionTtlNs = 30ull * 1000 * 1000 * 1000;
+    for (auto it = pendingAdoptions_.begin();
+         it != pendingAdoptions_.end();) {
+        if (now - it->second.stampNs > kAdoptionTtlNs)
+            it = pendingAdoptions_.erase(it);
+        else
+            ++it;
+    }
 
     if (cfg_.metricsIntervalMs > 0 &&
         now - lastMetricsNs_ >= msToNs(cfg_.metricsIntervalMs)) {

@@ -54,6 +54,9 @@
 #include "zserve/socket.h"
 
 namespace ziria {
+
+class CkptStore;
+
 namespace serve {
 
 /** Server-wide configuration. */
@@ -66,6 +69,9 @@ struct ServerConfig
     double drainTimeoutMs = 5000;  ///< drainStop() bound before force-stop
     double metricsIntervalMs = 0;  ///< periodic registry JSON dump
     std::string metricsPath;    ///< dump target ("" = stderr)
+    std::string ckptDir;        ///< durable checkpoint store ("" = off)
+    double ckptIntervalMs = 200;  ///< keyed-session persist cadence
+    double migrateTimeoutMs = 5000;  ///< quiesce + peer-exchange bound
     SessionConfig session;      ///< per-session knobs
     FaultSpec fault;            ///< injected per-session fault (tests)
     int64_t faultSession = -1;  ///< session index to fault (-1 = all)
@@ -119,6 +125,26 @@ class Server
     Counters counters() const;
 
   private:
+    /** A client-requested live migration being driven by the I/O
+     *  thread: waits for the keyed session to quiesce at a park, then
+     *  checkpoints it and hands the state to the peer server. */
+    struct MigrationJob
+    {
+        std::string key;
+        std::string host;
+        uint16_t port = 0;
+        int operatorFd = -1;  ///< who gets the Migrate Ack
+        uint64_t deadlineNs = 0;
+    };
+
+    /** A migration checkpoint received from a peer, waiting for its
+     *  data client to re-attach (preferred over the disk store). */
+    struct PendingAdoption
+    {
+        std::vector<uint8_t> payload;
+        uint64_t stampNs = 0;
+    };
+
     void ioLoop();
     void workerLoop();
     void enqueue(const std::shared_ptr<Session>& s);
@@ -139,6 +165,16 @@ class Server
     void sweep();
     void dumpMetrics();
     std::string statJson(const std::shared_ptr<Session>& s);
+    void stageData(const std::shared_ptr<Session>& s, const uint8_t* data,
+                   size_t n);
+    void handleAttach(const std::shared_ptr<Session>& s, Frame& f);
+    void handleMigrate(const std::shared_ptr<Session>& s, Frame& f);
+    void drivePersist();
+    void driveMigrations();
+    std::string migrateNow(const std::shared_ptr<Session>& s,
+                           const MigrationJob& job);
+    std::shared_ptr<Session> findByKey(const std::string& key,
+                                       const Session* skip = nullptr);
 
     PipelineFactory factory_;
     ServerConfig cfg_;
@@ -157,6 +193,11 @@ class Server
     std::map<int, std::shared_ptr<Session>> sessions_;
     uint64_t nextId_ = 0;
     uint64_t lastMetricsNs_ = 0;
+
+    // Durable checkpoints & live migration (I/O thread only).
+    std::unique_ptr<CkptStore> store_;
+    std::vector<MigrationJob> migrations_;
+    std::map<std::string, PendingAdoption> pendingAdoptions_;
 
     // Scheduler: one shared run queue.
     mutable std::mutex schedMu_;

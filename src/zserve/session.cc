@@ -145,13 +145,191 @@ Session::adoptCheckpoint(std::vector<uint8_t> payload)
     hasCkpt_ = true;
 }
 
+bool
+Session::persistCheckpoint(std::vector<uint8_t>& out, std::string* err)
+{
+    // I/O thread, session parked: the worker-owned pipeline state is
+    // quiescent (see the header contract), so reading it is safe.
+    {
+        // An adopted restore the worker has not applied yet means the
+        // pipeline still holds fresh-start state; snapshotting it now
+        // would persist (or migrate) an empty session over real state.
+        std::lock_guard<std::mutex> lk(mu_);
+        if (hasCkpt_) {
+            if (err)
+                *err = "adopted restore not yet applied";
+            return false;
+        }
+    }
+    std::vector<uint8_t> snap;
+    if (started_) {
+        try {
+            snap = takeSnapshot(pipe_->root(), pipe_->frame(),
+                                stepper_.consumed(), stepper_.emitted());
+        } catch (const std::exception& e) {
+            if (err)
+                *err = e.what();
+            return false;
+        }
+    }
+
+    // Unconsumed input, oldest first, without draining anything: the
+    // unreplayed restore backlog, a *peek* of the queue, then the I/O
+    // thread's decoded-but-unqueued remainder.
+    std::vector<uint8_t> backlog;
+    if (replayPos_ < replay_.size())
+        backlog.insert(backlog.end(),
+                       replay_.begin() + static_cast<long>(replayPos_),
+                       replay_.end());
+    if (inW_)
+        inQ_.peekAll(backlog);
+    backlog.insert(backlog.end(),
+                   pendingIn.begin() + static_cast<long>(pendingPos),
+                   pendingIn.end());
+    if (inW_ ? backlog.size() % inW_ != 0 : !backlog.empty()) {
+        if (err)
+            *err = "input backlog is not element-aligned";
+        return false;
+    }
+
+    const uint64_t emittedB = stepper_.emitted() * outW_;
+    std::vector<uint8_t> tail;
+    uint64_t base;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        // Tail base: the sent watermark as of the *previous* persist —
+        // bytes handed to the kernel a cadence ago are long delivered,
+        // so a re-attaching client's received count can't be below it.
+        base = prevPersistSentAbs;
+        if (base < outTailBase_)
+            base = outTailBase_;
+        if (base >= emittedB || emittedB < outTailBase_) {
+            // Mid-suppression (the retained window starts past the
+            // snapshot) or nothing emitted since the base: an empty
+            // tail anchored at the snapshot is consistent — a client
+            // ahead of it takes the suppression path on re-attach.
+            base = emittedB;
+            tail.clear();
+        } else {
+            size_t drop = static_cast<size_t>(base - outTailBase_);
+            outTail_.erase(outTail_.begin(),
+                           outTail_.begin() + static_cast<long>(drop));
+            outTailBase_ = base;
+            if (outTailBase_ + outTail_.size() != emittedB) {
+                if (err)
+                    *err = "retained output tail is inconsistent";
+                return false;
+            }
+            tail = outTail_;
+        }
+    }
+
+    StateWriter w;
+    w.u32(kSessionCheckpointVersionDurable);
+    w.u64(stepper_.consumed());
+    w.u64(stepper_.emitted());
+    w.u64(inW_ ? backlog.size() / inW_ : 0);
+    w.blob(snap.data(), snap.size());
+    w.blob(backlog.data(), backlog.size());
+    w.u64(base);
+    w.blob(tail.data(), tail.size());
+    out = w.take();
+    prevPersistSentAbs = sentPayloadAbs;
+    return true;
+}
+
+std::string
+Session::adoptResume(const std::vector<uint8_t>& payload,
+                     uint64_t client_received, std::vector<uint8_t>& resend,
+                     uint64_t& resume_elems)
+{
+    resend.clear();
+    uint64_t consumed, emitted, backlogElems, base;
+    std::vector<uint8_t> backlog, tail;
+    try {
+        StateReader r(payload.data(), payload.size());
+        uint32_t ver = r.u32();
+        if (ver != kSessionCheckpointVersion &&
+            ver != kSessionCheckpointVersionDurable)
+            return "unsupported session checkpoint version " +
+                   std::to_string(ver);
+        consumed = r.u64();
+        emitted = r.u64();
+        backlogElems = r.u64();
+        (void)r.blob();  // snapshot (applied worker-side)
+        backlog = r.blob();
+        if (ver == kSessionCheckpointVersionDurable) {
+            base = r.u64();
+            tail = r.blob();
+        } else {
+            base = emitted * outW_;
+        }
+    } catch (const std::exception& e) {
+        return e.what();
+    }
+    const uint64_t emittedB = emitted * outW_;
+    if (base + tail.size() != emittedB)
+        return "checkpoint output tail is inconsistent";
+    if (inW_ ? backlog.size() % inW_ != 0 : !backlog.empty())
+        return "checkpoint backlog is not element-aligned";
+    if (inW_ && backlog.size() / inW_ != backlogElems)
+        return "checkpoint backlog count disagrees with header";
+
+    uint64_t suppress = 0;
+    if (client_received < base)
+        return "client resume point precedes the retained output window";
+    if (client_received > emittedB) {
+        suppress = client_received - emittedB;
+        if (outW_ == 0 || suppress % outW_ != 0)
+            return "client resume point is not element-aligned";
+    } else {
+        resend.assign(tail.begin() +
+                          static_cast<long>(client_received - base),
+                      tail.end());
+    }
+    resume_elems = consumed + backlogElems;
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        pendingCkpt_ = payload;
+        hasCkpt_ = true;
+        pendingSuppress_ = suppress;
+        retainOut_ = true;
+        outTailBase_ = client_received;
+        outTail_ = resend;
+        // Anything an emit-before-take pipeline produced before the
+        // attach arrived is regenerated by the restore; the caller
+        // guarantees none of it was staged to the wire.
+        outRaw_.clear();
+        outRawPos_ = 0;
+    }
+    stagedPayloadAbs = client_received;
+    sentPayloadAbs = client_received;
+    prevPersistSentAbs = client_received;
+    return {};
+}
+
+void
+Session::beginRetention()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    retainOut_ = true;
+    // An emit-before-take pipeline may have produced output before the
+    // attach Hello arrived; the caller guarantees none of it was staged
+    // to the wire yet, so seeding the tail from the raw buffer keeps the
+    // retained window anchored at absolute offset 0.
+    outTail_.assign(outRaw_.begin(), outRaw_.end());
+    outTailBase_ = 0;
+}
+
 std::string
 Session::applyCheckpoint(const std::vector<uint8_t>& payload)
 {
     try {
         StateReader r(payload.data(), payload.size());
         uint32_t ver = r.u32();
-        if (ver != kSessionCheckpointVersion)
+        if (ver != kSessionCheckpointVersion &&
+            ver != kSessionCheckpointVersionDurable)
             return "unsupported session checkpoint version " +
                    std::to_string(ver);
         (void)r.u64();  // consumed (client-facing; snapshot is canonical)
@@ -159,6 +337,12 @@ Session::applyCheckpoint(const std::vector<uint8_t>& payload)
         (void)r.u64();  // backlog element count (re-derived below)
         std::vector<uint8_t> snap = r.blob();
         replay_ = r.blob();
+        if (ver == kSessionCheckpointVersionDurable) {
+            // Output tail base + bytes: consumed on the I/O thread by
+            // adoptResume (resend / suppression); ignored here.
+            (void)r.u64();
+            (void)r.blob();
+        }
         replayPos_ = 0;
         if (inW_ && replay_.size() % inW_ != 0)
             return "checkpoint backlog is not element-aligned";
@@ -197,6 +381,8 @@ Session::step()
                 pendingCkpt_.clear();
                 hasCkpt_ = false;
                 has = true;
+                suppressOut_ = pendingSuppress_;
+                pendingSuppress_ = 0;
             }
         }
         if (has) {
@@ -238,9 +424,19 @@ Session::step()
     };
     bool overHighWater = false;
     auto push = [&](const uint8_t* elem) {
+        if (suppressOut_ > 0) {
+            // The restored pipeline is regenerating output the client
+            // already received (it was ahead of the snapshot when it
+            // re-attached); deterministic replay makes these bytes
+            // identical, so swallow them.
+            suppressOut_ -= outW_;
+            return true;
+        }
         {
             std::lock_guard<std::mutex> lk(mu_);
             outRaw_.insert(outRaw_.end(), elem, elem + outW_);
+            if (retainOut_)
+                outTail_.insert(outTail_.end(), elem, elem + outW_);
             overHighWater =
                 outRaw_.size() - outRawPos_ >= cfg_.outHighWaterBytes;
         }

@@ -37,9 +37,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/spsc_queue.h"
@@ -55,6 +57,17 @@ namespace serve {
 
 /** Layout version of a Checkpoint frame's session payload. */
 constexpr uint32_t kSessionCheckpointVersion = 1;
+
+/**
+ * Durable/migration session checkpoint: the v1 fields plus a retained
+ * output tail — u64 tail base (absolute output-stream byte offset) and
+ * a blob of the output bytes from that base up to the snapshot's
+ * emitted count.  On re-attach the server resends the tail from the
+ * client's received offset (or, when the client is ahead of the
+ * snapshot, suppresses the deterministically regenerated prefix), so
+ * the concatenated client-side stream is byte-identical.
+ */
+constexpr uint32_t kSessionCheckpointVersionDurable = 2;
 
 /** Per-session tuning knobs (shared by every session of one server). */
 struct SessionConfig
@@ -210,6 +223,42 @@ class Session
      */
     void adoptCheckpoint(std::vector<uint8_t> payload);
 
+    // ---- durable checkpoints / live migration -----------------------
+
+    /**
+     * Non-destructive variant of checkpoint() producing the durable v2
+     * payload: the input backlog is *peeked* (queue left intact) and the
+     * retained output tail rides along, so the session keeps running
+     * unchanged if the checkpoint is never restored (periodic persists,
+     * rejected migrations).  Caller contract: I/O thread, session parked
+     * (the I/O thread is the only enqueue() caller, so a session it
+     * observes Parked stays Parked for the duration).
+     */
+    bool persistCheckpoint(std::vector<uint8_t>& out, std::string* err);
+
+    /**
+     * Adopt a durable/migration checkpoint for a re-attaching client
+     * that has already received @p client_received output bytes.
+     * Validates the payload, primes the worker-side restore (snapshot +
+     * backlog + suppression of the regenerated prefix when the client
+     * is ahead of the snapshot), arms output retention, and fills
+     * @p resend with the retained bytes the I/O thread must restage
+     * (when the client is behind) and @p resume_elems with the input
+     * element the client should resume sending from.  Returns an error
+     * message, empty on success.
+     */
+    std::string adoptResume(const std::vector<uint8_t>& payload,
+                            uint64_t client_received,
+                            std::vector<uint8_t>& resend,
+                            uint64_t& resume_elems);
+
+    /** Arm output retention for a fresh keyed session (base 0). */
+    void beginRetention();
+
+    /** Input elements consumed; only valid while the session is
+     *  quiesced (persist-cadence throttling on the I/O thread). */
+    uint64_t quiescentConsumed() const { return stepper_.consumed(); }
+
     // ---- I/O-thread-owned bookkeeping (unshared; see file comment) --
 
     FrameParser parser;             ///< inbound wire decoder
@@ -222,13 +271,37 @@ class Session
     bool evictOnClose = false;      ///< count as evicted, not completed
     bool sawData = false;           ///< a Data frame arrived (Checkpoint
                                     ///< restore is only valid before any)
+    bool stagedData = false;        ///< a Data frame was staged outbound
+                                    ///< (an attach must come before any)
     bool restoredFromCkpt = false;  ///< a Checkpoint was adopted already
     bool drainCounted = false;      ///< drain.{completed,aborted} charged
+    bool drainOnClose = false;      ///< discard unread client input while
+                                    ///< closing (avoids a RST that would
+                                    ///< destroy the in-flight trailer)
+    bool txShutdown = false;        ///< SHUT_WR sent after trailer flush
     uint64_t closeDeadlineNs = 0;   ///< force-close bound once closing
     uint64_t lastActivityNs = 0;    ///< socket traffic clock (idle timer)
     std::vector<uint8_t> outWire;   ///< framed bytes ready to send
     size_t outWirePos = 0;
     uint64_t rxFrames = 0, rxBytes = 0, txFrames = 0, txBytes = 0;
+
+    // Durable-session bookkeeping (I/O thread only; meaningful once a
+    // key is attached).  The tx marks map "payload bytes of staged Data
+    // frames" to absolute wire offsets so sentPayloadAbs advances as
+    // handleWrite drains outWire; the previous persist's value becomes
+    // the next retained-tail base (one-cadence lag guards against
+    // kernel-buffer loss on a hard kill).
+    std::string sessionKey;         ///< empty = keyless (not persisted)
+    bool attached = false;          ///< an attach Hello was accepted
+    bool quiescing = false;         ///< hold input back until the worker
+                                    ///< parks (due persist / migration)
+    uint64_t stagedPayloadAbs = 0;  ///< Data payload bytes staged
+    uint64_t sentPayloadAbs = 0;    ///< ... fully handed to the kernel
+    uint64_t prevPersistSentAbs = 0;
+    uint64_t lastPersistNs = 0;     ///< persist-cadence throttle
+    uint64_t lastPersistConsumed = 0;
+    std::deque<std::pair<uint64_t, uint64_t>> txMarks;  ///< {wireAbsEnd,
+                                    ///<  payloadAbsEnd} per staged frame
 
     // ---- scheduler state (guarded by the Server's scheduler mutex) --
 
@@ -269,6 +342,10 @@ class Session
     std::vector<uint8_t> replay_;
     size_t replayPos_ = 0;
 
+    // Output bytes the restored pipeline regenerates that the client
+    // already received (worker-only once applied; whole elements).
+    uint64_t suppressOut_ = 0;
+
     /** Apply an adopted Checkpoint payload (worker side); returns an
      *  error message, empty on success. */
     std::string applyCheckpoint(const std::vector<uint8_t>& payload);
@@ -280,6 +357,14 @@ class Session
     Completion done_;
     std::vector<uint8_t> pendingCkpt_;  ///< stash from adoptCheckpoint
     bool hasCkpt_ = false;
+    uint64_t pendingSuppress_ = 0;      ///< handed to the worker with it
+    // Retained output tail for durable checkpoints: every delivered
+    // output element is also appended here (only when retainOut_), and
+    // persistCheckpoint trims it to the lagged sent watermark.  Covers
+    // [outTailBase_, emitted bytes) contiguously.
+    bool retainOut_ = false;
+    std::vector<uint8_t> outTail_;
+    uint64_t outTailBase_ = 0;
 };
 
 } // namespace serve

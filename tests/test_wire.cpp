@@ -116,7 +116,11 @@ TEST(Wire, HelloRejectsWrongSize)
     HelloInfo hi;
     EXPECT_FALSE(decodeHello(bytes({1, 0, 0}), hi));
     EXPECT_FALSE(decodeHello({}, hi));
-    std::vector<uint8_t> tooLong(16, 0);
+    // 12 (legacy), 16 (greeting + cap) and 24 (resume ack) are the only
+    // valid sizes.
+    std::vector<uint8_t> odd(20, 0);
+    EXPECT_FALSE(decodeHello(odd, hi));
+    std::vector<uint8_t> tooLong(32, 0);
     EXPECT_FALSE(decodeHello(tooLong, hi));
 }
 

@@ -15,12 +15,32 @@
  *           [--rate ELEMS_PER_SEC] [--input FILE] [--seed S]
  *           [--slow-read-ms MS] [--abort-midframe] [--hold-ms MS]
  *           [--expect-bytes FILE] [--out FILE] [--json] [--quiet]
- *           [--stat]
+ *           [--stat] [--session KEY] [--retry-ms MS]
+ *   zclient --port P [--host H] --migrate KEY --peer-host H --peer-port P
  *
  *   --stat            live introspection probe: send a Stat frame after
  *                     Hello, print the server's JSON reply (registry,
  *                     session latency percentiles, scheduler dwell) to
  *                     stdout, then close cleanly without streaming data
+ *
+ *   --session KEY     durable keyed session (docs/SERVING.md, "Session
+ *                     attach & resume"): the first frame after the
+ *                     greeting is an attach Hello carrying KEY and the
+ *                     output byte count received so far; the server's
+ *                     24-byte resume Hello tells the client which input
+ *                     element to (re)start from.  On connection loss the
+ *                     client reconnects and re-attaches (surviving a
+ *                     server crash + restart with --ckpt-dir), and a
+ *                     Migrate Redirect frame makes it re-attach to the
+ *                     named peer server instead.  Received output is
+ *                     deduplicated by the resume protocol, so the final
+ *                     byte stream is identical to an uninterrupted run.
+ *   --retry-ms MS     with --session: total time to keep retrying a
+ *                     failed reconnect before giving up (default 10000)
+ *   --migrate KEY     operator mode: ask the server to quiesce session
+ *                     KEY and hand it live to the peer server at
+ *                     --peer-host/--peer-port; prints the Migrate Ack
+ *                     and exits 0 on success, 3 on rejection
  *
  *   --rate            pace input at this many elements/second (0 = as
  *                     fast as the socket accepts; default 0)
@@ -46,6 +66,10 @@
  * Exit codes: 0 success (server End received), 1 output mismatch or
  * internal error, 2 usage error, 3 server sent an Error frame.
  */
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -53,6 +77,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -83,7 +108,9 @@ usage()
         "[--hold-ms MS]\n"
         "               [--expect-bytes FILE] [--out FILE] [--json] "
         "[--quiet]\n"
-        "               [--stat]\n"
+        "               [--stat] [--session KEY] [--retry-ms MS]\n"
+        "       zclient --port P [--host H] --migrate KEY --peer-host H "
+        "--peer-port P\n"
         "exit codes: 0 ok, 1 mismatch/internal, 2 usage, "
         "3 server error frame\n");
     return 2;
@@ -138,7 +165,12 @@ readerLoop(int fd, size_t outW, long slowReadMs, ReaderState* st)
                 break;
               case FrameType::Stat:
                 break;  // stray stat reply: not ours to interpret
-
+              case FrameType::Checkpoint:
+              case FrameType::Migrate:
+                // Drain checkpoints and migration control frames only
+                // matter to keyed sessions (--session); a plain player
+                // lets them pass.
+                break;
               case FrameType::Error:
                 st->error.assign(f.payload.begin(), f.payload.end());
                 st->closed = true;
@@ -183,6 +215,318 @@ percentileMs(std::vector<double> v, double p)
     return v[idx];
 }
 
+// ---------------------------------------------------------------------
+// Keyed sessions & migration (docs/SERVING.md)
+// ---------------------------------------------------------------------
+
+/** Blocking read of the next whole frame; false on close/error. */
+bool
+readFrameBlocking(int fd, FrameParser& parser, Frame& f, std::string& err)
+{
+    uint8_t buf[64 * 1024];
+    for (;;) {
+        FrameParser::Result r = parser.next(f);
+        if (r == FrameParser::Result::Frame)
+            return true;
+        if (r == FrameParser::Result::Error) {
+            err = "protocol error: " + parser.error();
+            return false;
+        }
+        long n = recvSome(fd, buf, sizeof buf);
+        if (n > 0)
+            parser.feed(buf, static_cast<size_t>(n));
+        else if (n == -1)
+            continue;  // blocking socket: only with a timeout set
+        else {
+            err = n == 0 ? "connection closed" : "connection error";
+            return false;
+        }
+    }
+}
+
+/**
+ * Operator mode: ask the server at host:port to hand session `key` to
+ * the peer server, live.  Prints the server's Migrate Ack message.
+ */
+int
+runMigrate(const std::string& host, uint16_t port, const std::string& key,
+           const std::string& peerHost, uint16_t peerPort, bool json,
+           bool quiet)
+{
+    SockFd sock;
+    try {
+        sock = connectTcp(host, port);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "zclient: %s\n", e.what());
+        return 1;
+    }
+    FrameParser parser;
+    Frame f;
+    std::string err;
+    if (!readFrameBlocking(sock.get(), parser, f, err)) {
+        std::fprintf(stderr, "zclient: no Hello: %s\n", err.c_str());
+        return 1;
+    }
+    if (f.type == FrameType::Error) {
+        std::fprintf(stderr, "zclient: server error: %.*s\n",
+                     static_cast<int>(f.payload.size()),
+                     reinterpret_cast<const char*>(f.payload.data()));
+        return 3;
+    }
+    HelloInfo hi;
+    if (f.type != FrameType::Hello || !decodeHello(f.payload, hi) ||
+        hi.version != kProtocolVersion) {
+        std::fprintf(stderr, "zclient: bad Hello frame\n");
+        return 1;
+    }
+    std::vector<uint8_t> wire;
+    encodeMigrateRequest(wire, key, peerHost, peerPort);
+    if (!sendAll(sock.get(), wire.data(), wire.size())) {
+        std::fprintf(stderr, "zclient: send failed\n");
+        return 1;
+    }
+    // The Ack arrives once the session quiesces and the peer answers;
+    // anything else (Data for some other purpose) is skipped.
+    for (;;) {
+        if (!readFrameBlocking(sock.get(), parser, f, err)) {
+            std::fprintf(stderr,
+                         "zclient: no Migrate Ack before close: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        if (f.type == FrameType::Error) {
+            std::fprintf(stderr, "zclient: server error: %.*s\n",
+                         static_cast<int>(f.payload.size()),
+                         reinterpret_cast<const char*>(f.payload.data()));
+            return 3;
+        }
+        if (f.type != FrameType::Migrate)
+            continue;
+        bool ok = false;
+        std::string msg;
+        if (!decodeMigrateAck(f.payload, ok, msg)) {
+            std::fprintf(stderr, "zclient: malformed Migrate Ack\n");
+            return 1;
+        }
+        if (json)
+            std::printf("{\"migrated\":%s,\"message\":\"%s\"}\n",
+                        ok ? "true" : "false", msg.c_str());
+        else if (!quiet)
+            std::printf("%s: %s\n",
+                        ok ? "migrated" : "migration rejected",
+                        msg.c_str());
+        return ok ? 0 : 3;
+    }
+}
+
+/** One attach + stream attempt against a keyed session. */
+enum class SessionTurn : uint8_t {
+    Done,      ///< server End received — session complete
+    Redirect,  ///< Migrate Redirect — re-attach at nextHost:nextPort
+    Lost,      ///< connection lost mid-session — reconnect and retry
+    Fatal,     ///< unrecoverable (server Error frame / protocol break)
+};
+
+struct SessionState
+{
+    std::vector<uint8_t> input;  ///< full input byte stream
+    std::vector<uint8_t> out;    ///< output received so far (dedup'd)
+    std::vector<uint8_t> ctrl;   ///< Halt payload, if any
+    uint32_t inW = 0, outW = 0;  ///< widths from the first greeting
+    uint64_t attaches = 0;       ///< successful attach count
+    int fatalRc = 1;             ///< exit code when Fatal
+};
+
+/**
+ * Connect, attach with the current received-byte count, resume sending
+ * input from the element the server names, and pump both directions
+ * with poll() until End / Redirect / loss.  A single thread suffices
+ * here because the send side stages bounded chunks and always returns
+ * to the poll loop, so server output is drained concurrently.
+ */
+SessionTurn
+sessionAttempt(const std::string& host, uint16_t port,
+               const std::string& key, uint64_t elemsPerFrame,
+               const std::function<void()>& buildInput, SessionState& st,
+               std::string& nextHost, uint16_t& nextPort, bool quiet)
+{
+    SockFd sock;
+    try {
+        sock = connectTcp(host, port);
+    } catch (const std::exception& e) {
+        if (!quiet)
+            std::fprintf(stderr, "zclient: %s\n", e.what());
+        return SessionTurn::Lost;
+    }
+
+    FrameParser parser;
+    Frame f;
+    std::string err;
+    if (!readFrameBlocking(sock.get(), parser, f, err))
+        return SessionTurn::Lost;
+    if (f.type == FrameType::Error) {
+        std::fprintf(stderr, "zclient: server error: %.*s\n",
+                     static_cast<int>(f.payload.size()),
+                     reinterpret_cast<const char*>(f.payload.data()));
+        st.fatalRc = 3;
+        return SessionTurn::Fatal;
+    }
+    HelloInfo hi;
+    if (f.type != FrameType::Hello || !decodeHello(f.payload, hi) ||
+        hi.version != kProtocolVersion) {
+        std::fprintf(stderr, "zclient: bad Hello frame\n");
+        return SessionTurn::Fatal;
+    }
+    if (st.attaches == 0) {
+        st.inW = hi.inWidth;
+        st.outW = hi.outWidth;
+        buildInput();  // input is shaped by the pipeline's in-width
+    } else if (st.inW != hi.inWidth || st.outW != hi.outWidth) {
+        std::fprintf(stderr,
+                     "zclient: peer pipeline widths differ (%u/%u vs "
+                     "%u/%u)\n",
+                     hi.inWidth, hi.outWidth, st.inW, st.outW);
+        return SessionTurn::Fatal;
+    }
+
+    // Attach: tell the server how much output we already hold; its
+    // resume Hello names the input element to continue from.
+    {
+        std::vector<uint8_t> wire;
+        encodeAttachHello(wire, key, st.out.size());
+        if (!sendAll(sock.get(), wire.data(), wire.size()))
+            return SessionTurn::Lost;
+    }
+    if (!readFrameBlocking(sock.get(), parser, f, err))
+        return SessionTurn::Lost;
+    if (f.type == FrameType::Error) {
+        std::fprintf(stderr, "zclient: attach rejected: %.*s\n",
+                     static_cast<int>(f.payload.size()),
+                     reinterpret_cast<const char*>(f.payload.data()));
+        st.fatalRc = 3;
+        return SessionTurn::Fatal;
+    }
+    if (f.type != FrameType::Hello || !decodeHello(f.payload, hi) ||
+        !hi.hasResume) {
+        std::fprintf(stderr, "zclient: bad resume Hello\n");
+        return SessionTurn::Fatal;
+    }
+    uint64_t sendPos = hi.resumeElems * st.inW;
+    if (sendPos > st.input.size()) {
+        std::fprintf(stderr,
+                     "zclient: server resumes at element %llu but only "
+                     "%zu were ever sent\n",
+                     static_cast<unsigned long long>(hi.resumeElems),
+                     st.input.size() / (st.inW ? st.inW : 1));
+        return SessionTurn::Fatal;
+    }
+    ++st.attaches;
+
+    // Pump: poll-driven, nonblocking, bounded staged send buffer.
+    setNonBlocking(sock.get());
+    uint64_t frameBytes = elemsPerFrame * st.inW;
+    std::vector<uint8_t> txBuf;
+    size_t txPos = 0;
+    bool endStaged = false;
+    uint8_t rbuf[64 * 1024];
+    constexpr size_t kStageTarget = 256 * 1024;
+    for (;;) {
+        while (!endStaged && txBuf.size() - txPos < kStageTarget) {
+            if (sendPos < st.input.size()) {
+                size_t chunk = std::min<size_t>(
+                    frameBytes, st.input.size() - sendPos);
+                encodeFrame(txBuf, FrameType::Data,
+                            st.input.data() + sendPos, chunk);
+                sendPos += chunk;
+            } else {
+                encodeFrame(txBuf, FrameType::End);
+                endStaged = true;
+            }
+        }
+
+        pollfd p{sock.get(),
+                 static_cast<short>(POLLIN |
+                                    (txPos < txBuf.size() ? POLLOUT : 0)),
+                 0};
+        int pr = ::poll(&p, 1, 200);
+        if (pr < 0 && errno != EINTR)
+            return SessionTurn::Lost;
+
+        if (p.revents & POLLOUT) {
+            ssize_t n = ::send(sock.get(), txBuf.data() + txPos,
+                               txBuf.size() - txPos, MSG_NOSIGNAL);
+            if (n > 0) {
+                txPos += static_cast<size_t>(n);
+                if (txPos == txBuf.size()) {
+                    txBuf.clear();
+                    txPos = 0;
+                }
+            } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR) {
+                return SessionTurn::Lost;
+            }
+        }
+
+        if (p.revents & (POLLIN | POLLERR | POLLHUP)) {
+            long n = recvSome(sock.get(), rbuf, sizeof rbuf);
+            if (n > 0)
+                parser.feed(rbuf, static_cast<size_t>(n));
+            else if (n != -1)
+                return SessionTurn::Lost;
+        }
+
+        for (;;) {
+            FrameParser::Result r = parser.next(f);
+            if (r == FrameParser::Result::NeedMore)
+                break;
+            if (r == FrameParser::Result::Error) {
+                std::fprintf(stderr, "zclient: protocol error: %s\n",
+                             parser.error().c_str());
+                return SessionTurn::Fatal;
+            }
+            switch (f.type) {
+              case FrameType::Data:
+                st.out.insert(st.out.end(), f.payload.begin(),
+                              f.payload.end());
+                break;
+              case FrameType::Halt:
+                st.ctrl = f.payload;
+                break;
+              case FrameType::End:
+                return SessionTurn::Done;
+              case FrameType::Error:
+                std::fprintf(
+                    stderr, "zclient: server error: %.*s\n",
+                    static_cast<int>(f.payload.size()),
+                    reinterpret_cast<const char*>(f.payload.data()));
+                st.fatalRc = 3;
+                return SessionTurn::Fatal;
+              case FrameType::Migrate: {
+                if (f.payload.empty() ||
+                    f.payload[0] !=
+                        static_cast<uint8_t>(MigrateSub::Redirect))
+                    break;  // not addressed to a data client
+                if (!decodeMigrateRedirect(f.payload, nextHost,
+                                           nextPort)) {
+                    std::fprintf(stderr,
+                                 "zclient: malformed Redirect\n");
+                    return SessionTurn::Fatal;
+                }
+                if (!quiet)
+                    std::fprintf(stderr,
+                                 "zclient: redirected to %s:%u\n",
+                                 nextHost.c_str(), nextPort);
+                return SessionTurn::Redirect;
+              }
+              case FrameType::Hello:
+              case FrameType::Stat:
+              case FrameType::Checkpoint:
+                break;  // metadata: not part of the resumed stream
+            }
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -201,6 +545,9 @@ main(int argc, char** argv)
     bool json = false;
     bool quiet = false;
     bool statMode = false;
+    std::string sessionKey, migrateKey, peerHost;
+    long peerPort = 0;
+    long retryMs = 10000;
 
     auto needVal = [&](int& i) -> const char* {
         return i + 1 < argc ? argv[++i] : nullptr;
@@ -238,6 +585,16 @@ main(int argc, char** argv)
             quiet = true;
         } else if (a == "--stat") {
             statMode = true;
+        } else if (a == "--session" && (v = needVal(i))) {
+            sessionKey = v;
+        } else if (a == "--retry-ms" && (v = needVal(i))) {
+            retryMs = std::atol(v);
+        } else if (a == "--migrate" && (v = needVal(i))) {
+            migrateKey = v;
+        } else if (a == "--peer-host" && (v = needVal(i))) {
+            peerHost = v;
+        } else if (a == "--peer-port" && (v = needVal(i))) {
+            peerPort = std::atol(v);
         } else {
             std::fprintf(stderr, "zclient: unknown option %s\n",
                          a.c_str());
@@ -247,6 +604,132 @@ main(int argc, char** argv)
     if (port <= 0 || port > 65535 || elemsPerFrame == 0) {
         std::fprintf(stderr, "zclient: --port is required\n");
         return usage();
+    }
+
+    if (!migrateKey.empty()) {
+        if (peerHost.empty() || peerPort <= 0 || peerPort > 65535) {
+            std::fprintf(stderr,
+                         "zclient: --migrate needs --peer-host and "
+                         "--peer-port\n");
+            return usage();
+        }
+        if (!validSessionKey(migrateKey)) {
+            std::fprintf(stderr, "zclient: invalid session key\n");
+            return usage();
+        }
+        return runMigrate(host, static_cast<uint16_t>(port), migrateKey,
+                          peerHost, static_cast<uint16_t>(peerPort), json,
+                          quiet);
+    }
+
+    if (!sessionKey.empty()) {
+        if (!validSessionKey(sessionKey)) {
+            std::fprintf(stderr, "zclient: invalid session key\n");
+            return usage();
+        }
+        if (statMode || abortMidframe || holdMs > 0 || slowReadMs > 0) {
+            std::fprintf(stderr,
+                         "zclient: --session cannot be combined with "
+                         "--stat/--abort-midframe/--hold-ms/"
+                         "--slow-read-ms\n");
+            return usage();
+        }
+        SessionState st;
+        auto buildInput = [&]() {
+            if (!inputPath.empty()) {
+                std::ifstream f(inputPath, std::ios::binary);
+                st.input.assign(std::istreambuf_iterator<char>(f),
+                                std::istreambuf_iterator<char>());
+                if (st.inW > 0)
+                    st.input.resize(st.input.size() -
+                                    st.input.size() % st.inW);
+                else
+                    st.input.clear();
+            } else if (st.inW > 0) {
+                Rng rng(seed);
+                st.input.resize(frames * elemsPerFrame * st.inW);
+                bool bitStream = st.inW == 1;
+                for (auto& b : st.input)
+                    b = bitStream ? rng.bit()
+                                  : static_cast<uint8_t>(rng.next());
+            }
+        };
+        std::string curHost = host, nextHost;
+        uint16_t curPort = static_cast<uint16_t>(port), nextPort = 0;
+        uint64_t outageStartNs = 0;
+        for (;;) {
+            uint64_t attachesBefore = st.attaches;
+            SessionTurn t = sessionAttempt(curHost, curPort, sessionKey,
+                                           elemsPerFrame, buildInput, st,
+                                           nextHost, nextPort, quiet);
+            if (t == SessionTurn::Done)
+                break;
+            if (t == SessionTurn::Fatal)
+                return st.fatalRc;
+            if (t == SessionTurn::Redirect) {
+                curHost = nextHost;
+                curPort = nextPort;
+                outageStartNs = 0;
+                continue;
+            }
+            // Lost: retry against the same server, bounded by
+            // --retry-ms of continuous failure (progress resets it).
+            uint64_t now = nowNs();
+            if (st.attaches > attachesBefore)
+                outageStartNs = 0;
+            if (outageStartNs == 0)
+                outageStartNs = now;
+            else if (now - outageStartNs >
+                     static_cast<uint64_t>(retryMs) * 1000000ull) {
+                std::fprintf(stderr,
+                             "zclient: gave up reconnecting to %s:%u "
+                             "after %ld ms\n",
+                             curHost.c_str(), curPort, retryMs);
+                return 1;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        if (!outPath.empty()) {
+            std::ofstream f(outPath, std::ios::binary);
+            f.write(reinterpret_cast<const char*>(st.out.data()),
+                    static_cast<std::streamsize>(st.out.size()));
+        }
+        int rc = 0;
+        std::string note;
+        if (!expectPath.empty()) {
+            std::ifstream f(expectPath, std::ios::binary);
+            std::vector<uint8_t> want(
+                (std::istreambuf_iterator<char>(f)),
+                std::istreambuf_iterator<char>());
+            if (want != st.out) {
+                note = "output mismatch vs " + expectPath;
+                rc = 1;
+            }
+        }
+        if (json) {
+            std::printf("{\"session\":\"%s\",\"sent_elems\":%llu,"
+                        "\"recv_bytes\":%zu,\"attaches\":%llu,"
+                        "\"halted\":%s,\"match\":%s}\n",
+                        sessionKey.c_str(),
+                        static_cast<unsigned long long>(
+                            st.inW ? st.input.size() / st.inW : 0),
+                        st.out.size(),
+                        static_cast<unsigned long long>(st.attaches),
+                        st.ctrl.empty() ? "false" : "true",
+                        rc == 0 ? "true" : "false");
+        } else if (!quiet) {
+            std::printf("session %s: sent %llu element(s), received "
+                        "%zu byte(s) over %llu attach(es)\n",
+                        sessionKey.c_str(),
+                        static_cast<unsigned long long>(
+                            st.inW ? st.input.size() / st.inW : 0),
+                        st.out.size(),
+                        static_cast<unsigned long long>(st.attaches));
+            if (!note.empty())
+                std::printf("%s\n", note.c_str());
+        }
+        return rc;
     }
 
     SockFd sock;
