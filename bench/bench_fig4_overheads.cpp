@@ -198,6 +198,26 @@ overheadCheck()
     printf("ns_per_datum_fused %.2f\n", fusedNs);
     printf("fused_vs_vm_speedup %.2f\n", vmNs / fusedNs);
 
+    // Native-backend off-path: zcgen (emit + dlopen codegen) is linked
+    // into every build, but Backend::Native is a compile-time branch in
+    // the node builder — the region emitter, the compiler probe, and
+    // the shared-object cache only run when selected.  A vm or fused
+    // build must therefore cost what it always did.  Both hot paths are
+    // remeasured here with the native backend available but NOT
+    // selected; check_overhead.sh gates them against their twins from
+    // this same invocation (base path and ns_per_datum_fused).
+    double nativeOffVm = 1e18, nativeOffFz = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+        nativeOffVm =
+            std::min(nativeOffVm, nsPerDatum(pipeChainRepeat(CHAIN), N,
+                                             false, false, Backend::Vm));
+        nativeOffFz = std::min(nativeOffFz,
+                               nsPerDatum(pipeChainRepeat(CHAIN), N,
+                                          false, false, Backend::Fused));
+    }
+    printf("ns_per_datum_native_off %.2f\n", nativeOffVm);
+    printf("ns_per_datum_native_off_fused %.2f\n", nativeOffFz);
+
     // Checkpoint off-path: without --checkpoint the run loop must not
     // pay for the snapshot machinery's existence (no journaling, no
     // cadence checks beyond one branch).  ns_per_datum_ckpt_off is

@@ -160,7 +160,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: zirrun FILE.zir [--opt none|vect|all] "
-                 "[--backend vm|fused]\n"
+                 "[--backend vm|fused|native]\n"
+                 "              [--cgen-cache-dir DIR]\n"
                  "              [--dump] [--bytes N]\n"
                  "              [--profile[=FILE]] [--trace-passes[=N]]\n"
                  "              [--latency-budget-us N] "
@@ -355,6 +356,7 @@ main(int argc, char** argv)
     std::string timelinePath; // --trace-timeline (empty = off)
     long spanFrame = 256;     // --span-frame
     std::string ckptDir;      // --ckpt-dir (empty = no durable store)
+    std::string cgenCacheDir; // --cgen-cache-dir (empty = default cache)
     double ckptIntervalMs = 200;  // --ckpt-interval-ms (listen mode)
     std::string outPath;      // --out (solo output byte stream)
     for (int i = 2; i < argc; ++i) {
@@ -385,13 +387,16 @@ main(int argc, char** argv)
                 backend = Backend::Vm;
             } else if (v == "fused") {
                 backend = Backend::Fused;
+            } else if (v == "native") {
+                backend = Backend::Native;
             } else {
                 std::fprintf(stderr,
                              "zirrun: invalid --backend value '%s' "
-                             "(expected vm|fused)\n", v.c_str());
+                             "(expected vm|fused|native)\n", v.c_str());
                 return kExitUserError;
             }
-            backendName = v == "vm" ? "vm" : "fused";
+            backendName = v == "vm" ? "vm"
+                                    : (v == "fused" ? "fused" : "native");
         } else if (a == "--bytes" && i + 1 < argc) {
             const char* s = argv[++i];
             char* end = nullptr;
@@ -570,6 +575,15 @@ main(int argc, char** argv)
                              argv[i]);
                 return kExitUserError;
             }
+        } else if (a == "--cgen-cache-dir" && i + 1 < argc) {
+            cgenCacheDir = argv[++i];
+        } else if (a.rfind("--cgen-cache-dir=", 0) == 0) {
+            cgenCacheDir = a.substr(strlen("--cgen-cache-dir="));
+            if (cgenCacheDir.empty()) {
+                std::fprintf(stderr, "zirrun: --cgen-cache-dir needs a "
+                                     "directory\n");
+                return kExitUserError;
+            }
         } else if (a == "--ckpt-dir" && i + 1 < argc) {
             ckptDir = argv[++i];
         } else if (a.rfind("--ckpt-dir=", 0) == 0) {
@@ -632,6 +646,16 @@ main(int argc, char** argv)
                      "zirrun: --ckpt-dir and --deadline-ms are mutually "
                      "exclusive (the threaded executor has no snapshot "
                      "contract to persist)\n");
+        return kExitUserError;
+    }
+    if (!ckptDir.empty() && backend == Backend::Native) {
+        std::fprintf(stderr,
+                     "zirrun: --ckpt-dir is not supported with "
+                     "--backend=native: compiled regions do not expose a "
+                     "serializable state image; use --backend=fused or "
+                     "--backend=vm for durable checkpoints "
+                     "(docs/ROBUSTNESS.md, \"Checkpointing & "
+                     "migration\")\n");
         return kExitUserError;
     }
     if (!ckptDir.empty() && !listen && !faultStr.empty()) {
@@ -704,6 +728,7 @@ main(int argc, char** argv)
         // unconditionally is harmless: the pipeline ignores it when no
         // restart ever fires.
         copt.checkpoint.interval = checkpointElems;
+        copt.cgenCacheDir = cgenCacheDir;
 
         if (threaded)
             tp = compileThreadedPipeline(program, copt, &rep);
@@ -720,6 +745,15 @@ main(int argc, char** argv)
                         "%d fallback(s)\n",
                         rep.fuse.nodesFused, rep.fuse.fusedOps,
                         rep.fuse.channels, rep.fuse.fallbacks);
+        if (backend == Backend::Native)
+            std::printf("cgen %d region(s): %d native (%s, %.1f ms, "
+                        "%d bridge(s)), %d fallback(s)\n",
+                        rep.cgen.regions,
+                        rep.cgen.regions - rep.cgen.fallbacks,
+                        rep.cgen.cacheHits > 0 ? "cache hit"
+                                               : "compiled",
+                        rep.cgen.compileSec * 1e3,
+                        rep.cgen.hostBridges, rep.cgen.fallbacks);
         if (dump) {
             CompPtr opt = optimizeComp(program,
                                        CompilerOptions::forLevel(level));

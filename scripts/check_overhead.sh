@@ -15,6 +15,11 @@
 #   ckptdir_off checkpoint cadence configured but no --ckpt-dir durable
 #               store attached (the default): each cadence boundary
 #               pays one null check for the store pointer, nothing else
+#   native_off  vm and fused hot paths with the native codegen backend
+#               (zcgen: emit + dlopen + .so cache) linked in but NOT
+#               selected — region emission and the compiler probe only
+#               run under --backend=native, so both paths must cost
+#               what they always did
 #
 # Gating is *within one invocation*: every off-path key is compared
 # against a same-invocation twin that executes the identical pipeline
@@ -57,8 +62,12 @@ measure() {
     ckpt_off=$(echo "$out" | awk '/^ns_per_datum_ckpt_off/ {print $2}')
     ckpt_on=$(echo "$out" | awk '/^ns_per_datum_ckpt_on/ {print $2}')
     ckptdir_off=$(echo "$out" | awk '/^ns_per_datum_ckptdir_off/ {print $2}')
+    fused=$(echo "$out" | awk '/^ns_per_datum_fused / {print $2}')
+    native_off=$(echo "$out" | awk '/^ns_per_datum_native_off / {print $2}')
+    native_off_fz=$(echo "$out" | awk '/^ns_per_datum_native_off_fused/ {print $2}')
     if [ -z "$disabled" ] || [ -z "$spans_off" ] || [ -z "$vm_backend" ] ||
-       [ -z "$ckpt_off" ] || [ -z "$ckpt_on" ] || [ -z "$ckptdir_off" ];
+       [ -z "$ckpt_off" ] || [ -z "$ckpt_on" ] || [ -z "$ckptdir_off" ] ||
+       [ -z "$fused" ] || [ -z "$native_off" ] || [ -z "$native_off_fz" ];
     then
         echo "check_overhead: could not parse benchmark output" >&2
         exit 1
@@ -76,11 +85,15 @@ fold_mins() {
     ckpt_off=$(min "$c0" "$ckpt_off")
     ckpt_on=$(min "$n0" "$ckpt_on")
     ckptdir_off=$(min "$k0" "$ckptdir_off")
+    fused=$(min "$f0" "$fused")
+    native_off=$(min "$g0" "$native_off")
+    native_off_fz=$(min "$h0" "$native_off_fz")
 }
 
 save_cur() {
     d0=$disabled s0=$spans_off v0=$vm_backend
     c0=$ckpt_off n0=$ckpt_on k0=$ckptdir_off
+    f0=$fused g0=$native_off h0=$native_off_fz
 }
 
 record_baseline() {
@@ -88,6 +101,7 @@ record_baseline() {
         printf 'instrument %s\nspans_off %s\nvm_backend %s\n' \
             "$disabled" "$spans_off" "$vm_backend"
         printf 'ckpt_off %s\nckptdir_off %s\n' "$ckpt_off" "$ckptdir_off"
+        printf 'native_off %s\n' "$native_off"
     } > "$BASELINE"
 }
 
@@ -103,7 +117,7 @@ if [ "$1" = "--update-baseline" ] || [ ! -f "$BASELINE" ]; then
     echo "check_overhead: baseline recorded" \
          "(instrument $disabled, spans_off $spans_off," \
          "vm_backend $vm_backend, ckpt_off $ckpt_off," \
-         "ckptdir_off $ckptdir_off ns/datum)"
+         "ckptdir_off $ckptdir_off, native_off $native_off ns/datum)"
     exit 0
 fi
 
@@ -115,7 +129,9 @@ while :; do
     for pair in "spans_off:$spans_off:$disabled" \
                 "vm_backend:$vm_backend:$disabled" \
                 "ckpt_off:$ckpt_off:$disabled" \
-                "ckptdir_off:$ckptdir_off:$ckpt_on"; do
+                "ckptdir_off:$ckptdir_off:$ckpt_on" \
+                "native_off:$native_off:$disabled" \
+                "native_off_fz:$native_off_fz:$fused"; do
         name=${pair%%:*}
         rest=${pair#*:}
         cur=${rest%%:*}

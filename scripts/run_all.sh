@@ -88,6 +88,14 @@ ctest --test-dir build -L latency --output-on-failure 2>&1 \
 ctest --test-dir build -L fuse --output-on-failure 2>&1 \
     | tee fuse_output.txt
 sh scripts/soak.sh fuse 2>&1 | tee -a fuse_output.txt
+# Native-codegen suites (label `cgen`): vm-vs-fused-vs-native
+# differential matrix, native golden-vector conformance, the .so cache
+# (miss/hit/corruption quarantine), and the compile-time refusal cells
+# (docs/CODEGEN.md) — then the CLI cgen soak (--backend=native x fault
+# x restart x serve plus the warm-cache byte-equality check).
+ctest --test-dir build -L cgen -E soak_cgen --output-on-failure 2>&1 \
+    | tee cgen_output.txt
+sh scripts/soak.sh cgen 2>&1 | tee -a cgen_output.txt
 sh scripts/check_overhead.sh 2>&1 | tee overhead_output.txt
 {
     for b in build/bench/*; do

@@ -16,7 +16,10 @@
 # The fuse matrix (docs/FUSION.md) runs the same fault x restart grid
 # with `--backend=fused`: the fused bytecode interpreter must compose
 # with every robustness control exactly like the VM — same exit code in
-# every cell.
+# every cell.  The cgen matrix (docs/CODEGEN.md) repeats that grid with
+# `--backend=native` (dlopen'd compiled regions), adds the loud-refusal
+# cells (stage restart / checkpointing) and a warm-.so-cache
+# byte-equality check.
 #
 # The migrate matrix (docs/ROBUSTNESS.md, "Checkpointing & migration")
 # checks the zero-loss claims end to end through the CLI: a faulted run
@@ -32,7 +35,7 @@
 # a live session migration between two servers under neighbor load and
 # a rejected migration (dead peer) that must roll back losslessly.
 #
-# Usage: scripts/soak.sh [fault|recovery|serve|fuse|migrate|crash|all]
+# Usage: scripts/soak.sh [fault|recovery|serve|fuse|cgen|migrate|crash|all]
 #        (default: all); BUILD_DIR=build-tsan scripts/soak.sh
 cd "$(dirname "$0")/.." || exit 1
 BUILD="${BUILD_DIR:-build}"
@@ -41,9 +44,9 @@ MODE="${1:-all}"
 DEADLINE_S=30   # per-case wall-clock budget (timeout -> case failed)
 
 case "$MODE" in
-  fault|recovery|serve|fuse|migrate|crash|all) ;;
+  fault|recovery|serve|fuse|cgen|migrate|crash|all) ;;
   *) echo "soak: unknown mode '$MODE'" \
-          "(want fault|recovery|serve|fuse|migrate|crash|all)" >&2
+          "(want fault|recovery|serve|fuse|cgen|migrate|crash|all)" >&2
      exit 2 ;;
 esac
 
@@ -274,6 +277,82 @@ fuse_matrix() {
             $BIN examples/zir/scrambler.zir --opt none --backend=fused \
             --serve=2000 --inject-fault throw@100 --restart 3 \
             --backoff-ms 1
+}
+
+# Cgen matrix: {backend=native} x {fault} x {restart} x {serve}.  The
+# native backend dlopens compiled regions behind the same ExecNode seam
+# (docs/CODEGEN.md), so every robustness cell must exit exactly like
+# its VM/fused twins; the refusal cells pin the loud compile-time
+# errors for the unsupported combinations, and the warm-cache cell
+# proves a second run (served from the .so cache) emits the same
+# summary as the cold one.  Runs against a private cache dir so the
+# matrix is deterministic and leaves nothing behind.
+cgen_matrix() {
+    cache=$(mktemp -d /tmp/ziria-soak-cgen.XXXXXX)
+
+    for prog in examples/zir/scrambler.zir examples/zir/pipeline.zir; do
+        name=$(basename "$prog" .zir)
+        for opt in none all; do
+            tag="cgen/$name/$opt"
+            c="$BIN $prog --opt $opt --backend=native \
+               --cgen-cache-dir $cache --bytes 4096"
+            check 0 "$tag clean"     $c
+            check 0 "$tag truncate"  $c --inject-fault truncate@4
+            check 0 "$tag shortread" $c --inject-fault shortread@0:7
+            check 3 "$tag throw"     $c --inject-fault throw@2
+            check 0 "$tag transient throw heals" \
+                    $c --inject-fault throw@4 --restart 3 --backoff-ms 1
+            check 5 "$tag permanent throw exhausts" \
+                    $c --inject-fault throw@4:0 --restart 2 --backoff-ms 1
+        done
+    done
+
+    # Threaded supervision over per-partition native regions.
+    c="$BIN examples/zir/pipeline.zir --opt none --backend=native \
+       --cgen-cache-dir $cache --bytes 4096"
+    check 0 "cgen/pipeline supervised clean" $c --deadline-ms 2000
+    check 4 "cgen/pipeline stall supervised" $c \
+            --inject-fault stall@2:30000 --deadline-ms 250
+    check 0 "cgen/pipeline stall heals" $c --inject-fault stall@2:30000 \
+            --deadline-ms 250 --restart 2 --backoff-ms 1
+
+    # Long-running serve loop on compiled regions: a transient crash
+    # costs one frame, not the loop (reset() re-arm under restart).
+    check 0 "cgen/serve transient throw" \
+            $BIN examples/zir/scrambler.zir --opt none --backend=native \
+            --cgen-cache-dir "$cache" --serve=2000 \
+            --inject-fault throw@100 --restart 3 --backoff-ms 1
+
+    # Loud refusals (docs/ROBUSTNESS.md support matrix): both are user
+    # errors at compile time, never silent fallbacks.
+    check 2 "cgen/refuse stage restart" \
+            $BIN examples/zir/pipeline.zir --backend=native --bytes 4096 \
+            --restart 2 --restart-scope stage
+    check 2 "cgen/refuse checkpoint" \
+            $BIN examples/zir/scrambler.zir --backend=native --bytes 4096 \
+            --restart 1 --checkpoint=64
+    ckd=$(mktemp -d /tmp/ziria-soak-cgen-ckd.XXXXXX)
+    check 2 "cgen/refuse ckpt-dir" \
+            $BIN examples/zir/scrambler.zir --backend=native --bytes 4096 \
+            --restart 1 --checkpoint=64 --ckpt-dir "$ckd"
+    rm -rf "$ckd"
+
+    # Warm cache: the second clean run must be served from the .so
+    # cache and print the identical output summary.
+    sc="$BIN examples/zir/scrambler.zir --opt none --backend=native \
+        --cgen-cache-dir $cache --bytes 4096"
+    a=$(timeout "$DEADLINE_S" sh -c "$sc" 2>/dev/null | grep '^consumed')
+    b=$(timeout "$DEADLINE_S" sh -c "$sc" 2>/dev/null | grep '^consumed')
+    if [ -z "$a" ] || [ -z "$b" ] || [ "$a" != "$b" ]; then
+        echo "FAIL cgen/warm cache: cold and warm summaries differ"
+        echo "  cold: $a"
+        echo "  warm: $b"
+        fail=$((fail + 1))
+    else
+        pass=$((pass + 1))
+    fi
+
+    rm -rf "$cache"
 }
 
 # Migrate matrix: checkpointed restart byte-equality, per-stage restart,
@@ -616,10 +695,11 @@ case "$MODE" in
   recovery) recovery_matrix ;;
   serve)    serve_matrix ;;
   fuse)     fuse_matrix ;;
+  cgen)     cgen_matrix ;;
   migrate)  migrate_matrix ;;
   crash)    crash_matrix ;;
   all)      fault_matrix; recovery_matrix; serve_matrix; fuse_matrix;
-            migrate_matrix; crash_matrix ;;
+            cgen_matrix; migrate_matrix; crash_matrix ;;
 esac
 
 echo "soak($MODE): $pass passed, $fail failed"

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The host <-> generated-code ABI for the native backend.
+ *
+ * A generated region is `extern "C" int zr_region_<i>(ZrCtx*)` returning
+ * the ExecNode status (0 = Yield, 1 = NeedInput, 2 = Done).  The host
+ * (CgenNode) points the context at its frame/state/register spaces
+ * before each call; the generated code reads and writes them directly
+ * and calls back through the function pointers for closures it could
+ * not inline (host bridges), LUTs, and runtime diagnostics (traps throw
+ * FatalError host-side so messages match the interpreter byte-for-byte).
+ *
+ * This struct is mirrored TEXTUALLY into every emitted translation unit
+ * (zcgen/emit.cc, kPreamble) — keep the two in lock-step and bump
+ * kZrAbiVersion on any layout change; the loader refuses objects whose
+ * `zr_abi` symbol disagrees, so a stale cache can never be dereferenced
+ * with the wrong layout.
+ */
+#ifndef ZIRIA_ZCGEN_ABI_H
+#define ZIRIA_ZCGEN_ABI_H
+
+#include <cstdint>
+
+namespace ziria {
+namespace zcgen {
+
+constexpr int kZrAbiVersion = 1;
+
+extern "C" {
+
+struct ZrCtx
+{
+    uint8_t* fr;            ///< pipeline frame base
+    uint8_t* st;            ///< region-private state block
+    int64_t* regs;          ///< integer registers
+    uint32_t* chProdPc;     ///< per-channel producer continuation
+    uint32_t* chConsPc;     ///< per-channel consumer continuation
+    uint8_t* chFull;        ///< per-channel occupancy flag
+    uint32_t pc;            ///< parked program counter
+    uint32_t pad_;
+    uint64_t spins;         ///< repeat livelock guard
+    const uint8_t* outPtr;  ///< last yielded element
+    const uint8_t* ctrlPtr; ///< control value after Done
+    uint64_t ctrlWidth;     ///< mutated by the Ctrl instruction
+
+    void* host;             ///< the owning CgenNode
+    void (*hostInto)(void* host, int32_t idx, uint8_t* dst);
+    int64_t (*hostInt)(void* host, int32_t idx);
+    void (*hostAction)(void* host, int32_t idx);
+    void (*hostLut)(void* host, int32_t idx, uint8_t* dst);
+    void (*trapMsg)(void* host, const char* msg);
+    void (*trapIndex)(void* host, int64_t k, int64_t n);
+    void (*trapSlice)(void* host, int64_t k, int64_t kEnd, int64_t n);
+};
+
+/** Signature of a generated region entry point. */
+typedef int (*ZrRegionFn)(ZrCtx*);
+
+} // extern "C"
+
+} // namespace zcgen
+} // namespace ziria
+
+#endif // ZIRIA_ZCGEN_ABI_H

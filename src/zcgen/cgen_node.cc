@@ -1,0 +1,342 @@
+/**
+ * @file
+ * The native region node and the native build driver.
+ *
+ * CgenNode is the dlopen'd counterpart of FusedNode: the same state
+ * spaces (registers, private state block, channel continuations), the
+ * same parked-pc protocol with the driver, but advance() calls straight
+ * into compiled machine code through the ZrCtx ABI (zcgen/abi.h).  When
+ * no region function is bound — no compiler on the host, a failed
+ * compile, a missing symbol — the node lazily instantiates the bytecode
+ * interpreter over the very same FuseProgram and delegates to it, so
+ * the fallback ladder (native -> fused) never changes observable
+ * behaviour, only speed.
+ *
+ * buildNodeNative reuses the fused backend's region walk
+ * (buildNodeFusedWith) and then emits + compiles ONE translation unit
+ * covering every region, so a pipeline pays at most one compiler
+ * invocation (usually zero: the shared-object cache in jit.cc).
+ */
+#include "zcgen/cgen.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/metrics.h"
+#include "support/panic.h"
+#include "zcgen/abi.h"
+#include "zcgen/emit.h"
+
+namespace ziria {
+
+using zfuse::FuseProgram;
+using zfuse::Instr;
+using zfuse::Op;
+
+namespace {
+
+class CgenNode : public ExecNode
+{
+  public:
+    explicit CgenNode(std::shared_ptr<const FuseProgram> prog)
+        : prog_(std::move(prog))
+    {
+        regs_.resize(prog_->nRegs, 0);
+        state_.resize(prog_->stateBytes, 0);
+        chProdPc_.resize(prog_->channels.size(), 0);
+        chConsPc_.resize(prog_->channels.size(), 0);
+        chFull_.resize(prog_->channels.size(), 0);
+        setInWidth(prog_->inWidth);
+        setOutWidth(prog_->outWidth);
+        setCtrlWidth(prog_->ctrlWidth);
+
+        std::memset(&ctx_, 0, sizeof(ctx_));
+        ctx_.st = state_.data();
+        ctx_.regs = regs_.data();
+        ctx_.chProdPc = chProdPc_.data();
+        ctx_.chConsPc = chConsPc_.data();
+        ctx_.chFull = chFull_.data();
+        ctx_.ctrlWidth = prog_->ctrlWidth;
+        ctx_.host = this;
+        ctx_.hostInto = &CgenNode::cbInto;
+        ctx_.hostInt = &CgenNode::cbInt;
+        ctx_.hostAction = &CgenNode::cbAction;
+        ctx_.hostLut = &CgenNode::cbLut;
+        ctx_.trapMsg = &CgenNode::cbTrapMsg;
+        ctx_.trapIndex = &CgenNode::cbTrapIndex;
+        ctx_.trapSlice = &CgenNode::cbTrapSlice;
+    }
+
+    const FuseProgram& program() const { return *prog_; }
+
+    /** Point this region at its compiled entry (keeps the .so alive). */
+    void
+    bindNative(std::shared_ptr<zcgen::Library> lib, zcgen::ZrRegionFn fn)
+    {
+        lib_ = std::move(lib);
+        fn_ = fn;
+    }
+
+    bool bound() const { return fn_ != nullptr; }
+
+    void
+    start(Frame& f) override
+    {
+        if (!fn_) {
+            interp(f).start(f);
+            return;
+        }
+        std::fill(regs_.begin(), regs_.end(), 0);
+        std::fill(state_.begin(), state_.end(), 0);
+        std::fill(chProdPc_.begin(), chProdPc_.end(), 0);
+        std::fill(chConsPc_.begin(), chConsPc_.end(), 0);
+        std::fill(chFull_.begin(), chFull_.end(), 0);
+        ctx_.pc = 0;
+        ctx_.spins = 0;
+        ctx_.outPtr = nullptr;
+        ctx_.ctrlPtr = nullptr;
+    }
+
+    Status
+    advance(Frame& f) override
+    {
+        if (!fn_) {
+            Status s = interp(f).advance(f);
+            setCtrlWidth(interp_->ctrlWidth());
+            return s;
+        }
+        ctx_.fr = f.at(0);
+        curFrame_ = &f;
+        int rc = fn_(&ctx_);
+        setCtrlWidth(ctx_.ctrlWidth);
+        return static_cast<Status>(rc);
+    }
+
+    void
+    supply(Frame& f, const uint8_t* in) override
+    {
+        if (!fn_) {
+            interp(f).supply(f, in);
+            return;
+        }
+        // Mirror FusedNode::supply: write into the parked take's
+        // destination and re-arm it.
+        const Instr& i = prog_->instrs[ctx_.pc];
+        switch (i.op) {
+          case Op::TakeExt:
+            std::memcpy(loc(f, i.a), in, i.b);
+            regs_[i.c] = 1;
+            break;
+          case Op::TakeManyExt:
+            std::memcpy(loc(f, i.a) + regs_[i.c] * i.b, in, i.b);
+            ++regs_[i.c];
+            break;
+          default:
+            panic("CgenNode::supply: not parked on an external take");
+        }
+    }
+
+    const uint8_t*
+    out() const override
+    {
+        return fn_ ? ctx_.outPtr : (interp_ ? interp_->out() : nullptr);
+    }
+
+    const uint8_t*
+    ctrl() const override
+    {
+        return fn_ ? ctx_.ctrlPtr : (interp_ ? interp_->ctrl() : nullptr);
+    }
+
+    void
+    snapshot(const Frame&, StateWriter&) const override
+    {
+        fatalf("--backend=native does not support state snapshots; use "
+               "--backend=fused or --backend=vm for checkpointing "
+               "(docs/ROBUSTNESS.md, \"Checkpointing & migration\")");
+    }
+
+    void
+    restore(Frame&, StateReader&) override
+    {
+        fatalf("--backend=native does not support state restore; use "
+               "--backend=fused or --backend=vm for checkpointing "
+               "(docs/ROBUSTNESS.md, \"Checkpointing & migration\")");
+    }
+
+  private:
+    uint8_t*
+    loc(Frame& f, uint32_t enc)
+    {
+        return (enc & zfuse::kFrameBit)
+            ? f.at(enc & ~zfuse::kFrameBit)
+            : state_.data() + enc;
+    }
+
+    /** The lazy fallback interpreter over the same program. */
+    FusedNode&
+    interp(Frame&)
+    {
+        if (!interp_)
+            interp_ = std::make_unique<FusedNode>(prog_);
+        return *interp_;
+    }
+
+    // ---- host callbacks from generated code --------------------------
+
+    static void
+    cbInto(void* host, int32_t idx, uint8_t* dst)
+    {
+        auto* n = static_cast<CgenNode*>(host);
+        n->prog_->intoFns[idx](*n->curFrame_, dst);
+    }
+
+    static int64_t
+    cbInt(void* host, int32_t idx)
+    {
+        auto* n = static_cast<CgenNode*>(host);
+        return n->prog_->intFns[idx](*n->curFrame_);
+    }
+
+    static void
+    cbAction(void* host, int32_t idx)
+    {
+        auto* n = static_cast<CgenNode*>(host);
+        n->prog_->actions[idx](*n->curFrame_);
+    }
+
+    static void
+    cbLut(void* host, int32_t idx, uint8_t* dst)
+    {
+        auto* n = static_cast<CgenNode*>(host);
+        n->prog_->luts[idx]->apply(*n->curFrame_, dst);
+    }
+
+    // Traps throw host-side so diagnostics match the interpreter and
+    // the closures byte-for-byte.  The generated objects are compiled
+    // with exceptions enabled by the same toolchain, so FatalError
+    // unwinds cleanly through the .so frames.
+    static void
+    cbTrapMsg(void* host, const char* msg)
+    {
+        (void)host;
+        fatal(msg);
+    }
+
+    static void
+    cbTrapIndex(void* host, int64_t k, int64_t n)
+    {
+        (void)host;
+        fatalf("array index out of bounds: ", k, " not in [0, ", n, ")");
+    }
+
+    static void
+    cbTrapSlice(void* host, int64_t k, int64_t kEnd, int64_t n)
+    {
+        (void)host;
+        fatalf("slice out of bounds: [", k, ", ", kEnd,
+               ") not within [0, ", n, ")");
+    }
+
+    std::shared_ptr<const FuseProgram> prog_;
+    std::vector<int64_t> regs_;
+    std::vector<uint8_t> state_;
+    std::vector<uint32_t> chProdPc_;
+    std::vector<uint32_t> chConsPc_;
+    std::vector<uint8_t> chFull_;
+    zcgen::ZrCtx ctx_;
+    Frame* curFrame_ = nullptr;
+    std::shared_ptr<zcgen::Library> lib_;
+    zcgen::ZrRegionFn fn_ = nullptr;
+    std::unique_ptr<FusedNode> interp_;
+};
+
+} // namespace
+
+NodePtr
+buildNodeNative(const CompPtr& c, ExprCompiler& ec,
+                const BuildOptions& opt, BuildStats* stats,
+                FuseStats* fstats, CgenStats* cstats,
+                const std::string& cacheDir, const std::string& path)
+{
+    std::vector<CgenNode*> pending;
+    RegionFactory factory =
+        [&pending](std::shared_ptr<const FuseProgram> prog) -> NodePtr {
+        auto node = std::make_unique<CgenNode>(std::move(prog));
+        pending.push_back(node.get());
+        return node;
+    };
+    NodePtr root = buildNodeFusedWith(c, ec, opt, stats, fstats, path,
+                                      factory, "cgen");
+
+    CgenStats local;
+    CgenStats* cs = cstats ? cstats : &local;
+    cs->regions += static_cast<int>(pending.size());
+    auto& reg = metrics::Registry::global();
+
+    if (pending.empty())
+        return root;
+
+    if (!zcgen::compilerAvailable()) {
+        std::fprintf(stderr,
+                     "ziria: cgen: no C++ compiler found; %zu region(s) "
+                     "fall back to the fused interpreter\n",
+                     pending.size());
+        cs->fallbacks += static_cast<int>(pending.size());
+        reg.counter("ziria.cgen.fallbacks").add(pending.size());
+        return root;
+    }
+
+    std::vector<const FuseProgram*> progs;
+    progs.reserve(pending.size());
+    for (CgenNode* n : pending)
+        progs.push_back(&n->program());
+    zcgen::EmitUnit unit = zcgen::emitUnit(progs, ec);
+    cs->emitted += static_cast<int>(pending.size());
+    cs->hostBridges += unit.hostBridges;
+    reg.counter("ziria.cgen.emitted").add(pending.size());
+
+    zcgen::JitResult jr = zcgen::compileUnit(
+        unit.source, zcgen::resolveCacheDir(cacheDir));
+    cs->cacheKey = jr.key;
+    cs->compiler = zcgen::compilerVersion();
+    cs->compileSec += jr.compileSec;
+    if (jr.cacheHit) {
+        ++cs->cacheHits;
+        reg.counter("ziria.cgen.cache_hits").inc();
+    } else {
+        ++cs->cacheMisses;
+        reg.counter("ziria.cgen.cache_misses").inc();
+        if (jr.lib) {
+            ++cs->compiled;
+            reg.counter("ziria.cgen.compiled").inc();
+        }
+    }
+    if (!jr.lib) {
+        std::fprintf(stderr,
+                     "ziria: cgen: native compilation failed; %zu "
+                     "region(s) fall back to the fused interpreter: %s\n",
+                     pending.size(), jr.error.c_str());
+        cs->fallbacks += static_cast<int>(pending.size());
+        reg.counter("ziria.cgen.fallbacks").add(pending.size());
+        return root;
+    }
+
+    for (size_t i = 0; i < pending.size(); ++i) {
+        std::string sym = "zr_region_" + std::to_string(i);
+        void* fp = jr.lib->sym(sym.c_str());
+        if (!fp) {
+            std::fprintf(stderr,
+                         "ziria: cgen: symbol %s missing; region falls "
+                         "back to the fused interpreter\n", sym.c_str());
+            ++cs->fallbacks;
+            reg.counter("ziria.cgen.fallbacks").inc();
+            continue;
+        }
+        pending[i]->bindNative(jr.lib,
+                               reinterpret_cast<zcgen::ZrRegionFn>(fp));
+    }
+    return root;
+}
+
+} // namespace ziria

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * The compile-and-cache half of the native backend.
+ *
+ * Strategy: one translation unit per build, compiled with whatever C++
+ * compiler the host provides (`$ZIRIA_CXX`, then `$CXX`, then the usual
+ * names), into a per-user on-disk cache of shared objects.  The cache
+ * key hashes the emitted source together with the compiler version line
+ * and the flags, so any change to the program, the emitter, the
+ * compiler, or the options misses cleanly — keys are never reused for
+ * different bits.
+ *
+ * Cache hygiene mirrors zexec/ckpt_store.h: every entry is a pair
+ * `<key>.so` + `<key>.manifest`, written tmp-then-rename (manifest
+ * last, so a manifest's existence implies a fully-written object), and
+ * the manifest records the object's size and IEEE CRC-32.  A hit is
+ * only served after the CRC verifies; anything torn or tampered is
+ * quarantined to `*.bad` and recompiled.  We only ever dlopen objects
+ * we just compiled or whose checksum matches our own manifest — see
+ * docs/CODEGEN.md for the security rationale.
+ */
+#include "zcgen/cgen.h"
+
+#include "zcgen/abi.h"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "support/panic.h"
+#include "zexec/ckpt_store.h"
+
+namespace ziria {
+namespace zcgen {
+
+namespace {
+
+/** Flags every generated unit is compiled with (part of the cache key). */
+const char* const kFlags = "-std=c++17 -O2 -fPIC -shared";
+
+const char* const kManifestMagic = "ZCG1";
+
+struct CompilerInfo
+{
+    std::string cmd;      ///< how to invoke it ("" if none found)
+    std::string version;  ///< first `--version` line
+};
+
+/** First line of `<cmd> --version`, or "" if the command fails. */
+std::string
+probeVersion(const std::string& cmd)
+{
+    std::string full = cmd + " --version 2>/dev/null";
+    FILE* p = popen(full.c_str(), "r");
+    if (!p)
+        return "";
+    char buf[512];
+    std::string line;
+    if (fgets(buf, sizeof(buf), p)) {
+        line = buf;
+        while (!line.empty() &&
+               (line.back() == '\n' || line.back() == '\r'))
+            line.pop_back();
+    }
+    int rc = pclose(p);
+    if (rc != 0)
+        return "";
+    return line;
+}
+
+const CompilerInfo&
+discoverCompiler()
+{
+    static CompilerInfo info;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        std::vector<std::string> candidates;
+        if (const char* e = std::getenv("ZIRIA_CXX"))
+            if (*e)
+                candidates.push_back(e);
+        if (const char* e = std::getenv("CXX"))
+            if (*e)
+                candidates.push_back(e);
+        candidates.push_back("c++");
+        candidates.push_back("g++");
+        candidates.push_back("clang++");
+        for (const auto& c : candidates) {
+            std::string v = probeVersion(c);
+            if (!v.empty()) {
+                info.cmd = c;
+                info.version = v;
+                return;
+            }
+        }
+    });
+    return info;
+}
+
+void
+mkdirRecursive(const std::string& dir)
+{
+    std::string partial;
+    for (size_t i = 0; i <= dir.size(); ++i) {
+        if (i == dir.size() || dir[i] == '/') {
+            if (!partial.empty())
+                ::mkdir(partial.c_str(), 0755);  // EEXIST is fine
+            if (i < dir.size())
+                partial += '/';
+        } else {
+            partial += dir[i];
+        }
+    }
+}
+
+bool
+readFile(const std::string& path, std::string* out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return in.good() || in.eof();
+}
+
+/** Write via tmp + rename so readers never see a torn file. */
+bool
+writeFileAtomic(const std::string& path, const std::string& data)
+{
+    static int seq = 0;
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(++seq);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(data.data(), static_cast<std::streamsize>(data.size()));
+        if (!out.good())
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+crcHex(const std::string& data)
+{
+    uint32_t crc = crc32Ieee(
+        reinterpret_cast<const uint8_t*>(data.data()), data.size());
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", crc);
+    return buf;
+}
+
+std::string
+manifestText(const std::string& key, const std::string& version,
+             const std::string& soBytes)
+{
+    std::ostringstream ss;
+    ss << kManifestMagic << "\n"
+       << "key " << key << "\n"
+       << "compiler " << version << "\n"
+       << "flags " << kFlags << "\n"
+       << "size " << soBytes.size() << "\n"
+       << "crc32 " << crcHex(soBytes) << "\n";
+    return ss.str();
+}
+
+/** Move a suspect cache entry aside instead of deleting evidence. */
+void
+quarantine(const std::string& path)
+{
+    std::string bad = path + ".bad";
+    std::remove(bad.c_str());
+    std::rename(path.c_str(), bad.c_str());
+}
+
+/**
+ * dlopen @p soPath and sanity-check the ABI stamp.  Fills lib/error on
+ * the result; leaves cacheHit/compileSec to the caller.
+ */
+void
+openLibrary(const std::string& soPath, JitResult* r)
+{
+    void* h = ::dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!h) {
+        const char* e = ::dlerror();
+        r->error = std::string("dlopen failed: ") + (e ? e : "unknown");
+        return;
+    }
+    auto lib = std::make_shared<Library>(h);
+    using AbiFn = int (*)(void);
+    auto abi = reinterpret_cast<AbiFn>(lib->sym("zr_abi"));
+    if (!abi || abi() != kZrAbiVersion) {
+        r->error = "ABI version mismatch in cached object";
+        return;  // lib destructor dlcloses
+    }
+    r->lib = std::move(lib);
+}
+
+/**
+ * Try to serve (soPath, manifestPath) as a verified cache hit.  Returns
+ * true on success.  A missing pair is a plain miss; a present-but-bad
+ * pair is quarantined so the recompile below can install cleanly.
+ */
+bool
+tryCached(const std::string& soPath, const std::string& manifestPath,
+          const std::string& key, JitResult* r)
+{
+    std::string manifest;
+    if (!readFile(manifestPath, &manifest))
+        return false;  // plain miss
+    std::string so;
+    bool ok = readFile(soPath, &so);
+    if (ok) {
+        std::istringstream in(manifest);
+        std::string magic;
+        std::getline(in, magic);
+        std::string wantSize = "size " + std::to_string(so.size());
+        std::string wantCrc = "crc32 " + crcHex(so);
+        bool sawKey = false, sawSize = false, sawCrc = false;
+        for (std::string line; std::getline(in, line);) {
+            if (line == "key " + key)
+                sawKey = true;
+            else if (line == wantSize)
+                sawSize = true;
+            else if (line == wantCrc)
+                sawCrc = true;
+        }
+        ok = magic == kManifestMagic && sawKey && sawSize && sawCrc;
+    }
+    if (!ok) {
+        quarantine(soPath);
+        quarantine(manifestPath);
+        return false;
+    }
+    JitResult probe;
+    openLibrary(soPath, &probe);
+    if (!probe.lib) {
+        quarantine(soPath);
+        quarantine(manifestPath);
+        return false;
+    }
+    r->lib = std::move(probe.lib);
+    r->cacheHit = true;
+    return true;
+}
+
+} // namespace
+
+Library::~Library()
+{
+    if (handle_)
+        ::dlclose(handle_);
+}
+
+void*
+Library::sym(const char* name) const
+{
+    return handle_ ? ::dlsym(handle_, name) : nullptr;
+}
+
+bool
+compilerAvailable()
+{
+    return !discoverCompiler().cmd.empty();
+}
+
+const std::string&
+compilerVersion()
+{
+    return discoverCompiler().version;
+}
+
+std::string
+resolveCacheDir(const std::string& flagValue)
+{
+    if (!flagValue.empty())
+        return flagValue;
+    if (const char* e = std::getenv("ZIRIA_CGEN_CACHE"))
+        if (*e)
+            return e;
+    if (const char* home = std::getenv("HOME"))
+        if (*home)
+            return std::string(home) + "/.cache/ziria/zcgen";
+    return "/tmp/ziria-zcgen";
+}
+
+std::string
+fnv1a64Hex(const std::string& data)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+JitResult
+compileUnit(const std::string& source, const std::string& cacheDir)
+{
+    JitResult r;
+    const CompilerInfo& cc = discoverCompiler();
+    if (cc.cmd.empty()) {
+        r.error = "no C++ compiler found (tried $ZIRIA_CXX, $CXX, c++, "
+                  "g++, clang++)";
+        return r;
+    }
+
+    mkdirRecursive(cacheDir);
+    r.key = fnv1a64Hex(source + '\0' + cc.version + '\0' + kFlags);
+    std::string base = cacheDir + "/" + r.key;
+    std::string soPath = base + ".so";
+    std::string manifestPath = base + ".manifest";
+
+    if (tryCached(soPath, manifestPath, r.key, &r))
+        return r;
+
+    // Miss (or quarantined): compile.  The source is kept beside the
+    // object for debugging; the tmp object is renamed in before the
+    // manifest, so a crash mid-install can only leave a manifest-less
+    // (i.e. invisible) object behind.
+    if (!writeFileAtomic(base + ".cc", source)) {
+        r.error = "cannot write source into cache dir " + cacheDir;
+        return r;
+    }
+    std::string tmpSo =
+        base + ".so.tmp." + std::to_string(::getpid());
+    std::string errPath = base + ".err";
+    std::string cmd = cc.cmd + " " + kFlags + " -o '" + tmpSo + "' '" +
+                      base + ".cc' 2> '" + errPath + "'";
+    auto t0 = std::chrono::steady_clock::now();
+    int rc = std::system(cmd.c_str());
+    auto t1 = std::chrono::steady_clock::now();
+    r.compileSec = std::chrono::duration<double>(t1 - t0).count();
+    if (rc != 0) {
+        std::string diag;
+        readFile(errPath, &diag);
+        std::remove(tmpSo.c_str());
+        r.error = "compile failed (exit " + std::to_string(rc) + "): " +
+                  (diag.empty() ? "<no diagnostics>" : diag);
+        return r;
+    }
+    std::string soBytes;
+    if (!readFile(tmpSo, &soBytes)) {
+        std::remove(tmpSo.c_str());
+        r.error = "compiler produced no output object";
+        return r;
+    }
+    if (std::rename(tmpSo.c_str(), soPath.c_str()) != 0) {
+        std::remove(tmpSo.c_str());
+        r.error = "cannot install object into cache dir " + cacheDir;
+        return r;
+    }
+    if (!writeFileAtomic(manifestPath,
+                         manifestText(r.key, cc.version, soBytes))) {
+        r.error = "cannot write cache manifest in " + cacheDir;
+        return r;
+    }
+    std::remove(errPath.c_str());
+
+    openLibrary(soPath, &r);
+    return r;
+}
+
+} // namespace zcgen
+} // namespace ziria

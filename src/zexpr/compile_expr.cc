@@ -1085,9 +1085,11 @@ ExprCompiler::compileKernel(const FunRef& f)
         k.paramWidths.push_back(p->type->byteWidth());
     }
     k.body = compileStmts(inl.body);
+    k.bodySrc = inl.body;
     if (inl.ret) {
         k.retInto = compileInto(inl.ret);
         k.retWidth = inl.ret->type()->byteWidth();
+        k.retSrc = inl.ret;
     }
     return k;
 }

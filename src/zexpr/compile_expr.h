@@ -40,6 +40,13 @@ struct CompiledKernel
     Action body;                       ///< statements (may be empty)
     EvalInto retInto;                  ///< null for unit-returning kernels
     size_t retWidth = 0;
+    /**
+     * Source form of body/retInto against the same inlined parameter
+     * slots, kept so backends that re-emit kernels (zcgen) can work
+     * from the AST instead of the opaque closures.
+     */
+    StmtList bodySrc;
+    ExprPtr retSrc;
 };
 
 /**

@@ -114,6 +114,18 @@ struct FuseProgram
     std::vector<ziria::Action> actions;
     std::vector<std::shared_ptr<CompiledLut>> luts;
 
+    /**
+     * Source ASTs for the closure tables, index-parallel with
+     * intoFns/intFns/actions.  The interpreter never touches these; the
+     * native backend (src/zcgen/) re-emits them as straight-line C++.
+     * An entry may be null/empty when no source form exists — the
+     * emitter then falls back to calling the closure through a host
+     * bridge, preserving semantics.
+     */
+    std::vector<ExprPtr> intoSrc;
+    std::vector<ExprPtr> intSrc;
+    std::vector<StmtList> actionSrc;
+
     /** Human-readable listing (docs/FUSION.md, test assertions). */
     std::string disassemble() const;
 

@@ -21,6 +21,7 @@
 #ifndef ZIRIA_ZFUSE_FUSE_H
 #define ZIRIA_ZFUSE_FUSE_H
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -65,6 +66,26 @@ NodePtr buildNodeFused(const CompPtr& c, ExprCompiler& ec,
                        const BuildOptions& opt, BuildStats* stats,
                        FuseStats* fstats = nullptr,
                        const std::string& path = "root");
+
+/**
+ * Creates the execution node for one lowered fused region.  The fused
+ * backend plugs in FusedNode; the native backend (src/zcgen/) plugs in
+ * a node that will run the region as dlopen'd machine code.
+ */
+using RegionFactory =
+    std::function<NodePtr(std::shared_ptr<const zfuse::FuseProgram>)>;
+
+/**
+ * The generalized fused build: identical maximal-fusible-subtree
+ * region finding and VM-spine fallback, but each region node is made
+ * by @p makeRegion and reported as @p regionKind to tracing shims.
+ * `buildNodeFused` is this with a FusedNode factory.
+ */
+NodePtr buildNodeFusedWith(const CompPtr& c, ExprCompiler& ec,
+                           const BuildOptions& opt, BuildStats* stats,
+                           FuseStats* fstats, const std::string& path,
+                           const RegionFactory& makeRegion,
+                           const char* regionKind);
 
 /** The bytecode interpreter node (behind ExecNode; one per region). */
 class FusedNode : public ExecNode

@@ -208,24 +208,32 @@ class Lowerer
         return static_cast<int>(prog_->channels.size() - 1);
     }
 
+    // Each closure-table append also records the source AST it was
+    // compiled from (index-parallel vectors) so the native backend can
+    // re-emit the same computation as C++ instead of calling the
+    // opaque std::function (docs/CODEGEN.md).
+
     int32_t
-    addInto(EvalInto fn)
+    addInto(EvalInto fn, ExprPtr src)
     {
         prog_->intoFns.push_back(std::move(fn));
+        prog_->intoSrc.push_back(std::move(src));
         return static_cast<int32_t>(prog_->intoFns.size() - 1);
     }
 
     int32_t
-    addInt(EvalInt fn)
+    addInt(EvalInt fn, ExprPtr src)
     {
         prog_->intFns.push_back(std::move(fn));
+        prog_->intSrc.push_back(std::move(src));
         return static_cast<int32_t>(prog_->intFns.size() - 1);
     }
 
     int32_t
-    addAction(Action fn)
+    addAction(Action fn, StmtList src)
     {
         prog_->actions.push_back(std::move(fn));
+        prog_->actionSrc.push_back(std::move(src));
         return static_cast<int32_t>(prog_->actions.size() - 1);
     }
 
@@ -303,7 +311,7 @@ class Lowerer
             }
         }
         Instr i{Op::EvalInto};
-        i.fn = addInto(ec_.compileInto(e));
+        i.fn = addInto(ec_.compileInto(e), e);
         i.a = dst;
         emit(i);
     }
@@ -405,7 +413,7 @@ class Lowerer
             const auto& r = static_cast<const ReturnComp&>(*c);
             if (!r.stmts().empty()) {
                 Instr i{Op::Action};
-                i.fn = addAction(ec_.compileStmts(r.stmts()));
+                i.fn = addAction(ec_.compileStmts(r.stmts()), r.stmts());
                 emit(i);
             }
             if (r.ret()) {
@@ -495,7 +503,7 @@ class Lowerer
             const auto& ic = static_cast<const IfComp&>(*c);
             uint32_t r = newReg();
             Instr ev{Op::EvalInt};
-            ev.fn = addInt(ec_.compileInt(ic.cond()));
+            ev.fn = addInt(ec_.compileInt(ic.cond()), ic.cond());
             ev.a = r;
             emit(ev);
             int elseL = newLabel();
@@ -530,7 +538,7 @@ class Lowerer
             uint32_t rN = newReg();
             uint32_t rI = newReg();
             Instr ev{Op::EvalInt};
-            ev.fn = addInt(ec_.compileInt(t.count()));
+            ev.fn = addInt(ec_.compileInt(t.count()), t.count());
             ev.a = rN;
             emit(ev);
             Instr s{Op::SetReg};
@@ -581,7 +589,7 @@ class Lowerer
             bind(condL);
             uint32_t r = newReg();
             Instr ev{Op::EvalInt};
-            ev.fn = addInt(ec_.compileInt(w.cond()));
+            ev.fn = addInt(ec_.compileInt(w.cond()), w.cond());
             ev.a = r;
             emit(ev);
             Instr jz{Op::Jz};
@@ -627,12 +635,12 @@ class Lowerer
             } else {
                 if (k.body) {
                     Instr a{Op::Action};
-                    a.fn = addAction(k.body);
+                    a.fn = addAction(k.body, k.bodySrc);
                     emit(a);
                 }
                 if (k.retInto) {
                     Instr ei{Op::EvalInto};
-                    ei.fn = addInto(k.retInto);
+                    ei.fn = addInto(k.retInto, k.retSrc);
                     ei.a = dst;
                     emit(ei);
                 }
@@ -653,11 +661,11 @@ class Lowerer
             takeInto(ctx, param, w);
             if (k.body) {
                 Instr a{Op::Action};
-                a.fn = addAction(k.body);
+                a.fn = addAction(k.body, k.bodySrc);
                 emit(a);
             }
             Instr ei{Op::EvalInto};
-            ei.fn = addInto(k.retInto);
+            ei.fn = addInto(k.retInto, k.retSrc);
             ei.a = keep;
             emit(ei);
             Instr lb{Op::LoadByte};
@@ -768,9 +776,11 @@ countFallback(FuseStats* fstats)
 } // namespace
 
 NodePtr
-buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
-               BuildStats* stats, FuseStats* fstats,
-               const std::string& path)
+buildNodeFusedWith(const CompPtr& c, ExprCompiler& ec,
+                   const BuildOptions& opt, BuildStats* stats,
+                   FuseStats* fstats, const std::string& path,
+                   const RegionFactory& makeRegion,
+                   const char* regionKind)
 {
     if (fusibleComp(c)) {
         if (stats)
@@ -781,8 +791,8 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         metrics::Registry::global()
             .counter("ziria.fuse.nodes_fused")
             .inc();
-        NodePtr node = std::make_unique<FusedNode>(std::move(prog));
-        return finishNode(std::move(node), c, opt, path, "fused");
+        NodePtr node = makeRegion(std::move(prog));
+        return finishNode(std::move(node), c, opt, path, regionKind);
     }
 
     // Not fusible at this level: build the VM combinator here and fuse
@@ -793,10 +803,12 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         if (stats)
             ++stats->nodes;
         countFallback(fstats);
-        NodePtr l = buildNodeFused(p.left(), ec, opt, stats, fstats,
-                                   path + "/l");
-        NodePtr r = buildNodeFused(p.right(), ec, opt, stats, fstats,
-                                   path + "/r");
+        NodePtr l = buildNodeFusedWith(p.left(), ec, opt, stats, fstats,
+                                       path + "/l", makeRegion,
+                                       regionKind);
+        NodePtr r = buildNodeFusedWith(p.right(), ec, opt, stats, fstats,
+                                       path + "/r", makeRegion,
+                                       regionKind);
         NodePtr node =
             std::make_unique<PipeNode>(std::move(l), std::move(r));
         return finishNode(std::move(node), c, opt, path, "pipe");
@@ -811,8 +823,9 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         size_t i = 0;
         for (const auto& it : s.items()) {
             SeqNode::Item item;
-            item.node = buildNodeFused(it.comp, ec, opt, stats, fstats,
-                                       path + "/s" + std::to_string(i++));
+            item.node = buildNodeFusedWith(
+                it.comp, ec, opt, stats, fstats,
+                path + "/s" + std::to_string(i++), makeRegion, regionKind);
             if (it.bind) {
                 item.bindOff =
                     static_cast<long>(ec.layout().add(it.bind));
@@ -828,11 +841,12 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         if (stats)
             ++stats->nodes;
         countFallback(fstats);
-        NodePtr t = buildNodeFused(i.thenC(), ec, opt, stats, fstats,
-                                   path + "/t");
+        NodePtr t = buildNodeFusedWith(i.thenC(), ec, opt, stats, fstats,
+                                       path + "/t", makeRegion,
+                                       regionKind);
         NodePtr e = i.elseC()
-            ? buildNodeFused(i.elseC(), ec, opt, stats, fstats,
-                             path + "/e")
+            ? buildNodeFusedWith(i.elseC(), ec, opt, stats, fstats,
+                                 path + "/e", makeRegion, regionKind)
             : nullptr;
         NodePtr node = std::make_unique<IfNode>(
             ec.compileInt(i.cond()), std::move(t), std::move(e));
@@ -843,8 +857,9 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         if (stats)
             ++stats->nodes;
         countFallback(fstats);
-        NodePtr node = std::make_unique<RepeatNode>(buildNodeFused(
-            r.body(), ec, opt, stats, fstats, path + "/rep"));
+        NodePtr node = std::make_unique<RepeatNode>(buildNodeFusedWith(
+            r.body(), ec, opt, stats, fstats, path + "/rep", makeRegion,
+            regionKind));
         return finishNode(std::move(node), c, opt, path, "repeat");
       }
       case CompKind::Times: {
@@ -860,8 +875,8 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         }
         NodePtr node = std::make_unique<TimesNode>(
             ec.compileInt(t.count()), ivOff, ivKind,
-            buildNodeFused(t.body(), ec, opt, stats, fstats,
-                           path + "/times"));
+            buildNodeFusedWith(t.body(), ec, opt, stats, fstats,
+                               path + "/times", makeRegion, regionKind));
         return finishNode(std::move(node), c, opt, path, "times");
       }
       case CompKind::While: {
@@ -871,8 +886,8 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
         countFallback(fstats);
         NodePtr node = std::make_unique<WhileNode>(
             ec.compileInt(w.cond()),
-            buildNodeFused(w.body(), ec, opt, stats, fstats,
-                           path + "/while"));
+            buildNodeFusedWith(w.body(), ec, opt, stats, fstats,
+                               path + "/while", makeRegion, regionKind));
         return finishNode(std::move(node), c, opt, path, "while");
       }
       case CompKind::LetVar: {
@@ -886,8 +901,8 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
             init = ec.compileInto(l.init());
         NodePtr node = std::make_unique<LetVarNode>(
             off, l.var()->type->byteWidth(), std::move(init),
-            buildNodeFused(l.body(), ec, opt, stats, fstats,
-                           path + "/let"));
+            buildNodeFusedWith(l.body(), ec, opt, stats, fstats,
+                               path + "/let", makeRegion, regionKind));
         return finishNode(std::move(node), c, opt, path, "letvar");
       }
       case CompKind::Native:
@@ -896,6 +911,19 @@ buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
       default:
         panic("buildNodeFused: unexpected non-fusible leaf");
     }
+}
+
+NodePtr
+buildNodeFused(const CompPtr& c, ExprCompiler& ec, const BuildOptions& opt,
+               BuildStats* stats, FuseStats* fstats,
+               const std::string& path)
+{
+    return buildNodeFusedWith(
+        c, ec, opt, stats, fstats, path,
+        [](std::shared_ptr<const zfuse::FuseProgram> prog) -> NodePtr {
+            return std::make_unique<FusedNode>(std::move(prog));
+        },
+        "fused");
 }
 
 // ---------------------------------------------------------------------

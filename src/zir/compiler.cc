@@ -149,6 +149,20 @@ checkRestartScope(const CompilerOptions& opt)
                "re-armed in isolation; use --restart-scope pipeline or "
                "--backend=vm (docs/ROBUSTNESS.md, \"Restart scope "
                "support matrix\")");
+    if (opt.backend == Backend::Native && opt.restart.enabled() &&
+        opt.restart.scope == RestartScope::Stage)
+        fatalf("--restart-scope stage is not supported with "
+               "--backend=native: native regions merge stages just like "
+               "the fused backend, so a single stage cannot be re-armed "
+               "in isolation; use --restart-scope pipeline or "
+               "--backend=vm (docs/ROBUSTNESS.md, \"Restart scope "
+               "support matrix\")");
+    if (opt.backend == Backend::Native && opt.checkpoint.enabled())
+        fatalf("--checkpoint is not supported with --backend=native: "
+               "compiled regions do not expose a serializable state "
+               "image; use --backend=fused or --backend=vm for "
+               "checkpointing (docs/ROBUSTNESS.md, \"Checkpointing & "
+               "migration\")");
 }
 
 } // namespace
@@ -174,9 +188,22 @@ compilePipeline(const CompPtr& program, const CompilerOptions& opt,
         bo.metrics = pm.get();
     }
     BuildStats bs;
-    NodePtr root = opt.backend == Backend::Fused
-        ? buildNodeFused(c, ec, bo, &bs, report ? &report->fuse : nullptr)
-        : buildNode(c, ec, bo, &bs);
+    NodePtr root;
+    switch (opt.backend) {
+      case Backend::Fused:
+        root = buildNodeFused(c, ec, bo, &bs,
+                              report ? &report->fuse : nullptr);
+        break;
+      case Backend::Native:
+        root = buildNodeNative(c, ec, bo, &bs,
+                               report ? &report->fuse : nullptr,
+                               report ? &report->cgen : nullptr,
+                               opt.cgenCacheDir);
+        break;
+      case Backend::Vm:
+        root = buildNode(c, ec, bo, &bs);
+        break;
+    }
     size_t inW = root->inWidth();
     size_t outW = root->outWidth();
     auto p = std::make_unique<Pipeline>(std::move(root),
@@ -220,12 +247,23 @@ compileThreadedPipeline(const CompPtr& program, const CompilerOptions& opt,
     stages.reserve(parts.size());
     for (size_t i = 0; i < parts.size(); ++i) {
         std::string stagePath = "stage" + std::to_string(i);
-        stages.push_back(
-            opt.backend == Backend::Fused
-                ? buildNodeFused(parts[i], ec, bo, &bs,
-                                 report ? &report->fuse : nullptr,
-                                 stagePath)
-                : buildNode(parts[i], ec, bo, &bs, stagePath));
+        switch (opt.backend) {
+          case Backend::Fused:
+            stages.push_back(buildNodeFused(
+                parts[i], ec, bo, &bs,
+                report ? &report->fuse : nullptr, stagePath));
+            break;
+          case Backend::Native:
+            stages.push_back(buildNodeNative(
+                parts[i], ec, bo, &bs,
+                report ? &report->fuse : nullptr,
+                report ? &report->cgen : nullptr, opt.cgenCacheDir,
+                stagePath));
+            break;
+          case Backend::Vm:
+            stages.push_back(buildNode(parts[i], ec, bo, &bs, stagePath));
+            break;
+        }
     }
 
     size_t inW = stages.front()->inWidth();
@@ -282,6 +320,18 @@ CompileReport::writeJson(metrics::JsonWriter& w) const
     w.field("fallbacks", fuse.fallbacks);
     w.field("fused_ops", fuse.fusedOps);
     w.field("channels", fuse.channels);
+    w.endObject();
+    w.beginObject("cgen");
+    w.field("regions", cgen.regions);
+    w.field("emitted", cgen.emitted);
+    w.field("compiled", cgen.compiled);
+    w.field("cache_hits", cgen.cacheHits);
+    w.field("cache_misses", cgen.cacheMisses);
+    w.field("fallbacks", cgen.fallbacks);
+    w.field("host_bridges", cgen.hostBridges);
+    w.field("compile_sec", cgen.compileSec);
+    w.field("compiler", cgen.compiler);
+    w.field("cache_key", cgen.cacheKey);
     w.endObject();
     w.beginArray("passes");
     for (const auto& p : passes) {

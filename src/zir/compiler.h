@@ -23,6 +23,7 @@
 #include <string>
 
 #include "zast/comp.h"
+#include "zcgen/cgen.h"
 #include "zexec/pipeline.h"
 #include "zexec/threaded.h"
 #include "zfuse/fuse.h"
@@ -37,11 +38,13 @@ enum class OptLevel { None, Vectorize, All };
 
 /**
  * Execution backend: the closure-tree VM (one ExecNode per computation
- * form) or the fused bytecode interpreter (maximal fusible subtrees
- * flattened into linear programs, docs/FUSION.md).  Both sit behind
- * ExecNode, so every driver and decorator composes with either.
+ * form), the fused bytecode interpreter (maximal fusible subtrees
+ * flattened into linear programs, docs/FUSION.md), or native code
+ * generation (fused regions emitted as C++, compiled and dlopen'd with
+ * an on-disk shared-object cache, docs/CODEGEN.md).  All sit behind
+ * ExecNode, so every driver and decorator composes with any of them.
  */
-enum class Backend { Vm, Fused };
+enum class Backend { Vm, Fused, Native };
 
 /** Full compiler configuration. */
 struct CompilerOptions
@@ -71,8 +74,11 @@ struct CompilerOptions
      *  the resulting pipeline exposes metrics() and RunStats::metrics. */
     bool instrument = false;
     uint32_t sampleShift = 6;  ///< advance-time sampling rate (2^N)
-    /** Node-construction backend (`zirrun --backend=vm|fused`). */
+    /** Node-construction backend (`zirrun --backend=vm|fused|native`). */
     Backend backend = Backend::Vm;
+    /** Shared-object cache directory for Backend::Native ("" = default:
+     *  $ZIRIA_CGEN_CACHE or ~/.cache/ziria/zcgen); `--cgen-cache-dir`. */
+    std::string cgenCacheDir;
 
     static CompilerOptions forLevel(OptLevel level);
 };
@@ -83,7 +89,8 @@ struct CompileReport
     VectStats vect;
     MapStats maps;
     BuildStats build;
-    FuseStats fuse;  ///< populated when compiled with Backend::Fused
+    FuseStats fuse;  ///< populated when compiled with Backend::Fused/Native
+    CgenStats cgen;  ///< populated when compiled with Backend::Native
     double frontendSec = 0;  ///< elaborate + fold + check
     double vectorizeSec = 0;
     double optimizeSec = 0;  ///< auto-map + fusion + re-check

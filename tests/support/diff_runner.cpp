@@ -29,7 +29,8 @@ DiffConfig::options() const
         break;
     }
     opt.vectorize = vectorize;
-    opt.backend = fused ? Backend::Fused : Backend::Vm;
+    opt.backend = native ? Backend::Native
+                         : (fused ? Backend::Fused : Backend::Vm);
     return opt;
 }
 
@@ -37,7 +38,8 @@ int
 DiffConfig::distance(const DiffConfig& a, const DiffConfig& b)
 {
     return (a.optTier != b.optTier) + (a.vectorize != b.vectorize) +
-           (a.threaded != b.threaded) + (a.fused != b.fused);
+           (a.threaded != b.threaded) + (a.fused != b.fused) +
+           (a.native != b.native);
 }
 
 std::vector<DiffConfig>
@@ -112,6 +114,26 @@ fusedMatrix()
     mt3.threaded = true;
     mt3.fused = true;
     m.push_back(mt3);
+    return m;
+}
+
+std::vector<DiffConfig>
+nativeMatrix()
+{
+    std::vector<DiffConfig> m;
+    for (int be = 0; be <= 2; ++be)  // 0 = vm, 1 = fused, 2 = native
+        for (bool vec : {false, true})
+            for (int tier = 0; tier <= 3; ++tier) {
+                DiffConfig c;
+                c.optTier = tier;
+                c.vectorize = vec;
+                c.fused = be == 1;
+                c.native = be == 2;
+                c.name = "O" + std::to_string(tier) +
+                         (vec ? "+vec" : "") +
+                         (be == 1 ? "/fz" : (be == 2 ? "/ng" : ""));
+                m.push_back(c);
+            }
     return m;
 }
 

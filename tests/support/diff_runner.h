@@ -30,11 +30,12 @@ struct DiffConfig
     bool vectorize = false;
     bool threaded = false;
     bool fused = false;    ///< Backend::Fused instead of the VM
+    bool native = false;   ///< Backend::Native (wins over `fused`)
 
     /** Lower the tier/flags into a full CompilerOptions. */
     CompilerOptions options() const;
 
-    /** Number of dimensions in which two configs differ (0..4). */
+    /** Number of dimensions in which two configs differ (0..5). */
     static int distance(const DiffConfig& a, const DiffConfig& b);
 };
 
@@ -55,6 +56,16 @@ std::vector<DiffConfig> fullMatrix();
  * fallback path where fused regions hang below VM combinators.
  */
 std::vector<DiffConfig> fusedMatrix();
+
+/**
+ * The three-backend matrix: {O0..O3} x {vec} x {vm,fused,native}
+ * (24 configs, config 0 = unoptimized VM baseline).  Native cells
+ * compile through the shared-object cache (honours $ZIRIA_CGEN_CACHE),
+ * falling back to the fused interpreter when no compiler is available —
+ * callers that must exercise real machine code should gate on
+ * zcgen::compilerAvailable() first.
+ */
+std::vector<DiffConfig> nativeMatrix();
 
 /** Outcome of one differential run. */
 struct DiffOutcome

@@ -1,0 +1,723 @@
+/**
+ * @file
+ * Native code-generation backend tests (ctest labels
+ * `tier1;cgen;diff;sanitizer`):
+ *
+ *  - region finding and fallback ladder: whole fusible programs become
+ *    one dlopen'd region, native blocks and threaded `|>>>|` keep the
+ *    VM spine, and everything stays bit-identical to the VM;
+ *  - the three-backend differential oracle {O0..O3} x {vec} x
+ *    {vm,fused,native} on generated programs — the VM is the
+ *    semantics, the machine code must match bit-exactly;
+ *  - IEEE 802.11a Annex-G conformance executed natively at all eight
+ *    rates: golden TX chain (zero fallbacks) and TX -> channel -> RX
+ *    round trips;
+ *  - the on-disk shared-object cache: miss-then-hit, corrupt
+ *    .so/manifest quarantine + recompile, stale-key misses, cache-key
+ *    determinism, and the ziria.cgen.* counters;
+ *  - loud compile-time refusals for the unsupported combinations
+ *    (--backend=native with stage-scoped restart or checkpointing) and
+ *    the snapshot refusal on a bound region.
+ *
+ * Tests that require real machine code gate on
+ * zcgen::compilerAvailable(); without a compiler the backend degrades
+ * to the bytecode interpreter, which the differential tests still
+ * validate.
+ */
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/channel.h"
+#include "dsp/constellation.h"
+#include "support/diff_runner.h"
+#include "support/fault_injector.h"
+#include "support/metrics.h"
+#include "support/panic.h"
+#include "support/rng.h"
+#include "wifi/blocks_tx.h"
+#include "wifi/rx.h"
+#include "wifi/tx.h"
+#include "zast/builder.h"
+#include "zcgen/cgen.h"
+#include "zexec/snapshot.h"
+#include "zgen/generator.h"
+#include "zir/compiler.h"
+
+namespace ziria {
+namespace {
+
+using namespace zb;
+using namespace wifi;
+using difftest::DiffConfig;
+using difftest::runDifferential;
+using testsupport::intBytes;
+using testsupport::throwAtBlock;
+using zgen::GenConfig;
+using zgen::GenDomain;
+using zgen::GenProgram;
+
+// ------------------------------------------------- cache-dir plumbing
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/ziria-cgen-test-XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr) << "mkdtemp failed";
+    return dir ? std::string(dir) : std::string();
+}
+
+/**
+ * Every test in this binary compiles into one private cache directory
+ * (via $ZIRIA_CGEN_CACHE) so runs neither pollute nor depend on the
+ * user's ~/.cache/ziria/zcgen.  Cache-behavior tests that need a cold
+ * cache make their own directory and pass it explicitly.
+ */
+class CgenCacheEnv : public ::testing::Environment
+{
+  public:
+    void
+    SetUp() override
+    {
+        std::string dir = makeTempDir();
+        ASSERT_FALSE(dir.empty());
+        setenv("ZIRIA_CGEN_CACHE", dir.c_str(), 1);
+    }
+};
+
+[[maybe_unused]] const ::testing::Environment* const kCacheEnv =
+    ::testing::AddGlobalTestEnvironment(new CgenCacheEnv);
+
+bool
+fileExists(const std::string& path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+int
+countSuffix(const std::string& dir, const std::string& suffix)
+{
+    DIR* d = opendir(dir.c_str());
+    if (!d)
+        return 0;
+    int n = 0;
+    while (struct dirent* e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            ++n;
+    }
+    closedir(d);
+    return n;
+}
+
+void
+scribbleFile(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+}
+
+// ------------------------------------------------------------ helpers
+
+CompPtr
+incBlock(int32_t delta)
+{
+    VarRef x = freshVar("x", Type::int32());
+    return repeatc(seqc({bindc(x, take(Type::int32())),
+                         just(emit(var(x) + delta))}));
+}
+
+CompilerOptions
+nativeConf(OptLevel lvl = OptLevel::None)
+{
+    CompilerOptions opt = CompilerOptions::forLevel(lvl);
+    opt.backend = Backend::Native;
+    return opt;
+}
+
+/** A minimal valid translation unit for direct compileUnit tests. */
+const char* const kToySource =
+    "extern \"C\" int zr_abi(void) { return 1; }\n"
+    "extern \"C\" int zr_toy(int x) { return x + 41; }\n";
+
+// ------------------------------------------------- matrix shape/axes
+
+TEST(NativeMatrix, ShapeAndBackendMapping)
+{
+    auto m = difftest::nativeMatrix();
+    ASSERT_EQ(m.size(), 24u);
+
+    // Config 0 is the unoptimized VM baseline.
+    EXPECT_EQ(m[0].optTier, 0);
+    EXPECT_FALSE(m[0].vectorize);
+    EXPECT_FALSE(m[0].fused);
+    EXPECT_FALSE(m[0].native);
+    EXPECT_EQ(m[0].options().backend, Backend::Vm);
+
+    int vm = 0, fz = 0, ng = 0;
+    for (const DiffConfig& c : m) {
+        if (c.native) {
+            ++ng;
+            EXPECT_EQ(c.options().backend, Backend::Native);
+            EXPECT_NE(c.name.find("/ng"), std::string::npos) << c.name;
+        } else if (c.fused) {
+            ++fz;
+            EXPECT_EQ(c.options().backend, Backend::Fused);
+        } else {
+            ++vm;
+            EXPECT_EQ(c.options().backend, Backend::Vm);
+        }
+    }
+    EXPECT_EQ(vm, 8);
+    EXPECT_EQ(fz, 8);
+    EXPECT_EQ(ng, 8);
+
+    // The backend axis counts as one dimension of distance, so a
+    // vm-vs-native divergence at identical flags localizes to codegen.
+    DiffConfig a = m[0], b = m[16];
+    ASSERT_TRUE(b.native);
+    ASSERT_EQ(b.optTier, 0);
+    EXPECT_EQ(DiffConfig::distance(a, b), 1);
+}
+
+// --------------------------------------------------- region lowering
+
+TEST(NativeLowering, WholeProgramBecomesOneNativeRegion)
+{
+    CompileReport rep;
+    auto p = compilePipeline(pipe(incBlock(1), incBlock(10)),
+                             nativeConf(), &rep);
+    EXPECT_EQ(rep.fuse.nodesFused, 1);
+    EXPECT_EQ(rep.fuse.fallbacks, 0);
+    EXPECT_EQ(rep.cgen.regions, 1);
+    if (zcgen::compilerAvailable()) {
+        EXPECT_EQ(rep.cgen.emitted, 1);
+        EXPECT_EQ(rep.cgen.fallbacks, 0);
+        EXPECT_EQ(rep.cgen.cacheHits + rep.cgen.cacheMisses, 1);
+        EXPECT_EQ(rep.cgen.cacheKey.size(), 16u);
+        EXPECT_FALSE(rep.cgen.compiler.empty());
+    } else {
+        EXPECT_EQ(rep.cgen.fallbacks, 1);
+    }
+
+    std::vector<int32_t> in(256);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i * 7 - 100);
+    auto bytes = intBytes(in);
+    auto vm = compilePipeline(pipe(incBlock(1), incBlock(10)),
+                              CompilerOptions::forLevel(OptLevel::None));
+    EXPECT_EQ(p->runBytes(bytes), vm->runBytes(bytes));
+}
+
+TEST(NativeLowering, NativeBlockFallsBackInsideNativeTree)
+{
+    // cgen >>> native block: the pipe spine stays on the VM, the left
+    // child becomes a compiled region, the native leaf runs as-is.
+    CompileReport rep;
+    auto p = compilePipeline(
+        pipe(incBlock(1), throwAtBlock(uint64_t(1) << 62)),
+        nativeConf(), &rep);
+    EXPECT_EQ(rep.fuse.nodesFused, 1);
+    EXPECT_GE(rep.fuse.fallbacks, 2);  // pipe spine + native leaf
+    EXPECT_EQ(rep.cgen.regions, 1);
+
+    std::vector<int32_t> in(64);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i);
+    auto bytes = intBytes(in);
+    auto vm = compilePipeline(
+        pipe(incBlock(1), throwAtBlock(uint64_t(1) << 62)),
+        CompilerOptions::forLevel(OptLevel::None));
+    EXPECT_EQ(p->runBytes(bytes), vm->runBytes(bytes));
+}
+
+TEST(NativeLowering, ThreadedPartitionsBecomeSeparateRegions)
+{
+    CompileReport rep;
+    auto p = compileThreadedPipeline(ppipe(incBlock(1), incBlock(2)),
+                                     nativeConf(), &rep);
+    EXPECT_EQ(rep.cgen.regions, 2);
+
+    std::vector<int32_t> in(512);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(3 * i);
+    auto bytes = intBytes(in);
+    auto vm = compileThreadedPipeline(
+        ppipe(incBlock(1), incBlock(2)),
+        CompilerOptions::forLevel(OptLevel::None));
+
+    MemSource srcA(bytes, 4);
+    VecSink sinkA(4);
+    p->run(srcA, sinkA);
+    MemSource srcB(bytes, 4);
+    VecSink sinkB(4);
+    vm->run(srcB, sinkB);
+    EXPECT_EQ(sinkA.data(), sinkB.data());
+}
+
+TEST(NativeLowering, MetricsCountersAdvance)
+{
+    auto& reg = metrics::Registry::global();
+    uint64_t emittedBefore = reg.counter("ziria.cgen.emitted").value();
+    uint64_t servedBefore = reg.counter("ziria.cgen.cache_hits").value() +
+                            reg.counter("ziria.cgen.cache_misses").value();
+    uint64_t fallbackBefore = reg.counter("ziria.cgen.fallbacks").value();
+
+    compilePipeline(incBlock(5), nativeConf());
+
+    if (zcgen::compilerAvailable()) {
+        EXPECT_GE(reg.counter("ziria.cgen.emitted").value(),
+                  emittedBefore + 1);
+        EXPECT_GE(reg.counter("ziria.cgen.cache_hits").value() +
+                      reg.counter("ziria.cgen.cache_misses").value(),
+                  servedBefore + 1);
+    } else {
+        EXPECT_GE(reg.counter("ziria.cgen.fallbacks").value(),
+                  fallbackBefore + 1);
+    }
+}
+
+// ------------------------------------------- differential equivalence
+
+void
+checkNativeSeed(const GenConfig& cfg, uint64_t seed, size_t elems)
+{
+    GenProgram prog = zgen::genProgram(cfg, seed);
+    auto input = zgen::genInput(prog.inDomain, elems, seed ^ 0xD1FF);
+    auto make = [&] { return zgen::genProgram(cfg, seed).comp; };
+    auto outcome = runDifferential(make, input, difftest::nativeMatrix(),
+                                   prog.describe, /*slackBytes=*/4096);
+    EXPECT_TRUE(outcome.agree) << "seed=" << seed << "\n" << outcome.report;
+    EXPECT_EQ(outcome.configsRun, 24);
+    EXPECT_GT(outcome.baselineBytes, 0u)
+        << "seed=" << seed << " " << prog.describe;
+}
+
+class NativeBitPrograms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NativeBitPrograms, VmFusedAndNativeAgree)
+{
+    GenConfig cfg;
+    cfg.domain = GenDomain::Bits;
+    cfg.maxStages = 3;
+    checkNativeSeed(cfg, static_cast<uint64_t>(GetParam()), 6 * 288 * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NativeBitPrograms, ::testing::Range(1, 6));
+
+class NativeInt32Programs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NativeInt32Programs, VmFusedAndNativeAgree)
+{
+    GenConfig cfg;
+    cfg.domain = GenDomain::Int32;
+    cfg.maxStages = 3;
+    checkNativeSeed(cfg, static_cast<uint64_t>(GetParam()), 2048);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NativeInt32Programs,
+                         ::testing::Range(1, 6));
+
+class NativeMixedPrograms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NativeMixedPrograms, VmFusedAndNativeAgree)
+{
+    GenConfig cfg;
+    cfg.domain = GenDomain::Mixed;
+    cfg.maxStages = 4;
+    checkNativeSeed(cfg, static_cast<uint64_t>(GetParam()), 4096);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NativeMixedPrograms,
+                         ::testing::Range(1, 5));
+
+// ------------------------------------------------- Annex-G conformance
+//
+// The same golden vectors test_conformance.cpp locks down for the VM
+// and the fused interpreter, executed by dlopen'd machine code.  The
+// helper duplicates are intentional: this suite must keep standing on
+// its own if the conformance file is reorganized.
+
+std::vector<std::string>
+goldenLines(const std::string& name)
+{
+    std::string path = std::string(ZIRIA_TEST_DATA_DIR "/annexg/") + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing golden file " << path
+                           << " (regenerate: python3 scripts/gen_annexg.py)";
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '#')
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+std::vector<Complex16>
+parsePoints(const std::vector<std::string>& lines)
+{
+    std::vector<Complex16> out;
+    for (const auto& ln : lines) {
+        std::istringstream is(ln);
+        int re, im;
+        is >> re >> im;
+        out.push_back(Complex16{static_cast<int16_t>(re),
+                                static_cast<int16_t>(im)});
+    }
+    return out;
+}
+
+std::vector<Complex16>
+bytesToSamples(const std::vector<uint8_t>& bytes)
+{
+    std::vector<Complex16> out(bytes.size() / 4);
+    std::memcpy(out.data(), bytes.data(), out.size() * 4);
+    return out;
+}
+
+std::vector<uint8_t>
+samplesToBytes(const std::vector<Complex16>& xs)
+{
+    std::vector<uint8_t> out(xs.size() * 4);
+    std::memcpy(out.data(), xs.data(), out.size());
+    return out;
+}
+
+/** The fixed conformance payload (mirrored in gen_annexg.py). */
+std::vector<uint8_t>
+conformancePayload(int n = 100)
+{
+    std::vector<uint8_t> out(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        out[static_cast<size_t>(i)] =
+            static_cast<uint8_t>((7 * i + 13) & 0xFF);
+    return out;
+}
+
+class NativeTxChainGolden : public ::testing::TestWithParam<Rate>
+{
+};
+
+TEST_P(NativeTxChainGolden, MatchesGoldenAndVmAtEveryRate)
+{
+    Rate rate = GetParam();
+    const RateInfo& ri = rateInfo(rate);
+    auto golden = parsePoints(goldenLines(
+        std::string("txchain_r") + std::to_string(ri.mbps) + ".txt"));
+    auto dataBits = assembleDataBits(conformancePayload(), rate);
+
+    auto chain = [&] {
+        return zb::pipe(
+            zb::pipe(zb::pipe(scramblerBlock(), encoderBlock(ri.coding)),
+                     interleaverBlock(ri.modulation)),
+            modulatorBlock(ri.modulation));
+    };
+
+    // Unoptimized native: exact golden match, full length, and — with a
+    // compiler present — the whole TX chain as one region with zero
+    // interpreter fallbacks.
+    CompileReport rep;
+    auto n0 = compilePipeline(chain(), nativeConf(OptLevel::None), &rep);
+    EXPECT_EQ(rep.fuse.fallbacks, 0)
+        << "the TX chain should fuse into one region";
+    if (zcgen::compilerAvailable()) {
+        EXPECT_EQ(rep.cgen.fallbacks, 0)
+            << "the TX chain region should run natively";
+    }
+    auto got0 = bytesToSamples(n0->runBytes(dataBits));
+    ASSERT_EQ(got0.size(), golden.size()) << ri.mbps << " Mbps";
+    for (size_t i = 0; i < golden.size(); ++i) {
+        ASSERT_EQ(got0[i].re, golden[i].re)
+            << ri.mbps << " Mbps, point " << i;
+        ASSERT_EQ(got0[i].im, golden[i].im)
+            << ri.mbps << " Mbps, point " << i;
+    }
+
+    // Optimized: native must equal the optimized VM byte for byte —
+    // including any vectorization tail behavior.
+    auto vm1 = compilePipeline(chain(),
+                               CompilerOptions::forLevel(OptLevel::All));
+    auto n1 = compilePipeline(chain(), nativeConf(OptLevel::All));
+    EXPECT_EQ(n1->runBytes(dataBits), vm1->runBytes(dataBits))
+        << ri.mbps << " Mbps (optimized)";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, NativeTxChainGolden,
+                         ::testing::Values(Rate::R6, Rate::R9, Rate::R12,
+                                           Rate::R18, Rate::R24, Rate::R36,
+                                           Rate::R48, Rate::R54));
+
+class NativeRoundTrip : public ::testing::TestWithParam<Rate>
+{
+};
+
+TEST_P(NativeRoundTrip, NativeTxToNativeRxDecodes)
+{
+    // Native TX -> channel -> native RX.  The receiver leans on native
+    // blocks (FFT, CCA), so this also proves compiled regions compose
+    // with the VM-fallback spine inside one real pipeline.
+    Rate rate = GetParam();
+    Rng rng(600 + static_cast<uint64_t>(rate));
+    std::vector<uint8_t> payload(72);
+    for (auto& b : payload)
+        b = static_cast<uint8_t>(rng.next());
+
+    auto tx = compilePipeline(
+        wifiTxFrameComp(rate, static_cast<int>(payload.size())),
+        nativeConf(OptLevel::None));
+    auto txSamples = bytesToSamples(tx->runBytes(bytesToBits(payload)));
+
+    // Identical channel seed to ZiriaRoundTrip (test_conformance.cpp):
+    // the native TX must produce the same waveform, so the same channel
+    // decodes it.
+    channel::ChannelConfig cfg;
+    cfg.snrDb = 35.0;
+    cfg.delaySamples = 220;
+    cfg.trailSamples = 120;
+    cfg.phaseRad = 0.3;
+    cfg.gain = 0.9;
+    cfg.seed = 1000 + static_cast<uint64_t>(rate);
+    auto rxSamples = channel::applyChannel(txSamples, cfg);
+
+    auto rx = compilePipeline(wifiReceiverComp(),
+                              nativeConf(OptLevel::None));
+    RunStats st;
+    auto bits = rx->runBytes(samplesToBytes(rxSamples), &st);
+    ASSERT_TRUE(st.halted) << rateInfo(rate).mbps << " Mbps: no detection";
+    ASSERT_EQ(st.ctrl.size(), 4u);
+    int32_t crcOk = 0;
+    std::memcpy(&crcOk, st.ctrl.data(), 4);
+    EXPECT_EQ(crcOk, 1) << rateInfo(rate).mbps << " Mbps: CRC failed";
+
+    auto bytes = bitsToBytes(bits);
+    ASSERT_GE(bytes.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(), bytes.begin()))
+        << rateInfo(rate).mbps << " Mbps: payload mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, NativeRoundTrip,
+                         ::testing::Values(Rate::R6, Rate::R9, Rate::R12,
+                                           Rate::R18, Rate::R24, Rate::R36,
+                                           Rate::R48, Rate::R54));
+
+// ------------------------------------------------ shared-object cache
+
+TEST(CgenCache, MissThenHitRoundTrip)
+{
+    if (!zcgen::compilerAvailable())
+        GTEST_SKIP() << "no C++ compiler on this host";
+    std::string dir = makeTempDir();
+
+    auto cold = zcgen::compileUnit(kToySource, dir);
+    ASSERT_NE(cold.lib, nullptr) << cold.error;
+    EXPECT_FALSE(cold.cacheHit);
+    EXPECT_GT(cold.compileSec, 0.0);
+    ASSERT_EQ(cold.key.size(), 16u);
+    EXPECT_TRUE(fileExists(dir + "/" + cold.key + ".so"));
+    EXPECT_TRUE(fileExists(dir + "/" + cold.key + ".manifest"));
+    EXPECT_TRUE(fileExists(dir + "/" + cold.key + ".cc"));
+
+    auto fn = reinterpret_cast<int (*)(int)>(cold.lib->sym("zr_toy"));
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn(1), 42);
+
+    auto warm = zcgen::compileUnit(kToySource, dir);
+    ASSERT_NE(warm.lib, nullptr) << warm.error;
+    EXPECT_TRUE(warm.cacheHit);
+    EXPECT_EQ(warm.key, cold.key);
+    auto fn2 = reinterpret_cast<int (*)(int)>(warm.lib->sym("zr_toy"));
+    ASSERT_NE(fn2, nullptr);
+    EXPECT_EQ(fn2(2), 43);
+}
+
+TEST(CgenCache, CorruptSharedObjectIsQuarantinedAndRecompiled)
+{
+    if (!zcgen::compilerAvailable())
+        GTEST_SKIP() << "no C++ compiler on this host";
+    std::string dir = makeTempDir();
+
+    std::string key;
+    {
+        auto cold = zcgen::compileUnit(kToySource, dir);
+        ASSERT_NE(cold.lib, nullptr) << cold.error;
+        key = cold.key;
+    }  // dlclose before corrupting: the object must not stay mapped
+    scribbleFile(dir + "/" + key + ".so", "definitely not an ELF");
+
+    auto again = zcgen::compileUnit(kToySource, dir);
+    ASSERT_NE(again.lib, nullptr) << again.error;
+    EXPECT_FALSE(again.cacheHit) << "a torn object must not be served";
+    EXPECT_GE(countSuffix(dir, ".bad"), 1)
+        << "the corrupt entry should be quarantined, not deleted";
+    auto fn = reinterpret_cast<int (*)(int)>(again.lib->sym("zr_toy"));
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn(0), 41);
+
+    // The reinstalled entry serves hits again.
+    auto warm = zcgen::compileUnit(kToySource, dir);
+    ASSERT_NE(warm.lib, nullptr);
+    EXPECT_TRUE(warm.cacheHit);
+}
+
+TEST(CgenCache, CorruptManifestIsQuarantinedAndRecompiled)
+{
+    if (!zcgen::compilerAvailable())
+        GTEST_SKIP() << "no C++ compiler on this host";
+    std::string dir = makeTempDir();
+
+    auto cold = zcgen::compileUnit(kToySource, dir);
+    ASSERT_NE(cold.lib, nullptr) << cold.error;
+    scribbleFile(dir + "/" + cold.key + ".manifest",
+                 "ZCG1\nkey 0000000000000000\n");
+
+    auto again = zcgen::compileUnit(kToySource, dir);
+    ASSERT_NE(again.lib, nullptr) << again.error;
+    EXPECT_FALSE(again.cacheHit);
+    EXPECT_GE(countSuffix(dir, ".bad"), 1);
+}
+
+TEST(CgenCache, DifferentSourceMissesWithDifferentKey)
+{
+    if (!zcgen::compilerAvailable())
+        GTEST_SKIP() << "no C++ compiler on this host";
+    std::string dir = makeTempDir();
+
+    auto a = zcgen::compileUnit(kToySource, dir);
+    ASSERT_NE(a.lib, nullptr) << a.error;
+    std::string other = std::string(kToySource) +
+                        "extern \"C\" int zr_toy2(int x) { return x; }\n";
+    auto b = zcgen::compileUnit(other, dir);
+    ASSERT_NE(b.lib, nullptr) << b.error;
+    EXPECT_FALSE(b.cacheHit) << "a stale key must not hit";
+    EXPECT_NE(a.key, b.key);
+}
+
+TEST(CgenCache, WarmPipelineRecompileIsAPureHit)
+{
+    if (!zcgen::compilerAvailable())
+        GTEST_SKIP() << "no C++ compiler on this host";
+    std::string dir = makeTempDir();
+
+    CompilerOptions opt = nativeConf();
+    opt.cgenCacheDir = dir;  // --cgen-cache-dir wins over the env var
+
+    auto& reg = metrics::Registry::global();
+    uint64_t hitsBefore = reg.counter("ziria.cgen.cache_hits").value();
+    uint64_t missBefore = reg.counter("ziria.cgen.cache_misses").value();
+
+    CompileReport cold;
+    auto p1 = compilePipeline(pipe(incBlock(3), incBlock(4)), opt, &cold);
+    EXPECT_EQ(cold.cgen.cacheMisses, 1);
+    EXPECT_EQ(cold.cgen.compiled, 1);
+    EXPECT_EQ(cold.cgen.cacheHits, 0);
+    EXPECT_GT(cold.cgen.compileSec, 0.0);
+
+    CompileReport warm;
+    auto p2 = compilePipeline(pipe(incBlock(3), incBlock(4)), opt, &warm);
+    EXPECT_GE(warm.cgen.cacheHits, 1);
+    EXPECT_EQ(warm.cgen.compiled, 0) << "a warm cache must not recompile";
+    EXPECT_EQ(warm.cgen.cacheKey, cold.cgen.cacheKey);
+
+    EXPECT_GE(reg.counter("ziria.cgen.cache_hits").value(),
+              hitsBefore + 1);
+    EXPECT_GE(reg.counter("ziria.cgen.cache_misses").value(),
+              missBefore + 1);
+
+    std::vector<int32_t> in(128);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<int32_t>(i);
+    auto bytes = intBytes(in);
+    EXPECT_EQ(p1->runBytes(bytes), p2->runBytes(bytes));
+}
+
+TEST(CgenCache, CacheKeyHashIsDeterministic)
+{
+    // FNV-1a 64 reference vectors; the key must be stable across runs
+    // or the on-disk cache would never hit.
+    EXPECT_EQ(zcgen::fnv1a64Hex(""), "cbf29ce484222325");
+    EXPECT_EQ(zcgen::fnv1a64Hex("a"), "af63dc4c8601ec8c");
+    EXPECT_EQ(zcgen::fnv1a64Hex(kToySource),
+              zcgen::fnv1a64Hex(kToySource));
+    EXPECT_NE(zcgen::fnv1a64Hex("a"), zcgen::fnv1a64Hex("b"));
+}
+
+// ----------------------------------------------------- loud refusals
+
+TEST(NativeRefusals, StageScopedRestartIsRefusedAtCompileTime)
+{
+    CompilerOptions opt = nativeConf();
+    opt.restart.mode = RestartMode::OnFailure;
+    opt.restart.maxRestarts = 2;
+    opt.restart.scope = RestartScope::Stage;
+    try {
+        compilePipeline(incBlock(1), opt);
+        FAIL() << "native + stage-scoped restart must be refused";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("--backend=native"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("docs/ROBUSTNESS.md"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(NativeRefusals, CheckpointIsRefusedAtCompileTime)
+{
+    CompilerOptions opt = nativeConf();
+    opt.checkpoint.interval = 64;
+    try {
+        compilePipeline(incBlock(1), opt);
+        FAIL() << "native + checkpointing must be refused";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("--checkpoint"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("docs/ROBUSTNESS.md"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(NativeRefusals, SnapshotOfBoundRegionIsRefused)
+{
+    if (!zcgen::compilerAvailable())
+        GTEST_SKIP() << "no C++ compiler on this host";
+    CompileReport rep;
+    auto p = compilePipeline(incBlock(1), nativeConf(), &rep);
+    ASSERT_EQ(rep.cgen.fallbacks, 0);
+    try {
+        takeSnapshot(p->root(), p->frame(), 0, 0);
+        FAIL() << "snapshot of a compiled region must be refused";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("docs/ROBUSTNESS.md"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace ziria
